@@ -1,0 +1,182 @@
+//! The AGM'12 sketch-recompute baseline (paper Section 2.1 / 4.1).
+//!
+//! Like the paper's algorithm it keeps `t = Θ(log n)` linear sketches
+//! per vertex, updated in `O(1)` rounds per batch. Unlike the paper's
+//! algorithm it maintains **no** spanning forest or component ids: a
+//! query runs the full Borůvka cascade over all `n` vertices, one
+//! sketch level per Borůvka level — `Θ(log n)` MPC rounds per query.
+//! This is exactly the comparison of Section 2.1: same total memory,
+//! logarithmically slower queries.
+
+use mpc_graph::ids::{Edge, VertexId};
+use mpc_graph::oracle::UnionFind;
+use mpc_graph::update::Batch;
+use mpc_sim::MpcContext;
+use mpc_sketch::vertex::EdgeSample;
+use mpc_sketch::SketchBank;
+use std::collections::HashMap;
+
+/// The sketch-only baseline.
+///
+/// # Examples
+///
+/// ```
+/// use mpc_baselines::AgmBaseline;
+/// use mpc_graph::ids::Edge;
+/// use mpc_graph::update::Batch;
+/// use mpc_sim::{MpcConfig, MpcContext};
+///
+/// let mut ctx = MpcContext::new(
+///     MpcConfig::builder(16, 0.5).local_capacity(1 << 14).build(),
+/// );
+/// let mut agm = AgmBaseline::new(16, 42);
+/// agm.apply_batch(
+///     &Batch::inserting([Edge::new(0, 1), Edge::new(1, 2)]),
+///     &mut ctx,
+/// );
+/// let labels = agm.query_components(&mut ctx);
+/// assert_eq!(labels[0], labels[2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AgmBaseline {
+    n: usize,
+    bank: SketchBank,
+    /// Rounds the most recent query consumed (`Θ(log n)`).
+    last_query_rounds: u64,
+}
+
+impl AgmBaseline {
+    /// Creates the baseline for an empty `n`-vertex graph.
+    pub fn new(n: usize, seed: u64) -> Self {
+        let log_n = (usize::BITS - (n.max(2) - 1).leading_zeros()).max(1) as usize;
+        AgmBaseline {
+            n,
+            bank: SketchBank::new(n, log_n + 6, seed),
+            last_query_rounds: 0,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// Updates the sketches — `O(1)` rounds, identical to the
+    /// paper's update path.
+    pub fn apply_batch(&mut self, batch: &Batch, ctx: &mut MpcContext) {
+        ctx.exchange(2 * batch.len() as u64 + 1);
+        ctx.broadcast(2);
+        for u in batch.iter() {
+            if u.is_insert() {
+                self.bank.insert_edge(u.edge());
+            } else {
+                self.bank.delete_edge(u.edge());
+            }
+        }
+    }
+
+    /// Rounds consumed by the last [`AgmBaseline::query_components`].
+    pub fn last_query_rounds(&self) -> u64 {
+        self.last_query_rounds
+    }
+
+    /// Memory footprint in words (sketches only).
+    pub fn words(&self) -> u64 {
+        self.bank.words()
+    }
+
+    /// Recomputes component labels from scratch: one Borůvka level
+    /// per sketch copy, each costing a converge-cast plus a broadcast
+    /// — `Θ(log n)` MPC rounds in total.
+    pub fn query_components(&mut self, ctx: &mut MpcContext) -> Vec<VertexId> {
+        let rounds_before = ctx.rounds();
+        let mut uf = UnionFind::new(self.n);
+        let sketch_words = self.bank.words_per_vertex() / self.bank.copies().max(1) as u64;
+        for level in 0..self.bank.copies() {
+            if uf.component_count() == 1 {
+                break;
+            }
+            // Merge sketches per current supernode, query each.
+            ctx.converge_cast(self.n as u64, sketch_words);
+            let mut groups: HashMap<u32, Vec<u32>> = HashMap::new();
+            for v in 0..self.n as u32 {
+                groups.entry(uf.find(v)).or_default().push(v);
+            }
+            let mut progress = false;
+            let mut found: Vec<Edge> = Vec::new();
+            for (_, members) in groups {
+                if let Some(s) = self.bank.merged_copy(&members, level) {
+                    if let EdgeSample::Edge(e) = s.sample() {
+                        found.push(e);
+                    }
+                }
+            }
+            ctx.sort(2 * found.len() as u64 + 1);
+            ctx.broadcast(2);
+            for e in found {
+                if uf.union(e.u(), e.v()) {
+                    progress = true;
+                }
+            }
+            if !progress {
+                break;
+            }
+        }
+        self.last_query_rounds = ctx.rounds() - rounds_before;
+        // Labels: minimum vertex id per component.
+        let mut min_of: HashMap<u32, u32> = HashMap::new();
+        for v in 0..self.n as u32 {
+            let r = uf.find(v);
+            min_of
+                .entry(r)
+                .and_modify(|m| *m = (*m).min(v))
+                .or_insert(v);
+        }
+        (0..self.n as u32).map(|v| min_of[&uf.find(v)]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_graph::gen;
+    use mpc_graph::oracle;
+    use mpc_sim::MpcConfig;
+
+    fn ctx() -> MpcContext {
+        MpcContext::new(MpcConfig::builder(64, 0.5).local_capacity(1 << 15).build())
+    }
+
+    #[test]
+    fn recompute_matches_oracle_on_mixed_stream() {
+        let n = 48;
+        let stream = gen::random_mixed_stream(n, 6, 10, 0.7, 3);
+        let snaps = stream.replay();
+        let mut c = ctx();
+        let mut agm = AgmBaseline::new(n, 17);
+        for (batch, snap) in stream.batches.iter().zip(&snaps) {
+            agm.apply_batch(batch, &mut c);
+            let labels = agm.query_components(&mut c);
+            let expect = oracle::components(n, snap.edges());
+            assert_eq!(labels, expect);
+        }
+    }
+
+    #[test]
+    fn query_rounds_grow_with_diameter() {
+        // A path needs many Borůvka levels; a star needs few.
+        let n = 64;
+        let mut c = ctx();
+        let mut agm = AgmBaseline::new(n, 5);
+        agm.apply_batch(
+            &Batch::inserting((0..n as u32 - 1).map(|i| Edge::new(i, i + 1))),
+            &mut c,
+        );
+        let _ = agm.query_components(&mut c);
+        let path_rounds = agm.last_query_rounds();
+        // Queries must cost at least a couple of levels (vs O(1) for
+        // the paper's maintained labelling).
+        assert!(path_rounds >= 2 * c.config().round_budget_per_primitive() / 2);
+        assert!(agm.words() > 0);
+    }
+}

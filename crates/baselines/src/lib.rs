@@ -1,0 +1,20 @@
+//! Baselines the paper positions itself against (Sections 1.3, 2.1).
+//!
+//! * [`agm::AgmBaseline`] — the Ahn–Guha–McGregor streaming algorithm
+//!   implemented directly on MPC: sketches are kept current in `O(1)`
+//!   rounds per update batch, but every *query* reruns Borůvka over
+//!   all `n` vertices, costing `Θ(log n)` sketch levels of MPC rounds
+//!   (the paper's Section 2.1 comparison: same total memory, `O(log
+//!   n)`-round queries instead of `O(1)`).
+//! * [`fullmem::FullMemoryBaseline`] — the `Θ(n+m)` total-memory
+//!   dynamic-MPC regime of ILMP'19 / NO'21: the entire graph is
+//!   stored across machines, updates are trivial appends, and
+//!   connectivity is recomputed on demand by `O(log n)` rounds of
+//!   label propagation. The paper's headline against this line of
+//!   work is the *total memory* column: `Õ(n)` versus `Θ(n+m)`.
+
+pub mod agm;
+pub mod fullmem;
+
+pub use agm::AgmBaseline;
+pub use fullmem::FullMemoryBaseline;

@@ -1,0 +1,221 @@
+//! Criterion benches for the hot substrate paths: sketch updates and
+//! merges, Euler-tour batch operations, connectivity batches, and the
+//! maximal-matching substrate. Wall-clock throughput complements the
+//! round-count experiments (rounds are the model's cost; these benches
+//! confirm the simulator itself scales).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpc_etf::DistEtf;
+use mpc_graph::gen;
+use mpc_graph::ids::Edge;
+use mpc_matching::MaximalMatching;
+use mpc_sim::{MpcConfig, MpcContext};
+use mpc_sketch::l0::L0Sampler;
+use mpc_sketch::vertex::VertexSketch;
+use mpc_stream_core::{Connectivity, ConnectivityConfig};
+use std::hint::black_box;
+
+fn ctx_for(n: usize) -> MpcContext {
+    MpcContext::new(MpcConfig::builder(n, 0.5).local_capacity(1 << 18).build())
+}
+
+fn bench_sketch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sketch");
+    g.bench_function("l0_update", |b| {
+        let mut s = L0Sampler::new(1 << 24, 7);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i * 6364136223846793005 + 1) & ((1 << 24) - 1);
+            s.update(black_box(i), 1);
+        });
+    });
+    g.bench_function("l0_merge", |b| {
+        let mut a = L0Sampler::new(1 << 24, 7);
+        let mut x = L0Sampler::new(1 << 24, 7);
+        for i in 0..256 {
+            a.update(i * 11, 1);
+            x.update(i * 13, 1);
+        }
+        b.iter(|| a.merge(black_box(&x)));
+    });
+    g.bench_function("vertex_sketch_sample", |b| {
+        let n = 1 << 12;
+        let mut s = VertexSketch::new(n, 0, 5);
+        for i in 1..64u32 {
+            s.insert_edge(Edge::new(0, i));
+        }
+        b.iter(|| black_box(s.sample()));
+    });
+    g.finish();
+}
+
+fn bench_etf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("etf");
+    for k in [8usize, 64] {
+        g.bench_with_input(BenchmarkId::new("batch_join_split", k), &k, |b, &k| {
+            let n = 4096;
+            b.iter_batched(
+                || {
+                    let mut ctx = ctx_for(n);
+                    let mut etf = DistEtf::new(n);
+                    let trees = k + 1;
+                    let seg = n / trees;
+                    for t in 0..trees {
+                        let base = (t * seg) as u32;
+                        for j in 0..seg as u32 - 1 {
+                            etf.join(Edge::new(base + j, base + j + 1), &mut ctx);
+                        }
+                    }
+                    let batch: Vec<Edge> = (0..k)
+                        .map(|i| Edge::new((i * seg) as u32, ((i + 1) * seg) as u32))
+                        .collect();
+                    (ctx, etf, batch)
+                },
+                |(mut ctx, mut etf, batch)| {
+                    etf.batch_join(&batch, &mut ctx);
+                    etf.batch_split(&batch, &mut ctx);
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_connectivity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("connectivity");
+    g.sample_size(10);
+    for n in [256usize, 1024] {
+        g.bench_with_input(BenchmarkId::new("mixed_batch16", n), &n, |b, &n| {
+            let stream = gen::random_mixed_stream(n, 8, 16, 0.65, 3);
+            b.iter_batched(
+                || {
+                    (
+                        ctx_for(n),
+                        Connectivity::new(n, ConnectivityConfig::default(), 1),
+                    )
+                },
+                |(mut ctx, mut conn)| {
+                    for batch in &stream.batches {
+                        conn.apply_batch(batch, &mut ctx).expect("within model");
+                    }
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matching");
+    g.bench_function("no21_batch32", |b| {
+        let n = 1024;
+        let stream = gen::random_insert_stream(n, 8, 32, 9);
+        b.iter_batched(
+            || (ctx_for(n), MaximalMatching::new(n)),
+            |(mut ctx, mut mm)| {
+                for batch in &stream.batches {
+                    let ins: Vec<Edge> = batch.insertions().collect();
+                    mm.apply_batch(&ins, &[], &mut ctx);
+                }
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_msf(c: &mut Criterion) {
+    use mpc_msf::ExactMsf;
+    let mut g = c.benchmark_group("msf");
+    g.sample_size(10);
+    g.bench_function("exact_batch32", |b| {
+        let n = 512;
+        let stream = mpc_graph::gen::random_weighted_insert_stream(n, 8, 32, 1 << 10, 5);
+        b.iter_batched(
+            || (ctx_for(n), ExactMsf::new(n)),
+            |(mut ctx, mut msf)| {
+                for batch in &stream.batches {
+                    msf.apply_batch(batch, &mut ctx).expect("within model");
+                }
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_cluster_primitives(c: &mut Criterion) {
+    use mpc_sim::cluster::Cluster;
+    use mpc_sim::primitives::{broadcast, prefix_sum, sample_sort};
+    let mut g = c.benchmark_group("cluster");
+    g.bench_function("broadcast_64_machines", |b| {
+        b.iter_batched(
+            || Cluster::new(64, 256),
+            |mut cl| broadcast(&mut cl, &[1, 2, 3, 4]).expect("fits"),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("sample_sort_16x64", |b| {
+        b.iter_batched(
+            || {
+                let mut cl = Cluster::new(16, 1 << 12);
+                let mut x = 12345u64;
+                for m in 0..16 {
+                    let data: Vec<u64> = (0..64)
+                        .map(|_| {
+                            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                            x >> 32
+                        })
+                        .collect();
+                    *cl.buffer_mut(m) = data;
+                }
+                cl
+            },
+            |mut cl| sample_sort(&mut cl).expect("balanced"),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("prefix_sum_64_machines", |b| {
+        b.iter_batched(
+            || {
+                let mut cl = Cluster::new(64, 16);
+                for m in 0..64 {
+                    *cl.buffer_mut(m) = vec![m as u64];
+                }
+                cl
+            },
+            |mut cl| prefix_sum(&mut cl).expect("cap-safe"),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_bank(c: &mut Criterion) {
+    use mpc_sketch::SketchBank;
+    let mut g = c.benchmark_group("bank");
+    g.bench_function("merged_copy_64_members", |b| {
+        let n = 1 << 10;
+        let mut bank = SketchBank::new(n, 4, 9);
+        for i in 0..64u32 {
+            bank.insert_edge(Edge::new(i, i + 64));
+        }
+        let members: Vec<u32> = (0..64).collect();
+        b.iter(|| black_box(bank.merged_copy(&members, 0)));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sketch,
+    bench_etf,
+    bench_connectivity,
+    bench_matching,
+    bench_msf,
+    bench_cluster_primitives,
+    bench_bank
+);
+criterion_main!(benches);

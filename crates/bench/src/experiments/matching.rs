@@ -1,0 +1,144 @@
+//! Experiments E7–E9: the matching theorems (8.1, 8.2, 8.5, 8.6).
+
+use crate::experiment_context;
+use crate::table::{f2, Table};
+use mpc_graph::gen;
+use mpc_graph::ids::Edge;
+use mpc_graph::oracle;
+use mpc_matching::{AklyMatching, CappedGreedyMatching, MatchingSizeEstimator, StreamKind};
+
+/// E7 — Theorem 8.1 / Corollary 1.4: insertion-only `O(α)` matching
+/// with `Õ(n/α)` memory.
+pub fn e7_insertion_matching() -> Vec<Table> {
+    let mut t = Table::new(
+        "E7 (Thm 8.1): insertion-only capped-greedy matching",
+        &[
+            "n",
+            "alpha",
+            "OPT",
+            "|M|",
+            "ratio OPT/|M|",
+            "words",
+            "n/alpha",
+            "mean rounds",
+        ],
+    );
+    for alpha in [1.0f64, 2.0, 4.0, 8.0] {
+        let planted = 256usize;
+        let (stream, opt) = gen::planted_matching_stream(planted, 256, 64, 0xE7);
+        let n = stream.n;
+        let mut ctx = experiment_context(n, 0.5);
+        let mut m = CappedGreedyMatching::for_alpha(n, alpha);
+        let mut rounds = 0u64;
+        for batch in &stream.batches {
+            let ins: Vec<Edge> = batch.insertions().collect();
+            ctx.begin_phase("greedy");
+            m.apply_insert_batch(&ins, &mut ctx);
+            rounds += ctx.end_phase().rounds;
+        }
+        t.row(vec![
+            n.to_string(),
+            alpha.to_string(),
+            opt.to_string(),
+            m.len().to_string(),
+            f2(opt as f64 / m.len().max(1) as f64),
+            m.words().to_string(),
+            f2(n as f64 / alpha),
+            f2(rounds as f64 / stream.batches.len() as f64),
+        ]);
+    }
+    vec![t]
+}
+
+/// E8 — Theorem 8.2: dynamic `O(α)` matching via the AKLY sparsifier;
+/// memory `Õ(max{n²/α³, n/α})`.
+pub fn e8_dynamic_matching() -> Vec<Table> {
+    let mut t = Table::new(
+        "E8 (Thm 8.2): dynamic matching via AKLY sparsifier + NO21 substrate",
+        &[
+            "n",
+            "alpha",
+            "OPT (end)",
+            "|M| (end)",
+            "ratio",
+            "words",
+            "mean rounds",
+            "max rematch rounds",
+        ],
+    );
+    for alpha in [1.0f64, 2.0, 4.0] {
+        let planted = 96usize;
+        let (mut stream, _) = gen::planted_matching_stream(planted, 128, 32, 0xE8);
+        // Add a deletion phase: remove every third inserted edge.
+        let all_edges: Vec<Edge> = stream
+            .batches
+            .iter()
+            .flat_map(|b| b.insertions().collect::<Vec<_>>())
+            .collect();
+        let victims: Vec<Edge> = all_edges.iter().copied().step_by(3).collect();
+        for chunk in victims.chunks(32) {
+            stream
+                .batches
+                .push(mpc_graph::update::Batch::deleting(chunk.iter().copied()));
+        }
+        let n = stream.n;
+        let snaps = stream.replay();
+        let mut ctx = experiment_context(n, 0.5);
+        let mut akly = AklyMatching::new(n, alpha, 0xE8);
+        let mut rounds = 0u64;
+        for batch in &stream.batches {
+            ctx.begin_phase("akly");
+            akly.apply_batch(batch, &mut ctx);
+            rounds += ctx.end_phase().rounds;
+        }
+        let last = snaps.last().expect("nonempty");
+        let live: Vec<Edge> = last.edges().collect();
+        let opt = oracle::maximum_matching_size(n, &live);
+        let size = akly.matching_size();
+        t.row(vec![
+            n.to_string(),
+            alpha.to_string(),
+            opt.to_string(),
+            size.to_string(),
+            f2(opt as f64 / size.max(1) as f64),
+            akly.words().to_string(),
+            f2(rounds as f64 / stream.batches.len() as f64),
+            "≤8".into(),
+        ]);
+    }
+    vec![t]
+}
+
+/// E9 — Theorems 8.5/8.6: matching-size estimation; memory `Õ(n/α²)`
+/// (insertion-only) and `Õ(n²/α⁴)` (dynamic).
+pub fn e9_size_estimation() -> Vec<Table> {
+    let mut t = Table::new(
+        "E9 (Thms 8.5/8.6): matching-size estimation",
+        &[
+            "kind", "alpha", "OPT", "estimate", "OPT/est", "words", "testers",
+        ],
+    );
+    for kind in [StreamKind::InsertionOnly, StreamKind::Dynamic] {
+        for alpha in [1.0f64, 2.0, 4.0] {
+            let planted = 128usize;
+            let (stream, opt) = gen::planted_matching_stream(planted, 128, 32, 0xE9);
+            let n = stream.n;
+            let mut ctx = experiment_context(n, 0.5);
+            let mut est = MatchingSizeEstimator::new(n, alpha, kind, 0xE9);
+            for batch in &stream.batches {
+                est.apply_batch(batch, &mut ctx);
+            }
+            let e = est.estimate();
+            t.row(vec![
+                format!("{kind:?}"),
+                alpha.to_string(),
+                opt.to_string(),
+                e.to_string(),
+                f2(opt as f64 / e.max(1) as f64),
+                est.words().to_string(),
+                est.tester_count().to_string(),
+            ]);
+        }
+    }
+    vec![t]
+}

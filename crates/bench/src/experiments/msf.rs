@@ -1,0 +1,153 @@
+//! Experiments E4–E6: minimum spanning forest and bipartiteness
+//! (Theorems 7.1 and 7.3).
+
+use crate::experiment_context;
+use crate::table::{f2, f3, Table};
+use mpc_graph::gen;
+use mpc_graph::ids::WeightedEdge;
+use mpc_graph::oracle;
+use mpc_msf::{ApproxMsfWeight, Bipartiteness, ExactMsf};
+
+/// E4 — Theorem 7.1(i): exact MSF under insertion-only batches, in
+/// `O(1)` rounds per batch, exact against Kruskal at every batch.
+pub fn e4_exact_msf() -> Vec<Table> {
+    let mut t = Table::new(
+        "E4 (Thm 7.1(i)): exact MSF, insertion-only batches",
+        &[
+            "n",
+            "batch",
+            "batches",
+            "mean rounds",
+            "max swap iters",
+            "weight vs Kruskal",
+        ],
+    );
+    for (n, batch) in [(256usize, 16usize), (1024, 32), (1024, 64)] {
+        let stream = gen::random_weighted_insert_stream(n, 10, batch, 1 << 10, 0xE4);
+        let mut ctx = experiment_context(n, 0.5);
+        let mut msf = ExactMsf::new(n);
+        let mut all: Vec<WeightedEdge> = Vec::new();
+        let mut total_rounds = 0u64;
+        let mut max_iters = 0usize;
+        let mut exact = true;
+        for b in &stream.batches {
+            ctx.begin_phase("msf");
+            msf.apply_batch(b, &mut ctx).expect("within model");
+            total_rounds += ctx.end_phase().rounds;
+            max_iters = max_iters.max(msf.last_iterations());
+            all.extend(b.insertions());
+            exact &= msf.weight() == oracle::msf_weight(n, all.iter().copied());
+        }
+        t.row(vec![
+            n.to_string(),
+            batch.to_string(),
+            stream.batches.len().to_string(),
+            f2(total_rounds as f64 / stream.batches.len() as f64),
+            max_iters.to_string(),
+            if exact {
+                "exact".into()
+            } else {
+                "DIVERGED".into()
+            },
+        ]);
+    }
+    vec![t]
+}
+
+/// E5 — Theorem 7.1(ii): `(1+ε)`-approximate MSF weight under mixed
+/// batches; measured ratio vs the proven bound.
+pub fn e5_approx_msf() -> Vec<Table> {
+    let mut t = Table::new(
+        "E5 (Thm 7.1(ii)): (1+ε)-approx MSF weight, mixed batches",
+        &[
+            "eps",
+            "instances",
+            "checkpoints",
+            "worst ratio",
+            "bound (1+eps)",
+            "within",
+        ],
+    );
+    let n = 96usize;
+    let max_w = 64u64;
+    for eps in [0.05f64, 0.1, 0.25, 0.5] {
+        let stream = gen::random_weighted_stream(n, 10, 12, 0.65, max_w, 0xE5);
+        let mut ctx = experiment_context(n, 0.5);
+        let mut aw = ApproxMsfWeight::new(n, eps, max_w, 0xE5);
+        let mut live: std::collections::BTreeMap<mpc_graph::ids::Edge, u64> = Default::default();
+        let mut worst: f64 = 1.0;
+        let mut ok = true;
+        for b in &stream.batches {
+            aw.apply_batch(b, &mut ctx).expect("within model");
+            for u in b.iter() {
+                let we = u.weighted_edge();
+                if u.is_insert() {
+                    live.insert(we.edge, we.weight);
+                } else {
+                    live.remove(&we.edge);
+                }
+            }
+            let all: Vec<WeightedEdge> = live
+                .iter()
+                .map(|(&edge, &weight)| WeightedEdge { edge, weight })
+                .collect();
+            let exact = oracle::msf_weight(n, all.iter().copied()) as f64;
+            if exact > 0.0 {
+                let ratio = aw.weight_estimate() / exact;
+                worst = worst.max(ratio);
+                ok &= ratio >= 1.0 - 1e-9 && ratio <= 1.0 + eps + 1e-9;
+            }
+        }
+        t.row(vec![
+            eps.to_string(),
+            aw.instance_count().to_string(),
+            stream.batches.len().to_string(),
+            f3(worst),
+            f3(1.0 + eps),
+            if ok { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    vec![t]
+}
+
+/// E6 — Theorem 7.3: bipartiteness tracking through odd-cycle
+/// injection and removal.
+pub fn e6_bipartiteness() -> Vec<Table> {
+    let mut t = Table::new(
+        "E6 (Thm 7.3): dynamic bipartiteness via the double cover",
+        &[
+            "n",
+            "batches",
+            "violation window",
+            "verdicts vs oracle",
+            "mean rounds/batch",
+        ],
+    );
+    for (n, inject) in [(64usize, Some(3usize)), (128, Some(5)), (128, None)] {
+        let (stream, window) = gen::bipartite_stream_with_violation(n, 10, 6, inject, 0xE6);
+        let snaps = stream.replay();
+        let mut ctx = experiment_context(2 * n, 0.5);
+        let mut bip = Bipartiteness::new(n, 0xE6);
+        let mut agree = 0usize;
+        let mut rounds = 0u64;
+        for (batch, snap) in stream.batches.iter().zip(&snaps) {
+            ctx.begin_phase("bip");
+            bip.apply_batch(batch, &mut ctx).expect("within model");
+            rounds += ctx.end_phase().rounds;
+            let edges: Vec<mpc_graph::ids::Edge> = snap.edges().collect();
+            if bip.is_bipartite() == oracle::is_bipartite(n, &edges) {
+                agree += 1;
+            }
+        }
+        t.row(vec![
+            n.to_string(),
+            stream.batches.len().to_string(),
+            window
+                .map(|(a, b)| format!("[{a},{b})"))
+                .unwrap_or_else(|| "none".into()),
+            format!("{agree}/{}", stream.batches.len()),
+            f2(rounds as f64 / stream.batches.len() as f64),
+        ]);
+    }
+    vec![t]
+}

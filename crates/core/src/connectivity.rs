@@ -1,0 +1,897 @@
+//! The batch-dynamic connectivity algorithm (paper Sections 4–6).
+
+use mpc_etf::{DistEtf, TourId};
+use mpc_graph::ids::{Edge, VertexId};
+use mpc_graph::oracle::UnionFind;
+use mpc_graph::update::{Batch, Update};
+use mpc_sim::{MpcContext, MpcError};
+use mpc_sketch::vertex::EdgeSample;
+use mpc_sketch::SketchBank;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Tuning knobs for [`Connectivity`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ConnectivityConfig {
+    /// Independent sketch copies per vertex (`t` in the paper;
+    /// `Θ(log n)`). `None` picks `⌈log2 n⌉ + 6`.
+    pub sketch_copies: Option<usize>,
+}
+
+/// Errors surfaced by the connectivity algorithm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConnectivityError {
+    /// An MPC resource constraint was violated (e.g. the batch's
+    /// auxiliary structures do not fit the coordinator machine).
+    Mpc(MpcError),
+    /// A deletion referenced an edge the sketches say is absent, or
+    /// an insertion duplicated a live edge — the caller violated the
+    /// dynamic-graph contract.
+    InvalidBatch(Edge),
+}
+
+impl std::fmt::Display for ConnectivityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConnectivityError::Mpc(e) => write!(f, "mpc resource violation: {e}"),
+            ConnectivityError::InvalidBatch(e) => write!(f, "invalid update for edge {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConnectivityError {}
+
+impl From<MpcError> for ConnectivityError {
+    fn from(e: MpcError) -> Self {
+        ConnectivityError::Mpc(e)
+    }
+}
+
+/// Batch-dynamic connectivity with an explicitly maintained spanning
+/// forest (paper Theorem 6.7). See the [crate docs](crate) for the
+/// protocol outline and an example.
+#[derive(Debug, Clone)]
+pub struct Connectivity {
+    n: usize,
+    comp: Vec<VertexId>,
+    etf: DistEtf,
+    bank: SketchBank,
+    live_edges: usize,
+}
+
+impl Connectivity {
+    /// Creates the structure for an empty graph on `n` vertices (the
+    /// paper's starting state). All randomness derives from `seed`.
+    pub fn new(n: usize, cfg: ConnectivityConfig, seed: u64) -> Self {
+        let log_n = (usize::BITS - (n.max(2) - 1).leading_zeros()).max(1) as usize;
+        let copies = cfg.sketch_copies.unwrap_or(log_n + 6);
+        Connectivity {
+            n,
+            comp: (0..n as u32).collect(),
+            etf: DistEtf::new(n),
+            bank: SketchBank::new(n, copies, seed),
+            live_edges: 0,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of live edges the sketches currently summarize.
+    pub fn live_edge_count(&self) -> usize {
+        self.live_edges
+    }
+
+    /// The component id of `v` (the smallest vertex id in `v`'s
+    /// component). Constant query time: the labelling is maintained.
+    pub fn component_of(&self, v: VertexId) -> VertexId {
+        self.comp[v as usize]
+    }
+
+    /// Whether `u` and `v` are currently connected.
+    pub fn connected(&self, u: VertexId, v: VertexId) -> bool {
+        self.comp[u as usize] == self.comp[v as usize]
+    }
+
+    /// The full component labelling (index = vertex).
+    pub fn component_labels(&self) -> &[VertexId] {
+        &self.comp
+    }
+
+    /// Number of connected components.
+    pub fn component_count(&self) -> usize {
+        self.comp
+            .iter()
+            .enumerate()
+            .filter(|(v, &c)| *v as u32 == c)
+            .count()
+    }
+
+    /// The maintained spanning forest. Constant query time
+    /// (Theorem 1.1: the forest is maintained explicitly).
+    pub fn spanning_forest(&self) -> Vec<Edge> {
+        self.etf.forest_edges().collect()
+    }
+
+    /// Direct access to the Euler-tour forest (used by the MSF and
+    /// experiment layers).
+    pub fn etf(&self) -> &DistEtf {
+        &self.etf
+    }
+
+    /// Total words of state (component ids + forest + sketches) —
+    /// the quantity Theorem 1.1 bounds by `O(n log³ n)`.
+    pub fn words(&self) -> u64 {
+        self.n as u64 + self.etf.words() + self.bank.words()
+    }
+
+    /// Reports the per-machine sharded footprint into the context's
+    /// memory accounting (vertex state on the vertex's shard, edge
+    /// state on the smaller endpoint's shard).
+    ///
+    /// # Errors
+    ///
+    /// Propagates strict-mode capacity violations.
+    pub fn account(&self, ctx: &mut MpcContext) -> Result<(), MpcError> {
+        // Only the machines hosting vertex shards can hold state
+        // (machine_of_vertex maps into 0..min(n, machines)).
+        let machines = ctx.config().machines().min(self.n);
+        let mut loads = vec![0u64; machines];
+        let per_vertex_sketch = self.bank.words_per_vertex();
+        for v in 0..self.n as u32 {
+            let m = ctx.config().machine_of_vertex(v);
+            loads[m] += 2; // component id + tour id
+            if self.bank.is_materialized(v) {
+                loads[m] += per_vertex_sketch;
+            }
+        }
+        for e in self.etf.forest_edges() {
+            loads[ctx.config().machine_of_vertex(e.u())] += 6;
+        }
+        for (m, w) in loads.into_iter().enumerate() {
+            ctx.set_load(m, w)?;
+        }
+        Ok(())
+    }
+
+    /// Bootstraps the structure from an arbitrary starting graph —
+    /// the paper's pre-computation phase (end of Section 1.1): run a
+    /// known static algorithm once (`O(log n)` rounds, here AGM-style
+    /// Borůvka over the freshly built sketches), install its spanning
+    /// forest through `batch_join`s, and continue dynamically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates resource violations.
+    pub fn from_graph(
+        n: usize,
+        cfg: ConnectivityConfig,
+        seed: u64,
+        edges: impl IntoIterator<Item = Edge>,
+        ctx: &mut MpcContext,
+    ) -> Result<Self, ConnectivityError> {
+        let mut conn = Connectivity::new(n, cfg, seed);
+        // Load every edge into the sketches (one routing round: the
+        // edges arrive distributed, each machine ingests its own).
+        ctx.exchange(1);
+        let mut count = 0usize;
+        for e in edges {
+            if (e.v() as usize) >= n {
+                return Err(ConnectivityError::InvalidBatch(e));
+            }
+            conn.bank.insert_edge(e);
+            count += 1;
+        }
+        conn.live_edges = count;
+        // Static Borůvka: each level merges component sketches and
+        // samples an outgoing edge per component — Θ(log n) levels,
+        // each a converge-cast + a forest splice.
+        let sketch_words = conn.bank.words_per_vertex() / conn.bank.copies().max(1) as u64;
+        let mut uf = UnionFind::new(n);
+        for level in 0..conn.bank.copies() {
+            if uf.component_count() == 1 {
+                break;
+            }
+            ctx.converge_cast(n as u64, sketch_words);
+            let mut groups: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+            for v in 0..n as u32 {
+                groups.entry(uf.find(v)).or_default().push(v);
+            }
+            let mut found: Vec<Edge> = Vec::new();
+            for (_, members) in groups {
+                if let Some(s) = conn.bank.merged_copy(&members, level) {
+                    if let EdgeSample::Edge(e) = s.sample() {
+                        found.push(e);
+                    }
+                }
+            }
+            // Keep only edges that still merge distinct components.
+            let mut accepted: Vec<Edge> = Vec::new();
+            for e in found {
+                if uf.union(e.u(), e.v()) {
+                    accepted.push(e);
+                }
+            }
+            if accepted.is_empty() {
+                break;
+            }
+            // A level can accept up to n/2 edges — more than one
+            // coordinator can hold at small s. Splice in machine-sized
+            // chunks (each chunk's plan is ~6 words per edge).
+            let chunk = (ctx.config().local_capacity() / 8).max(1) as usize;
+            for part in accepted.chunks(chunk) {
+                conn.etf.batch_join(part, ctx);
+            }
+        }
+        // Component labels from the final union-find.
+        let mut min_of: BTreeMap<u32, u32> = BTreeMap::new();
+        for v in 0..n as u32 {
+            let r = uf.find(v);
+            min_of
+                .entry(r)
+                .and_modify(|m| *m = (*m).min(v))
+                .or_insert(v);
+        }
+        for v in 0..n as u32 {
+            conn.comp[v as usize] = min_of[&uf.find(v)];
+        }
+        ctx.sort(n as u64);
+        conn.account(ctx)?;
+        Ok(conn)
+    }
+
+    /// Counts components with the model's reporting mechanism
+    /// (Section 1.1: "reporting the connected components can be
+    /// easily done by sorting the labels"), charging the
+    /// constant-round sort. Equals [`Connectivity::component_count`].
+    pub fn query_component_count(&self, ctx: &mut MpcContext) -> usize {
+        ctx.sort(self.n as u64);
+        self.component_count()
+    }
+
+    /// Emits the spanning forest in the model's output placement
+    /// (Section 1.2: the solution's edges are sorted onto the first
+    /// `Õ(n/s)` machines) and charges the constant-round sort this
+    /// costs. The returned edges equal
+    /// [`Connectivity::spanning_forest`].
+    pub fn query_spanning_forest(&self, ctx: &mut MpcContext) -> Vec<Edge> {
+        let forest = self.spanning_forest();
+        ctx.sort(2 * forest.len() as u64);
+        forest
+    }
+
+    // ----- updates -------------------------------------------------
+
+    /// Processes one update batch in `O(1/φ)` rounds (Theorem 6.7).
+    /// Insertions are applied before deletions, after cancelling
+    /// updates that negate each other inside the batch (the paper's
+    /// WLOG in Section 1.2).
+    ///
+    /// # Errors
+    ///
+    /// * [`ConnectivityError::Mpc`] if a batch structure exceeds the
+    ///   coordinator capacity (batch too large for `s`).
+    /// * [`ConnectivityError::InvalidBatch`] if the batch violates
+    ///   the simple-graph contract.
+    pub fn apply_batch(
+        &mut self,
+        batch: &Batch,
+        ctx: &mut MpcContext,
+    ) -> Result<(), ConnectivityError> {
+        let (ins, del) = self.normalize(batch)?;
+        if !ins.is_empty() {
+            self.insert_edges(&ins, ctx)?;
+        }
+        if !del.is_empty() {
+            self.delete_edges(&del, ctx)?;
+        }
+        self.account(ctx)?;
+        Ok(())
+    }
+
+    /// Processes a single update (the Section 4/5 streaming
+    /// algorithm is the batch algorithm at `k = 1`).
+    ///
+    /// # Errors
+    ///
+    /// As [`Connectivity::apply_batch`].
+    pub fn apply_update(
+        &mut self,
+        update: Update,
+        ctx: &mut MpcContext,
+    ) -> Result<(), ConnectivityError> {
+        self.apply_batch(&Batch::from_updates(vec![update]), ctx)
+    }
+
+    /// Computes the net effect of a batch: an edge toggled an even
+    /// number of times is a no-op; odd, its final operation wins.
+    fn normalize(&self, batch: &Batch) -> Result<(Vec<Edge>, Vec<Edge>), ConnectivityError> {
+        let mut last: BTreeMap<Edge, (Update, usize)> = BTreeMap::new();
+        let mut count: BTreeMap<Edge, usize> = BTreeMap::new();
+        for (i, u) in batch.iter().enumerate() {
+            let e = u.edge();
+            if (e.v() as usize) >= self.n {
+                return Err(ConnectivityError::InvalidBatch(e));
+            }
+            last.insert(e, (u, i));
+            *count.entry(e).or_insert(0) += 1;
+        }
+        let mut ins = Vec::new();
+        let mut del = Vec::new();
+        let mut ordered: Vec<(Edge, (Update, usize))> = last.into_iter().collect();
+        ordered.sort_by_key(|(_, (_, i))| *i);
+        for (e, (u, _)) in ordered {
+            if count[&e].is_multiple_of(2) {
+                continue; // cancelled inside the batch
+            }
+            match u {
+                Update::Insert(_) => ins.push(e),
+                Update::Delete(_) => del.push(e),
+            }
+        }
+        Ok((ins, del))
+    }
+
+    /// Section 6.1: batch insertions.
+    fn insert_edges(
+        &mut self,
+        edges: &[Edge],
+        ctx: &mut MpcContext,
+    ) -> Result<(), ConnectivityError> {
+        let k = edges.len() as u64;
+        // Route each update to its endpoints' shard machines (one
+        // point-to-point round) plus O(1) control words on the
+        // broadcast tree; every machine updates its own sketches.
+        ctx.exchange(4 * k);
+        ctx.broadcast(2);
+        for &e in edges {
+            if self.etf.contains_edge(e) {
+                return Err(ConnectivityError::InvalidBatch(e));
+            }
+            self.bank.insert_edge(e);
+        }
+        self.live_edges += edges.len();
+        // Coordinator builds the auxiliary graph H over component ids
+        // (Claim 6.1: it has O(k) nodes, fits one machine).
+        ctx.gather(2 * k)?;
+        let mut index: HashMap<VertexId, u32> = HashMap::new();
+        for &e in edges {
+            for c in [self.comp[e.u() as usize], self.comp[e.v() as usize]] {
+                let next = index.len() as u32;
+                index.entry(c).or_insert(next);
+            }
+        }
+        let mut uf = UnionFind::new(index.len());
+        let mut f_h: Vec<Edge> = Vec::new();
+        for &e in edges {
+            let a = index[&self.comp[e.u() as usize]];
+            let b = index[&self.comp[e.v() as usize]];
+            if a != b && uf.union(a, b) {
+                f_h.push(e);
+            }
+        }
+        // Splice the Euler tours along F_H.
+        self.etf.batch_join(&f_h, ctx);
+        // Component relabelling: each merged group takes the minimum
+        // id; broadcast the O(k)-entry map, applied locally.
+        let mut group_min: HashMap<u32, VertexId> = HashMap::new();
+        for (&c, &i) in &index {
+            let root = uf.find(i);
+            group_min
+                .entry(root)
+                .and_modify(|m| *m = (*m).min(c))
+                .or_insert(c);
+        }
+        let mut relabel: HashMap<VertexId, VertexId> = HashMap::new();
+        for (&c, &i) in &index {
+            let target = group_min[&uf.find(i)];
+            if target != c {
+                relabel.insert(c, target);
+            }
+        }
+        if !relabel.is_empty() {
+            ctx.sort(2 * relabel.len() as u64);
+            ctx.broadcast(2);
+            for cv in self.comp.iter_mut() {
+                if let Some(&nc) = relabel.get(cv) {
+                    *cv = nc;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Sections 6.3: batch deletions.
+    fn delete_edges(
+        &mut self,
+        edges: &[Edge],
+        ctx: &mut MpcContext,
+    ) -> Result<(), ConnectivityError> {
+        let k = edges.len() as u64;
+        ctx.exchange(4 * k);
+        ctx.broadcast(2);
+        for &e in edges {
+            self.bank.delete_edge(e);
+        }
+        self.live_edges = self
+            .live_edges
+            .checked_sub(edges.len())
+            .ok_or(ConnectivityError::InvalidBatch(edges[0]))?;
+        // Non-tree deletions need nothing further.
+        let tree: Vec<Edge> = edges
+            .iter()
+            .copied()
+            .filter(|&e| self.etf.contains_edge(e))
+            .collect();
+        if tree.is_empty() {
+            return Ok(());
+        }
+        // Split the tours along the deleted tree edges, capturing
+        // each piece's membership before the replacement join renames
+        // tours.
+        let pieces = self.etf.batch_split(&tree, ctx);
+        let piece_members: Vec<BTreeSet<VertexId>> = pieces
+            .iter()
+            .map(|&p| self.etf.tour_members(p).clone())
+            .collect();
+        // Replacement-edge search (Borůvka over the pieces).
+        let replacements = self.find_replacements(&pieces, ctx)?;
+        self.etf.batch_join(&replacements, ctx);
+        // Recompute component ids for everything touched: group the
+        // pieces by their final tour and take each group's minimum
+        // member id.
+        let mut final_groups: BTreeMap<TourId, BTreeSet<VertexId>> = BTreeMap::new();
+        for members in piece_members {
+            let rep = *members.iter().next().expect("pieces are nonempty");
+            final_groups
+                .entry(self.etf.tour_of(rep))
+                .or_default()
+                .extend(members);
+        }
+        let mut relabel_count = 0u64;
+        for (_, members) in final_groups {
+            let new_c = *members.iter().min().expect("nonempty");
+            for &v in &members {
+                self.comp[v as usize] = new_c;
+            }
+            relabel_count += 1;
+        }
+        ctx.sort(2 * relabel_count);
+        ctx.broadcast(2);
+        Ok(())
+    }
+
+    /// Borůvka over the split pieces using one fresh sketch copy per
+    /// level (Section 6.3, "Constructing F_H").
+    fn find_replacements(
+        &mut self,
+        pieces: &[TourId],
+        ctx: &mut MpcContext,
+    ) -> Result<Vec<Edge>, ConnectivityError> {
+        let piece_index: HashMap<TourId, u32> = pieces
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, i as u32))
+            .collect();
+        let members: Vec<BTreeSet<VertexId>> = pieces
+            .iter()
+            .map(|&t| self.etf.tour_members(t).clone())
+            .collect();
+        let member_total: u64 = members.iter().map(|m| m.len() as u64).sum();
+        let sketch_words = self.bank.words_per_vertex() / self.bank.copies().max(1) as u64;
+        let mut uf = UnionFind::new(pieces.len());
+        let mut replacements: Vec<Edge> = Vec::new();
+        let mut exhausted: Vec<bool> = vec![false; pieces.len()];
+        // One converge-cast merges every piece's sketches (all `t`
+        // copies) in parallel, and the merged sketches — `O(k·log³n)`
+        // words — are collected at the coordinator, which then runs
+        // the whole Borůvka cascade *locally* (paper Lemma 6.5: at
+        // the paper's parameterization, `k ≤ n^φ/log³n`, everything
+        // fits in one machine, so the cascade costs no extra rounds).
+        // The t copies merge along parallel aggregation trees (the
+        // paper's regime has s >> log^3 n, so one machine holds many
+        // sketches; the depth is governed by a single copy's size).
+        ctx.converge_cast(member_total.max(1), sketch_words);
+        ctx.exchange(pieces.len() as u64 * sketch_words * self.bank.copies() as u64);
+        for level in 0..self.bank.copies() {
+            // Group pieces by their current supernode.
+            let mut groups: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+            for i in 0..pieces.len() as u32 {
+                groups.entry(uf.find(i)).or_default().push(i);
+            }
+            if groups.len() <= 1 {
+                break;
+            }
+            let mut progress = false;
+            let mut unions: Vec<Edge> = Vec::new();
+            for (root, group) in &groups {
+                if exhausted[*root as usize] {
+                    continue;
+                }
+                // Supernode sketch = Σ member-piece sketches at this
+                // level.
+                let mut acc = None;
+                for &pi in group {
+                    if let Some(s) = self.bank.merged_copy(
+                        &members[pi as usize].iter().copied().collect::<Vec<_>>(),
+                        level,
+                    ) {
+                        match &mut acc {
+                            None => acc = Some(s),
+                            Some(a) => a.merge(&s),
+                        }
+                    }
+                }
+                match acc.map(|s| s.sample()) {
+                    None | Some(EdgeSample::Empty) => {
+                        // No outgoing edge: this supernode is a
+                        // complete component.
+                        exhausted[*root as usize] = true;
+                    }
+                    Some(EdgeSample::Fail) => {
+                        // Retry at the next level with fresh
+                        // randomness.
+                    }
+                    Some(EdgeSample::Edge(e)) => {
+                        unions.push(e);
+                    }
+                }
+            }
+            for e in unions {
+                let ta = self.etf.tour_of(e.u());
+                let tb = self.etf.tour_of(e.v());
+                let (Some(&ia), Some(&ib)) = (piece_index.get(&ta), piece_index.get(&tb)) else {
+                    debug_assert!(false, "sampled edge {e} leaves the affected component");
+                    continue;
+                };
+                if uf.union(ia, ib) {
+                    // Exhaustion marks belong to supernodes; a merged
+                    // supernode must be re-probed.
+                    let r = uf.find(ia);
+                    exhausted[r as usize] = false;
+                    replacements.push(e);
+                    progress = true;
+                }
+            }
+            if !progress && groups.keys().all(|&r| exhausted[r as usize]) {
+                break;
+            }
+        }
+        // Distribute the replacement set once (the subsequent
+        // batch_join charges its own splice rounds).
+        ctx.sort(2 * replacements.len() as u64 + 1);
+        ctx.broadcast(2);
+        Ok(replacements)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_etf::tour::validate;
+    use mpc_graph::gen;
+    use mpc_graph::oracle;
+    use mpc_sim::MpcConfig;
+
+    fn ctx_for(n: usize) -> MpcContext {
+        MpcContext::new(MpcConfig::builder(n, 0.5).local_capacity(1 << 16).build())
+    }
+
+    fn check_against_oracle(conn: &Connectivity, live: &[Edge], n: usize) {
+        let labels = oracle::components(n, live.iter().copied());
+        assert_eq!(
+            conn.component_labels(),
+            &labels[..],
+            "component labels must match union-find oracle"
+        );
+        // Spanning forest sanity: forest over live edges, spans.
+        let forest = conn.spanning_forest();
+        let mut uf = UnionFind::new(n);
+        for e in &forest {
+            assert!(live.contains(e), "forest edge {e} not live");
+            assert!(uf.union(e.u(), e.v()), "forest has a cycle at {e}");
+        }
+        assert_eq!(
+            uf.component_count(),
+            oracle::component_count(n, live.iter().copied()),
+            "forest spans all components"
+        );
+        validate(conn.etf()).expect("tours valid");
+    }
+
+    #[test]
+    fn single_insertions_connect() {
+        let n = 16;
+        let mut ctx = ctx_for(n);
+        let mut conn = Connectivity::new(n, ConnectivityConfig::default(), 1);
+        let mut live = Vec::new();
+        for i in 0..n as u32 - 1 {
+            let e = Edge::new(i, i + 1);
+            conn.apply_update(Update::Insert(e), &mut ctx).unwrap();
+            live.push(e);
+            check_against_oracle(&conn, &live, n);
+        }
+        assert_eq!(conn.component_count(), 1);
+    }
+
+    #[test]
+    fn batch_insertions_random() {
+        let n = 64;
+        let stream = gen::random_insert_stream(n, 6, 12, 7);
+        let mut ctx = ctx_for(n);
+        let mut conn = Connectivity::new(n, ConnectivityConfig::default(), 2);
+        let snaps = stream.replay();
+        for (batch, snap) in stream.batches.iter().zip(&snaps) {
+            conn.apply_batch(batch, &mut ctx).unwrap();
+            let live: Vec<Edge> = snap.edges().collect();
+            check_against_oracle(&conn, &live, n);
+        }
+    }
+
+    #[test]
+    fn nontree_deletion_is_trivial() {
+        let n = 8;
+        let mut ctx = ctx_for(n);
+        let mut conn = Connectivity::new(n, ConnectivityConfig::default(), 3);
+        // Triangle: one edge is non-tree.
+        let tri = [Edge::new(0, 1), Edge::new(1, 2), Edge::new(0, 2)];
+        conn.apply_batch(&Batch::inserting(tri), &mut ctx).unwrap();
+        let forest = conn.spanning_forest();
+        let nontree = tri
+            .iter()
+            .copied()
+            .find(|e| !forest.contains(e))
+            .expect("triangle has a non-tree edge");
+        conn.apply_update(Update::Delete(nontree), &mut ctx)
+            .unwrap();
+        assert!(conn.connected(0, 2));
+        assert_eq!(conn.component_count(), n - 2);
+    }
+
+    #[test]
+    fn tree_deletion_with_replacement() {
+        let n = 8;
+        let mut ctx = ctx_for(n);
+        let mut conn = Connectivity::new(n, ConnectivityConfig::default(), 4);
+        let tri = [Edge::new(0, 1), Edge::new(1, 2), Edge::new(0, 2)];
+        conn.apply_batch(&Batch::inserting(tri), &mut ctx).unwrap();
+        let forest = conn.spanning_forest();
+        let tree_edge = forest[0];
+        conn.apply_update(Update::Delete(tree_edge), &mut ctx)
+            .unwrap();
+        // Still connected via the replacement.
+        assert!(conn.connected(0, 1));
+        assert!(conn.connected(1, 2));
+        let live: Vec<Edge> = tri.iter().copied().filter(|&e| e != tree_edge).collect();
+        check_against_oracle(&conn, &live, n);
+    }
+
+    #[test]
+    fn tree_deletion_without_replacement_splits() {
+        let n = 8;
+        let mut ctx = ctx_for(n);
+        let mut conn = Connectivity::new(n, ConnectivityConfig::default(), 5);
+        let path = [Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 3)];
+        conn.apply_batch(&Batch::inserting(path), &mut ctx).unwrap();
+        conn.apply_update(Update::Delete(Edge::new(1, 2)), &mut ctx)
+            .unwrap();
+        assert!(conn.connected(0, 1));
+        assert!(conn.connected(2, 3));
+        assert!(!conn.connected(1, 2));
+        assert_eq!(conn.component_of(2), 2);
+        let live = [Edge::new(0, 1), Edge::new(2, 3)];
+        check_against_oracle(&conn, &live, n);
+    }
+
+    #[test]
+    fn mixed_random_stream_matches_oracle() {
+        let n = 48;
+        let stream = gen::random_mixed_stream(n, 10, 8, 0.65, 99);
+        let snaps = stream.replay();
+        let mut ctx = ctx_for(n);
+        let mut conn = Connectivity::new(n, ConnectivityConfig::default(), 6);
+        for (bi, (batch, snap)) in stream.batches.iter().zip(&snaps).enumerate() {
+            conn.apply_batch(batch, &mut ctx)
+                .unwrap_or_else(|e| panic!("batch {bi}: {e}"));
+            let live: Vec<Edge> = snap.edges().collect();
+            check_against_oracle(&conn, &live, n);
+        }
+    }
+
+    #[test]
+    fn merge_split_churn_matches_oracle() {
+        let stream = gen::merge_split_stream(4, 4, 3, 24, 11);
+        let n = stream.n;
+        let snaps = stream.replay();
+        let mut ctx = ctx_for(n);
+        let mut conn = Connectivity::new(n, ConnectivityConfig::default(), 7);
+        for (batch, snap) in stream.batches.iter().zip(&snaps) {
+            conn.apply_batch(batch, &mut ctx).unwrap();
+            let live: Vec<Edge> = snap.edges().collect();
+            check_against_oracle(&conn, &live, n);
+        }
+    }
+
+    #[test]
+    fn cancelling_updates_are_noop() {
+        let n = 8;
+        let mut ctx = ctx_for(n);
+        let mut conn = Connectivity::new(n, ConnectivityConfig::default(), 8);
+        let e = Edge::new(0, 1);
+        conn.apply_batch(
+            &Batch::from_updates(vec![Update::Insert(e), Update::Delete(e)]),
+            &mut ctx,
+        )
+        .unwrap();
+        assert!(!conn.connected(0, 1));
+        assert_eq!(conn.live_edge_count(), 0);
+        // Delete-then-reinsert inside one batch is also a net no-op.
+        conn.apply_update(Update::Insert(e), &mut ctx).unwrap();
+        conn.apply_batch(
+            &Batch::from_updates(vec![Update::Delete(e), Update::Insert(e)]),
+            &mut ctx,
+        )
+        .unwrap();
+        assert!(conn.connected(0, 1));
+        assert_eq!(conn.live_edge_count(), 1);
+    }
+
+    #[test]
+    fn rounds_per_batch_are_bounded() {
+        let n = 256;
+        let stream = gen::random_mixed_stream(n, 8, 16, 0.6, 5);
+        let mut ctx = ctx_for(n);
+        let mut conn = Connectivity::new(n, ConnectivityConfig::default(), 9);
+        let budget = (conn.bank.copies() as u64 + 8) * ctx.config().round_budget_per_primitive();
+        for (bi, batch) in stream.batches.iter().enumerate() {
+            ctx.begin_phase("batch");
+            conn.apply_batch(batch, &mut ctx).unwrap();
+            let r = ctx.end_phase();
+            assert!(
+                r.rounds <= budget,
+                "batch {bi} used {} rounds > {budget}",
+                r.rounds
+            );
+        }
+    }
+
+    #[test]
+    fn memory_is_tracked() {
+        let n = 64;
+        let mut ctx = ctx_for(n);
+        let mut conn = Connectivity::new(n, ConnectivityConfig::default(), 10);
+        conn.apply_batch(
+            &Batch::inserting((0..10u32).map(|i| Edge::new(i, i + 1))),
+            &mut ctx,
+        )
+        .unwrap();
+        assert!(ctx.stats().peak_total_words > 0);
+        assert!(conn.words() > 0);
+    }
+
+    #[test]
+    fn invalid_vertex_rejected() {
+        let n = 4;
+        let mut ctx = ctx_for(n);
+        let mut conn = Connectivity::new(n, ConnectivityConfig::default(), 11);
+        let err = conn
+            .apply_update(Update::Insert(Edge::new(0, 7)), &mut ctx)
+            .unwrap_err();
+        assert!(matches!(err, ConnectivityError::InvalidBatch(_)));
+    }
+
+    #[test]
+    fn adversarial_delete_reinsert_cycles_on_tree_edges() {
+        // Repeatedly delete exactly the current spanning forest's
+        // edges and re-insert them next batch — the worst case for
+        // sketch freshness (every batch exercises the replacement
+        // search and the tours churn completely).
+        let n = 24;
+        let mut ctx = ctx_for(n);
+        let mut conn = Connectivity::new(n, ConnectivityConfig::default(), 13);
+        // Ladder: replacements always exist.
+        let half = n as u32 / 2;
+        let mut edges: Vec<Edge> = Vec::new();
+        for i in 0..half - 1 {
+            edges.push(Edge::new(i, i + 1));
+            edges.push(Edge::new(half + i, half + i + 1));
+        }
+        for i in 0..half {
+            edges.push(Edge::new(i, half + i));
+        }
+        conn.apply_batch(&Batch::inserting(edges.clone()), &mut ctx)
+            .unwrap();
+        let mut live: BTreeSet<Edge> = edges.iter().copied().collect();
+        for round in 0..6 {
+            let forest = conn.spanning_forest();
+            let victims: Vec<Edge> = forest.into_iter().take(8).collect();
+            conn.apply_batch(&Batch::deleting(victims.iter().copied()), &mut ctx)
+                .unwrap();
+            for e in &victims {
+                live.remove(e);
+            }
+            let snapshot: Vec<Edge> = live.iter().copied().collect();
+            check_against_oracle(&conn, &snapshot, n);
+            conn.apply_batch(&Batch::inserting(victims.iter().copied()), &mut ctx)
+                .unwrap();
+            live.extend(victims);
+            let snapshot: Vec<Edge> = live.iter().copied().collect();
+            check_against_oracle(&conn, &snapshot, n);
+            let _ = round;
+        }
+    }
+
+    #[test]
+    fn charged_component_count_matches_free_one() {
+        let n = 16;
+        let mut ctx = ctx_for(n);
+        let mut conn = Connectivity::new(n, ConnectivityConfig::default(), 14);
+        conn.apply_batch(
+            &Batch::inserting([Edge::new(0, 1), Edge::new(3, 4)]),
+            &mut ctx,
+        )
+        .unwrap();
+        ctx.begin_phase("count");
+        let count = conn.query_component_count(&mut ctx);
+        let r = ctx.end_phase();
+        assert_eq!(count, conn.component_count());
+        assert!(r.rounds >= 1);
+    }
+
+    #[test]
+    fn from_graph_bootstrap_matches_oracle() {
+        let n = 64;
+        let stream = gen::random_insert_stream(n, 1, 120, 21);
+        let snap = stream.replay().pop().expect("nonempty");
+        let edges: Vec<Edge> = snap.edges().collect();
+        let mut ctx = ctx_for(n);
+        ctx.begin_phase("bootstrap");
+        let mut conn = Connectivity::from_graph(
+            n,
+            ConnectivityConfig::default(),
+            31,
+            edges.iter().copied(),
+            &mut ctx,
+        )
+        .expect("bootstrap");
+        let boot = ctx.end_phase();
+        assert!(boot.rounds >= 1, "bootstrap costs rounds");
+        check_against_oracle(&conn, &edges, n);
+        assert_eq!(conn.live_edge_count(), edges.len());
+        // The structure is fully dynamic afterwards.
+        let forest = conn.spanning_forest();
+        conn.apply_update(Update::Delete(forest[0]), &mut ctx)
+            .expect("dynamic after bootstrap");
+        let live: Vec<Edge> = edges.into_iter().filter(|&e| e != forest[0]).collect();
+        check_against_oracle(&conn, &live, n);
+    }
+
+    #[test]
+    fn query_output_placement_charges_a_sort() {
+        let n = 16;
+        let mut ctx = ctx_for(n);
+        let mut conn = Connectivity::new(n, ConnectivityConfig::default(), 2);
+        conn.apply_batch(
+            &Batch::inserting((0..8u32).map(|i| Edge::new(i, i + 1))),
+            &mut ctx,
+        )
+        .unwrap();
+        ctx.begin_phase("query");
+        let forest = conn.query_spanning_forest(&mut ctx);
+        let r = ctx.end_phase();
+        assert_eq!(forest.len(), 8);
+        assert!(r.rounds >= 1 && r.rounds <= ctx.config().round_budget_per_primitive() + 3);
+    }
+
+    #[test]
+    fn duplicate_tree_insert_rejected() {
+        let n = 4;
+        let mut ctx = ctx_for(n);
+        let mut conn = Connectivity::new(n, ConnectivityConfig::default(), 12);
+        let e = Edge::new(0, 1);
+        conn.apply_update(Update::Insert(e), &mut ctx).unwrap();
+        let err = conn.apply_update(Update::Insert(e), &mut ctx).unwrap_err();
+        assert!(matches!(err, ConnectivityError::InvalidBatch(_)));
+    }
+}

@@ -1,0 +1,671 @@
+//! Batch join and split of Euler tours (paper Sections 6.2–6.3).
+//!
+//! `batch_join` splices up to `k` trees together along `k` new edges
+//! in a constant number of rounds; `batch_split` removes `k` tree
+//! edges at once. Both follow the paper's protocol shape:
+//!
+//! 1. the coordinator gathers `O(k)` words (tour ids, lengths,
+//!    terminal `f`-values / traversal positions),
+//! 2. it computes an `O(k)`-word *plan* — per-tour offsets and shift
+//!    breakpoints derived from the auxiliary tree/sequence of
+//!    Definition 6.2 (join) or the laminar interval family of the
+//!    deleted edges (split),
+//! 3. the plan is broadcast and every machine remaps the tour
+//!    positions of its own edge shard locally.
+//!
+//! The per-entry arithmetic (`new = offset + old + shift(old)` with
+//! `O(k)` breakpoints) is the closed form of the paper's four-case
+//! shift-index / update-index procedure.
+
+use crate::dist::{DistEtf, EdgeRec, Traversal};
+use crate::TourId;
+use mpc_graph::ids::{Edge, VertexId};
+use mpc_graph::oracle::UnionFind;
+use mpc_sim::MpcContext;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Per-tour remapping plan broadcast to all machines during a batch
+/// join: entry `x` of the tour maps to
+/// `offset + x + Σ{weight_i : breakpoint_i < x}`.
+#[derive(Debug, Clone, Default)]
+struct NodePlan {
+    new_tour: TourId,
+    offset: u64,
+    /// `(c, cumulative_weight_after)` sorted by `c`: the shift for
+    /// position `x` is the cumulative weight of the last breakpoint
+    /// strictly below `x`.
+    breakpoints: Vec<(u64, u64)>,
+}
+
+impl NodePlan {
+    fn shift(&self, x: u64) -> u64 {
+        // Largest breakpoint with c < x.
+        match self.breakpoints.partition_point(|&(c, _)| c < x) {
+            0 => 0,
+            i => self.breakpoints[i - 1].1,
+        }
+    }
+
+    fn map(&self, x: u64) -> u64 {
+        self.offset + x + self.shift(x)
+    }
+}
+
+impl DistEtf {
+    /// Splices trees together along `edges` in `O(1)` rounds
+    /// (Lemma 6.4). The edges must form a forest over the current
+    /// tours: every edge connects two distinct tours and no subset
+    /// closes a cycle — the connectivity layer guarantees this by
+    /// first computing a spanning forest `F_H` of the auxiliary graph
+    /// (Claim 6.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge connects vertices of the same tour or if the
+    /// auxiliary graph contains a cycle or duplicate edge.
+    pub fn batch_join(&mut self, edges: &[Edge], ctx: &mut MpcContext) {
+        if edges.is_empty() {
+            return;
+        }
+        let k = edges.len() as u64;
+        // Round cost: gather edge endpoints + tour ids; multicast the
+        // rotation and splice plans (O(k) records, delivered to the
+        // machines holding each tour's shard by a constant-round
+        // sort-based multicast [GSZ'11]); re-gather terminal
+        // f-values; broadcast O(1) control words.
+        ctx.gather(4 * k).expect("batch fits one machine");
+        ctx.sort(4 * k);
+        ctx.exchange(2 * k);
+        ctx.sort(8 * k);
+        ctx.broadcast(4);
+        self.batch_join_uncharged(edges);
+    }
+
+    pub(crate) fn batch_join_uncharged(&mut self, edges: &[Edge]) {
+        // --- validate forest structure over tours -----------------
+        let mut tour_index: HashMap<TourId, usize> = HashMap::new();
+        for &e in edges {
+            for v in [e.u(), e.v()] {
+                let t = self.tour_of(v);
+                let next = tour_index.len();
+                tour_index.entry(t).or_insert(next);
+            }
+        }
+        let mut uf = UnionFind::new(tour_index.len());
+        for &e in edges {
+            let a = tour_index[&self.tour_of(e.u())] as u32;
+            let b = tour_index[&self.tour_of(e.v())] as u32;
+            assert!(
+                a != b && uf.union(a, b),
+                "batch_join edges must form a forest over tours (edge {e})"
+            );
+        }
+        // --- group edges into auxiliary components ----------------
+        let mut comp_edges: BTreeMap<u32, Vec<Edge>> = BTreeMap::new();
+        for &e in edges {
+            let root = uf.find(tour_index[&self.tour_of(e.u())] as u32);
+            comp_edges.entry(root).or_default().push(e);
+        }
+        for (_, comp) in comp_edges {
+            self.join_component(&comp);
+        }
+    }
+
+    /// Joins one auxiliary-tree component.
+    fn join_component(&mut self, comp: &[Edge]) {
+        // Auxiliary adjacency: tour -> (edge, local endpoint, remote
+        // endpoint, remote tour).
+        let mut aux: BTreeMap<TourId, Vec<(Edge, VertexId, VertexId, TourId)>> = BTreeMap::new();
+        for &e in comp {
+            let (tu, tv) = (self.tour_of(e.u()), self.tour_of(e.v()));
+            aux.entry(tu).or_default().push((e, e.u(), e.v(), tv));
+            aux.entry(tv).or_default().push((e, e.v(), e.u(), tu));
+        }
+        let root: TourId = *aux.keys().next().expect("nonempty component");
+        // BFS: assign parents; child nodes must be rooted at their
+        // attach terminal before f-values are read.
+        let mut order: Vec<TourId> = vec![root];
+        let mut parent_edge: BTreeMap<TourId, (VertexId, VertexId)> = BTreeMap::new(); // child -> (u in parent, v in child)
+        let mut visited: BTreeSet<TourId> = BTreeSet::from([root]);
+        let mut frontier = vec![root];
+        while let Some(a) = frontier.pop() {
+            for &(_, local, remote, remote_tour) in &aux[&a] {
+                if visited.insert(remote_tour) {
+                    parent_edge.insert(remote_tour, (local, remote));
+                    order.push(remote_tour);
+                    frontier.push(remote_tour);
+                }
+            }
+        }
+        // Rotate every non-root node to start at its attach terminal
+        // (the paper's per-node Rooting step; one broadcast covers all
+        // rotations, charged by the caller).
+        for t in &order[1..] {
+            let (_, v_child) = parent_edge[t];
+            self.reroot_uncharged(v_child);
+        }
+        // Children of each node, sorted by even-ized attach position.
+        #[derive(Debug)]
+        struct Child {
+            c: u64,
+            child: TourId,
+            u: VertexId,
+            v: VertexId,
+        }
+        let mut children: BTreeMap<TourId, Vec<Child>> = BTreeMap::new();
+        for &t in &order {
+            children.entry(t).or_default();
+        }
+        for (&child, &(u, v)) in &parent_edge {
+            let parent = self.tour_of(u);
+            let (f_u, _) = self.f_l(u);
+            let c = if f_u % 2 == 1 { f_u - 1 } else { f_u };
+            children
+                .get_mut(&parent)
+                .expect("parent visited")
+                .push(Child { c, child, u, v });
+        }
+        for kids in children.values_mut() {
+            kids.sort_by_key(|ch| (ch.c, ch.child));
+        }
+        // Post-order totals.
+        let mut total: BTreeMap<TourId, u64> = BTreeMap::new();
+        for &t in order.iter().rev() {
+            let own = self.tour_len(t);
+            let kids_total: u64 = children[&t].iter().map(|ch| total[&ch.child] + 4).sum();
+            total.insert(t, own + kids_total);
+        }
+        // Pre-order offsets, breakpoints, and new edge records.
+        let new_tour = self.fresh_id();
+        let mut plans: HashMap<TourId, NodePlan> = HashMap::new();
+        plans.insert(
+            root,
+            NodePlan {
+                new_tour,
+                offset: 0,
+                breakpoints: Vec::new(),
+            },
+        );
+        let mut new_recs: Vec<(Edge, EdgeRec)> = Vec::new();
+        for &t in &order {
+            let offset = plans[&t].offset;
+            let mut running = 0u64;
+            let mut breakpoints = Vec::new();
+            for ch in &children[&t] {
+                let block_start = offset + ch.c + running;
+                let w = total[&ch.child];
+                new_recs.push((
+                    Edge::new(ch.u, ch.v),
+                    EdgeRec {
+                        tour: new_tour,
+                        first: Traversal {
+                            pos: block_start + 1,
+                            from: ch.u,
+                        },
+                        second: Traversal {
+                            pos: block_start + w + 3,
+                            from: ch.v,
+                        },
+                    },
+                ));
+                plans.insert(
+                    ch.child,
+                    NodePlan {
+                        new_tour,
+                        offset: block_start + 2,
+                        breakpoints: Vec::new(),
+                    },
+                );
+                running += w + 4;
+                breakpoints.push((ch.c, running));
+            }
+            plans.get_mut(&t).expect("inserted above").breakpoints = breakpoints;
+        }
+        // Local application: every machine remaps its edge shard.
+        for rec in self.edges_mut().values_mut() {
+            if let Some(plan) = plans.get(&rec.tour) {
+                rec.first.pos = plan.map(rec.first.pos);
+                rec.second.pos = plan.map(rec.second.pos);
+                rec.tour = plan.new_tour;
+            }
+        }
+        for (e, rec) in new_recs {
+            self.insert_edge_rec(e, rec);
+        }
+        // Merge membership and length bookkeeping.
+        let mut all_members = BTreeSet::new();
+        for &t in &order {
+            all_members.extend(self.remove_tour_bookkeeping(t));
+        }
+        for &w in &all_members {
+            self.set_vertex_tour(w, new_tour);
+        }
+        let len = total[&root];
+        self.install_tour(new_tour, len, all_members);
+    }
+
+    /// Removes `edges` (all forest edges) in `O(1)` rounds, splitting
+    /// their tours along the laminar family of subtree intervals
+    /// (Section 6.3). Returns the ids of all resulting tours
+    /// (including fresh singleton tours).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any edge is not a forest edge.
+    pub fn batch_split(&mut self, edges: &[Edge], ctx: &mut MpcContext) -> Vec<TourId> {
+        if edges.is_empty() {
+            return Vec::new();
+        }
+        let k = edges.len() as u64;
+        ctx.gather(4 * k).expect("batch fits one machine");
+        ctx.sort(8 * k);
+        ctx.broadcast(4);
+        self.batch_split_uncharged(edges)
+    }
+
+    pub(crate) fn batch_split_uncharged(&mut self, edges: &[Edge]) -> Vec<TourId> {
+        // Group the deleted edges by tour and capture their intervals.
+        let mut by_tour: BTreeMap<TourId, Vec<(u64, u64)>> = BTreeMap::new();
+        for &e in edges {
+            let rec = *self
+                .edge_rec(e)
+                .unwrap_or_else(|| panic!("batch_split of non-tree edge {e}"));
+            by_tour
+                .entry(rec.tour)
+                .or_default()
+                .push((rec.first.pos, rec.second.pos));
+            self.remove_edge_rec(e);
+        }
+        let mut result_tours = Vec::new();
+        for (t, mut intervals) in by_tour {
+            intervals.sort_unstable();
+            result_tours.extend(self.split_tour(t, &intervals));
+        }
+        result_tours
+    }
+
+    /// Splits one tour along a sorted laminar family of deleted-edge
+    /// intervals `(p_i, q_i)` (block `[p_i, q_i+1]` removed).
+    fn split_tour(&mut self, t: TourId, intervals: &[(u64, u64)]) -> Vec<TourId> {
+        const ROOT: usize = usize::MAX;
+        let n_int = intervals.len();
+        // Laminar nesting via a stack sweep.
+        let mut parent = vec![ROOT; n_int];
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n_int + 1]; // last = root region
+        let child_slot = |r: usize| if r == ROOT { n_int } else { r };
+        let mut stack: Vec<usize> = Vec::new();
+        for (i, &(p, _q)) in intervals.iter().enumerate() {
+            while let Some(&top) = stack.last() {
+                if intervals[top].1 + 1 < p {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            parent[i] = stack.last().copied().unwrap_or(ROOT);
+            children[child_slot(parent[i])].push(i);
+            stack.push(i);
+        }
+        // Per-region cumulative removed-words tables: direct children
+        // sorted by start; entry `(end_of_block, cumulative_size)`.
+        let block_size = |i: usize| intervals[i].1 - intervals[i].0 + 2;
+        let region_table: Vec<Vec<(u64, u64)>> = (0..=n_int)
+            .map(|r| {
+                let mut cum = 0;
+                children[r]
+                    .iter()
+                    .map(|&c| {
+                        cum += block_size(c);
+                        (intervals[c].1 + 1, cum)
+                    })
+                    .collect()
+            })
+            .collect();
+        let removed_before = |r: usize, x: u64| -> u64 {
+            let table = &region_table[child_slot(r)];
+            match table.partition_point(|&(end, _)| end < x) {
+                0 => 0,
+                i => table[i - 1].1,
+            }
+        };
+        let base_sub = |r: usize| -> u64 {
+            if r == ROOT {
+                0
+            } else {
+                intervals[r].0 + 1
+            }
+        };
+        // Innermost deleted interval strictly containing position x.
+        let locate = |x: u64| -> usize {
+            let mut cand = match intervals.partition_point(|&(p, _)| p < x) {
+                0 => return ROOT,
+                i => i - 1,
+            };
+            loop {
+                let (p, q) = intervals[cand];
+                if p < x && x < q {
+                    return cand;
+                }
+                if parent[cand] == ROOT {
+                    return ROOT;
+                }
+                cand = parent[cand];
+            }
+        };
+        // Fresh tour ids per nonroot region.
+        let region_ids: Vec<TourId> = (0..n_int).map(|_| self.fresh_id()).collect();
+        let tour_of_region = |r: usize| -> TourId {
+            if r == ROOT {
+                t
+            } else {
+                region_ids[r]
+            }
+        };
+        // Membership before remapping.
+        let old_members = self.remove_tour_bookkeeping(t);
+        let old_len = {
+            // `remove_tour_bookkeeping` already dropped the length;
+            // recompute from the region sizes below instead.
+            0u64
+        };
+        let _ = old_len;
+        let mut region_members: BTreeMap<TourId, BTreeSet<VertexId>> = BTreeMap::new();
+        let mut singleton_ids = Vec::new();
+        for &w in &old_members {
+            match self.occurrences(w).first() {
+                None => {
+                    let id = self.fresh_id();
+                    self.set_vertex_tour(w, id);
+                    self.install_tour(id, 0, BTreeSet::from([w]));
+                    singleton_ids.push(id);
+                }
+                Some(&fw) => {
+                    let r = locate(fw);
+                    let id = tour_of_region(r);
+                    self.set_vertex_tour(w, id);
+                    region_members.entry(id).or_default().insert(w);
+                }
+            }
+        }
+        // Remap surviving edges of this tour.
+        for rec in self.edges_mut().values_mut() {
+            if rec.tour != t {
+                continue;
+            }
+            let r = locate(rec.first.pos);
+            rec.tour = tour_of_region(r);
+            for trav in [&mut rec.first, &mut rec.second] {
+                trav.pos = trav.pos - base_sub(r) - removed_before(r, trav.pos);
+            }
+        }
+        // Region lengths.
+        let direct_removed =
+            |r: usize| -> u64 { children[child_slot(r)].iter().map(|&c| block_size(c)).sum() };
+        let mut result = singleton_ids;
+        for r in (0..n_int).map(Some).chain([None]) {
+            let (region, raw_len) = match r {
+                Some(i) => {
+                    let (p, q) = intervals[i];
+                    (i, q - p - 2)
+                }
+                None => {
+                    // Root region keeps whatever was not removed; its
+                    // raw length is derived from the member edges, but
+                    // it is easier to reconstruct as max position,
+                    // which equals raw region length after remap. Use
+                    // edge count × 4 (validated by the tour checker).
+                    (ROOT, 0)
+                }
+            };
+            let id = tour_of_region(region);
+            let members = region_members.remove(&id).unwrap_or_default();
+            if members.is_empty() {
+                continue;
+            }
+            let len = match r {
+                Some(_) => raw_len - direct_removed(region),
+                None => {
+                    4 * self
+                        .edges_mut()
+                        .values()
+                        .filter(|rec| rec.tour == id)
+                        .count() as u64
+                }
+            };
+            self.install_tour(id, len, members.clone());
+            for &w in &members {
+                self.set_vertex_tour(w, id);
+            }
+            result.push(id);
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tour::validate;
+    use mpc_sim::MpcConfig;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::{Rng, SeedableRng};
+
+    fn ctx() -> MpcContext {
+        // Capacity sized so the test batches (up to 32 edges) pass the
+        // gather gate; the gate itself is covered by mpc-sim tests.
+        MpcContext::new(MpcConfig::builder(256, 0.5).local_capacity(4096).build())
+    }
+
+    #[test]
+    fn batch_join_two_singletons() {
+        let mut c = ctx();
+        let mut etf = DistEtf::new(4);
+        etf.batch_join(&[Edge::new(0, 1)], &mut c);
+        validate(&etf).expect("valid");
+        assert_eq!(etf.tour_of(0), etf.tour_of(1));
+        assert_eq!(etf.tour_len(etf.tour_of(0)), 4);
+    }
+
+    #[test]
+    fn batch_join_chain_of_singletons() {
+        let mut c = ctx();
+        let mut etf = DistEtf::new(8);
+        let edges: Vec<Edge> = (0..7u32).map(|i| Edge::new(i, i + 1)).collect();
+        etf.batch_join(&edges, &mut c);
+        validate(&etf).expect("valid");
+        assert_eq!(etf.tour_len(etf.tour_of(0)), 28);
+    }
+
+    #[test]
+    fn batch_join_star_of_singletons() {
+        let mut c = ctx();
+        let mut etf = DistEtf::new(9);
+        let edges: Vec<Edge> = (1..9u32).map(|i| Edge::new(0, i)).collect();
+        etf.batch_join(&edges, &mut c);
+        validate(&etf).expect("valid");
+        assert_eq!(etf.occurrences(0).len(), 16);
+    }
+
+    #[test]
+    fn batch_join_existing_trees() {
+        let mut c = ctx();
+        let mut etf = DistEtf::new(12);
+        // Three paths of 4 vertices each.
+        for base in [0u32, 4, 8] {
+            for i in 0..3 {
+                etf.join(Edge::new(base + i, base + i + 1), &mut c);
+            }
+        }
+        // Join them at interior vertices in one batch.
+        etf.batch_join(&[Edge::new(1, 6), Edge::new(5, 10)], &mut c);
+        validate(&etf).expect("valid");
+        assert_eq!(etf.tour_of(0), etf.tour_of(11));
+        assert_eq!(etf.tour_len(etf.tour_of(0)), 4 * 11);
+    }
+
+    #[test]
+    fn batch_join_multiple_children_same_terminal() {
+        let mut c = ctx();
+        let mut etf = DistEtf::new(10);
+        for i in 0..2u32 {
+            etf.join(Edge::new(i, i + 1), &mut c);
+        }
+        // Three separate trees all attach to vertex 1.
+        etf.batch_join(&[Edge::new(1, 5), Edge::new(1, 6), Edge::new(1, 7)], &mut c);
+        validate(&etf).expect("valid");
+        assert_eq!(etf.tour_members(etf.tour_of(1)).len(), 6);
+    }
+
+    #[test]
+    fn batch_join_deep_auxiliary_tree() {
+        let mut c = ctx();
+        let mut etf = DistEtf::new(16);
+        // Four paths; chain them through a deep auxiliary tree.
+        for base in [0u32, 4, 8, 12] {
+            for i in 0..3 {
+                etf.join(Edge::new(base + i, base + i + 1), &mut c);
+            }
+        }
+        etf.batch_join(
+            &[Edge::new(2, 4), Edge::new(6, 9), Edge::new(11, 13)],
+            &mut c,
+        );
+        validate(&etf).expect("valid");
+        assert_eq!(etf.tour_len(etf.tour_of(0)), 4 * 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "forest over tours")]
+    fn batch_join_cycle_panics() {
+        let mut c = ctx();
+        let mut etf = DistEtf::new(4);
+        etf.batch_join(&[Edge::new(0, 1), Edge::new(1, 2), Edge::new(0, 2)], &mut c);
+    }
+
+    #[test]
+    fn batch_split_middle_edges() {
+        let mut c = ctx();
+        let mut etf = DistEtf::new(12);
+        for i in 0..11u32 {
+            etf.join(Edge::new(i, i + 1), &mut c);
+        }
+        let out = etf.batch_split(&[Edge::new(3, 4), Edge::new(7, 8)], &mut c);
+        validate(&etf).expect("valid");
+        assert_eq!(out.len(), 3);
+        assert_eq!(etf.tour_of(0), etf.tour_of(3));
+        assert_eq!(etf.tour_of(4), etf.tour_of(7));
+        assert_eq!(etf.tour_of(8), etf.tour_of(11));
+        assert_ne!(etf.tour_of(3), etf.tour_of(4));
+        assert_ne!(etf.tour_of(7), etf.tour_of(8));
+    }
+
+    #[test]
+    fn batch_split_nested_subtrees() {
+        let mut c = ctx();
+        let mut etf = DistEtf::new(8);
+        // Caterpillar: path 0-1-2-3 with leaves 4,5 on 1 and 6,7 on 2.
+        for i in 0..3u32 {
+            etf.join(Edge::new(i, i + 1), &mut c);
+        }
+        etf.join(Edge::new(1, 4), &mut c);
+        etf.join(Edge::new(1, 5), &mut c);
+        etf.join(Edge::new(2, 6), &mut c);
+        etf.join(Edge::new(2, 7), &mut c);
+        // Delete a nested pair: the edge into 2's subtree and an edge
+        // inside it.
+        let out = etf.batch_split(&[Edge::new(1, 2), Edge::new(2, 6)], &mut c);
+        validate(&etf).expect("valid");
+        assert!(out.len() >= 3);
+        assert_eq!(etf.tour_of(0), etf.tour_of(5));
+        assert_eq!(etf.tour_of(2), etf.tour_of(3));
+        assert_eq!(etf.tour_of(2), etf.tour_of(7));
+        assert_ne!(etf.tour_of(1), etf.tour_of(2));
+        assert_ne!(etf.tour_of(6), etf.tour_of(2));
+        assert_eq!(etf.tour_len(etf.tour_of(6)), 0);
+    }
+
+    #[test]
+    fn batch_split_everything() {
+        let mut c = ctx();
+        let mut etf = DistEtf::new(5);
+        let edges: Vec<Edge> = (0..4u32).map(|i| Edge::new(i, i + 1)).collect();
+        etf.batch_join(&edges, &mut c);
+        let out = etf.batch_split(&edges, &mut c);
+        validate(&etf).expect("valid");
+        assert_eq!(out.len(), 5);
+        for v in 0..5u32 {
+            assert_eq!(etf.tour_len(etf.tour_of(v)), 0);
+        }
+    }
+
+    #[test]
+    fn randomized_batch_churn_stays_valid() {
+        let mut rng = StdRng::seed_from_u64(20240);
+        for trial in 0..20 {
+            let n = 24usize;
+            let mut c = ctx();
+            let mut etf = DistEtf::new(n);
+            let mut live: Vec<Edge> = Vec::new();
+            for step in 0..12 {
+                if rng.gen_bool(0.6) || live.is_empty() {
+                    // Batch join: random forest edges between distinct
+                    // tours (and distinct tour pairs within the batch).
+                    let mut batch = Vec::new();
+                    let mut uf_tours: HashMap<TourId, u32> = HashMap::new();
+                    let mut uf = UnionFind::new(n);
+                    let mut attempts = 0;
+                    while batch.len() < 4 && attempts < 200 {
+                        attempts += 1;
+                        let a = rng.gen_range(0..n as u32);
+                        let b = rng.gen_range(0..n as u32);
+                        if a == b {
+                            continue;
+                        }
+                        let (ta, tb) = (etf.tour_of(a), etf.tour_of(b));
+                        if ta == tb {
+                            continue;
+                        }
+                        let next = uf_tours.len() as u32;
+                        let ia = *uf_tours.entry(ta).or_insert(next);
+                        let next = uf_tours.len() as u32;
+                        let ib = *uf_tours.entry(tb).or_insert(next);
+                        if !uf.union(ia, ib) {
+                            continue;
+                        }
+                        batch.push(Edge::new(a, b));
+                    }
+                    if !batch.is_empty() {
+                        etf.batch_join(&batch, &mut c);
+                        live.extend(&batch);
+                    }
+                } else {
+                    // Batch split: random subset of live edges.
+                    live.shuffle(&mut rng);
+                    let take = rng.gen_range(1..=live.len().min(4));
+                    let batch: Vec<Edge> = live.drain(..take).collect();
+                    etf.batch_split(&batch, &mut c);
+                }
+                validate(&etf).unwrap_or_else(|v| {
+                    panic!("trial {trial} step {step}: {v}");
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn batch_ops_charge_constant_rounds() {
+        let mut c = ctx();
+        let mut etf = DistEtf::new(64);
+        let edges: Vec<Edge> = (0..32u32).map(|i| Edge::new(2 * i, 2 * i + 1)).collect();
+        c.begin_phase("batch-join");
+        etf.batch_join(&edges, &mut c);
+        let r = c.end_phase();
+        let budget = 5 * c.config().round_budget_per_primitive();
+        assert!(r.rounds <= budget, "join {} > {budget}", r.rounds);
+        c.begin_phase("batch-split");
+        etf.batch_split(&edges, &mut c);
+        let r = c.end_phase();
+        assert!(r.rounds <= budget, "split {} > {budget}", r.rounds);
+    }
+}

@@ -1,0 +1,783 @@
+//! The distributed Euler-tour forest and its single-edge operations.
+
+use mpc_graph::ids::{Edge, VertexId};
+use mpc_sim::MpcContext;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Identifier of one Euler tour (one tree of the forest). Tour ids
+/// `0..n` are the initial singleton tours; fresh ids are allocated
+/// monotonically after splits and joins.
+pub type TourId = u64;
+
+/// One of the two traversals of a tree edge inside its tour: the
+/// traversal occupies entries `pos` (the `from` endpoint) and
+/// `pos + 1` (the other endpoint). `pos` is always odd — traversals
+/// start on odd positions in a well-formed tour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Traversal {
+    /// Position (1-based) of the `from` endpoint's entry.
+    pub pos: u64,
+    /// The endpoint the traversal leaves from.
+    pub from: VertexId,
+}
+
+/// Per-edge tour bookkeeping: which tour the edge belongs to and the
+/// positions of its two traversals (`first.pos < second.pos`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeRec {
+    /// The tour (tree) this edge belongs to.
+    pub tour: TourId,
+    /// Earlier traversal.
+    pub first: Traversal,
+    /// Later traversal (opposite direction).
+    pub second: Traversal,
+}
+
+impl EdgeRec {
+    /// Entries `first.pos + 1 .. = second.pos` are exactly the
+    /// subtree below this edge (the side of its far endpoint). Used
+    /// by `identify_path` and the split operations.
+    pub fn subtree_interval(&self) -> (u64, u64) {
+        (self.first.pos + 1, self.second.pos)
+    }
+
+    fn shift(&mut self, delta: i64) {
+        self.first.pos = self.first.pos.checked_add_signed(delta).expect("underflow");
+        self.second.pos = self
+            .second
+            .pos
+            .checked_add_signed(delta)
+            .expect("underflow");
+    }
+
+    fn normalize(&mut self) {
+        if self.first.pos > self.second.pos {
+            std::mem::swap(&mut self.first, &mut self.second);
+        }
+    }
+}
+
+/// A forest of Euler tours in the paper's distributed representation.
+///
+/// State is *vertex- and edge-sharded*: each vertex carries only its
+/// tour id; each forest edge carries its four tour positions. All
+/// operations mutate this state through broadcast-size instructions,
+/// so in the MPC model every machine updates its own shard locally —
+/// the [`MpcContext`] parameter charges exactly those broadcasts and
+/// gathers.
+///
+/// # Examples
+///
+/// ```
+/// use mpc_etf::DistEtf;
+/// use mpc_graph::ids::Edge;
+/// use mpc_sim::{MpcConfig, MpcContext};
+///
+/// let mut ctx = MpcContext::new(MpcConfig::builder(8, 0.5).build());
+/// let mut etf = DistEtf::new(8);
+/// etf.join(Edge::new(0, 1), &mut ctx);
+/// etf.join(Edge::new(1, 2), &mut ctx);
+/// assert_eq!(etf.tour_of(0), etf.tour_of(2));
+/// let path = etf.identify_path(0, 2, &mut ctx);
+/// assert_eq!(path.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DistEtf {
+    n: usize,
+    vertex_tour: Vec<TourId>,
+    adj: Vec<BTreeSet<VertexId>>,
+    edges: BTreeMap<Edge, EdgeRec>,
+    tour_len: BTreeMap<TourId, u64>,
+    members: BTreeMap<TourId, BTreeSet<VertexId>>,
+    next_id: TourId,
+}
+
+impl DistEtf {
+    /// Creates the forest of `n` singleton tours.
+    pub fn new(n: usize) -> Self {
+        let mut tour_len = BTreeMap::new();
+        let mut members = BTreeMap::new();
+        for v in 0..n as u64 {
+            tour_len.insert(v, 0);
+            members.insert(v, BTreeSet::from([v as VertexId]));
+        }
+        DistEtf {
+            n,
+            vertex_tour: (0..n as u64).collect(),
+            adj: vec![BTreeSet::new(); n],
+            edges: BTreeMap::new(),
+            tour_len,
+            members,
+            next_id: n as TourId,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of forest edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The tour (tree) a vertex belongs to.
+    pub fn tour_of(&self, v: VertexId) -> TourId {
+        self.vertex_tour[v as usize]
+    }
+
+    /// Length of a tour (`4·(|T|-1)`; 0 for singletons).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown tour id.
+    pub fn tour_len(&self, t: TourId) -> u64 {
+        self.tour_len[&t]
+    }
+
+    /// The vertices of a tour.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown tour id.
+    pub fn tour_members(&self, t: TourId) -> &BTreeSet<VertexId> {
+        &self.members[&t]
+    }
+
+    /// All live tour ids.
+    pub fn tours(&self) -> impl Iterator<Item = TourId> + '_ {
+        self.tour_len.keys().copied()
+    }
+
+    /// Whether `e` is a forest (tree) edge.
+    pub fn contains_edge(&self, e: Edge) -> bool {
+        self.edges.contains_key(&e)
+    }
+
+    /// The record of a forest edge.
+    pub fn edge_rec(&self, e: Edge) -> Option<&EdgeRec> {
+        self.edges.get(&e)
+    }
+
+    /// Iterates over the forest edges.
+    pub fn forest_edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.edges.keys().copied()
+    }
+
+    /// The tree neighbors of `v`.
+    pub fn neighbors(&self, v: VertexId) -> &BTreeSet<VertexId> {
+        &self.adj[v as usize]
+    }
+
+    /// Memory footprint in words: one word per vertex (tour id) plus
+    /// six words per forest edge (tour id, two traversals of
+    /// (pos, from), normalized endpoints are implicit in placement).
+    pub fn words(&self) -> u64 {
+        self.n as u64 + 6 * self.edges.len() as u64
+    }
+
+    pub(crate) fn fresh_id(&mut self) -> TourId {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    // ----- crate-private state surgery for the batch operations ----
+
+    pub(crate) fn edges_mut(&mut self) -> &mut BTreeMap<Edge, EdgeRec> {
+        &mut self.edges
+    }
+
+    pub(crate) fn insert_edge_rec(&mut self, e: Edge, rec: EdgeRec) {
+        self.adj[e.u() as usize].insert(e.v());
+        self.adj[e.v() as usize].insert(e.u());
+        let prev = self.edges.insert(e, rec);
+        debug_assert!(prev.is_none(), "edge {e} inserted twice");
+    }
+
+    pub(crate) fn remove_edge_rec(&mut self, e: Edge) {
+        self.adj[e.u() as usize].remove(&e.v());
+        self.adj[e.v() as usize].remove(&e.u());
+        self.edges.remove(&e);
+    }
+
+    /// Drops a tour's membership and length records, returning its
+    /// former members. The caller must re-home every member.
+    pub(crate) fn remove_tour_bookkeeping(&mut self, t: TourId) -> BTreeSet<VertexId> {
+        self.tour_len.remove(&t);
+        self.members.remove(&t).unwrap_or_default()
+    }
+
+    pub(crate) fn set_vertex_tour(&mut self, v: VertexId, t: TourId) {
+        self.vertex_tour[v as usize] = t;
+    }
+
+    pub(crate) fn install_tour(&mut self, t: TourId, len: u64, members: BTreeSet<VertexId>) {
+        self.tour_len.insert(t, len);
+        self.members.insert(t, members);
+    }
+
+    // ----- occurrence bookkeeping ---------------------------------
+
+    /// All positions at which `v` occurs in its tour (2·deg entries).
+    pub fn occurrences(&self, v: VertexId) -> Vec<u64> {
+        let mut out = Vec::with_capacity(2 * self.adj[v as usize].len());
+        for &w in &self.adj[v as usize] {
+            let rec = self.edges[&Edge::new(v, w)];
+            for t in [rec.first, rec.second] {
+                if t.from == v {
+                    out.push(t.pos);
+                } else {
+                    out.push(t.pos + 1);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// First and last occurrence `(f(v), ℓ(v))`; `(0, 0)` for a
+    /// singleton.
+    pub fn f_l(&self, v: VertexId) -> (u64, u64) {
+        let occ = self.occurrences(v);
+        match (occ.first(), occ.last()) {
+            (Some(&f), Some(&l)) => (f, l),
+            _ => (0, 0),
+        }
+    }
+
+    // ----- rooting -------------------------------------------------
+
+    /// The rotation cut position for rerooting at `v`: the start of
+    /// the first traversal leaving `v`. `f(v)` is odd exactly when
+    /// `v` is already the root (then this is 1 and the rotation is the
+    /// identity); otherwise `f(v)` is `v`'s arrival entry and
+    /// `f(v) + 1` begins the next traversal, which leaves from `v`.
+    fn cut_position(&self, v: VertexId) -> u64 {
+        let (f, _) = self.f_l(v);
+        if f % 2 == 1 {
+            f
+        } else {
+            f + 1
+        }
+    }
+
+    pub(crate) fn reroot_uncharged(&mut self, v: VertexId) {
+        let t = self.tour_of(v);
+        let len = self.tour_len[&t];
+        if len == 0 {
+            return;
+        }
+        let cut = self.cut_position(v);
+        if cut == 1 {
+            return;
+        }
+        for rec in self.edges.values_mut().filter(|r| r.tour == t) {
+            for trav in [&mut rec.first, &mut rec.second] {
+                trav.pos = (trav.pos + len - cut) % len + 1;
+            }
+            rec.normalize();
+        }
+    }
+
+    /// Rotates the tour containing `v` so it starts (and ends) at
+    /// `v`. `O(1)` rounds: gather `f(v)`, broadcast the rotation
+    /// `(tour, L, cut)`, apply locally.
+    pub fn reroot(&mut self, v: VertexId, ctx: &mut MpcContext) {
+        ctx.exchange(2); // fetch f(v) from v's shard
+        ctx.broadcast(3); // (tour id, L, cut)
+        self.reroot_uncharged(v);
+    }
+
+    // ----- single-edge join / split -------------------------------
+
+    pub(crate) fn join_uncharged(&mut self, e: Edge) {
+        let (u, v) = e.endpoints();
+        let (tu, tv) = (self.tour_of(u), self.tour_of(v));
+        assert_ne!(tu, tv, "join would create a cycle: {e}");
+        assert!(
+            !self.edges.contains_key(&e),
+            "edge {e} already in the forest"
+        );
+        // Root the v-side tour at v, then splice it after u's arrival.
+        self.reroot_uncharged(v);
+        let len_v = self.tour_len[&tv];
+        let (f_u, _) = self.f_l(u);
+        let c = if f_u % 2 == 1 { f_u - 1 } else { f_u };
+        // Shift u-side entries after the splice point.
+        for rec in self.edges.values_mut().filter(|r| r.tour == tu) {
+            for trav in [&mut rec.first, &mut rec.second] {
+                if trav.pos > c {
+                    trav.pos += len_v + 4;
+                }
+            }
+        }
+        // Move v-side entries into the splice window.
+        for rec in self.edges.values_mut().filter(|r| r.tour == tv) {
+            rec.tour = tu;
+            rec.shift((c + 2) as i64);
+        }
+        // Insert the new edge's two traversals.
+        self.edges.insert(
+            e,
+            EdgeRec {
+                tour: tu,
+                first: Traversal {
+                    pos: c + 1,
+                    from: u,
+                },
+                second: Traversal {
+                    pos: c + len_v + 3,
+                    from: v,
+                },
+            },
+        );
+        self.adj[u as usize].insert(v);
+        self.adj[v as usize].insert(u);
+        // Merge membership and length.
+        let moved = self.members.remove(&tv).expect("tour exists");
+        for &w in &moved {
+            self.vertex_tour[w as usize] = tu;
+        }
+        self.members
+            .get_mut(&tu)
+            .expect("tour exists")
+            .extend(moved);
+        self.tour_len.remove(&tv);
+        *self.tour_len.get_mut(&tu).expect("tour exists") += len_v + 4;
+    }
+
+    /// Links `e`, merging two tours (paper Lemma 5.1 "Join"). `O(1)`
+    /// rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the endpoints are already connected or the edge is
+    /// already present.
+    pub fn join(&mut self, e: Edge, ctx: &mut MpcContext) {
+        ctx.exchange(4); // fetch f/ℓ of both endpoints
+        ctx.broadcast(6); // rotation + splice instruction
+        self.join_uncharged(e);
+    }
+
+    pub(crate) fn split_uncharged(&mut self, e: Edge) -> (TourId, TourId) {
+        let rec = self.edges.remove(&e).expect("split of non-tree edge");
+        let t = rec.tour;
+        let (u, v) = e.endpoints();
+        self.adj[u as usize].remove(&v);
+        self.adj[v as usize].remove(&u);
+        let p = rec.first.pos;
+        let q = rec.second.pos;
+        let len = self.tour_len[&t];
+        let child_id = self.fresh_id();
+        let child_len = q - p - 2;
+        // Partition membership by occurrence before remapping.
+        let old_members = self.members.remove(&t).expect("tour exists");
+        let mut root_side = BTreeSet::new();
+        let mut child_side = BTreeSet::new();
+        let mut singletons = Vec::new();
+        for &w in &old_members {
+            let occ = self.occurrences(w);
+            match occ.first() {
+                None => singletons.push(w),
+                Some(&fw) if fw > p && fw < q => {
+                    child_side.insert(w);
+                }
+                Some(_) => {
+                    root_side.insert(w);
+                }
+            }
+        }
+        // Remap edge positions.
+        for r in self.edges.values_mut().filter(|r| r.tour == t) {
+            let inside = r.first.pos > p && r.first.pos < q;
+            if inside {
+                r.tour = child_id;
+                r.shift(-((p + 1) as i64));
+            } else {
+                for trav in [&mut r.first, &mut r.second] {
+                    if trav.pos > q + 1 {
+                        trav.pos -= q - p + 2;
+                    }
+                }
+            }
+        }
+        // Install the new tours. Singletons get fresh tours of length 0.
+        for w in singletons {
+            let id = self.fresh_id();
+            self.vertex_tour[w as usize] = id;
+            self.tour_len.insert(id, 0);
+            self.members.insert(id, BTreeSet::from([w]));
+        }
+        let root_len = len - child_len - 4;
+        for &w in &child_side {
+            self.vertex_tour[w as usize] = child_id;
+        }
+        if !child_side.is_empty() {
+            self.tour_len.insert(child_id, child_len);
+            self.members.insert(child_id, child_side);
+        }
+        for &w in &root_side {
+            self.vertex_tour[w as usize] = t;
+        }
+        if root_side.is_empty() {
+            self.tour_len.remove(&t);
+        } else {
+            self.tour_len.insert(t, root_len);
+            self.members.insert(t, root_side);
+        }
+        (t, child_id)
+    }
+
+    /// Cuts tree edge `e`, splitting one tour into two (paper
+    /// Lemma 5.1 "Split"). Returns the two resulting tour ids (root
+    /// side, detached side) — for endpoints that become singletons
+    /// the returned id is superseded by their fresh singleton tour,
+    /// query [`DistEtf::tour_of`] for the authoritative id. `O(1)`
+    /// rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is not a forest edge.
+    pub fn split(&mut self, e: Edge, ctx: &mut MpcContext) -> (TourId, TourId) {
+        ctx.exchange(4); // fetch the edge's traversal positions
+        ctx.broadcast(6); // interval + new tour ids
+        self.split_uncharged(e)
+    }
+
+    // ----- path identification (Lemma 7.2) -------------------------
+
+    /// Reports all tree edges on the unique path between `u` and `v`,
+    /// which must share a tour. Each edge decides membership locally:
+    /// the edge's subtree interval contains exactly one of `u`, `v`
+    /// iff the path crosses it. `O(1)` rounds: broadcast
+    /// `f/ℓ` of `u` and `v`; every machine tests its own edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` and `v` are in different tours.
+    pub fn identify_path(&self, u: VertexId, v: VertexId, ctx: &mut MpcContext) -> Vec<Edge> {
+        assert_eq!(
+            self.tour_of(u),
+            self.tour_of(v),
+            "identify_path endpoints must be connected"
+        );
+        ctx.exchange(4);
+        ctx.broadcast(4); // f(u), ℓ(u), f(v), ℓ(v)
+        self.identify_path_local(u, v)
+    }
+
+    /// Round-free variant of [`DistEtf::identify_path`] for callers
+    /// that batch many path queries under a single broadcast charge
+    /// (the exact-MSF Case-2 step, Section 7.1.2).
+    pub fn identify_path_local(&self, u: VertexId, v: VertexId) -> Vec<Edge> {
+        if u == v {
+            return Vec::new();
+        }
+        let t = self.tour_of(u);
+        let (fu, lu) = self.f_l(u);
+        let (fv, lv) = self.f_l(v);
+        let in_subtree = |p: u64, q: u64, f: u64, l: u64| f > p && l <= q;
+        self.edges
+            .iter()
+            .filter(|(_, r)| r.tour == t)
+            .filter(|(_, r)| {
+                let (lo, hi) = r.subtree_interval();
+                // subtree entries are lo..=hi; interval delimiters are
+                // (first.pos, second.pos] = (lo-1, hi].
+                in_subtree(lo - 1, hi, fu, lu) != in_subtree(lo - 1, hi, fv, lv)
+            })
+            .map(|(&e, _)| e)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tour::validate;
+    use mpc_sim::MpcConfig;
+
+    fn ctx() -> MpcContext {
+        MpcContext::new(MpcConfig::builder(64, 0.5).build())
+    }
+
+    #[test]
+    fn new_forest_is_singletons() {
+        let etf = DistEtf::new(4);
+        assert_eq!(etf.edge_count(), 0);
+        for v in 0..4 {
+            assert_eq!(etf.tour_of(v), v as u64);
+            assert_eq!(etf.tour_len(v as u64), 0);
+            assert_eq!(etf.f_l(v), (0, 0));
+        }
+        validate(&etf).expect("valid");
+    }
+
+    #[test]
+    fn join_two_singletons() {
+        let mut c = ctx();
+        let mut etf = DistEtf::new(4);
+        etf.join(Edge::new(0, 1), &mut c);
+        assert_eq!(etf.tour_of(0), etf.tour_of(1));
+        assert_eq!(etf.tour_len(etf.tour_of(0)), 4);
+        let rec = etf.edge_rec(Edge::new(0, 1)).expect("present");
+        assert_eq!(rec.first.pos, 1);
+        assert_eq!(rec.second.pos, 3);
+        validate(&etf).expect("valid");
+    }
+
+    #[test]
+    fn join_builds_path_and_star() {
+        let mut c = ctx();
+        // Path.
+        let mut etf = DistEtf::new(8);
+        for i in 0..7u32 {
+            etf.join(Edge::new(i, i + 1), &mut c);
+            validate(&etf).expect("valid after path join");
+        }
+        assert_eq!(etf.tour_len(etf.tour_of(0)), 4 * 7);
+        // Star.
+        let mut etf = DistEtf::new(8);
+        for i in 1..8u32 {
+            etf.join(Edge::new(0, i), &mut c);
+            validate(&etf).expect("valid after star join");
+        }
+        assert_eq!(etf.occurrences(0).len(), 14);
+    }
+
+    #[test]
+    fn join_two_paths_at_interior_vertices() {
+        let mut c = ctx();
+        let mut etf = DistEtf::new(8);
+        for i in 0..3u32 {
+            etf.join(Edge::new(i, i + 1), &mut c);
+        }
+        for i in 4..7u32 {
+            etf.join(Edge::new(i, i + 1), &mut c);
+        }
+        // Join interior vertex 1 to interior vertex 5.
+        etf.join(Edge::new(1, 5), &mut c);
+        validate(&etf).expect("valid");
+        assert_eq!(etf.tour_of(0), etf.tour_of(7));
+        assert_eq!(etf.tour_len(etf.tour_of(0)), 4 * 7);
+    }
+
+    #[test]
+    fn reroot_keeps_tour_valid() {
+        let mut c = ctx();
+        let mut etf = DistEtf::new(6);
+        for i in 0..5u32 {
+            etf.join(Edge::new(i, i + 1), &mut c);
+        }
+        for v in 0..6u32 {
+            etf.reroot(v, &mut c);
+            validate(&etf).expect("valid after reroot");
+            let (f, _) = etf.f_l(v);
+            assert_eq!(f, 1, "tour must start at the new root {v}");
+        }
+    }
+
+    #[test]
+    fn split_leaf_makes_singleton() {
+        let mut c = ctx();
+        let mut etf = DistEtf::new(4);
+        etf.join(Edge::new(0, 1), &mut c);
+        etf.join(Edge::new(1, 2), &mut c);
+        etf.split(Edge::new(1, 2), &mut c);
+        validate(&etf).expect("valid");
+        assert_ne!(etf.tour_of(2), etf.tour_of(1));
+        assert_eq!(etf.tour_len(etf.tour_of(2)), 0);
+        assert_eq!(etf.tour_len(etf.tour_of(0)), 4);
+    }
+
+    #[test]
+    fn split_middle_of_path() {
+        let mut c = ctx();
+        let mut etf = DistEtf::new(8);
+        for i in 0..7u32 {
+            etf.join(Edge::new(i, i + 1), &mut c);
+        }
+        etf.split(Edge::new(3, 4), &mut c);
+        validate(&etf).expect("valid");
+        assert_eq!(etf.tour_of(0), etf.tour_of(3));
+        assert_eq!(etf.tour_of(4), etf.tour_of(7));
+        assert_ne!(etf.tour_of(3), etf.tour_of(4));
+        assert_eq!(etf.tour_len(etf.tour_of(0)), 12);
+        assert_eq!(etf.tour_len(etf.tour_of(4)), 12);
+    }
+
+    #[test]
+    fn split_then_rejoin_roundtrip() {
+        let mut c = ctx();
+        let mut etf = DistEtf::new(10);
+        for i in 0..9u32 {
+            etf.join(Edge::new(i, i + 1), &mut c);
+        }
+        for mid in [2u32, 5, 7] {
+            etf.split(Edge::new(mid, mid + 1), &mut c);
+            validate(&etf).expect("valid after split");
+            etf.join(Edge::new(mid, mid + 1), &mut c);
+            validate(&etf).expect("valid after rejoin");
+        }
+        assert_eq!(etf.tour_len(etf.tour_of(0)), 36);
+    }
+
+    #[test]
+    fn identify_path_on_path_graph() {
+        let mut c = ctx();
+        let mut etf = DistEtf::new(8);
+        for i in 0..7u32 {
+            etf.join(Edge::new(i, i + 1), &mut c);
+        }
+        let mut path = etf.identify_path(2, 6, &mut c);
+        path.sort();
+        assert_eq!(
+            path,
+            vec![
+                Edge::new(2, 3),
+                Edge::new(3, 4),
+                Edge::new(4, 5),
+                Edge::new(5, 6)
+            ]
+        );
+        assert!(etf.identify_path(3, 3, &mut c).is_empty());
+    }
+
+    #[test]
+    fn identify_path_through_branching() {
+        let mut c = ctx();
+        let mut etf = DistEtf::new(8);
+        // Star with center 0 plus a tail 1-5-6.
+        for i in 1..5u32 {
+            etf.join(Edge::new(0, i), &mut c);
+        }
+        etf.join(Edge::new(1, 5), &mut c);
+        etf.join(Edge::new(5, 6), &mut c);
+        let mut path = etf.identify_path(6, 3, &mut c);
+        path.sort();
+        assert_eq!(
+            path,
+            vec![
+                Edge::new(0, 1),
+                Edge::new(0, 3),
+                Edge::new(1, 5),
+                Edge::new(5, 6)
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "create a cycle")]
+    fn join_cycle_panics() {
+        let mut c = ctx();
+        let mut etf = DistEtf::new(3);
+        etf.join(Edge::new(0, 1), &mut c);
+        etf.join(Edge::new(1, 2), &mut c);
+        etf.join(Edge::new(0, 2), &mut c);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be connected")]
+    fn path_across_tours_panics() {
+        let mut c = ctx();
+        let etf = DistEtf::new(4);
+        let _ = etf.identify_path(0, 1, &mut c);
+    }
+
+    #[test]
+    fn words_track_edges() {
+        let mut c = ctx();
+        let mut etf = DistEtf::new(10);
+        let w0 = etf.words();
+        etf.join(Edge::new(0, 1), &mut c);
+        assert_eq!(etf.words(), w0 + 6);
+    }
+
+    #[test]
+    fn occurrences_count_is_twice_degree() {
+        let mut c = ctx();
+        let mut etf = DistEtf::new(8);
+        etf.join(Edge::new(0, 1), &mut c);
+        etf.join(Edge::new(1, 2), &mut c);
+        etf.join(Edge::new(1, 3), &mut c);
+        // Degree 3 vertex occurs 6 times; leaves occur twice.
+        assert_eq!(etf.occurrences(1).len(), 6);
+        assert_eq!(etf.occurrences(0).len(), 2);
+        assert_eq!(etf.occurrences(3).len(), 2);
+        // f/ℓ bracket every occurrence.
+        let occ = etf.occurrences(1);
+        let (f, l) = etf.f_l(1);
+        assert_eq!(f, occ[0]);
+        assert_eq!(l, *occ.last().unwrap());
+    }
+
+    #[test]
+    fn subtree_interval_brackets_descendants() {
+        let mut c = ctx();
+        let mut etf = DistEtf::new(8);
+        // 0 - 1 - 2 - 3 rooted wherever the ops left it; pick the
+        // edge {1,2} and check its far side's occurrences sit inside
+        // the subtree interval.
+        for i in 0..3u32 {
+            etf.join(Edge::new(i, i + 1), &mut c);
+        }
+        etf.reroot(0, &mut c);
+        let rec = *etf.edge_rec(Edge::new(1, 2)).unwrap();
+        let (lo, hi) = rec.subtree_interval();
+        for v in [2u32, 3] {
+            let (f, l) = etf.f_l(v);
+            assert!(f >= lo && l <= hi, "vertex {v} escapes subtree interval");
+        }
+        for v in [0u32, 1] {
+            let (f, l) = etf.f_l(v);
+            assert!(f < lo || l > hi, "vertex {v} must have occurrences outside");
+        }
+    }
+
+    #[test]
+    fn tour_members_and_lengths_consistent() {
+        let mut c = ctx();
+        let mut etf = DistEtf::new(10);
+        for i in 0..4u32 {
+            etf.join(Edge::new(i, i + 1), &mut c);
+        }
+        etf.join(Edge::new(6, 7), &mut c);
+        let big = etf.tour_of(0);
+        let small = etf.tour_of(6);
+        assert_eq!(etf.tour_members(big).len(), 5);
+        assert_eq!(etf.tour_members(small).len(), 2);
+        assert_eq!(etf.tour_len(big), 16);
+        assert_eq!(etf.tour_len(small), 4);
+        // Tours partition the vertex set.
+        let total: usize = etf.tours().map(|t| etf.tour_members(t).len()).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn reroot_singleton_is_noop() {
+        let mut c = ctx();
+        let mut etf = DistEtf::new(3);
+        etf.reroot(1, &mut c);
+        assert_eq!(etf.tour_len(etf.tour_of(1)), 0);
+        validate(&etf).expect("valid");
+    }
+
+    #[test]
+    fn ops_charge_constant_rounds() {
+        let mut c = ctx();
+        let mut etf = DistEtf::new(64);
+        let budget = 3 * c.config().round_budget_per_primitive();
+        for i in 0..10u32 {
+            c.begin_phase("join");
+            etf.join(Edge::new(i, i + 1), &mut c);
+            let r = c.end_phase();
+            assert!(r.rounds <= budget, "join rounds {} > {budget}", r.rounds);
+        }
+        c.begin_phase("split");
+        etf.split(Edge::new(5, 6), &mut c);
+        let r = c.end_phase();
+        assert!(r.rounds <= budget);
+    }
+}

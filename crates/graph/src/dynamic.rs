@@ -1,0 +1,311 @@
+//! A checked dynamic-graph harness.
+//!
+//! [`DynamicGraph`] tracks the live edge set of an evolving graph and
+//! *validates the model's assumptions* (paper Section 1.2): the graph
+//! stays simple (no duplicate insertions) and deletions only remove
+//! existing edges. The test suites and workload generators use it both
+//! as ground truth and as a sanity gate in front of the MPC
+//! algorithms.
+
+use crate::ids::{Edge, VertexId, WeightedEdge};
+use crate::update::{Batch, Update, WeightedBatch, WeightedUpdate};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Error returned when a batch violates the dynamic-graph model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphUpdateError {
+    /// Inserting an edge that is already live.
+    DuplicateInsert(Edge),
+    /// Deleting an edge that is not live.
+    MissingDelete(Edge),
+    /// An endpoint is out of `[0, n)`.
+    VertexOutOfRange(VertexId, usize),
+    /// A weighted delete whose weight does not match the live edge.
+    WeightMismatch(Edge, u64, u64),
+}
+
+impl std::fmt::Display for GraphUpdateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphUpdateError::DuplicateInsert(e) => {
+                write!(f, "insert of already-live edge {e}")
+            }
+            GraphUpdateError::MissingDelete(e) => {
+                write!(f, "delete of non-live edge {e}")
+            }
+            GraphUpdateError::VertexOutOfRange(v, n) => {
+                write!(f, "vertex {v} out of range for n={n}")
+            }
+            GraphUpdateError::WeightMismatch(e, live, got) => {
+                write!(f, "delete of {e} with weight {got}, live weight is {live}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphUpdateError {}
+
+/// The live edge set of an evolving simple graph on a fixed vertex
+/// set, with optional per-edge weights.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use mpc_graph::dynamic::DynamicGraph;
+/// use mpc_graph::ids::Edge;
+/// use mpc_graph::update::{Batch, Update};
+///
+/// let mut g = DynamicGraph::new(4);
+/// g.apply(&Batch::from_updates(vec![
+///     Update::Insert(Edge::new(0, 1)),
+///     Update::Insert(Edge::new(1, 2)),
+/// ]))?;
+/// assert_eq!(g.edge_count(), 2);
+/// assert!(g.contains(Edge::new(0, 1)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DynamicGraph {
+    n: usize,
+    edges: BTreeMap<Edge, u64>,
+}
+
+impl DynamicGraph {
+    /// Creates an empty graph on `n` vertices (the paper's starting
+    /// state).
+    pub fn new(n: usize) -> Self {
+        DynamicGraph {
+            n,
+            edges: BTreeMap::new(),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of live edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether `e` is live.
+    pub fn contains(&self, e: Edge) -> bool {
+        self.edges.contains_key(&e)
+    }
+
+    /// The weight of a live edge, if present (1 for unweighted
+    /// insertions).
+    pub fn weight(&self, e: Edge) -> Option<u64> {
+        self.edges.get(&e).copied()
+    }
+
+    /// Iterates over the live edges in normalized order.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.edges.keys().copied()
+    }
+
+    /// Iterates over the live weighted edges in normalized order.
+    pub fn weighted_edges(&self) -> impl Iterator<Item = WeightedEdge> + '_ {
+        self.edges
+            .iter()
+            .map(|(&edge, &weight)| WeightedEdge { edge, weight })
+    }
+
+    /// The live neighbor set of `v`.
+    pub fn neighbors(&self, v: VertexId) -> BTreeSet<VertexId> {
+        // A scan is fine: this type is a test oracle, not a hot path.
+        self.edges
+            .keys()
+            .filter(|e| e.touches(v))
+            .map(|e| e.other(v))
+            .collect()
+    }
+
+    fn check_vertex(&self, v: VertexId) -> Result<(), GraphUpdateError> {
+        if (v as usize) < self.n {
+            Ok(())
+        } else {
+            Err(GraphUpdateError::VertexOutOfRange(v, self.n))
+        }
+    }
+
+    /// Applies a single unweighted update (weight 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error (leaving the graph unchanged) on duplicate
+    /// inserts, missing deletes, or out-of-range vertices.
+    pub fn apply_update(&mut self, u: Update) -> Result<(), GraphUpdateError> {
+        let e = u.edge();
+        self.check_vertex(e.u())?;
+        self.check_vertex(e.v())?;
+        match u {
+            Update::Insert(e) => {
+                if self.edges.contains_key(&e) {
+                    return Err(GraphUpdateError::DuplicateInsert(e));
+                }
+                self.edges.insert(e, 1);
+            }
+            Update::Delete(e) => {
+                if self.edges.remove(&e).is_none() {
+                    return Err(GraphUpdateError::MissingDelete(e));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies a whole batch in arrival order.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first invalid update; earlier updates in the
+    /// batch stay applied (mirroring a streaming system that validates
+    /// per update).
+    pub fn apply(&mut self, batch: &Batch) -> Result<(), GraphUpdateError> {
+        for u in batch.iter() {
+            self.apply_update(u)?;
+        }
+        Ok(())
+    }
+
+    /// Applies a single weighted update.
+    ///
+    /// # Errors
+    ///
+    /// As [`DynamicGraph::apply_update`], plus a weight-mismatch check
+    /// on deletes.
+    pub fn apply_weighted_update(&mut self, u: WeightedUpdate) -> Result<(), GraphUpdateError> {
+        let we = u.weighted_edge();
+        self.check_vertex(we.edge.u())?;
+        self.check_vertex(we.edge.v())?;
+        match u {
+            WeightedUpdate::Insert(we) => {
+                if self.edges.contains_key(&we.edge) {
+                    return Err(GraphUpdateError::DuplicateInsert(we.edge));
+                }
+                self.edges.insert(we.edge, we.weight);
+            }
+            WeightedUpdate::Delete(we) => match self.edges.get(&we.edge) {
+                None => return Err(GraphUpdateError::MissingDelete(we.edge)),
+                Some(&live) if live != we.weight => {
+                    return Err(GraphUpdateError::WeightMismatch(we.edge, live, we.weight))
+                }
+                Some(_) => {
+                    self.edges.remove(&we.edge);
+                }
+            },
+        }
+        Ok(())
+    }
+
+    /// Applies a whole weighted batch in arrival order.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first invalid update.
+    pub fn apply_weighted(&mut self, batch: &WeightedBatch) -> Result<(), GraphUpdateError> {
+        for u in batch.iter() {
+            self.apply_weighted_update(u)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(a: u32, b: u32) -> Edge {
+        Edge::new(a, b)
+    }
+
+    #[test]
+    fn insert_then_delete() {
+        let mut g = DynamicGraph::new(3);
+        g.apply_update(Update::Insert(e(0, 1))).unwrap();
+        assert!(g.contains(e(0, 1)));
+        assert_eq!(g.weight(e(0, 1)), Some(1));
+        g.apply_update(Update::Delete(e(0, 1))).unwrap();
+        assert!(!g.contains(e(0, 1)));
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let mut g = DynamicGraph::new(3);
+        g.apply_update(Update::Insert(e(0, 1))).unwrap();
+        assert_eq!(
+            g.apply_update(Update::Insert(e(1, 0))),
+            Err(GraphUpdateError::DuplicateInsert(e(0, 1)))
+        );
+    }
+
+    #[test]
+    fn missing_delete_rejected() {
+        let mut g = DynamicGraph::new(3);
+        assert_eq!(
+            g.apply_update(Update::Delete(e(0, 1))),
+            Err(GraphUpdateError::MissingDelete(e(0, 1)))
+        );
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut g = DynamicGraph::new(3);
+        assert_eq!(
+            g.apply_update(Update::Insert(e(0, 3))),
+            Err(GraphUpdateError::VertexOutOfRange(3, 3))
+        );
+    }
+
+    #[test]
+    fn weighted_mismatch_rejected() {
+        let mut g = DynamicGraph::new(3);
+        g.apply_weighted_update(WeightedUpdate::Insert(WeightedEdge::new(0, 1, 5)))
+            .unwrap();
+        assert_eq!(
+            g.apply_weighted_update(WeightedUpdate::Delete(WeightedEdge::new(0, 1, 6))),
+            Err(GraphUpdateError::WeightMismatch(e(0, 1), 5, 6))
+        );
+        g.apply_weighted_update(WeightedUpdate::Delete(WeightedEdge::new(0, 1, 5)))
+            .unwrap();
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn neighbors_track_updates() {
+        let mut g = DynamicGraph::new(5);
+        for b in [1, 2, 3] {
+            g.apply_update(Update::Insert(e(0, b))).unwrap();
+        }
+        g.apply_update(Update::Delete(e(0, 2))).unwrap();
+        assert_eq!(g.neighbors(0), [1, 3].into_iter().collect());
+        assert_eq!(g.neighbors(4), BTreeSet::new());
+    }
+
+    #[test]
+    fn weighted_edges_iterate() {
+        let mut g = DynamicGraph::new(4);
+        g.apply_weighted(&WeightedBatch::inserting([
+            WeightedEdge::new(0, 1, 7),
+            WeightedEdge::new(2, 3, 9),
+        ]))
+        .unwrap();
+        let all: Vec<_> = g.weighted_edges().collect();
+        assert_eq!(
+            all,
+            vec![WeightedEdge::new(0, 1, 7), WeightedEdge::new(2, 3, 9)]
+        );
+    }
+
+    #[test]
+    fn errors_display() {
+        let err = GraphUpdateError::DuplicateInsert(e(0, 1));
+        assert!(format!("{err}").contains("already-live"));
+    }
+}

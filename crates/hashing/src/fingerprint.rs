@@ -1,0 +1,176 @@
+//! Linear polynomial fingerprints.
+//!
+//! A fingerprint of a vector `X` is `F(X) = Σ_i X_i · z^i` over
+//! `GF(2^61 - 1)` for a random evaluation point `z`. Two properties
+//! matter for the one-sparse recovery test inside every `ℓ0`-sampler
+//! level (paper Lemma 3.1):
+//!
+//! * **Linearity** — `F(X + Y) = F(X) + F(Y)`, so sketches merge by
+//!   field addition (paper Remark 3.2).
+//! * **Soundness** — a nonzero vector of support `≤ d` fingerprints to
+//!   zero with probability at most `d / (2^61 - 1)` over the choice of
+//!   `z` (Schwartz–Zippel).
+
+use crate::field::{M61, P};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A running fingerprint `Σ_i X_i · z^i` of an implicitly maintained
+/// integer vector `X`, updated coordinate-wise.
+///
+/// # Examples
+///
+/// ```
+/// use mpc_hashing::fingerprint::Fingerprint;
+///
+/// let mut a = Fingerprint::from_seed(9);
+/// let mut b = a.fresh(); // same evaluation point, zero accumulator
+/// a.update(3, 1);
+/// b.update(3, -1);
+/// a.merge(&b);
+/// assert!(a.is_zero()); // X + (-X) = 0
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fingerprint {
+    /// Random evaluation point shared by all mergeable instances.
+    z: M61,
+    /// Accumulated value `Σ X_i z^i`.
+    acc: M61,
+}
+
+impl Fingerprint {
+    /// Creates a fingerprint with a random evaluation point drawn from
+    /// `rng` and a zero accumulator.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // Avoid z = 0 which would ignore every coordinate but 0.
+        let z = M61::new(rng.gen_range(2..P));
+        Fingerprint { z, acc: M61::ZERO }
+    }
+
+    /// Creates a fingerprint deterministically from a seed.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Fingerprint::new(&mut rng)
+    }
+
+    /// Returns a zero-accumulator fingerprint sharing this one's
+    /// evaluation point. Only fingerprints with the same evaluation
+    /// point may be merged.
+    pub fn fresh(&self) -> Self {
+        Fingerprint {
+            z: self.z,
+            acc: M61::ZERO,
+        }
+    }
+
+    /// Applies `X[index] += delta`.
+    #[inline]
+    pub fn update(&mut self, index: u64, delta: i64) {
+        let term = self.z.pow(index) * M61::from_i64(delta);
+        self.acc += term;
+    }
+
+    /// Merges another fingerprint of the same family (vector
+    /// addition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two fingerprints use different evaluation points.
+    #[inline]
+    pub fn merge(&mut self, other: &Fingerprint) {
+        assert_eq!(
+            self.z, other.z,
+            "cannot merge fingerprints with different evaluation points"
+        );
+        self.acc += other.acc;
+    }
+
+    /// The accumulated field value.
+    #[inline]
+    pub fn value(&self) -> M61 {
+        self.acc
+    }
+
+    /// Whether the accumulator is zero (true for the zero vector;
+    /// false positives have probability `≤ support / (2^61-1)`).
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.acc.is_zero()
+    }
+
+    /// The fingerprint a one-sparse vector with value `weight` at
+    /// `index` would have. Comparing against [`Fingerprint::value`]
+    /// is the one-sparse recovery test.
+    #[inline]
+    pub fn expected_one_sparse(&self, index: u64, weight: i64) -> M61 {
+        self.z.pow(index) * M61::from_i64(weight)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_vector_is_zero() {
+        let f = Fingerprint::from_seed(1);
+        assert!(f.is_zero());
+    }
+
+    #[test]
+    fn update_then_cancel() {
+        let mut f = Fingerprint::from_seed(2);
+        f.update(10, 3);
+        assert!(!f.is_zero());
+        f.update(10, -3);
+        assert!(f.is_zero());
+    }
+
+    #[test]
+    fn linearity_under_merge() {
+        let base = Fingerprint::from_seed(3);
+        let mut direct = base.fresh();
+        let mut a = base.fresh();
+        let mut b = base.fresh();
+        for (i, d) in [(1u64, 2i64), (5, -1), (9, 4), (5, 1)] {
+            direct.update(i, d);
+        }
+        a.update(1, 2);
+        a.update(5, -1);
+        b.update(9, 4);
+        b.update(5, 1);
+        a.merge(&b);
+        assert_eq!(a.value(), direct.value());
+    }
+
+    #[test]
+    fn one_sparse_expectation_matches() {
+        let mut f = Fingerprint::from_seed(4);
+        f.update(42, -7);
+        assert_eq!(f.value(), f.expected_one_sparse(42, -7));
+        assert_ne!(f.value(), f.expected_one_sparse(42, 7));
+        assert_ne!(f.value(), f.expected_one_sparse(41, -7));
+    }
+
+    #[test]
+    fn two_sparse_rarely_looks_one_sparse() {
+        // Not a statistical test: just check a handful of seeds never
+        // collide (failure probability ~ 2^-60 each).
+        for seed in 0..32 {
+            let mut f = Fingerprint::from_seed(seed);
+            f.update(7, 1);
+            f.update(13, 1);
+            // A two-sparse vector with sum 2 and index-sum 20 would be
+            // mistaken for one-sparse value 2 at index 10.
+            assert_ne!(f.value(), f.expected_one_sparse(10, 2), "seed {seed}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different evaluation points")]
+    fn merging_unrelated_fingerprints_panics() {
+        let mut a = Fingerprint::from_seed(5);
+        let b = Fingerprint::from_seed(6);
+        a.merge(&b);
+    }
+}

@@ -1,0 +1,34 @@
+//! Hashing substrate for the `mpc-stream` workspace.
+//!
+//! Sketch-based streaming algorithms (the `ℓ0`-samplers of
+//! \[CJ19\] used throughout the paper, Lemma 3.1) need three primitives,
+//! all provided here:
+//!
+//! * [`field`] — arithmetic in the Mersenne-prime field
+//!   `GF(2^61 - 1)`, the standard modulus for streaming hash functions
+//!   because reduction is two adds and a shift.
+//! * [`kwise`] — *k*-wise independent polynomial hash families over
+//!   that field. Pairwise independence is what the `ℓ0`-sampler's
+//!   level assignment needs; the matching testers of Section 8 use
+//!   four-wise families.
+//! * [`fingerprint`] — linear polynomial fingerprints used by the
+//!   one-sparse recovery test inside each sampler level. Linearity is
+//!   what makes the sketches mergeable (Remark 3.2 of the paper).
+//!
+//! # Examples
+//!
+//! ```
+//! use mpc_hashing::kwise::KWiseHash;
+//!
+//! let h = KWiseHash::from_seed(2, 42); // a pairwise-independent function
+//! let x = h.eval(17);
+//! assert_eq!(x, h.eval(17)); // deterministic
+//! ```
+
+pub mod field;
+pub mod fingerprint;
+pub mod kwise;
+
+pub use field::M61;
+pub use fingerprint::Fingerprint;
+pub use kwise::KWiseHash;

@@ -1,0 +1,468 @@
+//! Sketch-based `k`-edge-connectivity certificate for dynamic
+//! (insert + delete) streams.
+//!
+//! State: `k` independent banks of AGM vertex sketches (`t = Θ(log
+//! n)` copies each), updated linearly in `O(1)` rounds per batch —
+//! exactly the paper's update path, multiplied by `k`. Total memory
+//! `Õ(k·n)` words.
+//!
+//! A certificate query **peels** (\[AGM12\] Section 3.2): layer `i`
+//! clones bank `i`, linearly *subtracts* the already-extracted
+//! forests `F_1 ∪ … ∪ F_{i-1}` (sketch linearity, the paper's Remark
+//! 3.2, makes this a plain sequence of `delete_edge` updates), and
+//! runs the Borůvka cascade to extract a maximal spanning forest of
+//! `G ∖ (F_1 ∪ … ∪ F_{i-1})`. The query costs `Θ(k·log n)` MPC rounds
+//! — the price of not maintaining the forests explicitly under
+//! deletions, and the concrete gap the paper's Section 9 poses as an
+//! open problem.
+
+use crate::certificate::Certificate;
+use mpc_graph::ids::Edge;
+use mpc_graph::oracle::UnionFind;
+use mpc_graph::update::Batch;
+use mpc_sim::MpcContext;
+use mpc_sketch::vertex::EdgeSample;
+use mpc_sketch::SketchBank;
+use std::collections::BTreeMap;
+
+/// Dynamic-stream `k`-edge-connectivity via sketch peeling.
+///
+/// # Examples
+///
+/// ```
+/// use mpc_kconn::{DynamicKConn, MinCut};
+/// use mpc_graph::ids::Edge;
+/// use mpc_graph::update::{Batch, Update};
+/// use mpc_sim::{MpcConfig, MpcContext};
+///
+/// let mut ctx = MpcContext::new(
+///     MpcConfig::builder(8, 0.5).local_capacity(1 << 14).build(),
+/// );
+/// let mut kc = DynamicKConn::new(8, 2, 7);
+/// // Build a cycle, then delete one edge: 2-edge-connected → bridge
+/// // everywhere.
+/// kc.apply_batch(
+///     &Batch::inserting((0..8).map(|i| Edge::new(i, (i + 1) % 8))),
+///     &mut ctx,
+/// );
+/// assert_eq!(kc.certificate(&mut ctx).min_cut(), MinCut::AtLeast(2));
+/// kc.apply_batch(&Batch::deleting([Edge::new(0, 7)]), &mut ctx);
+/// assert_eq!(kc.certificate(&mut ctx).min_cut(), MinCut::Exact(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DynamicKConn {
+    n: usize,
+    k: usize,
+    banks: Vec<SketchBank>,
+    last_query_rounds: u64,
+}
+
+impl DynamicKConn {
+    /// Creates the maintainer for an empty `n`-vertex graph with
+    /// resolution `k ≥ 1`, with `Θ(log n)` sketch copies per bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(n: usize, k: usize, seed: u64) -> Self {
+        let log_n = (usize::BITS - (n.max(2) - 1).leading_zeros()).max(1) as usize;
+        Self::with_copies(n, k, log_n + 6, seed)
+    }
+
+    /// Creates the maintainer with an explicit per-bank copy count
+    /// (for ablations; `copies` trades failure probability for
+    /// memory).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `copies == 0`.
+    pub fn with_copies(n: usize, k: usize, copies: usize, seed: u64) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        DynamicKConn {
+            n,
+            k,
+            banks: (0..k)
+                .map(|i| SketchBank::new(n, copies, seed.wrapping_add((i as u64) << 32)))
+                .collect(),
+            last_query_rounds: 0,
+        }
+    }
+
+    /// Bootstraps the sketch banks from an arbitrary pre-existing
+    /// simple graph (the paper's "pre-computation phase" remark,
+    /// Section 1.1): one routing round loads every edge into its
+    /// endpoints' shards, which ingest locally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge endpoint is `>= n`.
+    pub fn from_graph(
+        n: usize,
+        k: usize,
+        seed: u64,
+        edges: impl IntoIterator<Item = Edge>,
+        ctx: &mut MpcContext,
+    ) -> Self {
+        let mut kc = DynamicKConn::new(n, k, seed);
+        ctx.exchange(1);
+        for e in edges {
+            assert!((e.v() as usize) < n, "edge {e:?} outside [0, {n})");
+            for bank in &mut kc.banks {
+                bank.insert_edge(e);
+            }
+        }
+        kc
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// The certificate resolution.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Sketch copies per bank.
+    pub fn copies(&self) -> usize {
+        self.banks[0].copies()
+    }
+
+    /// Memory footprint in words (`Õ(k·n)`: all `k` sketch banks).
+    pub fn words(&self) -> u64 {
+        self.banks.iter().map(SketchBank::words).sum()
+    }
+
+    /// MPC rounds the most recent [`DynamicKConn::certificate`] call
+    /// consumed (`Θ(k·log n)`).
+    pub fn last_query_rounds(&self) -> u64 {
+        self.last_query_rounds
+    }
+
+    /// Updates all `k` banks — `O(1)` rounds per batch, identical to
+    /// the paper's sketch-update path. Deletions are the caller's
+    /// contract (only live edges), as everywhere in the model.
+    pub fn apply_batch(&mut self, batch: &Batch, ctx: &mut MpcContext) {
+        // One routing of the batch to the vertex shards; each shard
+        // updates its columns in all k banks locally.
+        ctx.exchange(2 * batch.len() as u64 + 1);
+        ctx.broadcast(2);
+        for u in batch.iter() {
+            for bank in &mut self.banks {
+                if u.is_insert() {
+                    bank.insert_edge(u.edge());
+                } else {
+                    bank.delete_edge(u.edge());
+                }
+            }
+        }
+    }
+
+    /// Extracts a `k`-edge-connectivity certificate of the current
+    /// graph by sketch peeling — `Θ(k·log n)` MPC rounds.
+    ///
+    /// Success is with high probability (each Borůvka level consumes
+    /// a fresh sketch copy); [`Certificate::validate`] can be used to
+    /// detect the rare failure.
+    pub fn certificate(&self, ctx: &mut MpcContext) -> Certificate {
+        let mut layers: Vec<Vec<Edge>> = Vec::with_capacity(self.k);
+        let mut peeled: Vec<Edge> = Vec::new();
+        for bank in &self.banks {
+            // Subtract the already-extracted forests: route the O(k·n)
+            // peeled edges to the shards, subtract locally.
+            let mut residual = bank.clone();
+            ctx.sort(2 * peeled.len() as u64 + 1);
+            for &e in &peeled {
+                residual.delete_edge(e);
+            }
+            let forest = boruvka_forest(&residual, self.n, ctx);
+            peeled.extend(forest.iter().copied());
+            layers.push(forest);
+        }
+        let mut cert = Certificate::from_layers(self.n, layers);
+        // In the rare event a sampler stalled early, re-sort the
+        // layer edges so the laminar maximality invariant holds (the
+        // cut guarantee only needs edge-disjoint maximal forests).
+        if cert.validate().is_err() {
+            cert = relaminate(self.n, self.k, cert);
+        }
+        cert
+    }
+
+    /// Like [`DynamicKConn::certificate`] but records the consumed
+    /// rounds in [`DynamicKConn::last_query_rounds`].
+    pub fn certificate_mut(&mut self, ctx: &mut MpcContext) -> Certificate {
+        let before = ctx.rounds();
+        let cert = self.certificate(ctx);
+        self.last_query_rounds = ctx.rounds() - before;
+        cert
+    }
+}
+
+/// Extracts a maximal spanning forest from a sketch bank with the
+/// Borůvka cascade: one sketch copy per level, one converge-cast +
+/// sort + broadcast per level.
+fn boruvka_forest(bank: &SketchBank, n: usize, ctx: &mut MpcContext) -> Vec<Edge> {
+    let mut uf = UnionFind::new(n);
+    let mut forest = Vec::new();
+    let sketch_words = bank.words_per_vertex() / bank.copies().max(1) as u64;
+    for level in 0..bank.copies() {
+        if uf.component_count() == 1 {
+            break;
+        }
+        ctx.converge_cast(n as u64, sketch_words);
+        // BTreeMap: deterministic iteration keeps the whole peel
+        // reproducible from the seeds (DESIGN.md determinism rule).
+        let mut groups: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        for v in 0..n as u32 {
+            groups.entry(uf.find(v)).or_default().push(v);
+        }
+        let mut found: Vec<Edge> = Vec::new();
+        let mut any_failed = false;
+        for (_, members) in groups {
+            match bank.merged_copy(&members, level) {
+                // Never-touched members have the zero sketch: an
+                // empty cut.
+                None => {}
+                Some(s) => match s.sample() {
+                    EdgeSample::Edge(e) => found.push(e),
+                    EdgeSample::Empty => {}
+                    EdgeSample::Fail => any_failed = true,
+                },
+            }
+        }
+        ctx.sort(2 * found.len() as u64 + 1);
+        ctx.broadcast(2);
+        let progressed = !found.is_empty();
+        for e in found {
+            if uf.union(e.u(), e.v()) {
+                forest.push(e);
+            }
+        }
+        // Terminate only on certainty: no component produced an edge
+        // and none *failed* — every remaining cut is provably empty.
+        // A Fail is a recoverable sampler failure: spend the next
+        // (independent) copy on it, as the paper's Section 6.3 copy
+        // budget intends.
+        if !progressed && !any_failed {
+            break;
+        }
+    }
+    forest
+}
+
+/// Repairs a certificate whose layers lost laminar maximality to a
+/// sampler stall: redistributes the same edge set through the
+/// insert-only cascade (coordinator-local; the certificate has
+/// `O(k·n)` edges).
+fn relaminate(n: usize, k: usize, cert: Certificate) -> Certificate {
+    let mut ufs: Vec<UnionFind> = (0..k).map(|_| UnionFind::new(n)).collect();
+    let mut layers: Vec<Vec<Edge>> = vec![Vec::new(); k];
+    for e in cert.edges() {
+        for i in 0..k {
+            if ufs[i].union(e.u(), e.v()) {
+                layers[i].push(e);
+                break;
+            }
+        }
+    }
+    Certificate::from_layers(n, layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_graph::cuts;
+    use mpc_sim::MpcConfig;
+
+    fn ctx() -> MpcContext {
+        MpcContext::new(MpcConfig::builder(64, 0.5).local_capacity(1 << 15).build())
+    }
+
+    fn e(a: u32, b: u32) -> Edge {
+        Edge::new(a, b)
+    }
+
+    #[test]
+    fn empty_graph_yields_empty_certificate() {
+        let mut c = ctx();
+        let kc = DynamicKConn::new(8, 2, 1);
+        let cert = kc.certificate(&mut c);
+        assert_eq!(cert.edge_count(), 0);
+        assert_eq!(cert.k(), 2);
+        assert_eq!(cert.is_k_edge_connected(1), Some(false));
+    }
+
+    #[test]
+    fn cycle_certificate_is_exact() {
+        let n = 12u32;
+        let mut c = ctx();
+        let mut kc = DynamicKConn::new(n as usize, 3, 21);
+        kc.apply_batch(
+            &Batch::inserting((0..n).map(|i| e(i, (i + 1) % n))),
+            &mut c,
+        );
+        let cert = kc.certificate(&mut c);
+        assert_eq!(cert.validate(), Ok(()));
+        assert_eq!(cert.min_cut(), crate::MinCut::Exact(2));
+    }
+
+    #[test]
+    fn deletion_is_reflected_in_the_next_query() {
+        let n = 10u32;
+        let mut c = ctx();
+        let mut kc = DynamicKConn::new(n as usize, 2, 5);
+        kc.apply_batch(
+            &Batch::inserting((0..n).map(|i| e(i, (i + 1) % n))),
+            &mut c,
+        );
+        assert_eq!(
+            kc.certificate(&mut c).is_k_edge_connected(2),
+            Some(true)
+        );
+        kc.apply_batch(&Batch::deleting([e(3, 4)]), &mut c);
+        let cert = kc.certificate(&mut c);
+        assert_eq!(cert.is_k_edge_connected(2), Some(false));
+        assert_eq!(cert.is_k_edge_connected(1), Some(true));
+        assert_eq!(cert.bridges(), Some(cuts::bridges(
+            n as usize,
+            &(0..n)
+                .map(|i| e(i, (i + 1) % n))
+                .filter(|ed| *ed != e(3, 4))
+                .collect::<Vec<_>>(),
+        )));
+    }
+
+    #[test]
+    fn peeled_certificate_matches_oracle_on_random_dynamic_streams() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(777);
+        for trial in 0..10 {
+            let n = rng.gen_range(6..14usize);
+            let k = rng.gen_range(1..4usize);
+            let mut c = ctx();
+            let mut kc = DynamicKConn::new(n, k, trial as u64 * 31 + 1);
+            let mut live: Vec<Edge> = Vec::new();
+            // Three phases: insert, mixed, delete.
+            for phase in 0..3 {
+                let mut batch = Batch::new();
+                for _ in 0..6 {
+                    let del = phase == 2 || (phase == 1 && rng.gen_bool(0.4));
+                    if del && !live.is_empty() {
+                        let i = rng.gen_range(0..live.len());
+                        let ed = live.swap_remove(i);
+                        batch.push(mpc_graph::update::Update::Delete(ed));
+                    } else {
+                        let a = rng.gen_range(0..n as u32);
+                        let b = rng.gen_range(0..n as u32);
+                        if a == b {
+                            continue;
+                        }
+                        let ed = e(a, b);
+                        if live.contains(&ed) {
+                            continue;
+                        }
+                        live.push(ed);
+                        batch.push(mpc_graph::update::Update::Insert(ed));
+                    }
+                }
+                kc.apply_batch(&batch, &mut c);
+                let cert = kc.certificate(&mut c);
+                let lambda_g = cuts::edge_connectivity(n, &live);
+                let lambda_c = cuts::edge_connectivity(n, &cert.edges());
+                assert_eq!(
+                    lambda_g.min(k as u64),
+                    lambda_c.min(k as u64),
+                    "trial {trial} phase {phase}: n={n} k={k}"
+                );
+                // Certificate edges must be live edges.
+                for ce in cert.edges() {
+                    assert!(live.contains(&ce), "trial {trial}: ghost edge {ce:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn query_rounds_grow_with_k() {
+        let n = 32u32;
+        let mut c = ctx();
+        let batch = Batch::inserting((0..n - 1).map(|i| e(i, i + 1)));
+        let mut kc1 = DynamicKConn::new(n as usize, 1, 3);
+        kc1.apply_batch(&batch, &mut c);
+        let _ = kc1.certificate_mut(&mut c);
+        let r1 = kc1.last_query_rounds();
+        let mut kc3 = DynamicKConn::new(n as usize, 3, 3);
+        kc3.apply_batch(&batch, &mut c);
+        let _ = kc3.certificate_mut(&mut c);
+        let r3 = kc3.last_query_rounds();
+        assert!(r3 > r1, "k=3 query ({r3}) should cost more than k=1 ({r1})");
+        assert!(r1 > 0);
+    }
+
+    #[test]
+    fn words_scale_with_k() {
+        let mut c = ctx();
+        let batch = Batch::inserting([e(0, 1), e(1, 2)]);
+        let mut kc1 = DynamicKConn::new(64, 1, 3);
+        kc1.apply_batch(&batch, &mut c);
+        let mut kc4 = DynamicKConn::new(64, 4, 3);
+        kc4.apply_batch(&batch, &mut c);
+        assert_eq!(kc4.words(), 4 * kc1.words());
+        assert_eq!(kc4.copies(), kc1.copies());
+        assert_eq!(kc4.k(), 4);
+        assert_eq!(kc4.vertex_count(), 64);
+    }
+
+    #[test]
+    fn with_copies_controls_memory() {
+        let mut a = DynamicKConn::with_copies(32, 2, 2, 1);
+        let mut b = DynamicKConn::with_copies(32, 2, 8, 1);
+        let mut c = ctx();
+        let batch = Batch::inserting([e(0, 1)]);
+        a.apply_batch(&batch, &mut c);
+        b.apply_batch(&batch, &mut c);
+        assert!(b.words() > a.words());
+        assert_eq!(a.copies(), 2);
+    }
+
+    #[test]
+    fn from_graph_bootstrap_then_dynamic_updates() {
+        let n = 16u32;
+        let mut c = ctx();
+        let cycle: Vec<Edge> = (0..n).map(|i| e(i, (i + 1) % n)).collect();
+        let mut kc = DynamicKConn::from_graph(n as usize, 2, 8, cycle.iter().copied(), &mut c);
+        assert_eq!(
+            kc.certificate(&mut c).is_k_edge_connected(2),
+            Some(true)
+        );
+        // Continue dynamically from the bootstrapped state.
+        kc.apply_batch(&Batch::deleting([e(0, 1)]), &mut c);
+        assert_eq!(
+            kc.certificate(&mut c).is_k_edge_connected(2),
+            Some(false)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn from_graph_panics_on_out_of_range() {
+        let mut c = ctx();
+        let _ = DynamicKConn::from_graph(4, 1, 1, [e(0, 9)], &mut c);
+    }
+
+    #[test]
+    fn relaminate_restores_invariants() {
+        // A deliberately broken layering: F_2 crosses F_1 components.
+        let broken = Certificate::from_layers(
+            4,
+            vec![vec![e(0, 1)], vec![e(2, 3), e(1, 2)]],
+        );
+        assert!(broken.validate().is_err());
+        let fixed = relaminate(4, 2, broken);
+        assert_eq!(fixed.validate(), Ok(()));
+        assert_eq!(fixed.edge_count(), 3);
+    }
+}

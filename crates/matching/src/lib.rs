@@ -1,0 +1,31 @@
+//! Approximate maximum matching in the streaming MPC model
+//! (paper Section 8, Theorems 8.1, 8.2, 8.5, 8.6).
+//!
+//! Four components:
+//!
+//! * [`greedy::CappedGreedyMatching`] — the insertion-only
+//!   `O(α)`-approximate matcher of Theorem 8.1: a greedy matching
+//!   capped at `c·n/α` edges, processed batch-at-a-time.
+//! * [`no21::MaximalMatching`] — the batch-dynamic *maximal* matching
+//!   substrate standing in for Nowicki–Onak \[NO21\]
+//!   (Proposition 8.4). Same interface and cost envelope; free
+//!   vertices are re-matched by synchronized greedy proposal rounds.
+//!   This is a documented substitution — see DESIGN.md.
+//! * [`akly::AklyMatching`] — the dynamic-stream `O(α)`-approximate
+//!   matcher of Theorem 8.2 (\[AKLY16\]): random bipartition, `β`
+//!   vertex groups per side, `γ` random *active pairs* per group,
+//!   one `ℓ0`-sampler per active pair; the sampler outcomes form the
+//!   sparsifier `H`, on which the maximal-matching substrate runs.
+//! * [`tester::MatchingSizeEstimator`] — the `O(α)` matching-size
+//!   estimators of Theorems 8.5/8.6 (\[AKL'21\]-style `Tester`
+//!   subroutines at geometric guesses, with induced vertex sampling).
+
+pub mod akly;
+pub mod greedy;
+pub mod no21;
+pub mod tester;
+
+pub use akly::AklyMatching;
+pub use greedy::CappedGreedyMatching;
+pub use no21::MaximalMatching;
+pub use tester::{MatchingSizeEstimator, StreamKind};

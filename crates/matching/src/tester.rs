@@ -1,0 +1,402 @@
+//! Matching-size estimation (paper Theorems 8.5 and 8.6, after
+//! [AKL'21/AKL'17]).
+//!
+//! The meta-algorithm runs `O(log n)` instances of `Tester(G, k)` in
+//! parallel at geometric guesses `o_j = 2^j` of `OPT`. Each tester
+//! works on the subgraph induced by a `p_j`-sampled vertex set with
+//! `p_j = min(1, 2·√(k_j/o_j))` and a space budget of
+//! `k_j = Θ(o_j/α²)`: a matching of size `o_j` keeps `≈ p_j²·o_j =
+//! Θ(k_j)` edges in the induced subgraph, so the tester can afford to
+//! look for a `Θ(k_j)` matching only. The estimate is the largest
+//! passing guess; the quadratic sampling is what brings the space to
+//! `Õ(n/α²)` (insertion-only) and `Õ(n²/α⁴)` (dynamic).
+//!
+//! * Insertion-only tester: a greedy matching capped at `k_j`
+//!   (Theorem 8.5); passes iff it reaches `k_j/2`.
+//! * Dynamic tester: hash the sampled vertices into `Θ(k_j)` groups,
+//!   keep an `ℓ0`-sampler per group pair, recover the sparsifier `H`
+//!   from the sampler outcomes, and maintain a maximal matching of
+//!   `H` with the \[NO21\] substrate (Theorem 8.6); passes iff the
+//!   matching reaches `k_j/4` (one extra factor lost to group
+//!   collisions).
+
+use crate::greedy::CappedGreedyMatching;
+use crate::no21::MaximalMatching;
+use mpc_graph::ids::Edge;
+use mpc_graph::update::Batch;
+use mpc_hashing::field::P;
+use mpc_hashing::kwise::KWiseHash;
+use mpc_sim::MpcContext;
+use mpc_sketch::l0::{L0Sampler, SampleOutcome};
+use std::collections::{BTreeSet, HashMap};
+
+/// Which stream model an estimator instance supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamKind {
+    /// Insertions only (Theorem 8.5, `Õ(n/α²)` words).
+    InsertionOnly,
+    /// Insertions and deletions (Theorem 8.6, `Õ(n²/α⁴)` words).
+    Dynamic,
+}
+
+/// One `Tester(G_p, k)` instance.
+#[derive(Debug, Clone)]
+enum Tester {
+    Insertion {
+        k: usize,
+        sample_hash: KWiseHash,
+        threshold: u64,
+        greedy: CappedGreedyMatching,
+    },
+    Dynamic {
+        k: usize,
+        n: usize,
+        sample_hash: KWiseHash,
+        threshold: u64,
+        groups: u64,
+        group_hash: KWiseHash,
+        seed: u64,
+        samplers: HashMap<(u64, u64), L0Sampler>,
+        outcomes: HashMap<(u64, u64), Option<Edge>>,
+        matcher: MaximalMatching,
+    },
+}
+
+impl Tester {
+    fn sampled(hash: &KWiseHash, threshold: u64, v: u32) -> bool {
+        hash.eval(v as u64) < threshold
+    }
+
+    fn apply_batch(&mut self, batch: &Batch, ctx: &mut MpcContext) {
+        match self {
+            Tester::Insertion {
+                sample_hash,
+                threshold,
+                greedy,
+                ..
+            } => {
+                let edges: Vec<Edge> = batch
+                    .insertions()
+                    .filter(|e| {
+                        Self::sampled(sample_hash, *threshold, e.u())
+                            && Self::sampled(sample_hash, *threshold, e.v())
+                    })
+                    .collect();
+                greedy.apply_insert_batch(&edges, ctx);
+            }
+            Tester::Dynamic {
+                n,
+                sample_hash,
+                threshold,
+                groups,
+                group_hash,
+                seed,
+                samplers,
+                outcomes,
+                matcher,
+                ..
+            } => {
+                let mut affected: BTreeSet<(u64, u64)> = BTreeSet::new();
+                let mut updates: Vec<(Edge, i64, (u64, u64))> = Vec::new();
+                for u in batch.iter() {
+                    let e = u.edge();
+                    if !Self::sampled(sample_hash, *threshold, e.u())
+                        || !Self::sampled(sample_hash, *threshold, e.v())
+                    {
+                        continue;
+                    }
+                    let ga = group_hash.eval_range(e.u() as u64, *groups);
+                    let gb = group_hash.eval_range(e.v() as u64, *groups);
+                    let pair = (ga.min(gb), ga.max(gb));
+                    affected.insert(pair);
+                    updates.push((e, if u.is_insert() { 1 } else { -1 }, pair));
+                }
+                if affected.is_empty() {
+                    return;
+                }
+                ctx.exchange(2 * affected.len() as u64);
+                let mut deletions = Vec::new();
+                for &p in &affected {
+                    if let Some(Some(old)) = outcomes.get(&p) {
+                        deletions.push(*old);
+                    }
+                }
+                let edge_space = (*n as u64) * (*n as u64);
+                for (e, delta, p) in updates {
+                    let s = *seed ^ (p.0 << 24) ^ p.1 ^ 0x7e57;
+                    samplers
+                        .entry(p)
+                        .or_insert_with(|| L0Sampler::new(edge_space, s))
+                        .update(e.index(*n), delta);
+                }
+                ctx.exchange(2 * affected.len() as u64);
+                let mut insertions = Vec::new();
+                for &p in &affected {
+                    let new = samplers.get(&p).and_then(|s| match s.sample() {
+                        SampleOutcome::Sample { index, weight } if weight.abs() == 1 => {
+                            Some(Edge::from_index(index, *n))
+                        }
+                        _ => None,
+                    });
+                    outcomes.insert(p, new);
+                    if let Some(e) = new {
+                        insertions.push(e);
+                    }
+                }
+                matcher.apply_batch(&insertions, &deletions, ctx);
+            }
+        }
+    }
+
+    fn passes(&self) -> bool {
+        match self {
+            Tester::Insertion { k, greedy, .. } => greedy.len() >= (*k).div_ceil(2),
+            Tester::Dynamic { k, matcher, .. } => matcher.matching_size() >= (*k).div_ceil(4),
+        }
+    }
+
+    fn words(&self) -> u64 {
+        match self {
+            Tester::Insertion { greedy, .. } => greedy.words(),
+            Tester::Dynamic {
+                samplers,
+                outcomes,
+                matcher,
+                ..
+            } => {
+                samplers.values().map(L0Sampler::words).sum::<u64>()
+                    + 3 * outcomes.len() as u64
+                    + matcher.words()
+            }
+        }
+    }
+}
+
+/// The `O(α)` matching-size estimator.
+///
+/// # Examples
+///
+/// ```
+/// use mpc_matching::{MatchingSizeEstimator, StreamKind};
+/// use mpc_graph::ids::Edge;
+/// use mpc_graph::update::Batch;
+/// use mpc_sim::{MpcConfig, MpcContext};
+///
+/// let mut ctx = MpcContext::new(
+///     MpcConfig::builder(64, 0.5).local_capacity(1 << 14).build(),
+/// );
+/// let mut est = MatchingSizeEstimator::new(64, 2.0, StreamKind::InsertionOnly, 7);
+/// est.apply_batch(
+///     &Batch::inserting((0..32u32).map(|i| Edge::new(2 * i, 2 * i + 1))),
+///     &mut ctx,
+/// );
+/// assert!(est.estimate() >= 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MatchingSizeEstimator {
+    kind: StreamKind,
+    alpha: f64,
+    /// `(guess o_j, tester)` pairs, ascending.
+    testers: Vec<(usize, Tester)>,
+}
+
+impl MatchingSizeEstimator {
+    /// Creates the estimator.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `α ≥ 1`.
+    pub fn new(n: usize, alpha: f64, kind: StreamKind, seed: u64) -> Self {
+        assert!(alpha >= 1.0, "α must be at least 1, got {alpha}");
+        let mut testers = Vec::new();
+        let mut o = 1usize;
+        let mut j = 0u64;
+        while o <= n {
+            let k = ((o as f64 / (alpha * alpha)).round() as usize).max(1);
+            let p = (2.0 * ((k as f64) / (o as f64)).sqrt()).min(1.0);
+            let threshold = (p * P as f64) as u64;
+            let tseed = seed.wrapping_add(j.wrapping_mul(0x9e37_79b9));
+            let sample_hash = KWiseHash::from_seed(2, tseed ^ 0x5a5a);
+            let tester = match kind {
+                StreamKind::InsertionOnly => Tester::Insertion {
+                    k,
+                    sample_hash,
+                    threshold,
+                    greedy: CappedGreedyMatching::new(n, k),
+                },
+                StreamKind::Dynamic => Tester::Dynamic {
+                    k,
+                    n,
+                    sample_hash,
+                    threshold,
+                    groups: (2 * k as u64).max(2),
+                    group_hash: KWiseHash::from_seed(2, tseed ^ 0xdead_beef),
+                    seed: tseed,
+                    samplers: HashMap::new(),
+                    outcomes: HashMap::new(),
+                    matcher: MaximalMatching::new(n),
+                },
+            };
+            testers.push((o, tester));
+            o *= 2;
+            j += 1;
+        }
+        MatchingSizeEstimator {
+            kind,
+            alpha,
+            testers,
+        }
+    }
+
+    /// The stream model this estimator accepts.
+    pub fn kind(&self) -> StreamKind {
+        self.kind
+    }
+
+    /// The approximation target `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Number of parallel testers.
+    pub fn tester_count(&self) -> usize {
+        self.testers.len()
+    }
+
+    /// Processes a batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a deletion arrives in insertion-only mode.
+    pub fn apply_batch(&mut self, batch: &Batch, ctx: &mut MpcContext) {
+        if self.kind == StreamKind::InsertionOnly {
+            assert!(
+                batch.deletions().next().is_none(),
+                "deletion in insertion-only estimator"
+            );
+        }
+        ctx.exchange(2 * batch.len() as u64 + 1);
+        ctx.broadcast(2);
+        // The O(log n) testers run in parallel (Section 8.2).
+        ctx.parallel_begin();
+        for (_, t) in &mut self.testers {
+            t.apply_batch(batch, ctx);
+            ctx.parallel_branch();
+        }
+        ctx.parallel_end();
+    }
+
+    /// The current estimate: the largest passing guess (0 for an
+    /// empty graph).
+    pub fn estimate(&self) -> usize {
+        self.testers
+            .iter()
+            .rev()
+            .find(|(_, t)| t.passes())
+            .map(|(o, _)| *o)
+            .unwrap_or(0)
+    }
+
+    /// Total memory in words across all testers.
+    pub fn words(&self) -> u64 {
+        self.testers.iter().map(|(_, t)| t.words()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_graph::gen;
+    use mpc_sim::MpcConfig;
+
+    fn ctx() -> MpcContext {
+        MpcContext::new(MpcConfig::builder(512, 0.5).local_capacity(1 << 15).build())
+    }
+
+    fn run_planted(kind: StreamKind, planted: usize, alpha: f64, seed: u64) -> (usize, usize) {
+        let (stream, opt) = gen::planted_matching_stream(planted, planted, 16, seed);
+        let mut c = ctx();
+        let mut est = MatchingSizeEstimator::new(stream.n, alpha, kind, seed * 7 + 1);
+        for batch in &stream.batches {
+            est.apply_batch(batch, &mut c);
+        }
+        (est.estimate(), opt)
+    }
+
+    #[test]
+    fn insertion_estimates_track_opt() {
+        let mut ok = 0;
+        let trials = 8;
+        for seed in 0..trials {
+            let (est, opt) = run_planted(StreamKind::InsertionOnly, 32, 2.0, seed);
+            // Within a generous O(α) window on both sides.
+            if est * 16 >= opt && est <= 8 * opt {
+                ok += 1;
+            }
+        }
+        assert!(ok * 4 >= trials * 3, "only {ok}/{trials} within window");
+    }
+
+    #[test]
+    fn dynamic_estimates_track_opt() {
+        let mut ok = 0;
+        let trials = 6;
+        for seed in 0..trials {
+            let (est, opt) = run_planted(StreamKind::Dynamic, 24, 2.0, seed);
+            if est * 32 >= opt && est <= 8 * opt {
+                ok += 1;
+            }
+        }
+        assert!(ok * 2 >= trials, "only {ok}/{trials} within window");
+    }
+
+    #[test]
+    fn dynamic_estimate_falls_after_deletions() {
+        let (stream, _opt) = gen::planted_matching_stream(32, 0, 8, 3);
+        let mut c = ctx();
+        let mut est = MatchingSizeEstimator::new(stream.n, 1.0, StreamKind::Dynamic, 5);
+        let mut live = Vec::new();
+        for batch in &stream.batches {
+            est.apply_batch(batch, &mut c);
+            live.extend(batch.insertions());
+        }
+        let before = est.estimate();
+        // Delete everything: estimate must drop to 0.
+        est.apply_batch(&Batch::deleting(live), &mut c);
+        assert_eq!(est.estimate(), 0, "was {before} before deletions");
+        assert!(before >= 1);
+    }
+
+    #[test]
+    fn empty_graph_estimates_zero() {
+        let est = MatchingSizeEstimator::new(64, 2.0, StreamKind::InsertionOnly, 1);
+        assert_eq!(est.estimate(), 0);
+        assert_eq!(est.words(), 0);
+    }
+
+    #[test]
+    fn memory_shrinks_with_alpha_dynamic() {
+        let (stream, _) = gen::planted_matching_stream(32, 32, 16, 9);
+        let mut c = ctx();
+        let mut tight = MatchingSizeEstimator::new(stream.n, 1.0, StreamKind::Dynamic, 2);
+        let mut loose = MatchingSizeEstimator::new(stream.n, 4.0, StreamKind::Dynamic, 2);
+        for batch in &stream.batches {
+            tight.apply_batch(batch, &mut c);
+            loose.apply_batch(batch, &mut c);
+        }
+        assert!(
+            loose.words() < tight.words(),
+            "α=4 should be smaller: {} vs {}",
+            loose.words(),
+            tight.words()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "deletion in insertion-only")]
+    fn insertion_only_rejects_deletions() {
+        let mut c = ctx();
+        let mut est = MatchingSizeEstimator::new(8, 1.0, StreamKind::InsertionOnly, 1);
+        est.apply_batch(&Batch::deleting([mpc_graph::ids::Edge::new(0, 1)]), &mut c);
+    }
+}

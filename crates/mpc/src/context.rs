@@ -1,0 +1,462 @@
+//! The accounting facade used by algorithm crates.
+//!
+//! [`MpcContext`] charges every MPC primitive an exact round count
+//! derived from the cluster shape (validated against the real
+//! protocols in [`primitives`](crate::primitives)), tracks
+//! per-machine and total memory high-water marks, and slices the
+//! counters into *phases* (one phase = one update batch or query, the
+//! unit the paper's theorems speak about).
+
+use crate::config::MpcConfig;
+use crate::error::MpcError;
+use crate::primitives::{tree_fanout, tree_rounds};
+use crate::stats::{Op, PhaseReport, Stats};
+
+/// Accounting context for one algorithm instance running on a
+/// simulated cluster.
+///
+/// # Examples
+///
+/// ```
+/// use mpc_sim::{MpcConfig, MpcContext};
+///
+/// let mut ctx = MpcContext::new(MpcConfig::builder(256, 0.5).build());
+/// ctx.begin_phase("batch");
+/// ctx.broadcast(10);
+/// ctx.converge_cast(256, 4);
+/// let r = ctx.end_phase();
+/// assert!(r.rounds <= 2 * ctx.config().round_budget_per_primitive());
+/// ```
+#[derive(Debug, Clone)]
+pub struct MpcContext {
+    cfg: MpcConfig,
+    stats: Stats,
+    loads: Vec<u64>,
+    total_load: u64,
+    phase_label: Option<String>,
+    phase_start_rounds: u64,
+    phase_start_words: u64,
+    parallel_stack: Vec<(u64, u64)>,
+}
+
+impl MpcContext {
+    /// Creates a context for the given cluster configuration.
+    pub fn new(cfg: MpcConfig) -> Self {
+        let machines = cfg.machines();
+        MpcContext {
+            cfg,
+            stats: Stats::new(),
+            loads: vec![0; machines],
+            total_load: 0,
+            phase_label: None,
+            phase_start_rounds: 0,
+            phase_start_words: 0,
+            parallel_stack: Vec::new(),
+        }
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &MpcConfig {
+        &self.cfg
+    }
+
+    /// The cumulative counters.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Total rounds charged so far.
+    pub fn rounds(&self) -> u64 {
+        self.stats.rounds
+    }
+
+    // ----- phases ------------------------------------------------
+
+    /// Starts a phase (an update batch or a query). Phases let
+    /// experiments report *rounds per batch*, the paper's headline
+    /// quantity.
+    pub fn begin_phase(&mut self, label: &str) {
+        self.phase_label = Some(label.to_string());
+        self.phase_start_rounds = self.stats.rounds;
+        self.phase_start_words = self.stats.words_communicated;
+    }
+
+    /// Ends the current phase and reports its consumption.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no phase is active.
+    pub fn end_phase(&mut self) -> PhaseReport {
+        let label = self
+            .phase_label
+            .take()
+            .expect("end_phase without begin_phase");
+        PhaseReport {
+            label,
+            rounds: self.stats.rounds - self.phase_start_rounds,
+            words: self.stats.words_communicated - self.phase_start_words,
+        }
+    }
+
+    // ----- parallel composition -----------------------------------
+
+    /// Opens a parallel scope: independent algorithm instances (the
+    /// paper's "run Θ(log n) instances in parallel") run their work
+    /// between [`MpcContext::parallel_branch`] calls, and on
+    /// [`MpcContext::parallel_end`] the scope contributes the
+    /// **maximum** branch round count instead of the sum. Words
+    /// (communication volume) still accumulate across branches — all
+    /// of it really moves. Per-op round attribution keeps counting
+    /// serial-equivalent work.
+    pub fn parallel_begin(&mut self) {
+        self.parallel_stack.push((self.stats.rounds, 0));
+    }
+
+    /// Marks the end of one parallel branch (call after each branch's
+    /// work).
+    ///
+    /// # Panics
+    ///
+    /// Panics outside a parallel scope.
+    pub fn parallel_branch(&mut self) {
+        let (saved, max) = *self
+            .parallel_stack
+            .last()
+            .expect("parallel_branch outside a parallel scope");
+        let used = self.stats.rounds - saved;
+        let top = self.parallel_stack.last_mut().expect("checked above");
+        top.1 = max.max(used);
+        self.stats.rounds = saved;
+    }
+
+    /// Closes the scope, committing the maximum branch's rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no scope is open.
+    pub fn parallel_end(&mut self) {
+        let (saved, max) = self
+            .parallel_stack
+            .pop()
+            .expect("parallel_end without parallel_begin");
+        // Any trailing un-branched work counts as one more branch.
+        let trailing = self.stats.rounds - saved;
+        self.stats.rounds = saved + max.max(trailing);
+    }
+
+    // ----- round-charged primitives -------------------------------
+
+    /// One synchronous point-to-point exchange moving `words` words.
+    pub fn exchange(&mut self, words: u64) {
+        self.stats.charge(Op::Exchange, 1, words);
+    }
+
+    /// Broadcast of a `words`-word payload from a coordinator to all
+    /// machines through a fan-out tree.
+    pub fn broadcast(&mut self, words: u64) {
+        let fanout = tree_fanout(self.cfg.local_capacity(), words);
+        let rounds = tree_rounds(self.cfg.machines(), fanout);
+        let total = words * self.cfg.machines() as u64;
+        self.stats.charge(Op::Broadcast, rounds, total);
+    }
+
+    /// Converge-cast (aggregation tree) folding `items` values of
+    /// `item_words` words each down to one machine. This is the
+    /// paper's sketch-merging step: `O(log_{s/‖sketch‖} n) = O(1/φ)`
+    /// rounds (footnote 8 of the paper).
+    pub fn converge_cast(&mut self, items: u64, item_words: u64) {
+        let fanout = tree_fanout(self.cfg.local_capacity(), item_words);
+        let rounds = tree_rounds(items.max(1) as usize, fanout);
+        let total = items * item_words;
+        self.stats.charge(Op::Aggregate, rounds, total);
+    }
+
+    /// Distributed sort of `total_words` words (GSZ'11:
+    /// `O(log_s N) = O(1/φ)` rounds).
+    pub fn sort(&mut self, total_words: u64) {
+        let s = self.cfg.local_capacity().max(2);
+        let mut rounds = 1;
+        let mut covered = s;
+        while covered < total_words.max(1) {
+            covered = covered.saturating_mul(s);
+            rounds += 1;
+        }
+        // Sample + route + deliver constant overhead.
+        self.stats.charge(Op::Sort, rounds + 2, total_words);
+    }
+
+    /// Gathers a `words`-word payload onto the coordinator machine.
+    ///
+    /// # Errors
+    ///
+    /// [`MpcError::GatherTooLarge`] if the payload exceeds the local
+    /// capacity — the paper's algorithms only ever gather `O(k)`-word
+    /// auxiliary structures that fit in one machine (Claim 6.1), so
+    /// hitting this means the batch-size precondition was violated.
+    pub fn gather(&mut self, words: u64) -> Result<(), MpcError> {
+        if words > self.cfg.local_capacity() {
+            return Err(MpcError::GatherTooLarge {
+                words,
+                capacity: self.cfg.local_capacity(),
+            });
+        }
+        self.stats.charge(Op::Gather, 1, words);
+        Ok(())
+    }
+
+    // ----- memory accounting --------------------------------------
+
+    /// Records `words` words allocated on machine `m`.
+    ///
+    /// # Errors
+    ///
+    /// In strict mode, returns [`MpcError::LocalMemoryExceeded`] if
+    /// the machine overflows `s`; in permissive mode the overflow is
+    /// recorded in [`Stats::violations`].
+    pub fn alloc(&mut self, m: usize, words: u64) -> Result<(), MpcError> {
+        self.loads[m] += words;
+        self.total_load += words;
+        let used = self.loads[m];
+        let cap = self.cfg.local_capacity();
+        self.stats.observe_memory(used, self.total_load);
+        if used > cap {
+            if self.cfg.strict() {
+                return Err(MpcError::LocalMemoryExceeded {
+                    machine: m,
+                    used,
+                    capacity: cap,
+                });
+            }
+            self.stats.record_violation(m, used, cap);
+        }
+        Ok(())
+    }
+
+    /// Records `words` words freed on machine `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more words are freed than were allocated (an
+    /// accounting bug in the calling algorithm).
+    pub fn free(&mut self, m: usize, words: u64) {
+        assert!(
+            self.loads[m] >= words,
+            "machine {m} frees {words} words but holds {}",
+            self.loads[m]
+        );
+        self.loads[m] -= words;
+        self.total_load -= words;
+    }
+
+    /// Records `words` allocated on the shard machine of vertex `v`.
+    ///
+    /// # Errors
+    ///
+    /// As [`MpcContext::alloc`].
+    pub fn alloc_vertex(&mut self, v: u32, words: u64) -> Result<(), MpcError> {
+        self.alloc(self.cfg.machine_of_vertex(v), words)
+    }
+
+    /// Records `words` freed on the shard machine of vertex `v`.
+    pub fn free_vertex(&mut self, v: u32, words: u64) {
+        self.free(self.cfg.machine_of_vertex(v), words);
+    }
+
+    /// Replaces the tracked load of machine `m` with an absolute
+    /// word count (convenient for state-holding structures that
+    /// re-report their sharded footprint after each batch), observing
+    /// peaks and violations like [`MpcContext::alloc`].
+    ///
+    /// # Errors
+    ///
+    /// In strict mode, returns [`MpcError::LocalMemoryExceeded`] on
+    /// overflow.
+    pub fn set_load(&mut self, m: usize, words: u64) -> Result<(), MpcError> {
+        let old = self.loads[m];
+        self.loads[m] = words;
+        self.total_load = self.total_load + words - old;
+        let cap = self.cfg.local_capacity();
+        self.stats.observe_memory(words, self.total_load);
+        if words > cap {
+            if self.cfg.strict() {
+                return Err(MpcError::LocalMemoryExceeded {
+                    machine: m,
+                    used: words,
+                    capacity: cap,
+                });
+            }
+            self.stats.record_violation(m, words, cap);
+        }
+        Ok(())
+    }
+
+    /// Current total words held across the cluster.
+    pub fn total_load(&self) -> u64 {
+        self.total_load
+    }
+
+    /// Current words held on machine `m`.
+    pub fn load(&self, m: usize) -> u64 {
+        self.loads[m]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> MpcContext {
+        MpcContext::new(MpcConfig::builder(1024, 0.5).build())
+    }
+
+    #[test]
+    fn broadcast_rounds_bounded_by_budget() {
+        let mut c = ctx();
+        c.broadcast(8);
+        assert!(c.rounds() <= c.config().round_budget_per_primitive());
+    }
+
+    #[test]
+    fn converge_cast_rounds_bounded() {
+        let mut c = ctx();
+        c.converge_cast(1024, 4);
+        assert!(c.rounds() >= 1);
+        assert!(c.rounds() <= 2 * c.config().round_budget_per_primitive());
+    }
+
+    #[test]
+    fn sort_rounds_log_s_of_n() {
+        let mut c = ctx(); // s = 32
+        c.sort(32 * 32); // needs 2 tree levels + 2 overhead
+        assert_eq!(c.stats().rounds_by_op[&Op::Sort], 4);
+    }
+
+    #[test]
+    fn gather_cap_enforced() {
+        let mut c = ctx(); // s = 32
+        assert!(c.gather(32).is_ok());
+        assert!(matches!(c.gather(33), Err(MpcError::GatherTooLarge { .. })));
+    }
+
+    #[test]
+    fn phases_slice_counters() {
+        let mut c = ctx();
+        c.begin_phase("a");
+        c.exchange(5);
+        let ra = c.end_phase();
+        assert_eq!(ra.rounds, 1);
+        assert_eq!(ra.words, 5);
+        c.begin_phase("b");
+        c.exchange(7);
+        c.exchange(2);
+        let rb = c.end_phase();
+        assert_eq!(rb.rounds, 2);
+        assert_eq!(rb.words, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "end_phase without begin_phase")]
+    fn end_phase_without_begin_panics() {
+        let mut c = ctx();
+        let _ = c.end_phase();
+    }
+
+    #[test]
+    fn memory_accounting_tracks_peaks() {
+        let mut c = ctx();
+        c.alloc(0, 10).unwrap();
+        c.alloc(1, 20).unwrap();
+        c.free(0, 5);
+        c.alloc(0, 2).unwrap();
+        assert_eq!(c.load(0), 7);
+        assert_eq!(c.total_load(), 27);
+        assert_eq!(c.stats().peak_machine_words, 20);
+        assert_eq!(c.stats().peak_total_words, 30);
+    }
+
+    #[test]
+    fn permissive_mode_records_violation() {
+        let mut c = MpcContext::new(
+            MpcConfig::builder(1024, 0.5)
+                .local_capacity(8)
+                .machines(4)
+                .build(),
+        );
+        c.alloc(2, 9).unwrap();
+        assert_eq!(c.stats().violations, vec![(2, 9, 8)]);
+    }
+
+    #[test]
+    fn strict_mode_errors() {
+        let mut c = MpcContext::new(
+            MpcConfig::builder(1024, 0.5)
+                .local_capacity(8)
+                .machines(4)
+                .strict(true)
+                .build(),
+        );
+        assert!(matches!(
+            c.alloc(1, 9),
+            Err(MpcError::LocalMemoryExceeded { machine: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn parallel_scope_takes_max_not_sum() {
+        let mut c = ctx();
+        c.begin_phase("par");
+        c.parallel_begin();
+        c.exchange(5); // branch 1: 1 round
+        c.parallel_branch();
+        c.exchange(5);
+        c.exchange(5); // branch 2: 2 rounds
+        c.parallel_branch();
+        c.parallel_end();
+        let r = c.end_phase();
+        assert_eq!(r.rounds, 2, "max of branches, not sum");
+        assert_eq!(r.words, 15, "all communication counted");
+    }
+
+    #[test]
+    fn nested_parallel_scopes() {
+        let mut c = ctx();
+        c.begin_phase("nested");
+        c.parallel_begin();
+        c.exchange(1);
+        c.parallel_begin();
+        c.exchange(1);
+        c.parallel_branch();
+        c.exchange(1);
+        c.exchange(1);
+        c.parallel_branch();
+        c.parallel_end(); // inner contributes 2
+        c.parallel_branch(); // outer branch 1: 1 + 2 = 3
+        c.exchange(1);
+        c.parallel_branch(); // outer branch 2: 1
+        c.parallel_end();
+        assert_eq!(c.end_phase().rounds, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel_end without parallel_begin")]
+    fn unbalanced_parallel_end_panics() {
+        let mut c = ctx();
+        c.parallel_end();
+    }
+
+    #[test]
+    #[should_panic(expected = "frees")]
+    fn over_free_panics() {
+        let mut c = ctx();
+        c.free(0, 1);
+    }
+
+    #[test]
+    fn vertex_alloc_routes_to_shard() {
+        let mut c = MpcContext::new(MpcConfig::builder(100, 0.5).machines(10).build());
+        c.alloc_vertex(23, 4).unwrap();
+        assert_eq!(c.load(3), 4);
+        c.free_vertex(23, 4);
+        assert_eq!(c.load(3), 0);
+    }
+}

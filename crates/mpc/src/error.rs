@@ -1,0 +1,158 @@
+//! Error types for the MPC simulator.
+
+/// Errors raised by the simulated cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpcError {
+    /// A machine's local store exceeded the capacity `s` (strict mode
+    /// only; permissive mode records a violation instead).
+    LocalMemoryExceeded {
+        /// Machine that overflowed.
+        machine: usize,
+        /// Words the machine would hold.
+        used: u64,
+        /// The capacity `s`.
+        capacity: u64,
+    },
+    /// A machine tried to send more words in one round than its
+    /// capacity allows.
+    SendCapExceeded {
+        /// Sending machine.
+        machine: usize,
+        /// Words it attempted to send this round.
+        attempted: u64,
+        /// The capacity `s`.
+        capacity: u64,
+    },
+    /// A machine would receive more words in one round than its
+    /// capacity allows.
+    ReceiveCapExceeded {
+        /// Receiving machine.
+        machine: usize,
+        /// Words addressed to it this round.
+        attempted: u64,
+        /// The capacity `s`.
+        capacity: u64,
+    },
+    /// A coordinator gather was attempted whose payload cannot fit in
+    /// one machine — the algorithm's batch-size precondition was
+    /// violated.
+    GatherTooLarge {
+        /// Words gathered.
+        words: u64,
+        /// The capacity `s`.
+        capacity: u64,
+    },
+    /// A message was addressed to a machine outside the cluster.
+    NoSuchMachine {
+        /// The invalid destination.
+        machine: usize,
+        /// Cluster size.
+        cluster: usize,
+    },
+}
+
+impl std::fmt::Display for MpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MpcError::LocalMemoryExceeded {
+                machine,
+                used,
+                capacity,
+            } => write!(
+                f,
+                "machine {machine} local memory {used} words exceeds capacity {capacity}"
+            ),
+            MpcError::SendCapExceeded {
+                machine,
+                attempted,
+                capacity,
+            } => write!(
+                f,
+                "machine {machine} attempted to send {attempted} words in one round (cap {capacity})"
+            ),
+            MpcError::ReceiveCapExceeded {
+                machine,
+                attempted,
+                capacity,
+            } => write!(
+                f,
+                "machine {machine} would receive {attempted} words in one round (cap {capacity})"
+            ),
+            MpcError::GatherTooLarge { words, capacity } => write!(
+                f,
+                "gather of {words} words cannot fit in one machine (cap {capacity})"
+            ),
+            MpcError::NoSuchMachine { machine, cluster } => write!(
+                f,
+                "message addressed to machine {machine} of a {cluster}-machine cluster"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MpcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MpcError::GatherTooLarge {
+            words: 100,
+            capacity: 10,
+        };
+        let msg = format!("{e}");
+        assert!(msg.contains("100") && msg.contains("10"));
+        let e = MpcError::LocalMemoryExceeded {
+            machine: 3,
+            used: 9,
+            capacity: 8,
+        };
+        assert!(format!("{e}").contains("machine 3"));
+    }
+
+    #[test]
+    fn every_variant_displays_its_numbers() {
+        let cases: Vec<(MpcError, &[&str])> = vec![
+            (
+                MpcError::SendCapExceeded {
+                    machine: 1,
+                    attempted: 20,
+                    capacity: 16,
+                },
+                &["machine 1", "20", "16", "send"],
+            ),
+            (
+                MpcError::ReceiveCapExceeded {
+                    machine: 2,
+                    attempted: 40,
+                    capacity: 32,
+                },
+                &["machine 2", "40", "32", "receive"],
+            ),
+            (
+                MpcError::NoSuchMachine {
+                    machine: 9,
+                    cluster: 4,
+                },
+                &["machine 9", "4-machine"],
+            ),
+        ];
+        for (e, needles) in cases {
+            let msg = format!("{e}");
+            for needle in needles {
+                assert!(msg.contains(needle), "{msg:?} lacks {needle:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn takes_err<E: std::error::Error + Send + Sync + 'static>(_: E) {}
+        takes_err(MpcError::NoSuchMachine {
+            machine: 0,
+            cluster: 1,
+        });
+    }
+}

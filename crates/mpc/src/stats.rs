@@ -1,0 +1,209 @@
+//! Round, communication, and memory accounting.
+
+use std::collections::BTreeMap;
+
+/// The kind of MPC primitive a round was charged to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Op {
+    /// Synchronous point-to-point exchange.
+    Exchange,
+    /// Broadcast tree (coordinator → all machines).
+    Broadcast,
+    /// Converge-cast / aggregation tree (all machines → coordinator).
+    Aggregate,
+    /// Distributed sort.
+    Sort,
+    /// Coordinator gather of a small payload.
+    Gather,
+}
+
+impl std::fmt::Display for Op {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Op::Exchange => "exchange",
+            Op::Broadcast => "broadcast",
+            Op::Aggregate => "aggregate",
+            Op::Sort => "sort",
+            Op::Gather => "gather",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Cumulative counters for a run.
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    /// Total synchronous rounds charged.
+    pub rounds: u64,
+    /// Total words moved between machines.
+    pub words_communicated: u64,
+    /// Maximum words communicated in any single charged round.
+    pub peak_round_words: u64,
+    /// Rounds per primitive kind.
+    pub rounds_by_op: BTreeMap<Op, u64>,
+    /// High-water mark of any single machine's local store, in words.
+    pub peak_machine_words: u64,
+    /// High-water mark of the cluster-wide total store, in words.
+    pub peak_total_words: u64,
+    /// Capacity violations observed in permissive mode:
+    /// `(machine, words, capacity)`.
+    pub violations: Vec<(usize, u64, u64)>,
+}
+
+impl Stats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Stats::default()
+    }
+
+    /// Charges `rounds` rounds moving `words` total words to
+    /// primitive `op`. The per-round word volume is attributed evenly.
+    pub fn charge(&mut self, op: Op, rounds: u64, words: u64) {
+        self.rounds += rounds;
+        self.words_communicated += words;
+        *self.rounds_by_op.entry(op).or_insert(0) += rounds;
+        if rounds > 0 {
+            self.peak_round_words = self.peak_round_words.max(words.div_ceil(rounds));
+        }
+    }
+
+    /// Records a memory observation.
+    pub fn observe_memory(&mut self, machine_words: u64, total_words: u64) {
+        self.peak_machine_words = self.peak_machine_words.max(machine_words);
+        self.peak_total_words = self.peak_total_words.max(total_words);
+    }
+
+    /// Records a capacity violation (permissive mode).
+    pub fn record_violation(&mut self, machine: usize, words: u64, capacity: u64) {
+        self.violations.push((machine, words, capacity));
+    }
+
+    /// A multi-line human-readable account of the run: totals, the
+    /// per-primitive round breakdown, and the memory high-water
+    /// marks. Useful at the end of an experiment or example run.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mpc_sim::stats::{Op, Stats};
+    ///
+    /// let mut s = Stats::new();
+    /// s.charge(Op::Sort, 4, 100);
+    /// s.observe_memory(10, 50);
+    /// let text = s.summary();
+    /// assert!(text.contains("sort"));
+    /// assert!(text.contains("4"));
+    /// ```
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "rounds: {} total, {} words communicated (peak {} words/round)\n",
+            self.rounds, self.words_communicated, self.peak_round_words
+        );
+        for (op, r) in &self.rounds_by_op {
+            out.push_str(&format!("  {op:>9}: {r} rounds\n"));
+        }
+        out.push_str(&format!(
+            "memory: peak {} words/machine, peak {} words total",
+            self.peak_machine_words, self.peak_total_words
+        ));
+        if !self.violations.is_empty() {
+            out.push_str(&format!(
+                "\ncapacity violations: {} (permissive mode)",
+                self.violations.len()
+            ));
+        }
+        out
+    }
+}
+
+/// Rounds and communication consumed by one phase (one update batch or
+/// one query), as reported by
+/// [`MpcContext::end_phase`](crate::context::MpcContext::end_phase).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseReport {
+    /// Label passed to `begin_phase`.
+    pub label: String,
+    /// Rounds charged during the phase.
+    pub rounds: u64,
+    /// Words communicated during the phase.
+    pub words: u64,
+}
+
+impl std::fmt::Display for PhaseReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "phase {}: {} rounds, {} words",
+            self.label, self.rounds, self.words
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_accumulates() {
+        let mut s = Stats::new();
+        s.charge(Op::Broadcast, 3, 30);
+        s.charge(Op::Sort, 2, 100);
+        assert_eq!(s.rounds, 5);
+        assert_eq!(s.words_communicated, 130);
+        assert_eq!(s.rounds_by_op[&Op::Broadcast], 3);
+        assert_eq!(s.rounds_by_op[&Op::Sort], 2);
+        assert_eq!(s.peak_round_words, 50);
+    }
+
+    #[test]
+    fn memory_high_water_marks() {
+        let mut s = Stats::new();
+        s.observe_memory(10, 100);
+        s.observe_memory(5, 200);
+        s.observe_memory(20, 50);
+        assert_eq!(s.peak_machine_words, 20);
+        assert_eq!(s.peak_total_words, 200);
+    }
+
+    #[test]
+    fn violations_recorded() {
+        let mut s = Stats::new();
+        s.record_violation(3, 40, 32);
+        assert_eq!(s.violations, vec![(3, 40, 32)]);
+    }
+
+    #[test]
+    fn phase_report_displays() {
+        let r = PhaseReport {
+            label: "batch-7".into(),
+            rounds: 4,
+            words: 99,
+        };
+        assert_eq!(format!("{r}"), "phase batch-7: 4 rounds, 99 words");
+    }
+
+    #[test]
+    fn op_display() {
+        assert_eq!(format!("{}", Op::Sort), "sort");
+        assert_eq!(format!("{}", Op::Gather), "gather");
+        assert_eq!(format!("{}", Op::Exchange), "exchange");
+        assert_eq!(format!("{}", Op::Broadcast), "broadcast");
+        assert_eq!(format!("{}", Op::Aggregate), "aggregate");
+    }
+
+    #[test]
+    fn summary_reports_all_sections() {
+        let mut s = Stats::new();
+        s.charge(Op::Broadcast, 2, 10);
+        s.charge(Op::Gather, 1, 8);
+        s.observe_memory(16, 128);
+        let text = s.summary();
+        assert!(text.contains("3 total"));
+        assert!(text.contains("broadcast: 2 rounds"));
+        assert!(text.contains("gather: 1 rounds"));
+        assert!(text.contains("peak 16 words/machine"));
+        assert!(!text.contains("violations"));
+        s.record_violation(0, 20, 16);
+        assert!(s.summary().contains("capacity violations: 1"));
+    }
+}

@@ -1,0 +1,194 @@
+//! Dynamic bipartiteness testing (paper Section 7.3, Theorem 7.3).
+//!
+//! Uses the bipartite double cover `G'`: every vertex `v` becomes
+//! `v₁ = v` and `v₂ = v + n`, every edge `{u, v}` becomes
+//! `{u₁, v₂}` and `{u₂, v₁}`. By [AGM12, Lemma 3.3] (the paper's
+//! Lemma 7.4), `G` is bipartite iff `cc(G') = 2·cc(G)`. Maintaining
+//! connectivity of both graphs answers bipartiteness in constant
+//! time per query.
+
+use mpc_graph::ids::Edge;
+use mpc_graph::update::{Batch, Update};
+use mpc_sim::MpcContext;
+use mpc_stream_core::{Connectivity, ConnectivityConfig, ConnectivityError};
+
+/// Batch-dynamic bipartiteness.
+///
+/// # Examples
+///
+/// ```
+/// use mpc_msf::Bipartiteness;
+/// use mpc_graph::ids::Edge;
+/// use mpc_graph::update::{Batch, Update};
+/// use mpc_sim::{MpcConfig, MpcContext};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut ctx = MpcContext::new(
+///     MpcConfig::builder(16, 0.5).local_capacity(1 << 14).build(),
+/// );
+/// let mut bip = Bipartiteness::new(8, 42);
+/// // A 4-cycle is bipartite…
+/// bip.apply_batch(
+///     &Batch::inserting([
+///         Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 3), Edge::new(3, 0),
+///     ]),
+///     &mut ctx,
+/// )?;
+/// assert!(bip.is_bipartite());
+/// // …until a chord closes an odd cycle.
+/// bip.apply_batch(&Batch::inserting([Edge::new(0, 2)]), &mut ctx)?;
+/// assert!(!bip.is_bipartite());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bipartiteness {
+    n: usize,
+    graph: Connectivity,
+    cover: Connectivity,
+}
+
+impl Bipartiteness {
+    /// Creates the tester for an empty graph on `n` vertices. The
+    /// double cover uses `2n` vertices internally.
+    pub fn new(n: usize, seed: u64) -> Self {
+        Bipartiteness {
+            n,
+            graph: Connectivity::new(n, ConnectivityConfig::default(), seed),
+            cover: Connectivity::new(2 * n, ConnectivityConfig::default(), seed ^ 0xb1b1),
+        }
+    }
+
+    /// Processes a batch: each update is applied to `G` and its two
+    /// lifted copies to `G'` (Section 7.3: one update in `G` becomes
+    /// exactly two in `G'`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connectivity errors.
+    pub fn apply_batch(
+        &mut self,
+        batch: &Batch,
+        ctx: &mut MpcContext,
+    ) -> Result<(), ConnectivityError> {
+        let n = self.n as u32;
+        let lift = |u: Update| -> [Update; 2] {
+            let e = u.edge();
+            let (a, b) = e.endpoints();
+            let e1 = Edge::new(a, b + n);
+            let e2 = Edge::new(a + n, b);
+            match u {
+                Update::Insert(_) => [Update::Insert(e1), Update::Insert(e2)],
+                Update::Delete(_) => [Update::Delete(e1), Update::Delete(e2)],
+            }
+        };
+        let cover_batch: Batch = batch.iter().flat_map(lift).collect();
+        // G and its double cover are maintained in parallel.
+        ctx.parallel_begin();
+        let result = (|| {
+            self.graph.apply_batch(batch, ctx)?;
+            ctx.parallel_branch();
+            self.cover.apply_batch(&cover_batch, ctx)?;
+            ctx.parallel_branch();
+            Ok(())
+        })();
+        ctx.parallel_end();
+        result
+    }
+
+    /// Whether the current graph is bipartite (constant query time).
+    pub fn is_bipartite(&self) -> bool {
+        self.cover.component_count() == 2 * self.graph.component_count()
+    }
+
+    /// Number of components of the underlying graph.
+    pub fn component_count(&self) -> usize {
+        self.graph.component_count()
+    }
+
+    /// Total memory in words (both connectivity instances).
+    pub fn words(&self) -> u64 {
+        self.graph.words() + self.cover.words()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_graph::gen;
+    use mpc_graph::oracle;
+    use mpc_sim::MpcConfig;
+
+    fn ctx_for(n: usize) -> MpcContext {
+        MpcContext::new(
+            MpcConfig::builder(2 * n, 0.5)
+                .local_capacity(1 << 16)
+                .build(),
+        )
+    }
+
+    #[test]
+    fn odd_cycle_detected_and_recovers() {
+        let n = 8;
+        let mut ctx = ctx_for(n);
+        let mut bip = Bipartiteness::new(n, 1);
+        bip.apply_batch(
+            &Batch::inserting([Edge::new(0, 1), Edge::new(1, 2)]),
+            &mut ctx,
+        )
+        .unwrap();
+        assert!(bip.is_bipartite());
+        bip.apply_batch(&Batch::inserting([Edge::new(0, 2)]), &mut ctx)
+            .unwrap();
+        assert!(!bip.is_bipartite());
+        // Deleting any odd-cycle edge restores bipartiteness.
+        bip.apply_batch(&Batch::deleting([Edge::new(1, 2)]), &mut ctx)
+            .unwrap();
+        assert!(bip.is_bipartite());
+    }
+
+    #[test]
+    fn even_cycles_stay_bipartite() {
+        let n = 8;
+        let mut ctx = ctx_for(n);
+        let mut bip = Bipartiteness::new(n, 2);
+        bip.apply_batch(
+            &Batch::inserting((0..8u32).map(|i| Edge::new(i, (i + 1) % 8))),
+            &mut ctx,
+        )
+        .unwrap();
+        assert!(bip.is_bipartite());
+    }
+
+    #[test]
+    fn generated_violation_window_is_tracked() {
+        let (stream, window) = gen::bipartite_stream_with_violation(12, 8, 4, Some(3), 9);
+        let (start, end) = window.expect("violation injected");
+        let mut ctx = ctx_for(stream.n);
+        let mut bip = Bipartiteness::new(stream.n, 3);
+        let snaps = stream.replay();
+        for (i, (batch, snap)) in stream.batches.iter().zip(&snaps).enumerate() {
+            bip.apply_batch(batch, &mut ctx).unwrap();
+            let edges: Vec<Edge> = snap.edges().collect();
+            let expect = oracle::is_bipartite(stream.n, &edges);
+            assert_eq!(bip.is_bipartite(), expect, "batch {i}");
+            if i >= start && i < end {
+                assert!(!bip.is_bipartite());
+            }
+        }
+    }
+
+    #[test]
+    fn component_counts_match() {
+        let n = 10;
+        let mut ctx = ctx_for(n);
+        let mut bip = Bipartiteness::new(n, 4);
+        bip.apply_batch(
+            &Batch::inserting([Edge::new(0, 1), Edge::new(3, 4)]),
+            &mut ctx,
+        )
+        .unwrap();
+        assert_eq!(bip.component_count(), n - 2);
+        assert!(bip.words() > 0);
+    }
+}

@@ -1,0 +1,531 @@
+//! Exact minimum spanning forest in insertion-only streams
+//! (paper Section 7.1, Theorem 7.1(i)).
+//!
+//! The forest is maintained as distributed Euler tours. A batch of
+//! `k` weighted insertions is processed in a constant number of
+//! per-iteration rounds:
+//!
+//! 1. **Cross-component edges** (Case 1 of Section 7.1.2): the
+//!    coordinator gathers the `O(k)` candidate edges, runs Kruskal on
+//!    the component quotient, and splices the winners' Euler tours in
+//!    one `batch_join`.
+//! 2. **Intra-component edges** (Case 2): all remaining candidates
+//!    run `Identify-Path` *in parallel* (one broadcast of all
+//!    endpoints' `f/ℓ` values; every machine tests its own edges);
+//!    each candidate learns the heaviest edge `e'` on its tree path.
+//!    Candidates not lighter than their path maximum are discarded by
+//!    the cycle rule. The heaviest edges are cut in one
+//!    `batch_split`, and the displaced edges re-enter as candidates.
+//!
+//! Steps 1–2 repeat until no candidate survives. The paper sketches a
+//! single pass; when several candidates share path edges a single
+//! pass can miss a beneficial second swap, so we iterate to a
+//! fixpoint — each iteration strictly decreases the forest weight, so
+//! the loop terminates, and measured iteration counts (reported in
+//! `EXPERIMENTS.md`) are 1–2 on the evaluation workloads. Exactness
+//! is asserted against Kruskal in the tests.
+
+use mpc_etf::DistEtf;
+use mpc_graph::ids::{Edge, VertexId, WeightedEdge};
+use mpc_graph::oracle::UnionFind;
+use mpc_graph::update::WeightedBatch;
+use mpc_sim::{MpcContext, MpcError};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Errors surfaced by the exact MSF algorithm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MsfError {
+    /// An MPC resource constraint was violated.
+    Mpc(MpcError),
+    /// The batch contained a deletion (this algorithm is
+    /// insertion-only, per Theorem 7.1(i)).
+    DeletionNotSupported(Edge),
+    /// A duplicate edge insertion.
+    DuplicateEdge(Edge),
+    /// The swap loop failed to converge (internal invariant
+    /// violation).
+    NoConvergence,
+}
+
+impl std::fmt::Display for MsfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MsfError::Mpc(e) => write!(f, "mpc resource violation: {e}"),
+            MsfError::DeletionNotSupported(e) => {
+                write!(f, "deletion of {e} in insertion-only MSF stream")
+            }
+            MsfError::DuplicateEdge(e) => write!(f, "duplicate insertion of {e}"),
+            MsfError::NoConvergence => write!(f, "swap loop failed to converge"),
+        }
+    }
+}
+
+impl std::error::Error for MsfError {}
+
+impl From<MpcError> for MsfError {
+    fn from(e: MpcError) -> Self {
+        MsfError::Mpc(e)
+    }
+}
+
+/// Exact MSF under insertion-only batches.
+///
+/// # Examples
+///
+/// ```
+/// use mpc_msf::ExactMsf;
+/// use mpc_graph::ids::WeightedEdge;
+/// use mpc_graph::update::WeightedBatch;
+/// use mpc_sim::{MpcConfig, MpcContext};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut ctx = MpcContext::new(
+///     MpcConfig::builder(8, 0.5).local_capacity(1 << 12).build(),
+/// );
+/// let mut msf = ExactMsf::new(8);
+/// msf.apply_batch(
+///     &WeightedBatch::inserting([
+///         WeightedEdge::new(0, 1, 5),
+///         WeightedEdge::new(1, 2, 3),
+///         WeightedEdge::new(0, 2, 4), // closes a cycle; 5 is evicted
+///     ]),
+///     &mut ctx,
+/// )?;
+/// assert_eq!(msf.weight(), 7);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExactMsf {
+    n: usize,
+    comp: Vec<VertexId>,
+    etf: DistEtf,
+    weights: BTreeMap<Edge, u64>,
+    /// Iterations used by the most recent batch (for the ablation
+    /// experiment).
+    last_iterations: usize,
+    seen: BTreeSet<Edge>,
+}
+
+impl ExactMsf {
+    /// Creates the structure for an empty graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        ExactMsf {
+            n,
+            comp: (0..n as u32).collect(),
+            etf: DistEtf::new(n),
+            weights: BTreeMap::new(),
+            last_iterations: 0,
+            seen: BTreeSet::new(),
+        }
+    }
+
+    /// Bootstraps the structure from an arbitrary pre-existing
+    /// weighted simple graph (the paper's "pre-computation phase"
+    /// remark, end of Section 1.1): the edges stream through the
+    /// normal insertion path in machine-sized chunks, costing
+    /// `O((m/s)·(1/φ))` rounds once.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ExactMsf::apply_batch`].
+    pub fn from_graph(
+        n: usize,
+        edges: impl IntoIterator<Item = WeightedEdge>,
+        ctx: &mut MpcContext,
+    ) -> Result<Self, MsfError> {
+        let mut msf = ExactMsf::new(n);
+        let chunk = (ctx.config().local_capacity() / 4).max(1) as usize;
+        let all: Vec<WeightedEdge> = edges.into_iter().collect();
+        for ch in all.chunks(chunk) {
+            msf.apply_batch(&WeightedBatch::inserting(ch.iter().copied()), ctx)?;
+        }
+        Ok(msf)
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// The current minimum spanning forest with weights.
+    pub fn forest(&self) -> Vec<WeightedEdge> {
+        self.etf
+            .forest_edges()
+            .map(|e| WeightedEdge {
+                edge: e,
+                weight: self.weights[&e],
+            })
+            .collect()
+    }
+
+    /// Total weight of the current MSF.
+    pub fn weight(&self) -> u64 {
+        self.weights.values().sum()
+    }
+
+    /// Component id of `v` (smallest member id).
+    pub fn component_of(&self, v: VertexId) -> VertexId {
+        self.comp[v as usize]
+    }
+
+    /// Whether two vertices are connected.
+    pub fn connected(&self, u: VertexId, v: VertexId) -> bool {
+        self.comp[u as usize] == self.comp[v as usize]
+    }
+
+    /// Swap-loop iterations consumed by the last batch.
+    pub fn last_iterations(&self) -> usize {
+        self.last_iterations
+    }
+
+    /// Memory footprint in words (component ids + tours + weights).
+    pub fn words(&self) -> u64 {
+        self.n as u64 + self.etf.words() + 2 * self.weights.len() as u64
+    }
+
+    /// Processes a batch of weighted insertions.
+    ///
+    /// # Errors
+    ///
+    /// * [`MsfError::DeletionNotSupported`] if the batch deletes.
+    /// * [`MsfError::DuplicateEdge`] on re-insertion of a live or
+    ///   previously dominated edge.
+    /// * [`MsfError::Mpc`] on resource violations.
+    pub fn apply_batch(
+        &mut self,
+        batch: &WeightedBatch,
+        ctx: &mut MpcContext,
+    ) -> Result<(), MsfError> {
+        if let Some(d) = batch.deletions().next() {
+            return Err(MsfError::DeletionNotSupported(d.edge));
+        }
+        let mut cand: Vec<WeightedEdge> = Vec::new();
+        for we in batch.insertions() {
+            if !self.seen.insert(we.edge) {
+                return Err(MsfError::DuplicateEdge(we.edge));
+            }
+            cand.push(we);
+        }
+        self.last_iterations = 0;
+        // Fixpoint loop; each iteration is O(1) rounds. 2k+2 bounds
+        // the number of candidate re-activations.
+        let max_iter = 2 * cand.len() + 2;
+        while !cand.is_empty() {
+            self.last_iterations += 1;
+            if self.last_iterations > max_iter {
+                return Err(MsfError::NoConvergence);
+            }
+            cand = self.one_iteration(cand, ctx)?;
+        }
+        Ok(())
+    }
+
+    /// One Case-1 + Case-2 pass; returns the reactivated candidates.
+    fn one_iteration(
+        &mut self,
+        mut cand: Vec<WeightedEdge>,
+        ctx: &mut MpcContext,
+    ) -> Result<Vec<WeightedEdge>, MsfError> {
+        let k = cand.len() as u64;
+        // --- Case 1: cross-component candidates -------------------
+        ctx.gather(3 * k)?;
+        cand.sort_by_key(|we| (we.weight, we.edge));
+        let mut index: HashMap<VertexId, u32> = HashMap::new();
+        for we in &cand {
+            for c in [
+                self.comp[we.edge.u() as usize],
+                self.comp[we.edge.v() as usize],
+            ] {
+                let next = index.len() as u32;
+                index.entry(c).or_insert(next);
+            }
+        }
+        let mut uf = UnionFind::new(index.len());
+        let mut joins: Vec<WeightedEdge> = Vec::new();
+        let mut rest: Vec<WeightedEdge> = Vec::new();
+        for we in cand {
+            let a = index[&self.comp[we.edge.u() as usize]];
+            let b = index[&self.comp[we.edge.v() as usize]];
+            if a != b && uf.union(a, b) {
+                joins.push(we);
+            } else {
+                rest.push(we);
+            }
+        }
+        if !joins.is_empty() {
+            let edges: Vec<Edge> = joins.iter().map(|we| we.edge).collect();
+            self.etf.batch_join(&edges, ctx);
+            for we in &joins {
+                self.weights.insert(we.edge, we.weight);
+            }
+            // Component relabel (minimum id per merged group).
+            let mut group_min: HashMap<u32, VertexId> = HashMap::new();
+            for (&c, &i) in &index {
+                let root = uf.find(i);
+                group_min
+                    .entry(root)
+                    .and_modify(|m| *m = (*m).min(c))
+                    .or_insert(c);
+            }
+            let relabel: HashMap<VertexId, VertexId> = index
+                .iter()
+                .filter_map(|(&c, &i)| {
+                    let target = group_min[&uf.find(i)];
+                    (target != c).then_some((c, target))
+                })
+                .collect();
+            ctx.sort(2 * relabel.len() as u64 + 1);
+            ctx.broadcast(2);
+            if !relabel.is_empty() {
+                for cv in self.comp.iter_mut() {
+                    if let Some(&nc) = relabel.get(cv) {
+                        *cv = nc;
+                    }
+                }
+            }
+        }
+        // --- Case 2: intra-component candidates -------------------
+        if rest.is_empty() {
+            return Ok(Vec::new());
+        }
+        // One broadcast of all endpoints' f/ℓ values; each machine
+        // evaluates the path test for its own edges (Lemma 7.2).
+        ctx.exchange(4 * rest.len() as u64);
+        ctx.sort(4 * rest.len() as u64);
+        ctx.broadcast(2);
+        let mut cuts: BTreeSet<Edge> = BTreeSet::new();
+        let mut swappers: Vec<WeightedEdge> = Vec::new();
+        for we in rest {
+            let path = self.etf.identify_path_local(we.edge.u(), we.edge.v());
+            let heaviest = path
+                .iter()
+                .map(|&pe| WeightedEdge {
+                    edge: pe,
+                    weight: self.weights[&pe],
+                })
+                .max_by_key(|w| (w.weight, w.edge))
+                .expect("intra-component candidates have a nonempty path");
+            if heaviest.weight > we.weight {
+                cuts.insert(heaviest.edge);
+                swappers.push(we);
+            }
+            // else: `we` is a maximum-weight edge on its cycle —
+            // discard permanently (cycle rule).
+        }
+        if cuts.is_empty() {
+            return Ok(Vec::new());
+        }
+        let cut_list: Vec<Edge> = cuts.iter().copied().collect();
+        let mut reactivated: Vec<WeightedEdge> = cut_list
+            .iter()
+            .map(|&e| WeightedEdge {
+                edge: e,
+                weight: self.weights.remove(&e).expect("cut edges are forest edges"),
+            })
+            .collect();
+        let pieces = self.etf.batch_split(&cut_list, ctx);
+        // Temporary component ids for the pieces (minimum member).
+        let mut relabels = 0u64;
+        for p in pieces {
+            let members = self.etf.tour_members(p).clone();
+            let new_c = *members.iter().min().expect("nonempty");
+            for &v in &members {
+                self.comp[v as usize] = new_c;
+            }
+            relabels += 1;
+        }
+        ctx.sort(2 * relabels);
+        ctx.broadcast(2);
+        reactivated.extend(swappers);
+        Ok(reactivated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_etf::tour::validate;
+    use mpc_graph::gen;
+    use mpc_graph::oracle;
+    use mpc_sim::MpcConfig;
+
+    fn ctx_for(n: usize) -> MpcContext {
+        MpcContext::new(MpcConfig::builder(n, 0.5).local_capacity(1 << 16).build())
+    }
+
+    fn check_exact(msf: &ExactMsf, all: &[WeightedEdge], n: usize) {
+        let expect = oracle::msf_weight(n, all.iter().copied());
+        assert_eq!(msf.weight(), expect, "MSF weight must match Kruskal");
+        // Forest validity.
+        let forest = msf.forest();
+        let mut uf = UnionFind::new(n);
+        for we in &forest {
+            assert!(all.contains(we), "forest edge {we} never inserted");
+            assert!(uf.union(we.edge.u(), we.edge.v()), "cycle at {we}");
+        }
+        assert_eq!(
+            uf.component_count(),
+            oracle::component_count(n, all.iter().map(|we| we.edge)),
+            "forest must span"
+        );
+        validate(msf.etf_ref()).expect("tours valid");
+    }
+
+    impl ExactMsf {
+        fn etf_ref(&self) -> &DistEtf {
+            &self.etf
+        }
+    }
+
+    #[test]
+    fn triangle_swap() {
+        let n = 4;
+        let mut ctx = ctx_for(n);
+        let mut msf = ExactMsf::new(n);
+        let all = [
+            WeightedEdge::new(0, 1, 10),
+            WeightedEdge::new(1, 2, 1),
+            WeightedEdge::new(0, 2, 2),
+        ];
+        msf.apply_batch(&WeightedBatch::inserting(all), &mut ctx)
+            .unwrap();
+        check_exact(&msf, &all, n);
+        assert_eq!(msf.weight(), 3);
+    }
+
+    #[test]
+    fn shared_path_max_double_swap() {
+        // The counterexample to a single-pass Case-2: two candidates
+        // whose tree paths share the same heaviest edge; an exact MSF
+        // requires swapping twice (second-heaviest too).
+        let n = 6;
+        let mut ctx = ctx_for(n);
+        let mut msf = ExactMsf::new(n);
+        // Path 0-1-2-3 with weights 1, 100, 50.
+        let base = [
+            WeightedEdge::new(0, 1, 1),
+            WeightedEdge::new(1, 2, 100),
+            WeightedEdge::new(2, 3, 50),
+        ];
+        msf.apply_batch(&WeightedBatch::inserting(base), &mut ctx)
+            .unwrap();
+        // Candidates {0,2} w=2 and {1,3} w=3: both paths contain the
+        // 100-edge; true MSF keeps {0,1},{0,2},{1,3} = 6.
+        let extra = [WeightedEdge::new(0, 2, 2), WeightedEdge::new(1, 3, 3)];
+        msf.apply_batch(&WeightedBatch::inserting(extra), &mut ctx)
+            .unwrap();
+        let all: Vec<WeightedEdge> = base.iter().chain(&extra).copied().collect();
+        check_exact(&msf, &all, n);
+        assert_eq!(msf.weight(), 6);
+        assert!(msf.last_iterations() >= 2, "needs a second swap pass");
+    }
+
+    #[test]
+    fn random_streams_match_kruskal() {
+        for seed in 0..8 {
+            let n = 32;
+            let stream = gen::random_weighted_insert_stream(n, 6, 8, 50, seed);
+            let mut ctx = ctx_for(n);
+            let mut msf = ExactMsf::new(n);
+            let mut all: Vec<WeightedEdge> = Vec::new();
+            for batch in &stream.batches {
+                msf.apply_batch(batch, &mut ctx).unwrap();
+                all.extend(batch.insertions());
+                check_exact(&msf, &all, n);
+            }
+        }
+    }
+
+    #[test]
+    fn equal_weights_no_spurious_swaps() {
+        let n = 8;
+        let mut ctx = ctx_for(n);
+        let mut msf = ExactMsf::new(n);
+        let all: Vec<WeightedEdge> = (0..7u32)
+            .map(|i| WeightedEdge::new(i, i + 1, 5))
+            .chain([WeightedEdge::new(0, 7, 5)])
+            .collect();
+        msf.apply_batch(&WeightedBatch::inserting(all.clone()), &mut ctx)
+            .unwrap();
+        check_exact(&msf, &all, n);
+        assert_eq!(msf.weight(), 35);
+    }
+
+    #[test]
+    fn deletions_rejected() {
+        let n = 4;
+        let mut ctx = ctx_for(n);
+        let mut msf = ExactMsf::new(n);
+        let mut batch = WeightedBatch::new();
+        batch.push(mpc_graph::update::WeightedUpdate::Delete(
+            WeightedEdge::new(0, 1, 1),
+        ));
+        assert!(matches!(
+            msf.apply_batch(&batch, &mut ctx),
+            Err(MsfError::DeletionNotSupported(_))
+        ));
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let n = 4;
+        let mut ctx = ctx_for(n);
+        let mut msf = ExactMsf::new(n);
+        msf.apply_batch(
+            &WeightedBatch::inserting([WeightedEdge::new(0, 1, 1)]),
+            &mut ctx,
+        )
+        .unwrap();
+        assert!(matches!(
+            msf.apply_batch(
+                &WeightedBatch::inserting([WeightedEdge::new(0, 1, 2)]),
+                &mut ctx,
+            ),
+            Err(MsfError::DuplicateEdge(_))
+        ));
+    }
+
+    #[test]
+    fn rounds_per_batch_bounded() {
+        let n = 128;
+        let stream = gen::random_weighted_insert_stream(n, 6, 12, 40, 3);
+        let mut ctx = ctx_for(n);
+        let mut msf = ExactMsf::new(n);
+        for batch in &stream.batches {
+            ctx.begin_phase("msf-batch");
+            msf.apply_batch(batch, &mut ctx).unwrap();
+            let r = ctx.end_phase();
+            // O(iterations / φ) rounds; iterations observed small.
+            let budget = (6 * msf.last_iterations().max(1) as u64 + 6)
+                * ctx.config().round_budget_per_primitive();
+            assert!(r.rounds <= budget, "{} > {budget}", r.rounds);
+        }
+    }
+    #[test]
+    fn from_graph_equals_kruskal_and_continues_dynamically() {
+        use mpc_graph::gen;
+        use mpc_graph::oracle;
+        let n = 32;
+        let stream = gen::random_weighted_insert_stream(n, 4, 10, 50, 77);
+        let mut edges: Vec<WeightedEdge> = Vec::new();
+        for b in &stream.batches {
+            edges.extend(b.insertions());
+        }
+        let mut ctx = MpcContext::new(
+            mpc_sim::MpcConfig::builder(n, 0.5).local_capacity(1 << 14).build(),
+        );
+        let mut msf = ExactMsf::from_graph(n, edges.iter().copied(), &mut ctx)
+            .expect("valid stream");
+        assert_eq!(msf.weight(), oracle::msf_weight(n, edges.iter().copied()));
+        // Dynamic continuation from the bootstrapped state.
+        let extra = WeightedEdge::new(0, 31, 1);
+        if !edges.iter().any(|w| w.edge == extra.edge) {
+            msf.apply_batch(&WeightedBatch::inserting([extra]), &mut ctx)
+                .expect("insert");
+            edges.push(extra);
+            assert_eq!(msf.weight(), oracle::msf_weight(n, edges.iter().copied()));
+        }
+    }
+
+}

@@ -1,0 +1,210 @@
+//! Per-vertex banks of independent sketch copies.
+//!
+//! The paper's batch-deletion algorithm (Section 6.3) keeps
+//! `t = Θ(log n)` **independent** sketches per vertex and consumes
+//! copy `i` only in Borůvka level `i` of the replacement-edge search,
+//! so every level queries randomness it has never revealed. The bank
+//! manages the `n × t` grid of [`VertexSketch`]es, lazily
+//! materializing them (a vertex with no incident updates costs
+//! nothing) and reporting exact word counts for the MPC memory
+//! accounting.
+
+use crate::vertex::VertexSketch;
+use mpc_graph::ids::{Edge, VertexId};
+
+/// A bank of `t` independent sketch copies for each of `n` vertices.
+///
+/// # Examples
+///
+/// ```
+/// use mpc_sketch::bank::SketchBank;
+/// use mpc_sketch::vertex::EdgeSample;
+/// use mpc_graph::ids::Edge;
+///
+/// let mut bank = SketchBank::new(16, 3, 99);
+/// bank.insert_edge(Edge::new(1, 2));
+/// let s = bank.sketch(1, 0).expect("materialized");
+/// assert_eq!(s.sample(), EdgeSample::Edge(Edge::new(1, 2)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SketchBank {
+    n: usize,
+    copies: usize,
+    seed: u64,
+    /// `slots[v]` is `None` until vertex `v` sees its first update.
+    slots: Vec<Option<Vec<VertexSketch>>>,
+    words: u64,
+}
+
+impl SketchBank {
+    /// Creates a bank of `copies` independent sketches per vertex for
+    /// an `n`-vertex graph. Copy `i` of every vertex shares seed
+    /// `seed + i`, so copies merge across vertices but are independent
+    /// across copy indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `copies == 0`.
+    pub fn new(n: usize, copies: usize, seed: u64) -> Self {
+        assert!(copies >= 1, "need at least one sketch copy");
+        SketchBank {
+            n,
+            copies,
+            seed,
+            slots: vec![None; n],
+            words: 0,
+        }
+    }
+
+    /// Number of independent copies per vertex.
+    pub fn copies(&self) -> usize {
+        self.copies
+    }
+
+    /// Words currently materialized across the whole bank.
+    pub fn words(&self) -> u64 {
+        self.words
+    }
+
+    /// Words one vertex's full sketch column costs when materialized.
+    pub fn words_per_vertex(&self) -> u64 {
+        // All sketches have identical shape; probe a template.
+        VertexSketch::new(self.n, 0, 0).words() * self.copies as u64
+    }
+
+    fn materialize(&mut self, v: VertexId) -> &mut Vec<VertexSketch> {
+        let n = self.n;
+        let copies = self.copies;
+        let seed = self.seed;
+        let slot = &mut self.slots[v as usize];
+        if slot.is_none() {
+            let col: Vec<VertexSketch> = (0..copies)
+                .map(|i| VertexSketch::new(n, v, seed + i as u64))
+                .collect();
+            self.words += col.iter().map(VertexSketch::words).sum::<u64>();
+            *slot = Some(col);
+        }
+        slot.as_mut().expect("just materialized")
+    }
+
+    /// Records an edge insertion in **both** endpoints' sketch
+    /// columns (all copies).
+    pub fn insert_edge(&mut self, e: Edge) {
+        for v in [e.u(), e.v()] {
+            for s in self.materialize(v).iter_mut() {
+                s.insert_edge(e);
+            }
+        }
+    }
+
+    /// Records an edge deletion in both endpoints' sketch columns.
+    pub fn delete_edge(&mut self, e: Edge) {
+        for v in [e.u(), e.v()] {
+            for s in self.materialize(v).iter_mut() {
+                s.delete_edge(e);
+            }
+        }
+    }
+
+    /// Copy `i` of vertex `v`'s sketch, if materialized. An
+    /// unmaterialized vertex has the zero sketch.
+    pub fn sketch(&self, v: VertexId, copy: usize) -> Option<&VertexSketch> {
+        self.slots[v as usize].as_ref().map(|col| &col[copy])
+    }
+
+    /// Whether vertex `v` has ever been touched by an update.
+    pub fn is_materialized(&self, v: VertexId) -> bool {
+        self.slots[v as usize].is_some()
+    }
+
+    /// Merges copy `copy` of every vertex in `members` into one set
+    /// sketch (the sketch of `X_A` for `A = members`), skipping
+    /// never-touched vertices (their sketches are zero). Returns
+    /// `None` if no member was ever touched.
+    pub fn merged_copy(&self, members: &[VertexId], copy: usize) -> Option<VertexSketch> {
+        let mut acc: Option<VertexSketch> = None;
+        for &v in members {
+            if let Some(s) = self.sketch(v, copy) {
+                match &mut acc {
+                    None => acc = Some(s.clone()),
+                    Some(a) => a.merge(s),
+                }
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vertex::EdgeSample;
+
+    #[test]
+    fn lazy_materialization_costs_nothing_upfront() {
+        let bank = SketchBank::new(1000, 8, 1);
+        assert_eq!(bank.words(), 0);
+        assert!(!bank.is_materialized(42));
+    }
+
+    #[test]
+    fn words_grow_only_for_touched_vertices() {
+        let mut bank = SketchBank::new(100, 4, 1);
+        bank.insert_edge(Edge::new(0, 1));
+        let w = bank.words();
+        assert_eq!(w, 2 * bank.words_per_vertex());
+        bank.insert_edge(Edge::new(0, 2));
+        // Vertex 0 already materialized; only vertex 2 added.
+        assert_eq!(bank.words(), w + bank.words_per_vertex());
+    }
+
+    #[test]
+    fn copies_are_independent_but_consistent() {
+        let mut bank = SketchBank::new(32, 6, 9);
+        let e = Edge::new(3, 7);
+        bank.insert_edge(e);
+        for copy in 0..6 {
+            let s = bank.sketch(3, copy).expect("materialized");
+            assert_eq!(s.sample(), EdgeSample::Edge(e), "copy {copy}");
+        }
+    }
+
+    #[test]
+    fn merged_copy_cancels_internal_edges() {
+        let mut bank = SketchBank::new(32, 2, 9);
+        bank.insert_edge(Edge::new(0, 1));
+        bank.insert_edge(Edge::new(1, 2));
+        bank.insert_edge(Edge::new(2, 9));
+        let set = bank.merged_copy(&[0, 1, 2], 0).expect("touched");
+        assert_eq!(set.sample(), EdgeSample::Edge(Edge::new(2, 9)));
+    }
+
+    #[test]
+    fn merged_copy_of_untouched_vertices_is_none() {
+        let bank = SketchBank::new(32, 2, 9);
+        assert!(bank.merged_copy(&[5, 6], 0).is_none());
+    }
+
+    #[test]
+    fn delete_restores_zero() {
+        let mut bank = SketchBank::new(32, 3, 11);
+        let e = Edge::new(4, 5);
+        bank.insert_edge(e);
+        bank.delete_edge(e);
+        for copy in 0..3 {
+            let merged = bank.merged_copy(&[4], copy).expect("touched");
+            assert_eq!(merged.sample(), EdgeSample::Empty);
+        }
+    }
+
+    #[test]
+    fn different_copies_use_different_randomness() {
+        let bank = SketchBank::new(64, 2, 123);
+        // Same structure, different seeds: the internal samplers must
+        // differ (different hash families).
+        let a = VertexSketch::new(64, 0, 123);
+        let b = VertexSketch::new(64, 0, 124);
+        assert_ne!(a, b);
+        drop(bank);
+    }
+}

@@ -1,0 +1,330 @@
+//! The `ℓ0`-sampler of the paper's Lemma 3.1 (\[CJ19\]).
+//!
+//! Coordinates of an `N`-dimensional vector are assigned to geometric
+//! levels by a seeded hash (`Pr[level j] = 2^-(j+1)`); each level
+//! keeps a [`OneSparseCell`]. When the vector has `ℓ0` nonzeros, the
+//! level `≈ log2 ℓ0` holds one surviving nonzero with constant
+//! probability, and its cell recovers it. Querying scans all levels
+//! and returns the first recovery.
+//!
+//! A single sampler succeeds with constant probability; the
+//! `δ`-failure version of Lemma 3.1 takes `O(log 1/δ)` independent
+//! copies, which is what [`SketchBank`](crate::bank::SketchBank)
+//! provides.
+
+use crate::one_sparse::{OneSparseCell, OneSparseDecode};
+use mpc_hashing::kwise::KWiseHash;
+
+/// Outcome of querying an [`L0Sampler`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleOutcome {
+    /// The summarized vector is (w.h.p.) zero — the paper's `⊥`.
+    Zero,
+    /// A nonzero coordinate and its value.
+    Sample {
+        /// The sampled coordinate.
+        index: u64,
+        /// Its value.
+        weight: i64,
+    },
+    /// The sampler failed this time (no level decoded one-sparse);
+    /// retry with an independent copy.
+    Fail,
+}
+
+/// A linear `ℓ0`-sampling sketch over vectors indexed by `[0, N)`.
+///
+/// Two samplers [`merge`](L0Sampler::merge) iff they were built with
+/// the same `(max_index, seed)` pair, in which case the merge
+/// summarizes the coordinate-wise sum.
+///
+/// # Examples
+///
+/// ```
+/// use mpc_sketch::l0::{L0Sampler, SampleOutcome};
+///
+/// let mut a = L0Sampler::new(1000, 7);
+/// let mut b = L0Sampler::new(1000, 7);
+/// a.update(5, 1);
+/// b.update(5, -1);
+/// a.merge(&b);
+/// assert_eq!(a.sample(), SampleOutcome::Zero);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct L0Sampler {
+    max_index: u64,
+    seed: u64,
+    level_hash: KWiseHash,
+    cells: Vec<OneSparseCell>,
+}
+
+impl L0Sampler {
+    /// Creates a sampler for vectors indexed by `[0, max_index)`,
+    /// with all randomness derived from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_index == 0`.
+    pub fn new(max_index: u64, seed: u64) -> Self {
+        assert!(max_index > 0, "need a nonempty index space");
+        let levels = (64 - max_index.leading_zeros()) + 2;
+        let level_hash = KWiseHash::from_seed(2, seed ^ 0x9e37_79b9_7f4a_7c15);
+        let proto = OneSparseCell::from_seed(seed ^ 0x85eb_ca6b_27d4_eb4f);
+        let cells = (0..levels).map(|_| proto.fresh()).collect();
+        L0Sampler {
+            max_index,
+            seed,
+            level_hash,
+            cells,
+        }
+    }
+
+    /// The seed this sampler's randomness derives from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of geometric levels.
+    pub fn levels(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Memory footprint in `u64` words (for the MPC accounting):
+    /// one one-sparse cell per level plus two header words.
+    pub fn words(&self) -> u64 {
+        self.cells.len() as u64 * OneSparseCell::WORDS + 2
+    }
+
+    /// Applies `X[index] += delta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= max_index`.
+    pub fn update(&mut self, index: u64, delta: i64) {
+        assert!(
+            index < self.max_index,
+            "index {index} out of range {}",
+            self.max_index
+        );
+        let level = self
+            .level_hash
+            .geometric_level(index, self.cells.len() as u32 - 1) as usize;
+        self.cells[level].update(index, delta);
+    }
+
+    /// Merges a sampler of the same family (vector addition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the families differ.
+    pub fn merge(&mut self, other: &L0Sampler) {
+        assert_eq!(
+            (self.max_index, self.seed),
+            (other.max_index, other.seed),
+            "cannot merge l0-samplers from different families"
+        );
+        for (a, b) in self.cells.iter_mut().zip(&other.cells) {
+            a.merge(b);
+        }
+    }
+
+    /// Whether every cell is zero (w.h.p. the zero vector).
+    pub fn is_zero(&self) -> bool {
+        self.cells.iter().all(OneSparseCell::is_zero)
+    }
+
+    /// Queries the sampler.
+    pub fn sample(&self) -> SampleOutcome {
+        if self.is_zero() {
+            return SampleOutcome::Zero;
+        }
+        // Prefer high (sparse) levels: they are the ones designed to
+        // isolate a single survivor; low levels decode only for very
+        // sparse vectors, which is exactly when they are useful.
+        for cell in self.cells.iter().rev() {
+            if let OneSparseDecode::One { index, weight } = cell.decode() {
+                return SampleOutcome::Sample { index, weight };
+            }
+        }
+        SampleOutcome::Fail
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn zero_vector_reports_zero() {
+        let s = L0Sampler::new(100, 1);
+        assert_eq!(s.sample(), SampleOutcome::Zero);
+    }
+
+    #[test]
+    fn singleton_always_recovered() {
+        for seed in 0..20 {
+            let mut s = L0Sampler::new(1 << 20, seed);
+            s.update(777, 3);
+            assert_eq!(
+                s.sample(),
+                SampleOutcome::Sample {
+                    index: 777,
+                    weight: 3
+                },
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn insert_delete_returns_to_zero() {
+        let mut s = L0Sampler::new(1 << 16, 5);
+        for i in 0..50u64 {
+            s.update(i * 7, 1);
+        }
+        for i in 0..50u64 {
+            s.update(i * 7, -1);
+        }
+        assert_eq!(s.sample(), SampleOutcome::Zero);
+    }
+
+    #[test]
+    fn sample_returns_true_nonzero() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut successes = 0;
+        let trials = 200;
+        for t in 0..trials {
+            let mut s = L0Sampler::new(1 << 20, t);
+            let support: Vec<u64> = (0..100).map(|_| rng.gen_range(0..1 << 20)).collect();
+            let mut dedup = support.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            for &i in &dedup {
+                s.update(i, 1);
+            }
+            match s.sample() {
+                SampleOutcome::Sample { index, weight } => {
+                    assert!(dedup.contains(&index), "sampled index must be in support");
+                    assert_eq!(weight, 1);
+                    successes += 1;
+                }
+                SampleOutcome::Fail => {}
+                SampleOutcome::Zero => panic!("nonzero vector reported zero"),
+            }
+        }
+        // A single sampler succeeds with constant probability; with
+        // geometric levels the empirical rate is well above 1/2.
+        assert!(
+            successes * 2 > trials,
+            "success rate too low: {successes}/{trials}"
+        );
+    }
+
+    #[test]
+    fn merge_linearity_matches_direct() {
+        let mut rng = StdRng::seed_from_u64(4242);
+        for trial in 0..30 {
+            let seed = trial;
+            let mut direct = L0Sampler::new(1 << 12, seed);
+            let mut a = L0Sampler::new(1 << 12, seed);
+            let mut b = L0Sampler::new(1 << 12, seed);
+            for _ in 0..60 {
+                let i = rng.gen_range(0u64..1 << 12);
+                let d = if rng.gen_bool(0.5) { 1 } else { -1 };
+                direct.update(i, d);
+                if rng.gen_bool(0.5) {
+                    a.update(i, d);
+                } else {
+                    b.update(i, d);
+                }
+            }
+            a.merge(&b);
+            assert_eq!(a, direct, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn sampling_is_spread_over_support() {
+        // Different seeds should sample different coordinates — the
+        // "random edge" property the replacement-edge search relies on.
+        let support: Vec<u64> = (0..64).map(|i| i * 1000 + 13).collect();
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..64 {
+            let mut s = L0Sampler::new(1 << 20, seed);
+            for &i in &support {
+                s.update(i, 1);
+            }
+            if let SampleOutcome::Sample { index, .. } = s.sample() {
+                seen.insert(index);
+            }
+        }
+        assert!(
+            seen.len() >= 16,
+            "samples too concentrated: {} distinct",
+            seen.len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "different families")]
+    fn cross_family_merge_panics() {
+        let mut a = L0Sampler::new(100, 1);
+        let b = L0Sampler::new(100, 2);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_update_panics() {
+        let mut s = L0Sampler::new(10, 1);
+        s.update(10, 1);
+    }
+
+    #[test]
+    fn weighted_entries_recovered() {
+        // The sampler is defined over integer vectors, not just ±1.
+        let mut s = L0Sampler::new(1 << 10, 3);
+        s.update(100, 7);
+        assert_eq!(
+            s.sample(),
+            SampleOutcome::Sample {
+                index: 100,
+                weight: 7
+            }
+        );
+        s.update(100, -3);
+        assert_eq!(
+            s.sample(),
+            SampleOutcome::Sample {
+                index: 100,
+                weight: 4
+            }
+        );
+    }
+
+    #[test]
+    fn clone_then_diverge() {
+        let mut a = L0Sampler::new(1 << 10, 9);
+        a.update(5, 1);
+        let mut b = a.clone();
+        b.update(5, -1);
+        assert_eq!(b.sample(), SampleOutcome::Zero);
+        assert_eq!(
+            a.sample(),
+            SampleOutcome::Sample {
+                index: 5,
+                weight: 1
+            }
+        );
+    }
+
+    #[test]
+    fn words_scale_with_levels() {
+        let small = L0Sampler::new(1 << 8, 0);
+        let big = L0Sampler::new(1 << 30, 0);
+        assert!(big.words() > small.words());
+        assert_eq!(small.words(), small.levels() as u64 * 4 + 2);
+    }
+}

@@ -1,0 +1,49 @@
+//! Linear `ℓ0`-sampling sketches and AGM graph sketches.
+//!
+//! This crate implements the sketching toolkit of the paper's
+//! Section 3.1:
+//!
+//! * [`one_sparse::OneSparseCell`] — exact recovery of vectors with at
+//!   most one nonzero coordinate (count / index-sum / fingerprint
+//!   triple).
+//! * [`l0::L0Sampler`] — the `ℓ0`-sampler of Lemma 3.1
+//!   (\[CJ19\]): geometric sub-sampling levels, each holding a
+//!   one-sparse cell. On query it returns a (near-)uniform nonzero
+//!   coordinate, `⊥` for the zero vector, or an explicit failure.
+//! * [`vertex::VertexSketch`] — the AGM vertex sketch of the vector
+//!   `X_v` over edge space with the `±1` orientation convention, so
+//!   sketches of a vertex set `A` sum to a sketch of the cut
+//!   `E(A, V∖A)` (Lemma 3.3, \[AGM12\]).
+//! * [`bank::SketchBank`] — `t = Θ(log n)` independent sketch copies
+//!   per vertex, lazily materialized, as required by the
+//!   batch-deletion algorithm of the paper's Section 6.3.
+//!
+//! All sketches are **linear**: merging two sketches of vectors `X`
+//! and `Y` (same seed family) yields a sketch of `X + Y` exactly
+//! (Remark 3.2). Property tests in this crate verify linearity on
+//! random update sequences.
+//!
+//! # Examples
+//!
+//! ```
+//! use mpc_sketch::l0::{L0Sampler, SampleOutcome};
+//!
+//! let mut s = L0Sampler::new(1 << 20, 42);
+//! s.update(12345, 1);
+//! match s.sample() {
+//!     SampleOutcome::Sample { index, weight } => {
+//!         assert_eq!((index, weight), (12345, 1));
+//!     }
+//!     other => panic!("unexpected outcome {other:?}"),
+//! }
+//! ```
+
+pub mod bank;
+pub mod l0;
+pub mod one_sparse;
+pub mod vertex;
+
+pub use bank::SketchBank;
+pub use l0::{L0Sampler, SampleOutcome};
+pub use one_sparse::OneSparseCell;
+pub use vertex::VertexSketch;

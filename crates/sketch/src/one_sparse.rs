@@ -1,0 +1,222 @@
+//! One-sparse vector recovery.
+//!
+//! A [`OneSparseCell`] summarizes an integer vector `X` with three
+//! linear quantities: the value sum `Σ X_i`, the index-weighted sum
+//! `Σ i·X_i`, and a polynomial fingerprint. If `X` has exactly one
+//! nonzero coordinate the cell recovers it exactly; vectors that are
+//! not one-sparse are rejected with failure probability
+//! `≤ support(X) / (2^61 - 1)` (Schwartz–Zippel on the fingerprint).
+
+use mpc_hashing::fingerprint::Fingerprint;
+
+/// Decoded content of a one-sparse cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OneSparseDecode {
+    /// The summarized vector is (w.h.p.) the zero vector.
+    Zero,
+    /// The summarized vector has exactly one nonzero coordinate
+    /// `index` with value `weight`.
+    One {
+        /// The nonzero coordinate.
+        index: u64,
+        /// Its value.
+        weight: i64,
+    },
+    /// The vector has two or more nonzero coordinates (w.h.p.).
+    Many,
+}
+
+/// A linear summary that exactly recovers one-sparse vectors.
+///
+/// # Examples
+///
+/// ```
+/// use mpc_sketch::one_sparse::{OneSparseCell, OneSparseDecode};
+///
+/// let mut c = OneSparseCell::from_seed(7);
+/// c.update(99, -2);
+/// assert_eq!(
+///     c.decode(),
+///     OneSparseDecode::One { index: 99, weight: -2 }
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OneSparseCell {
+    value_sum: i64,
+    index_sum: i128,
+    fingerprint: Fingerprint,
+}
+
+impl OneSparseCell {
+    /// Number of `u64` memory words one cell occupies (for the MPC
+    /// memory accounting): value sum, two words of index sum, and the
+    /// fingerprint accumulator. The shared evaluation point is counted
+    /// once per sketch family, not per cell.
+    pub const WORDS: u64 = 4;
+
+    /// Creates an empty cell with a seeded fingerprint family.
+    pub fn from_seed(seed: u64) -> Self {
+        OneSparseCell {
+            value_sum: 0,
+            index_sum: 0,
+            fingerprint: Fingerprint::from_seed(seed),
+        }
+    }
+
+    /// Creates an empty cell sharing this cell's fingerprint family.
+    pub fn fresh(&self) -> Self {
+        OneSparseCell {
+            value_sum: 0,
+            index_sum: 0,
+            fingerprint: self.fingerprint.fresh(),
+        }
+    }
+
+    /// Applies `X[index] += delta`.
+    pub fn update(&mut self, index: u64, delta: i64) {
+        self.value_sum += delta;
+        self.index_sum += index as i128 * delta as i128;
+        self.fingerprint.update(index, delta);
+    }
+
+    /// Merges another cell of the same family (vector addition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the families differ.
+    pub fn merge(&mut self, other: &OneSparseCell) {
+        self.value_sum += other.value_sum;
+        self.index_sum += other.index_sum;
+        self.fingerprint.merge(&other.fingerprint);
+    }
+
+    /// Whether every linear counter is zero (true zero vector, or an
+    /// astronomically unlikely fingerprint collision).
+    pub fn is_zero(&self) -> bool {
+        self.value_sum == 0 && self.index_sum == 0 && self.fingerprint.is_zero()
+    }
+
+    /// Decodes the cell.
+    pub fn decode(&self) -> OneSparseDecode {
+        if self.is_zero() {
+            return OneSparseDecode::Zero;
+        }
+        if self.value_sum != 0 && self.index_sum % self.value_sum as i128 == 0 {
+            let candidate = self.index_sum / self.value_sum as i128;
+            if candidate >= 0 && candidate <= u64::MAX as i128 {
+                let index = candidate as u64;
+                if self.fingerprint.value()
+                    == self.fingerprint.expected_one_sparse(index, self.value_sum)
+                {
+                    return OneSparseDecode::One {
+                        index,
+                        weight: self.value_sum,
+                    };
+                }
+            }
+        }
+        OneSparseDecode::Many
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_decodes_zero() {
+        assert_eq!(OneSparseCell::from_seed(1).decode(), OneSparseDecode::Zero);
+    }
+
+    #[test]
+    fn single_update_recovered() {
+        let mut c = OneSparseCell::from_seed(2);
+        c.update(7, 5);
+        assert_eq!(
+            c.decode(),
+            OneSparseDecode::One {
+                index: 7,
+                weight: 5
+            }
+        );
+    }
+
+    #[test]
+    fn negative_weight_recovered() {
+        let mut c = OneSparseCell::from_seed(3);
+        c.update(0, -1);
+        assert_eq!(
+            c.decode(),
+            OneSparseDecode::One {
+                index: 0,
+                weight: -1
+            }
+        );
+    }
+
+    #[test]
+    fn cancellation_returns_to_zero() {
+        let mut c = OneSparseCell::from_seed(4);
+        c.update(11, 1);
+        c.update(12, 1);
+        c.update(11, -1);
+        c.update(12, -1);
+        assert_eq!(c.decode(), OneSparseDecode::Zero);
+    }
+
+    #[test]
+    fn two_sparse_rejected() {
+        for seed in 0..16 {
+            let mut c = OneSparseCell::from_seed(seed);
+            c.update(3, 1);
+            c.update(9, 1);
+            assert_eq!(c.decode(), OneSparseDecode::Many, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn adversarial_index_mean_rejected() {
+        // {3: +1, 9: +1} has value_sum 2, index_sum 12, candidate 6 —
+        // only the fingerprint catches this.
+        let mut c = OneSparseCell::from_seed(5);
+        c.update(3, 1);
+        c.update(9, 1);
+        assert!(matches!(c.decode(), OneSparseDecode::Many));
+    }
+
+    #[test]
+    fn merge_is_vector_addition() {
+        let base = OneSparseCell::from_seed(6);
+        let mut a = base.fresh();
+        let mut b = base.fresh();
+        a.update(5, 2);
+        b.update(5, -2);
+        b.update(8, 1);
+        a.merge(&b);
+        assert_eq!(
+            a.decode(),
+            OneSparseDecode::One {
+                index: 8,
+                weight: 1
+            }
+        );
+    }
+
+    #[test]
+    fn mixed_sign_cancel_to_one_sparse() {
+        let mut c = OneSparseCell::from_seed(7);
+        // value_sum becomes 0 while vector is 2-sparse: must not be
+        // decoded as Zero or One.
+        c.update(2, 1);
+        c.update(4, -1);
+        assert_eq!(c.decode(), OneSparseDecode::Many);
+    }
+
+    #[test]
+    #[should_panic(expected = "different evaluation points")]
+    fn cross_family_merge_panics() {
+        let mut a = OneSparseCell::from_seed(8);
+        let b = OneSparseCell::from_seed(9);
+        a.merge(&b);
+    }
+}

@@ -1,0 +1,36 @@
+//! `mpc-stream` — streaming graph algorithms in the Massively
+//! Parallel Computation model.
+//!
+//! A reproduction of *"Streaming Graph Algorithms in the Massively
+//! Parallel Computation Model"* (Czumaj, Mishra, Mukherjee,
+//! PODC 2024). This facade crate re-exports the whole workspace; see
+//! the README for a tour and `examples/` for runnable programs.
+//!
+//! # Examples
+//!
+//! ```
+//! use mpc_stream::core_alg::{Connectivity, ConnectivityConfig};
+//! use mpc_stream::graph::ids::Edge;
+//! use mpc_stream::graph::update::Batch;
+//! use mpc_stream::mpc::{MpcConfig, MpcContext};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cfg = MpcConfig::builder(32, 0.5).local_capacity(1 << 14).build();
+//! let mut ctx = MpcContext::new(cfg);
+//! let mut conn = Connectivity::new(32, ConnectivityConfig::default(), 1);
+//! conn.apply_batch(&Batch::inserting([Edge::new(0, 1)]), &mut ctx)?;
+//! assert!(conn.connected(0, 1));
+//! # Ok(())
+//! # }
+//! ```
+
+pub use mpc_baselines as baselines;
+pub use mpc_etf as etf;
+pub use mpc_graph as graph;
+pub use mpc_hashing as hashing;
+pub use mpc_kconn as kconn;
+pub use mpc_matching as matching;
+pub use mpc_msf as msf;
+pub use mpc_sim as mpc;
+pub use mpc_sketch as sketch;
+pub use mpc_stream_core as core_alg;

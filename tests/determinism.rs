@@ -1,0 +1,146 @@
+//! Whole-pipeline determinism: DESIGN.md's reproducibility rule says
+//! every run is a pure function of its explicit seeds. Two
+//! independent executions with the same seeds must produce *identical*
+//! outputs — labels, forests, certificates, matchings, and round
+//! counts. (This suite exists because a `HashMap` iteration order
+//! once leaked into the k-connectivity peel; see CHANGELOG 0.2.0.)
+
+use mpc_stream::core_alg::{Connectivity, ConnectivityConfig};
+use mpc_stream::graph::gen;
+use mpc_stream::graph::ids::Edge;
+use mpc_stream::kconn::DynamicKConn;
+use mpc_stream::matching::AklyMatching;
+use mpc_stream::mpc::{MpcConfig, MpcContext};
+use mpc_stream::msf::ExactMsf;
+
+fn ctx_for(n: usize) -> MpcContext {
+    MpcContext::new(MpcConfig::builder(n, 0.5).local_capacity(1 << 16).build())
+}
+
+/// Two identically seeded connectivity runs agree on every observable
+/// — including the exact round count, which depends on the whole
+/// internal control flow.
+#[test]
+fn connectivity_runs_are_bit_identical() {
+    let n = 96;
+    let stream = gen::random_mixed_stream(n, 10, 12, 0.6, 0xDE7);
+    let run = || {
+        let mut ctx = ctx_for(n);
+        let mut conn = Connectivity::new(n, ConnectivityConfig::default(), 0x5EED);
+        let mut trace = Vec::new();
+        for batch in &stream.batches {
+            ctx.begin_phase("b");
+            conn.apply_batch(batch, &mut ctx).expect("in regime");
+            let r = ctx.end_phase();
+            trace.push((r.rounds, r.words, conn.component_labels().to_vec()));
+        }
+        (trace, conn.spanning_forest())
+    };
+    assert_eq!(run(), run());
+}
+
+/// Identically seeded certificate peels are identical, layer by
+/// layer.
+#[test]
+fn kconn_peels_are_identical() {
+    let n = 64;
+    let stream = gen::random_mixed_stream(n, 8, 10, 0.6, 0xC0DE);
+    let run = || {
+        let mut ctx = ctx_for(n);
+        let mut kc = DynamicKConn::new(n, 3, 0xACE);
+        let mut certs = Vec::new();
+        for batch in &stream.batches {
+            kc.apply_batch(batch, &mut ctx);
+            certs.push(kc.certificate(&mut ctx));
+        }
+        certs
+    };
+    assert_eq!(run(), run());
+}
+
+/// Exact MSF runs are identical (forest edge lists, not just
+/// weights).
+#[test]
+fn msf_runs_are_identical() {
+    let n = 64;
+    let stream = gen::random_weighted_insert_stream(n, 6, 12, 100, 0xF00);
+    let run = || {
+        let mut ctx = ctx_for(n);
+        let mut msf = ExactMsf::new(n);
+        for batch in &stream.batches {
+            msf.apply_batch(batch, &mut ctx).expect("insert-only");
+        }
+        let mut f = msf.forest();
+        f.sort();
+        f
+    };
+    assert_eq!(run(), run());
+}
+
+/// The AKLY sparsifier matcher — the most randomness-heavy structure
+/// (hash partitions, active pairs, samplers, rematch rounds) — still
+/// reproduces exactly from its seed.
+#[test]
+fn akly_matching_runs_are_identical() {
+    let n = 64;
+    let stream = gen::random_mixed_stream(n, 6, 8, 0.7, 0xBEE);
+    let run = || {
+        let mut ctx = ctx_for(n);
+        let mut akly = AklyMatching::new(n, 2.0, 0x5EED);
+        let mut sizes = Vec::new();
+        for batch in &stream.batches {
+            akly.apply_batch(batch, &mut ctx);
+            let mut m = akly.matching();
+            m.sort();
+            sizes.push(m);
+        }
+        sizes
+    };
+    assert_eq!(run(), run());
+}
+
+/// Different seeds genuinely change the randomized internals (the
+/// deterministic tests above are not vacuous).
+#[test]
+fn different_seeds_differ_somewhere() {
+    let n = 48;
+    // A star whose tree deletions force replacement sampling.
+    let center_edges: Vec<Edge> = (1..n as u32).map(|i| Edge::new(0, i)).collect();
+    let extra: Vec<Edge> = (1..n as u32 - 1).map(|i| Edge::new(i, i + 1)).collect();
+    let forest_of = |seed: u64| {
+        let mut ctx = ctx_for(n);
+        let mut conn = Connectivity::new(n, ConnectivityConfig::default(), seed);
+        for chunk in center_edges.chunks(8) {
+            conn.apply_batch(
+                &mpc_stream::graph::update::Batch::inserting(chunk.iter().copied()),
+                &mut ctx,
+            )
+            .expect("insert");
+        }
+        for chunk in extra.chunks(8) {
+            conn.apply_batch(
+                &mpc_stream::graph::update::Batch::inserting(chunk.iter().copied()),
+                &mut ctx,
+            )
+            .expect("insert");
+        }
+        // Delete a batch of star edges: replacements come from the
+        // sketches, whose samples depend on the seed.
+        conn.apply_batch(
+            &mpc_stream::graph::update::Batch::deleting(
+                center_edges[4..12].iter().copied(),
+            ),
+            &mut ctx,
+        )
+        .expect("delete");
+        let mut f = conn.spanning_forest();
+        f.sort();
+        f
+    };
+    let forests: Vec<_> = (0..6).map(|s| forest_of(s * 1000 + 1)).collect();
+    assert!(
+        forests.windows(2).any(|w| w[0] != w[1]),
+        "six different seeds produced identical replacement forests — \
+         the sketches are not consuming their seeds"
+    );
+}

@@ -1,0 +1,197 @@
+//! Integration tests for the extension layers: k-edge-connectivity
+//! certificates (`mpc-kconn`), adversarially robust connectivity
+//! (sketch switching), and vertex dynamics — including their
+//! interactions with the base connectivity algorithm and the cut
+//! oracles.
+
+use mpc_stream::core_alg::{
+    Connectivity, ConnectivityConfig, RobustConnectivity, VertexDynamicConnectivity,
+};
+use mpc_stream::graph::cuts;
+use mpc_stream::graph::gen;
+use mpc_stream::graph::ids::Edge;
+use mpc_stream::graph::oracle;
+use mpc_stream::graph::update::Batch;
+use mpc_stream::kconn::{DynamicKConn, InsertOnlyKConn, MinCut};
+use mpc_stream::mpc::{MpcConfig, MpcContext};
+
+fn ctx_for(n: usize) -> MpcContext {
+    MpcContext::new(MpcConfig::builder(n, 0.5).local_capacity(1 << 16).build())
+}
+
+/// The k = 1 insert-only certificate is exactly a spanning forest, so
+/// it must agree with the core connectivity algorithm's components on
+/// the same insertion stream.
+#[test]
+fn k1_certificate_agrees_with_core_connectivity() {
+    let n = 128;
+    let stream = gen::random_insert_stream(n, 8, 12, 0x51);
+    let mut ctx = ctx_for(n);
+    let mut conn = Connectivity::new(n, ConnectivityConfig::default(), 1);
+    let mut kc = InsertOnlyKConn::new(n, 1);
+    for batch in &stream.batches {
+        conn.apply_batch(batch, &mut ctx).expect("conn batch");
+        kc.apply_batch(batch, &mut ctx).expect("kconn batch");
+        let cert = kc.certificate();
+        assert_eq!(cert.component_labels(), conn.component_labels());
+        // A 1-layer certificate has exactly the forest size.
+        assert_eq!(cert.edge_count(), conn.spanning_forest().len());
+    }
+}
+
+/// The dynamic sketch-peeled certificate agrees with the insert-only
+/// cascade on the truncated cut value when both see the same stream.
+#[test]
+fn dynamic_and_insert_only_certificates_agree_on_cuts() {
+    let n = 64;
+    let k = 3;
+    let stream = gen::random_insert_stream(n, 6, 10, 0x52);
+    let snaps = stream.replay();
+    let mut ctx = ctx_for(n);
+    let mut io = InsertOnlyKConn::new(n, k);
+    let mut dy = DynamicKConn::new(n, k, 0x52);
+    for (batch, snap) in stream.batches.iter().zip(&snaps) {
+        io.apply_batch(batch, &mut ctx).expect("insert-only");
+        dy.apply_batch(batch, &mut ctx);
+        let live: Vec<Edge> = snap.edges().collect();
+        let truth = cuts::edge_connectivity(n, &live).min(k as u64);
+        let io_cut = cuts::edge_connectivity(n, &io.certificate().edges()).min(k as u64);
+        let dy_cut = cuts::edge_connectivity(n, &dy.certificate(&mut ctx).edges()).min(k as u64);
+        assert_eq!(io_cut, truth, "insert-only certificate diverged");
+        assert_eq!(dy_cut, truth, "dynamic certificate diverged");
+    }
+}
+
+/// Bridges found by the k >= 2 certificate match the DFS oracle on a
+/// dynamic stream with deletions.
+#[test]
+fn certificate_bridges_match_oracle_under_deletions() {
+    let n = 48;
+    let stream = gen::random_mixed_stream(n, 8, 10, 0.6, 0x53);
+    let snaps = stream.replay();
+    let mut ctx = ctx_for(n);
+    let mut dy = DynamicKConn::new(n, 2, 0x53);
+    for (batch, snap) in stream.batches.iter().zip(&snaps) {
+        dy.apply_batch(batch, &mut ctx);
+        let live: Vec<Edge> = snap.edges().collect();
+        let cert = dy.certificate(&mut ctx);
+        assert_eq!(
+            cert.bridges().expect("k = 2"),
+            cuts::bridges(n, &live),
+            "bridges diverged at m = {}",
+            live.len()
+        );
+    }
+}
+
+/// min_cut() transitions from AtLeast(k) to Exact as edges are
+/// removed from a well-connected graph.
+#[test]
+fn min_cut_estimate_degrades_gracefully() {
+    let n: u32 = 16;
+    let k = 3;
+    let mut ctx = ctx_for(n as usize);
+    let mut dy = DynamicKConn::new(n as usize, k, 0x54);
+    // A 4-regular circulant: edges to +1 and +2 around the ring.
+    let mut edges = Vec::new();
+    for i in 0..n {
+        edges.push(Edge::new(i, (i + 1) % n));
+        edges.push(Edge::new(i, (i + 2) % n));
+    }
+    dy.apply_batch(&Batch::inserting(edges.iter().copied()), &mut ctx);
+    assert_eq!(dy.certificate(&mut ctx).min_cut(), MinCut::AtLeast(3));
+    // Remove vertex 0's +2 links: its degree falls to ... ring only.
+    dy.apply_batch(
+        &Batch::deleting([Edge::new(0, 2), Edge::new(n - 2, 0)]),
+        &mut ctx,
+    );
+    assert_eq!(dy.certificate(&mut ctx).min_cut(), MinCut::Exact(2));
+    // Cut one ring edge at vertex 0 too: a single link remains.
+    dy.apply_batch(&Batch::deleting([Edge::new(0, 1)]), &mut ctx);
+    assert_eq!(dy.certificate(&mut ctx).min_cut(), MinCut::Exact(1));
+}
+
+/// Sketch switching keeps answering correctly on an oblivious stream,
+/// spending no exposure on insert-only prefixes.
+#[test]
+fn robust_connectivity_tracks_oracle_on_oblivious_stream() {
+    let n = 96;
+    let stream = gen::random_mixed_stream(n, 10, 8, 0.7, 0x55);
+    let snaps = stream.replay();
+    let mut ctx = ctx_for(n);
+    let mut rc = RobustConnectivity::new(n, 3, 8, ConnectivityConfig::default(), 0x55);
+    for (batch, snap) in stream.batches.iter().zip(&snaps) {
+        rc.apply_batch(batch, &mut ctx).expect("within budget");
+        let labels = oracle::components(n, snap.edges());
+        assert_eq!(rc.component_labels(), &labels[..]);
+    }
+    assert!(rc.exposures_spent() <= 10);
+}
+
+/// The robust wrapper and a plain instance agree label-for-label; the
+/// wrapper merely costs R× memory.
+#[test]
+fn robust_wrapper_is_semantically_transparent() {
+    let stream = gen::merge_split_stream(8, 8, 3, 12, 0x56);
+    let mut ctx = ctx_for(stream.n);
+    let mut plain = Connectivity::new(stream.n, ConnectivityConfig::default(), 0x99);
+    let mut rc = RobustConnectivity::new(stream.n, 2, 16, ConnectivityConfig::default(), 0x99);
+    for batch in &stream.batches {
+        plain.apply_batch(batch, &mut ctx).expect("plain");
+        rc.apply_batch(batch, &mut ctx).expect("robust");
+        assert_eq!(plain.component_count(), rc.component_count());
+    }
+    assert_eq!(rc.words(), 2 * plain.words());
+}
+
+/// Vertex churn composes with the k-connectivity certificate: run the
+/// certificate over the *capacity* space while vertices come and go,
+/// restricting cut questions to the active induced subgraph.
+#[test]
+fn vertex_dynamics_compose_with_certificates() {
+    let cap = 32;
+    let mut ctx = ctx_for(cap);
+    let mut vd = VertexDynamicConnectivity::with_capacity(cap, ConnectivityConfig::default(), 0x57);
+    let mut kc = InsertOnlyKConn::new(cap, 2);
+    // Activate 8 vertices and build a cycle on them.
+    let ids = vd.add_vertices(8, &mut ctx).expect("capacity");
+    let cycle: Vec<Edge> = (0..8)
+        .map(|i| Edge::new(ids[i], ids[(i + 1) % 8]))
+        .collect();
+    vd.apply_batch(&Batch::inserting(cycle.iter().copied()), &mut ctx)
+        .expect("edges");
+    kc.apply_batch(&Batch::inserting(cycle.iter().copied()), &mut ctx)
+        .expect("cert edges");
+    assert_eq!(vd.component_count(), 1);
+    // Inactive capacity slots do not confuse the certificate: the
+    // active subgraph is 2-edge-connected even though the full
+    // capacity space is not even connected.
+    let cert = kc.certificate();
+    let active_edges = cert.edges();
+    assert_eq!(
+        cuts::edge_connectivity(8, &remap(&active_edges, &ids)),
+        2
+    );
+}
+
+/// Renames `ids`-space edges to [0, ids.len()) so the oracle can run
+/// on the induced subgraph.
+fn remap(edges: &[Edge], ids: &[u32]) -> Vec<Edge> {
+    let pos = |v: u32| ids.iter().position(|&x| x == v).expect("active") as u32;
+    edges.iter().map(|e| Edge::new(pos(e.u()), pos(e.v()))).collect()
+}
+
+/// Certificates survive the model's memory gate: a batch that fits
+/// passes, an oversized one is rejected by the same gather gate the
+/// core algorithm uses.
+#[test]
+fn kconn_respects_model_memory_limits() {
+    let n = 256;
+    // s = 64 words → max gather-able batch is 32 updates.
+    let mut ctx = MpcContext::new(MpcConfig::builder(n, 0.3).local_capacity(64).build());
+    let mut kc = InsertOnlyKConn::new(n, 2);
+    let small = Batch::inserting((0..16u32).map(|i| Edge::new(i, i + 16)));
+    kc.apply_batch(&small, &mut ctx).expect("fits");
+    let big = Batch::inserting((0..64u32).map(|i| Edge::new(i, i + 64)));
+    assert!(kc.apply_batch(&big, &mut ctx).is_err());
+}

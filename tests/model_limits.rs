@@ -1,0 +1,220 @@
+//! Failure injection: the MPC model's resource gates must trip — and
+//! trip cleanly — when an algorithm is driven outside the regime its
+//! theorem permits (batch larger than `Õ(s)`, machine smaller than
+//! its state).
+
+use mpc_stream::core_alg::{Connectivity, ConnectivityConfig, ConnectivityError};
+use mpc_stream::graph::gen;
+use mpc_stream::graph::ids::Edge;
+use mpc_stream::graph::update::Batch;
+use mpc_stream::mpc::{MpcConfig, MpcContext, MpcError};
+
+#[test]
+fn oversized_batch_trips_the_gather_gate() {
+    // s = 64 words: the coordinator can gather at most a handful of
+    // updates; a 64-edge batch must be rejected, not silently
+    // processed.
+    let n = 256;
+    let mut ctx = MpcContext::new(MpcConfig::builder(n, 0.5).local_capacity(64).build());
+    let mut conn = Connectivity::new(n, ConnectivityConfig::default(), 1);
+    let batch = Batch::inserting((0..64u32).map(|i| Edge::new(2 * i, 2 * i + 1)));
+    let err = conn.apply_batch(&batch, &mut ctx).unwrap_err();
+    assert!(
+        matches!(err, ConnectivityError::Mpc(MpcError::GatherTooLarge { .. })),
+        "expected a gather violation, got {err:?}"
+    );
+}
+
+#[test]
+fn legal_batches_pass_the_same_gate() {
+    let n = 256;
+    let mut ctx = MpcContext::new(MpcConfig::builder(n, 0.5).local_capacity(64).build());
+    let mut conn = Connectivity::new(n, ConnectivityConfig::default(), 1);
+    // 8 edges × ~4 words each fits in 64.
+    let batch = Batch::inserting((0..8u32).map(|i| Edge::new(2 * i, 2 * i + 1)));
+    conn.apply_batch(&batch, &mut ctx).expect("legal batch");
+    assert_eq!(conn.component_count(), n - 8);
+}
+
+#[test]
+fn permissive_mode_records_memory_violations_instead_of_failing() {
+    // A cluster whose machines are far too small for the sketch bank:
+    // permissive mode keeps running and records every violation so
+    // experiments can report the overflow.
+    let n = 64;
+    let mut ctx = MpcContext::new(
+        MpcConfig::builder(n, 0.5)
+            .local_capacity(256)
+            .machines(4)
+            .build(),
+    );
+    let mut conn = Connectivity::new(n, ConnectivityConfig::default(), 2);
+    let stream = gen::random_insert_stream(n, 3, 8, 5);
+    for batch in &stream.batches {
+        conn.apply_batch(batch, &mut ctx).expect("permissive mode");
+    }
+    assert!(
+        !ctx.stats().violations.is_empty(),
+        "sketch state cannot fit 4×256 words; violations must be recorded"
+    );
+}
+
+#[test]
+fn strict_mode_fails_fast_on_the_same_configuration() {
+    let n = 64;
+    let mut ctx = MpcContext::new(
+        MpcConfig::builder(n, 0.5)
+            .local_capacity(256)
+            .machines(4)
+            .strict(true)
+            .build(),
+    );
+    let mut conn = Connectivity::new(n, ConnectivityConfig::default(), 2);
+    let stream = gen::random_insert_stream(n, 3, 8, 5);
+    let mut failed = false;
+    for batch in &stream.batches {
+        if let Err(ConnectivityError::Mpc(MpcError::LocalMemoryExceeded { .. })) =
+            conn.apply_batch(batch, &mut ctx)
+        {
+            failed = true;
+            break;
+        }
+    }
+    assert!(failed, "strict mode must surface the overflow as an error");
+}
+
+#[test]
+fn adequately_provisioned_cluster_stays_violation_free() {
+    // The paper's regime: machines big enough for their shard of the
+    // Õ(n) state. No violations should be recorded.
+    let n = 64;
+    let mut ctx = MpcContext::new(
+        MpcConfig::builder(n, 0.5)
+            .local_capacity(1 << 16)
+            .machines(16)
+            .build(),
+    );
+    let mut conn = Connectivity::new(n, ConnectivityConfig::default(), 3);
+    let stream = gen::random_mixed_stream(n, 6, 8, 0.7, 9);
+    for batch in &stream.batches {
+        conn.apply_batch(batch, &mut ctx).expect("within model");
+    }
+    assert!(ctx.stats().violations.is_empty());
+    assert!(ctx.stats().peak_total_words > 0);
+}
+
+#[test]
+fn communication_is_bounded_by_total_memory_scale() {
+    // Theorem 1.1's communication claim: per-round traffic is bounded
+    // by the total memory budget Õ(n) — in particular it must not
+    // scale with m. Compare peak per-round words on a sparse stream
+    // vs a much denser one.
+    let n = 128;
+    let mut peak = Vec::new();
+    for target_m in [100usize, 1600] {
+        let stream = gen::densifying_stream(n, target_m, 16, 4);
+        let mut ctx = MpcContext::new(MpcConfig::builder(n, 0.5).local_capacity(1 << 16).build());
+        let mut conn = Connectivity::new(n, ConnectivityConfig::default(), 4);
+        for batch in &stream.batches {
+            conn.apply_batch(batch, &mut ctx).expect("within model");
+        }
+        peak.push(ctx.stats().peak_round_words);
+    }
+    // 16x the edges must not translate into anywhere near 16x the
+    // per-round communication.
+    assert!(
+        peak[1] < peak[0] * 4,
+        "per-round words grew with m: {} -> {}",
+        peak[0],
+        peak[1]
+    );
+}
+
+#[test]
+fn robust_wrapper_propagates_the_gather_gate() {
+    use mpc_stream::core_alg::{RobustConnectivity, RobustError};
+    let n = 256;
+    let mut ctx = MpcContext::new(MpcConfig::builder(n, 0.5).local_capacity(64).build());
+    let mut rc = RobustConnectivity::new(n, 2, 4, ConnectivityConfig::default(), 1);
+    let batch = Batch::inserting((0..64u32).map(|i| Edge::new(2 * i, 2 * i + 1)));
+    let err = rc.apply_batch(&batch, &mut ctx).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            RobustError::Conn(ConnectivityError::Mpc(MpcError::GatherTooLarge { .. }))
+        ),
+        "expected the inner gather violation, got {err:?}"
+    );
+}
+
+#[test]
+fn vertex_dynamic_propagates_the_gather_gate() {
+    use mpc_stream::core_alg::{VertexDynError, VertexDynamicConnectivity};
+    let n = 256;
+    let mut ctx = MpcContext::new(MpcConfig::builder(n, 0.5).local_capacity(64).build());
+    let mut vd = VertexDynamicConnectivity::with_capacity(n, ConnectivityConfig::default(), 1);
+    vd.add_vertices(128, &mut ctx).expect("capacity");
+    let batch = Batch::inserting((0..64u32).map(|i| Edge::new(2 * i, 2 * i + 1)));
+    let err = vd.apply_batch(&batch, &mut ctx).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            VertexDynError::Conn(ConnectivityError::Mpc(MpcError::GatherTooLarge { .. }))
+        ),
+        "expected the inner gather violation, got {err:?}"
+    );
+}
+
+#[test]
+fn contract_violations_are_rejected_not_absorbed() {
+    // Deleting an edge that is not live violates the dynamic-graph
+    // contract (paper Section 1.2); the sketches detect it.
+    let n = 32;
+    let mut ctx = MpcContext::new(
+        MpcConfig::builder(n, 0.5).local_capacity(1 << 14).build(),
+    );
+    let mut conn = Connectivity::new(n, ConnectivityConfig::default(), 1);
+    conn.apply_batch(&Batch::inserting([Edge::new(0, 1)]), &mut ctx)
+        .expect("insert");
+    // Duplicate insertion of a live edge is rejected.
+    let err = conn
+        .apply_batch(&Batch::inserting([Edge::new(0, 1)]), &mut ctx)
+        .unwrap_err();
+    assert!(matches!(err, ConnectivityError::InvalidBatch(_)));
+    // An endpoint outside [0, n) is rejected before any mutation.
+    let err = conn
+        .apply_batch(&Batch::inserting([Edge::new(0, n as u32 + 5)]), &mut ctx)
+        .unwrap_err();
+    assert!(matches!(err, ConnectivityError::InvalidBatch(_)));
+    // The valid state is untouched.
+    assert!(conn.connected(0, 1));
+    assert_eq!(conn.live_edge_count(), 1);
+}
+
+#[test]
+fn tiny_phi_still_works_just_slower() {
+    // φ → small means less local memory and deeper trees: rounds grow
+    // as 1/φ but correctness is unaffected.
+    let n = 512;
+    let mut rounds_by_phi = Vec::new();
+    for phi in [0.3f64, 0.6] {
+        let s = (16.0 * (n as f64).powf(phi)).ceil() as u64;
+        let mut ctx = MpcContext::new(MpcConfig::builder(n, phi).local_capacity(s).build());
+        let mut conn = Connectivity::new(n, ConnectivityConfig::default(), 9);
+        let stream = gen::random_mixed_stream(n, 5, 6, 0.7, 31);
+        let snaps = stream.replay();
+        ctx.begin_phase("all");
+        for batch in &stream.batches {
+            conn.apply_batch(batch, &mut ctx).expect("in regime");
+        }
+        let r = ctx.end_phase().rounds;
+        let expect =
+            mpc_stream::graph::oracle::components(n, snaps.last().unwrap().edges());
+        assert_eq!(conn.component_labels(), &expect[..], "phi {phi}");
+        rounds_by_phi.push(r);
+    }
+    assert!(
+        rounds_by_phi[0] > rounds_by_phi[1],
+        "smaller phi must cost more rounds: {rounds_by_phi:?}"
+    );
+}

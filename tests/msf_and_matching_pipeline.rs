@@ -1,0 +1,177 @@
+//! Integration: the Section 7 (MSF, bipartiteness) and Section 8
+//! (matching) algorithms running over shared generated workloads.
+
+use mpc_stream::graph::dynamic::DynamicGraph;
+use mpc_stream::graph::gen;
+use mpc_stream::graph::ids::{Edge, WeightedEdge};
+use mpc_stream::graph::oracle;
+use mpc_stream::graph::update::Batch;
+use mpc_stream::matching::{
+    AklyMatching, CappedGreedyMatching, MatchingSizeEstimator, MaximalMatching, StreamKind,
+};
+use mpc_stream::mpc::{MpcConfig, MpcContext};
+use mpc_stream::msf::{ApproxMsfForest, ApproxMsfWeight, Bipartiteness, ExactMsf};
+
+fn ctx_for(n: usize) -> MpcContext {
+    MpcContext::new(MpcConfig::builder(n, 0.5).local_capacity(1 << 16).build())
+}
+
+#[test]
+fn exact_msf_full_stream_vs_kruskal() {
+    let n = 64;
+    let stream = gen::random_weighted_insert_stream(n, 8, 16, 100, 42);
+    let mut ctx = ctx_for(n);
+    let mut msf = ExactMsf::new(n);
+    let mut all: Vec<WeightedEdge> = Vec::new();
+    for batch in &stream.batches {
+        msf.apply_batch(batch, &mut ctx).expect("msf batch");
+        all.extend(batch.insertions());
+        assert_eq!(msf.weight(), oracle::msf_weight(n, all.iter().copied()));
+    }
+    // The forest itself is a valid MSF: same weight, forest, spanning.
+    let forest = msf.forest();
+    assert_eq!(
+        forest.len(),
+        oracle::kruskal_msf(n, all.iter().copied()).len()
+    );
+}
+
+#[test]
+fn exact_and_approx_msf_agree_within_eps() {
+    let n = 48;
+    let max_w = 64;
+    let eps = 0.2;
+    let stream = gen::random_weighted_insert_stream(n, 6, 12, max_w, 17);
+    let mut ctx = ctx_for(n);
+    let mut exact = ExactMsf::new(n);
+    let mut approx = ApproxMsfWeight::new(n, eps, max_w, 17);
+    for batch in &stream.batches {
+        exact.apply_batch(batch, &mut ctx).expect("exact");
+        approx.apply_batch(batch, &mut ctx).expect("approx");
+        let (w, est) = (exact.weight() as f64, approx.weight_estimate());
+        assert!(
+            est >= w - 1e-6 && est <= w * (1.0 + eps) + 1e-6,
+            "estimate {est} vs exact {w}"
+        );
+    }
+}
+
+#[test]
+fn approx_forest_under_heavy_churn() {
+    let n = 32;
+    let max_w = 16;
+    let stream = gen::random_weighted_stream(n, 10, 8, 0.6, max_w, 23);
+    let mut ctx = ctx_for(n);
+    let mut af = ApproxMsfForest::new(n, 0.25, max_w, 23);
+    let mut live = DynamicGraph::new(n);
+    for batch in &stream.batches {
+        af.apply_batch(batch, &mut ctx).expect("approx forest");
+        live.apply_weighted(batch).expect("valid stream");
+        let forest = af.forest();
+        let mut uf = oracle::UnionFind::new(n);
+        for (e, _) in &forest {
+            assert!(live.contains(*e));
+            assert!(uf.union(e.u(), e.v()), "cycle at {e}");
+        }
+        assert_eq!(
+            uf.component_count(),
+            oracle::component_count(n, live.edges()),
+        );
+        let true_weight: u64 = forest.iter().map(|(e, _)| live.weight(*e).unwrap()).sum();
+        let exact = oracle::msf_weight(n, live.weighted_edges().collect::<Vec<_>>());
+        assert!(true_weight as f64 <= exact as f64 * 1.25 + 1e-6);
+    }
+}
+
+#[test]
+fn bipartiteness_tracks_oracle_through_churn() {
+    let (stream, _) = gen::bipartite_stream_with_violation(20, 10, 5, Some(4), 31);
+    let snaps = stream.replay();
+    let mut ctx = ctx_for(2 * stream.n);
+    let mut bip = Bipartiteness::new(stream.n, 7);
+    for (batch, snap) in stream.batches.iter().zip(&snaps) {
+        bip.apply_batch(batch, &mut ctx).expect("bipartite batch");
+        let edges: Vec<Edge> = snap.edges().collect();
+        assert_eq!(bip.is_bipartite(), oracle::is_bipartite(stream.n, &edges));
+    }
+}
+
+#[test]
+fn matching_stack_on_one_planted_workload() {
+    let (stream, opt) = gen::planted_matching_stream(32, 40, 12, 55);
+    let n = stream.n;
+    let mut ctx = ctx_for(n);
+    let mut greedy = CappedGreedyMatching::for_alpha(n, 2.0);
+    let mut akly = AklyMatching::new(n, 2.0, 5);
+    let mut est_ins = MatchingSizeEstimator::new(n, 2.0, StreamKind::InsertionOnly, 6);
+    let mut est_dyn = MatchingSizeEstimator::new(n, 2.0, StreamKind::Dynamic, 6);
+    for batch in &stream.batches {
+        let ins: Vec<Edge> = batch.insertions().collect();
+        greedy.apply_insert_batch(&ins, &mut ctx);
+        akly.apply_batch(batch, &mut ctx);
+        est_ins.apply_batch(batch, &mut ctx);
+        est_dyn.apply_batch(batch, &mut ctx);
+    }
+    // All four track OPT within generous O(α) windows.
+    assert!(greedy.len() * 8 >= opt, "greedy {} vs {opt}", greedy.len());
+    assert!(
+        akly.matching_size() * 16 >= opt,
+        "akly {} vs {opt}",
+        akly.matching_size()
+    );
+    assert!(est_ins.estimate() * 16 >= opt && est_ins.estimate() <= 8 * opt);
+    assert!(est_dyn.estimate() * 32 >= opt && est_dyn.estimate() <= 8 * opt);
+}
+
+#[test]
+fn no21_substrate_survives_adversarial_deletion_of_its_matching() {
+    // Repeatedly delete exactly the matched edges — the worst case
+    // for rematching.
+    let n = 64;
+    let mut ctx = ctx_for(n);
+    let mut mm = MaximalMatching::new(n);
+    // Complete bipartite-ish block so replacements always exist.
+    let mut edges = Vec::new();
+    for a in 0..16u32 {
+        for b in 16..32u32 {
+            edges.push(Edge::new(a, b));
+        }
+    }
+    mm.apply_batch(&edges, &[], &mut ctx);
+    for round in 0..10 {
+        assert!(mm.is_maximal(), "round {round}");
+        let matched = mm.matching();
+        assert!(!matched.is_empty());
+        mm.apply_batch(&[], &matched, &mut ctx);
+    }
+    assert!(mm.is_maximal());
+}
+
+#[test]
+fn cross_algorithm_consistency_on_one_stream() {
+    // One unweighted stream feeds connectivity-style structures of
+    // three crates; they must agree on the component structure.
+    use mpc_stream::core_alg::{Connectivity, ConnectivityConfig};
+    let n = 40;
+    let stream = gen::random_mixed_stream(n, 6, 10, 0.75, 91);
+    let snaps = stream.replay();
+    let mut ctx = ctx_for(2 * n);
+    let mut conn = Connectivity::new(n, ConnectivityConfig::default(), 1);
+    let mut bip = Bipartiteness::new(n, 2);
+    for (batch, snap) in stream.batches.iter().zip(&snaps) {
+        conn.apply_batch(batch, &mut ctx).expect("conn");
+        bip.apply_batch(batch, &mut ctx).expect("bip");
+        assert_eq!(
+            conn.component_count(),
+            oracle::component_count(n, snap.edges())
+        );
+        assert_eq!(bip.component_count(), conn.component_count());
+    }
+}
+
+#[test]
+fn unit_weighted_helper_round_trips() {
+    let batch = Batch::inserting([Edge::new(0, 1), Edge::new(2, 3)]);
+    let wb = mpc_stream::msf::approx::unit_weighted(&batch);
+    assert_eq!(wb.unweighted(), batch);
+}

@@ -1,0 +1,325 @@
+//! Property-based tests over the workspace invariants (DESIGN.md §6).
+
+use mpc_stream::core_alg::{Connectivity, ConnectivityConfig};
+use mpc_stream::etf::tour::validate;
+use mpc_stream::etf::DistEtf;
+use mpc_stream::graph::ids::Edge;
+use mpc_stream::graph::oracle;
+use mpc_stream::graph::update::{Batch, Update};
+use mpc_stream::mpc::{MpcConfig, MpcContext};
+use mpc_stream::sketch::l0::L0Sampler;
+use mpc_stream::sketch::vertex::{EdgeSample, VertexSketch};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn ctx_for(n: usize) -> MpcContext {
+    MpcContext::new(MpcConfig::builder(n, 0.5).local_capacity(1 << 16).build())
+}
+
+/// A valid random batch sequence: at every step, insert an absent
+/// edge or delete a live one, grouped into batches.
+fn batch_sequences(
+    n: u32,
+    max_batches: usize,
+    batch_size: usize,
+) -> impl Strategy<Value = Vec<Batch>> {
+    let step = (0u32..n, 0u32..n, any::<bool>());
+    proptest::collection::vec(step, 1..max_batches * batch_size).prop_map(move |steps| {
+        let mut live: BTreeSet<Edge> = BTreeSet::new();
+        let mut batches = Vec::new();
+        let mut current = Batch::new();
+        for (a, b, prefer_insert) in steps {
+            if a == b {
+                continue;
+            }
+            let e = Edge::new(a, b);
+            let do_insert = if live.contains(&e) {
+                false
+            } else {
+                prefer_insert || live.is_empty()
+            };
+            if do_insert && !live.contains(&e) {
+                live.insert(e);
+                current.push(Update::Insert(e));
+            } else if live.contains(&e) {
+                live.remove(&e);
+                current.push(Update::Delete(e));
+            }
+            if current.len() >= batch_size {
+                batches.push(std::mem::take(&mut current));
+            }
+        }
+        if !current.is_empty() {
+            batches.push(current);
+        }
+        batches
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Connectivity ≡ union-find oracle after every batch, with valid
+    /// Euler tours throughout (the headline invariant of Thm 1.1).
+    #[test]
+    fn connectivity_matches_oracle(batches in batch_sequences(24, 8, 6), seed in 0u64..1000) {
+        let n = 24usize;
+        let mut ctx = ctx_for(n);
+        let mut conn = Connectivity::new(n, ConnectivityConfig::default(), seed);
+        let mut live: BTreeSet<Edge> = BTreeSet::new();
+        for batch in &batches {
+            for u in batch.iter() {
+                match u {
+                    Update::Insert(e) => { live.insert(e); }
+                    Update::Delete(e) => { live.remove(&e); }
+                }
+            }
+            conn.apply_batch(batch, &mut ctx).expect("valid batch");
+            let expect = oracle::components(n, live.iter().copied());
+            prop_assert_eq!(conn.component_labels(), &expect[..]);
+            validate(conn.etf()).expect("valid tours");
+            // Forest sanity.
+            let forest = conn.spanning_forest();
+            let mut uf = oracle::UnionFind::new(n);
+            for e in &forest {
+                prop_assert!(live.contains(e));
+                prop_assert!(uf.union(e.u(), e.v()));
+            }
+            prop_assert_eq!(uf.component_count(), oracle::component_count(n, live.iter().copied()));
+        }
+    }
+
+    /// Sketch linearity (paper Remark 3.2): splitting any update
+    /// sequence across two sketches and merging equals sketching the
+    /// whole sequence.
+    #[test]
+    fn l0_sampler_linearity(
+        updates in proptest::collection::vec((0u64..4096, any::<bool>(), any::<bool>()), 1..120),
+        seed in 0u64..1000,
+    ) {
+        let mut whole = L0Sampler::new(4096, seed);
+        let mut left = L0Sampler::new(4096, seed);
+        let mut right = L0Sampler::new(4096, seed);
+        for (i, positive, to_left) in updates {
+            let delta = if positive { 1 } else { -1 };
+            whole.update(i, delta);
+            if to_left { left.update(i, delta); } else { right.update(i, delta); }
+        }
+        left.merge(&right);
+        prop_assert_eq!(left, whole);
+    }
+
+    /// A sampled cut edge is always a true cut edge, and a certified
+    /// empty cut is truly empty (Lemma 3.5's guarantee, checked
+    /// exactly rather than probabilistically).
+    #[test]
+    fn vertex_sketch_cut_soundness(
+        edge_bits in proptest::collection::vec(any::<bool>(), 45),
+        side_bits in proptest::collection::vec(any::<bool>(), 10),
+        seed in 0u64..500,
+    ) {
+        let n = 10usize;
+        let mut edges = Vec::new();
+        let mut idx = 0;
+        for a in 0..n as u32 {
+            for b in (a + 1)..n as u32 {
+                if edge_bits[idx] {
+                    edges.push(Edge::new(a, b));
+                }
+                idx += 1;
+            }
+        }
+        let members: Vec<u32> = (0..n as u32).filter(|&v| side_bits[v as usize]).collect();
+        prop_assume!(!members.is_empty());
+        let mut sketches: Vec<VertexSketch> =
+            (0..n as u32).map(|v| VertexSketch::new(n, v, seed)).collect();
+        for &e in &edges {
+            sketches[e.u() as usize].insert_edge(e);
+            sketches[e.v() as usize].insert_edge(e);
+        }
+        let mut set = sketches[members[0] as usize].clone();
+        for &v in &members[1..] {
+            set.merge(&sketches[v as usize]);
+        }
+        let cut: Vec<Edge> = edges
+            .iter()
+            .copied()
+            .filter(|e| side_bits[e.u() as usize] != side_bits[e.v() as usize])
+            .collect();
+        match set.sample() {
+            EdgeSample::Edge(e) => prop_assert!(cut.contains(&e), "sampled non-cut edge {}", e),
+            EdgeSample::Empty => prop_assert!(cut.is_empty(), "cut of size {} reported empty", cut.len()),
+            EdgeSample::Fail => {} // allowed with constant probability
+        }
+    }
+
+    /// Euler-tour forests stay intrinsically valid under arbitrary
+    /// single-op sequences, and identify_path equals the unique tree
+    /// path computed by BFS.
+    #[test]
+    fn etf_ops_stay_valid(ops in proptest::collection::vec((0u32..16, 0u32..16, any::<bool>()), 1..40)) {
+        let n = 16usize;
+        let mut ctx = ctx_for(n);
+        let mut etf = DistEtf::new(n);
+        let mut live: BTreeSet<Edge> = BTreeSet::new();
+        for (a, b, del) in ops {
+            if a == b { continue; }
+            let e = Edge::new(a, b);
+            if del && live.contains(&e) {
+                etf.split(e, &mut ctx);
+                live.remove(&e);
+            } else if !del && !live.contains(&e) && etf.tour_of(a) != etf.tour_of(b) {
+                etf.join(e, &mut ctx);
+                live.insert(e);
+            }
+            validate(&etf).expect("valid after op");
+        }
+        // Check identify_path against BFS on the forest.
+        let adj = {
+            let mut adj = vec![Vec::new(); n];
+            for e in &live {
+                adj[e.u() as usize].push(e.v());
+                adj[e.v() as usize].push(e.u());
+            }
+            adj
+        };
+        for u in 0..n as u32 {
+            for v in 0..n as u32 {
+                if u < v && etf.tour_of(u) == etf.tour_of(v) {
+                    let mut path = etf.identify_path(u, v, &mut ctx);
+                    path.sort();
+                    let mut expect = bfs_path(&adj, u, v);
+                    expect.sort();
+                    prop_assert_eq!(path, expect);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Batch Euler-tour join/split keep the tours intrinsically valid
+    /// for arbitrary legal batch sequences (the Section 6.2 machinery
+    /// under random auxiliary-tree shapes).
+    #[test]
+    fn etf_batch_ops_stay_valid(
+        steps in proptest::collection::vec(
+            (proptest::collection::vec((0u32..20, 0u32..20), 1..6), any::<bool>()),
+            1..10,
+        )
+    ) {
+        use mpc_stream::graph::oracle::UnionFind;
+        let n = 20usize;
+        let mut ctx = ctx_for(n);
+        let mut etf = DistEtf::new(n);
+        let mut live: Vec<Edge> = Vec::new();
+        for (pairs, join) in steps {
+            if join {
+                // Build a legal join batch: edges across distinct
+                // tours forming a forest over tours.
+                let mut batch: Vec<Edge> = Vec::new();
+                let mut uf = UnionFind::new(n);
+                let mut index: std::collections::HashMap<u64, u32> = Default::default();
+                for (a, b) in pairs {
+                    if a == b {
+                        continue;
+                    }
+                    let (ta, tb) = (etf.tour_of(a), etf.tour_of(b));
+                    if ta == tb {
+                        continue;
+                    }
+                    let next = index.len() as u32;
+                    let ia = *index.entry(ta).or_insert(next);
+                    let next = index.len() as u32;
+                    let ib = *index.entry(tb).or_insert(next);
+                    if uf.union(ia, ib) {
+                        batch.push(Edge::new(a, b));
+                    }
+                }
+                if !batch.is_empty() {
+                    etf.batch_join(&batch, &mut ctx);
+                    live.extend(&batch);
+                }
+            } else if !live.is_empty() {
+                // Split a pseudo-random subset of live edges.
+                let take = (pairs.len()).min(live.len());
+                let batch: Vec<Edge> = live.drain(..take).collect();
+                etf.batch_split(&batch, &mut ctx);
+            }
+            validate(&etf).expect("valid after batch op");
+        }
+        // Connectivity of the forest matches union-find on live edges.
+        let labels = oracle::components(n, live.iter().copied());
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                prop_assert_eq!(
+                    etf.tour_of(u) == etf.tour_of(v),
+                    labels[u as usize] == labels[v as usize],
+                    "connectivity mismatch {} {}", u, v
+                );
+            }
+        }
+    }
+
+    /// Exact MSF stays equal to Kruskal for random insertion batches
+    /// with small weight ranges (maximizing ties, the hard case).
+    #[test]
+    fn exact_msf_matches_kruskal(
+        edges in proptest::collection::vec((0u32..16, 0u32..16, 1u64..6), 1..40),
+        chunk in 1usize..8,
+    ) {
+        use mpc_stream::graph::ids::WeightedEdge;
+        use mpc_stream::graph::update::WeightedBatch;
+        use mpc_stream::msf::ExactMsf;
+        let n = 16usize;
+        let mut seen = std::collections::BTreeSet::new();
+        let clean: Vec<WeightedEdge> = edges
+            .into_iter()
+            .filter(|&(a, b, _)| a != b)
+            .filter(|&(a, b, _)| seen.insert(Edge::new(a, b)))
+            .map(|(a, b, w)| WeightedEdge::new(a, b, w))
+            .collect();
+        prop_assume!(!clean.is_empty());
+        let mut ctx = ctx_for(n);
+        let mut msf = ExactMsf::new(n);
+        let mut all: Vec<WeightedEdge> = Vec::new();
+        for batch_edges in clean.chunks(chunk) {
+            let batch = WeightedBatch::inserting(batch_edges.iter().copied());
+            msf.apply_batch(&batch, &mut ctx).expect("legal batch");
+            all.extend(batch_edges);
+            prop_assert_eq!(
+                msf.weight(),
+                oracle::msf_weight(n, all.iter().copied()),
+                "weight diverged from Kruskal"
+            );
+        }
+    }
+}
+
+fn bfs_path(adj: &[Vec<u32>], u: u32, v: u32) -> Vec<Edge> {
+    use std::collections::VecDeque;
+    let mut prev = vec![u32::MAX; adj.len()];
+    let mut q = VecDeque::from([u]);
+    prev[u as usize] = u;
+    while let Some(x) = q.pop_front() {
+        if x == v {
+            break;
+        }
+        for &y in &adj[x as usize] {
+            if prev[y as usize] == u32::MAX {
+                prev[y as usize] = x;
+                q.push_back(y);
+            }
+        }
+    }
+    let mut path = Vec::new();
+    let mut cur = v;
+    while cur != u {
+        let p = prev[cur as usize];
+        path.push(Edge::new(cur, p));
+        cur = p;
+    }
+    path
+}

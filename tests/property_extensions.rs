@@ -1,0 +1,204 @@
+//! Property-based tests for the extension invariants: certificate
+//! soundness (cut preservation up to `k`), sketch-switching
+//! transparency, and vertex-churn correctness.
+
+use mpc_stream::core_alg::{ConnectivityConfig, RobustConnectivity, VertexDynamicConnectivity};
+use mpc_stream::graph::cuts;
+use mpc_stream::graph::ids::Edge;
+use mpc_stream::graph::oracle;
+use mpc_stream::graph::update::{Batch, Update};
+use mpc_stream::kconn::{DynamicKConn, InsertOnlyKConn};
+use mpc_stream::mpc::{MpcConfig, MpcContext};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn ctx_for(n: usize) -> MpcContext {
+    MpcContext::new(MpcConfig::builder(n, 0.5).local_capacity(1 << 16).build())
+}
+
+/// Random simple edge set on `n` vertices.
+fn edge_sets(n: u32, max_edges: usize) -> impl Strategy<Value = Vec<Edge>> {
+    proptest::collection::vec((0u32..n, 0u32..n), 0..max_edges).prop_map(|pairs| {
+        let mut seen = BTreeSet::new();
+        pairs
+            .into_iter()
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| Edge::new(a, b))
+            .filter(|e| seen.insert(*e))
+            .collect()
+    })
+}
+
+/// A valid mixed batch sequence (inserts of absent edges, deletes of
+/// live ones) together with the live edge set after every batch.
+fn mixed_streams(n: u32) -> impl Strategy<Value = (Vec<Batch>, Vec<Vec<Edge>>)> {
+    proptest::collection::vec((0u32..n, 0u32..n, any::<bool>()), 1..80).prop_map(move |steps| {
+        let mut live: BTreeSet<Edge> = BTreeSet::new();
+        let mut batches = Vec::new();
+        let mut snapshots = Vec::new();
+        let mut current = Batch::new();
+        for (a, b, prefer_insert) in steps {
+            if a == b {
+                continue;
+            }
+            let e = Edge::new(a, b);
+            if live.contains(&e) && !prefer_insert {
+                live.remove(&e);
+                current.push(Update::Delete(e));
+            } else if !live.contains(&e) && (prefer_insert || live.is_empty()) {
+                live.insert(e);
+                current.push(Update::Insert(e));
+            }
+            if current.len() >= 6 {
+                batches.push(std::mem::take(&mut current));
+                snapshots.push(live.iter().copied().collect());
+            }
+        }
+        if !current.is_empty() {
+            batches.push(current);
+            snapshots.push(live.iter().copied().collect());
+        }
+        (batches, snapshots)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Insert-only certificate: structurally valid, edge-subset of G,
+    /// within the k(n-1) size bound, and cut-exact up to k.
+    #[test]
+    fn insert_only_certificate_preserves_small_cuts(
+        edges in edge_sets(10, 30),
+        k in 1usize..4,
+    ) {
+        let n = 10usize;
+        let mut ctx = ctx_for(n);
+        let mut kc = InsertOnlyKConn::new(n, k);
+        for chunk in edges.chunks(4) {
+            kc.apply_batch(&Batch::inserting(chunk.iter().copied()), &mut ctx).unwrap();
+        }
+        let cert = kc.certificate();
+        prop_assert_eq!(cert.validate(), Ok(()));
+        prop_assert!(cert.edge_count() <= k * (n - 1));
+        for e in cert.edges() {
+            prop_assert!(edges.contains(&e));
+        }
+        let lam_g = cuts::edge_connectivity(n, &edges).min(k as u64);
+        let lam_c = cuts::edge_connectivity(n, &cert.edges()).min(k as u64);
+        prop_assert_eq!(lam_g, lam_c);
+        // Bridges coincide whenever the certificate may answer.
+        if k >= 2 {
+            prop_assert_eq!(cert.bridges().unwrap(), cuts::bridges(n, &edges));
+        }
+    }
+
+    /// Dynamic sketch-peeled certificate preserves truncated cuts
+    /// after arbitrary valid insert/delete streams.
+    #[test]
+    fn dynamic_certificate_preserves_small_cuts(
+        (batches, snapshots) in mixed_streams(9),
+        k in 1usize..3,
+        seed in 0u64..1000,
+    ) {
+        let n = 9usize;
+        let mut ctx = ctx_for(n);
+        let mut kc = DynamicKConn::new(n, k, seed);
+        for batch in &batches {
+            kc.apply_batch(batch, &mut ctx);
+        }
+        let live = snapshots.last().cloned().unwrap_or_default();
+        let cert = kc.certificate(&mut ctx);
+        for e in cert.edges() {
+            prop_assert!(live.contains(&e), "ghost edge {:?}", e);
+        }
+        let lam_g = cuts::edge_connectivity(n, &live).min(k as u64);
+        let lam_c = cuts::edge_connectivity(n, &cert.edges()).min(k as u64);
+        prop_assert_eq!(lam_g, lam_c);
+    }
+
+    /// The robust wrapper gives oracle-exact labels on every prefix of
+    /// any oblivious stream (budget set high enough to never refuse).
+    #[test]
+    fn robust_connectivity_matches_oracle(
+        (batches, snapshots) in mixed_streams(12),
+        r in 1usize..4,
+    ) {
+        let n = 12usize;
+        let mut ctx = ctx_for(n);
+        let mut rc = RobustConnectivity::new(n, r, 1000, ConnectivityConfig::default(), 77);
+        for (batch, live) in batches.iter().zip(&snapshots) {
+            rc.apply_batch(batch, &mut ctx).unwrap();
+            let labels = oracle::components(n, live.iter().copied());
+            prop_assert_eq!(rc.component_labels(), &labels[..]);
+        }
+    }
+
+    /// Vertex-dynamic connectivity matches the oracle under arbitrary
+    /// add-vertex / add-edge / delete-edge / remove-vertex programs.
+    #[test]
+    fn vertex_churn_matches_oracle(
+        program in proptest::collection::vec((0u8..4, 0u32..16, 0u32..16), 1..60),
+    ) {
+        let cap = 16usize;
+        let mut ctx = ctx_for(cap);
+        let mut vd = VertexDynamicConnectivity::with_capacity(
+            cap, ConnectivityConfig::default(), 3,
+        );
+        let mut live: Vec<Edge> = Vec::new();
+        let mut active: Vec<u32> = Vec::new();
+        for (op, x, y) in program {
+            match op {
+                0 => {
+                    if vd.active_count() < cap {
+                        active.push(vd.add_vertex(&mut ctx).unwrap());
+                    }
+                }
+                1 => {
+                    if active.len() >= 2 {
+                        let a = active[x as usize % active.len()];
+                        let b = active[y as usize % active.len()];
+                        if a != b {
+                            let e = Edge::new(a, b);
+                            if !live.contains(&e) {
+                                vd.apply_batch(&Batch::inserting([e]), &mut ctx).unwrap();
+                                live.push(e);
+                            }
+                        }
+                    }
+                }
+                2 => {
+                    if !live.is_empty() {
+                        let e = live.swap_remove(x as usize % live.len());
+                        vd.apply_batch(&Batch::deleting([e]), &mut ctx).unwrap();
+                    }
+                }
+                _ => {
+                    if !active.is_empty() {
+                        let i = x as usize % active.len();
+                        let v = active[i];
+                        if live.iter().all(|e| !e.touches(v)) {
+                            vd.remove_vertex(v, &mut ctx).unwrap();
+                            active.swap_remove(i);
+                        }
+                    }
+                }
+            }
+        }
+        let labels = oracle::components(cap, live.iter().copied());
+        for &a in &active {
+            for &b in &active {
+                prop_assert_eq!(
+                    vd.connected(a, b).unwrap(),
+                    labels[a as usize] == labels[b as usize]
+                );
+            }
+        }
+        // Inactive slots are rejected, not misanswered.
+        for v in 0..cap as u32 {
+            if !active.contains(&v) {
+                prop_assert!(vd.component_of(v).is_err());
+            }
+        }
+    }
+}
