@@ -103,12 +103,16 @@ impl AgmBaseline {
                 groups.entry(uf.find(v)).or_default().push(v);
             }
             let mut progress = false;
+            let mut any_failed = false;
             let mut found: Vec<Edge> = Vec::new();
             for (_, members) in groups {
-                if let Some(s) = self.bank.merged_copy(&members, level) {
-                    if let EdgeSample::Edge(e) = s.sample() {
-                        found.push(e);
-                    }
+                match self.bank.merged_copy(&members, level) {
+                    Some(s) => match s.sample() {
+                        EdgeSample::Edge(e) => found.push(e),
+                        EdgeSample::Empty => {}
+                        EdgeSample::Fail => any_failed = true,
+                    },
+                    None => any_failed = true,
                 }
             }
             ctx.sort(2 * found.len() as u64 + 1);
@@ -118,7 +122,11 @@ impl AgmBaseline {
                     progress = true;
                 }
             }
-            if !progress {
+            // Stop only on *certified* convergence: every supernode's
+            // cut sampled Empty (exact, Lemma 3.5) and nothing merged.
+            // An unproductive level with sampler failures must not end
+            // the cascade — later levels hold independent copies.
+            if !progress && !any_failed {
                 break;
             }
         }

@@ -7,7 +7,9 @@ use mpc_graph::ids::Edge;
 use mpc_graph::update::Batch;
 use mpc_kconn::{DynamicKConn, InsertOnlyKConn};
 use mpc_sim::{MpcConfig, MpcContext};
-use mpc_stream_core::{Connectivity, ConnectivityConfig, RobustConnectivity, VertexDynamicConnectivity};
+use mpc_stream_core::{
+    Connectivity, ConnectivityConfig, RobustConnectivity, VertexDynamicConnectivity,
+};
 use std::hint::black_box;
 
 fn ctx_for(n: usize) -> MpcContext {
@@ -82,7 +84,12 @@ fn bench_robust(c: &mut Criterion) {
         let n = 512;
         let edges = circulant(n as u32);
         b.iter_batched(
-            || (ctx_for(n), Connectivity::new(n, ConnectivityConfig::default(), 9)),
+            || {
+                (
+                    ctx_for(n),
+                    Connectivity::new(n, ConnectivityConfig::default(), 9),
+                )
+            },
             |(mut ctx, mut conn)| {
                 for chunk in edges.chunks(32) {
                     conn.apply_batch(&Batch::inserting(chunk.iter().copied()), &mut ctx)
@@ -103,11 +110,7 @@ fn bench_vertex_churn(c: &mut Criterion) {
             || {
                 (
                     ctx_for(cap),
-                    VertexDynamicConnectivity::with_capacity(
-                        cap,
-                        ConnectivityConfig::default(),
-                        4,
-                    ),
+                    VertexDynamicConnectivity::with_capacity(cap, ConnectivityConfig::default(), 4),
                 )
             },
             |(mut ctx, mut vd)| {
@@ -129,5 +132,10 @@ fn bench_vertex_churn(c: &mut Criterion) {
     });
 }
 
-criterion_group!(extension_benches, bench_kconn, bench_robust, bench_vertex_churn);
+criterion_group!(
+    extension_benches,
+    bench_kconn,
+    bench_robust,
+    bench_vertex_churn
+);
 criterion_main!(extension_benches);

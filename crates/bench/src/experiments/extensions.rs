@@ -48,7 +48,14 @@ pub fn e13_kconn() -> Vec<Table> {
     let mut cert_t = Table::new(
         "E13a (Sec 9 extension): sparse certificate — size <= k(n-1), cut exact up to k",
         &[
-            "mode", "n", "m", "k", "cert edges", "k(n-1)", "min(λ_G,k)", "min(λ_cert,k)",
+            "mode",
+            "n",
+            "m",
+            "k",
+            "cert edges",
+            "k(n-1)",
+            "min(λ_G,k)",
+            "min(λ_cert,k)",
             "verdict",
         ],
     );
@@ -75,7 +82,11 @@ pub fn e13_kconn() -> Vec<Table> {
                 (k * (n - 1)).to_string(),
                 lambda_g.to_string(),
                 lambda_c.to_string(),
-                if lambda_g == lambda_c { "match".into() } else { "DIVERGED".into() },
+                if lambda_g == lambda_c {
+                    "match".into()
+                } else {
+                    "DIVERGED".into()
+                },
             ]);
 
             // Dynamic sketch peeling (same final graph, via a
@@ -97,7 +108,11 @@ pub fn e13_kconn() -> Vec<Table> {
                 (k * (n - 1)).to_string(),
                 lambda_g.to_string(),
                 lambda_c.to_string(),
-                if lambda_g == lambda_c { "match".into() } else { "DIVERGED".into() },
+                if lambda_g == lambda_c {
+                    "match".into()
+                } else {
+                    "DIVERGED".into()
+                },
             ]);
         }
     }
@@ -106,7 +121,13 @@ pub fn e13_kconn() -> Vec<Table> {
     // dynamic queries — the measured form of the open problem.
     let mut rounds_t = Table::new(
         "E13b: update rounds stay flat; dynamic certificate queries pay Θ(k log n) rounds",
-        &["n", "k", "update rounds/batch (dyn)", "query rounds (dyn)", "update rounds/batch (ins-only)"],
+        &[
+            "n",
+            "k",
+            "update rounds/batch (dyn)",
+            "query rounds (dyn)",
+            "update rounds/batch (ins-only)",
+        ],
     );
     for &n in &[128usize, 512] {
         for &k in &[1usize, 2, 4] {
@@ -148,7 +169,14 @@ pub fn e13_kconn() -> Vec<Table> {
     // Memory: certificate words vs m (the sparsification factor).
     let mut mem_t = Table::new(
         "E13c: total words — insert-only O(k·n) state vs dynamic Õ(k·n) sketches vs m",
-        &["n", "m", "k", "ins-only words", "dynamic words", "2m (edge list)"],
+        &[
+            "n",
+            "m",
+            "k",
+            "ins-only words",
+            "dynamic words",
+            "2m (edge list)",
+        ],
     );
     for &n in &[256usize] {
         for &k in &[2usize, 4] {
@@ -175,7 +203,12 @@ pub fn e13_kconn() -> Vec<Table> {
     // E12a copies ablation for the core algorithm).
     let mut abl_t = Table::new(
         "E13d (ablation): sketch copies per bank vs dynamic-peel correctness (20 streams each)",
-        &["copies", "streams", "diverged (truncated cut)", "words/bank"],
+        &[
+            "copies",
+            "streams",
+            "diverged (truncated cut)",
+            "words/bank",
+        ],
     );
     {
         let n = 48usize;
@@ -219,7 +252,13 @@ pub fn e16_preprocessing() -> Vec<Table> {
     let mut t = Table::new(
         "E16 (Sec 1.1): bootstrap from an arbitrary graph vs replaying it as a stream",
         &[
-            "structure", "n", "m", "bootstrap rounds", "replay rounds", "ratio", "state",
+            "structure",
+            "n",
+            "m",
+            "bootstrap rounds",
+            "replay rounds",
+            "ratio",
+            "state",
         ],
     );
     for &n in &[256usize, 1024] {
@@ -255,7 +294,11 @@ pub fn e16_preprocessing() -> Vec<Table> {
             boot_rounds.to_string(),
             replay_rounds.to_string(),
             f2(replay_rounds as f64 / boot_rounds.max(1) as f64),
-            if ok { "oracle-exact".into() } else { "DIVERGED".into() },
+            if ok {
+                "oracle-exact".into()
+            } else {
+                "DIVERGED".into()
+            },
         ]);
 
         // k-edge-connectivity sketches (k = 2): bootstrap is one
@@ -281,7 +324,11 @@ pub fn e16_preprocessing() -> Vec<Table> {
             boot_rounds.to_string(),
             replay_rounds.to_string(),
             f2(replay_rounds as f64 / boot_rounds.max(1) as f64),
-            if ok { "identical sketches".into() } else { "DIVERGED".into() },
+            if ok {
+                "identical sketches".into()
+            } else {
+                "DIVERGED".into()
+            },
         ]);
     }
     vec![t]
@@ -297,8 +344,14 @@ pub fn e14_robustness() -> Vec<Table> {
     let mut t = Table::new(
         "E14 (Sec 1.1 caveat): sketch switching — R× memory buys R×budget adaptive batches",
         &[
-            "n", "R", "budget", "words (robust)", "words (oblivious)", "ratio",
-            "adaptive batches survived", "oracle",
+            "n",
+            "R",
+            "budget",
+            "words (robust)",
+            "words (oblivious)",
+            "ratio",
+            "adaptive batches survived",
+            "oracle",
         ],
     );
     let n = 256usize;
@@ -308,7 +361,9 @@ pub fn e14_robustness() -> Vec<Table> {
         let mut base = Connectivity::new(n, ConnectivityConfig::default(), 0xE14);
         // Connected base graph: a cycle (every tree deletion has a
         // replacement, so the structure keeps answering).
-        let cycle: Vec<Edge> = (0..n as u32).map(|i| Edge::new(i, (i + 1) % n as u32)).collect();
+        let cycle: Vec<Edge> = (0..n as u32)
+            .map(|i| Edge::new(i, (i + 1) % n as u32))
+            .collect();
         for chunk in cycle.chunks(max_batch(&ctx).min(16)) {
             rc.apply_batch(&Batch::inserting(chunk.iter().copied()), &mut ctx)
                 .expect("insert");
@@ -322,7 +377,10 @@ pub fn e14_robustness() -> Vec<Table> {
         let mut ok = true;
         loop {
             let target = rc.spanning_forest()[0];
-            if rc.apply_batch(&Batch::deleting([target]), &mut ctx).is_err() {
+            if rc
+                .apply_batch(&Batch::deleting([target]), &mut ctx)
+                .is_err()
+            {
                 break;
             }
             live.retain(|e| *e != target);
@@ -344,7 +402,11 @@ pub fn e14_robustness() -> Vec<Table> {
             base.words().to_string(),
             f2(rc.words() as f64 / base.words() as f64),
             format!("{survived} (= R*budget = {})", r as u64 * budget),
-            if ok { "match".into() } else { "DIVERGED".into() },
+            if ok {
+                "match".into()
+            } else {
+                "DIVERGED".into()
+            },
         ]);
     }
     vec![t]
@@ -359,7 +421,14 @@ pub fn e14_robustness() -> Vec<Table> {
 pub fn e15_vertex_churn() -> Vec<Table> {
     let mut t = Table::new(
         "E15 (Sec 1.2): vertex churn — capacity-pinned memory, oracle-exact connectivity",
-        &["capacity", "steps", "peak active", "final active", "words", "oracle"],
+        &[
+            "capacity",
+            "steps",
+            "peak active",
+            "final active",
+            "words",
+            "oracle",
+        ],
     );
     for &cap in &[64usize, 256] {
         let mut ctx = experiment_context(cap, 0.5);
@@ -382,14 +451,16 @@ pub fn e15_vertex_churn() -> Vec<Table> {
                     if a != b {
                         let e = Edge::new(a, b);
                         if !live.contains(&e) {
-                            vd.apply_batch(&Batch::inserting([e]), &mut ctx).expect("insert");
+                            vd.apply_batch(&Batch::inserting([e]), &mut ctx)
+                                .expect("insert");
                             live.push(e);
                         }
                     }
                 }
                 3 if !live.is_empty() => {
                     let e = live.swap_remove(rng.gen_range(0..live.len()));
-                    vd.apply_batch(&Batch::deleting([e]), &mut ctx).expect("delete");
+                    vd.apply_batch(&Batch::deleting([e]), &mut ctx)
+                        .expect("delete");
                 }
                 4 if !active.is_empty() => {
                     let i = rng.gen_range(0..active.len());
@@ -414,7 +485,11 @@ pub fn e15_vertex_churn() -> Vec<Table> {
             peak.to_string(),
             vd.active_count().to_string(),
             vd.words().to_string(),
-            if ok { "match".into() } else { "DIVERGED".into() },
+            if ok {
+                "match".into()
+            } else {
+                "DIVERGED".into()
+            },
         ]);
     }
     vec![t]

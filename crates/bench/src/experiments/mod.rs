@@ -35,8 +35,8 @@ pub fn run(id: &str) -> Vec<Table> {
 
 /// All experiment ids in order.
 pub const ALL: [&str; 16] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-    "e15", "e16",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e16",
 ];
 
 #[cfg(test)]

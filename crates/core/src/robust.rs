@@ -305,8 +305,11 @@ mod tests {
     fn non_consuming_batches_are_free() {
         let mut c = ctx();
         let mut r = rc(8, 2, 1);
-        r.apply_batch(&Batch::inserting([Edge::new(0, 1), Edge::new(0, 2)]), &mut c)
-            .unwrap();
+        r.apply_batch(
+            &Batch::inserting([Edge::new(0, 1), Edge::new(0, 2)]),
+            &mut c,
+        )
+        .unwrap();
         // Insertions never consume.
         r.apply_batch(&Batch::inserting([Edge::new(1, 2)]), &mut c)
             .unwrap();
@@ -325,8 +328,11 @@ mod tests {
     fn budget_exhaustion_is_an_error_and_state_is_preserved() {
         let mut c = ctx();
         let mut r = rc(8, 2, 1);
-        r.apply_batch(&Batch::inserting([Edge::new(0, 1), Edge::new(1, 2)]), &mut c)
-            .unwrap();
+        r.apply_batch(
+            &Batch::inserting([Edge::new(0, 1), Edge::new(1, 2)]),
+            &mut c,
+        )
+        .unwrap();
         // Two consuming deletions exhaust 2 instances × budget 1.
         let t1 = r.spanning_forest()[0];
         r.apply_batch(&Batch::deleting([t1]), &mut c).unwrap();
@@ -337,7 +343,13 @@ mod tests {
         r.apply_batch(&Batch::inserting([t1]), &mut c).unwrap();
         let t3 = r.spanning_forest()[0];
         let err = r.apply_batch(&Batch::deleting([t3]), &mut c).unwrap_err();
-        assert!(matches!(err, RobustError::BudgetExhausted { instances: 2, exposure_budget: 1 }));
+        assert!(matches!(
+            err,
+            RobustError::BudgetExhausted {
+                instances: 2,
+                exposure_budget: 1
+            }
+        ));
         // The refused batch was not applied anywhere.
         assert!(r.connected(t3.u(), t3.v()));
     }

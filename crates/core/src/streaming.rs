@@ -348,9 +348,7 @@ mod tests {
         use mpc_sim::{MpcConfig, MpcContext};
         let n = 48;
         let stream = gen::random_mixed_stream(n, 8, 10, 0.6, 909);
-        let mut ctx = MpcContext::new(
-            MpcConfig::builder(n, 0.5).local_capacity(1 << 15).build(),
-        );
+        let mut ctx = MpcContext::new(MpcConfig::builder(n, 0.5).local_capacity(1 << 15).build());
         let mut sc = StreamingConnectivity::new(n, 1);
         let mut conn = Connectivity::new(n, ConnectivityConfig::default(), 2);
         for batch in &stream.batches {
@@ -362,5 +360,4 @@ mod tests {
             assert_eq!(sc.spanning_forest().len(), conn.spanning_forest().len());
         }
     }
-
 }

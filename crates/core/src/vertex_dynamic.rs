@@ -41,7 +41,10 @@ impl std::fmt::Display for VertexDynError {
             }
             VertexDynError::NotActive(v) => write!(f, "vertex {v} is not active"),
             VertexDynError::NotIsolated(v, d) => {
-                write!(f, "vertex {v} has {d} live edges; only isolated vertices can be removed")
+                write!(
+                    f,
+                    "vertex {v} has {d} live edges; only isolated vertices can be removed"
+                )
             }
             VertexDynError::InactiveEndpoint(e, v) => {
                 write!(f, "edge {e} touches inactive vertex {v}")
@@ -238,7 +241,11 @@ impl VertexDynamicConnectivity {
     ///
     /// [`VertexDynError::InactiveEndpoint`] (state unchanged), or any
     /// inner [`ConnectivityError`].
-    pub fn apply_batch(&mut self, batch: &Batch, ctx: &mut MpcContext) -> Result<(), VertexDynError> {
+    pub fn apply_batch(
+        &mut self,
+        batch: &Batch,
+        ctx: &mut MpcContext,
+    ) -> Result<(), VertexDynError> {
         for u in batch.iter() {
             let e = u.edge();
             for x in [e.u(), e.v()] {
@@ -380,7 +387,10 @@ mod tests {
         v.apply_batch(&Batch::deleting([Edge::new(ids[0], ids[1])]), &mut c)
             .unwrap();
         v.remove_vertex(ids[0], &mut c).unwrap();
-        assert_eq!(v.remove_vertex(ids[0], &mut c), Err(VertexDynError::NotActive(ids[0])));
+        assert_eq!(
+            v.remove_vertex(ids[0], &mut c),
+            Err(VertexDynError::NotActive(ids[0]))
+        );
     }
 
     #[test]
@@ -468,9 +478,15 @@ mod tests {
     #[test]
     fn errors_display() {
         use std::error::Error;
-        assert!(VertexDynError::CapacityExhausted(4).to_string().contains("4"));
-        assert!(VertexDynError::NotActive(3).to_string().contains("not active"));
-        assert!(VertexDynError::NotIsolated(1, 2).to_string().contains("isolated"));
+        assert!(VertexDynError::CapacityExhausted(4)
+            .to_string()
+            .contains("4"));
+        assert!(VertexDynError::NotActive(3)
+            .to_string()
+            .contains("not active"));
+        assert!(VertexDynError::NotIsolated(1, 2)
+            .to_string()
+            .contains("isolated"));
         let ie = VertexDynError::InactiveEndpoint(Edge::new(0, 1), 1);
         assert!(ie.to_string().contains("inactive"));
         assert!(ie.source().is_none());

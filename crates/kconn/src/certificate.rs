@@ -195,7 +195,9 @@ impl Certificate {
             let r = uf.find(v) as usize;
             min_of[r] = min_of[r].min(v);
         }
-        (0..self.n as u32).map(|v| min_of[uf.find(v) as usize]).collect()
+        (0..self.n as u32)
+            .map(|v| min_of[uf.find(v) as usize])
+            .collect()
     }
 
     /// Checks the structural invariants: every layer is a forest, the
@@ -317,7 +319,7 @@ mod tests {
     #[test]
     fn cut_between_truncates_at_k() {
         let c = triangle_cert(); // triangle, k = 2
-        // {0} has 2 cut edges = k: saturated.
+                                 // {0} has 2 cut edges = k: saturated.
         assert_eq!(c.cut_between(&[0]), MinCut::AtLeast(2));
         // {0,1,2} = V: empty cut.
         assert_eq!(c.cut_between(&[0, 1, 2]), MinCut::Exact(0));
@@ -345,9 +347,8 @@ mod tests {
                     }
                 }
             }
-            let mut ctx = MpcContext::new(
-                MpcConfig::builder(n, 0.5).local_capacity(1 << 14).build(),
-            );
+            let mut ctx =
+                MpcContext::new(MpcConfig::builder(n, 0.5).local_capacity(1 << 14).build());
             let mut kc = InsertOnlyKConn::new(n, k);
             for ch in edges.chunks(4) {
                 kc.apply_batch(&Batch::inserting(ch.iter().copied()), &mut ctx)
@@ -356,8 +357,7 @@ mod tests {
             let cert = kc.certificate();
             // Random vertex subsets: truncated cut must match G's.
             for _ in 0..10 {
-                let a: Vec<u32> =
-                    (0..n as u32).filter(|_| rng.gen_bool(0.5)).collect();
+                let a: Vec<u32> = (0..n as u32).filter(|_| rng.gen_bool(0.5)).collect();
                 let truth = edges
                     .iter()
                     .filter(|ed| a.contains(&ed.u()) != a.contains(&ed.v()))

@@ -299,10 +299,7 @@ mod tests {
         let n = 12u32;
         let mut c = ctx();
         let mut kc = DynamicKConn::new(n as usize, 3, 21);
-        kc.apply_batch(
-            &Batch::inserting((0..n).map(|i| e(i, (i + 1) % n))),
-            &mut c,
-        );
+        kc.apply_batch(&Batch::inserting((0..n).map(|i| e(i, (i + 1) % n))), &mut c);
         let cert = kc.certificate(&mut c);
         assert_eq!(cert.validate(), Ok(()));
         assert_eq!(cert.min_cut(), crate::MinCut::Exact(2));
@@ -313,25 +310,22 @@ mod tests {
         let n = 10u32;
         let mut c = ctx();
         let mut kc = DynamicKConn::new(n as usize, 2, 5);
-        kc.apply_batch(
-            &Batch::inserting((0..n).map(|i| e(i, (i + 1) % n))),
-            &mut c,
-        );
-        assert_eq!(
-            kc.certificate(&mut c).is_k_edge_connected(2),
-            Some(true)
-        );
+        kc.apply_batch(&Batch::inserting((0..n).map(|i| e(i, (i + 1) % n))), &mut c);
+        assert_eq!(kc.certificate(&mut c).is_k_edge_connected(2), Some(true));
         kc.apply_batch(&Batch::deleting([e(3, 4)]), &mut c);
         let cert = kc.certificate(&mut c);
         assert_eq!(cert.is_k_edge_connected(2), Some(false));
         assert_eq!(cert.is_k_edge_connected(1), Some(true));
-        assert_eq!(cert.bridges(), Some(cuts::bridges(
-            n as usize,
-            &(0..n)
-                .map(|i| e(i, (i + 1) % n))
-                .filter(|ed| *ed != e(3, 4))
-                .collect::<Vec<_>>(),
-        )));
+        assert_eq!(
+            cert.bridges(),
+            Some(cuts::bridges(
+                n as usize,
+                &(0..n)
+                    .map(|i| e(i, (i + 1) % n))
+                    .filter(|ed| *ed != e(3, 4))
+                    .collect::<Vec<_>>(),
+            ))
+        );
     }
 
     #[test]
@@ -434,16 +428,10 @@ mod tests {
         let mut c = ctx();
         let cycle: Vec<Edge> = (0..n).map(|i| e(i, (i + 1) % n)).collect();
         let mut kc = DynamicKConn::from_graph(n as usize, 2, 8, cycle.iter().copied(), &mut c);
-        assert_eq!(
-            kc.certificate(&mut c).is_k_edge_connected(2),
-            Some(true)
-        );
+        assert_eq!(kc.certificate(&mut c).is_k_edge_connected(2), Some(true));
         // Continue dynamically from the bootstrapped state.
         kc.apply_batch(&Batch::deleting([e(0, 1)]), &mut c);
-        assert_eq!(
-            kc.certificate(&mut c).is_k_edge_connected(2),
-            Some(false)
-        );
+        assert_eq!(kc.certificate(&mut c).is_k_edge_connected(2), Some(false));
     }
 
     #[test]
@@ -456,10 +444,7 @@ mod tests {
     #[test]
     fn relaminate_restores_invariants() {
         // A deliberately broken layering: F_2 crosses F_1 components.
-        let broken = Certificate::from_layers(
-            4,
-            vec![vec![e(0, 1)], vec![e(2, 3), e(1, 2)]],
-        );
+        let broken = Certificate::from_layers(4, vec![vec![e(0, 1)], vec![e(2, 3), e(1, 2)]]);
         assert!(broken.validate().is_err());
         let fixed = relaminate(4, 2, broken);
         assert_eq!(fixed.validate(), Ok(()));

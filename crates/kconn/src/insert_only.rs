@@ -306,11 +306,8 @@ mod tests {
         let n = 10u32;
         let mut c = ctx();
         let mut kc = InsertOnlyKConn::new(n as usize, 3);
-        kc.apply_batch(
-            &Batch::inserting((0..n).map(|i| e(i, (i + 1) % n))),
-            &mut c,
-        )
-        .unwrap();
+        kc.apply_batch(&Batch::inserting((0..n).map(|i| e(i, (i + 1) % n))), &mut c)
+            .unwrap();
         let cert = kc.certificate();
         assert_eq!(cert.is_k_edge_connected(1), Some(true));
         assert_eq!(cert.is_k_edge_connected(2), Some(true));
@@ -365,7 +362,8 @@ mod tests {
     fn deletion_is_rejected_without_state_change() {
         let mut c = ctx();
         let mut kc = InsertOnlyKConn::new(4, 2);
-        kc.apply_batch(&Batch::inserting([e(0, 1)]), &mut c).unwrap();
+        kc.apply_batch(&Batch::inserting([e(0, 1)]), &mut c)
+            .unwrap();
         let err = kc
             .apply_batch(
                 &Batch::from_updates(vec![Update::Insert(e(1, 2)), Update::Delete(e(0, 1))]),
@@ -381,7 +379,8 @@ mod tests {
     fn duplicate_insert_is_rejected() {
         let mut c = ctx();
         let mut kc = InsertOnlyKConn::new(4, 2);
-        kc.apply_batch(&Batch::inserting([e(0, 1)]), &mut c).unwrap();
+        kc.apply_batch(&Batch::inserting([e(0, 1)]), &mut c)
+            .unwrap();
         assert_eq!(
             kc.apply_batch(&Batch::inserting([e(0, 1)]), &mut c),
             Err(KConnError::DuplicateInsert(e(0, 1)))
@@ -430,7 +429,8 @@ mod tests {
     fn words_scale_with_k_times_n() {
         let mut c = ctx();
         let mut kc = InsertOnlyKConn::new(100, 4);
-        kc.apply_batch(&Batch::inserting([e(0, 1)]), &mut c).unwrap();
+        kc.apply_batch(&Batch::inserting([e(0, 1)]), &mut c)
+            .unwrap();
         assert_eq!(kc.words_model(), 400 + 2);
         assert!(kc.words() >= kc.words_model());
     }
@@ -439,12 +439,7 @@ mod tests {
     fn from_graph_bootstrap_equals_incremental() {
         let n = 24;
         let edges: Vec<Edge> = (0..n as u32)
-            .flat_map(|i| {
-                [
-                    e(i, (i + 1) % n as u32),
-                    e(i, (i + 3) % n as u32),
-                ]
-            })
+            .flat_map(|i| [e(i, (i + 1) % n as u32), e(i, (i + 3) % n as u32)])
             .collect();
         let mut dedup: Vec<Edge> = Vec::new();
         for ed in edges {
@@ -453,8 +448,8 @@ mod tests {
             }
         }
         let mut c = ctx();
-        let boot = InsertOnlyKConn::from_graph(n, 2, dedup.iter().copied(), &mut c)
-            .expect("simple graph");
+        let boot =
+            InsertOnlyKConn::from_graph(n, 2, dedup.iter().copied(), &mut c).expect("simple graph");
         let mut inc = InsertOnlyKConn::new(n, 2);
         for ch in dedup.chunks(4) {
             inc.apply_batch(&Batch::inserting(ch.iter().copied()), &mut c)

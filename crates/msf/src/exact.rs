@@ -513,10 +513,12 @@ mod tests {
             edges.extend(b.insertions());
         }
         let mut ctx = MpcContext::new(
-            mpc_sim::MpcConfig::builder(n, 0.5).local_capacity(1 << 14).build(),
+            mpc_sim::MpcConfig::builder(n, 0.5)
+                .local_capacity(1 << 14)
+                .build(),
         );
-        let mut msf = ExactMsf::from_graph(n, edges.iter().copied(), &mut ctx)
-            .expect("valid stream");
+        let mut msf =
+            ExactMsf::from_graph(n, edges.iter().copied(), &mut ctx).expect("valid stream");
         assert_eq!(msf.weight(), oracle::msf_weight(n, edges.iter().copied()));
         // Dynamic continuation from the bootstrapped state.
         let extra = WeightedEdge::new(0, 31, 1);
@@ -527,5 +529,4 @@ mod tests {
             assert_eq!(msf.weight(), oracle::msf_weight(n, edges.iter().copied()));
         }
     }
-
 }

@@ -127,9 +127,7 @@ fn different_seeds_differ_somewhere() {
         // Delete a batch of star edges: replacements come from the
         // sketches, whose samples depend on the seed.
         conn.apply_batch(
-            &mpc_stream::graph::update::Batch::deleting(
-                center_edges[4..12].iter().copied(),
-            ),
+            &mpc_stream::graph::update::Batch::deleting(center_edges[4..12].iter().copied()),
             &mut ctx,
         )
         .expect("delete");

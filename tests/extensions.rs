@@ -168,17 +168,17 @@ fn vertex_dynamics_compose_with_certificates() {
     // capacity space is not even connected.
     let cert = kc.certificate();
     let active_edges = cert.edges();
-    assert_eq!(
-        cuts::edge_connectivity(8, &remap(&active_edges, &ids)),
-        2
-    );
+    assert_eq!(cuts::edge_connectivity(8, &remap(&active_edges, &ids)), 2);
 }
 
 /// Renames `ids`-space edges to [0, ids.len()) so the oracle can run
 /// on the induced subgraph.
 fn remap(edges: &[Edge], ids: &[u32]) -> Vec<Edge> {
     let pos = |v: u32| ids.iter().position(|&x| x == v).expect("active") as u32;
-    edges.iter().map(|e| Edge::new(pos(e.u()), pos(e.v()))).collect()
+    edges
+        .iter()
+        .map(|e| Edge::new(pos(e.u()), pos(e.v())))
+        .collect()
 }
 
 /// Certificates survive the model's memory gate: a batch that fits

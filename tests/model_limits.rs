@@ -170,9 +170,7 @@ fn contract_violations_are_rejected_not_absorbed() {
     // Deleting an edge that is not live violates the dynamic-graph
     // contract (paper Section 1.2); the sketches detect it.
     let n = 32;
-    let mut ctx = MpcContext::new(
-        MpcConfig::builder(n, 0.5).local_capacity(1 << 14).build(),
-    );
+    let mut ctx = MpcContext::new(MpcConfig::builder(n, 0.5).local_capacity(1 << 14).build());
     let mut conn = Connectivity::new(n, ConnectivityConfig::default(), 1);
     conn.apply_batch(&Batch::inserting([Edge::new(0, 1)]), &mut ctx)
         .expect("insert");
@@ -208,8 +206,7 @@ fn tiny_phi_still_works_just_slower() {
             conn.apply_batch(batch, &mut ctx).expect("in regime");
         }
         let r = ctx.end_phase().rounds;
-        let expect =
-            mpc_stream::graph::oracle::components(n, snaps.last().unwrap().edges());
+        let expect = mpc_stream::graph::oracle::components(n, snaps.last().unwrap().edges());
         assert_eq!(conn.component_labels(), &expect[..], "phi {phi}");
         rounds_by_phi.push(r);
     }

@@ -1,0 +1,248 @@
+//! Offline stand-in for the subset of `criterion` 0.5 this workspace
+//! uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a clean-room micro-benchmark harness with the same API
+//! shape: [`criterion_group!`]/[`criterion_main!`], [`Criterion`],
+//! benchmark groups, [`Bencher::iter`]/[`Bencher::iter_batched`],
+//! [`BenchmarkId`], and [`BatchSize`]. Timing is a single short
+//! calibrated run per benchmark (median-of-samples wall clock printed
+//! to stdout) — no warm-up schedule, statistics, or HTML reports.
+//!
+//! # Examples
+//!
+//! ```
+//! use criterion::Criterion;
+//!
+//! let mut c = Criterion::default();
+//! let mut g = c.benchmark_group("arith");
+//! g.bench_function("add", |b| b.iter(|| std::hint::black_box(1u64 + 2)));
+//! g.finish();
+//! ```
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], as upstream criterion
+/// provides.
+pub use std::hint::black_box;
+
+/// Wall-clock budget spent measuring each benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+/// Samples per benchmark (the median is reported).
+const SAMPLES: usize = 11;
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\ngroup {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            samples: SAMPLES,
+        }
+    }
+
+    /// Benchmarks `f` directly under `id`, outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), SAMPLES, &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples taken per benchmark in this
+    /// group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.samples, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.samples, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (upstream finalizes reports here; this prints
+    /// nothing).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier composed of a function name and a parameter,
+/// rendered `name/param`.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Builds the identifier `{name}/{parameter}`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Setup-cost hint for [`Bencher::iter_batched`]; accepted for API
+/// compatibility, ignored by this harness.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Setup output is small; upstream batches many per allocation.
+    SmallInput,
+    /// Setup output is large; upstream batches one per allocation.
+    LargeInput,
+    /// Upstream default.
+    PerIteration,
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    n_samples: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let per_sample = MEASURE_BUDGET / self.n_samples as u32;
+        for _ in 0..self.n_samples {
+            let mut iters = 0u64;
+            let start = Instant::now();
+            loop {
+                black_box(routine());
+                iters += 1;
+                let elapsed = start.elapsed();
+                if elapsed >= per_sample {
+                    self.samples.push(elapsed / iters as u32);
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Times `routine` on fresh input from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let per_sample = MEASURE_BUDGET / self.n_samples as u32;
+        for _ in 0..self.n_samples {
+            let mut iters = 0u64;
+            let mut spent = Duration::ZERO;
+            loop {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                spent += start.elapsed();
+                iters += 1;
+                if spent >= per_sample {
+                    self.samples.push(spent / iters as u32);
+                    break;
+                }
+            }
+        }
+    }
+}
+
+fn run_one(label: &str, n_samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        n_samples,
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("  {label:<40} (no measurement)");
+        return;
+    }
+    b.samples.sort_unstable();
+    let median = b.samples[b.samples.len() / 2];
+    println!("  {label:<40} median {median:>12.3?}/iter");
+}
+
+/// Declares a benchmark group function, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_benchers_run() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        let mut ran = 0u32;
+        g.bench_function("plain", |b| b.iter(|| 1u64 + 1));
+        g.bench_with_input(BenchmarkId::new("with_input", 4), &4u64, |b, &x| {
+            b.iter_batched(|| x, |v| v * 2, BatchSize::SmallInput);
+        });
+        ran += 1;
+        g.finish();
+        assert_eq!(ran, 1);
+        assert_eq!(BenchmarkId::new("a", 7).to_string(), "a/7");
+    }
+}
