@@ -43,6 +43,8 @@ pub struct AgmBaseline {
     bank: SketchBank,
     /// Rounds the most recent query consumed (`Θ(log n)`).
     last_query_rounds: u64,
+    /// Cumulative `ℓ0`-sampler failures across all queries.
+    sampler_failures: u64,
 }
 
 impl AgmBaseline {
@@ -53,6 +55,7 @@ impl AgmBaseline {
             n,
             bank: SketchBank::new(n, log_n + 6, seed),
             last_query_rounds: 0,
+            sampler_failures: 0,
         }
     }
 
@@ -78,6 +81,12 @@ impl AgmBaseline {
     /// Rounds consumed by the last [`AgmBaseline::query_components`].
     pub fn last_query_rounds(&self) -> u64 {
         self.last_query_rounds
+    }
+
+    /// Cumulative `ℓ0`-sampler failures observed across all queries
+    /// (absorbed by later Borůvka levels' independent copies).
+    pub fn sampler_failure_count(&self) -> u64 {
+        self.sampler_failures
     }
 
     /// Memory footprint in words (sketches only).
@@ -110,7 +119,10 @@ impl AgmBaseline {
                     Some(s) => match s.sample() {
                         EdgeSample::Edge(e) => found.push(e),
                         EdgeSample::Empty => {}
-                        EdgeSample::Fail => any_failed = true,
+                        EdgeSample::Fail => {
+                            any_failed = true;
+                            self.sampler_failures += 1;
+                        }
                     },
                     None => any_failed = true,
                 }

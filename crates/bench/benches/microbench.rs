@@ -74,10 +74,57 @@ fn bench_etf(c: &mut Criterion) {
                 |(mut ctx, mut etf, batch)| {
                     etf.batch_join(&batch, &mut ctx);
                     etf.batch_split(&batch, &mut ctx);
+                    (ctx, etf)
                 },
                 criterion::BatchSize::LargeInput,
             );
         });
+    }
+    // Tour-count scaling: the measured operation always touches the
+    // same 9 foreground trees (32 vertices each); only the number of
+    // *unrelated* background tours varies. With per-tour sharded
+    // storage the per-op cost must stay flat in the background count
+    // (the pre-shard layout scanned every forest edge per op).
+    let fg_trees = 9usize;
+    let fg_seg = 32usize;
+    let bg_seg = 8usize;
+    for bg in [0usize, 256, 1024, 4096] {
+        g.bench_with_input(
+            BenchmarkId::new("join_split_bg_tours", bg),
+            &bg,
+            |b, &bg| {
+                let fg = fg_trees * fg_seg;
+                let n = fg + bg * bg_seg;
+                b.iter_batched(
+                    || {
+                        let mut ctx = ctx_for(n.max(2));
+                        let mut etf = DistEtf::new(n);
+                        for t in 0..fg_trees {
+                            let base = (t * fg_seg) as u32;
+                            for j in 0..fg_seg as u32 - 1 {
+                                etf.join(Edge::new(base + j, base + j + 1), &mut ctx);
+                            }
+                        }
+                        for t in 0..bg {
+                            let base = (fg + t * bg_seg) as u32;
+                            for j in 0..bg_seg as u32 - 1 {
+                                etf.join(Edge::new(base + j, base + j + 1), &mut ctx);
+                            }
+                        }
+                        let batch: Vec<Edge> = (0..fg_trees - 1)
+                            .map(|i| Edge::new((i * fg_seg) as u32, ((i + 1) * fg_seg) as u32))
+                            .collect();
+                        (ctx, etf, batch)
+                    },
+                    |(mut ctx, mut etf, batch)| {
+                        etf.batch_join(&batch, &mut ctx);
+                        etf.batch_split(&batch, &mut ctx);
+                        (ctx, etf)
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
     }
     g.finish();
 }
@@ -99,6 +146,7 @@ fn bench_connectivity(c: &mut Criterion) {
                     for batch in &stream.batches {
                         conn.apply_batch(batch, &mut ctx).expect("within model");
                     }
+                    (ctx, conn)
                 },
                 criterion::BatchSize::LargeInput,
             );
@@ -119,6 +167,7 @@ fn bench_matching(c: &mut Criterion) {
                     let ins: Vec<Edge> = batch.insertions().collect();
                     mm.apply_batch(&ins, &[], &mut ctx);
                 }
+                (ctx, mm)
             },
             criterion::BatchSize::LargeInput,
         );
@@ -139,6 +188,7 @@ fn bench_msf(c: &mut Criterion) {
                 for batch in &stream.batches {
                     msf.apply_batch(batch, &mut ctx).expect("within model");
                 }
+                (ctx, msf)
             },
             criterion::BatchSize::LargeInput,
         );

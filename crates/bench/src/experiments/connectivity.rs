@@ -8,12 +8,12 @@ use mpc_graph::oracle;
 use mpc_stream_core::{Connectivity, ConnectivityConfig};
 
 /// Applies a stream, returning (mean rounds/batch, max rounds/batch,
-/// mismatching batches against the oracle).
+/// mismatching batches against the oracle, ℓ0-sampler failures).
 fn drive(
     conn: &mut Connectivity,
     ctx: &mut mpc_sim::MpcContext,
     stream: &BatchStream,
-) -> (f64, u64, usize) {
+) -> (f64, u64, usize, u64) {
     let snaps = stream.replay();
     let mut total_rounds = 0u64;
     let mut max_rounds = 0u64;
@@ -33,6 +33,7 @@ fn drive(
         total_rounds as f64 / stream.batches.len() as f64,
         max_rounds,
         mismatches,
+        conn.sampler_failure_count(),
     )
 }
 
@@ -50,13 +51,14 @@ pub fn e1_rounds_per_batch() -> Vec<Table> {
             "mean rounds",
             "max rounds",
             "oracle",
+            "l0 fails",
         ],
     );
     let mut push = |workload: &str, n: usize, phi: f64, batch: usize, stream: &BatchStream| {
         let mut ctx = experiment_context(n, phi);
         assert!(batch <= max_batch(&ctx), "batch exceeds model limit");
         let mut conn = Connectivity::new(n, ConnectivityConfig::default(), 0xE1);
-        let (mean, max, miss) = drive(&mut conn, &mut ctx, stream);
+        let (mean, max, miss, fails) = drive(&mut conn, &mut ctx, stream);
         t.row(vec![
             workload.into(),
             n.to_string(),
@@ -70,6 +72,7 @@ pub fn e1_rounds_per_batch() -> Vec<Table> {
             } else {
                 format!("{miss} diverged")
             },
+            fails.to_string(),
         ]);
     };
     // Batch-size sweep at fixed n, φ.
@@ -202,6 +205,8 @@ pub fn e3_baseline_comparison() -> Vec<Table> {
             "fullmem query rounds",
             "ours words",
             "fullmem words",
+            "ours l0 fails",
+            "AGM l0 fails",
         ],
     );
     for n in [256usize, 1024] {
@@ -234,6 +239,8 @@ pub fn e3_baseline_comparison() -> Vec<Table> {
                 full.last_query_rounds().to_string(),
                 conn.words().to_string(),
                 full.words().to_string(),
+                conn.sampler_failure_count().to_string(),
+                agm.sampler_failure_count().to_string(),
             ]);
         }
     }
@@ -250,7 +257,7 @@ pub fn e12_ablation() -> Vec<Table> {
     // bridge cuts, which terminate at level zero).
     let mut ta = Table::new(
         "E12a (ablation, Sec 6.3): sketch copies t vs deletion-recovery correctness (ladder)",
-        &["t (copies)", "batches", "diverged batches"],
+        &["t (copies)", "batches", "diverged batches", "l0 fails"],
     );
     let ladder_stream = |seed_shift: u64| -> BatchStream {
         let half = 64u32;
@@ -294,11 +301,12 @@ pub fn e12_ablation() -> Vec<Table> {
             },
             0xE12,
         );
-        let (_, _, miss) = drive(&mut conn, &mut ctx, &stream);
+        let (_, _, miss, fails) = drive(&mut conn, &mut ctx, &stream);
         ta.row(vec![
             copies.to_string(),
             stream.batches.len().to_string(),
             miss.to_string(),
+            fails.to_string(),
         ]);
     }
     // (b) ours-per-batch vs recompute-per-batch rounds. The dynamic
@@ -315,7 +323,7 @@ pub fn e12_ablation() -> Vec<Table> {
         let stream = gen::path_stream(n, batch, true);
         let mut ctx = experiment_context(n, 0.5);
         let mut conn = Connectivity::new(n, ConnectivityConfig::default(), 1);
-        let (ours_mean, _, _) = drive(&mut conn, &mut ctx, &stream);
+        let (ours_mean, _, _, _) = drive(&mut conn, &mut ctx, &stream);
         let mut ctx2 = experiment_context(n, 0.5);
         let mut agm = AgmBaseline::new(n, 2);
         let mut total = 0u64;

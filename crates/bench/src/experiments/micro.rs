@@ -133,5 +133,67 @@ pub fn e11_etf_ops() -> Vec<Table> {
             "yes".into(),
         ]);
     }
-    vec![t]
+    vec![t, e11b_tour_scaling()]
+}
+
+/// E11b — per-tour sharded storage locality: the same batch
+/// join+split (8 edges over 9 trees of 32 vertices) is timed while
+/// the number of *unrelated* background tours grows. With `tour →
+/// edge-shard` storage the warm per-op wall time stays flat (up to
+/// the `O(log #tours)` shard-map lookups); the pre-shard layout
+/// scanned every forest edge per operation and degraded linearly.
+/// Wall-clock is host time (best of 50 warm repetitions), reported as
+/// locality evidence for the simulator itself, not a model quantity.
+fn e11b_tour_scaling() -> Table {
+    let mut t = Table::new(
+        "E11b (sharded ETF locality): batch join+split cost vs unrelated-forest size",
+        &[
+            "background tours",
+            "forest edges",
+            "join+split (µs, warm best-of-50)",
+            "vs bg=0",
+        ],
+    );
+    let (fg_trees, fg_seg, bg_seg) = (9usize, 32usize, 8usize);
+    let mut base_us = 0.0f64;
+    for bg in [0usize, 256, 1024, 4096] {
+        let fg = fg_trees * fg_seg;
+        let n = fg + bg * bg_seg;
+        let mut ctx = experiment_context(n.max(4), 0.5);
+        let mut etf = DistEtf::new(n);
+        for ti in 0..fg_trees {
+            let base = (ti * fg_seg) as u32;
+            for j in 0..fg_seg as u32 - 1 {
+                etf.join(Edge::new(base + j, base + j + 1), &mut ctx);
+            }
+        }
+        for ti in 0..bg {
+            let base = (fg + ti * bg_seg) as u32;
+            for j in 0..bg_seg as u32 - 1 {
+                etf.join(Edge::new(base + j, base + j + 1), &mut ctx);
+            }
+        }
+        let batch: Vec<Edge> = (0..fg_trees - 1)
+            .map(|i| Edge::new((i * fg_seg) as u32, ((i + 1) * fg_seg) as u32))
+            .collect();
+        let mut best = std::time::Duration::MAX;
+        for _ in 0..50 {
+            let t0 = std::time::Instant::now();
+            etf.batch_join(&batch, &mut ctx);
+            etf.batch_split(&batch, &mut ctx);
+            best = best.min(t0.elapsed());
+        }
+        validate(&etf).expect("valid after scaling op");
+        let us = best.as_secs_f64() * 1e6;
+        if bg == 0 {
+            base_us = us;
+        }
+        t.row(vec![
+            bg.to_string(),
+            etf.edge_count().to_string(),
+            f2(us),
+            format!("{}x", f2(us / base_us)),
+        ]);
+    }
+    t
 }

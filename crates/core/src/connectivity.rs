@@ -7,7 +7,7 @@ use mpc_graph::update::{Batch, Update};
 use mpc_sim::{MpcContext, MpcError};
 use mpc_sketch::vertex::EdgeSample;
 use mpc_sketch::SketchBank;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, HashMap};
 
 /// Tuning knobs for [`Connectivity`].
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -56,6 +56,10 @@ pub struct Connectivity {
     etf: DistEtf,
     bank: SketchBank,
     live_edges: usize,
+    /// Cumulative `ℓ0`-sampler query failures (the `Fail` outcomes the
+    /// retry levels absorb) — surfaced so the failure-probability
+    /// envelope is observable instead of silently retried away.
+    sampler_failures: u64,
 }
 
 impl Connectivity {
@@ -70,6 +74,7 @@ impl Connectivity {
             etf: DistEtf::new(n),
             bank: SketchBank::new(n, copies, seed),
             live_edges: 0,
+            sampler_failures: 0,
         }
     }
 
@@ -81,6 +86,13 @@ impl Connectivity {
     /// Number of live edges the sketches currently summarize.
     pub fn live_edge_count(&self) -> usize {
         self.live_edges
+    }
+
+    /// Cumulative `ℓ0`-sampler failures observed across all queries
+    /// (each was absorbed by a retry at the next independent sketch
+    /// copy, per Lemma 3.1's `O(log 1/δ)` amplification).
+    pub fn sampler_failure_count(&self) -> u64 {
+        self.sampler_failures
     }
 
     /// The component id of `v` (the smallest vertex id in `v`'s
@@ -201,8 +213,10 @@ impl Connectivity {
             let mut found: Vec<Edge> = Vec::new();
             for (_, members) in groups {
                 if let Some(s) = conn.bank.merged_copy(&members, level) {
-                    if let EdgeSample::Edge(e) = s.sample() {
-                        found.push(e);
+                    match s.sample() {
+                        EdgeSample::Edge(e) => found.push(e),
+                        EdgeSample::Fail => conn.sampler_failures += 1,
+                        EdgeSample::Empty => {}
                     }
                 }
             }
@@ -393,9 +407,19 @@ impl Connectivity {
         if !relabel.is_empty() {
             ctx.sort(2 * relabel.len() as u64);
             ctx.broadcast(2);
-            for cv in self.comp.iter_mut() {
-                if let Some(&nc) = relabel.get(cv) {
-                    *cv = nc;
+            // Every vertex whose label changes sits in a tour that
+            // gained an F_H edge, so only those tours' members are
+            // visited — O(affected) work, not O(n).
+            let mut merged_tours: Vec<TourId> =
+                f_h.iter().map(|e| self.etf.tour_of(e.u())).collect();
+            merged_tours.sort_unstable();
+            merged_tours.dedup();
+            for t in merged_tours {
+                for &w in self.etf.tour_members(t) {
+                    let cv = &mut self.comp[w as usize];
+                    if let Some(&nc) = relabel.get(cv) {
+                        *cv = nc;
+                    }
                 }
             }
         }
@@ -431,9 +455,9 @@ impl Connectivity {
         // each piece's membership before the replacement join renames
         // tours.
         let pieces = self.etf.batch_split(&tree, ctx);
-        let piece_members: Vec<BTreeSet<VertexId>> = pieces
+        let piece_members: Vec<Vec<VertexId>> = pieces
             .iter()
-            .map(|&p| self.etf.tour_members(p).clone())
+            .map(|&p| self.etf.tour_members(p).to_vec())
             .collect();
         // Replacement-edge search (Borůvka over the pieces).
         let replacements = self.find_replacements(&pieces, ctx)?;
@@ -441,9 +465,9 @@ impl Connectivity {
         // Recompute component ids for everything touched: group the
         // pieces by their final tour and take each group's minimum
         // member id.
-        let mut final_groups: BTreeMap<TourId, BTreeSet<VertexId>> = BTreeMap::new();
+        let mut final_groups: BTreeMap<TourId, Vec<VertexId>> = BTreeMap::new();
         for members in piece_members {
-            let rep = *members.iter().next().expect("pieces are nonempty");
+            let rep = *members.first().expect("pieces are nonempty");
             final_groups
                 .entry(self.etf.tour_of(rep))
                 .or_default()
@@ -474,9 +498,9 @@ impl Connectivity {
             .enumerate()
             .map(|(i, &t)| (t, i as u32))
             .collect();
-        let members: Vec<BTreeSet<VertexId>> = pieces
+        let members: Vec<Vec<VertexId>> = pieces
             .iter()
-            .map(|&t| self.etf.tour_members(t).clone())
+            .map(|&t| self.etf.tour_members(t).to_vec())
             .collect();
         let member_total: u64 = members.iter().map(|m| m.len() as u64).sum();
         let sketch_words = self.bank.words_per_vertex() / self.bank.copies().max(1) as u64;
@@ -513,10 +537,7 @@ impl Connectivity {
                 // level.
                 let mut acc = None;
                 for &pi in group {
-                    if let Some(s) = self.bank.merged_copy(
-                        &members[pi as usize].iter().copied().collect::<Vec<_>>(),
-                        level,
-                    ) {
+                    if let Some(s) = self.bank.merged_copy(&members[pi as usize], level) {
                         match &mut acc {
                             None => acc = Some(s),
                             Some(a) => a.merge(&s),
@@ -532,6 +553,7 @@ impl Connectivity {
                     Some(EdgeSample::Fail) => {
                         // Retry at the next level with fresh
                         // randomness.
+                        self.sampler_failures += 1;
                     }
                     Some(EdgeSample::Edge(e)) => {
                         unions.push(e);
@@ -573,6 +595,7 @@ mod tests {
     use mpc_graph::gen;
     use mpc_graph::oracle;
     use mpc_sim::MpcConfig;
+    use std::collections::BTreeSet;
 
     fn ctx_for(n: usize) -> MpcContext {
         MpcContext::new(MpcConfig::builder(n, 0.5).local_capacity(1 << 16).build())

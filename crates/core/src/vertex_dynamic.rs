@@ -157,6 +157,12 @@ impl VertexDynamicConnectivity {
         &self.inner
     }
 
+    /// Cumulative `ℓ0`-sampler failures in the inner structure (the
+    /// failure-probability envelope of the replacement-edge search).
+    pub fn sampler_failure_count(&self) -> u64 {
+        self.inner.sampler_failure_count()
+    }
+
     /// Activates a vertex slot (recycling freed ids first) and
     /// returns its id — `O(1)` rounds (one broadcast of the
     /// activation).

@@ -221,27 +221,41 @@ impl DistEtf {
             }
             plans.get_mut(&t).expect("inserted above").breakpoints = breakpoints;
         }
-        // Local application: every machine remaps its edge shard.
-        for rec in self.edges_mut().values_mut() {
-            if let Some(plan) = plans.get(&rec.tour) {
+        // Local application: each participating tour's shard is
+        // remapped and spliced into the merged tour's shard — tours
+        // outside the component are never visited. Entries are
+        // collected once and bulk-built into the new shard.
+        let mut merged: Vec<(Edge, EdgeRec)> = Vec::with_capacity(new_recs.len());
+        for &t in &order {
+            let plan = &plans[&t];
+            let shard = self.take_shard(t);
+            merged.reserve(shard.len());
+            for (e, mut rec) in shard {
                 rec.first.pos = plan.map(rec.first.pos);
                 rec.second.pos = plan.map(rec.second.pos);
                 rec.tour = plan.new_tour;
+                merged.push((e, rec));
             }
         }
+        // The k new edges ride the same splice instead of k separate
+        // shard inserts; only their adjacency entries are per-edge.
         for (e, rec) in new_recs {
-            self.insert_edge_rec(e, rec);
+            self.add_adjacency(e);
+            merged.push((e, rec));
         }
-        // Merge membership and length bookkeeping.
-        let mut all_members = BTreeSet::new();
+        self.splice_shard_entries(new_tour, merged);
+        // Merge membership and length bookkeeping: concatenate the
+        // sorted member runs and bulk-build the merged set.
+        let mut member_vec: Vec<VertexId> = Vec::new();
         for &t in &order {
-            all_members.extend(self.remove_tour_bookkeeping(t));
+            member_vec.extend(self.remove_tour_bookkeeping(t));
         }
-        for &w in &all_members {
+        for &w in &member_vec {
             self.set_vertex_tour(w, new_tour);
         }
+        member_vec.sort_unstable();
         let len = total[&root];
-        self.install_tour(new_tour, len, all_members);
+        self.install_tour(new_tour, len, member_vec);
     }
 
     /// Removes `edges` (all forest edges) in `O(1)` rounds, splitting
@@ -264,8 +278,11 @@ impl DistEtf {
     }
 
     pub(crate) fn batch_split_uncharged(&mut self, edges: &[Edge]) -> Vec<TourId> {
-        // Group the deleted edges by tour and capture their intervals.
+        // Group the deleted edges by tour and capture their intervals;
+        // each affected shard then drops its doomed edges in a single
+        // retain pass instead of k individual removals.
         let mut by_tour: BTreeMap<TourId, Vec<(u64, u64)>> = BTreeMap::new();
+        let mut doomed: BTreeMap<TourId, BTreeSet<Edge>> = BTreeMap::new();
         for &e in edges {
             let rec = *self
                 .edge_rec(e)
@@ -274,7 +291,10 @@ impl DistEtf {
                 .entry(rec.tour)
                 .or_default()
                 .push((rec.first.pos, rec.second.pos));
-            self.remove_edge_rec(e);
+            doomed.entry(rec.tour).or_default().insert(e);
+        }
+        for (&t, doomed_edges) in &doomed {
+            self.remove_edges_from_shard(t, doomed_edges);
         }
         let mut result_tours = Vec::new();
         for (t, mut intervals) in by_tour {
@@ -335,22 +355,38 @@ impl DistEtf {
                 intervals[r].0 + 1
             }
         };
+        // Flatten the laminar family into sorted (start, region)
+        // segments so every locate is one binary search: segment `r`
+        // owns positions from its start up to the next start. (The
+        // deleted block positions themselves are never queried —
+        // their edges left the shard already.)
+        let segs: Vec<(u64, usize)> = {
+            let mut segs = Vec::with_capacity(2 * n_int + 1);
+            segs.push((0u64, ROOT));
+            let mut stack: Vec<usize> = Vec::new();
+            for (i, &(p, _)) in intervals.iter().enumerate() {
+                while let Some(&top) = stack.last() {
+                    if intervals[top].1 + 1 < p {
+                        stack.pop();
+                        let resume = stack.last().copied().unwrap_or(ROOT);
+                        segs.push((intervals[top].1 + 1, resume));
+                    } else {
+                        break;
+                    }
+                }
+                segs.push((p + 1, i));
+                stack.push(i);
+            }
+            while let Some(top) = stack.pop() {
+                let resume = stack.last().copied().unwrap_or(ROOT);
+                segs.push((intervals[top].1 + 1, resume));
+            }
+            segs
+        };
         // Innermost deleted interval strictly containing position x.
         let locate = |x: u64| -> usize {
-            let mut cand = match intervals.partition_point(|&(p, _)| p < x) {
-                0 => return ROOT,
-                i => i - 1,
-            };
-            loop {
-                let (p, q) = intervals[cand];
-                if p < x && x < q {
-                    return cand;
-                }
-                if parent[cand] == ROOT {
-                    return ROOT;
-                }
-                cand = parent[cand];
-            }
+            let i = segs.partition_point(|&(start, _)| start <= x);
+            segs[i - 1].1
         };
         // Fresh tour ids per nonroot region.
         let region_ids: Vec<TourId> = (0..n_int).map(|_| self.fresh_id()).collect();
@@ -361,41 +397,39 @@ impl DistEtf {
                 region_ids[r]
             }
         };
-        // Membership before remapping.
         let old_members = self.remove_tour_bookkeeping(t);
-        let old_len = {
-            // `remove_tour_bookkeeping` already dropped the length;
-            // recompute from the region sizes below instead.
-            0u64
-        };
-        let _ = old_len;
-        let mut region_members: BTreeMap<TourId, BTreeSet<VertexId>> = BTreeMap::new();
-        let mut singleton_ids = Vec::new();
-        for &w in &old_members {
-            match self.occurrences(w).first() {
-                None => {
-                    let id = self.fresh_id();
-                    self.set_vertex_tour(w, id);
-                    self.install_tour(id, 0, BTreeSet::from([w]));
-                    singleton_ids.push(id);
-                }
-                Some(&fw) => {
-                    let r = locate(fw);
-                    let id = tour_of_region(r);
-                    self.set_vertex_tour(w, id);
-                    region_members.entry(id).or_default().insert(w);
-                }
-            }
-        }
-        // Remap surviving edges of this tour.
-        for rec in self.edges_mut().values_mut() {
-            if rec.tour != t {
-                continue;
-            }
+        // Remap surviving edges of this tour: partition its shard into
+        // one shard per region and splice each in — untouched tours'
+        // shards are never visited.
+        let old_shard = self.take_shard(t);
+        let mut region_entries: Vec<Vec<(Edge, EdgeRec)>> = vec![Vec::new(); n_int + 1];
+        for (edge, mut rec) in old_shard {
             let r = locate(rec.first.pos);
             rec.tour = tour_of_region(r);
             for trav in [&mut rec.first, &mut rec.second] {
                 trav.pos = trav.pos - base_sub(r) - removed_before(r, trav.pos);
+            }
+            region_entries[child_slot(r)].push((edge, rec));
+        }
+        let root_region_edges = region_entries[n_int].len() as u64;
+        // Region membership derives from the partitioned edges (every
+        // incident surviving edge lands on its vertex's region);
+        // edge-less members become fresh singletons.
+        let mut region_members: Vec<Vec<VertexId>> = region_entries
+            .iter()
+            .map(|entries| DistEtf::members_of_entries(entries))
+            .collect();
+        for (slot, entries) in region_entries.into_iter().enumerate() {
+            let id = if slot == n_int { t } else { region_ids[slot] };
+            self.splice_shard_entries(id, entries);
+        }
+        let mut singleton_ids = Vec::new();
+        for &w in &old_members {
+            if self.neighbors(w).is_empty() {
+                let id = self.fresh_id();
+                self.set_vertex_tour(w, id);
+                self.install_tour(id, 0, vec![w]);
+                singleton_ids.push(id);
             }
         }
         // Region lengths.
@@ -418,24 +452,18 @@ impl DistEtf {
                 }
             };
             let id = tour_of_region(region);
-            let members = region_members.remove(&id).unwrap_or_default();
+            let members = std::mem::take(&mut region_members[child_slot(region)]);
             if members.is_empty() {
                 continue;
             }
             let len = match r {
                 Some(_) => raw_len - direct_removed(region),
-                None => {
-                    4 * self
-                        .edges_mut()
-                        .values()
-                        .filter(|rec| rec.tour == id)
-                        .count() as u64
-                }
+                None => 4 * root_region_edges,
             };
-            self.install_tour(id, len, members.clone());
             for &w in &members {
                 self.set_vertex_tour(w, id);
             }
+            self.install_tour(id, len, members);
             result.push(id);
         }
         result

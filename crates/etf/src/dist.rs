@@ -4,6 +4,19 @@ use mpc_graph::ids::{Edge, VertexId};
 use mpc_sim::MpcContext;
 use std::collections::{BTreeMap, BTreeSet};
 
+/// One tour's edge shard: a flat array sorted by edge. Batch plans
+/// remap the records in place (keys never change), and tour-id
+/// reassignment moves whole shards by splice instead of per-edge
+/// rewrites.
+pub(crate) type Shard = Vec<(Edge, EdgeRec)>;
+
+fn shard_get(shard: &Shard, e: Edge) -> Option<&EdgeRec> {
+    shard
+        .binary_search_by_key(&e, |&(k, _)| k)
+        .ok()
+        .map(|i| &shard[i].1)
+}
+
 /// Identifier of one Euler tour (one tree of the forest). Tour ids
 /// `0..n` are the initial singleton tours; fresh ids are allocated
 /// monotonically after splits and joins.
@@ -60,11 +73,14 @@ impl EdgeRec {
 /// A forest of Euler tours in the paper's distributed representation.
 ///
 /// State is *vertex- and edge-sharded*: each vertex carries only its
-/// tour id; each forest edge carries its four tour positions. All
-/// operations mutate this state through broadcast-size instructions,
-/// so in the MPC model every machine updates its own shard locally —
-/// the [`MpcContext`] parameter charges exactly those broadcasts and
-/// gathers.
+/// tour id; each forest edge carries its four tour positions, and the
+/// edge records are stored in **per-tour shards** (`tour → edges`) so
+/// every operation touches only the affected tours' records —
+/// `O(|tour|)` work instead of `O(|forest|)`, mirroring the paper's
+/// protocol in which each machine remaps its own shard from an
+/// `O(k)`-word broadcast plan. All operations mutate this state
+/// through broadcast-size instructions — the [`MpcContext`] parameter
+/// charges exactly those broadcasts and gathers.
 ///
 /// # Examples
 ///
@@ -86,9 +102,17 @@ pub struct DistEtf {
     n: usize,
     vertex_tour: Vec<TourId>,
     adj: Vec<BTreeSet<VertexId>>,
-    edges: BTreeMap<Edge, EdgeRec>,
+    /// Per-tour edge shards, each a flat array sorted by edge (the
+    /// machine-local segment the paper's protocol remaps in place).
+    /// Tours without edges (singletons) carry no entry. Invariant:
+    /// every record in `shards[t]` has `rec.tour == t`, and both
+    /// endpoints carry tour id `t`.
+    shards: BTreeMap<TourId, Shard>,
+    edge_count: usize,
     tour_len: BTreeMap<TourId, u64>,
-    members: BTreeMap<TourId, BTreeSet<VertexId>>,
+    /// Per-tour member lists, sorted ascending (spliced and
+    /// partitioned alongside the edge shards).
+    members: BTreeMap<TourId, Vec<VertexId>>,
     next_id: TourId,
 }
 
@@ -99,13 +123,14 @@ impl DistEtf {
         let mut members = BTreeMap::new();
         for v in 0..n as u64 {
             tour_len.insert(v, 0);
-            members.insert(v, BTreeSet::from([v as VertexId]));
+            members.insert(v, vec![v as VertexId]);
         }
         DistEtf {
             n,
             vertex_tour: (0..n as u64).collect(),
             adj: vec![BTreeSet::new(); n],
-            edges: BTreeMap::new(),
+            shards: BTreeMap::new(),
+            edge_count: 0,
             tour_len,
             members,
             next_id: n as TourId,
@@ -119,7 +144,7 @@ impl DistEtf {
 
     /// Number of forest edges.
     pub fn edge_count(&self) -> usize {
-        self.edges.len()
+        self.edge_count
     }
 
     /// The tour (tree) a vertex belongs to.
@@ -136,12 +161,12 @@ impl DistEtf {
         self.tour_len[&t]
     }
 
-    /// The vertices of a tour.
+    /// The vertices of a tour, sorted ascending.
     ///
     /// # Panics
     ///
     /// Panics on an unknown tour id.
-    pub fn tour_members(&self, t: TourId) -> &BTreeSet<VertexId> {
+    pub fn tour_members(&self, t: TourId) -> &[VertexId] {
         &self.members[&t]
     }
 
@@ -152,17 +177,32 @@ impl DistEtf {
 
     /// Whether `e` is a forest (tree) edge.
     pub fn contains_edge(&self, e: Edge) -> bool {
-        self.edges.contains_key(&e)
+        self.edge_rec(e).is_some()
     }
 
-    /// The record of a forest edge.
+    /// The record of a forest edge. A forest edge always lives in the
+    /// shard of its endpoints' tour, so the lookup is local to that
+    /// shard.
     pub fn edge_rec(&self, e: Edge) -> Option<&EdgeRec> {
-        self.edges.get(&e)
+        if (e.v() as usize) >= self.n {
+            return None;
+        }
+        shard_get(self.shards.get(&self.vertex_tour[e.u() as usize])?, e)
     }
 
-    /// Iterates over the forest edges.
+    /// Iterates over the forest edges (all shards).
     pub fn forest_edges(&self) -> impl Iterator<Item = Edge> + '_ {
-        self.edges.keys().copied()
+        self.shards.values().flat_map(|s| s.iter().map(|&(e, _)| e))
+    }
+
+    /// Iterates over one tour's edge shard — the unit of locality of
+    /// every tour operation. Yields nothing for singleton or unknown
+    /// tours.
+    pub fn tour_edges(&self, t: TourId) -> impl Iterator<Item = (Edge, &EdgeRec)> + '_ {
+        self.shards
+            .get(&t)
+            .into_iter()
+            .flat_map(|s| s.iter().map(|(e, r)| (*e, r)))
     }
 
     /// The tree neighbors of `v`.
@@ -174,7 +214,7 @@ impl DistEtf {
     /// six words per forest edge (tour id, two traversals of
     /// (pos, from), normalized endpoints are implicit in placement).
     pub fn words(&self) -> u64 {
-        self.n as u64 + 6 * self.edges.len() as u64
+        self.n as u64 + 6 * self.edge_count as u64
     }
 
     pub(crate) fn fresh_id(&mut self) -> TourId {
@@ -185,26 +225,112 @@ impl DistEtf {
 
     // ----- crate-private state surgery for the batch operations ----
 
-    pub(crate) fn edges_mut(&mut self) -> &mut BTreeMap<Edge, EdgeRec> {
-        &mut self.edges
+    /// The tour ids that currently own an edge shard (used by the
+    /// intrinsic validator to check shard ↔ bookkeeping consistency).
+    pub(crate) fn shard_tour_ids(&self) -> impl Iterator<Item = TourId> + '_ {
+        self.shards.keys().copied()
+    }
+
+    /// Mutable view of one tour's shard, if it has edges.
+    pub(crate) fn shard_mut(&mut self, t: TourId) -> Option<&mut Shard> {
+        self.shards.get_mut(&t)
+    }
+
+    /// Detaches a tour's whole edge shard (empty for singletons). The
+    /// caller must re-home every record via
+    /// [`DistEtf::splice_shard_entries`] or
+    /// [`DistEtf::insert_edge_rec`].
+    pub(crate) fn take_shard(&mut self, t: TourId) -> Shard {
+        let shard = self.shards.remove(&t).unwrap_or_default();
+        self.edge_count -= shard.len();
+        shard
+    }
+
+    /// Splices an entry list into tour `t`'s shard — the map-splice
+    /// counterpart of a per-edge rewrite loop. The batch operations
+    /// produce concatenations of already-sorted runs, so the stable
+    /// sort here is a linear-time merge. Records must already carry
+    /// tour id `t`.
+    pub(crate) fn splice_shard_entries(&mut self, t: TourId, mut entries: Shard) {
+        if entries.is_empty() {
+            return;
+        }
+        debug_assert!(
+            entries.iter().all(|(_, r)| r.tour == t),
+            "mislabelled splice"
+        );
+        self.edge_count += entries.len();
+        match self.shards.entry(t) {
+            std::collections::btree_map::Entry::Vacant(slot) => {
+                entries.sort_by_key(|&(e, _)| e);
+                slot.insert(entries);
+            }
+            std::collections::btree_map::Entry::Occupied(mut slot) => {
+                let shard = slot.get_mut();
+                shard.append(&mut entries);
+                shard.sort_by_key(|&(e, _)| e);
+            }
+        }
+    }
+
+    /// Registers `e` in the tree adjacency only (for callers that
+    /// splice the record itself in bulk).
+    pub(crate) fn add_adjacency(&mut self, e: Edge) {
+        self.adj[e.u() as usize].insert(e.v());
+        self.adj[e.v() as usize].insert(e.u());
+    }
+
+    /// Drops a set of edges from one tour's shard in a single retain
+    /// pass (and from the adjacency), cheaper than repeated
+    /// single-edge removals.
+    pub(crate) fn remove_edges_from_shard(&mut self, t: TourId, doomed: &BTreeSet<Edge>) {
+        for &e in doomed {
+            self.adj[e.u() as usize].remove(&e.v());
+            self.adj[e.v() as usize].remove(&e.u());
+        }
+        if let Some(shard) = self.shards.get_mut(&t) {
+            let before = shard.len();
+            shard.retain(|(e, _)| !doomed.contains(e));
+            self.edge_count -= before - shard.len();
+            if shard.is_empty() {
+                self.shards.remove(&t);
+            }
+        }
     }
 
     pub(crate) fn insert_edge_rec(&mut self, e: Edge, rec: EdgeRec) {
         self.adj[e.u() as usize].insert(e.v());
         self.adj[e.v() as usize].insert(e.u());
-        let prev = self.edges.insert(e, rec);
-        debug_assert!(prev.is_none(), "edge {e} inserted twice");
+        let shard = self.shards.entry(rec.tour).or_default();
+        match shard.binary_search_by_key(&e, |&(k, _)| k) {
+            Ok(_) => {
+                debug_assert!(false, "edge {e} inserted twice");
+            }
+            Err(i) => {
+                shard.insert(i, (e, rec));
+                self.edge_count += 1;
+            }
+        }
     }
 
     pub(crate) fn remove_edge_rec(&mut self, e: Edge) {
         self.adj[e.u() as usize].remove(&e.v());
         self.adj[e.v() as usize].remove(&e.u());
-        self.edges.remove(&e);
+        let t = self.vertex_tour[e.u() as usize];
+        if let Some(shard) = self.shards.get_mut(&t) {
+            if let Ok(i) = shard.binary_search_by_key(&e, |&(k, _)| k) {
+                shard.remove(i);
+                self.edge_count -= 1;
+                if shard.is_empty() {
+                    self.shards.remove(&t);
+                }
+            }
+        }
     }
 
     /// Drops a tour's membership and length records, returning its
-    /// former members. The caller must re-home every member.
-    pub(crate) fn remove_tour_bookkeeping(&mut self, t: TourId) -> BTreeSet<VertexId> {
+    /// former members (sorted). The caller must re-home every member.
+    pub(crate) fn remove_tour_bookkeeping(&mut self, t: TourId) -> Vec<VertexId> {
         self.tour_len.remove(&t);
         self.members.remove(&t).unwrap_or_default()
     }
@@ -213,7 +339,9 @@ impl DistEtf {
         self.vertex_tour[v as usize] = t;
     }
 
-    pub(crate) fn install_tour(&mut self, t: TourId, len: u64, members: BTreeSet<VertexId>) {
+    /// Installs a tour's bookkeeping; `members` must be sorted.
+    pub(crate) fn install_tour(&mut self, t: TourId, len: u64, members: Vec<VertexId>) {
+        debug_assert!(members.is_sorted(), "tour members must stay sorted");
         self.tour_len.insert(t, len);
         self.members.insert(t, members);
     }
@@ -222,9 +350,14 @@ impl DistEtf {
 
     /// All positions at which `v` occurs in its tour (2·deg entries).
     pub fn occurrences(&self, v: VertexId) -> Vec<u64> {
-        let mut out = Vec::with_capacity(2 * self.adj[v as usize].len());
-        for &w in &self.adj[v as usize] {
-            let rec = self.edges[&Edge::new(v, w)];
+        let adj = &self.adj[v as usize];
+        let mut out = Vec::with_capacity(2 * adj.len());
+        if adj.is_empty() {
+            return out;
+        }
+        let shard = &self.shards[&self.vertex_tour[v as usize]];
+        for &w in adj {
+            let rec = *shard_get(shard, Edge::new(v, w)).expect("adjacent edge in shard");
             for t in [rec.first, rec.second] {
                 if t.from == v {
                     out.push(t.pos);
@@ -273,7 +406,9 @@ impl DistEtf {
         if cut == 1 {
             return;
         }
-        for rec in self.edges.values_mut().filter(|r| r.tour == t) {
+        // Only the rerooted tour's shard is touched.
+        let shard = self.shards.get_mut(&t).expect("nonempty tour has a shard");
+        for (_, rec) in shard.iter_mut() {
             for trav in [&mut rec.first, &mut rec.second] {
                 trav.pos = (trav.pos + len - cut) % len + 1;
             }
@@ -296,30 +431,31 @@ impl DistEtf {
         let (u, v) = e.endpoints();
         let (tu, tv) = (self.tour_of(u), self.tour_of(v));
         assert_ne!(tu, tv, "join would create a cycle: {e}");
-        assert!(
-            !self.edges.contains_key(&e),
-            "edge {e} already in the forest"
-        );
+        assert!(!self.contains_edge(e), "edge {e} already in the forest");
         // Root the v-side tour at v, then splice it after u's arrival.
         self.reroot_uncharged(v);
         let len_v = self.tour_len[&tv];
         let (f_u, _) = self.f_l(u);
         let c = if f_u % 2 == 1 { f_u - 1 } else { f_u };
-        // Shift u-side entries after the splice point.
-        for rec in self.edges.values_mut().filter(|r| r.tour == tu) {
-            for trav in [&mut rec.first, &mut rec.second] {
-                if trav.pos > c {
-                    trav.pos += len_v + 4;
+        // Shift u-side entries after the splice point (u's shard only).
+        if let Some(shard) = self.shard_mut(tu) {
+            for (_, rec) in shard.iter_mut() {
+                for trav in [&mut rec.first, &mut rec.second] {
+                    if trav.pos > c {
+                        trav.pos += len_v + 4;
+                    }
                 }
             }
         }
-        // Move v-side entries into the splice window.
-        for rec in self.edges.values_mut().filter(|r| r.tour == tv) {
+        // Move the v-side shard wholesale into the splice window.
+        let mut moved_shard = self.take_shard(tv);
+        for (_, rec) in moved_shard.iter_mut() {
             rec.tour = tu;
             rec.shift((c + 2) as i64);
         }
+        self.splice_shard_entries(tu, moved_shard);
         // Insert the new edge's two traversals.
-        self.edges.insert(
+        self.insert_edge_rec(
             e,
             EdgeRec {
                 tour: tu,
@@ -333,17 +469,14 @@ impl DistEtf {
                 },
             },
         );
-        self.adj[u as usize].insert(v);
-        self.adj[v as usize].insert(u);
-        // Merge membership and length.
-        let moved = self.members.remove(&tv).expect("tour exists");
+        // Merge membership and length: splice the sorted member runs.
+        let mut moved = self.members.remove(&tv).expect("tour exists");
         for &w in &moved {
             self.vertex_tour[w as usize] = tu;
         }
-        self.members
-            .get_mut(&tu)
-            .expect("tour exists")
-            .extend(moved);
+        let target = self.members.get_mut(&tu).expect("tour exists");
+        target.append(&mut moved);
+        target.sort_unstable();
         self.tour_len.remove(&tv);
         *self.tour_len.get_mut(&tu).expect("tour exists") += len_v + 4;
     }
@@ -361,54 +494,63 @@ impl DistEtf {
         self.join_uncharged(e);
     }
 
+    /// Builds a sorted member list from a region's edge endpoints.
+    pub(crate) fn members_of_entries(entries: &[(Edge, EdgeRec)]) -> Vec<VertexId> {
+        let mut vs: Vec<VertexId> = Vec::with_capacity(2 * entries.len());
+        for (e, _) in entries {
+            vs.push(e.u());
+            vs.push(e.v());
+        }
+        vs.sort_unstable();
+        vs.dedup();
+        vs
+    }
+
     pub(crate) fn split_uncharged(&mut self, e: Edge) -> (TourId, TourId) {
-        let rec = self.edges.remove(&e).expect("split of non-tree edge");
+        let rec = *self.edge_rec(e).expect("split of non-tree edge");
+        self.remove_edge_rec(e);
         let t = rec.tour;
-        let (u, v) = e.endpoints();
-        self.adj[u as usize].remove(&v);
-        self.adj[v as usize].remove(&u);
         let p = rec.first.pos;
         let q = rec.second.pos;
         let len = self.tour_len[&t];
         let child_id = self.fresh_id();
         let child_len = q - p - 2;
-        // Partition membership by occurrence before remapping.
         let old_members = self.members.remove(&t).expect("tour exists");
-        let mut root_side = BTreeSet::new();
-        let mut child_side = BTreeSet::new();
-        let mut singletons = Vec::new();
-        for &w in &old_members {
-            let occ = self.occurrences(w);
-            match occ.first() {
-                None => singletons.push(w),
-                Some(&fw) if fw > p && fw < q => {
-                    child_side.insert(w);
-                }
-                Some(_) => {
-                    root_side.insert(w);
-                }
-            }
-        }
-        // Remap edge positions.
-        for r in self.edges.values_mut().filter(|r| r.tour == t) {
+        // Remap edge positions: partition the split tour's shard into
+        // the root-side and detached-side shards by map-splice. A
+        // vertex's side is derived from any incident surviving edge
+        // (all of them land on its side); edge-less members become
+        // fresh singletons.
+        let old_shard = self.take_shard(t);
+        let mut root_entries = Vec::new();
+        let mut child_entries = Vec::new();
+        for (edge, mut r) in old_shard {
             let inside = r.first.pos > p && r.first.pos < q;
             if inside {
                 r.tour = child_id;
                 r.shift(-((p + 1) as i64));
+                child_entries.push((edge, r));
             } else {
                 for trav in [&mut r.first, &mut r.second] {
                     if trav.pos > q + 1 {
                         trav.pos -= q - p + 2;
                     }
                 }
+                root_entries.push((edge, r));
             }
         }
+        let root_side = Self::members_of_entries(&root_entries);
+        let child_side = Self::members_of_entries(&child_entries);
+        self.splice_shard_entries(t, root_entries);
+        self.splice_shard_entries(child_id, child_entries);
         // Install the new tours. Singletons get fresh tours of length 0.
-        for w in singletons {
-            let id = self.fresh_id();
-            self.vertex_tour[w as usize] = id;
-            self.tour_len.insert(id, 0);
-            self.members.insert(id, BTreeSet::from([w]));
+        for &w in &old_members {
+            if self.adj[w as usize].is_empty() {
+                let id = self.fresh_id();
+                self.vertex_tour[w as usize] = id;
+                self.tour_len.insert(id, 0);
+                self.members.insert(id, vec![w]);
+            }
         }
         let root_len = len - child_len - 4;
         for &w in &child_side {
@@ -479,16 +621,14 @@ impl DistEtf {
         let (fu, lu) = self.f_l(u);
         let (fv, lv) = self.f_l(v);
         let in_subtree = |p: u64, q: u64, f: u64, l: u64| f > p && l <= q;
-        self.edges
-            .iter()
-            .filter(|(_, r)| r.tour == t)
+        self.tour_edges(t)
             .filter(|(_, r)| {
                 let (lo, hi) = r.subtree_interval();
                 // subtree entries are lo..=hi; interval delimiters are
                 // (first.pos, second.pos] = (lo-1, hi].
                 in_subtree(lo - 1, hi, fu, lu) != in_subtree(lo - 1, hi, fv, lv)
             })
-            .map(|(&e, _)| e)
+            .map(|(e, _)| e)
             .collect()
     }
 }

@@ -10,6 +10,20 @@
 //! representation: operations become *index arithmetic* driven by a
 //! few broadcast words, which is what makes them `O(1)` MPC rounds.
 //!
+//! # Per-tour sharded storage
+//!
+//! Edge records are stored in **per-tour shards** (`tour → sorted
+//! edge array`, [`DistEtf::tour_edges`]), matching the paper's
+//! protocol in which every machine remaps *its own* shard from an
+//! `O(k)`-word broadcast plan. Reroot, join, split, and the batch
+//! operations therefore touch only the affected tours' records —
+//! `O(|tour|)` work per operation instead of `O(|forest|)` — and
+//! tour-id reassignment moves whole shards by splice (a sorted-run
+//! merge) rather than per-edge rewrites. Membership bookkeeping is
+//! sharded the same way (sorted member list per tour), and is derived
+//! from the partitioned edge shards during splits instead of
+//! per-vertex occurrence scans.
+//!
 //! Operations ([`DistEtf`]):
 //!
 //! * `reroot` — rotate a tour to start at a given vertex
@@ -43,8 +57,16 @@
 //! coordinator computes the equivalent per-tree offset tables
 //! (`O(k)` words, identical round cost) from the same auxiliary
 //! sequence; the result is the same splice the paper describes,
-//! without its case analysis. Both deviations are behaviour-
-//! preserving and are validated by the intrinsic tour checker.
+//! without its case analysis. Finally, where the paper's machines
+//! conceptually rewrite each edge record in place from the broadcast
+//! plan, the simulator moves whole shards by **map-splice**: a tour
+//! absorbed by a join (or a region produced by a split) has its
+//! entire record array remapped once and merged into the destination
+//! shard, which is the same `O(|affected tours|)` local work with far
+//! better constants than per-edge rewrites. All deviations are
+//! behaviour-preserving and are validated by the intrinsic tour
+//! checker, which also checks the shard ↔ bookkeeping invariants
+//! ([`tour::TourViolation::ShardMismatch`]).
 
 pub mod batch;
 pub mod dist;

@@ -8,7 +8,7 @@
 
 use crate::dist::{DistEtf, TourId};
 use mpc_graph::ids::VertexId;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A violation found by [`validate`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,6 +64,13 @@ pub enum TourViolation {
         /// Length implied by the edge count.
         implied: u64,
     },
+    /// An edge shard disagrees with the tour bookkeeping: the shard's
+    /// tour id has no length/membership record, or a record inside it
+    /// carries a different tour id than its shard key.
+    ShardMismatch {
+        /// The shard's tour id.
+        tour: TourId,
+    },
 }
 
 impl std::fmt::Display for TourViolation {
@@ -95,6 +102,9 @@ impl std::fmt::Display for TourViolation {
                 f,
                 "tour {tour}: recorded length {recorded} != implied {implied}"
             ),
+            TourViolation::ShardMismatch { tour } => {
+                write!(f, "tour {tour}: edge shard inconsistent with bookkeeping")
+            }
         }
     }
 }
@@ -108,43 +118,51 @@ impl std::error::Error for TourViolation {}
 ///
 /// Returns the first violation found.
 pub fn validate(etf: &DistEtf) -> Result<(), TourViolation> {
-    // Group entries by tour: position -> vertex.
-    let mut tours: BTreeMap<TourId, BTreeMap<u64, VertexId>> = BTreeMap::new();
-    let mut edge_counts: BTreeMap<TourId, u64> = BTreeMap::new();
-    for e in etf.forest_edges() {
-        let rec = etf.edge_rec(e).expect("iterating live edges");
-        *edge_counts.entry(rec.tour).or_insert(0) += 1;
-        let entries = tours.entry(rec.tour).or_default();
-        for trav in [rec.first, rec.second] {
-            if trav.pos % 2 == 0 {
-                return Err(TourViolation::MisalignedTraversal {
-                    tour: rec.tour,
-                    pos: trav.pos,
-                });
-            }
-            let to = e.other(trav.from);
-            for (pos, vertex) in [(trav.pos, trav.from), (trav.pos + 1, to)] {
-                if entries.insert(pos, vertex).is_some() {
-                    return Err(TourViolation::PositionClash {
-                        tour: rec.tour,
-                        pos,
-                    });
-                }
-            }
+    // Shard ↔ bookkeeping consistency: every shard belongs to a live
+    // tour and every record inside it carries its shard's tour id.
+    // (Shards are the unit of locality of the batch operations, so a
+    // mislabelled or orphaned shard is the first thing to check.)
+    let live: BTreeSet<TourId> = etf.tours().collect();
+    for t in etf.shard_tour_ids() {
+        if !live.contains(&t) {
+            return Err(TourViolation::ShardMismatch { tour: t });
         }
-        // Edge endpoints must carry the edge's tour id.
-        for v in [e.u(), e.v()] {
-            if etf.tour_of(v) != rec.tour {
-                return Err(TourViolation::WrongTourLabel { vertex: v });
-            }
+        if etf.tour_edges(t).any(|(_, rec)| rec.tour != t) {
+            return Err(TourViolation::ShardMismatch { tour: t });
         }
     }
     for t in etf.tours() {
+        // Reassemble this tour's entry sequence from its own shard.
+        let mut entries: BTreeMap<u64, VertexId> = BTreeMap::new();
+        let mut edge_count = 0u64;
+        for (e, rec) in etf.tour_edges(t) {
+            edge_count += 1;
+            for trav in [rec.first, rec.second] {
+                if trav.pos % 2 == 0 {
+                    return Err(TourViolation::MisalignedTraversal {
+                        tour: t,
+                        pos: trav.pos,
+                    });
+                }
+                let to = e.other(trav.from);
+                for (pos, vertex) in [(trav.pos, trav.from), (trav.pos + 1, to)] {
+                    if entries.insert(pos, vertex).is_some() {
+                        return Err(TourViolation::PositionClash { tour: t, pos });
+                    }
+                }
+            }
+            // Edge endpoints must carry the edge's tour id.
+            for v in [e.u(), e.v()] {
+                if etf.tour_of(v) != t {
+                    return Err(TourViolation::WrongTourLabel { vertex: v });
+                }
+            }
+        }
         let len = etf.tour_len(t);
         if !len.is_multiple_of(4) {
             return Err(TourViolation::BadLength { tour: t, len });
         }
-        let implied = edge_counts.get(&t).copied().unwrap_or(0) * 4;
+        let implied = edge_count * 4;
         if len != implied {
             return Err(TourViolation::LengthMismatch {
                 tour: t,
@@ -152,7 +170,6 @@ pub fn validate(etf: &DistEtf) -> Result<(), TourViolation> {
                 implied,
             });
         }
-        let entries = tours.remove(&t).unwrap_or_default();
         // Coverage of 1..=len.
         for pos in 1..=len {
             if !entries.contains_key(&pos) {

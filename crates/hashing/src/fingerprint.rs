@@ -14,6 +14,7 @@
 use crate::field::{M61, P};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// A running fingerprint `Σ_i X_i · z^i` of an implicitly maintained
 /// integer vector `X`, updated coordinate-wise.
@@ -36,6 +37,12 @@ pub struct Fingerprint {
     z: M61,
     /// Accumulated value `Σ X_i z^i`.
     acc: M61,
+    /// `z^(2^j)` for `j < 64`, shared across the family so every
+    /// `z^i` costs only `popcount(i)` multiplications instead of a
+    /// full square-and-multiply ladder — total over all of `u64`,
+    /// like the `z.pow` ladder it replaces. (Derived state: counted
+    /// once per family in the MPC memory accounting, like `z`.)
+    pow2: Arc<[M61; 64]>,
 }
 
 impl Fingerprint {
@@ -44,7 +51,17 @@ impl Fingerprint {
     pub fn new<R: Rng + ?Sized>(rng: &mut R) -> Self {
         // Avoid z = 0 which would ignore every coordinate but 0.
         let z = M61::new(rng.gen_range(2..P));
-        Fingerprint { z, acc: M61::ZERO }
+        let mut pow2 = [M61::ZERO; 64];
+        let mut acc = z;
+        for slot in pow2.iter_mut() {
+            *slot = acc;
+            acc = acc * acc;
+        }
+        Fingerprint {
+            z,
+            acc: M61::ZERO,
+            pow2: Arc::new(pow2),
+        }
     }
 
     /// Creates a fingerprint deterministically from a seed.
@@ -60,14 +77,41 @@ impl Fingerprint {
         Fingerprint {
             z: self.z,
             acc: M61::ZERO,
+            pow2: Arc::clone(&self.pow2),
         }
+    }
+
+    /// `z^index` via the shared power table —
+    /// `popcount(index)` multiplications.
+    #[inline]
+    pub fn term(&self, index: u64) -> M61 {
+        let mut acc = M61::ONE;
+        let mut i = index;
+        while i != 0 {
+            let j = i.trailing_zeros();
+            acc *= self.pow2[j as usize];
+            i &= i - 1;
+        }
+        acc
     }
 
     /// Applies `X[index] += delta`.
     #[inline]
     pub fn update(&mut self, index: u64, delta: i64) {
-        let term = self.z.pow(index) * M61::from_i64(delta);
-        self.acc += term;
+        let term = self.term(index);
+        self.apply_term(term, delta);
+    }
+
+    /// Applies a precomputed `z^index` term with coefficient `delta`
+    /// (the pair-update fast path: one `term` serves both endpoint
+    /// sketches of an edge).
+    #[inline]
+    pub fn apply_term(&mut self, term: M61, delta: i64) {
+        match delta {
+            1 => self.acc += term,
+            -1 => self.acc -= term,
+            d => self.acc += term * M61::from_i64(d),
+        }
     }
 
     /// Merges another fingerprint of the same family (vector
@@ -103,7 +147,7 @@ impl Fingerprint {
     /// is the one-sparse recovery test.
     #[inline]
     pub fn expected_one_sparse(&self, index: u64, weight: i64) -> M61 {
-        self.z.pow(index) * M61::from_i64(weight)
+        self.term(index) * M61::from_i64(weight)
     }
 }
 

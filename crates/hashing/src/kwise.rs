@@ -27,28 +27,43 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct KWiseHash {
-    /// Polynomial coefficients, constant term first. The leading
+    /// Independence parameter `k` (number of live coefficients).
+    k: usize,
+    /// Polynomial coefficients, constant term first, stored inline
+    /// (no heap indirection on the evaluation hot path). The leading
     /// coefficient is forced nonzero so the polynomial has true
     /// degree `k-1`.
-    coeffs: Vec<M61>,
+    coeffs: [M61; KWiseHash::MAX_K],
 }
 
 impl KWiseHash {
+    /// Largest supported independence parameter (the workspace uses
+    /// `k ≤ 4`; the inline bound keeps evaluation allocation-free).
+    pub const MAX_K: usize = 8;
+
     /// Draws a function from the *k*-wise independent family using the
     /// supplied RNG.
     ///
     /// # Panics
     ///
-    /// Panics if `k == 0`.
+    /// Panics if `k == 0` or `k > KWiseHash::MAX_K`.
     pub fn new<R: Rng + ?Sized>(k: usize, rng: &mut R) -> Self {
         assert!(k >= 1, "independence parameter k must be at least 1");
-        let mut coeffs: Vec<M61> = (0..k).map(|_| M61::new(rng.gen_range(0..P))).collect();
+        assert!(
+            k <= Self::MAX_K,
+            "independence parameter k above {}",
+            Self::MAX_K
+        );
+        let mut coeffs = [M61::ZERO; Self::MAX_K];
+        for c in coeffs.iter_mut().take(k) {
+            *c = M61::new(rng.gen_range(0..P));
+        }
         // Force true degree k-1 (harmless for independence, keeps the
         // family honest for k >= 2).
         if k >= 2 && coeffs[k - 1].is_zero() {
             coeffs[k - 1] = M61::ONE;
         }
-        KWiseHash { coeffs }
+        KWiseHash { k, coeffs }
     }
 
     /// Draws a function deterministically from a seed.
@@ -60,7 +75,7 @@ impl KWiseHash {
     /// The independence parameter `k` of the family this function was
     /// drawn from.
     pub fn independence(&self) -> usize {
-        self.coeffs.len()
+        self.k
     }
 
     /// Evaluates the hash on `key`, returning a uniform value in
@@ -68,9 +83,9 @@ impl KWiseHash {
     #[inline]
     pub fn eval(&self, key: u64) -> u64 {
         let x = M61::new(key);
-        // Horner evaluation.
+        // Horner evaluation over the live coefficients.
         let mut acc = M61::ZERO;
-        for &c in self.coeffs.iter().rev() {
+        for &c in self.coeffs[..self.k].iter().rev() {
             acc = acc * x + c;
         }
         acc.value()

@@ -278,9 +278,20 @@ impl ExactMsf {
             ctx.sort(2 * relabel.len() as u64 + 1);
             ctx.broadcast(2);
             if !relabel.is_empty() {
-                for cv in self.comp.iter_mut() {
-                    if let Some(&nc) = relabel.get(cv) {
-                        *cv = nc;
+                // Relabelled components all live in tours that gained
+                // a join edge — visit only those members, not all n.
+                let mut merged_tours: Vec<mpc_etf::TourId> = joins
+                    .iter()
+                    .map(|we| self.etf.tour_of(we.edge.u()))
+                    .collect();
+                merged_tours.sort_unstable();
+                merged_tours.dedup();
+                for t in merged_tours {
+                    for &w in self.etf.tour_members(t) {
+                        let cv = &mut self.comp[w as usize];
+                        if let Some(&nc) = relabel.get(cv) {
+                            *cv = nc;
+                        }
                     }
                 }
             }
@@ -328,9 +339,9 @@ impl ExactMsf {
         // Temporary component ids for the pieces (minimum member).
         let mut relabels = 0u64;
         for p in pieces {
-            let members = self.etf.tour_members(p).clone();
-            let new_c = *members.iter().min().expect("nonempty");
-            for &v in &members {
+            let members = self.etf.tour_members(p);
+            let new_c = *members.first().expect("nonempty");
+            for &v in members {
                 self.comp[v as usize] = new_c;
             }
             relabels += 1;

@@ -30,7 +30,10 @@ use mpc_graph::ids::{Edge, VertexId};
 pub struct SketchBank {
     n: usize,
     copies: usize,
-    seed: u64,
+    /// One prototype sketch per copy: the family randomness (level
+    /// hashes, fingerprint points and power tables) is seeded once
+    /// here and shared by every materialized vertex column.
+    protos: Vec<VertexSketch>,
     /// `slots[v]` is `None` until vertex `v` sees its first update.
     slots: Vec<Option<Vec<VertexSketch>>>,
     words: u64,
@@ -47,10 +50,13 @@ impl SketchBank {
     /// Panics if `copies == 0`.
     pub fn new(n: usize, copies: usize, seed: u64) -> Self {
         assert!(copies >= 1, "need at least one sketch copy");
+        let protos = (0..copies)
+            .map(|i| VertexSketch::new(n, 0, seed + i as u64))
+            .collect();
         SketchBank {
             n,
             copies,
-            seed,
+            protos,
             slots: vec![None; n],
             words: 0,
         }
@@ -73,14 +79,9 @@ impl SketchBank {
     }
 
     fn materialize(&mut self, v: VertexId) -> &mut Vec<VertexSketch> {
-        let n = self.n;
-        let copies = self.copies;
-        let seed = self.seed;
         let slot = &mut self.slots[v as usize];
         if slot.is_none() {
-            let col: Vec<VertexSketch> = (0..copies)
-                .map(|i| VertexSketch::new(n, v, seed + i as u64))
-                .collect();
+            let col: Vec<VertexSketch> = self.protos.iter().map(|p| p.fresh_for(v)).collect();
             self.words += col.iter().map(VertexSketch::words).sum::<u64>();
             *slot = Some(col);
         }
@@ -88,21 +89,27 @@ impl SketchBank {
     }
 
     /// Records an edge insertion in **both** endpoints' sketch
-    /// columns (all copies).
+    /// columns (all copies), one level-hash/fingerprint evaluation
+    /// per copy for the pair.
     pub fn insert_edge(&mut self, e: Edge) {
-        for v in [e.u(), e.v()] {
-            for s in self.materialize(v).iter_mut() {
-                s.insert_edge(e);
-            }
-        }
+        self.update_edge(e, 1);
     }
 
     /// Records an edge deletion in both endpoints' sketch columns.
     pub fn delete_edge(&mut self, e: Edge) {
-        for v in [e.u(), e.v()] {
-            for s in self.materialize(v).iter_mut() {
-                s.delete_edge(e);
-            }
+        self.update_edge(e, -1);
+    }
+
+    fn update_edge(&mut self, e: Edge, delta: i64) {
+        self.materialize(e.u());
+        self.materialize(e.v());
+        let (u, v) = (e.u() as usize, e.v() as usize);
+        // Edge endpoints are distinct and normalized u < v.
+        let (lo, hi) = self.slots.split_at_mut(v);
+        let col_u = lo[u].as_mut().expect("just materialized");
+        let col_v = hi[0].as_mut().expect("just materialized");
+        for (su, sv) in col_u.iter_mut().zip(col_v.iter_mut()) {
+            VertexSketch::update_edge_pair(su, sv, e, delta);
         }
     }
 

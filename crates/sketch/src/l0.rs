@@ -54,8 +54,19 @@ pub enum SampleOutcome {
 pub struct L0Sampler {
     max_index: u64,
     seed: u64,
+    levels: u32,
     level_hash: KWiseHash,
-    cells: Vec<OneSparseCell>,
+    /// Zero cell carrying the family randomness; live cells are
+    /// spawned from it on first touch.
+    proto: OneSparseCell,
+    /// Only the **nonzero** cells, sorted by level. A cell whose
+    /// counters all cancel back to zero is pruned, so the
+    /// representation is canonical: two samplers summarizing the same
+    /// vector compare equal regardless of update order. (The dense
+    /// `levels × cell` layout of the paper is the *accounted* shape —
+    /// see [`L0Sampler::words`]; storing the zero cells would only
+    /// waste host memory.)
+    cells: Vec<(u8, OneSparseCell)>,
 }
 
 impl L0Sampler {
@@ -70,12 +81,13 @@ impl L0Sampler {
         let levels = (64 - max_index.leading_zeros()) + 2;
         let level_hash = KWiseHash::from_seed(2, seed ^ 0x9e37_79b9_7f4a_7c15);
         let proto = OneSparseCell::from_seed(seed ^ 0x85eb_ca6b_27d4_eb4f);
-        let cells = (0..levels).map(|_| proto.fresh()).collect();
         L0Sampler {
             max_index,
             seed,
+            levels,
             level_hash,
-            cells,
+            proto,
+            cells: Vec::new(),
         }
     }
 
@@ -84,15 +96,53 @@ impl L0Sampler {
         self.seed
     }
 
-    /// Number of geometric levels.
-    pub fn levels(&self) -> usize {
-        self.cells.len()
+    /// A zero-accumulator sampler of this sampler's family: the level
+    /// hash and fingerprint randomness (including the shared power
+    /// table) are reused, so materializing many samplers of one
+    /// family costs no seeding work.
+    pub fn fresh(&self) -> L0Sampler {
+        L0Sampler {
+            max_index: self.max_index,
+            seed: self.seed,
+            levels: self.levels,
+            level_hash: self.level_hash.clone(),
+            proto: self.proto.fresh(),
+            cells: Vec::new(),
+        }
     }
 
-    /// Memory footprint in `u64` words (for the MPC accounting):
-    /// one one-sparse cell per level plus two header words.
+    /// Number of geometric levels.
+    pub fn levels(&self) -> usize {
+        self.levels as usize
+    }
+
+    /// Memory footprint in `u64` words for the MPC accounting: one
+    /// one-sparse cell per level plus two header words — the paper's
+    /// dense layout, which is what the model's machines must budget
+    /// for (the sparse host representation is an implementation
+    /// detail).
     pub fn words(&self) -> u64 {
-        self.cells.len() as u64 * OneSparseCell::WORDS + 2
+        self.levels as u64 * OneSparseCell::WORDS + 2
+    }
+
+    /// Sorted position of the live cell for `level`, created on
+    /// first touch.
+    fn cell_slot(&mut self, level: u8) -> usize {
+        match self.cells.binary_search_by_key(&level, |&(l, _)| l) {
+            Ok(i) => i,
+            Err(i) => {
+                self.cells.insert(i, (level, self.proto.fresh()));
+                i
+            }
+        }
+    }
+
+    /// Drops the cell at sorted position `i` if it cancelled to zero,
+    /// keeping the representation canonical.
+    fn prune_slot(&mut self, i: usize) {
+        if self.cells[i].1.is_zero() {
+            self.cells.remove(i);
+        }
     }
 
     /// Applies `X[index] += delta`.
@@ -106,10 +156,43 @@ impl L0Sampler {
             "index {index} out of range {}",
             self.max_index
         );
-        let level = self
-            .level_hash
-            .geometric_level(index, self.cells.len() as u32 - 1) as usize;
-        self.cells[level].update(index, delta);
+        let level = self.level_hash.geometric_level(index, self.levels - 1) as u8;
+        let i = self.cell_slot(level);
+        self.cells[i].1.update(index, delta);
+        self.prune_slot(i);
+    }
+
+    /// Applies `X[index] += delta_a` to `a` and `X[index] += delta_b`
+    /// to `b`, which must belong to the same family: the level hash
+    /// and the fingerprint term are computed once and applied to both
+    /// — the fast path for edge updates, where the two endpoint
+    /// sketches of one copy always receive the same coordinate with
+    /// opposite signs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the families differ or `index` is out of range.
+    pub fn update_pair(
+        a: &mut L0Sampler,
+        b: &mut L0Sampler,
+        index: u64,
+        delta_a: i64,
+        delta_b: i64,
+    ) {
+        assert_eq!(
+            (a.max_index, a.seed),
+            (b.max_index, b.seed),
+            "pair update requires samplers of one family"
+        );
+        assert!(index < a.max_index, "index {index} out of range");
+        let level = a.level_hash.geometric_level(index, a.levels - 1) as u8;
+        let term = a.proto.term(index);
+        let i = a.cell_slot(level);
+        a.cells[i].1.update_with_term(index, delta_a, term);
+        a.prune_slot(i);
+        let j = b.cell_slot(level);
+        b.cells[j].1.update_with_term(index, delta_b, term);
+        b.prune_slot(j);
     }
 
     /// Merges a sampler of the same family (vector addition).
@@ -123,14 +206,16 @@ impl L0Sampler {
             (other.max_index, other.seed),
             "cannot merge l0-samplers from different families"
         );
-        for (a, b) in self.cells.iter_mut().zip(&other.cells) {
-            a.merge(b);
+        for (level, cell) in &other.cells {
+            let i = self.cell_slot(*level);
+            self.cells[i].1.merge(cell);
+            self.prune_slot(i);
         }
     }
 
     /// Whether every cell is zero (w.h.p. the zero vector).
     pub fn is_zero(&self) -> bool {
-        self.cells.iter().all(OneSparseCell::is_zero)
+        self.cells.is_empty()
     }
 
     /// Queries the sampler.
@@ -141,7 +226,7 @@ impl L0Sampler {
         // Prefer high (sparse) levels: they are the ones designed to
         // isolate a single survivor; low levels decode only for very
         // sparse vectors, which is exactly when they are useful.
-        for cell in self.cells.iter().rev() {
+        for (_, cell) in self.cells.iter().rev() {
             if let OneSparseDecode::One { index, weight } = cell.decode() {
                 return SampleOutcome::Sample { index, weight };
             }

@@ -79,6 +79,19 @@ impl OneSparseCell {
         self.fingerprint.update(index, delta);
     }
 
+    /// Applies `X[index] += delta` with a precomputed fingerprint
+    /// term `z^index` (the pair-update fast path).
+    pub fn update_with_term(&mut self, index: u64, delta: i64, term: mpc_hashing::field::M61) {
+        self.value_sum += delta;
+        self.index_sum += index as i128 * delta as i128;
+        self.fingerprint.apply_term(term, delta);
+    }
+
+    /// The fingerprint term `z^index` of this cell's family.
+    pub fn term(&self, index: u64) -> mpc_hashing::field::M61 {
+        self.fingerprint.term(index)
+    }
+
     /// Merges another cell of the same family (vector addition).
     ///
     /// # Panics

@@ -17,9 +17,21 @@ use mpc_stream::mpc::{MpcConfig, MpcContext};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 256;
     let phi = 0.5;
-    let cfg = MpcConfig::builder(n, phi).local_capacity(1 << 16).build();
+    // The default machine count covers the n·log³n *asymptotic*
+    // budget, but at n = 256 the sketch bank's constants are larger:
+    // t = ⌈log n⌉ + 6 = 14 copies of ~79 words per vertex ≈ 1106
+    // words/vertex, ≈ 283k words total — more than the 2 machines the
+    // budget-derived default provides at s = 2^16. Size the cluster
+    // for the actual standing state and run strict, so any primitive
+    // that overflows s fails the example instead of being absorbed as
+    // a permissive-mode violation.
+    let cfg = MpcConfig::builder(n, phi)
+        .local_capacity(1 << 16)
+        .machines(8)
+        .strict(true)
+        .build();
     println!(
-        "cluster: n = {n}, φ = {phi}, s = {} words, {} machines",
+        "cluster: n = {n}, φ = {phi}, s = {} words, {} machines (strict mode)",
         cfg.local_capacity(),
         cfg.machines()
     );

@@ -202,3 +202,114 @@ proptest! {
         }
     }
 }
+
+/// Snapshot of every tour NOT in `touched`: length, members, and the
+/// full edge-record shard.
+type TourSnapshot = std::collections::BTreeMap<
+    mpc_stream::etf::TourId,
+    (u64, Vec<u32>, Vec<(Edge, mpc_stream::etf::dist::EdgeRec)>),
+>;
+
+fn snapshot_untouched(
+    etf: &mpc_stream::etf::DistEtf,
+    touched: &BTreeSet<mpc_stream::etf::TourId>,
+) -> TourSnapshot {
+    etf.tours()
+        .filter(|t| !touched.contains(t))
+        .map(|t| {
+            (
+                t,
+                (
+                    etf.tour_len(t),
+                    etf.tour_members(t).to_vec(),
+                    etf.tour_edges(t).map(|(e, r)| (e, *r)).collect(),
+                ),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The sharded-ETF locality guarantee: after any batch_join /
+    /// batch_split, the edge records (and lengths and memberships) of
+    /// every tour the batch did not touch are bit-identical — the
+    /// regression guard that writes stay shard-local.
+    #[test]
+    fn batch_ops_leave_untouched_tours_bit_identical(seed in 0u64..1u64 << 48) {
+        use mpc_stream::etf::DistEtf;
+        use mpc_stream::etf::tour::validate;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let n = 60usize;
+        let mut ctx = ctx_for(n);
+        let mut etf = DistEtf::new(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut live: Vec<Edge> = Vec::new();
+        // Ten disjoint 6-vertex paths.
+        for t in 0..10u32 {
+            for j in 0..5u32 {
+                let e = Edge::new(6 * t + j, 6 * t + j + 1);
+                etf.join(e, &mut ctx);
+                live.push(e);
+            }
+        }
+        for _round in 0..8 {
+            if rng.gen_bool(0.55) || live.is_empty() {
+                // Batch join of up to 3 fresh cross-tour edges whose
+                // tour pairs form a forest.
+                let mut batch: Vec<Edge> = Vec::new();
+                let mut used: BTreeSet<mpc_stream::etf::TourId> = BTreeSet::new();
+                for _ in 0..40 {
+                    if batch.len() >= 3 {
+                        break;
+                    }
+                    let a = rng.gen_range(0..n as u32);
+                    let b = rng.gen_range(0..n as u32);
+                    let (ta, tb) = (etf.tour_of(a), etf.tour_of(b));
+                    if a == b || ta == tb || used.contains(&ta) || used.contains(&tb) {
+                        continue;
+                    }
+                    used.insert(ta);
+                    used.insert(tb);
+                    batch.push(Edge::new(a, b));
+                }
+                if batch.is_empty() {
+                    continue;
+                }
+                let snap = snapshot_untouched(&etf, &used);
+                etf.batch_join(&batch, &mut ctx);
+                live.extend(&batch);
+                for (t, (len, members, recs)) in &snap {
+                    prop_assert_eq!(etf.tour_len(*t), *len, "length of untouched tour changed");
+                    prop_assert_eq!(etf.tour_members(*t), &members[..], "members of untouched tour changed");
+                    let now: Vec<_> = etf.tour_edges(*t).map(|(e, r)| (e, *r)).collect();
+                    prop_assert_eq!(&now, recs, "edge records of untouched tour changed");
+                }
+                validate(&etf).expect("valid after batch_join");
+            } else {
+                // Batch split of up to 3 live tree edges; touched =
+                // the tours those edges belong to.
+                let take = 1 + rng.gen_range(0..live.len().min(3));
+                let mut batch: Vec<Edge> = Vec::new();
+                for _ in 0..take {
+                    let i = rng.gen_range(0..live.len());
+                    batch.push(live.swap_remove(i));
+                }
+                let touched: BTreeSet<mpc_stream::etf::TourId> =
+                    batch.iter().map(|e| etf.tour_of(e.u())).collect();
+                let snap = snapshot_untouched(&etf, &touched);
+                etf.batch_split(&batch, &mut ctx);
+                for (t, (len, members, recs)) in &snap {
+                    prop_assert_eq!(etf.tour_len(*t), *len, "length of untouched tour changed");
+                    prop_assert_eq!(etf.tour_members(*t), &members[..], "members of untouched tour changed");
+                    let now: Vec<_> = etf.tour_edges(*t).map(|(e, r)| (e, *r)).collect();
+                    prop_assert_eq!(&now, recs, "edge records of untouched tour changed");
+                }
+                validate(&etf).expect("valid after batch_split");
+            }
+        }
+    }
+}

@@ -144,7 +144,8 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Times repeated calls of `routine`.
+    /// Times repeated calls of `routine` (like the real criterion's
+    /// `iter`, each output is dropped inside the timed loop).
     pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
         let per_sample = MEASURE_BUDGET / self.n_samples as u32;
         for _ in 0..self.n_samples {
@@ -162,8 +163,9 @@ impl Bencher {
         }
     }
 
-    /// Times `routine` on fresh input from `setup`; setup time is
-    /// excluded from the measurement.
+    /// Times `routine` on fresh input from `setup`; setup time and
+    /// the drop of the routine's output are excluded from the
+    /// measurement (matching the real criterion's `iter_batched`).
     pub fn iter_batched<I, O>(
         &mut self,
         mut setup: impl FnMut() -> I,
@@ -177,8 +179,9 @@ impl Bencher {
             loop {
                 let input = setup();
                 let start = Instant::now();
-                black_box(routine(input));
+                let out = black_box(routine(input));
                 spent += start.elapsed();
+                drop(out);
                 iters += 1;
                 if spent >= per_sample {
                     self.samples.push(spent / iters as u32);
