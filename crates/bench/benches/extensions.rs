@@ -48,7 +48,8 @@ fn bench_kconn(c: &mut Criterion) {
             let n = 256;
             let mut ctx = ctx_for(n);
             let mut kc = DynamicKConn::new(n, k, 5);
-            kc.apply_batch(&Batch::inserting(circulant(n as u32)), &mut ctx);
+            kc.apply_batch(&Batch::inserting(circulant(n as u32)), &mut ctx)
+                .expect("batch within model");
             b.iter(|| black_box(kc.certificate(&mut ctx).edge_count()));
         });
     }

@@ -164,8 +164,7 @@ fn bench_matching(c: &mut Criterion) {
             || (ctx_for(n), MaximalMatching::new(n)),
             |(mut ctx, mut mm)| {
                 for batch in &stream.batches {
-                    let ins: Vec<Edge> = batch.insertions().collect();
-                    mm.apply_batch(&ins, &[], &mut ctx);
+                    mm.apply_batch(batch, &mut ctx).expect("valid stream");
                 }
                 (ctx, mm)
             },

@@ -93,10 +93,17 @@ pub fn e13_kconn() -> Vec<Table> {
             // delete-reinsert detour to exercise deletions).
             let mut ctx = experiment_context(n, 0.5);
             let mut dy = DynamicKConn::new(n, k, 0xD13 + k as u64);
-            dy.apply_batch(&Batch::inserting(edges.iter().copied()), &mut ctx);
+            for chunk in edges.chunks(max_batch(&ctx)) {
+                dy.apply_batch(&Batch::inserting(chunk.iter().copied()), &mut ctx)
+                    .expect("batch within model");
+            }
             let detour: Vec<Edge> = edges.iter().step_by(5).copied().collect();
-            dy.apply_batch(&Batch::deleting(detour.iter().copied()), &mut ctx);
-            dy.apply_batch(&Batch::inserting(detour.iter().copied()), &mut ctx);
+            for chunk in detour.chunks(max_batch(&ctx)) {
+                dy.apply_batch(&Batch::deleting(chunk.iter().copied()), &mut ctx)
+                    .expect("batch within model");
+                dy.apply_batch(&Batch::inserting(chunk.iter().copied()), &mut ctx)
+                    .expect("batch within model");
+            }
             let cert = dy.certificate(&mut ctx);
             let lambda_c = cuts::edge_connectivity(n, &cert.edges()).min(k as u64);
             cert_t.row(vec![
@@ -138,7 +145,8 @@ pub fn e13_kconn() -> Vec<Table> {
             let mut batches = 0u64;
             for chunk in edges.chunks(16) {
                 ctx.begin_phase("update");
-                dy.apply_batch(&Batch::inserting(chunk.iter().copied()), &mut ctx);
+                dy.apply_batch(&Batch::inserting(chunk.iter().copied()), &mut ctx)
+                    .expect("batch within model");
                 upd_rounds += ctx.end_phase().rounds;
                 batches += 1;
             }
@@ -188,7 +196,10 @@ pub fn e13_kconn() -> Vec<Table> {
                     .expect("batch within model");
             }
             let mut dy = DynamicKConn::new(n, k, 3);
-            dy.apply_batch(&Batch::inserting(edges.iter().copied()), &mut ctx);
+            for chunk in edges.chunks(max_batch(&ctx)) {
+                dy.apply_batch(&Batch::inserting(chunk.iter().copied()), &mut ctx)
+                    .expect("batch within model");
+            }
             mem_t.row(vec![
                 n.to_string(),
                 edges.len().to_string(),
@@ -220,7 +231,10 @@ pub fn e13_kconn() -> Vec<Table> {
                 let edges = random_edges(n, 0.12, 0xAB13 + trial);
                 let mut ctx = experiment_context(n, 0.5);
                 let mut dy = DynamicKConn::with_copies(n, k, copies, trial * 7 + 1);
-                dy.apply_batch(&Batch::inserting(edges.iter().copied()), &mut ctx);
+                for chunk in edges.chunks(max_batch(&ctx)) {
+                    dy.apply_batch(&Batch::inserting(chunk.iter().copied()), &mut ctx)
+                        .expect("batch within model");
+                }
                 let cert = dy.certificate(&mut ctx);
                 let lam_g = cuts::edge_connectivity(n, &edges).min(k as u64);
                 let lam_c = cuts::edge_connectivity(n, &cert.edges()).min(k as u64);
@@ -311,7 +325,8 @@ pub fn e16_preprocessing() -> Vec<Table> {
         let mut ki = DynamicKConn::new(n, 2, 0xE16);
         ctx2.begin_phase("replay");
         for chunk in edges.chunks(16) {
-            ki.apply_batch(&Batch::inserting(chunk.iter().copied()), &mut ctx2);
+            ki.apply_batch(&Batch::inserting(chunk.iter().copied()), &mut ctx2)
+                .expect("batch within model");
         }
         let replay_rounds = ctx2.end_phase().rounds;
         // Same seed + same edge multiset → the linear sketches are

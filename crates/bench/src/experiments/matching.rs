@@ -88,7 +88,7 @@ pub fn e8_dynamic_matching() -> Vec<Table> {
         let mut rounds = 0u64;
         for batch in &stream.batches {
             ctx.begin_phase("akly");
-            akly.apply_batch(batch, &mut ctx);
+            akly.apply_batch(batch, &mut ctx).expect("valid stream");
             rounds += ctx.end_phase().rounds;
         }
         let last = snaps.last().expect("nonempty");
@@ -126,7 +126,7 @@ pub fn e9_size_estimation() -> Vec<Table> {
             let mut ctx = experiment_context(n, 0.5);
             let mut est = MatchingSizeEstimator::new(n, alpha, kind, 0xE9);
             for batch in &stream.batches {
-                est.apply_batch(batch, &mut ctx);
+                est.apply_batch(batch, &mut ctx).expect("valid stream");
             }
             let e = est.estimate();
             t.row(vec![

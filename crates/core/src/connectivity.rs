@@ -46,6 +46,17 @@ impl From<MpcError> for ConnectivityError {
     }
 }
 
+impl From<ConnectivityError> for mpc_sim::MpcStreamError {
+    fn from(e: ConnectivityError) -> Self {
+        match e {
+            ConnectivityError::Mpc(inner) => mpc_sim::MpcStreamError::Capacity(inner),
+            ConnectivityError::InvalidBatch(edge) => {
+                mpc_sim::MpcStreamError::InvalidBatch(format!("invalid update for edge {edge}"))
+            }
+        }
+    }
+}
+
 /// Batch-dynamic connectivity with an explicitly maintained spanning
 /// forest (paper Theorem 6.7). See the [crate docs](crate) for the
 /// protocol outline and an example.

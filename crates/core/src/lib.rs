@@ -56,10 +56,12 @@
 
 pub mod connectivity;
 pub mod robust;
+pub mod session;
 pub mod streaming;
 pub mod vertex_dynamic;
 
 pub use connectivity::{Connectivity, ConnectivityConfig, ConnectivityError};
 pub use robust::{RobustConnectivity, RobustError};
+pub use session::{ensure_endpoints_in, route_batch, Maintain, MaintainerId, Session};
 pub use streaming::StreamingConnectivity;
 pub use vertex_dynamic::{VertexDynError, VertexDynamicConnectivity};

@@ -75,6 +75,21 @@ impl From<ConnectivityError> for RobustError {
     }
 }
 
+impl From<RobustError> for mpc_sim::MpcStreamError {
+    fn from(e: RobustError) -> Self {
+        match e {
+            RobustError::BudgetExhausted {
+                instances,
+                exposure_budget,
+            } => mpc_sim::MpcStreamError::BudgetExhausted(format!(
+                "adaptivity budget exhausted: {instances} instances x {exposure_budget} \
+                 consuming batches"
+            )),
+            RobustError::Conn(inner) => inner.into(),
+        }
+    }
+}
+
 /// Adaptive-adversary connectivity via sketch switching.
 ///
 /// # Examples
@@ -183,6 +198,15 @@ impl RobustConnectivity {
     /// the price of robustness, measured by experiment E14.
     pub fn words(&self) -> u64 {
         self.instances.iter().map(Connectivity::words).sum()
+    }
+
+    /// Cumulative `ℓ0`-sampler failures across all instances (every
+    /// instance ingests every batch, so all of them can fail).
+    pub fn sampler_failure_count(&self) -> u64 {
+        self.instances
+            .iter()
+            .map(Connectivity::sampler_failure_count)
+            .sum()
     }
 
     /// Applies a batch to **all** instances (they run in parallel on

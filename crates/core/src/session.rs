@@ -1,0 +1,950 @@
+//! The unified driver: one front door for every maintainer.
+//!
+//! The paper's central claim (Theorem 1.1 and its corollaries) is
+//! that *one* streaming-MPC harness maintains connectivity, MSF,
+//! bipartiteness, matching, and k-edge-connectivity with the same
+//! batch/round/memory discipline. This module is that harness as an
+//! API:
+//!
+//! * [`Maintain`] — the trait every algorithm structure implements:
+//!   `apply_batch(&Batch, &mut MpcContext) ->
+//!   Result<BatchReport, MpcStreamError>` plus `n()`, `name()`,
+//!   `words()`, and `validate()` hooks. Weighted-aware maintainers
+//!   (the MSF family) additionally override the weighted ingest path;
+//!   everyone else sees the weight-stripped projection.
+//! * [`Session`] — the engine: owns the [`MpcContext`], registers any
+//!   number of boxed maintainers, normalizes and chunks incoming
+//!   updates into legal `Õ(n^φ)` batches, fans each batch to every
+//!   registered maintainer (in parallel, on disjoint machine groups —
+//!   rounds compose by max, communication by sum), and exposes
+//!   unified per-batch [`BatchReport`]s plus a [`SessionStats`]
+//!   rollup with a per-batch capacity audit.
+//!
+//! # Examples
+//!
+//! ```
+//! use mpc_stream_core::{Connectivity, ConnectivityConfig, Session};
+//! use mpc_graph::ids::Edge;
+//! use mpc_graph::update::Update;
+//! use mpc_sim::MpcConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cfg = MpcConfig::builder(32, 0.5).local_capacity(1 << 14).build();
+//! let mut session = Session::new(cfg);
+//! let conn = session.register(Connectivity::new(32, ConnectivityConfig::default(), 7));
+//! let reports = session.apply([
+//!     Update::Insert(Edge::new(0, 1)),
+//!     Update::Insert(Edge::new(1, 2)),
+//! ])?;
+//! assert_eq!(reports.len(), 1); // one chunk × one maintainer
+//! assert!(session.get::<Connectivity>(conn).unwrap().connected(0, 2));
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::connectivity::Connectivity;
+use crate::robust::RobustConnectivity;
+use crate::streaming::StreamingConnectivity;
+use crate::vertex_dynamic::VertexDynamicConnectivity;
+use mpc_graph::update::{Batch, Update, WeightedBatch, WeightedUpdate};
+use mpc_sim::{
+    BatchAudit, BatchReport, MpcConfig, MpcContext, MpcError, MpcStreamError, SessionStats,
+};
+use std::any::Any;
+use std::collections::BTreeMap;
+
+/// A batch-dynamic graph structure that can be driven through the
+/// unified [`Session`] engine.
+///
+/// Implementors supply the identification hooks and [`Maintain::
+/// ingest`], the error-unified batch application; the provided
+/// [`Maintain::apply_batch`] wraps ingestion with the standard
+/// round/communication/audit measurement and returns the unified
+/// [`BatchReport`].
+///
+/// The `Any` supertrait lets a [`Session`] hand back concrete
+/// references for queries ([`Session::get`]).
+pub trait Maintain: Any {
+    /// A short stable name for reports and diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Number of vertices (or vertex slots) this maintainer covers.
+    fn n(&self) -> usize;
+
+    /// Current memory footprint of the maintained state, in words.
+    fn words(&self) -> u64;
+
+    /// Cumulative `ℓ0`-sampler failures absorbed so far (0 for
+    /// maintainers without samplers).
+    fn l0_failures(&self) -> u64 {
+        0
+    }
+
+    /// Checks internal invariants (cheap by default; structures with
+    /// an expensive validator keep it on their inherent surface).
+    ///
+    /// # Errors
+    ///
+    /// [`MpcStreamError::Internal`] when an invariant is broken.
+    fn validate(&self) -> Result<(), MpcStreamError> {
+        Ok(())
+    }
+
+    /// Applies one unweighted batch, converting every failure into
+    /// the workspace-wide [`MpcStreamError`].
+    ///
+    /// # Errors
+    ///
+    /// See [`MpcStreamError`] for the failure classes.
+    fn ingest(&mut self, batch: &Batch, ctx: &mut MpcContext) -> Result<(), MpcStreamError>;
+
+    /// Applies one weighted batch. Weight-aware maintainers (the MSF
+    /// family) override this; the default strips weights and
+    /// delegates to [`Maintain::ingest`].
+    ///
+    /// # Errors
+    ///
+    /// See [`MpcStreamError`].
+    fn ingest_weighted(
+        &mut self,
+        batch: &WeightedBatch,
+        ctx: &mut MpcContext,
+    ) -> Result<(), MpcStreamError> {
+        self.ingest(&batch.unweighted(), ctx)
+    }
+
+    /// Applies one batch and reports its measured consumption — the
+    /// unified entry point of the whole workspace.
+    ///
+    /// # Errors
+    ///
+    /// See [`MpcStreamError`].
+    fn apply_batch(
+        &mut self,
+        batch: &Batch,
+        ctx: &mut MpcContext,
+    ) -> Result<BatchReport, MpcStreamError> {
+        let audit = BatchAudit::begin(ctx);
+        let l0 = self.l0_failures();
+        self.ingest(batch, ctx)?;
+        Ok(audit.finish(self.name(), batch.len(), self.l0_failures() - l0, ctx))
+    }
+
+    /// Weighted counterpart of [`Maintain::apply_batch`].
+    ///
+    /// # Errors
+    ///
+    /// See [`MpcStreamError`].
+    fn apply_weighted_batch(
+        &mut self,
+        batch: &WeightedBatch,
+        ctx: &mut MpcContext,
+    ) -> Result<BatchReport, MpcStreamError> {
+        let audit = BatchAudit::begin(ctx);
+        let l0 = self.l0_failures();
+        self.ingest_weighted(batch, ctx)?;
+        Ok(audit.finish(self.name(), batch.len(), self.l0_failures() - l0, ctx))
+    }
+}
+
+/// Handle to a maintainer registered in a [`Session`]; pass it to
+/// [`Session::get`] / [`Session::get_mut`] to run queries.
+pub type MaintainerId = usize;
+
+/// The unified driver engine: one accounted cluster, any number of
+/// maintainers, one update stream.
+///
+/// Updates submitted through [`Session::apply`] (or
+/// [`Session::apply_weighted`]) are by default **normalized** —
+/// updates that exactly undo each other inside one submission are
+/// cancelled, the paper's Section 1.2 WLOG for its toggle-semantic
+/// dynamic-graph contract. Maintainers with *different* stream
+/// contracts (e.g. the maximal-matching substrate's set
+/// semantics, where a duplicate insert followed by a delete nets to
+/// absent) can observe a different result than their direct
+/// `apply_batch` would produce on the raw sequence; disable
+/// normalization with [`Session::with_normalization`] to forward
+/// every submitted update verbatim and let each maintainer apply its
+/// own contract. Submissions are then **chunked** into batches of at
+/// most
+/// [`Session::max_batch`] updates (a legal `Õ(n^φ)` batch always fits
+/// one machine), and each chunk is fanned to every registered
+/// maintainer inside a parallel scope: the maintainers run on
+/// disjoint machine groups, so a chunk costs the *maximum*
+/// maintainer's rounds while all communication is accounted.
+///
+/// After each chunk the session audits the standing state of all
+/// maintainers against the cluster's total capacity; overruns are an
+/// error in strict mode and a recorded violation otherwise.
+///
+/// On `Err`, maintainers earlier in registration order may have
+/// ingested the failing chunk while later ones have not — the session
+/// is left consistent only on `Ok`, like any multi-structure
+/// transaction without rollback. Validate with
+/// [`Session::validate_all`] before trusting answers after an error.
+pub struct Session {
+    ctx: MpcContext,
+    maintainers: Vec<Box<dyn Maintain>>,
+    stats: SessionStats,
+    max_batch: usize,
+    normalize: bool,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("maintainers", &self.names())
+            .field("max_batch", &self.max_batch)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Session {
+    /// Creates an empty session owning a fresh context for `cfg`.
+    /// The default chunk size is `s / 4` updates — a batch whose
+    /// auxiliary structures (≈ 2–3 words per update) are guaranteed
+    /// to fit one machine.
+    pub fn new(cfg: MpcConfig) -> Self {
+        let max_batch = (cfg.local_capacity() / 4).max(1) as usize;
+        Session {
+            ctx: MpcContext::new(cfg),
+            maintainers: Vec::new(),
+            stats: SessionStats::default(),
+            max_batch,
+            normalize: true,
+        }
+    }
+
+    /// Overrides the chunk size (clamped to at least 1).
+    #[must_use]
+    pub fn with_max_batch(mut self, updates: usize) -> Self {
+        self.max_batch = updates.max(1);
+        self
+    }
+
+    /// Enables or disables submission-level normalization (default:
+    /// enabled). Disabled, every submitted update is forwarded
+    /// verbatim — the right choice when set-semantic or
+    /// insertion-only maintainers should see (and accept or reject)
+    /// the raw sequence under their own contracts.
+    #[must_use]
+    pub fn with_normalization(mut self, enabled: bool) -> Self {
+        self.normalize = enabled;
+        self
+    }
+
+    /// The maximum updates per fanned-out batch.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// Registers a maintainer, returning its handle.
+    pub fn register<M: Maintain>(&mut self, maintainer: M) -> MaintainerId {
+        self.register_boxed(Box::new(maintainer))
+    }
+
+    /// Registers an already-boxed maintainer (for heterogeneous
+    /// collections built elsewhere), returning its handle.
+    pub fn register_boxed(&mut self, maintainer: Box<dyn Maintain>) -> MaintainerId {
+        self.maintainers.push(maintainer);
+        self.maintainers.len() - 1
+    }
+
+    /// Number of registered maintainers.
+    pub fn maintainer_count(&self) -> usize {
+        self.maintainers.len()
+    }
+
+    /// The registered maintainers' names, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.maintainers.iter().map(|m| m.name()).collect()
+    }
+
+    /// The owned accounting context.
+    pub fn ctx(&self) -> &MpcContext {
+        &self.ctx
+    }
+
+    /// Mutable access to the context (for interleaving externally
+    /// driven structures or charged queries on the same cluster).
+    pub fn ctx_mut(&mut self) -> &mut MpcContext {
+        &mut self.ctx
+    }
+
+    /// The lifetime rollup.
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+
+    /// Concrete access to a registered maintainer for queries.
+    pub fn get<M: Maintain>(&self, id: MaintainerId) -> Option<&M> {
+        let m: &dyn Any = self.maintainers.get(id)?.as_ref();
+        m.downcast_ref::<M>()
+    }
+
+    /// Mutable concrete access to a registered maintainer.
+    pub fn get_mut<M: Maintain>(&mut self, id: MaintainerId) -> Option<&mut M> {
+        let m: &mut dyn Any = self.maintainers.get_mut(id)?.as_mut();
+        m.downcast_mut::<M>()
+    }
+
+    /// Dynamic access to a registered maintainer (trait surface
+    /// only).
+    pub fn maintainer(&self, id: MaintainerId) -> Option<&dyn Maintain> {
+        self.maintainers.get(id).map(Box::as_ref)
+    }
+
+    /// Total standing state across all maintainers, in words.
+    pub fn state_words(&self) -> u64 {
+        self.maintainers.iter().map(|m| m.words()).sum()
+    }
+
+    /// Runs every maintainer's invariant validator.
+    ///
+    /// # Errors
+    ///
+    /// The first maintainer's [`MpcStreamError::Internal`], if any.
+    pub fn validate_all(&self) -> Result<(), MpcStreamError> {
+        for m in &self.maintainers {
+            m.validate()?;
+        }
+        Ok(())
+    }
+
+    /// Submits unweighted updates: normalize, chunk, fan out. Returns
+    /// one [`BatchReport`] per (chunk, maintainer) pair, in chunk
+    /// order then registration order.
+    ///
+    /// # Errors
+    ///
+    /// The first maintainer failure, or a strict-mode capacity
+    /// overrun of the combined standing state.
+    pub fn apply(
+        &mut self,
+        updates: impl IntoIterator<Item = Update>,
+    ) -> Result<Vec<BatchReport>, MpcStreamError> {
+        let submitted = if self.normalize {
+            normalize_updates(updates)
+        } else {
+            updates.into_iter().collect()
+        };
+        let chunks: Vec<Batch> = submitted
+            .chunks(self.max_batch)
+            .map(|c| Batch::from_updates(c.to_vec()))
+            .collect();
+        self.fan_out(&chunks, |m, batch, ctx| m.apply_batch(batch, ctx))
+    }
+
+    /// Submits weighted updates; weight-aware maintainers see the
+    /// weights, everyone else the projection.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::apply`].
+    pub fn apply_weighted(
+        &mut self,
+        updates: impl IntoIterator<Item = WeightedUpdate>,
+    ) -> Result<Vec<BatchReport>, MpcStreamError> {
+        let submitted = if self.normalize {
+            normalize_weighted_updates(updates)
+        } else {
+            updates.into_iter().collect()
+        };
+        let chunks: Vec<WeightedBatch> = submitted
+            .chunks(self.max_batch)
+            .map(|c| WeightedBatch::from_updates(c.to_vec()))
+            .collect();
+        self.fan_out(&chunks, |m, batch, ctx| m.apply_weighted_batch(batch, ctx))
+    }
+
+    /// Convenience: submit an already-built batch (still normalized
+    /// and re-chunked if oversized).
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::apply`].
+    pub fn apply_batch(&mut self, batch: &Batch) -> Result<Vec<BatchReport>, MpcStreamError> {
+        self.apply(batch.iter())
+    }
+
+    /// Chunk-by-chunk fan-out with parallel round composition and the
+    /// per-chunk capacity audit.
+    fn fan_out<B>(
+        &mut self,
+        chunks: &[B],
+        mut apply: impl FnMut(
+            &mut dyn Maintain,
+            &B,
+            &mut MpcContext,
+        ) -> Result<BatchReport, MpcStreamError>,
+        // B: Batch or WeightedBatch; only its length is needed here.
+    ) -> Result<Vec<BatchReport>, MpcStreamError>
+    where
+        B: BatchLike,
+    {
+        let mut reports = Vec::with_capacity(chunks.len() * self.maintainers.len());
+        for chunk in chunks {
+            if chunk.len() == 0 {
+                continue;
+            }
+            // Distribute the chunk to every maintainer's machine
+            // group: one sort of the update list (O(1/φ) rounds).
+            let chunk_audit = BatchAudit::begin(&self.ctx);
+            self.ctx.sort(2 * chunk.len() as u64 + 1);
+            self.ctx.parallel_begin();
+            let mut failure: Option<MpcStreamError> = None;
+            for m in &mut self.maintainers {
+                match apply(m.as_mut(), chunk, &mut self.ctx) {
+                    Ok(report) => {
+                        self.stats.absorb(&report);
+                        reports.push(report);
+                    }
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
+                self.ctx.parallel_branch();
+            }
+            self.ctx.parallel_end();
+            if let Some(e) = failure {
+                // The failed chunk's rounds remain visible in the raw
+                // context stats, but the session rollup only counts
+                // chunks every maintainer ingested.
+                return Err(e);
+            }
+            let chunk_report = chunk_audit.finish("session", chunk.len(), 0, &self.ctx);
+            self.stats
+                .record_chunk(chunk.len(), chunk_report.rounds, chunk_report.words);
+            self.audit_capacity()?;
+        }
+        Ok(reports)
+    }
+
+    /// Checks the combined standing state against the cluster's total
+    /// capacity (`machines × s`). Strict mode errors; permissive mode
+    /// records a violation in the rollup.
+    fn audit_capacity(&mut self) -> Result<(), MpcStreamError> {
+        let used = self.state_words();
+        let capacity = self.ctx.config().machines() as u64 * self.ctx.config().local_capacity();
+        if used > capacity {
+            if self.ctx.config().strict() {
+                return Err(MpcStreamError::Capacity(MpcError::ClusterMemoryExceeded {
+                    used,
+                    capacity,
+                }));
+            }
+            self.stats.capacity_violations += 1;
+        }
+        Ok(())
+    }
+}
+
+/// Batches the fan-out can drive: the engine only needs their length.
+trait BatchLike {
+    fn len(&self) -> usize;
+}
+
+impl BatchLike for Batch {
+    fn len(&self) -> usize {
+        Batch::len(self)
+    }
+}
+
+impl BatchLike for WeightedBatch {
+    fn len(&self) -> usize {
+        WeightedBatch::len(self)
+    }
+}
+
+/// Validates every batch endpoint against `[0, n)` — the shared
+/// legality gate next to [`MpcContext::ensure_batch_fits`], used by
+/// the maintainers whose storage would otherwise index out of range.
+///
+/// # Errors
+///
+/// [`MpcStreamError::InvalidBatch`] naming the offending edge.
+pub fn ensure_endpoints_in(batch: &Batch, n: usize) -> Result<(), MpcStreamError> {
+    for u in batch.iter() {
+        let e = u.edge();
+        if e.v() as usize >= n {
+            return Err(MpcStreamError::InvalidBatch(format!(
+                "edge {e} has an endpoint outside [0, {n})"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// The shared batch-routing preamble of the leaf maintainers:
+/// endpoint validation, the one-machine legality gate, one exchange
+/// routing the batch to its shards, and the control broadcast.
+///
+/// # Errors
+///
+/// [`MpcStreamError::InvalidBatch`] or [`MpcStreamError::Capacity`]
+/// (state untouched — call before mutating).
+pub fn route_batch(batch: &Batch, n: usize, ctx: &mut MpcContext) -> Result<(), MpcStreamError> {
+    ensure_endpoints_in(batch, n)?;
+    ctx.ensure_batch_fits(2 * batch.len() as u64 + 1)?;
+    ctx.exchange(2 * batch.len() as u64 + 1);
+    ctx.broadcast(2);
+    Ok(())
+}
+
+/// Net-effect normalization (the paper's Section 1.2 WLOG): per edge,
+/// an update that exactly undoes the previous surviving one cancels
+/// with it (insert/delete of the same edge — and, for weighted
+/// streams, the same weight). Everything else survives, in arrival
+/// order: a duplicate same-direction update or a reweight pair is the
+/// *caller's* statement, forwarded for each maintainer to accept or
+/// reject under its own contract.
+fn normalize<U: Copy>(
+    updates: impl IntoIterator<Item = U>,
+    edge_of: impl Fn(&U) -> mpc_graph::ids::Edge,
+    undoes: impl Fn(&U, &U) -> bool,
+) -> Vec<U> {
+    let mut pending: BTreeMap<mpc_graph::ids::Edge, Vec<(U, usize)>> = BTreeMap::new();
+    for (i, u) in updates.into_iter().enumerate() {
+        let stack = pending.entry(edge_of(&u)).or_default();
+        if stack.last().is_some_and(|(last, _)| undoes(last, &u)) {
+            stack.pop();
+        } else {
+            stack.push((u, i));
+        }
+    }
+    let mut ordered: Vec<(U, usize)> = pending.into_values().flatten().collect();
+    ordered.sort_by_key(|&(_, i)| i);
+    ordered.into_iter().map(|(u, _)| u).collect()
+}
+
+fn normalize_updates(updates: impl IntoIterator<Item = Update>) -> Vec<Update> {
+    normalize(updates, |u| u.edge(), |a, b| a.is_insert() != b.is_insert())
+}
+
+fn normalize_weighted_updates(
+    updates: impl IntoIterator<Item = WeightedUpdate>,
+) -> Vec<WeightedUpdate> {
+    normalize(
+        updates,
+        |u| u.weighted_edge().edge,
+        |a, b| {
+            a.is_insert() != b.is_insert() && a.weighted_edge().weight == b.weighted_edge().weight
+        },
+    )
+}
+
+// ----- Maintain impls for the core maintainers --------------------
+
+impl Maintain for Connectivity {
+    fn name(&self) -> &'static str {
+        "connectivity"
+    }
+
+    fn n(&self) -> usize {
+        self.vertex_count()
+    }
+
+    fn words(&self) -> u64 {
+        Connectivity::words(self)
+    }
+
+    fn l0_failures(&self) -> u64 {
+        self.sampler_failure_count()
+    }
+
+    fn ingest(&mut self, batch: &Batch, ctx: &mut MpcContext) -> Result<(), MpcStreamError> {
+        Connectivity::apply_batch(self, batch, ctx)?;
+        Ok(())
+    }
+}
+
+impl Maintain for StreamingConnectivity {
+    fn name(&self) -> &'static str {
+        "streaming-connectivity"
+    }
+
+    fn n(&self) -> usize {
+        self.vertex_count()
+    }
+
+    fn words(&self) -> u64 {
+        StreamingConnectivity::words(self)
+    }
+
+    /// The Section 4 reference processes the batch as a sequence of
+    /// single updates (the batch algorithm at `k = 1`): one exchange
+    /// routes the batch, then every update is charged its own round —
+    /// `Θ(k)` rounds per k-update chunk, the sequential-structure cost
+    /// the batch algorithm's `O(1/φ)` improves on.
+    fn ingest(&mut self, batch: &Batch, ctx: &mut MpcContext) -> Result<(), MpcStreamError> {
+        ensure_endpoints_in(batch, self.vertex_count())?;
+        ctx.ensure_batch_fits(2 * batch.len() as u64 + 1)?;
+        ctx.exchange(2 * batch.len() as u64 + 1);
+        for u in batch.iter() {
+            ctx.exchange(2);
+            self.apply(u)?;
+        }
+        Ok(())
+    }
+}
+
+impl Maintain for RobustConnectivity {
+    fn name(&self) -> &'static str {
+        "robust-connectivity"
+    }
+
+    fn n(&self) -> usize {
+        self.vertex_count()
+    }
+
+    fn words(&self) -> u64 {
+        RobustConnectivity::words(self)
+    }
+
+    fn l0_failures(&self) -> u64 {
+        self.sampler_failure_count()
+    }
+
+    fn ingest(&mut self, batch: &Batch, ctx: &mut MpcContext) -> Result<(), MpcStreamError> {
+        RobustConnectivity::apply_batch(self, batch, ctx)?;
+        Ok(())
+    }
+}
+
+impl Maintain for VertexDynamicConnectivity {
+    fn name(&self) -> &'static str {
+        "vertex-dynamic-connectivity"
+    }
+
+    fn n(&self) -> usize {
+        self.capacity()
+    }
+
+    fn words(&self) -> u64 {
+        VertexDynamicConnectivity::words(self)
+    }
+
+    fn l0_failures(&self) -> u64 {
+        self.sampler_failure_count()
+    }
+
+    fn ingest(&mut self, batch: &Batch, ctx: &mut MpcContext) -> Result<(), MpcStreamError> {
+        VertexDynamicConnectivity::apply_batch(self, batch, ctx)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::ConnectivityConfig;
+    use mpc_graph::gen;
+    use mpc_graph::ids::Edge;
+    use mpc_graph::oracle;
+
+    fn cfg(n: usize) -> MpcConfig {
+        MpcConfig::builder(n, 0.5).local_capacity(1 << 15).build()
+    }
+
+    #[test]
+    fn session_drives_one_maintainer_like_direct_use() {
+        let n = 48;
+        let stream = gen::random_mixed_stream(n, 8, 10, 0.6, 42);
+        let snaps = stream.replay();
+        let mut session = Session::new(cfg(n));
+        let h = session.register(Connectivity::new(n, ConnectivityConfig::default(), 3));
+        for (batch, snap) in stream.batches.iter().zip(&snaps) {
+            session.apply_batch(batch).expect("valid stream");
+            let live: Vec<Edge> = snap.edges().collect();
+            let labels = oracle::components(n, live.iter().copied());
+            let conn = session.get::<Connectivity>(h).expect("handle is live");
+            assert_eq!(conn.component_labels(), &labels[..]);
+        }
+        assert!(session.stats().batches >= stream.batches.len() as u64);
+        assert!(session.stats().rounds > 0);
+        assert!(session.state_words() > 0);
+        session.validate_all().expect("invariants hold");
+    }
+
+    #[test]
+    fn fan_out_composes_rounds_by_max_not_sum() {
+        let n = 16;
+        let mut single = Session::new(cfg(n));
+        single.register(Connectivity::new(n, ConnectivityConfig::default(), 1));
+        let mut double = Session::new(cfg(n));
+        double.register(Connectivity::new(n, ConnectivityConfig::default(), 1));
+        double.register(Connectivity::new(n, ConnectivityConfig::default(), 2));
+        let updates: Vec<Update> = (0..8u32)
+            .map(|i| Update::Insert(Edge::new(i, i + 1)))
+            .collect();
+        single.apply(updates.clone()).expect("apply");
+        double.apply(updates).expect("apply");
+        // Two identical maintainers in parallel: session rounds stay
+        // within a whisker of one (identical branches, max-composed).
+        assert_eq!(single.stats().rounds, double.stats().rounds);
+        // …while both maintainers' communication is accounted.
+        assert!(double.stats().words > single.stats().words);
+        assert_eq!(double.stats().maintainer_batches, 2);
+    }
+
+    #[test]
+    fn chunking_respects_max_batch() {
+        let n = 32;
+        let mut session = Session::new(cfg(n)).with_max_batch(4);
+        session.register(Connectivity::new(n, ConnectivityConfig::default(), 5));
+        let updates: Vec<Update> = (0..10u32)
+            .map(|i| Update::Insert(Edge::new(i, i + 1)))
+            .collect();
+        let reports = session.apply(updates).expect("apply");
+        // 10 updates at ≤4 per chunk → 3 chunks × 1 maintainer.
+        assert_eq!(reports.len(), 3);
+        assert_eq!(session.stats().batches, 3);
+        assert_eq!(session.stats().updates, 10);
+        assert_eq!(session.max_batch(), 4);
+    }
+
+    #[test]
+    fn normalization_cancels_opposing_updates() {
+        let e = Edge::new(0, 1);
+        let kept = normalize_updates([
+            Update::Insert(e),
+            Update::Delete(e),
+            Update::Insert(Edge::new(2, 3)),
+        ]);
+        assert_eq!(kept, vec![Update::Insert(Edge::new(2, 3))]);
+        // Odd count: the final operation survives.
+        let kept = normalize_updates([Update::Insert(e), Update::Delete(e), Update::Insert(e)]);
+        assert_eq!(kept, vec![Update::Insert(e)]);
+        // Through a session: a net no-op leaves the graph empty.
+        let mut session = Session::new(cfg(8));
+        let h = session.register(Connectivity::new(8, ConnectivityConfig::default(), 9));
+        session
+            .apply([Update::Insert(e), Update::Delete(e)])
+            .expect("net no-op");
+        let conn = session.get::<Connectivity>(h).expect("live");
+        assert_eq!(conn.live_edge_count(), 0);
+    }
+
+    #[test]
+    fn weighted_normalization_keeps_final_weight() {
+        use mpc_graph::ids::WeightedEdge;
+        let kept = normalize_weighted_updates([
+            WeightedUpdate::Insert(WeightedEdge::new(0, 1, 5)),
+            WeightedUpdate::Delete(WeightedEdge::new(0, 1, 5)),
+            WeightedUpdate::Insert(WeightedEdge::new(0, 1, 9)),
+        ]);
+        assert_eq!(
+            kept,
+            vec![WeightedUpdate::Insert(WeightedEdge::new(0, 1, 9))]
+        );
+    }
+
+    #[test]
+    fn weighted_reweight_pair_survives_normalization() {
+        // Delete(w=5) then Insert(w=9) is a reweight, not a no-op:
+        // the weights differ, so nothing cancels.
+        use mpc_graph::ids::WeightedEdge;
+        let kept = normalize_weighted_updates([
+            WeightedUpdate::Delete(WeightedEdge::new(0, 1, 5)),
+            WeightedUpdate::Insert(WeightedEdge::new(0, 1, 9)),
+        ]);
+        assert_eq!(
+            kept,
+            vec![
+                WeightedUpdate::Delete(WeightedEdge::new(0, 1, 5)),
+                WeightedUpdate::Insert(WeightedEdge::new(0, 1, 9)),
+            ]
+        );
+    }
+
+    #[test]
+    fn duplicate_same_direction_updates_are_forwarded_not_dropped() {
+        let e = Edge::new(0, 1);
+        // Normalization only cancels exact undo pairs; a doubled
+        // insert is the caller's statement and survives…
+        assert_eq!(
+            normalize_updates([Update::Insert(e), Update::Insert(e)]),
+            vec![Update::Insert(e), Update::Insert(e)]
+        );
+        // …so each maintainer applies its own contract to the pair.
+        // Connectivity applies the paper's batch-level WLOG and nets
+        // the toggles out; a set-semantic maintainer must end up with
+        // the edge present, not silently empty.
+        let mut session = Session::new(cfg(8));
+        let conn = session.register(Connectivity::new(8, ConnectivityConfig::default(), 4));
+        session
+            .apply([Update::Insert(e), Update::Insert(e)])
+            .expect("forwarded to maintainer contracts");
+        assert_eq!(
+            session
+                .get::<Connectivity>(conn)
+                .expect("live")
+                .live_edge_count(),
+            0,
+            "connectivity's batch WLOG nets even toggles out"
+        );
+    }
+
+    #[test]
+    fn raw_mode_forwards_updates_verbatim() {
+        // with_normalization(false): the maintainer sees the raw
+        // sequence and applies its own contract — here Connectivity's
+        // batch-level WLOG still nets the pair out, but the session
+        // itself forwarded both updates (2 counted, not 0).
+        let e = Edge::new(0, 1);
+        let mut session = Session::new(cfg(8)).with_normalization(false);
+        session.register(Connectivity::new(8, ConnectivityConfig::default(), 6));
+        let reports = session
+            .apply([Update::Insert(e), Update::Delete(e)])
+            .expect("legal toggle pair");
+        assert_eq!(reports[0].updates, 2, "nothing cancelled by the session");
+        assert_eq!(session.stats().updates, 2);
+    }
+
+    #[test]
+    fn invalid_batch_surfaces_unified_error() {
+        let mut session = Session::new(cfg(8));
+        session.register(Connectivity::new(8, ConnectivityConfig::default(), 1));
+        let err = session
+            .apply([Update::Insert(Edge::new(0, 200))])
+            .expect_err("endpoint out of range");
+        assert!(matches!(err, MpcStreamError::InvalidBatch(_)));
+    }
+
+    #[test]
+    fn capacity_violation_is_err_via_trait_surface() {
+        // A tiny strict cluster: the batch's auxiliary structures
+        // cannot be gathered to one 4-word machine.
+        let tiny = MpcConfig::builder(16, 0.5)
+            .local_capacity(4)
+            .machines(2)
+            .strict(true)
+            .build();
+        let mut ctx = MpcContext::new(tiny);
+        let mut conn = Connectivity::new(16, ConnectivityConfig::default(), 2);
+        let batch = Batch::inserting((0..8u32).map(|i| Edge::new(i, i + 1)));
+        let err = Maintain::apply_batch(&mut conn, &batch, &mut ctx).expect_err("must not fit");
+        assert!(matches!(err, MpcStreamError::Capacity(_)));
+    }
+
+    #[test]
+    fn robust_and_vertex_dynamic_and_streaming_work_in_session() {
+        let n = 12;
+        let mut session = Session::new(cfg(n));
+        let r = session.register(RobustConnectivity::new(
+            n,
+            2,
+            8,
+            ConnectivityConfig::default(),
+            7,
+        ));
+        let s = session.register(StreamingConnectivity::new(n, 7));
+        let mut vd = VertexDynamicConnectivity::with_capacity(n, ConnectivityConfig::default(), 7);
+        {
+            // Activate every slot up front so the shared stream's
+            // endpoints are legal.
+            let mut ctx = MpcContext::new(cfg(n));
+            vd.add_vertices(n, &mut ctx).expect("capacity");
+        }
+        let v = session.register(vd);
+        let stream = gen::random_insert_stream(n, 4, 6, 13);
+        let snaps = stream.replay();
+        for (batch, snap) in stream.batches.iter().zip(&snaps) {
+            session.apply_batch(batch).expect("insert-only stream");
+            let live: Vec<Edge> = snap.edges().collect();
+            let labels = oracle::components(n, live.iter().copied());
+            assert_eq!(
+                session
+                    .get::<RobustConnectivity>(r)
+                    .expect("live")
+                    .component_labels(),
+                &labels[..]
+            );
+            assert_eq!(
+                session
+                    .get::<StreamingConnectivity>(s)
+                    .expect("live")
+                    .component_labels(),
+                &labels[..]
+            );
+            let vd = session.get::<VertexDynamicConnectivity>(v).expect("live");
+            for e in &live {
+                assert!(vd.connected(e.u(), e.v()).expect("active"));
+            }
+        }
+        assert_eq!(
+            session.names(),
+            vec![
+                "robust-connectivity",
+                "streaming-connectivity",
+                "vertex-dynamic-connectivity"
+            ]
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_maps_to_unified_error() {
+        let n = 8;
+        let mut session = Session::new(cfg(n));
+        let h = session.register(RobustConnectivity::new(
+            n,
+            1,
+            1,
+            ConnectivityConfig::default(),
+            3,
+        ));
+        session
+            .apply([
+                Update::Insert(Edge::new(0, 1)),
+                Update::Insert(Edge::new(1, 2)),
+            ])
+            .expect("inserts are free");
+        // Two consuming deletions: the second exhausts the 1×1 budget.
+        for step in 0..2 {
+            let target = session
+                .get::<RobustConnectivity>(h)
+                .expect("live")
+                .spanning_forest()[0];
+            let result = session.apply([Update::Delete(target)]);
+            if step == 0 {
+                result.expect("first consuming batch is within budget");
+            } else {
+                let err = result.expect_err("budget spent");
+                assert!(matches!(err, MpcStreamError::BudgetExhausted(_)));
+            }
+        }
+    }
+
+    #[test]
+    fn get_rejects_wrong_type_and_bad_handle() {
+        let mut session = Session::new(cfg(8));
+        let h = session.register(Connectivity::new(8, ConnectivityConfig::default(), 1));
+        assert!(session.get::<StreamingConnectivity>(h).is_none());
+        assert!(session.get::<Connectivity>(h + 1).is_none());
+        assert!(session.get_mut::<Connectivity>(h).is_some());
+        let dynamic = session.maintainer(h).expect("registered");
+        assert_eq!(dynamic.name(), "connectivity");
+        assert_eq!(dynamic.n(), 8);
+        assert_eq!(dynamic.l0_failures(), 0);
+        assert!(format!("{session:?}").contains("connectivity"));
+    }
+
+    #[test]
+    fn permissive_session_records_state_capacity_violation() {
+        // 2 machines × 64 words cannot hold a connectivity sketch
+        // bank: the audit records (but does not error in permissive
+        // mode) a violation.
+        let small = MpcConfig::builder(32, 0.5)
+            .local_capacity(64)
+            .machines(2)
+            .build();
+        let mut session = Session::new(small).with_max_batch(8);
+        session.register(Connectivity::new(32, ConnectivityConfig::default(), 1));
+        session
+            .apply([Update::Insert(Edge::new(0, 1))])
+            .expect("permissive mode absorbs the overrun");
+        assert!(session.stats().capacity_violations > 0);
+    }
+}

@@ -39,6 +39,16 @@ impl std::fmt::Display for StreamingError {
 
 impl std::error::Error for StreamingError {}
 
+impl From<StreamingError> for mpc_sim::MpcStreamError {
+    fn from(e: StreamingError) -> Self {
+        match e {
+            StreamingError::InvalidUpdate(edge) => {
+                mpc_sim::MpcStreamError::InvalidBatch(format!("invalid update for edge {edge}"))
+            }
+        }
+    }
+}
+
 /// The Section 4 streaming connectivity structure
 /// (Algorithms 1–4 of the paper).
 ///

@@ -69,6 +69,22 @@ impl From<ConnectivityError> for VertexDynError {
     }
 }
 
+impl From<VertexDynError> for mpc_sim::MpcStreamError {
+    fn from(e: VertexDynError) -> Self {
+        match e {
+            VertexDynError::CapacityExhausted(cap) => mpc_sim::MpcStreamError::BudgetExhausted(
+                format!("all {cap} vertex slots are active"),
+            ),
+            VertexDynError::NotActive(_)
+            | VertexDynError::NotIsolated(_, _)
+            | VertexDynError::InactiveEndpoint(_, _) => {
+                mpc_sim::MpcStreamError::InvalidBatch(e.to_string())
+            }
+            VertexDynError::Conn(inner) => inner.into(),
+        }
+    }
+}
+
 /// Batch-dynamic connectivity with a dynamic vertex set (paper
 /// Section 1.2's relaxation).
 ///

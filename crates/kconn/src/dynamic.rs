@@ -20,7 +20,7 @@ use crate::certificate::Certificate;
 use mpc_graph::ids::Edge;
 use mpc_graph::oracle::UnionFind;
 use mpc_graph::update::Batch;
-use mpc_sim::MpcContext;
+use mpc_sim::{MpcContext, MpcStreamError};
 use mpc_sketch::vertex::EdgeSample;
 use mpc_sketch::SketchBank;
 use std::collections::BTreeMap;
@@ -35,6 +35,7 @@ use std::collections::BTreeMap;
 /// use mpc_graph::update::{Batch, Update};
 /// use mpc_sim::{MpcConfig, MpcContext};
 ///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let mut ctx = MpcContext::new(
 ///     MpcConfig::builder(8, 0.5).local_capacity(1 << 14).build(),
 /// );
@@ -44,10 +45,12 @@ use std::collections::BTreeMap;
 /// kc.apply_batch(
 ///     &Batch::inserting((0..8).map(|i| Edge::new(i, (i + 1) % 8))),
 ///     &mut ctx,
-/// );
+/// )?;
 /// assert_eq!(kc.certificate(&mut ctx).min_cut(), MinCut::AtLeast(2));
-/// kc.apply_batch(&Batch::deleting([Edge::new(0, 7)]), &mut ctx);
+/// kc.apply_batch(&Batch::deleting([Edge::new(0, 7)]), &mut ctx)?;
 /// assert_eq!(kc.certificate(&mut ctx).min_cut(), MinCut::Exact(1));
+/// # Ok(())
+/// # }
 /// ```
 #[derive(Debug, Clone)]
 pub struct DynamicKConn {
@@ -143,11 +146,21 @@ impl DynamicKConn {
     /// Updates all `k` banks — `O(1)` rounds per batch, identical to
     /// the paper's sketch-update path. Deletions are the caller's
     /// contract (only live edges), as everywhere in the model.
-    pub fn apply_batch(&mut self, batch: &Batch, ctx: &mut MpcContext) {
+    ///
+    /// # Errors
+    ///
+    /// * [`MpcStreamError::InvalidBatch`] on an endpoint outside
+    ///   `[0, n)` (state unchanged).
+    /// * [`MpcStreamError::Capacity`] when the batch cannot fit one
+    ///   machine.
+    pub fn apply_batch(
+        &mut self,
+        batch: &Batch,
+        ctx: &mut MpcContext,
+    ) -> Result<(), MpcStreamError> {
         // One routing of the batch to the vertex shards; each shard
         // updates its columns in all k banks locally.
-        ctx.exchange(2 * batch.len() as u64 + 1);
-        ctx.broadcast(2);
+        mpc_stream_core::route_batch(batch, self.n, ctx)?;
         for u in batch.iter() {
             for bank in &mut self.banks {
                 if u.is_insert() {
@@ -157,6 +170,7 @@ impl DynamicKConn {
                 }
             }
         }
+        Ok(())
     }
 
     /// Extracts a `k`-edge-connectivity certificate of the current
@@ -197,6 +211,24 @@ impl DynamicKConn {
         let cert = self.certificate(ctx);
         self.last_query_rounds = ctx.rounds() - before;
         cert
+    }
+}
+
+impl mpc_stream_core::Maintain for DynamicKConn {
+    fn name(&self) -> &'static str {
+        "kconn-dynamic"
+    }
+
+    fn n(&self) -> usize {
+        self.vertex_count()
+    }
+
+    fn words(&self) -> u64 {
+        DynamicKConn::words(self)
+    }
+
+    fn ingest(&mut self, batch: &Batch, ctx: &mut MpcContext) -> Result<(), MpcStreamError> {
+        DynamicKConn::apply_batch(self, batch, ctx)
     }
 }
 
@@ -299,7 +331,8 @@ mod tests {
         let n = 12u32;
         let mut c = ctx();
         let mut kc = DynamicKConn::new(n as usize, 3, 21);
-        kc.apply_batch(&Batch::inserting((0..n).map(|i| e(i, (i + 1) % n))), &mut c);
+        kc.apply_batch(&Batch::inserting((0..n).map(|i| e(i, (i + 1) % n))), &mut c)
+            .expect("valid stream");
         let cert = kc.certificate(&mut c);
         assert_eq!(cert.validate(), Ok(()));
         assert_eq!(cert.min_cut(), crate::MinCut::Exact(2));
@@ -310,9 +343,11 @@ mod tests {
         let n = 10u32;
         let mut c = ctx();
         let mut kc = DynamicKConn::new(n as usize, 2, 5);
-        kc.apply_batch(&Batch::inserting((0..n).map(|i| e(i, (i + 1) % n))), &mut c);
+        kc.apply_batch(&Batch::inserting((0..n).map(|i| e(i, (i + 1) % n))), &mut c)
+            .expect("valid stream");
         assert_eq!(kc.certificate(&mut c).is_k_edge_connected(2), Some(true));
-        kc.apply_batch(&Batch::deleting([e(3, 4)]), &mut c);
+        kc.apply_batch(&Batch::deleting([e(3, 4)]), &mut c)
+            .expect("valid stream");
         let cert = kc.certificate(&mut c);
         assert_eq!(cert.is_k_edge_connected(2), Some(false));
         assert_eq!(cert.is_k_edge_connected(1), Some(true));
@@ -362,7 +397,7 @@ mod tests {
                         batch.push(mpc_graph::update::Update::Insert(ed));
                     }
                 }
-                kc.apply_batch(&batch, &mut c);
+                kc.apply_batch(&batch, &mut c).expect("valid stream");
                 let cert = kc.certificate(&mut c);
                 let lambda_g = cuts::edge_connectivity(n, &live);
                 let lambda_c = cuts::edge_connectivity(n, &cert.edges());
@@ -385,11 +420,11 @@ mod tests {
         let mut c = ctx();
         let batch = Batch::inserting((0..n - 1).map(|i| e(i, i + 1)));
         let mut kc1 = DynamicKConn::new(n as usize, 1, 3);
-        kc1.apply_batch(&batch, &mut c);
+        kc1.apply_batch(&batch, &mut c).expect("valid stream");
         let _ = kc1.certificate_mut(&mut c);
         let r1 = kc1.last_query_rounds();
         let mut kc3 = DynamicKConn::new(n as usize, 3, 3);
-        kc3.apply_batch(&batch, &mut c);
+        kc3.apply_batch(&batch, &mut c).expect("valid stream");
         let _ = kc3.certificate_mut(&mut c);
         let r3 = kc3.last_query_rounds();
         assert!(r3 > r1, "k=3 query ({r3}) should cost more than k=1 ({r1})");
@@ -401,9 +436,9 @@ mod tests {
         let mut c = ctx();
         let batch = Batch::inserting([e(0, 1), e(1, 2)]);
         let mut kc1 = DynamicKConn::new(64, 1, 3);
-        kc1.apply_batch(&batch, &mut c);
+        kc1.apply_batch(&batch, &mut c).expect("valid stream");
         let mut kc4 = DynamicKConn::new(64, 4, 3);
-        kc4.apply_batch(&batch, &mut c);
+        kc4.apply_batch(&batch, &mut c).expect("valid stream");
         assert_eq!(kc4.words(), 4 * kc1.words());
         assert_eq!(kc4.copies(), kc1.copies());
         assert_eq!(kc4.k(), 4);
@@ -416,8 +451,8 @@ mod tests {
         let mut b = DynamicKConn::with_copies(32, 2, 8, 1);
         let mut c = ctx();
         let batch = Batch::inserting([e(0, 1)]);
-        a.apply_batch(&batch, &mut c);
-        b.apply_batch(&batch, &mut c);
+        a.apply_batch(&batch, &mut c).expect("valid stream");
+        b.apply_batch(&batch, &mut c).expect("valid stream");
         assert!(b.words() > a.words());
         assert_eq!(a.copies(), 2);
     }
@@ -430,7 +465,8 @@ mod tests {
         let mut kc = DynamicKConn::from_graph(n as usize, 2, 8, cycle.iter().copied(), &mut c);
         assert_eq!(kc.certificate(&mut c).is_k_edge_connected(2), Some(true));
         // Continue dynamically from the bootstrapped state.
-        kc.apply_batch(&Batch::deleting([e(0, 1)]), &mut c);
+        kc.apply_batch(&Batch::deleting([e(0, 1)]), &mut c)
+            .expect("valid stream");
         assert_eq!(kc.certificate(&mut c).is_k_edge_connected(2), Some(false));
     }
 

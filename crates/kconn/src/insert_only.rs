@@ -70,6 +70,20 @@ impl From<MpcError> for KConnError {
     }
 }
 
+impl From<KConnError> for mpc_sim::MpcStreamError {
+    fn from(e: KConnError) -> Self {
+        match e {
+            KConnError::Mpc(inner) => mpc_sim::MpcStreamError::Capacity(inner),
+            KConnError::DeletionInInsertOnlyStream(edge) => mpc_sim::MpcStreamError::Unsupported(
+                format!("deletion of {edge:?} in an insertion-only stream"),
+            ),
+            KConnError::DuplicateInsert(_) | KConnError::VertexOutOfRange(_, _) => {
+                mpc_sim::MpcStreamError::InvalidBatch(e.to_string())
+            }
+        }
+    }
+}
+
 /// Insertion-only batch-dynamic `k`-edge-connectivity certificate.
 ///
 /// # Examples
@@ -253,6 +267,35 @@ impl InsertOnlyKConn {
         // affected component labels.
         ctx.sort(2 * accepted + 1);
         ctx.broadcast(2);
+        Ok(())
+    }
+}
+
+impl mpc_stream_core::Maintain for InsertOnlyKConn {
+    fn name(&self) -> &'static str {
+        "kconn-insert-only"
+    }
+
+    fn n(&self) -> usize {
+        self.vertex_count()
+    }
+
+    fn words(&self) -> u64 {
+        InsertOnlyKConn::words(self)
+    }
+
+    fn validate(&self) -> Result<(), mpc_sim::MpcStreamError> {
+        self.certificate()
+            .validate()
+            .map_err(mpc_sim::MpcStreamError::Internal)
+    }
+
+    fn ingest(
+        &mut self,
+        batch: &Batch,
+        ctx: &mut MpcContext,
+    ) -> Result<(), mpc_sim::MpcStreamError> {
+        InsertOnlyKConn::apply_batch(self, batch, ctx)?;
         Ok(())
     }
 }

@@ -24,7 +24,7 @@ use crate::no21::MaximalMatching;
 use mpc_graph::ids::{Edge, VertexId};
 use mpc_graph::update::Batch;
 use mpc_hashing::kwise::KWiseHash;
-use mpc_sim::MpcContext;
+use mpc_sim::{MpcContext, MpcStreamError};
 use mpc_sketch::l0::{L0Sampler, SampleOutcome};
 use std::collections::{BTreeSet, HashMap};
 
@@ -152,7 +152,7 @@ impl Guess {
         // Keep H consistent: delete all old outcomes of affected
         // pairs, insert all new ones (unchanged outcomes are a
         // delete+insert pair, harmless for the matcher).
-        self.matcher.apply_batch(&insertions, &deletions, ctx);
+        self.matcher.apply_edge_lists(&insertions, &deletions, ctx);
     }
 
     fn words(&self) -> u64 {
@@ -171,6 +171,7 @@ impl Guess {
 /// use mpc_graph::update::Batch;
 /// use mpc_sim::{MpcConfig, MpcContext};
 ///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let mut ctx = MpcContext::new(
 ///     MpcConfig::builder(32, 0.5).local_capacity(1 << 14).build(),
 /// );
@@ -178,10 +179,12 @@ impl Guess {
 /// akly.apply_batch(
 ///     &Batch::inserting((0..16u32).map(|i| Edge::new(2 * i, 2 * i + 1))),
 ///     &mut ctx,
-/// );
+/// )?;
 /// let m = akly.matching();
 /// // All reported edges are live and disjoint.
 /// assert!(m.len() <= 16);
+/// # Ok(())
+/// # }
 /// ```
 #[derive(Debug, Clone)]
 pub struct AklyMatching {
@@ -229,9 +232,19 @@ impl AklyMatching {
     }
 
     /// Processes a batch of insertions and deletions.
-    pub fn apply_batch(&mut self, batch: &Batch, ctx: &mut MpcContext) {
-        ctx.exchange(2 * batch.len() as u64 + 1);
-        ctx.broadcast(2);
+    ///
+    /// # Errors
+    ///
+    /// * [`MpcStreamError::InvalidBatch`] on an endpoint outside
+    ///   `[0, n)` (state unchanged).
+    /// * [`MpcStreamError::Capacity`] when the batch cannot fit one
+    ///   machine.
+    pub fn apply_batch(
+        &mut self,
+        batch: &Batch,
+        ctx: &mut MpcContext,
+    ) -> Result<(), MpcStreamError> {
+        mpc_stream_core::route_batch(batch, self.n, ctx)?;
         // The Θ(log n) guesses run in parallel (Section 8.1).
         ctx.parallel_begin();
         for guess in &mut self.guesses {
@@ -239,6 +252,7 @@ impl AklyMatching {
             ctx.parallel_branch();
         }
         ctx.parallel_end();
+        Ok(())
     }
 
     /// The best maximal matching across all guesses' sparsifiers.
@@ -255,10 +269,33 @@ impl AklyMatching {
         self.matching().len()
     }
 
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
     /// Total memory in words across all guesses
     /// (`Õ(max{n²/α³, n/α})`).
     pub fn words(&self) -> u64 {
         self.guesses.iter().map(Guess::words).sum()
+    }
+}
+
+impl mpc_stream_core::Maintain for AklyMatching {
+    fn name(&self) -> &'static str {
+        "matching-akly"
+    }
+
+    fn n(&self) -> usize {
+        self.vertex_count()
+    }
+
+    fn words(&self) -> u64 {
+        AklyMatching::words(self)
+    }
+
+    fn ingest(&mut self, batch: &Batch, ctx: &mut MpcContext) -> Result<(), MpcStreamError> {
+        AklyMatching::apply_batch(self, batch, ctx)
     }
 }
 
@@ -290,7 +327,7 @@ mod tests {
         let mut c = ctx();
         let mut akly = AklyMatching::new(n, 2.0, 5);
         for (batch, snap) in stream.batches.iter().zip(&snaps) {
-            akly.apply_batch(batch, &mut c);
+            akly.apply_batch(batch, &mut c).expect("valid stream");
             check_valid(&akly.matching(), snap);
         }
     }
@@ -302,7 +339,7 @@ mod tests {
         let mut c = ctx();
         let mut akly = AklyMatching::new(stream.n, 2.0, 9);
         for batch in &stream.batches {
-            akly.apply_batch(batch, &mut c);
+            akly.apply_batch(batch, &mut c).expect("valid stream");
         }
         check_valid(&akly.matching(), snaps.last().expect("nonempty"));
         let size = akly.matching_size();
@@ -323,13 +360,13 @@ mod tests {
         let mut akly = AklyMatching::new(stream.n, 2.0, 11);
         let mut live = DynamicGraph::new(stream.n);
         for batch in &stream.batches {
-            akly.apply_batch(batch, &mut c);
+            akly.apply_batch(batch, &mut c).expect("valid stream");
             live.apply(batch).unwrap();
         }
         // Delete half the live edges.
         let victims: Vec<Edge> = live.edges().step_by(2).collect();
         let del = Batch::deleting(victims.clone());
-        akly.apply_batch(&del, &mut c);
+        akly.apply_batch(&del, &mut c).expect("valid stream");
         live.apply(&del).unwrap();
         check_valid(&akly.matching(), &live);
         let _ = n;
@@ -343,8 +380,10 @@ mod tests {
         let mut big_alpha = AklyMatching::new(n, 8.0, 1);
         let mut c = ctx();
         for batch in &stream.batches {
-            small_alpha.apply_batch(batch, &mut c);
-            big_alpha.apply_batch(batch, &mut c);
+            small_alpha
+                .apply_batch(batch, &mut c)
+                .expect("valid stream");
+            big_alpha.apply_batch(batch, &mut c).expect("valid stream");
         }
         assert!(
             big_alpha.words() < small_alpha.words(),
@@ -363,7 +402,8 @@ mod tests {
         akly.apply_batch(
             &Batch::inserting((0..8u32).map(|i| Edge::new(i, i + 8))),
             &mut c,
-        );
+        )
+        .expect("valid stream");
         let live = {
             let mut g = DynamicGraph::new(n);
             g.apply(&Batch::inserting((0..8u32).map(|i| Edge::new(i, i + 8))))
@@ -383,7 +423,7 @@ mod tests {
             let mut c = ctx();
             let mut akly = AklyMatching::new(stream.n, 2.0, seed * 31 + 1);
             for batch in &stream.batches {
-                akly.apply_batch(batch, &mut c);
+                akly.apply_batch(batch, &mut c).expect("valid stream");
             }
             let last = snaps.last().expect("nonempty");
             let edges: Vec<Edge> = last.edges().collect();

@@ -19,7 +19,8 @@
 //! property-tested.
 
 use mpc_graph::ids::{Edge, VertexId};
-use mpc_sim::MpcContext;
+use mpc_graph::update::Batch;
+use mpc_sim::{MpcContext, MpcStreamError};
 use std::collections::BTreeSet;
 
 /// A maximal matching over an explicitly stored dynamic graph.
@@ -29,18 +30,22 @@ use std::collections::BTreeSet;
 /// ```
 /// use mpc_matching::MaximalMatching;
 /// use mpc_graph::ids::Edge;
+/// use mpc_graph::update::Batch;
 /// use mpc_sim::{MpcConfig, MpcContext};
 ///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let mut ctx = MpcContext::new(
 ///     MpcConfig::builder(8, 0.5).local_capacity(1 << 12).build(),
 /// );
 /// let mut mm = MaximalMatching::new(8);
-/// mm.apply_batch(&[Edge::new(0, 1), Edge::new(1, 2)], &[], &mut ctx);
+/// mm.apply_batch(&Batch::inserting([Edge::new(0, 1), Edge::new(1, 2)]), &mut ctx)?;
 /// assert_eq!(mm.matching().len(), 1);
 /// // Deleting the matched edge re-matches through the other.
 /// let matched = mm.matching()[0];
-/// mm.apply_batch(&[], &[matched], &mut ctx);
+/// mm.apply_batch(&Batch::deleting([matched]), &mut ctx)?;
 /// assert_eq!(mm.matching().len(), 1);
+/// # Ok(())
+/// # }
 /// ```
 #[derive(Debug, Clone)]
 pub struct MaximalMatching {
@@ -117,32 +122,92 @@ impl MaximalMatching {
         })
     }
 
-    /// Applies a batch of insertions and deletions, then restores
-    /// maximality. Duplicate insertions and missing deletions are
-    /// ignored (the sparsifier layers above may replay outcomes).
-    pub fn apply_batch(&mut self, insertions: &[Edge], deletions: &[Edge], ctx: &mut MpcContext) {
+    /// Applies one update batch **in arrival order**, then restores
+    /// maximality once.
+    ///
+    /// Duplicate insertions and missing deletions are ignored: the
+    /// stored graph `H` is usually a sparsifier whose layers replay
+    /// sampler outcomes, so the stream is *set*-semantic here, unlike
+    /// the simple-graph contract of the connectivity maintainers.
+    ///
+    /// # Errors
+    ///
+    /// * [`MpcStreamError::InvalidBatch`] on an endpoint outside
+    ///   `[0, n)` (state unchanged).
+    /// * [`MpcStreamError::Capacity`] when the batch cannot fit one
+    ///   machine.
+    pub fn apply_batch(
+        &mut self,
+        batch: &Batch,
+        ctx: &mut MpcContext,
+    ) -> Result<(), MpcStreamError> {
+        mpc_stream_core::route_batch(batch, self.n, ctx)?;
+        for u in batch.iter() {
+            if u.is_insert() {
+                self.insert_edge_inner(u.edge());
+            } else {
+                self.delete_edge_inner(u.edge());
+            }
+        }
+        self.rematch(ctx);
+        Ok(())
+    }
+
+    /// The pre-PR-3 slice-pair surface, kept for one release.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use apply_batch(&Batch, …) — the unified maintainer surface"
+    )]
+    pub fn apply_batch_slices(
+        &mut self,
+        insertions: &[Edge],
+        deletions: &[Edge],
+        ctx: &mut MpcContext,
+    ) {
+        self.apply_edge_lists(insertions, deletions, ctx);
+    }
+
+    /// Raw edge-list application for the sparsifier layers: deletions
+    /// (the retracted old sampler outcomes) first, then insertions
+    /// (the new outcomes). Outcomes are sets, so no arrival order
+    /// exists to preserve, and an unchanged outcome is a harmless
+    /// delete+insert pair only under this order.
+    pub(crate) fn apply_edge_lists(
+        &mut self,
+        insertions: &[Edge],
+        deletions: &[Edge],
+        ctx: &mut MpcContext,
+    ) {
         let k = (insertions.len() + deletions.len()) as u64;
         ctx.exchange(2 * k + 1);
         ctx.broadcast(2);
         for &e in deletions {
-            let (u, v) = e.endpoints();
-            if self.adj[u as usize].remove(&v) {
-                self.adj[v as usize].remove(&u);
-                self.edge_count -= 1;
-                if self.mate[u as usize] == Some(v) {
-                    self.mate[u as usize] = None;
-                    self.mate[v as usize] = None;
-                }
-            }
+            self.delete_edge_inner(e);
         }
         for &e in insertions {
-            let (u, v) = e.endpoints();
-            if self.adj[u as usize].insert(v) {
-                self.adj[v as usize].insert(u);
-                self.edge_count += 1;
-            }
+            self.insert_edge_inner(e);
         }
         self.rematch(ctx);
+    }
+
+    fn insert_edge_inner(&mut self, e: Edge) {
+        let (u, v) = e.endpoints();
+        if self.adj[u as usize].insert(v) {
+            self.adj[v as usize].insert(u);
+            self.edge_count += 1;
+        }
+    }
+
+    fn delete_edge_inner(&mut self, e: Edge) {
+        let (u, v) = e.endpoints();
+        if self.adj[u as usize].remove(&v) {
+            self.adj[v as usize].remove(&u);
+            self.edge_count -= 1;
+            if self.mate[u as usize] == Some(v) {
+                self.mate[u as usize] = None;
+                self.mate[v as usize] = None;
+            }
+        }
     }
 
     /// Synchronized greedy proposal rounds until maximal.
@@ -183,11 +248,38 @@ impl MaximalMatching {
     }
 }
 
+impl mpc_stream_core::Maintain for MaximalMatching {
+    fn name(&self) -> &'static str {
+        "matching-maximal"
+    }
+
+    fn n(&self) -> usize {
+        self.vertex_count()
+    }
+
+    fn words(&self) -> u64 {
+        MaximalMatching::words(self)
+    }
+
+    fn validate(&self) -> Result<(), MpcStreamError> {
+        if self.is_maximal() {
+            Ok(())
+        } else {
+            Err(MpcStreamError::Internal("matching lost maximality".into()))
+        }
+    }
+
+    fn ingest(&mut self, batch: &Batch, ctx: &mut MpcContext) -> Result<(), MpcStreamError> {
+        MaximalMatching::apply_batch(self, batch, ctx)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use mpc_graph::gen;
     use mpc_graph::oracle;
+    use mpc_graph::update::Update;
     use mpc_sim::MpcConfig;
     use rand::rngs::StdRng;
     use rand::seq::SliceRandom;
@@ -209,7 +301,8 @@ mod tests {
         let mut c = ctx();
         let mut mm = MaximalMatching::new(6);
         let path: Vec<Edge> = (0..5u32).map(|i| Edge::new(i, i + 1)).collect();
-        mm.apply_batch(&path, &[], &mut c);
+        mm.apply_batch(&Batch::inserting(path), &mut c)
+            .expect("valid");
         assert!(mm.is_maximal());
         assert!(mm.matching_size() >= 2);
     }
@@ -219,13 +312,13 @@ mod tests {
         let mut c = ctx();
         let mut mm = MaximalMatching::new(4);
         mm.apply_batch(
-            &[Edge::new(0, 1), Edge::new(0, 2), Edge::new(1, 3)],
-            &[],
+            &Batch::inserting([Edge::new(0, 1), Edge::new(0, 2), Edge::new(1, 3)]),
             &mut c,
-        );
+        )
+        .expect("valid");
         assert!(mm.is_maximal());
         let m0 = mm.matching();
-        mm.apply_batch(&[], &m0, &mut c);
+        mm.apply_batch(&Batch::deleting(m0), &mut c).expect("valid");
         assert!(mm.is_maximal());
         // 0-2 and 1-3 still present: both must be matched now.
         assert_eq!(mm.matching_size(), 2);
@@ -260,7 +353,12 @@ mod tests {
                     }
                 }
                 live.extend(&ins);
-                mm.apply_batch(&ins, &del, &mut c);
+                let updates: Batch = ins
+                    .iter()
+                    .map(|&e| Update::Insert(e))
+                    .chain(del.iter().map(|&e| Update::Delete(e)))
+                    .collect();
+                mm.apply_batch(&updates, &mut c).expect("valid");
                 assert!(mm.is_maximal(), "trial {trial} lost maximality");
                 // Matching edges are live and disjoint.
                 let m = mm.matching();
@@ -283,8 +381,7 @@ mod tests {
         let stream = gen::random_insert_stream(n, 6, 32, 13);
         let mut max_rounds = 0;
         for batch in &stream.batches {
-            let ins: Vec<Edge> = batch.insertions().collect();
-            mm.apply_batch(&ins, &[], &mut c);
+            mm.apply_batch(batch, &mut c).expect("valid");
             max_rounds = max_rounds.max(mm.last_rematch_rounds());
         }
         // The paper's budget is O(log 1/κ); our substitute should be
@@ -297,10 +394,73 @@ mod tests {
     fn duplicate_and_missing_updates_ignored() {
         let mut c = ctx();
         let mut mm = MaximalMatching::new(4);
-        mm.apply_batch(&[Edge::new(0, 1), Edge::new(0, 1)], &[], &mut c);
+        mm.apply_batch(
+            &Batch::inserting([Edge::new(0, 1), Edge::new(0, 1)]),
+            &mut c,
+        )
+        .expect("duplicates are set-semantic here");
         assert_eq!(mm.edge_count(), 1);
-        mm.apply_batch(&[], &[Edge::new(2, 3)], &mut c);
+        mm.apply_batch(&Batch::deleting([Edge::new(2, 3)]), &mut c)
+            .expect("missing deletions ignored");
         assert_eq!(mm.edge_count(), 1);
         assert!(mm.words() > 0);
+    }
+
+    #[test]
+    fn out_of_range_endpoint_is_invalid_batch() {
+        let mut c = ctx();
+        let mut mm = MaximalMatching::new(4);
+        let err = mm
+            .apply_batch(&Batch::inserting([Edge::new(0, 9)]), &mut c)
+            .expect_err("endpoint outside [0, 4)");
+        assert!(matches!(err, MpcStreamError::InvalidBatch(_)));
+        assert_eq!(mm.edge_count(), 0, "state unchanged on error");
+    }
+
+    #[test]
+    fn oversized_batch_is_capacity_error() {
+        let mut c = MpcContext::new(
+            MpcConfig::builder(64, 0.5)
+                .local_capacity(4)
+                .machines(2)
+                .build(),
+        );
+        let mut mm = MaximalMatching::new(64);
+        let big = Batch::inserting((0..8u32).map(|i| Edge::new(i, i + 8)));
+        let err = mm.apply_batch(&big, &mut c).expect_err("cannot fit");
+        assert!(matches!(err, MpcStreamError::Capacity(_)));
+    }
+
+    #[test]
+    fn batch_applies_in_arrival_order() {
+        let mut c = ctx();
+        let mut mm = MaximalMatching::new(4);
+        let e = Edge::new(0, 1);
+        // Insert then delete of an absent edge nets to absent…
+        mm.apply_batch(
+            &Batch::from_updates(vec![Update::Insert(e), Update::Delete(e)]),
+            &mut c,
+        )
+        .expect("valid");
+        assert_eq!(mm.edge_count(), 0);
+        // …and delete then insert of a live edge nets to present.
+        mm.apply_batch(&Batch::inserting([e]), &mut c)
+            .expect("valid");
+        mm.apply_batch(
+            &Batch::from_updates(vec![Update::Delete(e), Update::Insert(e)]),
+            &mut c,
+        )
+        .expect("valid");
+        assert_eq!(mm.edge_count(), 1);
+        assert_eq!(mm.matching_size(), 1);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_slice_wrapper_still_works() {
+        let mut c = ctx();
+        let mut mm = MaximalMatching::new(4);
+        mm.apply_batch_slices(&[Edge::new(0, 1)], &[], &mut c);
+        assert_eq!(mm.matching_size(), 1);
     }
 }

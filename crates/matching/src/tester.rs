@@ -26,7 +26,7 @@ use mpc_graph::ids::Edge;
 use mpc_graph::update::Batch;
 use mpc_hashing::field::P;
 use mpc_hashing::kwise::KWiseHash;
-use mpc_sim::MpcContext;
+use mpc_sim::{MpcContext, MpcStreamError};
 use mpc_sketch::l0::{L0Sampler, SampleOutcome};
 use std::collections::{BTreeSet, HashMap};
 
@@ -143,7 +143,7 @@ impl Tester {
                         insertions.push(e);
                     }
                 }
-                matcher.apply_batch(&insertions, &deletions, ctx);
+                matcher.apply_edge_lists(&insertions, &deletions, ctx);
             }
         }
     }
@@ -182,6 +182,7 @@ impl Tester {
 /// use mpc_graph::update::Batch;
 /// use mpc_sim::{MpcConfig, MpcContext};
 ///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let mut ctx = MpcContext::new(
 ///     MpcConfig::builder(64, 0.5).local_capacity(1 << 14).build(),
 /// );
@@ -189,11 +190,14 @@ impl Tester {
 /// est.apply_batch(
 ///     &Batch::inserting((0..32u32).map(|i| Edge::new(2 * i, 2 * i + 1))),
 ///     &mut ctx,
-/// );
+/// )?;
 /// assert!(est.estimate() >= 1);
+/// # Ok(())
+/// # }
 /// ```
 #[derive(Debug, Clone)]
 pub struct MatchingSizeEstimator {
+    n: usize,
     kind: StreamKind,
     alpha: f64,
     /// `(guess o_j, tester)` pairs, ascending.
@@ -242,6 +246,7 @@ impl MatchingSizeEstimator {
             j += 1;
         }
         MatchingSizeEstimator {
+            n,
             kind,
             alpha,
             testers,
@@ -265,18 +270,25 @@ impl MatchingSizeEstimator {
 
     /// Processes a batch.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a deletion arrives in insertion-only mode.
-    pub fn apply_batch(&mut self, batch: &Batch, ctx: &mut MpcContext) {
+    /// * [`MpcStreamError::Unsupported`] if a deletion arrives in
+    ///   insertion-only mode (state unchanged).
+    /// * [`MpcStreamError::Capacity`] when the batch cannot fit one
+    ///   machine.
+    pub fn apply_batch(
+        &mut self,
+        batch: &Batch,
+        ctx: &mut MpcContext,
+    ) -> Result<(), MpcStreamError> {
         if self.kind == StreamKind::InsertionOnly {
-            assert!(
-                batch.deletions().next().is_none(),
-                "deletion in insertion-only estimator"
-            );
+            if let Some(d) = batch.deletions().next() {
+                return Err(MpcStreamError::Unsupported(format!(
+                    "deletion of {d} in insertion-only matching-size estimator"
+                )));
+            }
         }
-        ctx.exchange(2 * batch.len() as u64 + 1);
-        ctx.broadcast(2);
+        mpc_stream_core::route_batch(batch, self.n, ctx)?;
         // The O(log n) testers run in parallel (Section 8.2).
         ctx.parallel_begin();
         for (_, t) in &mut self.testers {
@@ -284,6 +296,7 @@ impl MatchingSizeEstimator {
             ctx.parallel_branch();
         }
         ctx.parallel_end();
+        Ok(())
     }
 
     /// The current estimate: the largest passing guess (0 for an
@@ -300,6 +313,32 @@ impl MatchingSizeEstimator {
     /// Total memory in words across all testers.
     pub fn words(&self) -> u64 {
         self.testers.iter().map(|(_, t)| t.words()).sum()
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+}
+
+impl mpc_stream_core::Maintain for MatchingSizeEstimator {
+    fn name(&self) -> &'static str {
+        match self.kind {
+            StreamKind::InsertionOnly => "matching-estimator-insert",
+            StreamKind::Dynamic => "matching-estimator-dynamic",
+        }
+    }
+
+    fn n(&self) -> usize {
+        self.vertex_count()
+    }
+
+    fn words(&self) -> u64 {
+        MatchingSizeEstimator::words(self)
+    }
+
+    fn ingest(&mut self, batch: &Batch, ctx: &mut MpcContext) -> Result<(), MpcStreamError> {
+        MatchingSizeEstimator::apply_batch(self, batch, ctx)
     }
 }
 
@@ -318,7 +357,7 @@ mod tests {
         let mut c = ctx();
         let mut est = MatchingSizeEstimator::new(stream.n, alpha, kind, seed * 7 + 1);
         for batch in &stream.batches {
-            est.apply_batch(batch, &mut c);
+            est.apply_batch(batch, &mut c).expect("valid stream");
         }
         (est.estimate(), opt)
     }
@@ -357,12 +396,13 @@ mod tests {
         let mut est = MatchingSizeEstimator::new(stream.n, 1.0, StreamKind::Dynamic, 5);
         let mut live = Vec::new();
         for batch in &stream.batches {
-            est.apply_batch(batch, &mut c);
+            est.apply_batch(batch, &mut c).expect("valid stream");
             live.extend(batch.insertions());
         }
         let before = est.estimate();
         // Delete everything: estimate must drop to 0.
-        est.apply_batch(&Batch::deleting(live), &mut c);
+        est.apply_batch(&Batch::deleting(live), &mut c)
+            .expect("dynamic mode supports deletions");
         assert_eq!(est.estimate(), 0, "was {before} before deletions");
         assert!(before >= 1);
     }
@@ -381,8 +421,8 @@ mod tests {
         let mut tight = MatchingSizeEstimator::new(stream.n, 1.0, StreamKind::Dynamic, 2);
         let mut loose = MatchingSizeEstimator::new(stream.n, 4.0, StreamKind::Dynamic, 2);
         for batch in &stream.batches {
-            tight.apply_batch(batch, &mut c);
-            loose.apply_batch(batch, &mut c);
+            tight.apply_batch(batch, &mut c).expect("valid stream");
+            loose.apply_batch(batch, &mut c).expect("valid stream");
         }
         assert!(
             loose.words() < tight.words(),
@@ -393,10 +433,28 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "deletion in insertion-only")]
-    fn insertion_only_rejects_deletions() {
+    fn insertion_only_rejects_deletions_as_error() {
         let mut c = ctx();
         let mut est = MatchingSizeEstimator::new(8, 1.0, StreamKind::InsertionOnly, 1);
-        est.apply_batch(&Batch::deleting([mpc_graph::ids::Edge::new(0, 1)]), &mut c);
+        let err = est
+            .apply_batch(&Batch::deleting([mpc_graph::ids::Edge::new(0, 1)]), &mut c)
+            .expect_err("insertion-only mode");
+        assert!(matches!(err, MpcStreamError::Unsupported(_)));
+        // The refused batch left no trace.
+        assert_eq!(est.estimate(), 0);
+    }
+
+    #[test]
+    fn oversized_batch_is_capacity_error() {
+        let mut c = MpcContext::new(
+            MpcConfig::builder(64, 0.5)
+                .local_capacity(4)
+                .machines(2)
+                .build(),
+        );
+        let mut est = MatchingSizeEstimator::new(64, 2.0, StreamKind::InsertionOnly, 1);
+        let big = Batch::inserting((0..8u32).map(|i| Edge::new(2 * i, 2 * i + 1)));
+        let err = est.apply_batch(&big, &mut c).expect_err("cannot fit");
+        assert!(matches!(err, MpcStreamError::Capacity(_)));
     }
 }

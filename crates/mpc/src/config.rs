@@ -103,6 +103,16 @@ impl MpcConfig {
     }
 }
 
+/// Constant slack folded into the default machine count on top of the
+/// asymptotic `n · log³ n` budget. The asymptotic budget undercounts
+/// the sketch bank's constants — `t = ⌈log n⌉ + 6` independent copies
+/// of `~8 · log n` words per vertex is ≈ 2.2× the budget at `n = 256`
+/// — so a budget-derived cluster could not hold the standing state of
+/// a single connectivity instance. 3× covers the constants through
+/// the sizes the experiments run at while staying `Θ(n log³ n / s)`
+/// machines asymptotically.
+pub const STATE_SLACK: u64 = 3;
+
 /// Builder for [`MpcConfig`].
 #[derive(Debug, Clone)]
 pub struct MpcConfigBuilder {
@@ -122,7 +132,9 @@ impl MpcConfigBuilder {
     }
 
     /// Overrides the machine count (default: enough machines for
-    /// `n · ⌈log2 n⌉³` total words, the paper's `O(n log³ n)` budget).
+    /// [`STATE_SLACK`]` · n · ⌈log2 n⌉³` total words — the paper's
+    /// `O(n log³ n)` budget with the sketch bank's constants folded
+    /// in).
     pub fn machines(mut self, machines: usize) -> Self {
         assert!(machines >= 1, "need at least one machine");
         self.machines = Some(machines);
@@ -143,7 +155,7 @@ impl MpcConfigBuilder {
             .unwrap_or_else(|| (self.n as f64).powf(self.phi).ceil() as u64)
             .max(4);
         let log_n = (usize::BITS - (self.n.max(2) - 1).leading_zeros()).max(1) as u64;
-        let total_budget = self.n as u64 * log_n * log_n * log_n;
+        let total_budget = STATE_SLACK * self.n as u64 * log_n * log_n * log_n;
         let machines = self
             .machines
             .unwrap_or_else(|| (total_budget.div_ceil(local_capacity)).max(2) as usize);
@@ -170,10 +182,23 @@ mod tests {
     }
 
     #[test]
-    fn machine_count_covers_total_budget() {
+    fn machine_count_covers_total_budget_with_slack() {
         let cfg = MpcConfig::builder(1024, 0.5).build();
         let log_n = cfg.log2_n() as u64;
-        assert!(cfg.machines() as u64 * cfg.local_capacity() >= 1024 * log_n.pow(3));
+        // The sketch-bank constants need headroom beyond the
+        // asymptotic budget (ROADMAP, PR 2 audit).
+        assert!(cfg.machines() as u64 * cfg.local_capacity() >= STATE_SLACK * 1024 * log_n.pow(3));
+    }
+
+    #[test]
+    fn default_cluster_holds_a_sketch_bank_at_n_256() {
+        // The concrete PR-2 failure case: n = 256, s = 2^16. The
+        // standing connectivity state is ≈ 283k words (t = 14 copies
+        // × ~79 words/vertex × 256 vertices); the slack-provisioned
+        // default must cover it where the bare budget (2 machines)
+        // could not.
+        let cfg = MpcConfig::builder(256, 0.5).local_capacity(1 << 16).build();
+        assert!(cfg.machines() as u64 * cfg.local_capacity() >= 283_000);
     }
 
     #[test]

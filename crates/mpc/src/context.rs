@@ -185,6 +185,25 @@ impl MpcContext {
         self.stats.charge(Op::Sort, rounds + 2, total_words);
     }
 
+    /// Checks that a `words`-word batch structure *could* be gathered
+    /// onto one machine without charging any rounds — the legality
+    /// gate every maintainer applies before touching its state
+    /// (Section 1.2: a batch must fit into a local machine). Use this
+    /// when the batch's routing rounds are charged separately.
+    ///
+    /// # Errors
+    ///
+    /// [`MpcError::GatherTooLarge`] if the payload exceeds `s`.
+    pub fn ensure_batch_fits(&self, words: u64) -> Result<(), MpcError> {
+        if words > self.cfg.local_capacity() {
+            return Err(MpcError::GatherTooLarge {
+                words,
+                capacity: self.cfg.local_capacity(),
+            });
+        }
+        Ok(())
+    }
+
     /// Gathers a `words`-word payload onto the coordinator machine.
     ///
     /// # Errors

@@ -49,6 +49,15 @@ pub enum MpcError {
         /// Cluster size.
         cluster: usize,
     },
+    /// The combined standing state exceeds the cluster's total
+    /// capacity (`machines × s`) — the cluster is under-provisioned
+    /// for the registered structures.
+    ClusterMemoryExceeded {
+        /// Total words held across the cluster.
+        used: u64,
+        /// Total cluster capacity (`machines × s`).
+        capacity: u64,
+    },
 }
 
 impl std::fmt::Display for MpcError {
@@ -86,11 +95,80 @@ impl std::fmt::Display for MpcError {
                 f,
                 "message addressed to machine {machine} of a {cluster}-machine cluster"
             ),
+            MpcError::ClusterMemoryExceeded { used, capacity } => write!(
+                f,
+                "standing state of {used} words exceeds the cluster's total capacity \
+                 {capacity} (provision more machines)"
+            ),
         }
     }
 }
 
 impl std::error::Error for MpcError {}
+
+/// The workspace-wide maintainer error: every algorithm structure's
+/// batch-application failure converts into this one type (via `From`
+/// impls living next to each crate's own error), so heterogeneous
+/// maintainers can be driven through one `Session` front door.
+///
+/// The variants classify *what the caller can do about it*:
+///
+/// * [`MpcStreamError::Capacity`] — the batch (or the standing state)
+///   does not fit the cluster's resource envelope; shrink the batch or
+///   provision a larger cluster.
+/// * [`MpcStreamError::InvalidBatch`] — the update stream violated the
+///   dynamic-graph contract (duplicate insert, deletion of an absent
+///   edge, endpoint out of range); fix the stream.
+/// * [`MpcStreamError::Unsupported`] — the update kind is outside this
+///   maintainer's model (e.g. a deletion in an insertion-only
+///   structure); route the update elsewhere.
+/// * [`MpcStreamError::BudgetExhausted`] — a maintainer-specific
+///   budget (adaptivity exposures, vertex slots) is spent; rebuild
+///   with a larger budget.
+/// * [`MpcStreamError::Internal`] — an internal invariant failed;
+///   a bug, please report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpcStreamError {
+    /// An MPC resource constraint (local memory, send/receive caps,
+    /// gather size) was violated.
+    Capacity(MpcError),
+    /// The batch violated the maintainer's input contract.
+    InvalidBatch(String),
+    /// The batch contains an update kind the maintainer does not
+    /// support in its stream model.
+    Unsupported(String),
+    /// A maintainer-specific budget was exhausted.
+    BudgetExhausted(String),
+    /// An internal invariant failed.
+    Internal(String),
+}
+
+impl std::fmt::Display for MpcStreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MpcStreamError::Capacity(e) => write!(f, "capacity: {e}"),
+            MpcStreamError::InvalidBatch(d) => write!(f, "invalid batch: {d}"),
+            MpcStreamError::Unsupported(d) => write!(f, "unsupported update: {d}"),
+            MpcStreamError::BudgetExhausted(d) => write!(f, "budget exhausted: {d}"),
+            MpcStreamError::Internal(d) => write!(f, "internal invariant failed: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for MpcStreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MpcStreamError::Capacity(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MpcError> for MpcStreamError {
+    fn from(e: MpcError) -> Self {
+        MpcStreamError::Capacity(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -154,5 +232,35 @@ mod tests {
             machine: 0,
             cluster: 1,
         });
+        takes_err(MpcStreamError::Internal("x".into()));
+    }
+
+    #[test]
+    fn stream_error_wraps_mpc_error_with_source() {
+        use std::error::Error;
+        let inner = MpcError::GatherTooLarge {
+            words: 100,
+            capacity: 10,
+        };
+        let e: MpcStreamError = inner.clone().into();
+        assert_eq!(e, MpcStreamError::Capacity(inner));
+        assert!(e.to_string().contains("capacity"));
+        assert!(e.source().is_some());
+        assert!(MpcStreamError::InvalidBatch("dup".into())
+            .source()
+            .is_none());
+    }
+
+    #[test]
+    fn stream_error_variants_display_their_class() {
+        let cases = [
+            (MpcStreamError::InvalidBatch("e".into()), "invalid batch"),
+            (MpcStreamError::Unsupported("d".into()), "unsupported"),
+            (MpcStreamError::BudgetExhausted("b".into()), "budget"),
+            (MpcStreamError::Internal("i".into()), "internal"),
+        ];
+        for (e, needle) in cases {
+            assert!(e.to_string().contains(needle), "{e} lacks {needle:?}");
+        }
     }
 }

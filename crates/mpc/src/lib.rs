@@ -46,5 +46,5 @@ pub mod stats;
 
 pub use config::MpcConfig;
 pub use context::MpcContext;
-pub use error::MpcError;
-pub use stats::{PhaseReport, Stats};
+pub use error::{MpcError, MpcStreamError};
+pub use stats::{BatchAudit, BatchReport, PhaseReport, SessionStats, Stats};

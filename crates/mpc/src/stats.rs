@@ -139,6 +139,147 @@ impl std::fmt::Display for PhaseReport {
     }
 }
 
+/// Rounds, communication, and audit counters one maintainer consumed
+/// processing one update batch — the unified per-batch report every
+/// implementation of the `Maintain` trait (in `mpc-stream-core`)
+/// returns (the quantities Theorem 1.1 speaks about, plus the
+/// failure/violation envelope).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchReport {
+    /// Name of the maintainer that produced this report.
+    pub maintainer: &'static str,
+    /// Updates in the batch.
+    pub updates: usize,
+    /// Rounds charged while the batch was processed.
+    pub rounds: u64,
+    /// Words communicated while the batch was processed.
+    pub words: u64,
+    /// `ℓ0`-sampler failures the batch absorbed (each retried on an
+    /// independent sketch copy).
+    pub l0_failures: u64,
+    /// Capacity violations recorded during the batch (permissive
+    /// mode; strict mode errors instead).
+    pub capacity_violations: u64,
+}
+
+impl std::fmt::Display for BatchReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} updates in {} rounds, {} words ({} l0 fails, {} violations)",
+            self.maintainer,
+            self.updates,
+            self.rounds,
+            self.words,
+            self.l0_failures,
+            self.capacity_violations
+        )
+    }
+}
+
+/// Delta-measures one batch against a context's cumulative counters:
+/// [`BatchAudit::begin`] snapshots rounds/words/violations, and
+/// [`BatchAudit::finish`] turns the deltas into a [`BatchReport`].
+/// Works inside parallel scopes as long as begin/finish bracket a
+/// single branch's work.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchAudit {
+    rounds: u64,
+    words: u64,
+    violations: usize,
+}
+
+impl BatchAudit {
+    /// Snapshots the context's counters.
+    pub fn begin(ctx: &crate::context::MpcContext) -> Self {
+        BatchAudit {
+            rounds: ctx.stats().rounds,
+            words: ctx.stats().words_communicated,
+            violations: ctx.stats().violations.len(),
+        }
+    }
+
+    /// Produces the report for everything charged since `begin`.
+    pub fn finish(
+        self,
+        maintainer: &'static str,
+        updates: usize,
+        l0_failures: u64,
+        ctx: &crate::context::MpcContext,
+    ) -> BatchReport {
+        BatchReport {
+            maintainer,
+            updates,
+            rounds: ctx.stats().rounds - self.rounds,
+            words: ctx.stats().words_communicated - self.words,
+            l0_failures,
+            capacity_violations: (ctx.stats().violations.len() - self.violations) as u64,
+        }
+    }
+}
+
+/// Rollup of a `Session`'s lifetime consumption across all batches
+/// and maintainers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Chunked batches the session fanned out.
+    pub batches: u64,
+    /// Updates ingested (after normalization).
+    pub updates: u64,
+    /// Per-maintainer batch applications (`batches ×` registered
+    /// maintainers, minus skipped ones).
+    pub maintainer_batches: u64,
+    /// Session-level rounds: maintainers run in parallel on disjoint
+    /// machine groups, so each batch contributes its *maximum*
+    /// maintainer's rounds.
+    pub rounds: u64,
+    /// Total words communicated (all maintainers; it all moves).
+    pub words: u64,
+    /// `ℓ0`-sampler failures absorbed across all maintainers.
+    pub l0_failures: u64,
+    /// Capacity violations recorded (permissive mode).
+    pub capacity_violations: u64,
+    /// Worst single batch's session-level round count.
+    pub max_batch_rounds: u64,
+}
+
+impl SessionStats {
+    /// Folds one maintainer's per-batch report into the rollup
+    /// (failure/violation envelope only; rounds and words are
+    /// recorded once per chunk via [`SessionStats::record_chunk`]).
+    pub fn absorb(&mut self, report: &BatchReport) {
+        self.maintainer_batches += 1;
+        self.l0_failures += report.l0_failures;
+        self.capacity_violations += report.capacity_violations;
+    }
+
+    /// Records one fanned-out chunk's session-level consumption.
+    pub fn record_chunk(&mut self, updates: usize, rounds: u64, words: u64) {
+        self.batches += 1;
+        self.updates += updates as u64;
+        self.rounds += rounds;
+        self.words += words;
+        self.max_batch_rounds = self.max_batch_rounds.max(rounds);
+    }
+
+    /// A one-paragraph human-readable account of the session.
+    pub fn summary(&self) -> String {
+        format!(
+            "session: {} updates in {} batches across {} maintainer applications\n\
+             rounds: {} total ({} worst batch), {} words communicated\n\
+             audit: {} l0 fails, {} capacity violations",
+            self.updates,
+            self.batches,
+            self.maintainer_batches,
+            self.rounds,
+            self.max_batch_rounds,
+            self.words,
+            self.l0_failures,
+            self.capacity_violations
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,6 +321,58 @@ mod tests {
             words: 99,
         };
         assert_eq!(format!("{r}"), "phase batch-7: 4 rounds, 99 words");
+    }
+
+    #[test]
+    fn batch_audit_reports_deltas() {
+        use crate::config::MpcConfig;
+        use crate::context::MpcContext;
+        let mut ctx = MpcContext::new(
+            MpcConfig::builder(64, 0.5)
+                .local_capacity(16)
+                .machines(4)
+                .build(),
+        );
+        ctx.exchange(3);
+        let audit = BatchAudit::begin(&ctx);
+        ctx.exchange(5);
+        ctx.exchange(2);
+        ctx.alloc(0, 20).unwrap(); // permissive violation
+        let r = audit.finish("test", 4, 1, &ctx);
+        assert_eq!(r.maintainer, "test");
+        assert_eq!(r.updates, 4);
+        assert_eq!(r.rounds, 2);
+        assert_eq!(r.words, 7);
+        assert_eq!(r.l0_failures, 1);
+        assert_eq!(r.capacity_violations, 1);
+        assert!(r.to_string().contains("test"));
+    }
+
+    #[test]
+    fn session_stats_rollup() {
+        let mut s = SessionStats::default();
+        let r = BatchReport {
+            maintainer: "a",
+            updates: 3,
+            rounds: 7,
+            words: 10,
+            l0_failures: 2,
+            capacity_violations: 1,
+        };
+        s.absorb(&r);
+        s.absorb(&r);
+        s.record_chunk(3, 9, 25);
+        s.record_chunk(2, 4, 5);
+        assert_eq!(s.maintainer_batches, 2);
+        assert_eq!(s.l0_failures, 4);
+        assert_eq!(s.capacity_violations, 2);
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.updates, 5);
+        assert_eq!(s.rounds, 13);
+        assert_eq!(s.max_batch_rounds, 9);
+        let text = s.summary();
+        assert!(text.contains("5 updates"));
+        assert!(text.contains("9 worst batch"));
     }
 
     #[test]

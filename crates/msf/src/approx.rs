@@ -99,6 +99,13 @@ impl ThresholdStack {
     fn words(&self) -> u64 {
         self.instances.iter().map(Connectivity::words).sum()
     }
+
+    fn sampler_failure_count(&self) -> u64 {
+        self.instances
+            .iter()
+            .map(Connectivity::sampler_failure_count)
+            .sum()
+    }
 }
 
 /// `(1+ε)`-approximation to the MSF **weight** under arbitrary
@@ -146,9 +153,20 @@ impl ApproxMsfWeight {
         }
     }
 
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.stack.n
+    }
+
     /// Number of threshold instances (`t + 1`).
     pub fn instance_count(&self) -> usize {
         self.stack.instances.len()
+    }
+
+    /// Cumulative `ℓ0`-sampler failures across all threshold
+    /// instances.
+    pub fn sampler_failure_count(&self) -> u64 {
+        self.stack.sampler_failure_count()
     }
 
     /// Processes a weighted batch, routing each update to every
@@ -244,9 +262,92 @@ impl ApproxMsfForest {
             .component_of(v)
     }
 
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.stack.n
+    }
+
+    /// Cumulative `ℓ0`-sampler failures across all threshold
+    /// instances.
+    pub fn sampler_failure_count(&self) -> u64 {
+        self.stack.sampler_failure_count()
+    }
+
     /// Total memory in words across all instances.
     pub fn words(&self) -> u64 {
         self.stack.words()
+    }
+}
+
+impl mpc_stream_core::Maintain for ApproxMsfWeight {
+    fn name(&self) -> &'static str {
+        "msf-approx-weight"
+    }
+
+    fn n(&self) -> usize {
+        self.vertex_count()
+    }
+
+    fn words(&self) -> u64 {
+        ApproxMsfWeight::words(self)
+    }
+
+    fn l0_failures(&self) -> u64 {
+        self.sampler_failure_count()
+    }
+
+    /// Unweighted batches are interpreted with unit weights.
+    fn ingest(
+        &mut self,
+        batch: &Batch,
+        ctx: &mut MpcContext,
+    ) -> Result<(), mpc_sim::MpcStreamError> {
+        self.ingest_weighted(&unit_weighted(batch), ctx)
+    }
+
+    fn ingest_weighted(
+        &mut self,
+        batch: &WeightedBatch,
+        ctx: &mut MpcContext,
+    ) -> Result<(), mpc_sim::MpcStreamError> {
+        ApproxMsfWeight::apply_batch(self, batch, ctx)?;
+        Ok(())
+    }
+}
+
+impl mpc_stream_core::Maintain for ApproxMsfForest {
+    fn name(&self) -> &'static str {
+        "msf-approx-forest"
+    }
+
+    fn n(&self) -> usize {
+        self.vertex_count()
+    }
+
+    fn words(&self) -> u64 {
+        ApproxMsfForest::words(self)
+    }
+
+    fn l0_failures(&self) -> u64 {
+        self.sampler_failure_count()
+    }
+
+    /// Unweighted batches are interpreted with unit weights.
+    fn ingest(
+        &mut self,
+        batch: &Batch,
+        ctx: &mut MpcContext,
+    ) -> Result<(), mpc_sim::MpcStreamError> {
+        self.ingest_weighted(&unit_weighted(batch), ctx)
+    }
+
+    fn ingest_weighted(
+        &mut self,
+        batch: &WeightedBatch,
+        ctx: &mut MpcContext,
+    ) -> Result<(), mpc_sim::MpcStreamError> {
+        ApproxMsfForest::apply_batch(self, batch, ctx)?;
+        Ok(())
     }
 }
 

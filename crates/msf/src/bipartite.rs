@@ -106,9 +106,47 @@ impl Bipartiteness {
         self.graph.component_count()
     }
 
+    /// Number of vertices of the underlying graph (the double cover
+    /// internally uses `2n`).
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// Cumulative `ℓ0`-sampler failures in `G` and its double cover.
+    pub fn sampler_failure_count(&self) -> u64 {
+        self.graph.sampler_failure_count() + self.cover.sampler_failure_count()
+    }
+
     /// Total memory in words (both connectivity instances).
     pub fn words(&self) -> u64 {
         self.graph.words() + self.cover.words()
+    }
+}
+
+impl mpc_stream_core::Maintain for Bipartiteness {
+    fn name(&self) -> &'static str {
+        "bipartiteness"
+    }
+
+    fn n(&self) -> usize {
+        self.vertex_count()
+    }
+
+    fn words(&self) -> u64 {
+        Bipartiteness::words(self)
+    }
+
+    fn l0_failures(&self) -> u64 {
+        self.sampler_failure_count()
+    }
+
+    fn ingest(
+        &mut self,
+        batch: &Batch,
+        ctx: &mut MpcContext,
+    ) -> Result<(), mpc_sim::MpcStreamError> {
+        Bipartiteness::apply_batch(self, batch, ctx)?;
+        Ok(())
     }
 }
 

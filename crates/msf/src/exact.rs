@@ -42,6 +42,8 @@ pub enum MsfError {
     DeletionNotSupported(Edge),
     /// A duplicate edge insertion.
     DuplicateEdge(Edge),
+    /// An edge endpoint is outside `[0, n)`.
+    VertexOutOfRange(Edge, usize),
     /// The swap loop failed to converge (internal invariant
     /// violation).
     NoConvergence,
@@ -55,6 +57,9 @@ impl std::fmt::Display for MsfError {
                 write!(f, "deletion of {e} in insertion-only MSF stream")
             }
             MsfError::DuplicateEdge(e) => write!(f, "duplicate insertion of {e}"),
+            MsfError::VertexOutOfRange(e, n) => {
+                write!(f, "edge {e} has an endpoint outside [0, {n})")
+            }
             MsfError::NoConvergence => write!(f, "swap loop failed to converge"),
         }
     }
@@ -65,6 +70,60 @@ impl std::error::Error for MsfError {}
 impl From<MpcError> for MsfError {
     fn from(e: MpcError) -> Self {
         MsfError::Mpc(e)
+    }
+}
+
+impl From<MsfError> for mpc_sim::MpcStreamError {
+    fn from(e: MsfError) -> Self {
+        match e {
+            MsfError::Mpc(inner) => mpc_sim::MpcStreamError::Capacity(inner),
+            MsfError::DeletionNotSupported(edge) => mpc_sim::MpcStreamError::Unsupported(format!(
+                "deletion of {edge} in insertion-only MSF stream"
+            )),
+            MsfError::DuplicateEdge(edge) => {
+                mpc_sim::MpcStreamError::InvalidBatch(format!("duplicate insertion of {edge}"))
+            }
+            MsfError::VertexOutOfRange(edge, n) => mpc_sim::MpcStreamError::InvalidBatch(format!(
+                "edge {edge} has an endpoint outside [0, {n})"
+            )),
+            MsfError::NoConvergence => {
+                mpc_sim::MpcStreamError::Internal("swap loop failed to converge".into())
+            }
+        }
+    }
+}
+
+impl mpc_stream_core::Maintain for ExactMsf {
+    fn name(&self) -> &'static str {
+        "msf-exact"
+    }
+
+    fn n(&self) -> usize {
+        self.vertex_count()
+    }
+
+    fn words(&self) -> u64 {
+        ExactMsf::words(self)
+    }
+
+    /// Unweighted batches are interpreted with unit weights (the MSF
+    /// then coincides with any spanning forest, which the weight and
+    /// swap machinery handles as the all-ties case).
+    fn ingest(
+        &mut self,
+        batch: &mpc_graph::update::Batch,
+        ctx: &mut MpcContext,
+    ) -> Result<(), mpc_sim::MpcStreamError> {
+        self.ingest_weighted(&crate::approx::unit_weighted(batch), ctx)
+    }
+
+    fn ingest_weighted(
+        &mut self,
+        batch: &WeightedBatch,
+        ctx: &mut MpcContext,
+    ) -> Result<(), mpc_sim::MpcStreamError> {
+        ExactMsf::apply_batch(self, batch, ctx)?;
+        Ok(())
     }
 }
 
@@ -199,6 +258,13 @@ impl ExactMsf {
     ) -> Result<(), MsfError> {
         if let Some(d) = batch.deletions().next() {
             return Err(MsfError::DeletionNotSupported(d.edge));
+        }
+        // Validate the whole batch before any mutation, so an error
+        // leaves the structure (including `seen`) untouched.
+        for we in batch.insertions() {
+            if we.edge.v() as usize >= self.n {
+                return Err(MsfError::VertexOutOfRange(we.edge, self.n));
+            }
         }
         let mut cand: Vec<WeightedEdge> = Vec::new();
         for we in batch.insertions() {

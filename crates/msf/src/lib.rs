@@ -20,6 +20,6 @@ pub mod approx;
 pub mod bipartite;
 pub mod exact;
 
-pub use approx::{ApproxMsfForest, ApproxMsfWeight};
+pub use approx::{unit_weighted, ApproxMsfForest, ApproxMsfWeight};
 pub use bipartite::Bipartiteness;
-pub use exact::ExactMsf;
+pub use exact::{ExactMsf, MsfError};

@@ -21,7 +21,7 @@ use mpc_stream::graph::oracle;
 use mpc_stream::matching::{AklyMatching, CappedGreedyMatching, MatchingSizeEstimator, StreamKind};
 use mpc_stream::mpc::{MpcConfig, MpcContext};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let planted = 48;
     let (stream, opt) = gen::planted_matching_stream(planted, 64, 16, 77);
     let n = stream.n;
@@ -42,8 +42,8 @@ fn main() {
         for batch in &stream.batches {
             let ins: Vec<Edge> = batch.insertions().collect();
             greedy.apply_insert_batch(&ins, &mut ctx);
-            akly.apply_batch(batch, &mut ctx);
-            est.apply_batch(batch, &mut ctx);
+            akly.apply_batch(batch, &mut ctx)?;
+            est.apply_batch(batch, &mut ctx)?;
         }
         let g = greedy.len().max(1);
         let a = akly.matching_size().max(1);
@@ -65,4 +65,5 @@ fn main() {
     let edges: Vec<Edge> = last.edges().collect();
     assert_eq!(oracle::maximum_matching_size(n, &edges), opt);
     println!("\n(true OPT verified with Edmonds' blossom algorithm)");
+    Ok(())
 }

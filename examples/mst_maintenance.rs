@@ -6,61 +6,86 @@
 //! ```
 //!
 //! Streams weighted link insertions (think: network cables with
-//! latencies) through two structures:
+//! latencies) through **one `Session` driving three maintainers** on
+//! a shared accounted cluster — the multi-maintainer workload the
+//! unified surface exists for:
 //!
 //! * the **exact** insertion-only MSF (Euler tours + parallel
 //!   Identify-Path swaps), checked against Kruskal after every batch;
-//! * the **(1+ε)-approximate weight** estimator that also survives
+//! * two **(1+ε)-approximate weight** estimators that also survive
 //!   deletions, at ε ∈ {0.1, 0.5}.
+//!
+//! The maintainers run in parallel on disjoint machine groups, so
+//! every batch costs the *maximum* maintainer's rounds, not the sum.
 
 use mpc_stream::graph::gen;
-use mpc_stream::graph::ids::WeightedEdge;
 use mpc_stream::graph::oracle;
-use mpc_stream::mpc::{MpcConfig, MpcContext};
-use mpc_stream::msf::{ApproxMsfWeight, ExactMsf};
+use mpc_stream::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 128;
     let max_w = 64;
-    let cfg = MpcConfig::builder(n, 0.5).local_capacity(1 << 17).build();
-    let mut ctx = MpcContext::new(cfg);
-    let mut exact = ExactMsf::new(n);
-    let mut approx_tight = ApproxMsfWeight::new(n, 0.1, max_w, 5);
-    let mut approx_loose = ApproxMsfWeight::new(n, 0.5, max_w, 5);
+    // The (1+ε) estimators each run ⌈log_{1+ε} W⌉ + 1 parallel
+    // connectivity instances (Section 7.2), so the cluster must hold
+    // ~57 sketch banks, not one: provision machines for the whole
+    // threshold stack or the session's capacity audit will flag it.
+    let cfg = MpcConfig::builder(n, 0.5)
+        .local_capacity(1 << 17)
+        .machines(64)
+        .build();
+    let mut session = Session::new(cfg);
+    let exact = session.register(ExactMsf::new(n));
+    let tight = session.register(ApproxMsfWeight::new(n, 0.1, max_w, 5));
+    let loose = session.register(ApproxMsfWeight::new(n, 0.5, max_w, 5));
 
     let stream = gen::random_weighted_insert_stream(n, 8, 20, max_w, 31);
     let mut all: Vec<WeightedEdge> = Vec::new();
 
     println!("weighted network on {n} nodes, weights in [1, {max_w}]\n");
-    println!(" batch | kruskal | exact-MSF | swaps | est (ε=0.1) | est (ε=0.5)");
-    println!(" ------+---------+-----------+-------+-------------+------------");
+    println!(" batch | rounds | kruskal | exact-MSF | swaps | est (ε=0.1) | est (ε=0.5)");
+    println!(" ------+--------+---------+-----------+-------+-------------+------------");
     for (i, batch) in stream.batches.iter().enumerate() {
-        exact.apply_batch(batch, &mut ctx)?;
-        approx_tight.apply_batch(batch, &mut ctx)?;
-        approx_loose.apply_batch(batch, &mut ctx)?;
+        let reports = session.apply_weighted(batch.iter())?;
+        let batch_rounds: u64 = reports.iter().map(|r| r.rounds).max().unwrap_or(0);
         all.extend(batch.insertions());
         let kruskal = oracle::msf_weight(n, all.iter().copied());
+        let ex = session.get::<ExactMsf>(exact).expect("registered");
         println!(
-            " {:>5} | {:>7} | {:>9} | {:>5} | {:>11.1} | {:>10.1}",
+            " {:>5} | {:>6} | {:>7} | {:>9} | {:>5} | {:>11.1} | {:>10.1}",
             i,
+            batch_rounds,
             kruskal,
-            exact.weight(),
-            exact.last_iterations(),
-            approx_tight.weight_estimate(),
-            approx_loose.weight_estimate(),
+            ex.weight(),
+            ex.last_iterations(),
+            session
+                .get::<ApproxMsfWeight>(tight)
+                .expect("registered")
+                .weight_estimate(),
+            session
+                .get::<ApproxMsfWeight>(loose)
+                .expect("registered")
+                .weight_estimate(),
         );
-        assert_eq!(exact.weight(), kruskal, "exact MSF must match Kruskal");
+        assert_eq!(ex.weight(), kruskal, "exact MSF must match Kruskal");
     }
 
+    let ex = session.get::<ExactMsf>(exact).expect("registered");
     println!(
         "\nexact forest: {} edges, total weight {} (matches Kruskal at every batch)",
-        exact.forest().len(),
-        exact.weight()
+        ex.forest().len(),
+        ex.weight()
     );
     println!(
         "ε=0.1 instances: {}, ε=0.5 instances: {} (memory scales with log_1+ε W)",
-        approx_tight.instance_count(),
-        approx_loose.instance_count()
+        session
+            .get::<ApproxMsfWeight>(tight)
+            .expect("registered")
+            .instance_count(),
+        session
+            .get::<ApproxMsfWeight>(loose)
+            .expect("registered")
+            .instance_count()
     );
+    println!("\nsession rollup:\n{}", session.stats().summary());
     Ok(())
 }

@@ -21,7 +21,7 @@ use mpc_stream::mpc::{MpcConfig, MpcContext};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n: u32 = 96; // racks
     let k = 3; // resolution: answer cut questions up to 3-conn
     let cfg = MpcConfig::builder(n as usize, 0.5)
@@ -39,7 +39,7 @@ fn main() {
     // Window 0: bring up a ring backbone (survives 1 failure).
     let ring: Vec<Edge> = (0..n).map(|i| Edge::new(i, (i + 1) % n)).collect();
     live.extend(ring.iter().copied());
-    monitor.apply_batch(&Batch::inserting(ring), &mut ctx);
+    monitor.apply_batch(&Batch::inserting(ring), &mut ctx)?;
     report(&monitor, &mut ctx, 0, live.len());
 
     // Window 1: add random cross-links (redundancy grows).
@@ -55,20 +55,21 @@ fn main() {
         }
     }
     live.extend(cross.iter().copied());
-    monitor.apply_batch(&Batch::inserting(cross), &mut ctx);
+    monitor.apply_batch(&Batch::inserting(cross), &mut ctx)?;
     report(&monitor, &mut ctx, 1, live.len());
 
     // Window 2: decommission a quarter of the cross-links.
     let gone: Vec<Edge> = live.iter().skip(n as usize).step_by(4).copied().collect();
     live.retain(|e| !gone.contains(e));
-    monitor.apply_batch(&Batch::deleting(gone), &mut ctx);
+    monitor.apply_batch(&Batch::deleting(gone), &mut ctx)?;
     report(&monitor, &mut ctx, 2, live.len());
 
     // Window 3: sever the ring at two points — bridges appear.
     let cut = vec![live[0], live[n as usize / 2]];
     live.retain(|e| !cut.contains(e));
-    monitor.apply_batch(&Batch::deleting(cut), &mut ctx);
+    monitor.apply_batch(&Batch::deleting(cut), &mut ctx)?;
     report(&monitor, &mut ctx, 3, live.len());
+    Ok(())
 }
 
 fn report(monitor: &DynamicKConn, ctx: &mut MpcContext, window: usize, m: usize) {

@@ -1,33 +1,30 @@
 //! Quickstart: maintain connectivity of an evolving graph in the
-//! streaming MPC model.
+//! streaming MPC model through the unified [`Session`] driver.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 //!
-//! Builds a small cluster (`s = n^φ` words per machine), streams a
-//! few batches of edge insertions and deletions through the paper's
-//! connectivity algorithm, and prints the per-batch round counts and
-//! memory — the quantities Theorem 1.1 bounds.
+//! Builds a small cluster (`s = n^φ` words per machine, machine count
+//! defaulted from the slack-provisioned `Θ(n log³ n)` budget),
+//! registers the paper's connectivity algorithm in a `Session`, and
+//! streams a few batches of edge insertions and deletions through it,
+//! printing the per-batch round counts and memory — the quantities
+//! Theorem 1.1 bounds.
 
-use mpc_stream::core_alg::{Connectivity, ConnectivityConfig};
 use mpc_stream::graph::gen;
-use mpc_stream::mpc::{MpcConfig, MpcContext};
+use mpc_stream::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 256;
     let phi = 0.5;
-    // The default machine count covers the n·log³n *asymptotic*
-    // budget, but at n = 256 the sketch bank's constants are larger:
-    // t = ⌈log n⌉ + 6 = 14 copies of ~79 words per vertex ≈ 1106
-    // words/vertex, ≈ 283k words total — more than the 2 machines the
-    // budget-derived default provides at s = 2^16. Size the cluster
-    // for the actual standing state and run strict, so any primitive
-    // that overflows s fails the example instead of being absorbed as
-    // a permissive-mode violation.
+    // The default machine count provisions the n·log³n budget *with*
+    // the sketch bank's constant slack folded in (STATE_SLACK), so
+    // the standing state fits without a manual override. Strict mode:
+    // any primitive that overflows s fails the example instead of
+    // being absorbed as a permissive-mode violation.
     let cfg = MpcConfig::builder(n, phi)
         .local_capacity(1 << 16)
-        .machines(8)
         .strict(true)
         .build();
     println!(
@@ -36,41 +33,45 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cfg.machines()
     );
 
-    let mut ctx = MpcContext::new(cfg);
-    let mut conn = Connectivity::new(n, ConnectivityConfig::default(), 42);
+    let mut session = Session::new(cfg);
+    let conn = session.register(Connectivity::new(n, ConnectivityConfig::default(), 42));
 
     // An oblivious mixed insert/delete stream.
     let stream = gen::random_mixed_stream(n, 10, 16, 0.7, 7);
     println!("\n batch | updates | rounds | comm words | components | live edges");
     println!(" ------+---------+--------+------------+------------+-----------");
     for (i, batch) in stream.batches.iter().enumerate() {
-        ctx.begin_phase("batch");
-        conn.apply_batch(batch, &mut ctx)?;
-        let report = ctx.end_phase();
+        let reports = session.apply_batch(batch)?;
+        // One registered maintainer → at most one report (none if the
+        // batch normalized to a no-op).
+        let (rounds, words) = reports.first().map_or((0, 0), |r| (r.rounds, r.words));
+        let c = session.get::<Connectivity>(conn).expect("registered");
         println!(
             " {:>5} | {:>7} | {:>6} | {:>10} | {:>10} | {:>9}",
             i,
             batch.len(),
-            report.rounds,
-            report.words,
-            conn.component_count(),
-            conn.live_edge_count(),
+            rounds,
+            words,
+            c.component_count(),
+            c.live_edge_count(),
         );
     }
 
+    let c = session.get::<Connectivity>(conn).expect("registered");
     println!(
         "\nqueries are free: vertex 0 is in component {} (maintained labelling)",
-        conn.component_of(0)
+        c.component_of(0)
     );
     println!(
         "spanning forest has {} edges (maintained explicitly)",
-        conn.spanning_forest().len()
+        c.spanning_forest().len()
     );
     println!(
         "peak memory: {} words on one machine, {} words total (budget O(n log³ n))",
-        ctx.stats().peak_machine_words,
-        ctx.stats().peak_total_words
+        session.ctx().stats().peak_machine_words,
+        session.ctx().stats().peak_total_words
     );
-    println!("\nfull accounting:\n{}", ctx.stats().summary());
+    println!("\nsession rollup:\n{}", session.stats().summary());
+    println!("\nfull accounting:\n{}", session.ctx().stats().summary());
     Ok(())
 }

@@ -9,23 +9,24 @@
 //! Simulates friendship churn over clustered communities: batches
 //! alternately bridge communities together and cut the bridges again,
 //! the hardest pattern for the replacement-edge machinery (every cut
-//! makes the sketches prove that no reconnection exists). Tracks
-//! communities, rounds per batch, and compares total memory against
-//! the store-everything `Θ(n+m)` baseline the prior work uses.
+//! makes the sketches prove that no reconnection exists). Drives the
+//! paper's algorithm through the unified [`Session`] engine, tracks
+//! communities and rounds per batch, and compares total memory
+//! against the store-everything `Θ(n+m)` baseline the prior work uses
+//! (kept on the legacy per-structure API — both surfaces coexist).
 
 use mpc_stream::baselines::FullMemoryBaseline;
-use mpc_stream::core_alg::{Connectivity, ConnectivityConfig};
 use mpc_stream::graph::gen;
-use mpc_stream::mpc::{MpcConfig, MpcContext};
+use mpc_stream::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 8 communities of 12 users each.
     let stream = gen::merge_split_stream(8, 12, 4, 48, 2024);
     let n = stream.n;
     let cfg = MpcConfig::builder(n, 0.5).local_capacity(1 << 17).build();
-    let mut ctx = MpcContext::new(cfg.clone());
+    let mut session = Session::new(cfg.clone());
+    let conn = session.register(Connectivity::new(n, ConnectivityConfig::default(), 9));
     let mut baseline_ctx = MpcContext::new(cfg);
-    let mut conn = Connectivity::new(n, ConnectivityConfig::default(), 9);
     let mut baseline = FullMemoryBaseline::new(n);
 
     println!("social graph: {n} users, community merge/split churn\n");
@@ -41,27 +42,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         } else {
             "cut"
         };
-        ctx.begin_phase("batch");
-        conn.apply_batch(batch, &mut ctx)?;
-        let r = ctx.end_phase();
+        let reports = session.apply_batch(batch)?;
         baseline.apply_batch(batch, &mut baseline_ctx);
+        let c = session.get::<Connectivity>(conn).expect("registered");
         println!(
             " {:>5} | {:>12} | {:>6} | {:>11} | {:>12} | {:>13}",
             i,
             kind,
-            r.rounds,
-            conn.component_count(),
-            conn.words(),
+            reports.first().map_or(0, |r| r.rounds),
+            c.component_count(),
+            c.words(),
             baseline.words(),
         );
     }
 
     // The headline comparison (Theorem 1.1 vs prior work): our state
     // is independent of m; the baseline stores the whole graph.
+    let c = session.get::<Connectivity>(conn).expect("registered");
     println!(
         "\nwith {} live edges: ours {} words vs Θ(n+m) baseline {} words",
-        conn.live_edge_count(),
-        conn.words(),
+        c.live_edge_count(),
+        c.words(),
         baseline.words()
     );
     println!(
@@ -70,5 +71,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          linearly. Experiment E2/E3 (crates/bench) runs the densifying sweep that shows\n\
          the crossover at larger n."
     );
+    println!("\nsession rollup:\n{}", session.stats().summary());
     Ok(())
 }

@@ -6,23 +6,44 @@
 //! PODC 2024). This facade crate re-exports the whole workspace; see
 //! the README for a tour and `examples/` for runnable programs.
 //!
-//! # Examples
+//! # The unified driver
+//!
+//! The paper's point is that *one* harness maintains connectivity,
+//! MSF, bipartiteness, matching, and k-edge-connectivity under the
+//! same batch/round/memory discipline — and the API says so: every
+//! maintainer implements [`prelude::Maintain`], every failure is a
+//! [`prelude::MpcStreamError`], and a [`prelude::Session`] drives any
+//! set of maintainers over one accounted cluster:
 //!
 //! ```
-//! use mpc_stream::core_alg::{Connectivity, ConnectivityConfig};
-//! use mpc_stream::graph::ids::Edge;
-//! use mpc_stream::graph::update::Batch;
-//! use mpc_stream::mpc::{MpcConfig, MpcContext};
+//! use mpc_stream::prelude::*;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let cfg = MpcConfig::builder(32, 0.5).local_capacity(1 << 14).build();
-//! let mut ctx = MpcContext::new(cfg);
-//! let mut conn = Connectivity::new(32, ConnectivityConfig::default(), 1);
-//! conn.apply_batch(&Batch::inserting([Edge::new(0, 1)]), &mut ctx)?;
-//! assert!(conn.connected(0, 1));
+//! let cfg = MpcConfig::builder(64, 0.5).local_capacity(1 << 15).build();
+//! let mut session = Session::new(cfg);
+//! let conn = session.register(Connectivity::new(64, ConnectivityConfig::default(), 1));
+//! let bip = session.register(Bipartiteness::new(64, 2));
+//!
+//! // One stream, fanned to every maintainer in parallel.
+//! let reports = session.apply([
+//!     Update::Insert(Edge::new(0, 1)),
+//!     Update::Insert(Edge::new(1, 2)),
+//!     Update::Insert(Edge::new(0, 2)), // odd cycle
+//! ])?;
+//! assert_eq!(reports.len(), 2); // one per maintainer
+//!
+//! // Queries go through typed handles; answers are free.
+//! assert!(session.get::<Connectivity>(conn).unwrap().connected(0, 2));
+//! assert!(!session.get::<Bipartiteness>(bip).unwrap().is_bipartite());
+//! println!("{}", session.stats().summary());
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! The per-structure inherent APIs (e.g.
+//! [`Connectivity::apply_batch`](core_alg::Connectivity::apply_batch)
+//! with its typed [`ConnectivityError`](core_alg::ConnectivityError))
+//! remain available for single-maintainer workloads.
 
 pub use mpc_baselines as baselines;
 pub use mpc_etf as etf;
@@ -34,3 +55,23 @@ pub use mpc_msf as msf;
 pub use mpc_sim as mpc;
 pub use mpc_sketch as sketch;
 pub use mpc_stream_core as core_alg;
+
+/// Everything needed to drive the unified maintainer surface: the
+/// [`Session`](mpc_stream_core::Session) engine, the
+/// [`Maintain`](mpc_stream_core::Maintain) trait, the workspace-wide
+/// [`MpcStreamError`](mpc_sim::MpcStreamError), all eleven-plus
+/// maintainers, and the graph / cluster vocabulary types.
+pub mod prelude {
+    pub use mpc_graph::ids::{Edge, VertexId, WeightedEdge};
+    pub use mpc_graph::update::{Batch, Update, WeightedBatch, WeightedUpdate};
+    pub use mpc_kconn::{Certificate, DynamicKConn, InsertOnlyKConn, KConnError, MinCut};
+    pub use mpc_matching::{
+        AklyMatching, CappedGreedyMatching, MatchingSizeEstimator, MaximalMatching, StreamKind,
+    };
+    pub use mpc_msf::{ApproxMsfForest, ApproxMsfWeight, Bipartiteness, ExactMsf, MsfError};
+    pub use mpc_sim::{BatchReport, MpcConfig, MpcContext, MpcError, MpcStreamError, SessionStats};
+    pub use mpc_stream_core::{
+        Connectivity, ConnectivityConfig, ConnectivityError, Maintain, MaintainerId,
+        RobustConnectivity, Session, StreamingConnectivity, VertexDynamicConnectivity,
+    };
+}

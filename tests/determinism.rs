@@ -50,7 +50,7 @@ fn kconn_peels_are_identical() {
         let mut kc = DynamicKConn::new(n, 3, 0xACE);
         let mut certs = Vec::new();
         for batch in &stream.batches {
-            kc.apply_batch(batch, &mut ctx);
+            kc.apply_batch(batch, &mut ctx).expect("valid stream");
             certs.push(kc.certificate(&mut ctx));
         }
         certs
@@ -89,7 +89,7 @@ fn akly_matching_runs_are_identical() {
         let mut akly = AklyMatching::new(n, 2.0, 0x5EED);
         let mut sizes = Vec::new();
         for batch in &stream.batches {
-            akly.apply_batch(batch, &mut ctx);
+            akly.apply_batch(batch, &mut ctx).expect("valid stream");
             let mut m = akly.matching();
             m.sort();
             sizes.push(m);

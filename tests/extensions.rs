@@ -52,7 +52,7 @@ fn dynamic_and_insert_only_certificates_agree_on_cuts() {
     let mut dy = DynamicKConn::new(n, k, 0x52);
     for (batch, snap) in stream.batches.iter().zip(&snaps) {
         io.apply_batch(batch, &mut ctx).expect("insert-only");
-        dy.apply_batch(batch, &mut ctx);
+        dy.apply_batch(batch, &mut ctx).expect("dynamic kconn");
         let live: Vec<Edge> = snap.edges().collect();
         let truth = cuts::edge_connectivity(n, &live).min(k as u64);
         let io_cut = cuts::edge_connectivity(n, &io.certificate().edges()).min(k as u64);
@@ -72,7 +72,7 @@ fn certificate_bridges_match_oracle_under_deletions() {
     let mut ctx = ctx_for(n);
     let mut dy = DynamicKConn::new(n, 2, 0x53);
     for (batch, snap) in stream.batches.iter().zip(&snaps) {
-        dy.apply_batch(batch, &mut ctx);
+        dy.apply_batch(batch, &mut ctx).expect("dynamic kconn");
         let live: Vec<Edge> = snap.edges().collect();
         let cert = dy.certificate(&mut ctx);
         assert_eq!(
@@ -98,16 +98,19 @@ fn min_cut_estimate_degrades_gracefully() {
         edges.push(Edge::new(i, (i + 1) % n));
         edges.push(Edge::new(i, (i + 2) % n));
     }
-    dy.apply_batch(&Batch::inserting(edges.iter().copied()), &mut ctx);
+    dy.apply_batch(&Batch::inserting(edges.iter().copied()), &mut ctx)
+        .expect("dynamic kconn");
     assert_eq!(dy.certificate(&mut ctx).min_cut(), MinCut::AtLeast(3));
     // Remove vertex 0's +2 links: its degree falls to ... ring only.
     dy.apply_batch(
         &Batch::deleting([Edge::new(0, 2), Edge::new(n - 2, 0)]),
         &mut ctx,
-    );
+    )
+    .expect("dynamic kconn");
     assert_eq!(dy.certificate(&mut ctx).min_cut(), MinCut::Exact(2));
     // Cut one ring edge at vertex 0 too: a single link remains.
-    dy.apply_batch(&Batch::deleting([Edge::new(0, 1)]), &mut ctx);
+    dy.apply_batch(&Batch::deleting([Edge::new(0, 1)]), &mut ctx)
+        .expect("dynamic kconn");
     assert_eq!(dy.certificate(&mut ctx).min_cut(), MinCut::Exact(1));
 }
 

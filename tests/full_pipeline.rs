@@ -38,7 +38,7 @@ fn all_consumers_agree_on_one_stream() {
         robust.apply_batch(batch, &mut ctx).expect("robust");
         agm.apply_batch(batch, &mut ctx);
         bip.apply_batch(batch, &mut ctx).expect("bipartiteness");
-        kc.apply_batch(batch, &mut ctx);
+        kc.apply_batch(batch, &mut ctx).expect("kconn");
 
         let live: Vec<Edge> = snap.edges().collect();
         let labels = oracle::components(n, live.iter().copied());
@@ -98,7 +98,7 @@ fn pipeline_on_barbell_workload() {
 
     for (batch, snap) in stream.batches.iter().zip(&snaps) {
         conn.apply_batch(batch, &mut ctx).expect("conn");
-        kc.apply_batch(batch, &mut ctx);
+        kc.apply_batch(batch, &mut ctx).expect("kconn");
         let live: Vec<Edge> = snap.edges().collect();
         assert_eq!(
             conn.component_count(),
@@ -135,7 +135,7 @@ fn pipeline_memory_is_m_independent() {
         let mut kc = DynamicKConn::new(n, 2, 2);
         for batch in &cycle.batches {
             conn.apply_batch(batch, ctx).expect("conn");
-            kc.apply_batch(batch, ctx);
+            kc.apply_batch(batch, ctx).expect("kconn");
         }
         let extra = gen::densifying_stream(n, target_m, 16, seed);
         for batch in &extra.batches {
@@ -153,7 +153,7 @@ fn pipeline_memory_is_m_independent() {
             }
             let b = mpc_stream::graph::update::Batch::inserting(fresh);
             conn.apply_batch(&b, ctx).expect("conn");
-            kc.apply_batch(&b, ctx);
+            kc.apply_batch(&b, ctx).expect("kconn");
         }
         (conn.words(), kc.words(), conn.live_edge_count())
     };

@@ -108,9 +108,9 @@ fn matching_stack_on_one_planted_workload() {
     for batch in &stream.batches {
         let ins: Vec<Edge> = batch.insertions().collect();
         greedy.apply_insert_batch(&ins, &mut ctx);
-        akly.apply_batch(batch, &mut ctx);
-        est_ins.apply_batch(batch, &mut ctx);
-        est_dyn.apply_batch(batch, &mut ctx);
+        akly.apply_batch(batch, &mut ctx).expect("valid stream");
+        est_ins.apply_batch(batch, &mut ctx).expect("valid stream");
+        est_dyn.apply_batch(batch, &mut ctx).expect("valid stream");
     }
     // All four track OPT within generous O(α) windows.
     assert!(greedy.len() * 8 >= opt, "greedy {} vs {opt}", greedy.len());
@@ -137,12 +137,14 @@ fn no21_substrate_survives_adversarial_deletion_of_its_matching() {
             edges.push(Edge::new(a, b));
         }
     }
-    mm.apply_batch(&edges, &[], &mut ctx);
+    mm.apply_batch(&Batch::inserting(edges.iter().copied()), &mut ctx)
+        .expect("valid stream");
     for round in 0..10 {
         assert!(mm.is_maximal(), "round {round}");
         let matched = mm.matching();
         assert!(!matched.is_empty());
-        mm.apply_batch(&[], &matched, &mut ctx);
+        mm.apply_batch(&Batch::deleting(matched.iter().copied()), &mut ctx)
+            .expect("valid stream");
     }
     assert!(mm.is_maximal());
 }

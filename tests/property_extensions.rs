@@ -105,7 +105,7 @@ proptest! {
         let mut ctx = ctx_for(n);
         let mut kc = DynamicKConn::new(n, k, seed);
         for batch in &batches {
-            kc.apply_batch(batch, &mut ctx);
+            kc.apply_batch(batch, &mut ctx).expect("valid stream");
         }
         let live = snapshots.last().cloned().unwrap_or_default();
         let cert = kc.certificate(&mut ctx);
