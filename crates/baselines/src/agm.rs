@@ -69,6 +69,11 @@ impl AgmBaseline {
     pub fn apply_batch(&mut self, batch: &Batch, ctx: &mut MpcContext) {
         ctx.exchange(2 * batch.len() as u64 + 1);
         ctx.broadcast(2);
+        self.ingest_updates(batch);
+    }
+
+    /// The shard-local sketch updates of a routed batch.
+    fn ingest_updates(&mut self, batch: &Batch) {
         for u in batch.iter() {
             if u.is_insert() {
                 self.bank.insert_edge(u.edge());
@@ -101,11 +106,13 @@ impl AgmBaseline {
         let rounds_before = ctx.rounds();
         let mut uf = UnionFind::new(self.n);
         let sketch_words = self.bank.words_per_vertex() / self.bank.copies().max(1) as u64;
+        let mut scratch = self.bank.new_scratch();
         for level in 0..self.bank.copies() {
             if uf.component_count() == 1 {
                 break;
             }
-            // Merge sketches per current supernode, query each.
+            // Merge sketches per current supernode, query each — one
+            // reusable accumulator, no per-component sketch clones.
             ctx.converge_cast(self.n as u64, sketch_words);
             let mut groups: HashMap<u32, Vec<u32>> = HashMap::new();
             for v in 0..self.n as u32 {
@@ -115,16 +122,18 @@ impl AgmBaseline {
             let mut any_failed = false;
             let mut found: Vec<Edge> = Vec::new();
             for (_, members) in groups {
-                match self.bank.merged_copy(&members, level) {
-                    Some(s) => match s.sample() {
+                scratch.reset(level);
+                if self.bank.merge_copy_into(&members, &mut scratch) > 0 {
+                    match self.bank.sample_merged(&scratch) {
                         EdgeSample::Edge(e) => found.push(e),
                         EdgeSample::Empty => {}
                         EdgeSample::Fail => {
                             any_failed = true;
                             self.sampler_failures += 1;
                         }
-                    },
-                    None => any_failed = true,
+                    }
+                } else {
+                    any_failed = true;
                 }
             }
             ctx.sort(2 * found.len() as u64 + 1);
@@ -153,6 +162,37 @@ impl AgmBaseline {
                 .or_insert(v);
         }
         (0..self.n as u32).map(|v| min_of[&uf.find(v)]).collect()
+    }
+}
+
+impl mpc_stream_core::Maintain for AgmBaseline {
+    fn name(&self) -> &'static str {
+        "agm-baseline"
+    }
+
+    fn n(&self) -> usize {
+        self.vertex_count()
+    }
+
+    fn words(&self) -> u64 {
+        AgmBaseline::words(self)
+    }
+
+    fn l0_failures(&self) -> u64 {
+        self.sampler_failure_count()
+    }
+
+    /// The unified ingest adds the endpoint/legality gate the paper's
+    /// baseline left to the caller; the sketch-update path is the
+    /// same `O(1)`-round routing as [`AgmBaseline::apply_batch`].
+    fn ingest(
+        &mut self,
+        batch: &Batch,
+        ctx: &mut MpcContext,
+    ) -> Result<(), mpc_sim::MpcStreamError> {
+        mpc_stream_core::route_batch(batch, self.n, ctx)?;
+        self.ingest_updates(batch);
+        Ok(())
     }
 }
 

@@ -151,6 +151,34 @@ impl FullMemoryBaseline {
     }
 }
 
+impl mpc_stream_core::Maintain for FullMemoryBaseline {
+    fn name(&self) -> &'static str {
+        "fullmem-baseline"
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn words(&self) -> u64 {
+        FullMemoryBaseline::words(self)
+    }
+
+    /// The unified ingest adds the endpoint/legality gate; the edge
+    /// store update is the same `O(1)`-round routed append/remove as
+    /// [`FullMemoryBaseline::apply_batch`].
+    fn ingest(
+        &mut self,
+        batch: &Batch,
+        ctx: &mut MpcContext,
+    ) -> Result<(), mpc_sim::MpcStreamError> {
+        mpc_stream_core::ensure_endpoints_in(batch, self.n)?;
+        ctx.ensure_batch_fits(2 * batch.len() as u64 + 1)?;
+        self.apply_batch(batch, ctx);
+        Ok(())
+    }
+}
+
 /// Convenience oracle used by the experiment harness: exact
 /// components of the stored edge set.
 pub fn exact_components(n: usize, edges: &BTreeSet<Edge>) -> Vec<VertexId> {

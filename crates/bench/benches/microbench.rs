@@ -8,6 +8,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mpc_etf::DistEtf;
 use mpc_graph::gen;
 use mpc_graph::ids::Edge;
+use mpc_graph::update::Batch;
 use mpc_matching::MaximalMatching;
 use mpc_sim::{MpcConfig, MpcContext};
 use mpc_sketch::l0::L0Sampler;
@@ -45,6 +46,27 @@ fn bench_sketch(c: &mut Criterion) {
             s.insert_edge(Edge::new(0, i));
         }
         b.iter(|| black_box(s.sample()));
+    });
+    g.bench_function("merged_copy", |b| {
+        // The converge-cast inner loop: merge one component's 64
+        // member columns at one copy and sample the set sketch, at a
+        // realistic copy count (t = log2(1024) + 6 = 16).
+        use mpc_sketch::SketchBank;
+        let n = 1 << 10;
+        let mut bank = SketchBank::new(n, 16, 11);
+        for i in 0..64u32 {
+            bank.insert_edge(Edge::new(i, i + 64));
+            if i > 0 {
+                bank.insert_edge(Edge::new(i - 1, i));
+            }
+        }
+        let members: Vec<u32> = (0..64).collect();
+        let mut scratch = bank.new_scratch();
+        b.iter(|| {
+            scratch.reset(0);
+            let absorbed = bank.merge_copy_into(&members, &mut scratch);
+            black_box((absorbed > 0).then(|| bank.sample_merged(&scratch)))
+        });
     });
     g.finish();
 }
@@ -152,6 +174,37 @@ fn bench_connectivity(c: &mut Criterion) {
             );
         });
     }
+    // The Borůvka converge-cast of the replacement-edge search
+    // (Section 6.3): delete a slab of tree edges so every batch runs
+    // the per-level component-sketch merges.
+    g.bench_function("converge_cast", |b| {
+        let n = 512usize;
+        // Ladder graph: rungs guarantee replacements exist, so the
+        // cascade always has productive levels.
+        let half = n as u32 / 2;
+        let mut edges: Vec<Edge> = Vec::new();
+        for i in 0..half - 1 {
+            edges.push(Edge::new(i, i + 1));
+            edges.push(Edge::new(half + i, half + i + 1));
+        }
+        for i in 0..half {
+            edges.push(Edge::new(i, half + i));
+        }
+        let mut ctx = ctx_for(n);
+        let mut conn = Connectivity::new(n, ConnectivityConfig::default(), 17);
+        conn.apply_batch(&Batch::inserting(edges), &mut ctx)
+            .expect("within model");
+        let victims: Vec<Edge> = conn.spanning_forest().into_iter().take(16).collect();
+        b.iter_batched(
+            || (ctx_for(n), conn.clone()),
+            |(mut ctx, mut conn)| {
+                conn.apply_batch(&Batch::deleting(victims.iter().copied()), &mut ctx)
+                    .expect("within model");
+                (ctx, conn)
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
     g.finish();
 }
 

@@ -212,6 +212,7 @@ impl Connectivity {
         // each a converge-cast + a forest splice.
         let sketch_words = conn.bank.words_per_vertex() / conn.bank.copies().max(1) as u64;
         let mut uf = UnionFind::new(n);
+        let mut scratch = conn.bank.new_scratch();
         for level in 0..conn.bank.copies() {
             if uf.component_count() == 1 {
                 break;
@@ -223,8 +224,9 @@ impl Connectivity {
             }
             let mut found: Vec<Edge> = Vec::new();
             for (_, members) in groups {
-                if let Some(s) = conn.bank.merged_copy(&members, level) {
-                    match s.sample() {
+                scratch.reset(level);
+                if conn.bank.merge_copy_into(&members, &mut scratch) > 0 {
+                    match conn.bank.sample_merged(&scratch) {
                         EdgeSample::Edge(e) => found.push(e),
                         EdgeSample::Fail => conn.sampler_failures += 1,
                         EdgeSample::Empty => {}
@@ -529,6 +531,9 @@ impl Connectivity {
         // sketches; the depth is governed by a single copy's size).
         ctx.converge_cast(member_total.max(1), sketch_words);
         ctx.exchange(pieces.len() as u64 * sketch_words * self.bank.copies() as u64);
+        // One reusable merge accumulator serves every supernode of
+        // every level — the cascade allocates nothing per component.
+        let mut scratch = self.bank.new_scratch();
         for level in 0..self.bank.copies() {
             // Group pieces by their current supernode.
             let mut groups: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
@@ -544,18 +549,17 @@ impl Connectivity {
                 if exhausted[*root as usize] {
                     continue;
                 }
-                // Supernode sketch = Σ member-piece sketches at this
-                // level.
-                let mut acc = None;
+                // Supernode sketch = Σ member-piece columns at this
+                // level, accumulated straight into the scratch.
+                scratch.reset(level);
+                let mut absorbed = 0usize;
                 for &pi in group {
-                    if let Some(s) = self.bank.merged_copy(&members[pi as usize], level) {
-                        match &mut acc {
-                            None => acc = Some(s),
-                            Some(a) => a.merge(&s),
-                        }
-                    }
+                    absorbed += self
+                        .bank
+                        .merge_copy_into(&members[pi as usize], &mut scratch);
                 }
-                match acc.map(|s| s.sample()) {
+                let outcome = (absorbed > 0).then(|| self.bank.sample_merged(&scratch));
+                match outcome {
                     None | Some(EdgeSample::Empty) => {
                         // No outgoing edge: this supernode is a
                         // complete component.

@@ -289,6 +289,22 @@ impl Session {
         m.downcast_mut::<M>()
     }
 
+    /// Runs a charged query against a registered maintainer: the
+    /// closure receives the concrete maintainer **and** the session's
+    /// own accounting context, so query rounds land on the same
+    /// cluster the updates are charged to (the borrow of the
+    /// maintainer list and the context split safely). Returns `None`
+    /// if the handle or the downcast fails.
+    pub fn query<M: Maintain, R>(
+        &mut self,
+        id: MaintainerId,
+        f: impl FnOnce(&mut M, &mut MpcContext) -> R,
+    ) -> Option<R> {
+        let m: &mut dyn Any = self.maintainers.get_mut(id)?.as_mut();
+        let m = m.downcast_mut::<M>()?;
+        Some(f(m, &mut self.ctx))
+    }
+
     /// Dynamic access to a registered maintainer (trait surface
     /// only).
     pub fn maintainer(&self, id: MaintainerId) -> Option<&dyn Maintain> {

@@ -213,8 +213,11 @@ impl StreamingConnectivity {
         self.forest[v as usize].remove(&u);
         let z_u = self.tree_of(u);
         let mut replacement = None;
+        let mut scratch = self.bank.new_scratch();
         for copy in 0..self.bank.copies() {
-            match self.bank.merged_copy(&z_u, copy).map(|s| s.sample()) {
+            scratch.reset(copy);
+            let absorbed = self.bank.merge_copy_into(&z_u, &mut scratch);
+            match (absorbed > 0).then(|| self.bank.sample_merged(&scratch)) {
                 Some(EdgeSample::Edge(r)) => {
                     replacement = Some(r);
                     break;

@@ -10,11 +10,132 @@
 //! * **Soundness** — a nonzero vector of support `≤ d` fingerprints to
 //!   zero with probability at most `d / (2^61 - 1)` over the choice of
 //!   `z` (Schwartz–Zippel).
+//!
+//! The family randomness (the evaluation point and its derived power
+//! tables) lives in a [`FingerprintFamily`], seeded **once** and
+//! shared by every accumulator of the family — the columnar sketch
+//! arena holds one family per sketch copy and stores only the bare
+//! field accumulators per cell.
 
 use crate::field::{M61, P};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
+
+/// Number of radix-256 digit tables covering a full `u64` exponent.
+const RADIX_BLOCKS: usize = 8;
+
+/// The shared randomness of a fingerprint family: the evaluation
+/// point `z` and precomputed power tables.
+///
+/// `z^index` is assembled from radix-256 digit tables
+/// (`pow[b][d] = z^(d · 256^b)`), so a term costs one multiplication
+/// per **nonzero byte** of the index — at most 8, and 3 for the
+/// `n² ≤ 2^48`-sized edge spaces with `n ≤ 2^12` the graph sketches
+/// use. Bounded constructors build tables only for the bytes their
+/// exponent range can reach, so the many small per-partition
+/// samplers of the matching layer don't pay the full-`u64` table.
+/// The tables are derived state: the MPC memory accounting counts
+/// `z` once per family, like the hash coefficients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FingerprintFamily {
+    /// Random evaluation point shared by all mergeable accumulators.
+    z: M61,
+    /// `pow[b][d] = z^(d << (8b))` for `d < 256`, one block per
+    /// exponent byte the family's range can reach.
+    pow: Vec<[M61; 256]>,
+}
+
+/// Radix blocks needed to cover exponents in `[0, max_exponent]`.
+fn blocks_for(max_exponent: u64) -> usize {
+    (((64 - max_exponent.leading_zeros()) as usize).div_ceil(8)).max(1)
+}
+
+impl FingerprintFamily {
+    /// Draws a family with a random evaluation point from `rng`,
+    /// covering the full `u64` exponent range.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Self::with_blocks(rng, RADIX_BLOCKS)
+    }
+
+    fn with_blocks<R: Rng + ?Sized>(rng: &mut R, blocks: usize) -> Self {
+        // Avoid z = 0 which would ignore every coordinate but 0. The
+        // draw happens before any table building, so bounded and
+        // unbounded families of one seed share the evaluation point.
+        let z = M61::new(rng.gen_range(2..P));
+        let mut pow = vec![[M61::ZERO; 256]; blocks];
+        // base_b = z^(256^b), by repeated squaring across blocks.
+        let mut base = z;
+        for block in pow.iter_mut() {
+            let mut acc = M61::ONE;
+            for slot in block.iter_mut() {
+                *slot = acc;
+                acc *= base;
+            }
+            // acc is now base^256 = z^(256^(b+1)).
+            base = acc;
+        }
+        FingerprintFamily { z, pow }
+    }
+
+    /// Draws a family deterministically from a seed, covering the
+    /// full `u64` exponent range.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        FingerprintFamily::new(&mut rng)
+    }
+
+    /// Draws a family deterministically from a seed with power
+    /// tables covering only exponents in `[0, max_exponent]` — same
+    /// evaluation point as [`FingerprintFamily::from_seed`], smaller
+    /// derived state. Terms beyond the coverage stay correct via the
+    /// [`FingerprintFamily::term`] ladder fallback.
+    pub fn from_seed_bounded(seed: u64, max_exponent: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self::with_blocks(&mut rng, blocks_for(max_exponent))
+    }
+
+    /// The family's evaluation point (families merge iff it matches).
+    #[inline]
+    pub fn point(&self) -> M61 {
+        self.z
+    }
+
+    /// `z^index` — one table multiplication per nonzero index byte.
+    ///
+    /// Exponents beyond a bounded family's table coverage fall back
+    /// to the square-and-multiply ladder (same value, slower): the
+    /// one-sparse decoder probes *candidate* indices `index_sum /
+    /// value_sum`, which for not-one-sparse cells can lie far outside
+    /// the family's coordinate space.
+    #[inline]
+    pub fn term(&self, index: u64) -> M61 {
+        let covered = self.pow.len() * 8;
+        if covered < 64 && (index >> covered) != 0 {
+            return self.z.pow(index);
+        }
+        let mut acc = M61::ONE;
+        let mut i = index;
+        let mut block = 0usize;
+        while i != 0 {
+            let byte = (i & 0xff) as usize;
+            if byte != 0 {
+                acc *= self.pow[block][byte];
+            }
+            i >>= 8;
+            block += 1;
+        }
+        acc
+    }
+
+    /// The fingerprint a one-sparse vector with value `weight` at
+    /// `index` would have — the one-sparse recovery test's right-hand
+    /// side.
+    #[inline]
+    pub fn expected_one_sparse(&self, index: u64, weight: i64) -> M61 {
+        self.term(index) * M61::from_i64(weight)
+    }
+}
 
 /// A running fingerprint `Σ_i X_i · z^i` of an implicitly maintained
 /// integer vector `X`, updated coordinate-wise.
@@ -33,34 +154,19 @@ use std::sync::Arc;
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Fingerprint {
-    /// Random evaluation point shared by all mergeable instances.
-    z: M61,
+    /// Shared family randomness (evaluation point + power tables).
+    family: Arc<FingerprintFamily>,
     /// Accumulated value `Σ X_i z^i`.
     acc: M61,
-    /// `z^(2^j)` for `j < 64`, shared across the family so every
-    /// `z^i` costs only `popcount(i)` multiplications instead of a
-    /// full square-and-multiply ladder — total over all of `u64`,
-    /// like the `z.pow` ladder it replaces. (Derived state: counted
-    /// once per family in the MPC memory accounting, like `z`.)
-    pow2: Arc<[M61; 64]>,
 }
 
 impl Fingerprint {
     /// Creates a fingerprint with a random evaluation point drawn from
     /// `rng` and a zero accumulator.
     pub fn new<R: Rng + ?Sized>(rng: &mut R) -> Self {
-        // Avoid z = 0 which would ignore every coordinate but 0.
-        let z = M61::new(rng.gen_range(2..P));
-        let mut pow2 = [M61::ZERO; 64];
-        let mut acc = z;
-        for slot in pow2.iter_mut() {
-            *slot = acc;
-            acc = acc * acc;
-        }
         Fingerprint {
-            z,
+            family: Arc::new(FingerprintFamily::new(rng)),
             acc: M61::ZERO,
-            pow2: Arc::new(pow2),
         }
     }
 
@@ -75,24 +181,21 @@ impl Fingerprint {
     /// point may be merged.
     pub fn fresh(&self) -> Self {
         Fingerprint {
-            z: self.z,
+            family: Arc::clone(&self.family),
             acc: M61::ZERO,
-            pow2: Arc::clone(&self.pow2),
         }
     }
 
-    /// `z^index` via the shared power table —
-    /// `popcount(index)` multiplications.
+    /// The shared family randomness.
+    #[inline]
+    pub fn family(&self) -> &Arc<FingerprintFamily> {
+        &self.family
+    }
+
+    /// `z^index` via the shared power tables.
     #[inline]
     pub fn term(&self, index: u64) -> M61 {
-        let mut acc = M61::ONE;
-        let mut i = index;
-        while i != 0 {
-            let j = i.trailing_zeros();
-            acc *= self.pow2[j as usize];
-            i &= i - 1;
-        }
-        acc
+        self.family.term(index)
     }
 
     /// Applies `X[index] += delta`.
@@ -107,11 +210,7 @@ impl Fingerprint {
     /// sketches of an edge).
     #[inline]
     pub fn apply_term(&mut self, term: M61, delta: i64) {
-        match delta {
-            1 => self.acc += term,
-            -1 => self.acc -= term,
-            d => self.acc += term * M61::from_i64(d),
-        }
+        self.acc = accumulate(self.acc, term, delta);
     }
 
     /// Merges another fingerprint of the same family (vector
@@ -123,7 +222,7 @@ impl Fingerprint {
     #[inline]
     pub fn merge(&mut self, other: &Fingerprint) {
         assert_eq!(
-            self.z, other.z,
+            self.family.z, other.family.z,
             "cannot merge fingerprints with different evaluation points"
         );
         self.acc += other.acc;
@@ -147,7 +246,18 @@ impl Fingerprint {
     /// is the one-sparse recovery test.
     #[inline]
     pub fn expected_one_sparse(&self, index: u64, weight: i64) -> M61 {
-        self.term(index) * M61::from_i64(weight)
+        self.family.expected_one_sparse(index, weight)
+    }
+}
+
+/// Folds `acc += term · delta` with fast paths for the `±1` deltas
+/// the graph sketches emit almost exclusively.
+#[inline]
+pub fn accumulate(acc: M61, term: M61, delta: i64) -> M61 {
+    match delta {
+        1 => acc + term,
+        -1 => acc - term,
+        d => acc + term * M61::from_i64(d),
     }
 }
 
@@ -208,6 +318,65 @@ mod tests {
             // mistaken for one-sparse value 2 at index 10.
             assert_ne!(f.value(), f.expected_one_sparse(10, 2), "seed {seed}");
         }
+    }
+
+    #[test]
+    fn radix_terms_match_square_and_multiply() {
+        // The table-assembled z^i must equal the plain power ladder on
+        // arbitrary exponents, including multi-byte ones.
+        let fam = FingerprintFamily::from_seed(99);
+        let z = fam.point();
+        for i in [
+            0u64,
+            1,
+            7,
+            255,
+            256,
+            257,
+            65535,
+            65536,
+            1 << 24,
+            (1 << 48) - 3,
+        ] {
+            assert_eq!(fam.term(i), z.pow(i), "exponent {i}");
+        }
+    }
+
+    #[test]
+    fn bounded_family_matches_unbounded_in_range() {
+        // Same seed → same evaluation point and identical terms over
+        // the covered range, with proportionally smaller tables.
+        let full = FingerprintFamily::from_seed(321);
+        let bounded = FingerprintFamily::from_seed_bounded(321, (1 << 20) - 1);
+        assert_eq!(full.point(), bounded.point());
+        for i in [0u64, 1, 255, 256, 65535, 65536, (1 << 20) - 1] {
+            assert_eq!(full.term(i), bounded.term(i), "exponent {i}");
+        }
+        assert_eq!(super::blocks_for((1 << 20) - 1), 3);
+        assert_eq!(super::blocks_for(0), 1);
+        assert_eq!(super::blocks_for(u64::MAX), 8);
+    }
+
+    #[test]
+    fn bounded_family_term_beyond_coverage_falls_back() {
+        // The one-sparse decoder probes candidate indices that can
+        // exceed the coordinate space; a bounded family must answer
+        // them (via the ladder), not panic, and agree with the
+        // unbounded family.
+        let full = FingerprintFamily::from_seed(77);
+        let bounded = FingerprintFamily::from_seed_bounded(77, 255);
+        for i in [256u64, 65536, 1 << 20, u64::MAX] {
+            assert_eq!(bounded.term(i), full.term(i), "exponent {i}");
+            assert_eq!(bounded.term(i), bounded.point().pow(i), "exponent {i}");
+        }
+    }
+
+    #[test]
+    fn family_is_shared_not_copied() {
+        let a = Fingerprint::from_seed(5);
+        let b = a.fresh();
+        assert!(Arc::ptr_eq(a.family(), b.family()));
+        assert_eq!(a.family().point(), b.family().point());
     }
 
     #[test]

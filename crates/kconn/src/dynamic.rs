@@ -239,6 +239,7 @@ fn boruvka_forest(bank: &SketchBank, n: usize, ctx: &mut MpcContext) -> Vec<Edge
     let mut uf = UnionFind::new(n);
     let mut forest = Vec::new();
     let sketch_words = bank.words_per_vertex() / bank.copies().max(1) as u64;
+    let mut scratch = bank.new_scratch();
     for level in 0..bank.copies() {
         if uf.component_count() == 1 {
             break;
@@ -253,15 +254,15 @@ fn boruvka_forest(bank: &SketchBank, n: usize, ctx: &mut MpcContext) -> Vec<Edge
         let mut found: Vec<Edge> = Vec::new();
         let mut any_failed = false;
         for (_, members) in groups {
-            match bank.merged_copy(&members, level) {
-                // Never-touched members have the zero sketch: an
-                // empty cut.
-                None => {}
-                Some(s) => match s.sample() {
+            scratch.reset(level);
+            // A group with no materialized member has the zero
+            // sketch: an empty cut — nothing found, nothing failed.
+            if bank.merge_copy_into(&members, &mut scratch) > 0 {
+                match bank.sample_merged(&scratch) {
                     EdgeSample::Edge(e) => found.push(e),
                     EdgeSample::Empty => {}
                     EdgeSample::Fail => any_failed = true,
-                },
+                }
             }
         }
         ctx.sort(2 * found.len() as u64 + 1);

@@ -1,0 +1,636 @@
+//! Columnar arena storage for sketch banks.
+//!
+//! The pre-arena [`SketchBank`](crate::bank::SketchBank) was a
+//! `Vec<Option<Vec<VertexSketch>>>` — one heap column per vertex,
+//! each sketch owning its own sparse cell list and a clone of the
+//! family randomness. Every update chased four pointers and every
+//! component merge cloned whole sketches. This module flattens that
+//! grid into **one contiguous pool per bank**:
+//!
+//! * [`SketchFamily`] — the per-copy randomness (level hash +
+//!   fingerprint family), seeded **once** per copy and borrowed by
+//!   every column. Materializing a vertex costs no seeding work and
+//!   no per-sketch randomness storage.
+//! * [`SketchArena`] — all one-sparse cells of an `n × copies ×
+//!   levels` bank in one contiguous pool of interleaved 32-byte
+//!   cells (value sum + index-weighted sum + fingerprint
+//!   accumulator), keyed by a dense `(vertex block, copy, level)`
+//!   offset, plus a live-level bitmask per `(column, copy)`. A
+//!   vertex's block is appended on first touch (lazy materialization
+//!   is preserved); an update is one cache-line write at a computed
+//!   offset, and merges walk only the mask's set bits.
+//! * [`MergeScratch`] — a zero-allocation merge accumulator: one
+//!   dense struct-of-arrays column (`value_sum` / `index_sum` /
+//!   fingerprint), reused across every component merge of a
+//!   converge-cast. Merging a member streams its live cells into the
+//!   accumulator; no sketch is ever cloned.
+//!
+//! The **accounted** shape is unchanged: the MPC memory accounting
+//! still charges the paper's dense `levels × cell` layout per
+//! materialized column (see [`crate::l0::L0Sampler::words`]); the
+//! arena is the host representation of exactly that shape.
+
+use crate::l0::SampleOutcome;
+use crate::one_sparse::decode_parts;
+use mpc_hashing::field::M61;
+use mpc_hashing::fingerprint::{accumulate, FingerprintFamily};
+use mpc_hashing::kwise::KWiseHash;
+use std::sync::Arc;
+
+/// The shared randomness of one sketch copy: the geometric level hash
+/// and the fingerprint family, both derived from a single seed with
+/// the same derivation the standalone
+/// [`L0Sampler`](crate::l0::L0Sampler) uses — a family and a standalone sampler built from the
+/// same `(max_index, seed)` pair are merge-compatible.
+#[derive(Debug, Clone)]
+pub struct SketchFamily {
+    max_index: u64,
+    seed: u64,
+    levels: u32,
+    level_hash: KWiseHash,
+    fp: Arc<FingerprintFamily>,
+}
+
+impl SketchFamily {
+    /// Derives the family randomness for vectors indexed by
+    /// `[0, max_index)` from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_index == 0`.
+    pub fn new(max_index: u64, seed: u64) -> Self {
+        assert!(max_index > 0, "need a nonempty index space");
+        let levels = (64 - max_index.leading_zeros()) + 2;
+        SketchFamily {
+            max_index,
+            seed,
+            levels,
+            level_hash: KWiseHash::from_seed(2, seed ^ 0x9e37_79b9_7f4a_7c15),
+            // Power tables sized to the index space: same evaluation
+            // point as an unbounded family of this seed, fewer
+            // radix blocks (coordinates never exceed max_index - 1).
+            fp: Arc::new(FingerprintFamily::from_seed_bounded(
+                seed ^ 0x85eb_ca6b_27d4_eb4f,
+                max_index - 1,
+            )),
+        }
+    }
+
+    /// The index-space bound.
+    #[inline]
+    pub fn max_index(&self) -> u64 {
+        self.max_index
+    }
+
+    /// The seed all randomness derives from.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of geometric levels.
+    #[inline]
+    pub fn levels(&self) -> usize {
+        self.levels as usize
+    }
+
+    /// Whether two families share all randomness (same seed and
+    /// index space) — the merge-compatibility test.
+    #[inline]
+    pub fn same_family(&self, other: &SketchFamily) -> bool {
+        self.max_index == other.max_index && self.seed == other.seed
+    }
+
+    /// The geometric level coordinate `index` lives at.
+    #[inline]
+    pub fn level_of(&self, index: u64) -> usize {
+        self.level_hash.geometric_level(index, self.levels - 1) as usize
+    }
+
+    /// The fingerprint term `z^index`.
+    #[inline]
+    pub fn term(&self, index: u64) -> M61 {
+        self.fp.term(index)
+    }
+
+    /// The shared fingerprint family.
+    #[inline]
+    pub fn fingerprint(&self) -> &FingerprintFamily {
+        &self.fp
+    }
+}
+
+/// Sentinel for a never-touched vertex (no block allocated).
+const UNMATERIALIZED: u32 = u32::MAX;
+
+/// One one-sparse cell: the value sum, index-weighted sum, and
+/// fingerprint accumulator, interleaved so a cell is exactly 32
+/// bytes — one update or merge read touches a single cache line
+/// instead of three distant pool lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Cell {
+    pub(crate) index_sum: i128,
+    pub(crate) value_sum: i64,
+    pub(crate) fp: M61,
+}
+
+impl Cell {
+    pub(crate) const ZERO: Cell = Cell {
+        index_sum: 0,
+        value_sum: 0,
+        fp: M61::ZERO,
+    };
+
+    #[inline]
+    pub(crate) fn is_zero(&self) -> bool {
+        self.value_sum == 0 && self.index_sum == 0 && self.fp.is_zero()
+    }
+
+    /// Applies `X[index] += delta` given the precomputed
+    /// `weighted = index` widening and fingerprint term — the one
+    /// cell-update routine shared by the arena pool and the
+    /// standalone sampler column.
+    #[inline]
+    pub(crate) fn apply(&mut self, weighted: i128, delta: i64, term: M61) {
+        self.value_sum += delta;
+        self.index_sum += weighted * delta as i128;
+        self.fp = accumulate(self.fp, term, delta);
+    }
+
+    /// Adds another cell of the same family (vector addition).
+    #[inline]
+    pub(crate) fn absorb(&mut self, other: &Cell) {
+        self.value_sum += other.value_sum;
+        self.index_sum += other.index_sum;
+        self.fp += other.fp;
+    }
+}
+
+/// The contiguous cell pool of a whole sketch bank: `copies`
+/// families and, per materialized vertex, one dense block of
+/// `copies × levels` interleaved 32-byte cells.
+#[derive(Debug, Clone)]
+pub struct SketchArena {
+    copies: usize,
+    levels: usize,
+    families: Vec<SketchFamily>,
+    /// Block index per vertex ([`UNMATERIALIZED`] until first touch).
+    base: Vec<u32>,
+    cells: Vec<Cell>,
+    /// One live-level bitmask per `(vertex block, copy)`: bit `l` is
+    /// set iff cell `l` of that column is nonzero. Merges walk only
+    /// set bits, so a component merge touches live cells instead of
+    /// the whole dense column. Maintained only while `levels ≤ 64`
+    /// (always, for the `≤ 2^62`-sized index spaces the graph
+    /// sketches use); wider columns fall back to full scans.
+    live: Vec<u64>,
+}
+
+impl SketchArena {
+    /// Creates an empty arena for `n` vertices with `copies`
+    /// independent families over `[0, max_index)`; copy `i` derives
+    /// from `seed + i` (so copies merge across vertices but are
+    /// independent across copy indices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `copies == 0` or `max_index == 0`.
+    pub fn new(n: usize, copies: usize, max_index: u64, seed: u64) -> Self {
+        assert!(copies >= 1, "need at least one sketch copy");
+        let families: Vec<SketchFamily> = (0..copies)
+            .map(|i| SketchFamily::new(max_index, seed + i as u64))
+            .collect();
+        let levels = families[0].levels();
+        SketchArena {
+            copies,
+            levels,
+            families,
+            base: vec![UNMATERIALIZED; n],
+            cells: Vec::new(),
+            live: Vec::new(),
+        }
+    }
+
+    /// Whether live-level masks are maintained (see
+    /// [`SketchArena::live`]).
+    #[inline]
+    fn masked(&self) -> bool {
+        self.levels <= 64
+    }
+
+    /// Number of independent copies.
+    #[inline]
+    pub fn copies(&self) -> usize {
+        self.copies
+    }
+
+    /// Geometric levels per copy.
+    #[inline]
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// The family randomness of copy `copy`.
+    #[inline]
+    pub fn family(&self, copy: usize) -> &SketchFamily {
+        &self.families[copy]
+    }
+
+    /// Cells per vertex block.
+    #[inline]
+    fn block(&self) -> usize {
+        self.copies * self.levels
+    }
+
+    /// Whether vertex `v` has a live cell block.
+    #[inline]
+    pub fn is_materialized(&self, v: u32) -> bool {
+        self.base[v as usize] != UNMATERIALIZED
+    }
+
+    /// Ensures vertex `v` has a cell block, returning `true` if one
+    /// was newly appended.
+    pub fn materialize(&mut self, v: u32) -> bool {
+        if self.is_materialized(v) {
+            return false;
+        }
+        let blocks = self.cells.len() / self.block();
+        self.base[v as usize] = blocks as u32;
+        let new_len = self.cells.len() + self.block();
+        self.cells.resize(new_len, Cell::ZERO);
+        if self.masked() {
+            self.live.resize((blocks + 1) * self.copies, 0);
+        }
+        true
+    }
+
+    /// Applies one cell write at pool offset `s` and keeps the
+    /// live-level mask of `(block base `mask_at`, level)` current.
+    #[inline]
+    fn write_cell(
+        &mut self,
+        s: usize,
+        mask_at: usize,
+        level: usize,
+        weighted: i128,
+        delta: i64,
+        term: M61,
+    ) {
+        self.cells[s].apply(weighted, delta, term);
+        if self.masked() {
+            let bit = 1u64 << level;
+            if self.cells[s].is_zero() {
+                self.live[mask_at] &= !bit;
+            } else {
+                self.live[mask_at] |= bit;
+            }
+        }
+    }
+
+    /// Mask-vector offset of `(v, copy)`.
+    #[inline]
+    fn mask_slot(&self, v: u32, copy: usize) -> usize {
+        self.base[v as usize] as usize * self.copies + copy
+    }
+
+    /// Pool offset of cell `(v, copy, level)`; `v` must be
+    /// materialized.
+    #[inline]
+    fn slot(&self, v: u32, copy: usize, level: usize) -> usize {
+        debug_assert!(self.is_materialized(v), "vertex {v} not materialized");
+        self.base[v as usize] as usize * self.block() + copy * self.levels + level
+    }
+
+    /// Applies `X_v[index] += delta` to **all** copies of vertex `v`'s
+    /// column (one level/term evaluation per copy). The vertex must be
+    /// materialized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is outside the family index space.
+    pub fn update(&mut self, v: u32, index: u64, delta: i64) {
+        assert!(
+            index < self.families[0].max_index,
+            "index {index} out of range {}",
+            self.families[0].max_index
+        );
+        let weighted = index as i128;
+        for copy in 0..self.copies {
+            let family = &self.families[copy];
+            let level = family.level_of(index);
+            let term = family.term(index);
+            let s = self.slot(v, copy, level);
+            let m = self.mask_slot(v, copy);
+            self.write_cell(s, m, level, weighted, delta, term);
+        }
+    }
+
+    /// Applies `X_a[index] += delta_a` and `X_b[index] += delta_b` to
+    /// all copies of two distinct vertices' columns, evaluating the
+    /// level hash and the fingerprint term **once per copy** for the
+    /// pair — the edge-update fast path. Both vertices must be
+    /// materialized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or `a == b`.
+    pub fn update_pair(&mut self, a: u32, b: u32, index: u64, delta_a: i64, delta_b: i64) {
+        assert!(
+            index < self.families[0].max_index,
+            "index {index} out of range {}",
+            self.families[0].max_index
+        );
+        assert_ne!(a, b, "pair update requires distinct vertices");
+        let weighted = index as i128;
+        for copy in 0..self.copies {
+            let family = &self.families[copy];
+            let level = family.level_of(index);
+            let term = family.term(index);
+            let sa = self.slot(a, copy, level);
+            let ma = self.mask_slot(a, copy);
+            self.write_cell(sa, ma, level, weighted, delta_a, term);
+            let sb = self.slot(b, copy, level);
+            let mb = self.mask_slot(b, copy);
+            self.write_cell(sb, mb, level, weighted, delta_b, term);
+        }
+    }
+
+    /// The raw cell triple at `(v, copy, level)` (zero for
+    /// unmaterialized vertices).
+    #[inline]
+    pub fn cell(&self, v: u32, copy: usize, level: usize) -> (i64, i128, M61) {
+        if !self.is_materialized(v) {
+            return (0, 0, M61::ZERO);
+        }
+        let s = self.slot(v, copy, level);
+        let c = &self.cells[s];
+        (c.value_sum, c.index_sum, c.fp)
+    }
+
+    /// Queries one vertex column at one copy, without materializing
+    /// anything: scan levels from sparsest down, return the first
+    /// one-sparse recovery.
+    pub fn sample_column(&self, v: u32, copy: usize) -> SampleOutcome {
+        if !self.is_materialized(v) {
+            return SampleOutcome::Zero;
+        }
+        let start = self.slot(v, copy, 0);
+        sample_cell_slice(
+            &self.cells[start..start + self.levels],
+            &self.families[copy],
+        )
+    }
+
+    /// A merge accumulator sized for this arena's columns. Allocate
+    /// once per cascade and reuse it for every component merge.
+    pub fn new_scratch(&self) -> MergeScratch {
+        MergeScratch {
+            copy: 0,
+            absorbed: 0,
+            value_sum: vec![0; self.levels],
+            index_sum: vec![0; self.levels],
+            fp: vec![M61::ZERO; self.levels],
+        }
+    }
+
+    /// Accumulates copy `scratch.copy()` of every **materialized**
+    /// member column into `scratch` (never-touched vertices are the
+    /// zero sketch and are skipped), returning how many columns were
+    /// absorbed. Call [`MergeScratch::reset`] before the first member
+    /// set of each merge; repeated calls accumulate — that is how a
+    /// supernode sums its member pieces without intermediate clones.
+    pub fn merge_into(&self, members: &[u32], scratch: &mut MergeScratch) -> usize {
+        let copy = scratch.copy;
+        assert!(copy < self.copies, "copy {copy} out of range");
+        let mut absorbed = 0usize;
+        for &v in members {
+            if !self.is_materialized(v) {
+                continue;
+            }
+            let start = self.slot(v, copy, 0);
+            if self.masked() {
+                // Walk only the live levels of this column — one
+                // cache line per live cell.
+                let mut mask = self.live[self.mask_slot(v, copy)];
+                while mask != 0 {
+                    let l = mask.trailing_zeros() as usize;
+                    mask &= mask - 1;
+                    let c = &self.cells[start + l];
+                    scratch.value_sum[l] += c.value_sum;
+                    scratch.index_sum[l] += c.index_sum;
+                    scratch.fp[l] += c.fp;
+                }
+            } else {
+                for l in 0..self.levels {
+                    let c = &self.cells[start + l];
+                    scratch.value_sum[l] += c.value_sum;
+                    scratch.index_sum[l] += c.index_sum;
+                    scratch.fp[l] += c.fp;
+                }
+            }
+            absorbed += 1;
+        }
+        scratch.absorbed += absorbed;
+        absorbed
+    }
+
+    /// Queries the accumulated set sketch in `scratch`.
+    pub fn sample_scratch(&self, scratch: &MergeScratch) -> SampleOutcome {
+        sample_cells(
+            &scratch.value_sum,
+            &scratch.index_sum,
+            &scratch.fp,
+            &self.families[scratch.copy],
+        )
+    }
+}
+
+/// One dense reusable merge column (`levels` cells) plus the copy it
+/// is bound to. Created by [`SketchArena::new_scratch`] /
+/// [`SketchBank::new_scratch`](crate::bank::SketchBank::new_scratch).
+#[derive(Debug, Clone)]
+pub struct MergeScratch {
+    copy: usize,
+    absorbed: usize,
+    pub(crate) value_sum: Vec<i64>,
+    pub(crate) index_sum: Vec<i128>,
+    pub(crate) fp: Vec<M61>,
+}
+
+impl MergeScratch {
+    /// Rebinds the accumulator to `copy` and zeroes every cell —
+    /// call before each new component merge.
+    pub fn reset(&mut self, copy: usize) {
+        self.copy = copy;
+        self.absorbed = 0;
+        self.value_sum.fill(0);
+        self.index_sum.fill(0);
+        self.fp.fill(M61::ZERO);
+    }
+
+    /// The copy index this accumulator is bound to.
+    #[inline]
+    pub fn copy(&self) -> usize {
+        self.copy
+    }
+
+    /// Total member columns absorbed since the last reset.
+    #[inline]
+    pub fn absorbed(&self) -> usize {
+        self.absorbed
+    }
+}
+
+/// The one dense-column query routine: scan from the sparsest
+/// (highest) level down, skip cancelled cells, return the first
+/// one-sparse recovery; `Zero` iff every cell is zero, `Fail` if
+/// nonzero cells exist but none decodes. `cell_at` abstracts the
+/// storage layout (interleaved arena cells vs parallel slices).
+fn sample_with(
+    levels: usize,
+    cell_at: impl Fn(usize) -> (i64, i128, M61),
+    family: &SketchFamily,
+) -> SampleOutcome {
+    let mut any_nonzero = false;
+    for l in (0..levels).rev() {
+        let (value_sum, index_sum, fp) = cell_at(l);
+        if value_sum == 0 && index_sum == 0 && fp.is_zero() {
+            continue;
+        }
+        any_nonzero = true;
+        if let crate::one_sparse::OneSparseDecode::One { index, weight } =
+            decode_parts(value_sum, index_sum, fp, |i, w| {
+                family.fingerprint().expected_one_sparse(i, w)
+            })
+        {
+            return SampleOutcome::Sample { index, weight };
+        }
+    }
+    if any_nonzero {
+        SampleOutcome::Fail
+    } else {
+        SampleOutcome::Zero
+    }
+}
+
+/// Samples a dense interleaved cell column (the arena's storage and
+/// the standalone sampler).
+pub(crate) fn sample_cell_slice(cells: &[Cell], family: &SketchFamily) -> SampleOutcome {
+    sample_with(
+        cells.len(),
+        |l| {
+            let c = &cells[l];
+            (c.value_sum, c.index_sum, c.fp)
+        },
+        family,
+    )
+}
+
+/// Samples a dense cell column held as parallel slices (the scratch
+/// accumulator and the standalone sampler).
+pub(crate) fn sample_cells(
+    value_sum: &[i64],
+    index_sum: &[i128],
+    fp: &[M61],
+    family: &SketchFamily,
+) -> SampleOutcome {
+    sample_with(
+        value_sum.len(),
+        |l| (value_sum[l], index_sum[l], fp[l]),
+        family,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_matches_standalone_sampler_derivation() {
+        // A family and a standalone sampler from the same pair must
+        // agree on every level and term — merge compatibility.
+        use crate::l0::L0Sampler;
+        let family = SketchFamily::new(1 << 16, 42);
+        let sampler = L0Sampler::new(1 << 16, 42);
+        assert_eq!(family.levels(), sampler.levels());
+        for i in [0u64, 1, 999, 65535] {
+            let mut a = sampler.fresh();
+            let mut b = sampler.fresh();
+            a.update(i, 1);
+            L0Sampler::update_pair(&mut b, &mut sampler.fresh(), i, 1, -1);
+            assert_eq!(a, b, "index {i}");
+        }
+    }
+
+    #[test]
+    fn lazy_blocks_and_pair_updates() {
+        let mut arena = SketchArena::new(8, 3, 64, 7);
+        assert!(!arena.is_materialized(2));
+        assert!(arena.materialize(2));
+        assert!(!arena.materialize(2));
+        arena.materialize(5);
+        arena.update_pair(2, 5, 17, 1, -1);
+        assert_eq!(
+            arena.sample_column(2, 0),
+            SampleOutcome::Sample {
+                index: 17,
+                weight: 1
+            }
+        );
+        assert_eq!(
+            arena.sample_column(5, 1),
+            SampleOutcome::Sample {
+                index: 17,
+                weight: -1
+            }
+        );
+        assert_eq!(arena.sample_column(7, 0), SampleOutcome::Zero);
+    }
+
+    #[test]
+    fn scratch_merge_cancels_opposite_columns() {
+        let mut arena = SketchArena::new(4, 2, 1 << 10, 3);
+        arena.materialize(0);
+        arena.materialize(1);
+        arena.update_pair(0, 1, 100, 1, -1);
+        arena.update(0, 200, 1);
+        let mut scratch = arena.new_scratch();
+        scratch.reset(1);
+        assert_eq!(arena.merge_into(&[0, 1, 3], &mut scratch), 2);
+        assert_eq!(scratch.absorbed(), 2);
+        // The {0,1}-internal coordinate 100 cancels; 200 survives.
+        assert_eq!(
+            arena.sample_scratch(&scratch),
+            SampleOutcome::Sample {
+                index: 200,
+                weight: 1
+            }
+        );
+        // A vertex whose updates cancel back to zero samples Zero.
+        arena.materialize(2);
+        arena.update(2, 200, -1);
+        arena.update(2, 200, 1);
+        assert_eq!(arena.sample_column(2, 1), SampleOutcome::Zero);
+    }
+
+    #[test]
+    fn reset_rebinds_copy() {
+        let mut arena = SketchArena::new(4, 2, 1 << 10, 9);
+        arena.materialize(0);
+        arena.update(0, 5, 1);
+        let mut scratch = arena.new_scratch();
+        scratch.reset(0);
+        arena.merge_into(&[0], &mut scratch);
+        assert!(matches!(
+            arena.sample_scratch(&scratch),
+            SampleOutcome::Sample {
+                index: 5,
+                weight: 1
+            }
+        ));
+        scratch.reset(1);
+        assert_eq!(scratch.absorbed(), 0);
+        assert_eq!(scratch.copy(), 1);
+        assert_eq!(arena.sample_scratch(&scratch), SampleOutcome::Zero);
+    }
+}

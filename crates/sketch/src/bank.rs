@@ -4,12 +4,22 @@
 //! `t = Θ(log n)` **independent** sketches per vertex and consumes
 //! copy `i` only in Borůvka level `i` of the replacement-edge search,
 //! so every level queries randomness it has never revealed. The bank
-//! manages the `n × t` grid of [`VertexSketch`]es, lazily
-//! materializing them (a vertex with no incident updates costs
-//! nothing) and reporting exact word counts for the MPC memory
-//! accounting.
+//! manages the `n × t` grid of vertex sketches, lazily materializing
+//! columns (a vertex with no incident updates costs nothing) and
+//! reporting exact word counts for the MPC memory accounting.
+//!
+//! **Storage** is the columnar [`SketchArena`]: one contiguous pool
+//! of interleaved one-sparse cells for the whole bank, one
+//! [`SketchFamily`](crate::arena::SketchFamily) per copy (the family
+//! randomness is seeded once, not once per materialized sketch), and
+//! a reusable [`MergeScratch`] accumulator so the Borůvka
+//! converge-cast merges component columns without cloning a single
+//! sketch. See the [`arena`](crate::arena) module docs for the
+//! layout.
 
-use crate::vertex::VertexSketch;
+use crate::arena::{MergeScratch, SketchArena};
+use crate::l0::L0Sampler;
+use crate::vertex::{EdgeSample, VertexSketch};
 use mpc_graph::ids::{Edge, VertexId};
 
 /// A bank of `t` independent sketch copies for each of `n` vertices.
@@ -23,20 +33,17 @@ use mpc_graph::ids::{Edge, VertexId};
 ///
 /// let mut bank = SketchBank::new(16, 3, 99);
 /// bank.insert_edge(Edge::new(1, 2));
-/// let s = bank.sketch(1, 0).expect("materialized");
-/// assert_eq!(s.sample(), EdgeSample::Edge(Edge::new(1, 2)));
+/// assert_eq!(bank.sample_vertex(1, 0), EdgeSample::Edge(Edge::new(1, 2)));
 /// ```
 #[derive(Debug, Clone)]
 pub struct SketchBank {
     n: usize,
     copies: usize,
-    /// One prototype sketch per copy: the family randomness (level
-    /// hashes, fingerprint points and power tables) is seeded once
-    /// here and shared by every materialized vertex column.
-    protos: Vec<VertexSketch>,
-    /// `slots[v]` is `None` until vertex `v` sees its first update.
-    slots: Vec<Option<Vec<VertexSketch>>>,
+    arena: SketchArena,
     words: u64,
+    /// Cached per-column word cost (computed once at construction —
+    /// every column has identical accounted shape).
+    words_per_vertex: u64,
 }
 
 impl SketchBank {
@@ -50,15 +57,17 @@ impl SketchBank {
     /// Panics if `copies == 0`.
     pub fn new(n: usize, copies: usize, seed: u64) -> Self {
         assert!(copies >= 1, "need at least one sketch copy");
-        let protos = (0..copies)
-            .map(|i| VertexSketch::new(n, 0, seed + i as u64))
-            .collect();
+        let arena = SketchArena::new(n, copies, (n as u64) * (n as u64), seed);
+        // Accounted column cost, probed once from a template sketch
+        // (every column has identical accounted shape — this is the
+        // expression the pre-arena code recomputed per call).
+        let words_per_vertex = VertexSketch::new(n, 0, 0).words() * copies as u64;
         SketchBank {
             n,
             copies,
-            protos,
-            slots: vec![None; n],
+            arena,
             words: 0,
+            words_per_vertex,
         }
     }
 
@@ -72,20 +81,15 @@ impl SketchBank {
         self.words
     }
 
-    /// Words one vertex's full sketch column costs when materialized.
+    /// Words one vertex's full sketch column costs when materialized
+    /// (cached at construction; all columns have identical shape).
     pub fn words_per_vertex(&self) -> u64 {
-        // All sketches have identical shape; probe a template.
-        VertexSketch::new(self.n, 0, 0).words() * self.copies as u64
+        self.words_per_vertex
     }
 
-    fn materialize(&mut self, v: VertexId) -> &mut Vec<VertexSketch> {
-        let slot = &mut self.slots[v as usize];
-        if slot.is_none() {
-            let col: Vec<VertexSketch> = self.protos.iter().map(|p| p.fresh_for(v)).collect();
-            self.words += col.iter().map(VertexSketch::words).sum::<u64>();
-            *slot = Some(col);
-        }
-        slot.as_mut().expect("just materialized")
+    /// The underlying columnar arena (read-only).
+    pub fn arena(&self) -> &SketchArena {
+        &self.arena
     }
 
     /// Records an edge insertion in **both** endpoints' sketch
@@ -101,44 +105,104 @@ impl SketchBank {
     }
 
     fn update_edge(&mut self, e: Edge, delta: i64) {
-        self.materialize(e.u());
-        self.materialize(e.v());
-        let (u, v) = (e.u() as usize, e.v() as usize);
-        // Edge endpoints are distinct and normalized u < v.
-        let (lo, hi) = self.slots.split_at_mut(v);
-        let col_u = lo[u].as_mut().expect("just materialized");
-        let col_v = hi[0].as_mut().expect("just materialized");
-        for (su, sv) in col_u.iter_mut().zip(col_v.iter_mut()) {
-            VertexSketch::update_edge_pair(su, sv, e, delta);
+        if self.arena.materialize(e.u()) {
+            self.words += self.words_per_vertex;
         }
-    }
-
-    /// Copy `i` of vertex `v`'s sketch, if materialized. An
-    /// unmaterialized vertex has the zero sketch.
-    pub fn sketch(&self, v: VertexId, copy: usize) -> Option<&VertexSketch> {
-        self.slots[v as usize].as_ref().map(|col| &col[copy])
+        if self.arena.materialize(e.v()) {
+            self.words += self.words_per_vertex;
+        }
+        // Sign convention (Lemma 3.3): the larger endpoint carries
+        // `+delta` at the edge coordinate, the smaller `-delta`.
+        self.arena
+            .update_pair(e.v(), e.u(), e.index(self.n), delta, -delta);
     }
 
     /// Whether vertex `v` has ever been touched by an update.
     pub fn is_materialized(&self, v: VertexId) -> bool {
-        self.slots[v as usize].is_some()
+        self.arena.is_materialized(v)
     }
 
-    /// Merges copy `copy` of every vertex in `members` into one set
-    /// sketch (the sketch of `X_A` for `A = members`), skipping
-    /// never-touched vertices (their sketches are zero). Returns
-    /// `None` if no member was ever touched.
-    pub fn merged_copy(&self, members: &[VertexId], copy: usize) -> Option<VertexSketch> {
-        let mut acc: Option<VertexSketch> = None;
-        for &v in members {
-            if let Some(s) = self.sketch(v, copy) {
-                match &mut acc {
-                    None => acc = Some(s.clone()),
-                    Some(a) => a.merge(s),
-                }
-            }
+    /// Samples copy `copy` of vertex `v`'s own cut directly from the
+    /// arena column (an unmaterialized vertex has the empty cut).
+    pub fn sample_vertex(&self, v: VertexId, copy: usize) -> EdgeSample {
+        crate::vertex::edge_sample_from(self.arena.sample_column(v, copy), self.n)
+    }
+
+    /// Materializes copy `copy` of vertex `v` as a standalone
+    /// [`VertexSketch`] (a copy of the column — for interop and
+    /// tests; hot paths read the arena directly). `None` if `v` was
+    /// never touched.
+    pub fn vertex_sketch(&self, v: VertexId, copy: usize) -> Option<VertexSketch> {
+        if !self.arena.is_materialized(v) {
+            return None;
         }
-        acc
+        let levels = self.arena.levels();
+        let mut value_sum = Vec::with_capacity(levels);
+        let mut index_sum = Vec::with_capacity(levels);
+        let mut fp = Vec::with_capacity(levels);
+        for l in 0..levels {
+            let (vs, is, f) = self.arena.cell(v, copy, l);
+            value_sum.push(vs);
+            index_sum.push(is);
+            fp.push(f);
+        }
+        let inner = L0Sampler::from_raw(self.arena.family(copy).clone(), value_sum, index_sum, fp);
+        Some(VertexSketch::from_inner(self.n, v, inner))
+    }
+
+    /// A merge accumulator sized for this bank's columns. Allocate
+    /// once per cascade (or per structure) and reuse it across every
+    /// component merge — the zero-allocation replacement for cloning
+    /// a sketch per component member.
+    pub fn new_scratch(&self) -> MergeScratch {
+        self.arena.new_scratch()
+    }
+
+    /// Accumulates copy `scratch.copy()` of every materialized member
+    /// column into `scratch`, returning how many columns were
+    /// absorbed (0 means every member is untouched, i.e. the merged
+    /// sketch is the zero sketch of an empty vertex set — the
+    /// `None` of [`SketchBank::merged_copy`]). Call
+    /// [`MergeScratch::reset`] before each new component; repeated
+    /// calls accumulate, which is how a supernode sums several
+    /// pieces' member lists without intermediate sketches.
+    pub fn merge_copy_into(&self, members: &[VertexId], scratch: &mut MergeScratch) -> usize {
+        self.arena.merge_into(members, scratch)
+    }
+
+    /// Samples the set sketch accumulated in `scratch` (the cut of
+    /// the merged vertex set, Lemma 3.3).
+    pub fn sample_merged(&self, scratch: &MergeScratch) -> EdgeSample {
+        crate::vertex::edge_sample_from(self.arena.sample_scratch(scratch), self.n)
+    }
+
+    /// Merges copy `copy` of every vertex in `members` into one
+    /// standalone set sketch (the sketch of `X_A` for `A = members`),
+    /// skipping never-touched vertices (their sketches are zero).
+    /// Returns `None` if no member was ever touched.
+    ///
+    /// This materializes a [`VertexSketch`]; the round-trip-free path
+    /// for hot loops is [`SketchBank::merge_copy_into`] +
+    /// [`SketchBank::sample_merged`].
+    pub fn merged_copy(&self, members: &[VertexId], copy: usize) -> Option<VertexSketch> {
+        let mut scratch = self.new_scratch();
+        scratch.reset(copy);
+        if self.merge_copy_into(members, &mut scratch) == 0 {
+            return None;
+        }
+        let rep = members
+            .iter()
+            .copied()
+            .find(|&v| self.arena.is_materialized(v))
+            .expect("at least one member absorbed");
+        let MergeScratch {
+            value_sum,
+            index_sum,
+            fp,
+            ..
+        } = scratch;
+        let inner = L0Sampler::from_raw(self.arena.family(copy).clone(), value_sum, index_sum, fp);
+        Some(VertexSketch::from_inner(self.n, rep, inner))
     }
 }
 
@@ -152,6 +216,7 @@ mod tests {
         let bank = SketchBank::new(1000, 8, 1);
         assert_eq!(bank.words(), 0);
         assert!(!bank.is_materialized(42));
+        assert!(bank.vertex_sketch(42, 0).is_none());
     }
 
     #[test]
@@ -166,12 +231,28 @@ mod tests {
     }
 
     #[test]
+    fn cached_words_per_vertex_matches_probe_sketch() {
+        // The cached per-column cost must equal what a freshly seeded
+        // probe column would report — the pre-arena accounting.
+        for n in [2usize, 16, 100, 1000] {
+            let bank = SketchBank::new(n, 5, 3);
+            let probe = VertexSketch::new(n, 0, 0);
+            assert_eq!(bank.words_per_vertex(), probe.words() * 5, "n = {n}");
+        }
+    }
+
+    #[test]
     fn copies_are_independent_but_consistent() {
         let mut bank = SketchBank::new(32, 6, 9);
         let e = Edge::new(3, 7);
         bank.insert_edge(e);
         for copy in 0..6 {
-            let s = bank.sketch(3, copy).expect("materialized");
+            assert_eq!(
+                bank.sample_vertex(3, copy),
+                EdgeSample::Edge(e),
+                "copy {copy}"
+            );
+            let s = bank.vertex_sketch(3, copy).expect("materialized");
             assert_eq!(s.sample(), EdgeSample::Edge(e), "copy {copy}");
         }
     }
@@ -184,12 +265,45 @@ mod tests {
         bank.insert_edge(Edge::new(2, 9));
         let set = bank.merged_copy(&[0, 1, 2], 0).expect("touched");
         assert_eq!(set.sample(), EdgeSample::Edge(Edge::new(2, 9)));
+        // The scratch path agrees without materializing a sketch.
+        let mut scratch = bank.new_scratch();
+        scratch.reset(0);
+        assert_eq!(bank.merge_copy_into(&[0, 1, 2], &mut scratch), 3);
+        assert_eq!(
+            bank.sample_merged(&scratch),
+            EdgeSample::Edge(Edge::new(2, 9))
+        );
     }
 
     #[test]
     fn merged_copy_of_untouched_vertices_is_none() {
         let bank = SketchBank::new(32, 2, 9);
         assert!(bank.merged_copy(&[5, 6], 0).is_none());
+        let mut scratch = bank.new_scratch();
+        scratch.reset(1);
+        assert_eq!(bank.merge_copy_into(&[5, 6], &mut scratch), 0);
+        assert_eq!(bank.sample_merged(&scratch), EdgeSample::Empty);
+    }
+
+    #[test]
+    fn merged_copy_equals_fold_of_standalone_merges() {
+        // The scratch-merge path and the standalone sketch-merge path
+        // are different code over the same field operations: their
+        // results must be bit-identical.
+        let mut bank = SketchBank::new(24, 3, 31);
+        for i in 0..8u32 {
+            bank.insert_edge(Edge::new(i, i + 8));
+            bank.insert_edge(Edge::new(i, (i + 1) % 8));
+        }
+        let members: Vec<u32> = (0..8).collect();
+        for copy in 0..3 {
+            let via_scratch = bank.merged_copy(&members, copy).expect("touched");
+            let mut fold = bank.vertex_sketch(members[0], copy).expect("touched");
+            for &v in &members[1..] {
+                fold.merge(&bank.vertex_sketch(v, copy).expect("touched"));
+            }
+            assert_eq!(via_scratch, fold, "copy {copy}");
+        }
     }
 
     #[test]
@@ -201,7 +315,30 @@ mod tests {
         for copy in 0..3 {
             let merged = bank.merged_copy(&[4], copy).expect("touched");
             assert_eq!(merged.sample(), EdgeSample::Empty);
+            assert_eq!(bank.sample_vertex(4, copy), EdgeSample::Empty);
         }
+        // Churn back to zero leaves the accounted words unchanged:
+        // the column stays materialized (dense accounted shape).
+        assert_eq!(bank.words(), 2 * bank.words_per_vertex());
+    }
+
+    #[test]
+    fn scratch_accumulates_across_member_lists() {
+        // A supernode of two pieces: accumulating both member lists
+        // into one scratch equals merging the union directly.
+        let mut bank = SketchBank::new(16, 2, 5);
+        bank.insert_edge(Edge::new(0, 1));
+        bank.insert_edge(Edge::new(1, 2));
+        bank.insert_edge(Edge::new(2, 11));
+        let mut scratch = bank.new_scratch();
+        scratch.reset(0);
+        bank.merge_copy_into(&[0, 1], &mut scratch);
+        bank.merge_copy_into(&[2], &mut scratch);
+        assert_eq!(scratch.absorbed(), 3);
+        assert_eq!(
+            bank.sample_merged(&scratch),
+            EdgeSample::Edge(Edge::new(2, 11))
+        );
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //!
 //! Coordinates of an `N`-dimensional vector are assigned to geometric
 //! levels by a seeded hash (`Pr[level j] = 2^-(j+1)`); each level
-//! keeps a [`OneSparseCell`]. When the vector has `ℓ0` nonzeros, the
+//! keeps a one-sparse cell (value sum / index-weighted sum /
+//! fingerprint accumulator). When the vector has `ℓ0` nonzeros, the
 //! level `≈ log2 ℓ0` holds one surviving nonzero with constant
 //! probability, and its cell recovers it. Querying scans all levels
 //! and returns the first recovery.
@@ -11,9 +12,19 @@
 //! `δ`-failure version of Lemma 3.1 takes `O(log 1/δ)` independent
 //! copies, which is what [`SketchBank`](crate::bank::SketchBank)
 //! provides.
+//!
+//! **Storage:** the cells live in one dense per-level array of
+//! interleaved 32-byte cells — the same column layout the bank's
+//! [`SketchArena`](crate::arena::SketchArena) pool uses (and the same
+//! `Cell` update/merge routines), so an update is a computed-offset
+//! write with no search and no allocation, and the representation is
+//! canonical by construction (two permutations of one update stream
+//! produce bit-identical arrays). All family randomness lives in one
+//! shared [`SketchFamily`]. The `levels × cell` shape is also exactly
+//! what [`L0Sampler::words`] charges the MPC memory accounting.
 
-use crate::one_sparse::{OneSparseCell, OneSparseDecode};
-use mpc_hashing::kwise::KWiseHash;
+use crate::arena::{sample_cell_slice, Cell, SketchFamily};
+use mpc_hashing::field::M61;
 
 /// Outcome of querying an [`L0Sampler`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,23 +61,21 @@ pub enum SampleOutcome {
 /// a.merge(&b);
 /// assert_eq!(a.sample(), SampleOutcome::Zero);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct L0Sampler {
-    max_index: u64,
-    seed: u64,
-    levels: u32,
-    level_hash: KWiseHash,
-    /// Zero cell carrying the family randomness; live cells are
-    /// spawned from it on first touch.
-    proto: OneSparseCell,
-    /// Only the **nonzero** cells, sorted by level. A cell whose
-    /// counters all cancel back to zero is pruned, so the
-    /// representation is canonical: two samplers summarizing the same
-    /// vector compare equal regardless of update order. (The dense
-    /// `levels × cell` layout of the paper is the *accounted* shape —
-    /// see [`L0Sampler::words`]; storing the zero cells would only
-    /// waste host memory.)
-    cells: Vec<(u8, OneSparseCell)>,
+    family: SketchFamily,
+    /// Dense per-level column of interleaved one-sparse cells;
+    /// `cells[l]` is the level-`l` cell.
+    cells: Vec<Cell>,
+}
+
+/// Equality is structural over the summarized vector's cells: the
+/// dense column is canonical, so two samplers of one family that
+/// summarize the same vector are equal no matter the update order.
+impl PartialEq for L0Sampler {
+    fn eq(&self, other: &Self) -> bool {
+        self.family.same_family(&other.family) && self.cells == other.cells
+    }
 }
 
 impl L0Sampler {
@@ -77,72 +86,69 @@ impl L0Sampler {
     ///
     /// Panics if `max_index == 0`.
     pub fn new(max_index: u64, seed: u64) -> Self {
-        assert!(max_index > 0, "need a nonempty index space");
-        let levels = (64 - max_index.leading_zeros()) + 2;
-        let level_hash = KWiseHash::from_seed(2, seed ^ 0x9e37_79b9_7f4a_7c15);
-        let proto = OneSparseCell::from_seed(seed ^ 0x85eb_ca6b_27d4_eb4f);
+        Self::from_family(SketchFamily::new(max_index, seed))
+    }
+
+    /// Creates a zero sampler over an existing family's randomness.
+    pub fn from_family(family: SketchFamily) -> Self {
+        let levels = family.levels();
         L0Sampler {
-            max_index,
-            seed,
-            levels,
-            level_hash,
-            proto,
-            cells: Vec::new(),
+            family,
+            cells: vec![Cell::ZERO; levels],
         }
+    }
+
+    /// Builds a sampler directly from a family and its dense cell
+    /// column (the bank's merge paths materialize results this way).
+    pub(crate) fn from_raw(
+        family: SketchFamily,
+        value_sum: Vec<i64>,
+        index_sum: Vec<i128>,
+        fp: Vec<M61>,
+    ) -> Self {
+        debug_assert_eq!(value_sum.len(), family.levels());
+        let cells = value_sum
+            .into_iter()
+            .zip(index_sum)
+            .zip(fp)
+            .map(|((value_sum, index_sum), fp)| Cell {
+                index_sum,
+                value_sum,
+                fp,
+            })
+            .collect();
+        L0Sampler { family, cells }
     }
 
     /// The seed this sampler's randomness derives from.
     pub fn seed(&self) -> u64 {
-        self.seed
+        self.family.seed()
+    }
+
+    /// The shared family randomness.
+    pub fn family(&self) -> &SketchFamily {
+        &self.family
     }
 
     /// A zero-accumulator sampler of this sampler's family: the level
     /// hash and fingerprint randomness (including the shared power
-    /// table) are reused, so materializing many samplers of one
+    /// tables) are reused, so materializing many samplers of one
     /// family costs no seeding work.
     pub fn fresh(&self) -> L0Sampler {
-        L0Sampler {
-            max_index: self.max_index,
-            seed: self.seed,
-            levels: self.levels,
-            level_hash: self.level_hash.clone(),
-            proto: self.proto.fresh(),
-            cells: Vec::new(),
-        }
+        Self::from_family(self.family.clone())
     }
 
     /// Number of geometric levels.
     pub fn levels(&self) -> usize {
-        self.levels as usize
+        self.family.levels()
     }
 
     /// Memory footprint in `u64` words for the MPC accounting: one
     /// one-sparse cell per level plus two header words — the paper's
-    /// dense layout, which is what the model's machines must budget
-    /// for (the sparse host representation is an implementation
-    /// detail).
+    /// dense layout, which is both what the model's machines budget
+    /// for and (since the columnar refactor) the host layout itself.
     pub fn words(&self) -> u64 {
-        self.levels as u64 * OneSparseCell::WORDS + 2
-    }
-
-    /// Sorted position of the live cell for `level`, created on
-    /// first touch.
-    fn cell_slot(&mut self, level: u8) -> usize {
-        match self.cells.binary_search_by_key(&level, |&(l, _)| l) {
-            Ok(i) => i,
-            Err(i) => {
-                self.cells.insert(i, (level, self.proto.fresh()));
-                i
-            }
-        }
-    }
-
-    /// Drops the cell at sorted position `i` if it cancelled to zero,
-    /// keeping the representation canonical.
-    fn prune_slot(&mut self, i: usize) {
-        if self.cells[i].1.is_zero() {
-            self.cells.remove(i);
-        }
+        self.family.levels() as u64 * crate::one_sparse::OneSparseCell::WORDS + 2
     }
 
     /// Applies `X[index] += delta`.
@@ -152,14 +158,13 @@ impl L0Sampler {
     /// Panics if `index >= max_index`.
     pub fn update(&mut self, index: u64, delta: i64) {
         assert!(
-            index < self.max_index,
+            index < self.family.max_index(),
             "index {index} out of range {}",
-            self.max_index
+            self.family.max_index()
         );
-        let level = self.level_hash.geometric_level(index, self.levels - 1) as u8;
-        let i = self.cell_slot(level);
-        self.cells[i].1.update(index, delta);
-        self.prune_slot(i);
+        let level = self.family.level_of(index);
+        let term = self.family.term(index);
+        self.cells[level].apply(index as i128, delta, term);
     }
 
     /// Applies `X[index] += delta_a` to `a` and `X[index] += delta_b`
@@ -179,59 +184,44 @@ impl L0Sampler {
         delta_a: i64,
         delta_b: i64,
     ) {
-        assert_eq!(
-            (a.max_index, a.seed),
-            (b.max_index, b.seed),
+        assert!(
+            a.family.same_family(&b.family),
             "pair update requires samplers of one family"
         );
-        assert!(index < a.max_index, "index {index} out of range");
-        let level = a.level_hash.geometric_level(index, a.levels - 1) as u8;
-        let term = a.proto.term(index);
-        let i = a.cell_slot(level);
-        a.cells[i].1.update_with_term(index, delta_a, term);
-        a.prune_slot(i);
-        let j = b.cell_slot(level);
-        b.cells[j].1.update_with_term(index, delta_b, term);
-        b.prune_slot(j);
+        assert!(index < a.family.max_index(), "index {index} out of range");
+        let level = a.family.level_of(index);
+        let term = a.family.term(index);
+        let weighted = index as i128;
+        a.cells[level].apply(weighted, delta_a, term);
+        b.cells[level].apply(weighted, delta_b, term);
     }
 
-    /// Merges a sampler of the same family (vector addition).
+    /// Merges a sampler of the same family (vector addition): one
+    /// straight pass over the dense columns.
     ///
     /// # Panics
     ///
     /// Panics if the families differ.
     pub fn merge(&mut self, other: &L0Sampler) {
-        assert_eq!(
-            (self.max_index, self.seed),
-            (other.max_index, other.seed),
+        assert!(
+            self.family.same_family(&other.family),
             "cannot merge l0-samplers from different families"
         );
-        for (level, cell) in &other.cells {
-            let i = self.cell_slot(*level);
-            self.cells[i].1.merge(cell);
-            self.prune_slot(i);
+        for (c, o) in self.cells.iter_mut().zip(&other.cells) {
+            c.absorb(o);
         }
     }
 
     /// Whether every cell is zero (w.h.p. the zero vector).
     pub fn is_zero(&self) -> bool {
-        self.cells.is_empty()
+        self.cells.iter().all(Cell::is_zero)
     }
 
-    /// Queries the sampler.
+    /// Queries the sampler: levels are scanned from the sparsest
+    /// (highest) down — they are the ones designed to isolate a single
+    /// survivor — and the first one-sparse recovery wins.
     pub fn sample(&self) -> SampleOutcome {
-        if self.is_zero() {
-            return SampleOutcome::Zero;
-        }
-        // Prefer high (sparse) levels: they are the ones designed to
-        // isolate a single survivor; low levels decode only for very
-        // sparse vectors, which is exactly when they are useful.
-        for (_, cell) in self.cells.iter().rev() {
-            if let OneSparseDecode::One { index, weight } = cell.decode() {
-                return SampleOutcome::Sample { index, weight };
-            }
-        }
-        SampleOutcome::Fail
+        sample_cell_slice(&self.cells, &self.family)
     }
 }
 
@@ -273,6 +263,7 @@ mod tests {
             s.update(i * 7, -1);
         }
         assert_eq!(s.sample(), SampleOutcome::Zero);
+        assert!(s.is_zero());
     }
 
     #[test]
@@ -328,6 +319,22 @@ mod tests {
             a.merge(&b);
             assert_eq!(a, direct, "trial {trial}");
         }
+    }
+
+    #[test]
+    fn update_order_is_canonical() {
+        // The dense column is a canonical representation: any
+        // permutation of one update stream yields an equal sampler.
+        let updates: Vec<(u64, i64)> = (0..40u64).map(|i| (i * 97 % 4096, 1)).collect();
+        let mut forward = L0Sampler::new(4096, 8);
+        let mut backward = L0Sampler::new(4096, 8);
+        for &(i, d) in &updates {
+            forward.update(i, d);
+        }
+        for &(i, d) in updates.iter().rev() {
+            backward.update(i, d);
+        }
+        assert_eq!(forward, backward);
     }
 
     #[test]

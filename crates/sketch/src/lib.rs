@@ -23,6 +23,29 @@
 //! (Remark 3.2). Property tests in this crate verify linearity on
 //! random update sequences.
 //!
+//! # Storage: the columnar arena
+//!
+//! A bank's `n × t × levels` cell grid lives in the [`arena`] module's
+//! [`SketchArena`]: one contiguous pool of interleaved 32-byte cells
+//! (value sum + index-weighted sum + fingerprint accumulator), a
+//! live-level bitmask per column, plus one
+//! [`arena::SketchFamily`] per copy holding the level hash and the
+//! fingerprint point with its power tables — seeded **once per copy**
+//! rather than once per materialized sketch. An edge update is one
+//! level-hash/fingerprint evaluation per copy and four direct array
+//! writes; a Borůvka component merge streams member columns into a
+//! reusable [`arena::MergeScratch`] accumulator with zero allocations
+//! and zero sketch clones.
+//!
+//! **Host representation vs accounted shape.** [`L0Sampler::words`]
+//! and the bank's word counts report the paper's *dense* `levels ×
+//! cell` layout per materialized column — that is the shape the MPC
+//! model's machines must budget for, and (since this refactor) also
+//! literally the host layout, so a column's accounted words never
+//! change as cells cancel to zero or refill. The dense column is also
+//! *canonical*: two permutations of one update stream produce
+//! bit-identical storage, which keeps sketch equality structural.
+//!
 //! # Examples
 //!
 //! ```
@@ -38,11 +61,13 @@
 //! }
 //! ```
 
+pub mod arena;
 pub mod bank;
 pub mod l0;
 pub mod one_sparse;
 pub mod vertex;
 
+pub use arena::{MergeScratch, SketchArena, SketchFamily};
 pub use bank::SketchBank;
 pub use l0::{L0Sampler, SampleOutcome};
 pub use one_sparse::OneSparseCell;

@@ -7,6 +7,7 @@
 //! not one-sparse are rejected with failure probability
 //! `≤ support(X) / (2^61 - 1)` (Schwartz–Zippel on the fingerprint).
 
+use mpc_hashing::field::M61;
 use mpc_hashing::fingerprint::Fingerprint;
 
 /// Decoded content of a one-sparse cell.
@@ -111,25 +112,42 @@ impl OneSparseCell {
 
     /// Decodes the cell.
     pub fn decode(&self) -> OneSparseDecode {
-        if self.is_zero() {
-            return OneSparseDecode::Zero;
-        }
-        if self.value_sum != 0 && self.index_sum % self.value_sum as i128 == 0 {
-            let candidate = self.index_sum / self.value_sum as i128;
-            if candidate >= 0 && candidate <= u64::MAX as i128 {
-                let index = candidate as u64;
-                if self.fingerprint.value()
-                    == self.fingerprint.expected_one_sparse(index, self.value_sum)
-                {
-                    return OneSparseDecode::One {
-                        index,
-                        weight: self.value_sum,
-                    };
-                }
+        decode_parts(
+            self.value_sum,
+            self.index_sum,
+            self.fingerprint.value(),
+            |index, weight| self.fingerprint.expected_one_sparse(index, weight),
+        )
+    }
+}
+
+/// Decodes a bare cell triple (the storage the columnar arena keeps
+/// per cell): the value sum, index-weighted sum, and fingerprint
+/// accumulator, with the family's expected-fingerprint oracle
+/// supplied by the caller. This is the one recovery routine shared by
+/// [`OneSparseCell::decode`] and every arena/scratch query path.
+pub fn decode_parts(
+    value_sum: i64,
+    index_sum: i128,
+    fp_value: M61,
+    expected: impl FnOnce(u64, i64) -> M61,
+) -> OneSparseDecode {
+    if value_sum == 0 && index_sum == 0 && fp_value.is_zero() {
+        return OneSparseDecode::Zero;
+    }
+    if value_sum != 0 && index_sum % value_sum as i128 == 0 {
+        let candidate = index_sum / value_sum as i128;
+        if candidate >= 0 && candidate <= u64::MAX as i128 {
+            let index = candidate as u64;
+            if fp_value == expected(index, value_sum) {
+                return OneSparseDecode::One {
+                    index,
+                    weight: value_sum,
+                };
             }
         }
-        OneSparseDecode::Many
     }
+    OneSparseDecode::Many
 }
 
 #[cfg(test)]

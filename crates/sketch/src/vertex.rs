@@ -65,6 +65,16 @@ impl VertexSketch {
         }
     }
 
+    /// Wraps an existing sampler column as vertex `v`'s sketch (the
+    /// bank materializes arena columns and merge results this way).
+    pub(crate) fn from_inner(n: usize, v: VertexId, inner: L0Sampler) -> Self {
+        VertexSketch {
+            n,
+            vertex: v,
+            inner,
+        }
+    }
+
     /// The vertex this sketch was created for (merging keeps the
     /// first vertex as a representative label).
     pub fn vertex(&self) -> VertexId {
@@ -174,19 +184,26 @@ impl VertexSketch {
 
     /// Samples a cut edge.
     pub fn sample(&self) -> EdgeSample {
-        match self.inner.sample() {
-            SampleOutcome::Zero => EdgeSample::Empty,
-            SampleOutcome::Fail => EdgeSample::Fail,
-            SampleOutcome::Sample { index, weight } => {
-                // In a simple graph, cut coordinates carry ±1 exactly;
-                // anything else is a (vanishingly unlikely) decoding
-                // artifact. Multigraph streams use
-                // [`VertexSketch::sample_multigraph`] instead.
-                if weight.abs() == 1 {
-                    EdgeSample::Edge(Edge::from_index(index, self.n))
-                } else {
-                    EdgeSample::Fail
-                }
+        edge_sample_from(self.inner.sample(), self.n)
+    }
+}
+
+/// Maps a raw sampler outcome onto the simple-graph edge-sampling
+/// contract — shared by [`VertexSketch::sample`] and the bank's
+/// arena/scratch query paths.
+pub(crate) fn edge_sample_from(outcome: SampleOutcome, n: usize) -> EdgeSample {
+    match outcome {
+        SampleOutcome::Zero => EdgeSample::Empty,
+        SampleOutcome::Fail => EdgeSample::Fail,
+        SampleOutcome::Sample { index, weight } => {
+            // In a simple graph, cut coordinates carry ±1 exactly;
+            // anything else is a (vanishingly unlikely) decoding
+            // artifact. Multigraph streams use
+            // [`VertexSketch::sample_multigraph`] instead.
+            if weight.abs() == 1 {
+                EdgeSample::Edge(Edge::from_index(index, n))
+            } else {
+                EdgeSample::Fail
             }
         }
     }

@@ -62,6 +62,7 @@ pub use mpc_stream_core as core_alg;
 /// [`MpcStreamError`](mpc_sim::MpcStreamError), all eleven-plus
 /// maintainers, and the graph / cluster vocabulary types.
 pub mod prelude {
+    pub use mpc_baselines::{AgmBaseline, FullMemoryBaseline};
     pub use mpc_graph::ids::{Edge, VertexId, WeightedEdge};
     pub use mpc_graph::update::{Batch, Update, WeightedBatch, WeightedUpdate};
     pub use mpc_kconn::{Certificate, DynamicKConn, InsertOnlyKConn, KConnError, MinCut};
