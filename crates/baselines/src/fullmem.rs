@@ -177,6 +177,41 @@ impl mpc_stream_core::Maintain for FullMemoryBaseline {
         self.apply_batch(batch, ctx);
         Ok(())
     }
+
+    /// Recompute-on-read, like the stored-graph regimes the paper
+    /// compares against: every connectivity answer pays the measured
+    /// label-propagation rounds at `Θ(m)` words per round.
+    fn answer(
+        &mut self,
+        query: &mpc_stream_core::QueryRequest,
+        ctx: &mut MpcContext,
+    ) -> Result<mpc_stream_core::QueryResponse, mpc_sim::MpcStreamError> {
+        use mpc_stream_core::{ensure_vertex_in, QueryRequest, QueryResponse};
+        match *query {
+            QueryRequest::Connected(u, v) => {
+                ensure_vertex_in(u.max(v), self.n)?;
+                let labels = self.query_components(ctx);
+                Ok(QueryResponse::Bool(
+                    labels[u as usize] == labels[v as usize],
+                ))
+            }
+            QueryRequest::ComponentOf(v) => {
+                ensure_vertex_in(v, self.n)?;
+                let labels = self.query_components(ctx);
+                Ok(QueryResponse::Vertex(labels[v as usize]))
+            }
+            QueryRequest::ComponentCount => {
+                let labels = self.query_components(ctx);
+                Ok(QueryResponse::Count(
+                    mpc_stream_core::canonical_component_count(&labels),
+                ))
+            }
+            _ => Err(mpc_stream_core::unsupported_query(
+                "fullmem-baseline",
+                query,
+            )),
+        }
+    }
 }
 
 /// Convenience oracle used by the experiment harness: exact

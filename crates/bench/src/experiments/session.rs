@@ -1,0 +1,153 @@
+//! Experiment E17: the Session-level workload table (the ROADMAP
+//! PR-3 follow-up, enabled by the PR-5 typed query plane).
+//!
+//! One [`Session`] drives five heterogeneous maintainers —
+//! connectivity, exact MSF, the matching-size estimator, and both
+//! baselines — over one shared insert stream on one accounted
+//! cluster, then cross-checks them with `ask_all`. The table reports
+//! each maintainer's slice of the new per-maintainer stats breakdown:
+//! ingest rounds/words, query rounds/words, and standing state, next
+//! to its machine group. The shape to look for is the paper's
+//! Section 2.1 asymmetry, measured in one run: the maintained
+//! structures answer in `O(1)` rounds while both baselines pay
+//! `Θ(log n)` recompute rounds per query, and the full-memory
+//! baseline's state grows with `m` while the sketches stay `Õ(n)`.
+
+use crate::table::Table;
+use mpc_baselines::{AgmBaseline, FullMemoryBaseline};
+use mpc_graph::gen;
+use mpc_graph::oracle;
+use mpc_matching::{MatchingSizeEstimator, StreamKind};
+use mpc_msf::ExactMsf;
+use mpc_sim::MpcConfig;
+use mpc_stream_core::{Connectivity, ConnectivityConfig, QueryRequest, Session};
+
+/// E17 — one session, five maintainers, one charged query plane.
+///
+/// Shape expectations: all connectivity-capable maintainers agree
+/// with the union-find oracle through `ask_all`; maintained answers
+/// cost `O(1)` rounds vs the baselines' `Θ(log n)`; the breakdown's
+/// state column shows `Õ(n)` sketches vs the `Θ(n+m)` edge store.
+pub fn e17_session_workload() -> Vec<Table> {
+    let mut t = Table::new(
+        "E17 (Session workload): per-maintainer ingest/query/state breakdown, one ask_all cross-check",
+        &[
+            "n",
+            "maintainer",
+            "group",
+            "batches",
+            "ingest rounds",
+            "ingest words",
+            "queries",
+            "query rounds",
+            "query words",
+            "state words",
+            "verdict",
+        ],
+    );
+    for &n in &[64usize, 128] {
+        let s = (16.0 * (n as f64).sqrt()).ceil() as u64;
+        // Five maintainers share the cluster: provision five groups,
+        // each the size a single-maintainer default would get.
+        let base = MpcConfig::builder(n, 0.5).local_capacity(s).build();
+        let cfg = MpcConfig::builder(n, 0.5)
+            .local_capacity(s)
+            .machines(5 * base.machines())
+            .build();
+        let mut session = Session::new(cfg);
+        let conn = session.register(Connectivity::new(n, ConnectivityConfig::default(), 0xE17));
+        let msf = session.register(ExactMsf::new(n));
+        let est = session.register(MatchingSizeEstimator::new(
+            n,
+            2.0,
+            StreamKind::InsertionOnly,
+            0xE17,
+        ));
+        let agm = session.register(AgmBaseline::new(n, 0xE17));
+        let full = session.register(FullMemoryBaseline::new(n));
+
+        // One shared insert-only stream (the exact MSF and the
+        // insertion-only estimator both accept it).
+        let stream = gen::random_insert_stream(n, 6, 12, 0xE17 + n as u64);
+        let mut live = Vec::new();
+        for batch in &stream.batches {
+            session.apply_batch(batch).expect("insert-only stream");
+            live.extend(batch.insertions());
+        }
+
+        // The cross-check: one fan-out per question, answers compared
+        // against the sequential oracles.
+        let labels = oracle::components(n, live.iter().copied());
+        let cc = mpc_stream_core::canonical_component_count(&labels);
+        let counts = session
+            .ask_all(&QueryRequest::ComponentCount)
+            .expect("fan-out");
+        let cc_ids = [conn.id(), msf.id(), agm.id(), full.id()];
+        let cc_ok = counts.len() == cc_ids.len()
+            && counts
+                .iter()
+                .zip(&cc_ids)
+                .all(|((id, a), want)| id == want && a.as_count() == Some(cc));
+        let weights = session
+            .ask_all(&QueryRequest::ForestWeight)
+            .expect("fan-out");
+        // Unit weights through the unweighted fan-out: MSF weight is
+        // n − cc.
+        let w_ok = weights.len() == 1
+            && weights[0].0 == msf.id()
+            && weights[0].1.as_weight() == Some((n as u64 - cc) as f64);
+        let sizes = session
+            .ask_all(&QueryRequest::MatchingSize)
+            .expect("fan-out");
+        let opt = oracle::maximum_matching_size(n, &live) as u64;
+        // O(α) estimator at α = 2 on a sampled subgraph: the same
+        // generous two-sided window as E9 (an estimate of 0 on a
+        // matchable graph is a divergence, not a pass).
+        let est_ok = sizes.len() == 1
+            && sizes[0].0 == est.id()
+            && sizes[0]
+                .1
+                .as_count()
+                .is_some_and(|e| 16 * e >= opt && e <= 8 * opt.max(1));
+
+        for (id, m) in session.stats().per_maintainer.iter().enumerate() {
+            let verdict = match m.name {
+                "connectivity" | "agm-baseline" | "fullmem-baseline" => {
+                    if cc_ok {
+                        "cc oracle-exact"
+                    } else {
+                        "DIVERGED"
+                    }
+                }
+                "msf-exact" => {
+                    if cc_ok && w_ok {
+                        "cc+weight exact"
+                    } else {
+                        "DIVERGED"
+                    }
+                }
+                _ => {
+                    if est_ok {
+                        "within O(α)"
+                    } else {
+                        "DIVERGED"
+                    }
+                }
+            };
+            t.row(vec![
+                n.to_string(),
+                m.name.to_string(),
+                session.machine_group(id).expect("registered").to_string(),
+                m.batches.to_string(),
+                m.rounds.to_string(),
+                m.words.to_string(),
+                m.queries.to_string(),
+                m.query_rounds.to_string(),
+                m.query_words.to_string(),
+                m.state_words.to_string(),
+                verdict.into(),
+            ]);
+        }
+    }
+    vec![t]
+}

@@ -55,13 +55,17 @@
 //! ```
 
 pub mod connectivity;
+pub mod query;
 pub mod robust;
 pub mod session;
 pub mod streaming;
 pub mod vertex_dynamic;
 
 pub use connectivity::{Connectivity, ConnectivityConfig, ConnectivityError};
+pub use query::{canonical_component_count, unsupported_query, QueryRequest, QueryResponse};
 pub use robust::{RobustConnectivity, RobustError};
-pub use session::{ensure_endpoints_in, route_batch, Maintain, MaintainerId, Session};
+pub use session::{
+    ensure_endpoints_in, ensure_vertex_in, route_batch, Handle, Maintain, MaintainerId, Session,
+};
 pub use streaming::StreamingConnectivity;
 pub use vertex_dynamic::{VertexDynError, VertexDynamicConnectivity};

@@ -1,0 +1,252 @@
+//! The typed query vocabulary of the unified session surface.
+//!
+//! The paper's model serves *queries* against maintained sketch state
+//! — connectivity, component counts, forest weight, matching size,
+//! cut bounds — and treats answering as a protocol phase with a round
+//! cost, not a host-side peek. [`QueryRequest`] names those questions
+//! once for every maintainer; [`QueryResponse`] carries the answers.
+//! A maintainer opts into the queries it can answer by overriding
+//! [`Maintain::answer`](crate::Maintain::answer) and charging the
+//! answer's rounds and communication through the [`MpcContext`](
+//! mpc_sim::MpcContext) it is handed; everything else reports
+//! [`MpcStreamError::Unsupported`](mpc_sim::MpcStreamError) without
+//! touching the context.
+//!
+//! The design rule for charges: structures that *maintain* their
+//! solution (the paper's contribution) answer in `O(1)` rounds —
+//! routing the question to a shard and the answer back, or one
+//! label/output sort for whole-solution reports (Section 1.1:
+//! "reporting the connected components can be easily done by sorting
+//! the labels"). Recompute-on-read structures (the baselines, the
+//! dynamic k-connectivity peel) pay their genuine `Θ(log n)` or
+//! `Θ(k log n)` recomputation rounds. The asymmetry is the point of
+//! the comparison, and the query plane makes it measurable.
+
+use mpc_graph::ids::{Edge, VertexId};
+use mpc_sim::MpcStreamError;
+
+/// The uniform "this maintainer cannot serve this query" error every
+/// [`Maintain::answer`](crate::Maintain::answer) implementation
+/// returns for queries outside its vocabulary — *before* charging
+/// anything, so `Session::ask_all` skips non-supporters for free.
+pub fn unsupported_query(maintainer: &str, query: &QueryRequest) -> MpcStreamError {
+    MpcStreamError::Unsupported(format!("{maintainer} cannot answer {query}"))
+}
+
+/// Component count of a canonical labelling (every component labelled
+/// by its minimum vertex id, the workspace-wide convention): the
+/// number of self-labelled vertices. The shared helper behind every
+/// label-based `ComponentCount` answer.
+pub fn canonical_component_count(labels: &[VertexId]) -> u64 {
+    labels
+        .iter()
+        .enumerate()
+        .filter(|&(v, &c)| v as u32 == c)
+        .count() as u64
+}
+
+/// A typed question against a maintainer's current state.
+///
+/// Not every maintainer answers every query; `Session::ask_all`
+/// fans a request to every maintainer that supports it, and
+/// `Session::ask` returns `Unsupported` for the rest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryRequest {
+    /// Are `u` and `v` in the same connected component?
+    Connected(VertexId, VertexId),
+    /// The component id of a vertex.
+    ComponentOf(VertexId),
+    /// Number of connected components.
+    ComponentCount,
+    /// The maintained spanning forest (or certificate forest).
+    SpanningForest,
+    /// Total weight of the maintained (exact or approximate) minimum
+    /// spanning forest.
+    ForestWeight,
+    /// Size of the maintained (or estimated) matching.
+    MatchingSize,
+    /// The edges of the maintained matching.
+    MatchingEdges,
+    /// The best lower bound on the global minimum cut (exact below
+    /// the certificate resolution `k`).
+    MinCutLowerBound,
+    /// Is the graph bipartite?
+    IsBipartite,
+}
+
+impl std::fmt::Display for QueryRequest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryRequest::Connected(u, v) => write!(f, "connected({u}, {v})"),
+            QueryRequest::ComponentOf(v) => write!(f, "component_of({v})"),
+            QueryRequest::ComponentCount => write!(f, "component_count"),
+            QueryRequest::SpanningForest => write!(f, "spanning_forest"),
+            QueryRequest::ForestWeight => write!(f, "forest_weight"),
+            QueryRequest::MatchingSize => write!(f, "matching_size"),
+            QueryRequest::MatchingEdges => write!(f, "matching_edges"),
+            QueryRequest::MinCutLowerBound => write!(f, "min_cut_lower_bound"),
+            QueryRequest::IsBipartite => write!(f, "is_bipartite"),
+        }
+    }
+}
+
+/// A typed answer to a [`QueryRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResponse {
+    /// A yes/no answer (`Connected`, `IsBipartite`).
+    Bool(bool),
+    /// A cardinality (`ComponentCount`, `MatchingSize`).
+    Count(u64),
+    /// A vertex id (`ComponentOf`).
+    Vertex(VertexId),
+    /// A (possibly approximate) weight (`ForestWeight`).
+    Weight(f64),
+    /// An edge list (`SpanningForest`, `MatchingEdges`).
+    Edges(Vec<Edge>),
+    /// A cut bound (`MinCutLowerBound`): every cut has at least
+    /// `lower` edges, and `exact` says whether the bound is the true
+    /// minimum (it is whenever the cut is below the certificate's
+    /// resolution).
+    MinCut {
+        /// The lower bound.
+        lower: u64,
+        /// Whether the bound is exact.
+        exact: bool,
+    },
+}
+
+impl QueryResponse {
+    /// The boolean answer, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            QueryResponse::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The cardinality answer, if this is one.
+    pub fn as_count(&self) -> Option<u64> {
+        match self {
+            QueryResponse::Count(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// The vertex answer, if this is one.
+    pub fn as_vertex(&self) -> Option<VertexId> {
+        match self {
+            QueryResponse::Vertex(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The weight answer, if this is one.
+    pub fn as_weight(&self) -> Option<f64> {
+        match self {
+            QueryResponse::Weight(w) => Some(*w),
+            _ => None,
+        }
+    }
+
+    /// The edge-list answer, if this is one.
+    pub fn as_edges(&self) -> Option<&[Edge]> {
+        match self {
+            QueryResponse::Edges(es) => Some(es),
+            _ => None,
+        }
+    }
+
+    /// The cut-bound answer as `(lower, exact)`, if this is one.
+    pub fn as_min_cut(&self) -> Option<(u64, bool)> {
+        match self {
+            QueryResponse::MinCut { lower, exact } => Some((*lower, *exact)),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for QueryResponse {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryResponse::Bool(b) => write!(f, "{b}"),
+            QueryResponse::Count(c) => write!(f, "{c}"),
+            QueryResponse::Vertex(v) => write!(f, "vertex {v}"),
+            QueryResponse::Weight(w) => write!(f, "{w:.3}"),
+            QueryResponse::Edges(es) => write!(f, "{} edges", es.len()),
+            QueryResponse::MinCut { lower, exact } => {
+                if *exact {
+                    write!(f, "min cut = {lower}")
+                } else {
+                    write!(f, "min cut >= {lower}")
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_render_their_arguments() {
+        assert_eq!(QueryRequest::Connected(0, 2).to_string(), "connected(0, 2)");
+        assert_eq!(QueryRequest::ComponentOf(7).to_string(), "component_of(7)");
+        for q in [
+            QueryRequest::ComponentCount,
+            QueryRequest::SpanningForest,
+            QueryRequest::ForestWeight,
+            QueryRequest::MatchingSize,
+            QueryRequest::MatchingEdges,
+            QueryRequest::MinCutLowerBound,
+            QueryRequest::IsBipartite,
+        ] {
+            assert!(!q.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn response_accessors_are_type_checked() {
+        assert_eq!(QueryResponse::Bool(true).as_bool(), Some(true));
+        assert_eq!(QueryResponse::Bool(true).as_count(), None);
+        assert_eq!(QueryResponse::Count(4).as_count(), Some(4));
+        assert_eq!(QueryResponse::Vertex(3).as_vertex(), Some(3));
+        assert_eq!(QueryResponse::Weight(1.5).as_weight(), Some(1.5));
+        let es = QueryResponse::Edges(vec![Edge::new(0, 1)]);
+        assert_eq!(es.as_edges().map(<[Edge]>::len), Some(1));
+        assert_eq!(es.as_min_cut(), None);
+        let mc = QueryResponse::MinCut {
+            lower: 2,
+            exact: false,
+        };
+        assert_eq!(mc.as_min_cut(), Some((2, false)));
+    }
+
+    #[test]
+    fn responses_display_compactly() {
+        assert_eq!(QueryResponse::Bool(false).to_string(), "false");
+        assert_eq!(QueryResponse::Count(9).to_string(), "9");
+        assert_eq!(QueryResponse::Vertex(1).to_string(), "vertex 1");
+        assert_eq!(QueryResponse::Weight(2.0).to_string(), "2.000");
+        assert_eq!(
+            QueryResponse::Edges(vec![Edge::new(0, 1)]).to_string(),
+            "1 edges"
+        );
+        assert_eq!(
+            QueryResponse::MinCut {
+                lower: 2,
+                exact: true
+            }
+            .to_string(),
+            "min cut = 2"
+        );
+        assert_eq!(
+            QueryResponse::MinCut {
+                lower: 3,
+                exact: false
+            }
+            .to_string(),
+            "min cut >= 3"
+        );
+    }
+}

@@ -1,29 +1,70 @@
-//! The unified driver: one front door for every maintainer.
+//! The unified driver: one front door for every maintainer, on both
+//! the write side (batched updates) and the read side (typed,
+//! budget-charged queries).
 //!
 //! The paper's central claim (Theorem 1.1 and its corollaries) is
 //! that *one* streaming-MPC harness maintains connectivity, MSF,
 //! bipartiteness, matching, and k-edge-connectivity with the same
-//! batch/round/memory discipline. This module is that harness as an
-//! API:
+//! batch/round/memory discipline — and serves *queries* against that
+//! state as a round-charged protocol phase, not a host-side peek.
+//! This module is that harness as an API:
 //!
 //! * [`Maintain`] — the trait every algorithm structure implements:
 //!   `apply_batch(&Batch, &mut MpcContext) ->
 //!   Result<BatchReport, MpcStreamError>` plus `n()`, `name()`,
 //!   `words()`, and `validate()` hooks. Weighted-aware maintainers
 //!   (the MSF family) additionally override the weighted ingest path;
-//!   everyone else sees the weight-stripped projection.
+//!   everyone else sees the weight-stripped projection. The read side
+//!   is [`Maintain::answer`]: a maintainer opts into the
+//!   [`QueryRequest`]s it can serve and charges each answer's rounds
+//!   and communication through the context.
 //! * [`Session`] — the engine: owns the [`MpcContext`], registers any
-//!   number of boxed maintainers, normalizes and chunks incoming
-//!   updates into legal `Õ(n^φ)` batches, fans each batch to every
-//!   registered maintainer (in parallel, on disjoint machine groups —
-//!   rounds compose by max, communication by sum), and exposes
-//!   unified per-batch [`BatchReport`]s plus a [`SessionStats`]
-//!   rollup with a per-batch capacity audit.
+//!   number of maintainers (each [`Session::register`] returns a
+//!   typed [`Handle`]), normalizes and chunks incoming updates into
+//!   legal `Õ(n^φ)` batches, fans each batch to every registered
+//!   maintainer (in parallel, on disjoint machine groups — rounds
+//!   compose by max, communication by sum), and exposes unified
+//!   per-batch [`BatchReport`]s plus a [`SessionStats`] rollup with a
+//!   per-batch, per-maintainer capacity audit.
+//!
+//! # Typed handles
+//!
+//! [`Session::register`] returns a [`Handle`]`<M>` carrying the
+//! maintainer's concrete type, so reads need no downcasts and no
+//! turbofish: [`Session::get`] / [`Session::get_mut`] hand back `&M` /
+//! `&mut M` directly, and [`Session::query`] runs a charged closure
+//! against the concrete maintainer and the session's own context.
+//!
+//! # Query charging
+//!
+//! [`Session::ask`] routes a [`QueryRequest`] to one maintainer;
+//! [`Session::ask_all`] fans it to every maintainer that supports it
+//! (the rest answer `Unsupported` without charging), with rounds
+//! composing by max across the fan-out — the cross-checking mode for
+//! running a maintainer against its baselines on one cluster. Every
+//! answer is charged on the session's cluster and receipted as a
+//! [`QueryReport`]; the [`SessionStats::per_maintainer`] breakdown
+//! separates ingest rounds from query rounds, which is exactly where
+//! the maintained-solution vs recompute-on-read asymmetry (paper
+//! Section 2.1) becomes measurable.
+//!
+//! # Machine groups
+//!
+//! The cluster is partitioned into per-maintainer
+//! [`MachineGroup`]s (contiguous, near-even sub-ranges, in
+//! registration order). After every chunk the session audits each
+//! maintainer's standing state against **its own group's** capacity:
+//! in strict mode an overrun is
+//! [`MpcError::ClusterMemoryExceeded`] *naming the offending
+//! maintainer and its group*; in permissive mode it is recorded
+//! against that maintainer in the rollup. Provision clusters
+//! accordingly: `k` sketch-heavy maintainers need `k×` the machines a
+//! single one would (see `MpcConfig::builder`'s defaults).
 //!
 //! # Examples
 //!
 //! ```
-//! use mpc_stream_core::{Connectivity, ConnectivityConfig, Session};
+//! use mpc_stream_core::{Connectivity, ConnectivityConfig, QueryRequest, Session};
 //! use mpc_graph::ids::Edge;
 //! use mpc_graph::update::Update;
 //! use mpc_sim::MpcConfig;
@@ -37,21 +78,30 @@
 //!     Update::Insert(Edge::new(1, 2)),
 //! ])?;
 //! assert_eq!(reports.len(), 1); // one chunk × one maintainer
-//! assert!(session.get::<Connectivity>(conn).unwrap().connected(0, 2));
+//! // Typed read access: no downcast, no Option.
+//! assert!(session.get(conn).connected(0, 2));
+//! // Charged query plane: the answer is receipted on the cluster.
+//! let answer = session.ask(conn, &QueryRequest::Connected(0, 2))?;
+//! assert_eq!(answer.as_bool(), Some(true));
+//! assert!(session.query_reports()[0].rounds > 0);
 //! # Ok(())
 //! # }
 //! ```
 
 use crate::connectivity::Connectivity;
+use crate::query::{canonical_component_count, unsupported_query, QueryRequest, QueryResponse};
 use crate::robust::RobustConnectivity;
 use crate::streaming::StreamingConnectivity;
 use crate::vertex_dynamic::VertexDynamicConnectivity;
+use mpc_graph::ids::VertexId;
 use mpc_graph::update::{Batch, Update, WeightedBatch, WeightedUpdate};
 use mpc_sim::{
-    BatchAudit, BatchReport, MpcConfig, MpcContext, MpcError, MpcStreamError, SessionStats,
+    BatchAudit, BatchReport, MachineGroup, MpcConfig, MpcContext, MpcError, MpcStreamError,
+    QueryReport, SessionStats,
 };
 use std::any::Any;
 use std::collections::BTreeMap;
+use std::marker::PhantomData;
 
 /// A batch-dynamic graph structure that can be driven through the
 /// unified [`Session`] engine.
@@ -62,8 +112,9 @@ use std::collections::BTreeMap;
 /// round/communication/audit measurement and returns the unified
 /// [`BatchReport`].
 ///
-/// The `Any` supertrait lets a [`Session`] hand back concrete
-/// references for queries ([`Session::get`]).
+/// The `Any` supertrait is an implementation detail of the typed
+/// [`Handle`] accessors ([`Session::get`] and friends re-express the
+/// downcast internally, where handle provenance makes it infallible).
 pub trait Maintain: Any {
     /// A short stable name for reports and diagnostics.
     fn name(&self) -> &'static str;
@@ -145,11 +196,84 @@ pub trait Maintain: Any {
         self.ingest_weighted(batch, ctx)?;
         Ok(audit.finish(self.name(), batch.len(), self.l0_failures() - l0, ctx))
     }
+
+    /// Answers a typed [`QueryRequest`] against the current state,
+    /// charging the answer's rounds and communication through `ctx` —
+    /// the read-side counterpart of [`Maintain::ingest`].
+    ///
+    /// Implementors must decide support *before* charging: a query
+    /// this maintainer cannot serve returns
+    /// [`MpcStreamError::Unsupported`] with the context untouched
+    /// (that is what lets [`Session::ask_all`] skip non-supporting
+    /// maintainers for free). Supported answers must charge at least
+    /// the rounds of routing the question and the answer — maintained
+    /// solutions answer in `O(1)` rounds, recompute-on-read
+    /// structures pay their genuine recomputation.
+    ///
+    /// The default supports nothing.
+    ///
+    /// # Errors
+    ///
+    /// [`MpcStreamError::Unsupported`] for queries outside this
+    /// maintainer's vocabulary; [`MpcStreamError::InvalidBatch`] for
+    /// malformed arguments (e.g. an out-of-range vertex); any other
+    /// variant as the answering protocol requires.
+    fn answer(
+        &mut self,
+        query: &QueryRequest,
+        ctx: &mut MpcContext,
+    ) -> Result<QueryResponse, MpcStreamError> {
+        let _ = ctx;
+        Err(unsupported_query(self.name(), query))
+    }
 }
 
-/// Handle to a maintainer registered in a [`Session`]; pass it to
-/// [`Session::get`] / [`Session::get_mut`] to run queries.
+/// Untyped index of a maintainer in a [`Session`], in registration
+/// order — the dynamic-access escape hatch ([`Session::maintainer`],
+/// [`Session::ask_dyn`]) and the key of the
+/// [`SessionStats::per_maintainer`] breakdown.
 pub type MaintainerId = usize;
+
+/// A typed handle to a maintainer registered in a [`Session`].
+///
+/// Returned by [`Session::register`]; carries the maintainer's
+/// concrete type, so [`Session::get`] / [`Session::get_mut`] /
+/// [`Session::query`] / [`Session::ask`] need no downcasts and
+/// cannot fail on a type mismatch. A handle is only meaningful on the
+/// session that issued it.
+pub struct Handle<M: Maintain> {
+    id: MaintainerId,
+    _marker: PhantomData<fn() -> M>,
+}
+
+impl<M: Maintain> Handle<M> {
+    /// The untyped registration index (for dynamic access and the
+    /// stats breakdown).
+    pub fn id(&self) -> MaintainerId {
+        self.id
+    }
+}
+
+// Manual impls: a handle is Copy/Clone/Debug regardless of `M`.
+impl<M: Maintain> Clone for Handle<M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<M: Maintain> Copy for Handle<M> {}
+
+impl<M: Maintain> std::fmt::Debug for Handle<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Handle<{}>({})", std::any::type_name::<M>(), self.id)
+    }
+}
+
+impl<M: Maintain> From<Handle<M>> for MaintainerId {
+    fn from(h: Handle<M>) -> MaintainerId {
+        h.id
+    }
+}
 
 /// The unified driver engine: one accounted cluster, any number of
 /// maintainers, one update stream.
@@ -188,6 +312,7 @@ pub struct Session {
     stats: SessionStats,
     max_batch: usize,
     normalize: bool,
+    last_query_reports: Vec<QueryReport>,
 }
 
 impl std::fmt::Debug for Session {
@@ -213,6 +338,7 @@ impl Session {
             stats: SessionStats::default(),
             max_batch,
             normalize: true,
+            last_query_reports: Vec::new(),
         }
     }
 
@@ -239,14 +365,23 @@ impl Session {
         self.max_batch
     }
 
-    /// Registers a maintainer, returning its handle.
-    pub fn register<M: Maintain>(&mut self, maintainer: M) -> MaintainerId {
-        self.register_boxed(Box::new(maintainer))
+    /// Registers a maintainer, returning its typed [`Handle`]. The
+    /// handle is the key to every read accessor — [`Session::get`],
+    /// [`Session::get_mut`], [`Session::query`], [`Session::ask`].
+    pub fn register<M: Maintain>(&mut self, maintainer: M) -> Handle<M> {
+        let id = self.register_boxed(Box::new(maintainer));
+        Handle {
+            id,
+            _marker: PhantomData,
+        }
     }
 
     /// Registers an already-boxed maintainer (for heterogeneous
-    /// collections built elsewhere), returning its handle.
+    /// collections built elsewhere), returning its untyped id — the
+    /// boxed path keeps only the dynamic surface
+    /// ([`Session::maintainer`], [`Session::ask_dyn`]).
     pub fn register_boxed(&mut self, maintainer: Box<dyn Maintain>) -> MaintainerId {
+        self.stats.register_maintainer(maintainer.name());
         self.maintainers.push(maintainer);
         self.maintainers.len() - 1
     }
@@ -277,38 +412,198 @@ impl Session {
         &self.stats
     }
 
-    /// Concrete access to a registered maintainer for queries.
-    pub fn get<M: Maintain>(&self, id: MaintainerId) -> Option<&M> {
-        let m: &dyn Any = self.maintainers.get(id)?.as_ref();
+    /// Typed read access to a registered maintainer — infallible by
+    /// construction: the handle's type was fixed at
+    /// [`Session::register`] time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle was issued by a *different* session (the
+    /// only way its index or type can disagree with this session's
+    /// registry).
+    pub fn get<M: Maintain>(&self, handle: Handle<M>) -> &M {
+        let m: &dyn Any = self.maintainers[handle.id].as_ref();
         m.downcast_ref::<M>()
+            .expect("a typed Handle always matches its own session's registry; this handle was issued by a different Session")
     }
 
-    /// Mutable concrete access to a registered maintainer.
-    pub fn get_mut<M: Maintain>(&mut self, id: MaintainerId) -> Option<&mut M> {
-        let m: &mut dyn Any = self.maintainers.get_mut(id)?.as_mut();
+    /// Typed mutable access to a registered maintainer.
+    ///
+    /// # Panics
+    ///
+    /// As [`Session::get`].
+    pub fn get_mut<M: Maintain>(&mut self, handle: Handle<M>) -> &mut M {
+        let m: &mut dyn Any = self.maintainers[handle.id].as_mut();
         m.downcast_mut::<M>()
+            .expect("a typed Handle always matches its own session's registry; this handle was issued by a different Session")
     }
 
-    /// Runs a charged query against a registered maintainer: the
+    /// Runs a charged closure against a registered maintainer: the
     /// closure receives the concrete maintainer **and** the session's
-    /// own accounting context, so query rounds land on the same
-    /// cluster the updates are charged to (the borrow of the
-    /// maintainer list and the context split safely). Returns `None`
-    /// if the handle or the downcast fails.
+    /// own accounting context, so its rounds land on the same cluster
+    /// the updates are charged to (the borrow of the maintainer list
+    /// and the context split safely). For the common typed questions
+    /// prefer [`Session::ask`], which also receipts the charge; this
+    /// is the escape hatch for structure-specific protocols.
+    ///
+    /// # Panics
+    ///
+    /// As [`Session::get`].
     pub fn query<M: Maintain, R>(
         &mut self,
-        id: MaintainerId,
+        handle: Handle<M>,
         f: impl FnOnce(&mut M, &mut MpcContext) -> R,
-    ) -> Option<R> {
-        let m: &mut dyn Any = self.maintainers.get_mut(id)?.as_mut();
-        let m = m.downcast_mut::<M>()?;
-        Some(f(m, &mut self.ctx))
+    ) -> R {
+        let m: &mut dyn Any = self.maintainers[handle.id].as_mut();
+        let m = m
+            .downcast_mut::<M>()
+            .expect("a typed Handle always matches its own session's registry; this handle was issued by a different Session");
+        f(m, &mut self.ctx)
     }
 
     /// Dynamic access to a registered maintainer (trait surface
     /// only).
     pub fn maintainer(&self, id: MaintainerId) -> Option<&dyn Maintain> {
         self.maintainers.get(id).map(Box::as_ref)
+    }
+
+    /// Asks one maintainer a typed [`QueryRequest`]. The answer is
+    /// charged on the session's cluster, receipted as a
+    /// [`QueryReport`] (see [`Session::query_reports`]), and rolled
+    /// into the per-maintainer stats breakdown.
+    ///
+    /// # Errors
+    ///
+    /// [`MpcStreamError::Unsupported`] if this maintainer cannot
+    /// serve the query; otherwise whatever the answering protocol
+    /// reports.
+    ///
+    /// # Panics
+    ///
+    /// As [`Session::get`], for a foreign handle (the handle's type
+    /// is checked against the registry before the question is
+    /// routed).
+    pub fn ask<M: Maintain>(
+        &mut self,
+        handle: Handle<M>,
+        query: &QueryRequest,
+    ) -> Result<QueryResponse, MpcStreamError> {
+        let _typed: &M = self.get(handle);
+        self.ask_dyn(handle.id, query)
+    }
+
+    /// Untyped [`Session::ask`], for maintainers registered through
+    /// [`Session::register_boxed`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::ask`], plus [`MpcStreamError::Internal`] for an
+    /// unknown id. On any error the previous receipts are cleared —
+    /// [`Session::query_reports`] never carries a stale charge.
+    pub fn ask_dyn(
+        &mut self,
+        id: MaintainerId,
+        query: &QueryRequest,
+    ) -> Result<QueryResponse, MpcStreamError> {
+        self.last_query_reports.clear();
+        let m = self
+            .maintainers
+            .get_mut(id)
+            .ok_or_else(|| MpcStreamError::Internal(format!("no maintainer with id {id}")))?;
+        let rounds = self.ctx.stats().rounds;
+        let words = self.ctx.stats().words_communicated;
+        let response = m.answer(query, &mut self.ctx)?;
+        let report = QueryReport {
+            maintainer: m.name(),
+            query: query.to_string(),
+            rounds: self.ctx.stats().rounds - rounds,
+            words: self.ctx.stats().words_communicated - words,
+        };
+        self.stats.absorb_query(id, &report);
+        self.stats.record_query_phase(report.rounds, report.words);
+        self.last_query_reports = vec![report];
+        Ok(response)
+    }
+
+    /// Fans a [`QueryRequest`] to **every** maintainer that supports
+    /// it, in a parallel scope — the maintainers answer on their
+    /// disjoint machine groups, so the fan-out costs the *maximum*
+    /// answerer's rounds while all communication is accounted. This
+    /// is the cross-checking mode: one call compares a maintainer's
+    /// answer against its baselines on one accounted cluster.
+    ///
+    /// Returns `(id, response)` pairs in registration order, one per
+    /// supporting maintainer (empty if none support the query); the
+    /// per-answer receipts are in [`Session::query_reports`].
+    ///
+    /// # Errors
+    ///
+    /// The first *real* failure (anything but `Unsupported`) aborts
+    /// the fan-out.
+    pub fn ask_all(
+        &mut self,
+        query: &QueryRequest,
+    ) -> Result<Vec<(MaintainerId, QueryResponse)>, MpcStreamError> {
+        let phase_rounds = self.ctx.stats().rounds;
+        let phase_words = self.ctx.stats().words_communicated;
+        let mut responses = Vec::new();
+        let mut reports: Vec<(MaintainerId, QueryReport)> = Vec::new();
+        let mut failure: Option<MpcStreamError> = None;
+        self.ctx.parallel_begin();
+        for (id, m) in self.maintainers.iter_mut().enumerate() {
+            let rounds = self.ctx.stats().rounds;
+            let words = self.ctx.stats().words_communicated;
+            match m.answer(query, &mut self.ctx) {
+                Ok(response) => {
+                    reports.push((
+                        id,
+                        QueryReport {
+                            maintainer: m.name(),
+                            query: query.to_string(),
+                            rounds: self.ctx.stats().rounds - rounds,
+                            words: self.ctx.stats().words_communicated - words,
+                        },
+                    ));
+                    responses.push((id, response));
+                }
+                // Non-support is free and skipped; see Maintain::answer.
+                Err(MpcStreamError::Unsupported(_)) => {}
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+            self.ctx.parallel_branch();
+        }
+        self.ctx.parallel_end();
+        for (id, report) in &reports {
+            self.stats.absorb_query(*id, report);
+        }
+        self.stats.record_query_phase(
+            self.ctx.stats().rounds - phase_rounds,
+            self.ctx.stats().words_communicated - phase_words,
+        );
+        self.last_query_reports = reports.into_iter().map(|(_, r)| r).collect();
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(responses),
+        }
+    }
+
+    /// The per-answer receipts of the most recent [`Session::ask`] /
+    /// [`Session::ask_all`] call.
+    pub fn query_reports(&self) -> &[QueryReport] {
+        &self.last_query_reports
+    }
+
+    /// The machine group a maintainer's standing state is audited
+    /// against: the cluster is partitioned near-evenly across the
+    /// registered maintainers, in registration order. `None` for an
+    /// unknown id.
+    pub fn machine_group(&self, id: MaintainerId) -> Option<MachineGroup> {
+        MachineGroup::partition(self.ctx.config().machines(), self.maintainers.len())
+            .get(id)
+            .copied()
     }
 
     /// Total standing state across all maintainers, in words.
@@ -410,10 +705,10 @@ impl Session {
             self.ctx.sort(2 * chunk.len() as u64 + 1);
             self.ctx.parallel_begin();
             let mut failure: Option<MpcStreamError> = None;
-            for m in &mut self.maintainers {
+            for (id, m) in self.maintainers.iter_mut().enumerate() {
                 match apply(m.as_mut(), chunk, &mut self.ctx) {
                     Ok(report) => {
-                        self.stats.absorb(&report);
+                        self.stats.absorb(id, &report);
                         reports.push(report);
                     }
                     Err(e) => {
@@ -438,20 +733,61 @@ impl Session {
         Ok(reports)
     }
 
-    /// Checks the combined standing state against the cluster's total
-    /// capacity (`machines × s`). Strict mode errors; permissive mode
-    /// records a violation in the rollup.
+    /// Audits every maintainer's standing state against **its own**
+    /// machine group's capacity (`group machines × s`). Strict mode
+    /// errors, naming the offending maintainer and its group;
+    /// permissive mode records the violation against that maintainer
+    /// in the rollup. Either way the observed state words land in the
+    /// per-maintainer breakdown.
+    ///
+    /// With more maintainers than machines the groups overlap
+    /// (several structures co-scheduled on single machines), so the
+    /// per-group checks alone no longer bound any machine's load;
+    /// each machine's *combined* standing state is then additionally
+    /// audited against `s`, attributed to the machine's largest
+    /// state-holder.
     fn audit_capacity(&mut self) -> Result<(), MpcStreamError> {
-        let used = self.state_words();
-        let capacity = self.ctx.config().machines() as u64 * self.ctx.config().local_capacity();
-        if used > capacity {
-            if self.ctx.config().strict() {
-                return Err(MpcStreamError::Capacity(MpcError::ClusterMemoryExceeded {
-                    used,
-                    capacity,
-                }));
+        let s = self.ctx.config().local_capacity();
+        let machines = self.ctx.config().machines();
+        let groups = MachineGroup::partition(machines, self.maintainers.len());
+        for (id, (m, group)) in self.maintainers.iter().zip(&groups).enumerate() {
+            let used = m.words();
+            self.stats.observe_state(id, used);
+            let capacity = group.capacity(s);
+            if used > capacity {
+                if self.ctx.config().strict() {
+                    return Err(MpcStreamError::Capacity(MpcError::ClusterMemoryExceeded {
+                        maintainer: m.name().to_string(),
+                        group: *group,
+                        used,
+                        capacity,
+                    }));
+                }
+                self.stats.record_group_violation(id);
             }
-            self.stats.capacity_violations += 1;
+        }
+        if self.maintainers.len() > machines {
+            let mut per_machine = vec![0u64; machines];
+            for (m, group) in self.maintainers.iter().zip(&groups) {
+                per_machine[group.start()] += m.words();
+            }
+            for (machine, &used) in per_machine.iter().enumerate() {
+                if used > s {
+                    let id = (0..self.maintainers.len())
+                        .filter(|&i| groups[i].start() == machine)
+                        .max_by_key(|&i| self.maintainers[i].words())
+                        .expect("an overcommitted machine hosts a maintainer");
+                    if self.ctx.config().strict() {
+                        return Err(MpcStreamError::Capacity(MpcError::ClusterMemoryExceeded {
+                            maintainer: self.maintainers[id].name().to_string(),
+                            group: groups[id],
+                            used,
+                            capacity: s,
+                        }));
+                    }
+                    self.stats.record_group_violation(id);
+                }
+            }
         }
         Ok(())
     }
@@ -489,6 +825,23 @@ pub fn ensure_endpoints_in(batch: &Batch, n: usize) -> Result<(), MpcStreamError
                 "edge {e} has an endpoint outside [0, {n})"
             )));
         }
+    }
+    Ok(())
+}
+
+/// Validates a query's vertex argument against `[0, n)` — the
+/// query-side sibling of [`ensure_endpoints_in`], used by every
+/// [`Maintain::answer`] implementation whose storage would otherwise
+/// index out of range.
+///
+/// # Errors
+///
+/// [`MpcStreamError::InvalidBatch`] naming the offending vertex.
+pub fn ensure_vertex_in(v: VertexId, n: usize) -> Result<(), MpcStreamError> {
+    if v as usize >= n {
+        return Err(MpcStreamError::InvalidBatch(format!(
+            "query vertex {v} is outside [0, {n})"
+        )));
     }
     Ok(())
 }
@@ -574,6 +927,36 @@ impl Maintain for Connectivity {
         Connectivity::apply_batch(self, batch, ctx)?;
         Ok(())
     }
+
+    /// Maintained solution ⇒ `O(1)`-round answers: point queries
+    /// route the question to the vertex shard and the answer back
+    /// (one exchange); whole-solution reports charge the paper's
+    /// output sort (Section 1.1).
+    fn answer(
+        &mut self,
+        query: &QueryRequest,
+        ctx: &mut MpcContext,
+    ) -> Result<QueryResponse, MpcStreamError> {
+        match *query {
+            QueryRequest::Connected(u, v) => {
+                ensure_vertex_in(u.max(v), self.vertex_count())?;
+                ctx.exchange(2);
+                Ok(QueryResponse::Bool(self.connected(u, v)))
+            }
+            QueryRequest::ComponentOf(v) => {
+                ensure_vertex_in(v, self.vertex_count())?;
+                ctx.exchange(2);
+                Ok(QueryResponse::Vertex(self.component_of(v)))
+            }
+            QueryRequest::ComponentCount => {
+                Ok(QueryResponse::Count(self.query_component_count(ctx) as u64))
+            }
+            QueryRequest::SpanningForest => {
+                Ok(QueryResponse::Edges(self.query_spanning_forest(ctx)))
+            }
+            _ => Err(unsupported_query(Maintain::name(self), query)),
+        }
+    }
 }
 
 impl Maintain for StreamingConnectivity {
@@ -604,6 +987,40 @@ impl Maintain for StreamingConnectivity {
         }
         Ok(())
     }
+
+    /// Same maintained-solution charges as `Connectivity` (the
+    /// Section 4 reference maintains labels and forest too; only its
+    /// *update* path is sequential).
+    fn answer(
+        &mut self,
+        query: &QueryRequest,
+        ctx: &mut MpcContext,
+    ) -> Result<QueryResponse, MpcStreamError> {
+        match *query {
+            QueryRequest::Connected(u, v) => {
+                ensure_vertex_in(u.max(v), self.vertex_count())?;
+                ctx.exchange(2);
+                Ok(QueryResponse::Bool(self.connected(u, v)))
+            }
+            QueryRequest::ComponentOf(v) => {
+                ensure_vertex_in(v, self.vertex_count())?;
+                ctx.exchange(2);
+                Ok(QueryResponse::Vertex(self.component_of(v)))
+            }
+            QueryRequest::ComponentCount => {
+                ctx.sort(self.vertex_count() as u64);
+                Ok(QueryResponse::Count(canonical_component_count(
+                    self.component_labels(),
+                )))
+            }
+            QueryRequest::SpanningForest => {
+                let forest = self.spanning_forest();
+                ctx.sort(2 * forest.len() as u64);
+                Ok(QueryResponse::Edges(forest))
+            }
+            _ => Err(unsupported_query(Maintain::name(self), query)),
+        }
+    }
 }
 
 impl Maintain for RobustConnectivity {
@@ -627,6 +1044,38 @@ impl Maintain for RobustConnectivity {
         RobustConnectivity::apply_batch(self, batch, ctx)?;
         Ok(())
     }
+
+    /// Answers from the currently exposed instance at the maintained-
+    /// solution charges; reads burn no adaptivity budget (only
+    /// consuming deletions do).
+    fn answer(
+        &mut self,
+        query: &QueryRequest,
+        ctx: &mut MpcContext,
+    ) -> Result<QueryResponse, MpcStreamError> {
+        match *query {
+            QueryRequest::Connected(u, v) => {
+                ensure_vertex_in(u.max(v), self.vertex_count())?;
+                ctx.exchange(2);
+                Ok(QueryResponse::Bool(self.connected(u, v)))
+            }
+            QueryRequest::ComponentOf(v) => {
+                ensure_vertex_in(v, self.vertex_count())?;
+                ctx.exchange(2);
+                Ok(QueryResponse::Vertex(self.component_of(v)))
+            }
+            QueryRequest::ComponentCount => {
+                ctx.sort(self.vertex_count() as u64);
+                Ok(QueryResponse::Count(self.component_count() as u64))
+            }
+            QueryRequest::SpanningForest => {
+                let forest = self.spanning_forest();
+                ctx.sort(2 * forest.len() as u64);
+                Ok(QueryResponse::Edges(forest))
+            }
+            _ => Err(unsupported_query(Maintain::name(self), query)),
+        }
+    }
 }
 
 impl Maintain for VertexDynamicConnectivity {
@@ -649,6 +1098,42 @@ impl Maintain for VertexDynamicConnectivity {
     fn ingest(&mut self, batch: &Batch, ctx: &mut MpcContext) -> Result<(), MpcStreamError> {
         VertexDynamicConnectivity::apply_batch(self, batch, ctx)?;
         Ok(())
+    }
+
+    /// Point queries on inactive vertices are `InvalidBatch` (the
+    /// vertex-set contract), charged like the other maintained
+    /// connectivity structures otherwise.
+    fn answer(
+        &mut self,
+        query: &QueryRequest,
+        ctx: &mut MpcContext,
+    ) -> Result<QueryResponse, MpcStreamError> {
+        match *query {
+            QueryRequest::Connected(u, v) => {
+                ensure_vertex_in(u.max(v), self.capacity())?;
+                // Validate fully before charging: an inactive
+                // endpoint must not leak unreceipted rounds.
+                let connected = self.connected(u, v).map_err(MpcStreamError::from)?;
+                ctx.exchange(2);
+                Ok(QueryResponse::Bool(connected))
+            }
+            QueryRequest::ComponentOf(v) => {
+                ensure_vertex_in(v, self.capacity())?;
+                let comp = self.component_of(v).map_err(MpcStreamError::from)?;
+                ctx.exchange(2);
+                Ok(QueryResponse::Vertex(comp))
+            }
+            QueryRequest::ComponentCount => {
+                ctx.sort(self.capacity() as u64);
+                Ok(QueryResponse::Count(self.component_count() as u64))
+            }
+            QueryRequest::SpanningForest => {
+                let forest = self.spanning_forest();
+                ctx.sort(2 * forest.len() as u64);
+                Ok(QueryResponse::Edges(forest))
+            }
+            _ => Err(unsupported_query(Maintain::name(self), query)),
+        }
     }
 }
 
@@ -675,8 +1160,7 @@ mod tests {
             session.apply_batch(batch).expect("valid stream");
             let live: Vec<Edge> = snap.edges().collect();
             let labels = oracle::components(n, live.iter().copied());
-            let conn = session.get::<Connectivity>(h).expect("handle is live");
-            assert_eq!(conn.component_labels(), &labels[..]);
+            assert_eq!(session.get(h).component_labels(), &labels[..]);
         }
         assert!(session.stats().batches >= stream.batches.len() as u64);
         assert!(session.stats().rounds > 0);
@@ -739,8 +1223,7 @@ mod tests {
         session
             .apply([Update::Insert(e), Update::Delete(e)])
             .expect("net no-op");
-        let conn = session.get::<Connectivity>(h).expect("live");
-        assert_eq!(conn.live_edge_count(), 0);
+        assert_eq!(session.get(h).live_edge_count(), 0);
     }
 
     #[test]
@@ -794,10 +1277,7 @@ mod tests {
             .apply([Update::Insert(e), Update::Insert(e)])
             .expect("forwarded to maintainer contracts");
         assert_eq!(
-            session
-                .get::<Connectivity>(conn)
-                .expect("live")
-                .live_edge_count(),
+            session.get(conn).live_edge_count(),
             0,
             "connectivity's batch WLOG nets even toggles out"
         );
@@ -871,21 +1351,9 @@ mod tests {
             session.apply_batch(batch).expect("insert-only stream");
             let live: Vec<Edge> = snap.edges().collect();
             let labels = oracle::components(n, live.iter().copied());
-            assert_eq!(
-                session
-                    .get::<RobustConnectivity>(r)
-                    .expect("live")
-                    .component_labels(),
-                &labels[..]
-            );
-            assert_eq!(
-                session
-                    .get::<StreamingConnectivity>(s)
-                    .expect("live")
-                    .component_labels(),
-                &labels[..]
-            );
-            let vd = session.get::<VertexDynamicConnectivity>(v).expect("live");
+            assert_eq!(session.get(r).component_labels(), &labels[..]);
+            assert_eq!(session.get(s).component_labels(), &labels[..]);
+            let vd = session.get(v);
             for e in &live {
                 assert!(vd.connected(e.u(), e.v()).expect("active"));
             }
@@ -919,10 +1387,7 @@ mod tests {
             .expect("inserts are free");
         // Two consuming deletions: the second exhausts the 1×1 budget.
         for step in 0..2 {
-            let target = session
-                .get::<RobustConnectivity>(h)
-                .expect("live")
-                .spanning_forest()[0];
+            let target = session.get(h).spanning_forest()[0];
             let result = session.apply([Update::Delete(target)]);
             if step == 0 {
                 result.expect("first consuming batch is within budget");
@@ -934,17 +1399,289 @@ mod tests {
     }
 
     #[test]
-    fn get_rejects_wrong_type_and_bad_handle() {
+    fn typed_handles_give_infallible_access() {
         let mut session = Session::new(cfg(8));
         let h = session.register(Connectivity::new(8, ConnectivityConfig::default(), 1));
-        assert!(session.get::<StreamingConnectivity>(h).is_none());
-        assert!(session.get::<Connectivity>(h + 1).is_none());
-        assert!(session.get_mut::<Connectivity>(h).is_some());
-        let dynamic = session.maintainer(h).expect("registered");
+        // No Option, no turbofish: the handle carries the type.
+        assert_eq!(session.get(h).vertex_count(), 8);
+        assert_eq!(session.get_mut(h).component_count(), 8);
+        assert_eq!(session.query(h, |c, _ctx| c.vertex_count()), 8);
+        assert_eq!(h.id(), 0);
+        assert_eq!(MaintainerId::from(h), 0);
+        assert!(format!("{h:?}").contains("Handle"));
+        let copy = h; // handles are Copy
+        assert_eq!(copy.id(), h.id());
+        // The dynamic escape hatch still works by id.
+        let dynamic = session.maintainer(h.id()).expect("registered");
         assert_eq!(dynamic.name(), "connectivity");
         assert_eq!(dynamic.n(), 8);
         assert_eq!(dynamic.l0_failures(), 0);
+        assert!(session.maintainer(9).is_none());
         assert!(format!("{session:?}").contains("connectivity"));
+    }
+
+    #[test]
+    fn ask_charges_and_receipts_queries() {
+        let n = 16;
+        let mut session = Session::new(cfg(n));
+        let h = session.register(Connectivity::new(n, ConnectivityConfig::default(), 4));
+        session
+            .apply([
+                Update::Insert(Edge::new(0, 1)),
+                Update::Insert(Edge::new(1, 2)),
+            ])
+            .expect("valid stream");
+        let rounds_before = session.ctx().stats().rounds;
+        let answer = session
+            .ask(h, &QueryRequest::Connected(0, 2))
+            .expect("supported");
+        assert_eq!(answer.as_bool(), Some(true));
+        // The answer was charged on the session's own cluster…
+        assert!(session.ctx().stats().rounds > rounds_before);
+        // …and receipted.
+        let reports = session.query_reports();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].maintainer, "connectivity");
+        assert_eq!(reports[0].query, "connected(0, 2)");
+        assert!(reports[0].rounds > 0 && reports[0].words > 0);
+        // …and rolled into the per-maintainer breakdown.
+        let m = &session.stats().per_maintainer[0];
+        assert_eq!(m.queries, 1);
+        assert!(m.query_rounds > 0);
+        assert_eq!(session.stats().queries, 1);
+        // Component count and forest go through the charged plane too.
+        let cc = session
+            .ask(h, &QueryRequest::ComponentCount)
+            .expect("supported");
+        assert_eq!(cc.as_count(), Some(n as u64 - 2));
+        let forest = session
+            .ask(h, &QueryRequest::SpanningForest)
+            .expect("supported");
+        assert_eq!(forest.as_edges().map(<[Edge]>::len), Some(2));
+        // Unsupported queries are clean errors, charged nothing.
+        let rounds = session.ctx().stats().rounds;
+        let err = session
+            .ask(h, &QueryRequest::MatchingSize)
+            .expect_err("connectivity keeps no matching");
+        assert!(matches!(err, MpcStreamError::Unsupported(_)));
+        assert_eq!(session.ctx().stats().rounds, rounds);
+        // Malformed arguments are InvalidBatch.
+        let err = session
+            .ask(h, &QueryRequest::Connected(0, 200))
+            .expect_err("vertex out of range");
+        assert!(matches!(err, MpcStreamError::InvalidBatch(_)));
+    }
+
+    #[test]
+    fn ask_all_fans_out_and_max_composes_rounds() {
+        let n = 12;
+        let mut session = Session::new(cfg(n));
+        let a = session.register(Connectivity::new(n, ConnectivityConfig::default(), 1));
+        let b = session.register(StreamingConnectivity::new(n, 2));
+        session
+            .apply((0..6u32).map(|i| Update::Insert(Edge::new(i, i + 1))))
+            .expect("valid stream");
+        let rounds_before = session.ctx().stats().rounds;
+        let answers = session
+            .ask_all(&QueryRequest::ComponentCount)
+            .expect("both support component counts");
+        assert_eq!(answers.len(), 2);
+        assert_eq!(answers[0].0, a.id());
+        assert_eq!(answers[1].0, b.id());
+        let expect = QueryResponse::Count(n as u64 - 6);
+        assert_eq!(answers[0].1, expect);
+        assert_eq!(answers[1].1, expect);
+        // Two receipts, both charged…
+        assert_eq!(session.query_reports().len(), 2);
+        for r in session.query_reports() {
+            assert!(r.rounds > 0);
+        }
+        // …but the session-level phase max-composed the branches:
+        // strictly less than the sum of the two answers' rounds.
+        let phase = session.ctx().stats().rounds - rounds_before;
+        let sum: u64 = session.query_reports().iter().map(|r| r.rounds).sum();
+        assert!(phase < sum, "phase {phase} should be < serial sum {sum}");
+        assert_eq!(session.stats().query_rounds, phase);
+        // A query nobody supports fans out to an empty answer set.
+        let none = session
+            .ask_all(&QueryRequest::MatchingSize)
+            .expect("unsupported everywhere is not an error");
+        assert!(none.is_empty());
+        assert!(session.query_reports().is_empty());
+    }
+
+    #[test]
+    fn machine_groups_partition_the_cluster_per_maintainer() {
+        let n = 16;
+        let mut session = Session::new(cfg(n));
+        let a = session.register(Connectivity::new(n, ConnectivityConfig::default(), 1));
+        let b = session.register(StreamingConnectivity::new(n, 2));
+        let ga = session.machine_group(a.id()).expect("registered");
+        let gb = session.machine_group(b.id()).expect("registered");
+        let machines = session.ctx().config().machines();
+        assert_eq!(ga.machines() + gb.machines(), machines);
+        assert_eq!(gb.start(), ga.start() + ga.machines());
+        assert!(session.machine_group(2).is_none());
+    }
+
+    /// A minimal maintainer with a dial-a-footprint standing state,
+    /// for deterministic audit tests.
+    struct FixedState {
+        name: &'static str,
+        n: usize,
+        state_words: u64,
+    }
+
+    impl Maintain for FixedState {
+        fn name(&self) -> &'static str {
+            self.name
+        }
+
+        fn n(&self) -> usize {
+            self.n
+        }
+
+        fn words(&self) -> u64 {
+            self.state_words
+        }
+
+        fn ingest(&mut self, batch: &Batch, ctx: &mut MpcContext) -> Result<(), MpcStreamError> {
+            route_batch(batch, self.n, ctx)
+        }
+    }
+
+    #[test]
+    fn strict_group_overrun_names_the_offending_maintainer() {
+        // 4 machines × 64 words, split into two 2-machine groups of
+        // 128 words each: the oversized maintainer is named, the
+        // green neighbor is not.
+        let tight = MpcConfig::builder(16, 0.5)
+            .local_capacity(64)
+            .machines(4)
+            .strict(true)
+            .build();
+        let mut session = Session::new(tight);
+        let green = session.register(FixedState {
+            name: "green",
+            n: 16,
+            state_words: 100,
+        });
+        session.register(FixedState {
+            name: "oversized",
+            n: 16,
+            state_words: 200,
+        });
+        let err = session
+            .apply([Update::Insert(Edge::new(0, 1))])
+            .expect_err("200 words cannot fit a 128-word group");
+        match err {
+            MpcStreamError::Capacity(MpcError::ClusterMemoryExceeded {
+                maintainer,
+                group,
+                used,
+                capacity,
+            }) => {
+                assert_eq!(maintainer, "oversized");
+                assert_eq!(used, 200);
+                assert_eq!(capacity, 128);
+                assert_eq!(group.machines(), 2);
+                assert_eq!(group.start(), 2);
+            }
+            other => panic!("expected ClusterMemoryExceeded, got {other:?}"),
+        }
+        // The neighbor's audit entry stayed green.
+        assert_eq!(
+            session.stats().per_maintainer[green.id()].capacity_violations,
+            0
+        );
+        assert_eq!(session.get(green).words(), 100);
+    }
+
+    #[test]
+    fn overlapping_groups_still_enforce_the_per_machine_bound() {
+        // 3 maintainers on a 2-machine cluster: the groups overlap
+        // (round-robin single machines: a and c share machine 0), so
+        // every *group* check passes (60 <= 64 each) — but machine 0
+        // carries 120 > 64 words, which the co-scheduling audit must
+        // still catch, attributed to one of the machine's tenants.
+        let tight = MpcConfig::builder(16, 0.5)
+            .local_capacity(64)
+            .machines(2)
+            .strict(true)
+            .build();
+        let mut session = Session::new(tight);
+        for name in ["a", "b", "c"] {
+            session.register(FixedState {
+                name,
+                n: 16,
+                state_words: 60,
+            });
+        }
+        let err = session
+            .apply([Update::Insert(Edge::new(0, 1))])
+            .expect_err("machine 0 hosts 2 x 60 words against s = 64");
+        match err {
+            MpcStreamError::Capacity(MpcError::ClusterMemoryExceeded {
+                maintainer,
+                used,
+                capacity,
+                ..
+            }) => {
+                assert_eq!(used, 120);
+                assert_eq!(capacity, 64);
+                assert!(["a", "c"].contains(&maintainer.as_str()));
+            }
+            other => panic!("expected ClusterMemoryExceeded, got {other:?}"),
+        }
+        // Permissive twin records the overrun instead.
+        let permissive = MpcConfig::builder(16, 0.5)
+            .local_capacity(64)
+            .machines(2)
+            .build();
+        let mut session = Session::new(permissive);
+        for name in ["a", "b", "c"] {
+            session.register(FixedState {
+                name,
+                n: 16,
+                state_words: 60,
+            });
+        }
+        session
+            .apply([Update::Insert(Edge::new(0, 1))])
+            .expect("permissive mode records instead of erroring");
+        assert!(session.stats().capacity_violations > 0);
+    }
+
+    #[test]
+    fn permissive_group_overrun_is_attributed_in_the_breakdown() {
+        let tight = MpcConfig::builder(16, 0.5)
+            .local_capacity(64)
+            .machines(4)
+            .build(); // permissive
+        let mut session = Session::new(tight);
+        let green = session.register(FixedState {
+            name: "green",
+            n: 16,
+            state_words: 100,
+        });
+        let fat = session.register(FixedState {
+            name: "oversized",
+            n: 16,
+            state_words: 200,
+        });
+        session
+            .apply([Update::Insert(Edge::new(0, 1))])
+            .expect("permissive mode records instead of erroring");
+        assert_eq!(
+            session.stats().per_maintainer[green.id()].capacity_violations,
+            0
+        );
+        assert_eq!(
+            session.stats().per_maintainer[fat.id()].capacity_violations,
+            1
+        );
+        assert_eq!(session.stats().per_maintainer[fat.id()].state_words, 200);
+        assert_eq!(session.stats().capacity_violations, 1);
     }
 
     #[test]

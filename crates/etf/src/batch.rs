@@ -29,7 +29,6 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 /// `offset + x + Σ{weight_i : breakpoint_i < x}`.
 #[derive(Debug, Clone, Default)]
 struct NodePlan {
-    new_tour: TourId,
     offset: u64,
     /// `(c, cumulative_weight_after)` sorted by `c`: the shift for
     /// position `x` is the cumulative weight of the last breakpoint
@@ -107,8 +106,76 @@ impl DistEtf {
             comp_edges.entry(root).or_default().push(e);
         }
         for (_, comp) in comp_edges {
-            self.join_component(&comp);
+            if let [e] = comp[..] {
+                self.join_single(e);
+            } else {
+                self.join_component(&comp);
+            }
         }
+    }
+
+    /// Joins one single-edge auxiliary component — the dominant
+    /// component shape — without the general auxiliary-tree
+    /// machinery: the larger tour anchors in place (only its tail
+    /// past the attach point shifts), the smaller tour is rerooted at
+    /// its attach terminal and spliced into the gap. Produces exactly
+    /// the tour [`DistEtf::join_component`] would.
+    fn join_single(&mut self, e: Edge) {
+        let (tu, tv) = (self.tour_of(e.u()), self.tour_of(e.v()));
+        let (root, child, u_root, v_child) = if self.tour_len(tu) >= self.tour_len(tv) {
+            (tu, tv, e.u(), e.v())
+        } else {
+            (tv, tu, e.v(), e.u())
+        };
+        self.reroot_uncharged(v_child);
+        let root_len = self.tour_len(root);
+        let w = self.tour_len(child);
+        let (f_u, _) = self.f_l(u_root);
+        let c = if f_u % 2 == 1 { f_u - 1 } else { f_u };
+        // Root tail shift: positions strictly above the attach point
+        // make room for the child block of w + 4 entries.
+        if let Some(shard) = self.shard_mut(root) {
+            for (_, rec) in shard.iter_mut() {
+                for trav in [&mut rec.first, &mut rec.second] {
+                    if trav.pos > c {
+                        trav.pos += w + 4;
+                    }
+                }
+            }
+        }
+        // Child block: old position x lands at c + 2 + x.
+        let child_shard = self.take_shard(child);
+        let mut merged: Vec<(Edge, EdgeRec)> = Vec::with_capacity(child_shard.len() + 1);
+        for (edge, mut rec) in child_shard {
+            rec.tour = root;
+            rec.first.pos += c + 2;
+            rec.second.pos += c + 2;
+            merged.push((edge, rec));
+        }
+        self.add_adjacency(e);
+        merged.push((
+            e,
+            EdgeRec {
+                tour: root,
+                first: Traversal {
+                    pos: c + 1,
+                    from: u_root,
+                },
+                second: Traversal {
+                    pos: c + w + 3,
+                    from: v_child,
+                },
+            },
+        ));
+        self.splice_shard_entries(root, merged);
+        // Membership: only the child's members change tour; its
+        // sorted run merges into the root's list in place.
+        let extra = self.remove_tour_bookkeeping(child);
+        for &x in &extra {
+            self.set_vertex_tour(x, root);
+        }
+        self.merge_members_into(root, extra);
+        self.set_tour_len(root, root_len + w + 4);
     }
 
     /// Joins one auxiliary-tree component.
@@ -121,7 +188,22 @@ impl DistEtf {
             aux.entry(tu).or_default().push((e, e.u(), e.v(), tv));
             aux.entry(tv).or_default().push((e, e.v(), e.u(), tu));
         }
-        let root: TourId = *aux.keys().next().expect("nonempty component");
+        // Anchor the merge at the *largest* participating tour: the
+        // root is never rerooted, keeps its tour id, its shard order,
+        // and its members' tour assignments — so the dominant cost of
+        // a join is proportional to the smaller tours plus the shifted
+        // tail of the root, not to the whole merged component.
+        let root: TourId = {
+            let mut best = *aux.keys().next().expect("nonempty component");
+            for &t in aux.keys().skip(1) {
+                // Strictly greater: ties keep the smallest id, which
+                // also keeps the merged runs in ascending key order.
+                if self.tour_len(t) > self.tour_len(best) {
+                    best = t;
+                }
+            }
+            best
+        };
         // BFS: assign parents; child nodes must be rooted at their
         // attach terminal before f-values are read.
         let mut order: Vec<TourId> = vec![root];
@@ -175,13 +257,14 @@ impl DistEtf {
             let kids_total: u64 = children[&t].iter().map(|ch| total[&ch.child] + 4).sum();
             total.insert(t, own + kids_total);
         }
-        // Pre-order offsets, breakpoints, and new edge records.
-        let new_tour = self.fresh_id();
+        // Pre-order offsets, breakpoints, and new edge records. The
+        // merged tour keeps the root's id (cf. `split_tour`, whose
+        // root region keeps the split tour's id).
+        let new_tour = root;
         let mut plans: HashMap<TourId, NodePlan> = HashMap::new();
         plans.insert(
             root,
             NodePlan {
-                new_tour,
                 offset: 0,
                 breakpoints: Vec::new(),
             },
@@ -211,7 +294,6 @@ impl DistEtf {
                 plans.insert(
                     ch.child,
                     NodePlan {
-                        new_tour,
                         offset: block_start + 2,
                         breakpoints: Vec::new(),
                     },
@@ -221,19 +303,41 @@ impl DistEtf {
             }
             plans.get_mut(&t).expect("inserted above").breakpoints = breakpoints;
         }
-        // Local application: each participating tour's shard is
-        // remapped and spliced into the merged tour's shard — tours
-        // outside the component are never visited. Entries are
-        // collected once and bulk-built into the new shard.
-        let mut merged: Vec<(Edge, EdgeRec)> = Vec::with_capacity(new_recs.len());
-        for &t in &order {
+        // Local application: tours outside the component are never
+        // visited, and the root adapts to the merge shape. When the
+        // root dominates (the common incremental case: small trees
+        // attach to one big tour), its shard is remapped in place —
+        // edge keys, and so the shard order, never change — and only
+        // the child records are spliced in. When the children carry
+        // most of the edges, rebuilding the whole merged shard in one
+        // pass is cheaper than merging into the root.
+        let child_edges: u64 = order[1..].iter().map(|&t| self.tour_len(t) / 4).sum();
+        let rebuild = child_edges >= self.tour_len(root) / 4;
+        let root_plan = plans.remove(&root).expect("root planned");
+        let mut merged: Vec<(Edge, EdgeRec)> =
+            Vec::with_capacity(child_edges as usize + new_recs.len());
+        if rebuild {
+            let shard = self.take_shard(root);
+            merged.reserve(shard.len());
+            for (e, mut rec) in shard {
+                rec.first.pos = root_plan.map(rec.first.pos);
+                rec.second.pos = root_plan.map(rec.second.pos);
+                merged.push((e, rec));
+            }
+        } else if let Some(shard) = self.shard_mut(root) {
+            for (_, rec) in shard.iter_mut() {
+                rec.first.pos = root_plan.map(rec.first.pos);
+                rec.second.pos = root_plan.map(rec.second.pos);
+            }
+        }
+        for &t in &order[1..] {
             let plan = &plans[&t];
             let shard = self.take_shard(t);
             merged.reserve(shard.len());
             for (e, mut rec) in shard {
                 rec.first.pos = plan.map(rec.first.pos);
                 rec.second.pos = plan.map(rec.second.pos);
-                rec.tour = plan.new_tour;
+                rec.tour = new_tour;
                 merged.push((e, rec));
             }
         }
@@ -244,16 +348,20 @@ impl DistEtf {
             merged.push((e, rec));
         }
         self.splice_shard_entries(new_tour, merged);
-        // Merge membership and length bookkeeping: concatenate the
-        // sorted member runs and bulk-build the merged set.
-        let mut member_vec: Vec<VertexId> = Vec::new();
-        for &t in &order {
-            member_vec.extend(self.remove_tour_bookkeeping(t));
+        // Merge membership and length bookkeeping: the root's members
+        // keep their tour assignment (the merged tour is the root's),
+        // so only the child runs are relabelled, then merged into the
+        // root's sorted member list with one two-pointer pass.
+        let mut extra: Vec<VertexId> = Vec::new();
+        for &t in &order[1..] {
+            extra.extend(self.remove_tour_bookkeeping(t));
         }
-        for &w in &member_vec {
+        for &w in &extra {
             self.set_vertex_tour(w, new_tour);
         }
-        member_vec.sort_unstable();
+        extra.sort_unstable();
+        let root_members = self.remove_tour_bookkeeping(root);
+        let member_vec = crate::dist::merge_sorted_runs(&root_members, &extra, |&v| v);
         let len = total[&root];
         self.install_tour(new_tour, len, member_vec);
     }

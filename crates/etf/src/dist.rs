@@ -17,6 +17,30 @@ fn shard_get(shard: &Shard, e: Edge) -> Option<&EdgeRec> {
         .map(|i| &shard[i].1)
 }
 
+/// Merges two sorted runs into one sorted vector in a single linear
+/// pass — the shared splice primitive of the batch operations (edge
+/// shards and member lists alike).
+pub(crate) fn merge_sorted_runs<T: Copy, K: Ord>(
+    a: &[T],
+    b: &[T],
+    key: impl Fn(&T) -> K,
+) -> Vec<T> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if key(&a[i]) <= key(&b[j]) {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
 /// Identifier of one Euler tour (one tree of the forest). Tour ids
 /// `0..n` are the initial singleton tours; fresh ids are allocated
 /// monotonically after splits and joins.
@@ -249,8 +273,10 @@ impl DistEtf {
     /// Splices an entry list into tour `t`'s shard — the map-splice
     /// counterpart of a per-edge rewrite loop. The batch operations
     /// produce concatenations of already-sorted runs, so the stable
-    /// sort here is a linear-time merge. Records must already carry
-    /// tour id `t`.
+    /// sort here is a linear-time run merge; splicing into a live
+    /// shard then merges the two sorted arrays in one linear pass
+    /// (or, for a constant-size run, a few sorted inserts). Records
+    /// must already carry tour id `t`.
     pub(crate) fn splice_shard_entries(&mut self, t: TourId, mut entries: Shard) {
         if entries.is_empty() {
             return;
@@ -260,15 +286,32 @@ impl DistEtf {
             "mislabelled splice"
         );
         self.edge_count += entries.len();
+        entries.sort_by_key(|&(e, _)| e);
         match self.shards.entry(t) {
             std::collections::btree_map::Entry::Vacant(slot) => {
-                entries.sort_by_key(|&(e, _)| e);
                 slot.insert(entries);
             }
             std::collections::btree_map::Entry::Occupied(mut slot) => {
                 let shard = slot.get_mut();
-                shard.append(&mut entries);
-                shard.sort_by_key(|&(e, _)| e);
+                if entries.len() <= 8 && entries.len() * 8 <= shard.len() {
+                    // A constant-size run into a big shard: per-entry
+                    // sorted inserts beat rebuilding the shard. A
+                    // duplicate key (a caller bug) is inserted anyway
+                    // so `edge_count` stays consistent and the shard
+                    // validator reports it, as the rebuild path would.
+                    for (e, rec) in entries {
+                        let i = match shard.binary_search_by_key(&e, |&(k, _)| k) {
+                            Ok(i) => {
+                                debug_assert!(false, "edge {e} spliced twice");
+                                i
+                            }
+                            Err(i) => i,
+                        };
+                        shard.insert(i, (e, rec));
+                    }
+                } else {
+                    *shard = merge_sorted_runs(shard, &entries, |&(e, _)| e);
+                }
             }
         }
     }
@@ -344,6 +387,36 @@ impl DistEtf {
         debug_assert!(members.is_sorted(), "tour members must stay sorted");
         self.tour_len.insert(t, len);
         self.members.insert(t, members);
+    }
+
+    /// Replaces a live tour's length without touching its members.
+    pub(crate) fn set_tour_len(&mut self, t: TourId, len: u64) {
+        self.tour_len.insert(t, len);
+    }
+
+    /// Merges a sorted member run into a live tour's member list
+    /// (per-entry sorted inserts for a constant-size run, one linear
+    /// run merge otherwise).
+    pub(crate) fn merge_members_into(&mut self, t: TourId, extra: Vec<VertexId>) {
+        debug_assert!(extra.is_sorted(), "member runs stay sorted");
+        let members = self.members.entry(t).or_default();
+        if extra.len() <= 8 && extra.len() * 8 <= members.len() {
+            // A duplicate member (a caller bug) is kept so the
+            // bookkeeping validator reports it, as the sort path
+            // would.
+            for v in extra {
+                let i = match members.binary_search(&v) {
+                    Ok(i) => {
+                        debug_assert!(false, "member {v} merged twice");
+                        i
+                    }
+                    Err(i) => i,
+                };
+                members.insert(i, v);
+            }
+        } else {
+            *members = merge_sorted_runs(members, &extra, |&v| v);
+        }
     }
 
     // ----- occurrence bookkeeping ---------------------------------

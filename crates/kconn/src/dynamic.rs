@@ -230,6 +230,29 @@ impl mpc_stream_core::Maintain for DynamicKConn {
     fn ingest(&mut self, batch: &Batch, ctx: &mut MpcContext) -> Result<(), MpcStreamError> {
         DynamicKConn::apply_batch(self, batch, ctx)
     }
+
+    /// The recompute-on-read side of the open problem: a cut query
+    /// peels a fresh certificate at its genuine `Θ(k log n)` round
+    /// cost (the charge the insert-only cascade's maintained
+    /// certificate avoids).
+    fn answer(
+        &mut self,
+        query: &mpc_stream_core::QueryRequest,
+        ctx: &mut MpcContext,
+    ) -> Result<mpc_stream_core::QueryResponse, MpcStreamError> {
+        use mpc_stream_core::{QueryRequest, QueryResponse};
+        match *query {
+            QueryRequest::MinCutLowerBound => {
+                let cert = self.certificate_mut(ctx);
+                let (lower, exact) = match cert.min_cut() {
+                    crate::MinCut::Exact(v) => (v, true),
+                    crate::MinCut::AtLeast(v) => (v, false),
+                };
+                Ok(QueryResponse::MinCut { lower, exact })
+            }
+            _ => Err(mpc_stream_core::unsupported_query("kconn-dynamic", query)),
+        }
+    }
 }
 
 /// Extracts a maximal spanning forest from a sketch bank with the

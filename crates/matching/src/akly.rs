@@ -297,6 +297,31 @@ impl mpc_stream_core::Maintain for AklyMatching {
     fn ingest(&mut self, batch: &Batch, ctx: &mut MpcContext) -> Result<(), MpcStreamError> {
         AklyMatching::apply_batch(self, batch, ctx)
     }
+
+    /// The reported matching is the best guess's: every guess
+    /// converge-casts its size, the coordinator picks the winner, and
+    /// the edge report additionally pays the output sort.
+    fn answer(
+        &mut self,
+        query: &mpc_stream_core::QueryRequest,
+        ctx: &mut MpcContext,
+    ) -> Result<mpc_stream_core::QueryResponse, MpcStreamError> {
+        use mpc_stream_core::{QueryRequest, QueryResponse};
+        match *query {
+            QueryRequest::MatchingSize => {
+                ctx.converge_cast(self.guess_count() as u64, 1);
+                ctx.broadcast(1);
+                Ok(QueryResponse::Count(self.matching_size() as u64))
+            }
+            QueryRequest::MatchingEdges => {
+                ctx.converge_cast(self.guess_count() as u64, 1);
+                let matching = self.matching();
+                ctx.sort(2 * matching.len() as u64 + 1);
+                Ok(QueryResponse::Edges(matching))
+            }
+            _ => Err(mpc_stream_core::unsupported_query("matching-akly", query)),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -153,20 +153,6 @@ impl MaximalMatching {
         Ok(())
     }
 
-    /// The pre-PR-3 slice-pair surface, kept for one release.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use apply_batch(&Batch, …) — the unified maintainer surface"
-    )]
-    pub fn apply_batch_slices(
-        &mut self,
-        insertions: &[Edge],
-        deletions: &[Edge],
-        ctx: &mut MpcContext,
-    ) {
-        self.apply_edge_lists(insertions, deletions, ctx);
-    }
-
     /// Raw edge-list application for the sparsifier layers: deletions
     /// (the retracted old sampler outcomes) first, then insertions
     /// (the new outcomes). Outcomes are sets, so no arrival order
@@ -271,6 +257,32 @@ impl mpc_stream_core::Maintain for MaximalMatching {
 
     fn ingest(&mut self, batch: &Batch, ctx: &mut MpcContext) -> Result<(), MpcStreamError> {
         MaximalMatching::apply_batch(self, batch, ctx)
+    }
+
+    /// The matching is maintained explicitly: its size is one
+    /// converge-cast of per-shard matched counts, the edge list is
+    /// the model's output sort.
+    fn answer(
+        &mut self,
+        query: &mpc_stream_core::QueryRequest,
+        ctx: &mut MpcContext,
+    ) -> Result<mpc_stream_core::QueryResponse, MpcStreamError> {
+        use mpc_stream_core::{QueryRequest, QueryResponse};
+        match *query {
+            QueryRequest::MatchingSize => {
+                ctx.converge_cast(self.n as u64, 1);
+                Ok(QueryResponse::Count(self.matching_size() as u64))
+            }
+            QueryRequest::MatchingEdges => {
+                let matching = self.matching();
+                ctx.sort(2 * matching.len() as u64 + 1);
+                Ok(QueryResponse::Edges(matching))
+            }
+            _ => Err(mpc_stream_core::unsupported_query(
+                "matching-maximal",
+                query,
+            )),
+        }
     }
 }
 
@@ -452,15 +464,6 @@ mod tests {
         )
         .expect("valid");
         assert_eq!(mm.edge_count(), 1);
-        assert_eq!(mm.matching_size(), 1);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_slice_wrapper_still_works() {
-        let mut c = ctx();
-        let mut mm = MaximalMatching::new(4);
-        mm.apply_batch_slices(&[Edge::new(0, 1)], &[], &mut c);
         assert_eq!(mm.matching_size(), 1);
     }
 }

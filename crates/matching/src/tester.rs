@@ -340,6 +340,28 @@ impl mpc_stream_core::Maintain for MatchingSizeEstimator {
     fn ingest(&mut self, batch: &Batch, ctx: &mut MpcContext) -> Result<(), MpcStreamError> {
         MatchingSizeEstimator::apply_batch(self, batch, ctx)
     }
+
+    /// The estimate is the largest passing guess: every tester
+    /// reports its pass/fail bit in one converge-cast and the
+    /// coordinator takes the maximum (Section 8.2).
+    fn answer(
+        &mut self,
+        query: &mpc_stream_core::QueryRequest,
+        ctx: &mut MpcContext,
+    ) -> Result<mpc_stream_core::QueryResponse, MpcStreamError> {
+        use mpc_stream_core::{QueryRequest, QueryResponse};
+        match *query {
+            QueryRequest::MatchingSize => {
+                ctx.converge_cast(self.tester_count() as u64, 1);
+                ctx.broadcast(1);
+                Ok(QueryResponse::Count(self.estimate() as u64))
+            }
+            _ => Err(mpc_stream_core::unsupported_query(
+                mpc_stream_core::Maintain::name(self),
+                query,
+            )),
+        }
+    }
 }
 
 #[cfg(test)]

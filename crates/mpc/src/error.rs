@@ -1,5 +1,7 @@
 //! Error types for the MPC simulator.
 
+use crate::group::MachineGroup;
+
 /// Errors raised by the simulated cluster.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MpcError {
@@ -49,13 +51,17 @@ pub enum MpcError {
         /// Cluster size.
         cluster: usize,
     },
-    /// The combined standing state exceeds the cluster's total
-    /// capacity (`machines × s`) — the cluster is under-provisioned
-    /// for the registered structures.
+    /// A maintainer's standing state exceeds its machine group's
+    /// capacity (`group machines × s`) — the cluster slice assigned
+    /// to that structure is under-provisioned for it.
     ClusterMemoryExceeded {
-        /// Total words held across the cluster.
+        /// Name of the maintainer whose state overran its group.
+        maintainer: String,
+        /// The machine group the maintainer is audited against.
+        group: MachineGroup,
+        /// Words the maintainer's standing state holds.
         used: u64,
-        /// Total cluster capacity (`machines × s`).
+        /// The group's capacity (`group machines × s`).
         capacity: u64,
     },
 }
@@ -95,10 +101,15 @@ impl std::fmt::Display for MpcError {
                 f,
                 "message addressed to machine {machine} of a {cluster}-machine cluster"
             ),
-            MpcError::ClusterMemoryExceeded { used, capacity } => write!(
+            MpcError::ClusterMemoryExceeded {
+                maintainer,
+                group,
+                used,
+                capacity,
+            } => write!(
                 f,
-                "standing state of {used} words exceeds the cluster's total capacity \
-                 {capacity} (provision more machines)"
+                "maintainer {maintainer:?} holds {used} words of standing state, exceeding \
+                 its machine group's capacity {capacity} ({group}; provision more machines)"
             ),
         }
     }
@@ -215,6 +226,15 @@ mod tests {
                     cluster: 4,
                 },
                 &["machine 9", "4-machine"],
+            ),
+            (
+                MpcError::ClusterMemoryExceeded {
+                    maintainer: "connectivity".into(),
+                    group: MachineGroup::new(2, 3),
+                    used: 900,
+                    capacity: 600,
+                },
+                &["connectivity", "900", "600", "machines 2..5"],
             ),
         ];
         for (e, needles) in cases {

@@ -41,10 +41,14 @@ pub mod cluster;
 pub mod config;
 pub mod context;
 pub mod error;
+pub mod group;
 pub mod primitives;
 pub mod stats;
 
 pub use config::MpcConfig;
 pub use context::MpcContext;
 pub use error::{MpcError, MpcStreamError};
-pub use stats::{BatchAudit, BatchReport, PhaseReport, SessionStats, Stats};
+pub use group::MachineGroup;
+pub use stats::{
+    BatchAudit, BatchReport, MaintainerStats, PhaseReport, QueryReport, SessionStats, Stats,
+};

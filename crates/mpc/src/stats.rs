@@ -218,8 +218,87 @@ impl BatchAudit {
     }
 }
 
+/// Rounds and communication one maintainer consumed answering one
+/// typed query through the session's query plane — the query-side
+/// sibling of [`BatchReport`]. Unlike the inherent "peek" accessors,
+/// every `Session::ask` answer is charged against the cluster, and
+/// this report is the receipt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryReport {
+    /// Name of the maintainer that answered.
+    pub maintainer: &'static str,
+    /// The rendered query (e.g. `connected(0, 2)`).
+    pub query: String,
+    /// Rounds charged while answering.
+    pub rounds: u64,
+    /// Words communicated while answering.
+    pub words: u64,
+}
+
+impl std::fmt::Display for QueryReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} answered in {} rounds, {} words",
+            self.maintainer, self.query, self.rounds, self.words
+        )
+    }
+}
+
+/// One maintainer's slice of a `Session`'s lifetime consumption:
+/// ingest and query costs are tracked separately, so the round
+/// asymmetry the paper measures (free maintained answers vs
+/// recompute-on-read baselines) is visible per structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaintainerStats {
+    /// The maintainer's stable name.
+    pub name: &'static str,
+    /// Batches this maintainer ingested.
+    pub batches: u64,
+    /// Rounds charged to this maintainer's batch ingestion
+    /// (serial-equivalent; the session-level rollup max-composes).
+    pub rounds: u64,
+    /// Words this maintainer's ingestion communicated.
+    pub words: u64,
+    /// Queries answered through the query plane.
+    pub queries: u64,
+    /// Rounds charged to this maintainer's query answers.
+    pub query_rounds: u64,
+    /// Words this maintainer's query answers communicated.
+    pub query_words: u64,
+    /// `ℓ0`-sampler failures absorbed.
+    pub l0_failures: u64,
+    /// Capacity violations attributed to this maintainer (permissive
+    /// mode; strict mode errors instead).
+    pub capacity_violations: u64,
+    /// Standing state at the last audit, in words.
+    pub state_words: u64,
+    /// High-water mark of the standing state, in words.
+    pub peak_state_words: u64,
+}
+
+impl MaintainerStats {
+    /// Creates a zeroed entry for `name`.
+    pub fn new(name: &'static str) -> Self {
+        MaintainerStats {
+            name,
+            batches: 0,
+            rounds: 0,
+            words: 0,
+            queries: 0,
+            query_rounds: 0,
+            query_words: 0,
+            l0_failures: 0,
+            capacity_violations: 0,
+            state_words: 0,
+            peak_state_words: 0,
+        }
+    }
+}
+
 /// Rollup of a `Session`'s lifetime consumption across all batches
-/// and maintainers.
+/// and maintainers, including the per-maintainer breakdown
+/// ([`SessionStats::per_maintainer`], indexed by registration order).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SessionStats {
     /// Chunked batches the session fanned out.
@@ -241,16 +320,78 @@ pub struct SessionStats {
     pub capacity_violations: u64,
     /// Worst single batch's session-level round count.
     pub max_batch_rounds: u64,
+    /// Queries answered through the query plane (all maintainers).
+    pub queries: u64,
+    /// Session-level query rounds (`ask_all` fan-outs max-compose,
+    /// like batches).
+    pub query_rounds: u64,
+    /// Words communicated answering queries.
+    pub query_words: u64,
+    /// Per-maintainer breakdown, indexed by registration order
+    /// (`MaintainerId`).
+    pub per_maintainer: Vec<MaintainerStats>,
 }
 
 impl SessionStats {
+    /// Opens a per-maintainer entry; called once per registration, in
+    /// registration order.
+    pub fn register_maintainer(&mut self, name: &'static str) {
+        self.per_maintainer.push(MaintainerStats::new(name));
+    }
+
     /// Folds one maintainer's per-batch report into the rollup
-    /// (failure/violation envelope only; rounds and words are
-    /// recorded once per chunk via [`SessionStats::record_chunk`]).
-    pub fn absorb(&mut self, report: &BatchReport) {
+    /// (failure/violation envelope plus the per-maintainer breakdown;
+    /// session-level rounds and words are recorded once per chunk via
+    /// [`SessionStats::record_chunk`]).
+    pub fn absorb(&mut self, id: usize, report: &BatchReport) {
         self.maintainer_batches += 1;
         self.l0_failures += report.l0_failures;
         self.capacity_violations += report.capacity_violations;
+        if let Some(m) = self.per_maintainer.get_mut(id) {
+            m.batches += 1;
+            m.rounds += report.rounds;
+            m.words += report.words;
+            m.l0_failures += report.l0_failures;
+            m.capacity_violations += report.capacity_violations;
+        }
+    }
+
+    /// Folds one maintainer's query receipt into the rollup. The
+    /// session-level `query_rounds` is advanced by the caller (via
+    /// [`SessionStats::record_query_phase`]) so `ask_all` fan-outs
+    /// max-compose.
+    pub fn absorb_query(&mut self, id: usize, report: &QueryReport) {
+        self.queries += 1;
+        if let Some(m) = self.per_maintainer.get_mut(id) {
+            m.queries += 1;
+            m.query_rounds += report.rounds;
+            m.query_words += report.words;
+        }
+    }
+
+    /// Records one query phase's session-level consumption (for an
+    /// `ask_all`, the max-composed rounds of the fan-out).
+    pub fn record_query_phase(&mut self, rounds: u64, words: u64) {
+        self.query_rounds += rounds;
+        self.query_words += words;
+    }
+
+    /// Records one maintainer's standing state as observed by the
+    /// capacity audit.
+    pub fn observe_state(&mut self, id: usize, words: u64) {
+        if let Some(m) = self.per_maintainer.get_mut(id) {
+            m.state_words = words;
+            m.peak_state_words = m.peak_state_words.max(words);
+        }
+    }
+
+    /// Records a capacity violation attributed to one maintainer's
+    /// machine group (permissive mode).
+    pub fn record_group_violation(&mut self, id: usize) {
+        self.capacity_violations += 1;
+        if let Some(m) = self.per_maintainer.get_mut(id) {
+            m.capacity_violations += 1;
+        }
     }
 
     /// Records one fanned-out chunk's session-level consumption.
@@ -262,11 +403,13 @@ impl SessionStats {
         self.max_batch_rounds = self.max_batch_rounds.max(rounds);
     }
 
-    /// A one-paragraph human-readable account of the session.
+    /// A human-readable account of the session, including the
+    /// per-maintainer ingest/query/state breakdown.
     pub fn summary(&self) -> String {
-        format!(
+        let mut out = format!(
             "session: {} updates in {} batches across {} maintainer applications\n\
              rounds: {} total ({} worst batch), {} words communicated\n\
+             queries: {} answered in {} rounds, {} words\n\
              audit: {} l0 fails, {} capacity violations",
             self.updates,
             self.batches,
@@ -274,9 +417,30 @@ impl SessionStats {
             self.rounds,
             self.max_batch_rounds,
             self.words,
+            self.queries,
+            self.query_rounds,
+            self.query_words,
             self.l0_failures,
             self.capacity_violations
-        )
+        );
+        for m in &self.per_maintainer {
+            out.push_str(&format!(
+                "\n  {:>28}: {} batches ({} rounds, {} words) | {} queries \
+                 ({} rounds, {} words) | state {} words (peak {}) | {} l0 fails, {} violations",
+                m.name,
+                m.batches,
+                m.rounds,
+                m.words,
+                m.queries,
+                m.query_rounds,
+                m.query_words,
+                m.state_words,
+                m.peak_state_words,
+                m.l0_failures,
+                m.capacity_violations
+            ));
+        }
+        out
     }
 }
 
@@ -351,6 +515,7 @@ mod tests {
     #[test]
     fn session_stats_rollup() {
         let mut s = SessionStats::default();
+        s.register_maintainer("a");
         let r = BatchReport {
             maintainer: "a",
             updates: 3,
@@ -359,8 +524,8 @@ mod tests {
             l0_failures: 2,
             capacity_violations: 1,
         };
-        s.absorb(&r);
-        s.absorb(&r);
+        s.absorb(0, &r);
+        s.absorb(0, &r);
         s.record_chunk(3, 9, 25);
         s.record_chunk(2, 4, 5);
         assert_eq!(s.maintainer_batches, 2);
@@ -370,9 +535,49 @@ mod tests {
         assert_eq!(s.updates, 5);
         assert_eq!(s.rounds, 13);
         assert_eq!(s.max_batch_rounds, 9);
+        let a = &s.per_maintainer[0];
+        assert_eq!((a.batches, a.rounds, a.words), (2, 14, 20));
+        assert_eq!((a.l0_failures, a.capacity_violations), (4, 2));
         let text = s.summary();
         assert!(text.contains("5 updates"));
         assert!(text.contains("9 worst batch"));
+        assert!(text.contains("a: 2 batches"));
+    }
+
+    #[test]
+    fn query_reports_roll_into_the_breakdown() {
+        let mut s = SessionStats::default();
+        s.register_maintainer("conn");
+        s.register_maintainer("agm");
+        let free = QueryReport {
+            maintainer: "conn",
+            query: "connected(0, 1)".into(),
+            rounds: 1,
+            words: 2,
+        };
+        let paid = QueryReport {
+            maintainer: "agm",
+            query: "connected(0, 1)".into(),
+            rounds: 9,
+            words: 40,
+        };
+        s.absorb_query(0, &free);
+        s.absorb_query(1, &paid);
+        // The fan-out max-composes at the session level.
+        s.record_query_phase(9, 42);
+        assert_eq!(s.queries, 2);
+        assert_eq!(s.query_rounds, 9);
+        assert_eq!(s.per_maintainer[0].query_rounds, 1);
+        assert_eq!(s.per_maintainer[1].query_rounds, 9);
+        assert!(paid.to_string().contains("connected(0, 1)"));
+        s.observe_state(1, 77);
+        s.observe_state(1, 50);
+        assert_eq!(s.per_maintainer[1].state_words, 50);
+        assert_eq!(s.per_maintainer[1].peak_state_words, 77);
+        s.record_group_violation(1);
+        assert_eq!(s.capacity_violations, 1);
+        assert_eq!(s.per_maintainer[1].capacity_violations, 1);
+        assert!(s.summary().contains("agm"));
     }
 
     #[test]

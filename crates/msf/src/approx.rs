@@ -313,6 +313,29 @@ impl mpc_stream_core::Maintain for ApproxMsfWeight {
         ApproxMsfWeight::apply_batch(self, batch, ctx)?;
         Ok(())
     }
+
+    /// The estimate reads every threshold instance's component count:
+    /// the label sorts run in parallel across the `t + 1` instances
+    /// (one sort's rounds), and the `t + 1` counts converge-cast to
+    /// the coordinator for the weighted sum of Equation (1).
+    fn answer(
+        &mut self,
+        query: &mpc_stream_core::QueryRequest,
+        ctx: &mut MpcContext,
+    ) -> Result<mpc_stream_core::QueryResponse, mpc_sim::MpcStreamError> {
+        use mpc_stream_core::{QueryRequest, QueryResponse};
+        match *query {
+            QueryRequest::ForestWeight => {
+                ctx.sort(self.stack.n as u64);
+                ctx.converge_cast(self.instance_count() as u64, 1);
+                Ok(QueryResponse::Weight(self.weight_estimate()))
+            }
+            _ => Err(mpc_stream_core::unsupported_query(
+                "msf-approx-weight",
+                query,
+            )),
+        }
+    }
 }
 
 impl mpc_stream_core::Maintain for ApproxMsfForest {
@@ -348,6 +371,42 @@ impl mpc_stream_core::Maintain for ApproxMsfForest {
     ) -> Result<(), mpc_sim::MpcStreamError> {
         ApproxMsfForest::apply_batch(self, batch, ctx)?;
         Ok(())
+    }
+
+    /// The forest report pays the documented `t` dependent rounds of
+    /// the level-by-level sweep (one broadcast per level) plus the
+    /// output sort; the weight estimate and point queries charge like
+    /// the weight variant.
+    fn answer(
+        &mut self,
+        query: &mpc_stream_core::QueryRequest,
+        ctx: &mut MpcContext,
+    ) -> Result<mpc_stream_core::QueryResponse, mpc_sim::MpcStreamError> {
+        use mpc_stream_core::{ensure_vertex_in, QueryRequest, QueryResponse};
+        match *query {
+            QueryRequest::SpanningForest => {
+                for _ in 0..self.stack.instances.len() {
+                    ctx.broadcast(1);
+                }
+                let forest: Vec<Edge> = self.forest().into_iter().map(|(e, _)| e).collect();
+                ctx.sort(2 * forest.len() as u64);
+                Ok(QueryResponse::Edges(forest))
+            }
+            QueryRequest::ForestWeight => {
+                ctx.sort(self.stack.n as u64);
+                ctx.converge_cast(self.stack.instances.len() as u64, 1);
+                Ok(QueryResponse::Weight(self.stack.weight_estimate()))
+            }
+            QueryRequest::ComponentOf(v) => {
+                ensure_vertex_in(v, self.stack.n)?;
+                ctx.exchange(2);
+                Ok(QueryResponse::Vertex(self.component_of(v)))
+            }
+            _ => Err(mpc_stream_core::unsupported_query(
+                "msf-approx-forest",
+                query,
+            )),
+        }
     }
 }
 

@@ -148,6 +148,29 @@ impl mpc_stream_core::Maintain for Bipartiteness {
         Bipartiteness::apply_batch(self, batch, ctx)?;
         Ok(())
     }
+
+    /// Bipartiteness compares the component counts of `G` and the
+    /// double cover `G'` (Lemma 7.4): two label sorts (parallel, but
+    /// charged as one phase here) plus the two-count gather.
+    fn answer(
+        &mut self,
+        query: &mpc_stream_core::QueryRequest,
+        ctx: &mut MpcContext,
+    ) -> Result<mpc_stream_core::QueryResponse, mpc_sim::MpcStreamError> {
+        use mpc_stream_core::{QueryRequest, QueryResponse};
+        match *query {
+            QueryRequest::IsBipartite => {
+                ctx.sort(2 * self.n as u64); // the cover's labels dominate
+                ctx.converge_cast(2, 1);
+                Ok(QueryResponse::Bool(self.is_bipartite()))
+            }
+            QueryRequest::ComponentCount => {
+                ctx.sort(self.n as u64);
+                Ok(QueryResponse::Count(self.component_count() as u64))
+            }
+            _ => Err(mpc_stream_core::unsupported_query("bipartiteness", query)),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -125,6 +125,45 @@ impl mpc_stream_core::Maintain for ExactMsf {
         ExactMsf::apply_batch(self, batch, ctx)?;
         Ok(())
     }
+
+    /// Maintained forest ⇒ `O(1)`-round answers: point queries are
+    /// one exchange, the weight is one converge-cast of per-shard
+    /// partial sums, and whole-solution reports charge the output
+    /// sort.
+    fn answer(
+        &mut self,
+        query: &mpc_stream_core::QueryRequest,
+        ctx: &mut MpcContext,
+    ) -> Result<mpc_stream_core::QueryResponse, mpc_sim::MpcStreamError> {
+        use mpc_stream_core::{ensure_vertex_in, QueryRequest, QueryResponse};
+        match *query {
+            QueryRequest::Connected(u, v) => {
+                ensure_vertex_in(u.max(v), self.n)?;
+                ctx.exchange(2);
+                Ok(QueryResponse::Bool(self.connected(u, v)))
+            }
+            QueryRequest::ComponentOf(v) => {
+                ensure_vertex_in(v, self.n)?;
+                ctx.exchange(2);
+                Ok(QueryResponse::Vertex(self.component_of(v)))
+            }
+            QueryRequest::ComponentCount => {
+                ctx.sort(self.n as u64);
+                // The forest spans: cc = n − |F|.
+                Ok(QueryResponse::Count((self.n - self.weights.len()) as u64))
+            }
+            QueryRequest::ForestWeight => {
+                ctx.converge_cast(self.n as u64, 1);
+                Ok(QueryResponse::Weight(self.weight() as f64))
+            }
+            QueryRequest::SpanningForest => {
+                let forest: Vec<Edge> = self.etf.forest_edges().collect();
+                ctx.sort(2 * forest.len() as u64);
+                Ok(QueryResponse::Edges(forest))
+            }
+            _ => Err(mpc_stream_core::unsupported_query("msf-exact", query)),
+        }
+    }
 }
 
 /// Exact MSF under insertion-only batches.
@@ -371,18 +410,56 @@ impl ExactMsf {
         ctx.exchange(4 * rest.len() as u64);
         ctx.sort(4 * rest.len() as u64);
         ctx.broadcast(2);
+        // Path maxima, one shard pass per affected tour: candidates
+        // sharing a tour are tested against each shard edge in shard
+        // order, so the tour's edge array is scanned once for all of
+        // them (not once per candidate) and each edge's weight is
+        // looked up at most once per pass — the membership test is
+        // Lemma 7.2's interval disjunction, evaluated per candidate.
+        let mut by_tour: BTreeMap<mpc_etf::TourId, Vec<usize>> = BTreeMap::new();
+        for (i, we) in rest.iter().enumerate() {
+            by_tour
+                .entry(self.etf.tour_of(we.edge.u()))
+                .or_default()
+                .push(i);
+        }
+        let mut heaviest: Vec<Option<WeightedEdge>> = vec![None; rest.len()];
+        for (tour, cands) in by_tour {
+            let spans: Vec<((u64, u64), (u64, u64))> = cands
+                .iter()
+                .map(|&i| {
+                    let e = rest[i].edge;
+                    (self.etf.f_l(e.u()), self.etf.f_l(e.v()))
+                })
+                .collect();
+            for (pe, rec) in self.etf.tour_edges(tour) {
+                let (lo, hi) = rec.subtree_interval();
+                // Entries (lo-1, hi] are the subtree below `pe`; the
+                // edge is on a candidate's path iff it separates the
+                // candidate's endpoints.
+                let mut weighted: Option<WeightedEdge> = None;
+                for (&i, &((fu, lu), (fv, lv))) in cands.iter().zip(&spans) {
+                    let in_u = fu > lo - 1 && lu <= hi;
+                    let in_v = fv > lo - 1 && lv <= hi;
+                    if in_u == in_v {
+                        continue;
+                    }
+                    let on_path = *weighted.get_or_insert_with(|| WeightedEdge {
+                        edge: pe,
+                        weight: self.weights[&pe],
+                    });
+                    if heaviest[i]
+                        .is_none_or(|h| (on_path.weight, on_path.edge) > (h.weight, h.edge))
+                    {
+                        heaviest[i] = Some(on_path);
+                    }
+                }
+            }
+        }
         let mut cuts: BTreeSet<Edge> = BTreeSet::new();
         let mut swappers: Vec<WeightedEdge> = Vec::new();
-        for we in rest {
-            let path = self.etf.identify_path_local(we.edge.u(), we.edge.v());
-            let heaviest = path
-                .iter()
-                .map(|&pe| WeightedEdge {
-                    edge: pe,
-                    weight: self.weights[&pe],
-                })
-                .max_by_key(|w| (w.weight, w.edge))
-                .expect("intra-component candidates have a nonempty path");
+        for (we, heaviest) in rest.into_iter().zip(heaviest) {
+            let heaviest = heaviest.expect("intra-component candidates have a nonempty path");
             if heaviest.weight > we.weight {
                 cuts.insert(heaviest.edge);
                 swappers.push(we);

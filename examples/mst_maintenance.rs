@@ -49,7 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let batch_rounds: u64 = reports.iter().map(|r| r.rounds).max().unwrap_or(0);
         all.extend(batch.insertions());
         let kruskal = oracle::msf_weight(n, all.iter().copied());
-        let ex = session.get::<ExactMsf>(exact).expect("registered");
+        let ex = session.get(exact);
         println!(
             " {:>5} | {:>6} | {:>7} | {:>9} | {:>5} | {:>11.1} | {:>10.1}",
             i,
@@ -57,19 +57,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             kruskal,
             ex.weight(),
             ex.last_iterations(),
-            session
-                .get::<ApproxMsfWeight>(tight)
-                .expect("registered")
-                .weight_estimate(),
-            session
-                .get::<ApproxMsfWeight>(loose)
-                .expect("registered")
-                .weight_estimate(),
+            session.get(tight).weight_estimate(),
+            session.get(loose).weight_estimate(),
         );
         assert_eq!(ex.weight(), kruskal, "exact MSF must match Kruskal");
     }
 
-    let ex = session.get::<ExactMsf>(exact).expect("registered");
+    // One ask_all cross-checks all three maintainers' weight answers
+    // on the shared cluster (rounds max-compose across the fan-out).
+    let answers = session.ask_all(&QueryRequest::ForestWeight)?;
+    assert_eq!(answers.len(), 3);
+    let exact_w = session.get(exact).weight() as f64;
+    println!("\ncross-check (one ask_all, three charged answers):");
+    for ((id, answer), report) in answers.iter().zip(session.query_reports()) {
+        let est = answer.as_weight().expect("ForestWeight answers a weight");
+        println!(
+            "  {} (group {}): forest_weight = {est:.1} ({} rounds) — ratio {:.3}",
+            report.maintainer,
+            session.machine_group(*id).expect("registered"),
+            report.rounds,
+            est / exact_w,
+        );
+    }
+
+    let ex = session.get(exact);
     println!(
         "\nexact forest: {} edges, total weight {} (matches Kruskal at every batch)",
         ex.forest().len(),
@@ -77,14 +88,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "ε=0.1 instances: {}, ε=0.5 instances: {} (memory scales with log_1+ε W)",
-        session
-            .get::<ApproxMsfWeight>(tight)
-            .expect("registered")
-            .instance_count(),
-        session
-            .get::<ApproxMsfWeight>(loose)
-            .expect("registered")
-            .instance_count()
+        session.get(tight).instance_count(),
+        session.get(loose).instance_count()
     );
     println!("\nsession rollup:\n{}", session.stats().summary());
     Ok(())

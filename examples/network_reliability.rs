@@ -1,5 +1,6 @@
 //! Network reliability monitoring with k-edge-connectivity
-//! certificates (the Section 9 extension).
+//! certificates (the Section 9 extension), driven through the
+//! unified [`Session`] and its typed query plane.
 //!
 //! ```sh
 //! cargo run --example network_reliability
@@ -13,11 +14,14 @@
 //! (bridges). Storing the whole fabric would cost `Θ(m)` words; the
 //! sparse certificate answers all cut questions up to size `k` with
 //! `O(k·n)` words.
+//!
+//! The cut question goes through `Session::ask(monitor,
+//! &QueryRequest::MinCutLowerBound)`: the peel's `Θ(k log n)` rounds
+//! are charged on the session's cluster and receipted per query —
+//! the measured shape of the paper's Section 9 open problem (cheap
+//! updates, expensive dynamic cut queries).
 
-use mpc_stream::graph::ids::Edge;
-use mpc_stream::graph::update::Batch;
-use mpc_stream::kconn::{DynamicKConn, MinCut};
-use mpc_stream::mpc::{MpcConfig, MpcContext};
+use mpc_stream::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -26,21 +30,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let k = 3; // resolution: answer cut questions up to 3-conn
     let cfg = MpcConfig::builder(n as usize, 0.5)
         .local_capacity(1 << 16)
+        .machines(8) // the monitor's machine group must hold k sketch banks
         .build();
     println!(
         "fabric monitor: {n} racks, certificate resolution k = {k}, s = {} words",
         cfg.local_capacity()
     );
-    let mut ctx = MpcContext::new(cfg);
-    let mut monitor = DynamicKConn::new(n as usize, k, 0xFAB);
+    let mut session = Session::new(cfg);
+    let monitor = session.register(DynamicKConn::new(n as usize, k, 0xFAB));
     let mut rng = StdRng::seed_from_u64(2024);
     let mut live: Vec<Edge> = Vec::new();
 
     // Window 0: bring up a ring backbone (survives 1 failure).
     let ring: Vec<Edge> = (0..n).map(|i| Edge::new(i, (i + 1) % n)).collect();
     live.extend(ring.iter().copied());
-    monitor.apply_batch(&Batch::inserting(ring), &mut ctx)?;
-    report(&monitor, &mut ctx, 0, live.len());
+    session.apply(ring.into_iter().map(Update::Insert))?;
+    report(&mut session, monitor, 0, live.len());
 
     // Window 1: add random cross-links (redundancy grows).
     let mut cross = Vec::new();
@@ -55,27 +60,52 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     live.extend(cross.iter().copied());
-    monitor.apply_batch(&Batch::inserting(cross), &mut ctx)?;
-    report(&monitor, &mut ctx, 1, live.len());
+    session.apply(cross.into_iter().map(Update::Insert))?;
+    report(&mut session, monitor, 1, live.len());
 
     // Window 2: decommission a quarter of the cross-links.
     let gone: Vec<Edge> = live.iter().skip(n as usize).step_by(4).copied().collect();
     live.retain(|e| !gone.contains(e));
-    monitor.apply_batch(&Batch::deleting(gone), &mut ctx)?;
-    report(&monitor, &mut ctx, 2, live.len());
+    session.apply(gone.into_iter().map(Update::Delete))?;
+    report(&mut session, monitor, 2, live.len());
 
     // Window 3: sever the ring at two points — bridges appear.
     let cut = vec![live[0], live[n as usize / 2]];
     live.retain(|e| !cut.contains(e));
-    monitor.apply_batch(&Batch::deleting(cut), &mut ctx)?;
-    report(&monitor, &mut ctx, 3, live.len());
+    session.apply(cut.into_iter().map(Update::Delete))?;
+    let last_cut = report(&mut session, monitor, 3, live.len());
+
+    // The typed plane gives the same cut answer as the certificate —
+    // one extra receipted ask as the cross-check.
+    let answer = session.ask(monitor, &QueryRequest::MinCutLowerBound)?;
+    let receipt = &session.query_reports()[0];
+    assert_eq!(answer.as_min_cut(), Some(last_cut), "ask == certificate");
+    assert!(receipt.rounds > 0, "dynamic cut queries are never free");
+    println!(
+        "\ntyped cross-check: ask(MinCutLowerBound) = {answer} \
+         ({} rounds, {} words, receipted)",
+        receipt.rounds, receipt.words
+    );
+    println!("\nsession rollup:\n{}", session.stats().summary());
     Ok(())
 }
 
-fn report(monitor: &DynamicKConn, ctx: &mut MpcContext, window: usize, m: usize) {
-    let before = ctx.rounds();
-    let cert = monitor.certificate(ctx);
-    let query_rounds = ctx.rounds() - before;
+/// One maintenance-window report: a single Θ(k log n) certificate
+/// peel, charged on the session's cluster through the typed closure
+/// plane, answers every cut question of the window.
+fn report(
+    session: &mut Session,
+    monitor: Handle<DynamicKConn>,
+    window: usize,
+    m: usize,
+) -> (u64, bool) {
+    let rounds_before = session.ctx().stats().rounds;
+    let cert = session.query(monitor, |kc, ctx| kc.certificate_mut(ctx));
+    let query_rounds = session.ctx().stats().rounds - rounds_before;
+    let (lower, exact) = match cert.min_cut() {
+        MinCut::Exact(v) => (v, true),
+        MinCut::AtLeast(v) => (v, false),
+    };
     let survives_one = cert.is_k_edge_connected(2).unwrap_or(false);
     let survives_two = cert.is_k_edge_connected(3).unwrap_or(false);
     let bridges = cert.bridges().expect("k >= 2");
@@ -86,17 +116,17 @@ fn report(monitor: &DynamicKConn, ctx: &mut MpcContext, window: usize, m: usize)
         2 * m,
     );
     println!(
-        "  {} | survives 1 failure: {survives_one} | survives 2: {survives_two} | \
+        "  {} ({}) | survives 1 failure: {survives_one} | survives 2: {survives_two} | \
          single points of failure: {} | query rounds: {query_rounds}",
         cert.min_cut(),
+        if exact { "exact" } else { "at resolution" },
         bridges.len(),
     );
     if !bridges.is_empty() {
         let shown: Vec<String> = bridges.iter().take(4).map(|e| e.to_string()).collect();
         println!("  first bridges: {}", shown.join(", "));
     }
-    assert!(matches!(
-        cert.min_cut(),
-        MinCut::Exact(_) | MinCut::AtLeast(_)
-    ));
+    assert!(lower <= 3, "resolution k = 3 caps the reported bound");
+    assert!(query_rounds > 0, "dynamic cut queries are never free");
+    (lower, exact)
 }

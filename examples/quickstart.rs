@@ -45,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // One registered maintainer → at most one report (none if the
         // batch normalized to a no-op).
         let (rounds, words) = reports.first().map_or((0, 0), |r| (r.rounds, r.words));
-        let c = session.get::<Connectivity>(conn).expect("registered");
+        let c = session.get(conn);
         println!(
             " {:>5} | {:>7} | {:>6} | {:>10} | {:>10} | {:>9}",
             i,
@@ -57,14 +57,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    let c = session.get::<Connectivity>(conn).expect("registered");
+    let c = session.get(conn);
     println!(
-        "\nqueries are free: vertex 0 is in component {} (maintained labelling)",
+        "\ninherent reads are free: vertex 0 is in component {} (maintained labelling)",
         c.component_of(0)
     );
     println!(
         "spanning forest has {} edges (maintained explicitly)",
         c.spanning_forest().len()
+    );
+    // The typed query plane charges the same answers against the
+    // cluster and receipts them — O(1) rounds, because the solution
+    // is maintained.
+    let answer = session.ask(conn, &QueryRequest::ComponentCount)?;
+    let receipt = &session.query_reports()[0];
+    println!(
+        "charged query: component_count = {answer} ({} rounds, {} words on the cluster)",
+        receipt.rounds, receipt.words
     );
     println!(
         "peak memory: {} words on one machine, {} words total (budget O(n log³ n))",

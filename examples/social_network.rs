@@ -44,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         };
         let reports = session.apply_batch(batch)?;
         baseline.apply_batch(batch, &mut baseline_ctx);
-        let c = session.get::<Connectivity>(conn).expect("registered");
+        let c = session.get(conn);
         println!(
             " {:>5} | {:>12} | {:>6} | {:>11} | {:>12} | {:>13}",
             i,
@@ -58,7 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The headline comparison (Theorem 1.1 vs prior work): our state
     // is independent of m; the baseline stores the whole graph.
-    let c = session.get::<Connectivity>(conn).expect("registered");
+    let c = session.get(conn);
     println!(
         "\nwith {} live edges: ours {} words vs Θ(n+m) baseline {} words",
         c.live_edge_count(),

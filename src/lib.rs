@@ -13,7 +13,13 @@
 //! same batch/round/memory discipline — and the API says so: every
 //! maintainer implements [`prelude::Maintain`], every failure is a
 //! [`prelude::MpcStreamError`], and a [`prelude::Session`] drives any
-//! set of maintainers over one accounted cluster:
+//! set of maintainers over one accounted cluster. Registration
+//! returns a typed [`prelude::Handle`], so reads need no downcasts;
+//! the [`prelude::QueryRequest`] plane
+//! ([`Session::ask`](core_alg::Session::ask) /
+//! [`Session::ask_all`](core_alg::Session::ask_all)) charges every
+//! answer against the cluster and attributes it in the
+//! [`prelude::SessionStats`] per-maintainer breakdown:
 //!
 //! ```
 //! use mpc_stream::prelude::*;
@@ -32,9 +38,25 @@
 //! ])?;
 //! assert_eq!(reports.len(), 2); // one per maintainer
 //!
-//! // Queries go through typed handles; answers are free.
-//! assert!(session.get::<Connectivity>(conn).unwrap().connected(0, 2));
-//! assert!(!session.get::<Bipartiteness>(bip).unwrap().is_bipartite());
+//! // Typed handles: inherent reads with no downcast, no Option…
+//! assert!(session.get(conn).connected(0, 2));
+//! assert!(!session.get(bip).is_bipartite());
+//!
+//! // …and charged, receipted queries through the typed query plane.
+//! let answer = session.ask(conn, &QueryRequest::Connected(0, 2))?;
+//! assert_eq!(answer.as_bool(), Some(true));
+//! assert!(session.query_reports()[0].rounds > 0);
+//!
+//! // ask_all cross-checks every maintainer that supports a query —
+//! // here both structures count components, and they must agree.
+//! let counts = session.ask_all(&QueryRequest::ComponentCount)?;
+//! assert_eq!(
+//!     counts,
+//!     vec![
+//!         (conn.id(), QueryResponse::Count(62)),
+//!         (bip.id(), QueryResponse::Count(62)),
+//!     ]
+//! );
 //! println!("{}", session.stats().summary());
 //! # Ok(())
 //! # }
@@ -57,9 +79,12 @@ pub use mpc_sketch as sketch;
 pub use mpc_stream_core as core_alg;
 
 /// Everything needed to drive the unified maintainer surface: the
-/// [`Session`](mpc_stream_core::Session) engine, the
+/// [`Session`](mpc_stream_core::Session) engine with its typed
+/// [`Handle`](mpc_stream_core::Handle)s and
+/// [`QueryRequest`](mpc_stream_core::QueryRequest) /
+/// [`QueryResponse`](mpc_stream_core::QueryResponse) query plane, the
 /// [`Maintain`](mpc_stream_core::Maintain) trait, the workspace-wide
-/// [`MpcStreamError`](mpc_sim::MpcStreamError), all eleven-plus
+/// [`MpcStreamError`](mpc_sim::MpcStreamError), all sixteen
 /// maintainers, and the graph / cluster vocabulary types.
 pub mod prelude {
     pub use mpc_baselines::{AgmBaseline, FullMemoryBaseline};
@@ -70,9 +95,13 @@ pub mod prelude {
         AklyMatching, CappedGreedyMatching, MatchingSizeEstimator, MaximalMatching, StreamKind,
     };
     pub use mpc_msf::{ApproxMsfForest, ApproxMsfWeight, Bipartiteness, ExactMsf, MsfError};
-    pub use mpc_sim::{BatchReport, MpcConfig, MpcContext, MpcError, MpcStreamError, SessionStats};
+    pub use mpc_sim::{
+        BatchReport, MachineGroup, MaintainerStats, MpcConfig, MpcContext, MpcError,
+        MpcStreamError, QueryReport, SessionStats,
+    };
     pub use mpc_stream_core::{
-        Connectivity, ConnectivityConfig, ConnectivityError, Maintain, MaintainerId,
-        RobustConnectivity, Session, StreamingConnectivity, VertexDynamicConnectivity,
+        Connectivity, ConnectivityConfig, ConnectivityError, Handle, Maintain, MaintainerId,
+        QueryRequest, QueryResponse, RobustConnectivity, Session, StreamingConnectivity,
+        VertexDynamicConnectivity,
     };
 }

@@ -41,35 +41,22 @@ fn maintainer_and_baselines_agree_on_one_cluster() {
         let live: Vec<Edge> = snap.edges().collect();
         let expect = oracle::components(n, live.iter().copied());
         // The paper's structure answers from its maintained labels.
-        let maintained = session
-            .get::<Connectivity>(conn)
-            .expect("live")
-            .component_labels()
-            .to_vec();
+        let maintained = session.get(conn).component_labels().to_vec();
         assert_eq!(maintained, expect, "maintained labels diverged");
         // Both baselines recompute on the session's own context.
-        let agm_labels = session
-            .query(agm, |b: &mut AgmBaseline, ctx| b.query_components(ctx))
-            .expect("handle live");
+        let agm_labels = session.query(agm, |b, ctx| b.query_components(ctx));
         assert_eq!(agm_labels, expect, "AGM recompute diverged");
-        let full_labels = session
-            .query(full, |b: &mut FullMemoryBaseline, ctx| {
-                b.query_components(ctx)
-            })
-            .expect("handle live");
+        let full_labels = session.query(full, |b, ctx| b.query_components(ctx));
         assert_eq!(full_labels, expect, "full-memory recompute diverged");
     }
     // The query-round asymmetry the comparison is about: baseline
     // queries cost rounds, the maintained labelling is free.
-    let agm_rounds = session
-        .get::<AgmBaseline>(agm)
-        .expect("live")
-        .last_query_rounds();
+    let agm_rounds = session.get(agm).last_query_rounds();
     assert!(agm_rounds > 0, "AGM queries must pay Borůvka rounds");
     // All three standing states are audited together.
-    let conn_words = session.maintainer(conn).expect("live").words();
-    let agm_words = session.maintainer(agm).expect("live").words();
-    let full_words = session.maintainer(full).expect("live").words();
+    let conn_words = session.maintainer(conn.id()).expect("live").words();
+    let agm_words = session.maintainer(agm.id()).expect("live").words();
+    let full_words = session.maintainer(full.id()).expect("live").words();
     assert!(conn_words > 0 && agm_words > 0 && full_words > 0);
     assert_eq!(
         session.state_words(),
@@ -115,15 +102,15 @@ fn memory_asymmetry_is_observable_in_one_session() {
         .map(|i| Update::Insert(Edge::new(i, i + 1)))
         .collect();
     session.apply(wave1).expect("valid");
-    let agm_w1 = session.maintainer(agm).expect("live").words();
-    let full_w1 = session.maintainer(full).expect("live").words();
+    let agm_w1 = session.maintainer(agm.id()).expect("live").words();
+    let full_w1 = session.maintainer(full.id()).expect("live").words();
     // A second wave adds edges between already-touched vertices.
     let wave2: Vec<Update> = (0..n as u32 / 2)
         .map(|i| Update::Insert(Edge::new(i, i + n as u32 / 2)))
         .collect();
     session.apply(wave2).expect("valid");
-    let agm_w2 = session.maintainer(agm).expect("live").words();
-    let full_w2 = session.maintainer(full).expect("live").words();
+    let agm_w2 = session.maintainer(agm.id()).expect("live").words();
+    let full_w2 = session.maintainer(full.id()).expect("live").words();
     assert_eq!(agm_w1, agm_w2, "sketch state is Õ(n): no growth with m");
     assert!(full_w2 > full_w1, "full-memory state grows with m");
     // A permissive tiny cluster records the combined overrun instead
@@ -156,9 +143,7 @@ fn direct_context_queries_match_session_driven_ones() {
         agm.apply_batch(batch, &mut ctx);
         session.apply_batch(batch).expect("valid stream");
         let direct = agm.query_components(&mut ctx);
-        let driven = session
-            .query(via, |b: &mut AgmBaseline, ctx| b.query_components(ctx))
-            .expect("handle live");
+        let driven = session.query(via, |b, ctx| b.query_components(ctx));
         assert_eq!(direct, driven);
         assert_eq!(direct, oracle::components(n, snap.edges()));
     }

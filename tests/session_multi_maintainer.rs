@@ -53,10 +53,7 @@ fn one_session_drives_connectivity_msf_and_bipartiteness_vs_oracles() {
         // Connectivity vs the union-find oracle.
         let labels = oracle::components(n, live.iter().copied());
         assert_eq!(
-            session
-                .get::<Connectivity>(conn)
-                .expect("registered")
-                .component_labels(),
+            session.get(conn).component_labels(),
             &labels[..],
             "batch {i}: connectivity labels diverged"
         );
@@ -67,16 +64,13 @@ fn one_session_drives_connectivity_msf_and_bipartiteness_vs_oracles() {
             .map(|&e| WeightedEdge { edge: e, weight: 1 })
             .collect();
         assert_eq!(
-            session.get::<ExactMsf>(msf).expect("registered").weight(),
+            session.get(msf).weight(),
             oracle::msf_weight(n, unit.iter().copied()),
             "batch {i}: MSF weight diverged"
         );
         // Bipartiteness vs the 2-coloring oracle.
         assert_eq!(
-            session
-                .get::<Bipartiteness>(bip)
-                .expect("registered")
-                .is_bipartite(),
+            session.get(bip).is_bipartite(),
             oracle::is_bipartite(n, &live),
             "batch {i}: bipartiteness diverged"
         );
@@ -105,16 +99,13 @@ fn weighted_stream_shares_weights_with_msf_and_projects_for_connectivity() {
         session.apply_weighted(batch.iter()).expect("valid stream");
         all.extend(batch.insertions());
         assert_eq!(
-            session.get::<ExactMsf>(msf).expect("registered").weight(),
+            session.get(msf).weight(),
             oracle::msf_weight(n, all.iter().copied()),
             "weight-aware maintainer must see the true weights"
         );
         let labels = oracle::components(n, all.iter().map(|we| we.edge));
         assert_eq!(
-            session
-                .get::<Connectivity>(conn)
-                .expect("registered")
-                .component_labels(),
+            session.get(conn).component_labels(),
             &labels[..],
             "weight-oblivious maintainer sees the projection"
         );
@@ -273,7 +264,7 @@ fn session_chunks_normalizes_and_rolls_up() {
     assert_eq!(session.stats().batches, 3);
     assert_eq!(session.stats().updates, 10);
     assert_eq!(session.stats().maintainer_batches, 6);
-    let c = session.get::<Connectivity>(conn).expect("registered");
+    let c = session.get(conn);
     assert_eq!(c.live_edge_count(), 10);
     assert!(!c.connected(30, 31));
 
@@ -301,10 +292,7 @@ fn reweight_pair_reaches_weight_aware_maintainers() {
             WeightedUpdate::Insert(WeightedEdge::new(0, 1, 9)),
         ])
         .expect("reweight is a legal pair");
-    let est = session
-        .get::<ApproxMsfWeight>(aw)
-        .expect("registered")
-        .weight_estimate();
+    let est = session.get(aw).weight_estimate();
     assert!(
         (12.0..=12.0 * 1.25 + 1e-6).contains(&est),
         "estimate {est} must reflect the reweighted 9 + 3"
@@ -322,13 +310,7 @@ fn duplicate_insert_keeps_set_semantics_through_session() {
     session
         .apply([Update::Insert(e), Update::Insert(e)])
         .expect("duplicates are set-semantic for the matcher");
-    assert_eq!(
-        session
-            .get::<MaximalMatching>(mm)
-            .expect("registered")
-            .edge_count(),
-        1
-    );
+    assert_eq!(session.get(mm).edge_count(), 1);
 }
 
 #[test]
@@ -342,18 +324,10 @@ fn kconn_pair_in_one_session_agrees_on_min_cut() {
         .map(|i| Update::Insert(Edge::new(i, (i + 1) % n as u32)))
         .collect();
     session.apply(cycle).expect("insert-only stream");
-    let io_cut = session
-        .get::<InsertOnlyKConn>(io)
-        .expect("registered")
-        .certificate()
-        .min_cut();
+    let io_cut = session.get(io).certificate().min_cut();
     assert_eq!(io_cut, MinCut::AtLeast(2));
     // The dynamic maintainer answers by peeling on the shared ctx.
     let mut peel_ctx = MpcContext::new(cfg(n));
-    let dy_cut = session
-        .get::<DynamicKConn>(dy)
-        .expect("registered")
-        .certificate(&mut peel_ctx)
-        .min_cut();
+    let dy_cut = session.get(dy).certificate(&mut peel_ctx).min_cut();
     assert_eq!(dy_cut, MinCut::AtLeast(2));
 }

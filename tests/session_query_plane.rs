@@ -1,0 +1,331 @@
+//! The typed query plane, end to end: `ask` answers must equal the
+//! inherent-API answers for **every** maintainer kind in the
+//! workspace (property-tested over generated insert streams), every
+//! supported answer must be charged, and the machine-group capacity
+//! audit must attribute overruns to the offending maintainer while
+//! its neighbors stay green.
+
+use mpc_stream::graph::ids::Edge;
+use mpc_stream::graph::update::{Batch, Update};
+use mpc_stream::prelude::*;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn cfg(n: usize) -> MpcConfig {
+    // 2n covers the bipartite double cover; permissive mode lets one
+    // cluster host all sixteen maintainers without provisioning.
+    MpcConfig::builder(2 * n, 0.5)
+        .local_capacity(1 << 16)
+        .build()
+}
+
+/// Insert-only simple-graph batch sequences (every maintainer kind,
+/// including the insertion-only ones, accepts them).
+fn insert_streams(n: u32, max_edges: usize) -> impl Strategy<Value = Vec<Batch>> {
+    let step = (0u32..n, 0u32..n);
+    proptest::collection::vec(step, 1..max_edges).prop_map(move |pairs| {
+        let mut seen: BTreeSet<Edge> = BTreeSet::new();
+        let mut batches = Vec::new();
+        let mut current = Batch::new();
+        for (a, b) in pairs {
+            if a == b {
+                continue;
+            }
+            let e = Edge::new(a, b);
+            if seen.insert(e) {
+                current.push(Update::Insert(e));
+            }
+            if current.len() >= 8 {
+                batches.push(std::mem::take(&mut current));
+            }
+        }
+        if !current.is_empty() {
+            batches.push(current);
+        }
+        batches
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// One session, all sixteen maintainer kinds, one shared stream:
+    /// for each maintainer, at least one `ask` answer is compared
+    /// against the inherent API it re-expresses — and every answer
+    /// must have been charged nonzero rounds *and* words.
+    #[test]
+    fn ask_answers_equal_inherent_answers_for_every_maintainer_kind(
+        batches in insert_streams(20, 40),
+    ) {
+        let n = 20usize;
+        let mut session = Session::new(cfg(n));
+        let conn = session.register(Connectivity::new(n, ConnectivityConfig::default(), 1));
+        let strm = session.register(StreamingConnectivity::new(n, 2));
+        let robust = session.register(RobustConnectivity::new(
+            n, 2, 4, ConnectivityConfig::default(), 3,
+        ));
+        let mut vd0 =
+            VertexDynamicConnectivity::with_capacity(n, ConnectivityConfig::default(), 4);
+        {
+            let mut setup = MpcContext::new(cfg(n));
+            vd0.add_vertices(n, &mut setup).expect("slots available");
+        }
+        let vd = session.register(vd0);
+        let msf = session.register(ExactMsf::new(n));
+        let aw = session.register(ApproxMsfWeight::new(n, 0.5, 4, 5));
+        let af = session.register(ApproxMsfForest::new(n, 0.5, 4, 6));
+        let bip = session.register(Bipartiteness::new(n, 7));
+        let est_i = session.register(MatchingSizeEstimator::new(
+            n, 2.0, StreamKind::InsertionOnly, 8,
+        ));
+        let est_d = session.register(MatchingSizeEstimator::new(n, 2.0, StreamKind::Dynamic, 9));
+        let akly = session.register(AklyMatching::new(n, 2.0, 10));
+        let mm = session.register(MaximalMatching::new(n));
+        let dy = session.register(DynamicKConn::new(n, 2, 11));
+        let io = session.register(InsertOnlyKConn::new(n, 2));
+        let agm = session.register(AgmBaseline::new(n, 12));
+        let full = session.register(FullMemoryBaseline::new(n));
+        prop_assert_eq!(session.maintainer_count(), 16);
+
+        for batch in &batches {
+            session.apply_batch(batch).expect("insert-only simple stream");
+        }
+
+        // Every ask below must be charged: nonzero rounds and words.
+        macro_rules! asked {
+            ($session:expr) => {{
+                let r = &$session.query_reports()[0];
+                prop_assert!(r.rounds > 0, "{}: free answer", r.maintainer);
+                prop_assert!(r.words > 0, "{}: weightless answer", r.maintainer);
+            }};
+        }
+
+        let (u, v) = (0u32, n as u32 - 1);
+
+        // Connectivity family: Connected + ComponentCount + forest.
+        let want = session.get(conn).connected(u, v);
+        prop_assert_eq!(
+            session.ask(conn, &QueryRequest::Connected(u, v)).unwrap().as_bool(),
+            Some(want)
+        );
+        asked!(session);
+        let want = session.get(conn).component_count() as u64;
+        prop_assert_eq!(
+            session.ask(conn, &QueryRequest::ComponentCount).unwrap().as_count(),
+            Some(want)
+        );
+        asked!(session);
+        let want = session.get(conn).spanning_forest();
+        let got = session.ask(conn, &QueryRequest::SpanningForest).unwrap();
+        prop_assert_eq!(got.as_edges(), Some(&want[..]));
+        asked!(session);
+
+        let want = session.get(strm).connected(u, v);
+        prop_assert_eq!(
+            session.ask(strm, &QueryRequest::Connected(u, v)).unwrap().as_bool(),
+            Some(want)
+        );
+        asked!(session);
+
+        let want = session.get(robust).component_count() as u64;
+        prop_assert_eq!(
+            session.ask(robust, &QueryRequest::ComponentCount).unwrap().as_count(),
+            Some(want)
+        );
+        asked!(session);
+
+        let want = session.get(vd).connected(u, v).expect("all slots active");
+        prop_assert_eq!(
+            session.ask(vd, &QueryRequest::Connected(u, v)).unwrap().as_bool(),
+            Some(want)
+        );
+        asked!(session);
+
+        // MSF family: weights and forests.
+        let want = session.get(msf).weight() as f64;
+        prop_assert_eq!(
+            session.ask(msf, &QueryRequest::ForestWeight).unwrap().as_weight(),
+            Some(want)
+        );
+        asked!(session);
+        let want = session.get(aw).weight_estimate();
+        prop_assert_eq!(
+            session.ask(aw, &QueryRequest::ForestWeight).unwrap().as_weight(),
+            Some(want)
+        );
+        asked!(session);
+        let want: Vec<Edge> = session.get(af).forest().into_iter().map(|(e, _)| e).collect();
+        let got = session.ask(af, &QueryRequest::SpanningForest).unwrap();
+        prop_assert_eq!(got.as_edges(), Some(&want[..]));
+        asked!(session);
+        let want = session.get(bip).is_bipartite();
+        prop_assert_eq!(
+            session.ask(bip, &QueryRequest::IsBipartite).unwrap().as_bool(),
+            Some(want)
+        );
+        asked!(session);
+
+        // Matching family: sizes and edges.
+        for (handle, want) in [
+            (est_i, session.get(est_i).estimate() as u64),
+            (est_d, session.get(est_d).estimate() as u64),
+        ] {
+            prop_assert_eq!(
+                session.ask(handle, &QueryRequest::MatchingSize).unwrap().as_count(),
+                Some(want)
+            );
+            asked!(session);
+        }
+        let want = session.get(akly).matching_size() as u64;
+        prop_assert_eq!(
+            session.ask(akly, &QueryRequest::MatchingSize).unwrap().as_count(),
+            Some(want)
+        );
+        asked!(session);
+        let want = session.get(mm).matching();
+        let got = session.ask(mm, &QueryRequest::MatchingEdges).unwrap();
+        prop_assert_eq!(got.as_edges(), Some(&want[..]));
+        asked!(session);
+
+        // k-connectivity: cut bounds, maintained vs peeled.
+        let mut oracle_ctx = MpcContext::new(cfg(n));
+        let want = match session.get(dy).certificate(&mut oracle_ctx).min_cut() {
+            MinCut::Exact(c) => (c, true),
+            MinCut::AtLeast(c) => (c, false),
+        };
+        prop_assert_eq!(
+            session.ask(dy, &QueryRequest::MinCutLowerBound).unwrap().as_min_cut(),
+            Some(want)
+        );
+        asked!(session);
+        let want = match session.get(io).certificate().min_cut() {
+            MinCut::Exact(c) => (c, true),
+            MinCut::AtLeast(c) => (c, false),
+        };
+        prop_assert_eq!(
+            session.ask(io, &QueryRequest::MinCutLowerBound).unwrap().as_min_cut(),
+            Some(want)
+        );
+        asked!(session);
+
+        // Baselines: recomputed answers equal the charged recompute.
+        let want = session.query(agm, |b, ctx| b.query_components(ctx));
+        prop_assert_eq!(
+            session.ask(agm, &QueryRequest::ComponentOf(v)).unwrap().as_vertex(),
+            Some(want[v as usize])
+        );
+        asked!(session);
+        let want = session.query(full, |b, ctx| b.query_components(ctx));
+        prop_assert_eq!(
+            session.ask(full, &QueryRequest::ComponentOf(v)).unwrap().as_vertex(),
+            Some(want[v as usize])
+        );
+        asked!(session);
+
+        // All sixteen answered at least once, all charged: the stats
+        // breakdown has a nonzero query entry for every maintainer.
+        for m in &session.stats().per_maintainer {
+            prop_assert!(m.queries >= 1, "{} never answered", m.name);
+            prop_assert!(m.query_rounds > 0, "{} answered for free", m.name);
+            prop_assert!(m.query_words > 0, "{} moved no words", m.name);
+        }
+    }
+
+    /// `ask_all` cross-checks: every maintainer that answers
+    /// `ComponentCount` on a shared stream must agree with the
+    /// union-find oracle.
+    #[test]
+    fn ask_all_component_counts_agree_with_the_oracle(
+        batches in insert_streams(16, 30),
+    ) {
+        let n = 16usize;
+        let mut session = Session::new(cfg(n));
+        session.register(Connectivity::new(n, ConnectivityConfig::default(), 1));
+        session.register(StreamingConnectivity::new(n, 2));
+        session.register(ExactMsf::new(n));
+        session.register(AgmBaseline::new(n, 3));
+        session.register(FullMemoryBaseline::new(n));
+        let mut live = Vec::new();
+        for batch in &batches {
+            session.apply_batch(batch).expect("insert-only simple stream");
+            live.extend(batch.insertions());
+        }
+        let labels = mpc_stream::graph::oracle::components(n, live.iter().copied());
+        let cc = mpc_stream::core_alg::canonical_component_count(&labels);
+        let answers = session.ask_all(&QueryRequest::ComponentCount).expect("fan-out");
+        prop_assert_eq!(answers.len(), 5, "all five support component counts");
+        for (id, answer) in answers {
+            prop_assert_eq!(
+                answer.as_count(),
+                Some(cc),
+                "maintainer {} diverged from the oracle",
+                session.maintainer(id).expect("registered").name()
+            );
+        }
+    }
+}
+
+/// The attribution gate: a strict session with one deliberately
+/// oversized maintainer must name *that* maintainer (and its machine
+/// group) in `ClusterMemoryExceeded`, while its neighbor stays green.
+#[test]
+fn capacity_overrun_names_the_oversized_maintainer_and_spares_neighbors() {
+    let n = 64;
+    // 2 machines × 4096 words, one per maintainer group: the
+    // full-memory baseline's n + 2m words fit easily; the AGM sketch
+    // bank (Õ(n log² n) ≈ 45k words at n = 64) is the deliberate
+    // overrun.
+    let tight = MpcConfig::builder(n, 0.5)
+        .local_capacity(4096)
+        .machines(2)
+        .strict(true)
+        .build();
+    let mut session = Session::new(tight);
+    let green = session.register(FullMemoryBaseline::new(n));
+    let fat = session.register(AgmBaseline::new(n, 7));
+    let err = session
+        .apply((0..16u32).map(|i| Update::Insert(Edge::new(i, i + 16))))
+        .expect_err("a sketch bank cannot fit a 4096-word group");
+    match err {
+        MpcStreamError::Capacity(MpcError::ClusterMemoryExceeded {
+            maintainer,
+            group,
+            used,
+            capacity,
+        }) => {
+            assert_eq!(maintainer, "agm-baseline", "the overrun must be attributed");
+            assert_eq!(capacity, 4096);
+            assert!(used > capacity);
+            assert_eq!(group.start(), 1, "the second group is the AGM baseline's");
+            assert_eq!(group.machines(), 1);
+        }
+        other => panic!("expected ClusterMemoryExceeded, got {other:?}"),
+    }
+    // The neighbor stayed green: its state was observed, no violation
+    // was attributed to it, and its own group would have held it.
+    let stats = session.stats();
+    assert_eq!(stats.per_maintainer[green.id()].capacity_violations, 0);
+    let green_words = session.get(green).words();
+    assert!(green_words > 0 && green_words <= 4096);
+    assert_eq!(
+        stats.per_maintainer[fat.id()].capacity_violations,
+        0,
+        "strict mode errors instead of recording"
+    );
+    // Permissive twin: same overrun is recorded against the same
+    // maintainer instead of erroring.
+    let permissive = MpcConfig::builder(n, 0.5)
+        .local_capacity(4096)
+        .machines(2)
+        .build();
+    let mut session = Session::new(permissive);
+    let green = session.register(FullMemoryBaseline::new(n));
+    let fat = session.register(AgmBaseline::new(n, 7));
+    session
+        .apply((0..16u32).map(|i| Update::Insert(Edge::new(i, i + 16))))
+        .expect("permissive mode records instead of erroring");
+    let stats = session.stats();
+    assert_eq!(stats.per_maintainer[green.id()].capacity_violations, 0);
+    assert!(stats.per_maintainer[fat.id()].capacity_violations > 0);
+    assert!(stats.per_maintainer[fat.id()].state_words > 4096);
+}
