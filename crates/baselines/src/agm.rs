@@ -195,6 +195,16 @@ impl mpc_stream_core::Maintain for AgmBaseline {
         Ok(())
     }
 
+    fn supports(&self, query: &mpc_stream_core::QueryRequest) -> bool {
+        use mpc_stream_core::QueryRequest;
+        matches!(
+            query,
+            QueryRequest::Connected(..)
+                | QueryRequest::ComponentOf(..)
+                | QueryRequest::ComponentCount
+        )
+    }
+
     /// The Section 2.1 comparison point, now measurable per query:
     /// the baseline maintains no labels, so *every* connectivity
     /// answer reruns the full Borůvka cascade — `Θ(log n)` charged

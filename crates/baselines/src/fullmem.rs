@@ -178,6 +178,16 @@ impl mpc_stream_core::Maintain for FullMemoryBaseline {
         Ok(())
     }
 
+    fn supports(&self, query: &mpc_stream_core::QueryRequest) -> bool {
+        use mpc_stream_core::QueryRequest;
+        matches!(
+            query,
+            QueryRequest::Connected(..)
+                | QueryRequest::ComponentOf(..)
+                | QueryRequest::ComponentCount
+        )
+    }
+
     /// Recompute-on-read, like the stored-graph regimes the paper
     /// compares against: every connectivity answer pays the measured
     /// label-propagation rounds at `Θ(m)` words per round.

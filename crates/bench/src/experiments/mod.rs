@@ -1,11 +1,13 @@
-//! Experiments E1–E17 (see DESIGN.md §5 for the index; E13–E16 are
-//! the extension experiments, E17 the Session-level workload table).
+//! Experiments E1–E18 (see DESIGN.md §5 for the index; E13–E16 are
+//! the extension experiments, E17 the Session-level workload table,
+//! E18 the parallel-executor scaling curve).
 
 pub mod connectivity;
 pub mod extensions;
 pub mod matching;
 pub mod micro;
 pub mod msf;
+pub mod parallel;
 pub mod session;
 
 use crate::table::Table;
@@ -31,14 +33,15 @@ pub fn run(id: &str) -> Vec<Table> {
         "e15" => extensions::e15_vertex_churn(),
         "e16" => extensions::e16_preprocessing(),
         "e17" => session::e17_session_workload(),
-        other => panic!("unknown experiment id {other:?} (use e1..e17 or all)"),
+        "e18" => parallel::e18_parallel_scaling(),
+        other => panic!("unknown experiment id {other:?} (use e1..e18 or all)"),
     }
 }
 
 /// All experiment ids in order.
-pub const ALL: [&str; 17] = [
+pub const ALL: [&str; 18] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17",
+    "e16", "e17", "e18",
 ];
 
 #[cfg(test)]
@@ -50,7 +53,7 @@ mod tests {
     /// cover the harness code paths under `cargo test`).
     #[test]
     fn light_experiments_produce_tables() {
-        for id in ["e4", "e6", "e7", "e9", "e15", "e17"] {
+        for id in ["e4", "e6", "e7", "e9", "e15", "e17", "e18"] {
             let tables = run(id);
             assert!(!tables.is_empty(), "{id} produced no tables");
             for t in &tables {

@@ -1,0 +1,118 @@
+//! Experiment E18: the parallel `Session` executor's cores-vs-
+//! throughput curve (the PR-6 tentpole).
+//!
+//! One multi-maintainer ingest workload — the shape the executor was
+//! built for: eight maintainers on disjoint machine groups, so the
+//! per-maintainer fan-out is embarrassingly parallel — timed at 1, 2,
+//! and 4 workers. Two things matter and both are in the table:
+//!
+//! * **Equivalence** — every parallel run's `SessionStats` (rounds,
+//!   words, per-maintainer breakdown) must be bit-identical to the
+//!   serial run's; the executor only changes *which host thread* runs
+//!   a branch, never what the branch charges. A `DIVERGED` verdict
+//!   means the fork/replay accounting broke.
+//! * **Scaling** — wall-clock speedup over the 1-worker run, and
+//!   efficiency (speedup ÷ workers). This is a *host* measurement:
+//!   on a single-core container every worker count collapses onto
+//!   one core and the honest efficiency ceiling is `1/workers`; the
+//!   `host cores` column records what the curve was measured on.
+
+use crate::table::Table;
+use mpc_baselines::{AgmBaseline, FullMemoryBaseline};
+use mpc_graph::gen;
+use mpc_kconn::DynamicKConn;
+use mpc_matching::AklyMatching;
+use mpc_msf::{Bipartiteness, ExactMsf};
+use mpc_sim::{MpcConfig, SessionStats};
+use mpc_stream_core::{Connectivity, ConnectivityConfig, Session, StreamingConnectivity};
+use std::time::Instant;
+
+/// One timed run at a fixed worker count: returns the rollup (for
+/// the equivalence check) and the ingest wall time in microseconds.
+fn timed_run(n: usize, workers: usize) -> (SessionStats, u128, u64) {
+    let s = (16.0 * (n as f64).sqrt()).ceil() as u64;
+    let base = MpcConfig::builder(n, 0.5).local_capacity(s).build();
+    let cfg = MpcConfig::builder(n, 0.5)
+        .local_capacity(s)
+        .machines(8 * base.machines())
+        .build();
+    let mut session = Session::new(cfg).with_workers(workers);
+    session.register(Connectivity::new(n, ConnectivityConfig::default(), 0xE18));
+    session.register(StreamingConnectivity::new(n, 0xE18));
+    session.register(ExactMsf::new(n));
+    session.register(Bipartiteness::new(n, 0xE18));
+    session.register(AklyMatching::new(n, 2.0, 0xE18));
+    session.register(DynamicKConn::new(n, 2, 0xE18));
+    session.register(AgmBaseline::new(n, 0xE18));
+    session.register(FullMemoryBaseline::new(n));
+
+    // Batch size 12 keeps every per-batch gather (8 words per edge)
+    // inside the `16·√n` local capacity at both table sizes.
+    let stream = gen::random_insert_stream(n, 20, 12, 0xE18 + n as u64);
+    let start = Instant::now();
+    for batch in &stream.batches {
+        session.apply_batch(batch).expect("insert-only stream");
+    }
+    let elapsed = start.elapsed().as_micros().max(1);
+    let updates = session.stats().updates;
+    (session.stats().clone(), elapsed, updates)
+}
+
+/// E18 — ingest throughput vs worker count, with the serial-
+/// equivalence verdict inline.
+///
+/// Shape expectations: the `equivalent` column is `bit-identical` at
+/// every worker count on every host (that is the executor's
+/// contract); the speedup column approaches the host's core count on
+/// multi-core machines and stays ≈1x (pool overhead visible) when
+/// the container only has one core to offer.
+pub fn e18_parallel_scaling() -> Vec<Table> {
+    let host_cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let mut t = Table::new(
+        "E18 (parallel executor): Session ingest throughput vs workers, 8 maintainers on disjoint groups",
+        &[
+            "n",
+            "workers",
+            "host cores",
+            "updates",
+            "wall us",
+            "updates/ms",
+            "speedup",
+            "efficiency",
+            "equivalent",
+        ],
+    );
+    for &n in &[128usize, 256] {
+        // Median-of-3 per worker count: the workload is deterministic,
+        // so only host scheduling noise varies between repeats.
+        let mut measured: Vec<(usize, SessionStats, u128, u64)> = Vec::new();
+        for &workers in &[1usize, 2, 4] {
+            let mut runs: Vec<(SessionStats, u128, u64)> =
+                (0..3).map(|_| timed_run(n, workers)).collect();
+            runs.sort_by_key(|r| r.1);
+            let (stats, wall, updates) = runs.swap_remove(1);
+            measured.push((workers, stats, wall, updates));
+        }
+        let serial_stats = measured[0].1.clone();
+        let serial_wall = measured[0].2;
+        for (workers, stats, wall, updates) in &measured {
+            let speedup = serial_wall as f64 / *wall as f64;
+            t.row(vec![
+                n.to_string(),
+                workers.to_string(),
+                host_cores.to_string(),
+                updates.to_string(),
+                wall.to_string(),
+                format!("{:.0}", *updates as f64 * 1000.0 / *wall as f64),
+                format!("{speedup:.2}x"),
+                format!("{:.2}", speedup / *workers as f64),
+                if *stats == serial_stats {
+                    "bit-identical".into()
+                } else {
+                    "DIVERGED".into()
+                },
+            ]);
+        }
+    }
+    vec![t]
+}

@@ -225,7 +225,13 @@ impl Connectivity {
             let mut found: Vec<Edge> = Vec::new();
             for (_, members) in groups {
                 scratch.reset(level);
-                if conn.bank.merge_copy_into(&members, &mut scratch) > 0 {
+                // Host-parallel column merge (bit-identical; see
+                // SketchArena::merge_into_stealing).
+                if conn
+                    .bank
+                    .merge_copy_into_stealing(&members, &mut scratch, ctx.pool())
+                    > 0
+                {
                     match conn.bank.sample_merged(&scratch) {
                         EdgeSample::Edge(e) => found.push(e),
                         EdgeSample::Fail => conn.sampler_failures += 1,
@@ -554,9 +560,13 @@ impl Connectivity {
                 scratch.reset(level);
                 let mut absorbed = 0usize;
                 for &pi in group {
-                    absorbed += self
-                        .bank
-                        .merge_copy_into(&members[pi as usize], &mut scratch);
+                    // Host-parallel column merge (bit-identical; see
+                    // SketchArena::merge_into_stealing).
+                    absorbed += self.bank.merge_copy_into_stealing(
+                        &members[pi as usize],
+                        &mut scratch,
+                        ctx.pool(),
+                    );
                 }
                 let outcome = (absorbed > 0).then(|| self.bank.sample_merged(&scratch));
                 match outcome {

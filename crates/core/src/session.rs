@@ -61,6 +61,47 @@
 //! accordingly: `k` sketch-heavy maintainers need `k×` the machines a
 //! single one would (see `MpcConfig::builder`'s defaults).
 //!
+//! # Execution model
+//!
+//! The *accounted* parallelism above (rounds max-composing across
+//! machine groups) is independent of how the simulation is executed
+//! on the host. The session runs in one of two host modes, selected
+//! by [`Session::with_workers`] (default: the `MPC_WORKERS`
+//! environment variable, else 1):
+//!
+//! * **Serial** (`workers == 1`): everything on the calling thread,
+//!   no pool, no synchronization — the reference engine.
+//! * **Parallel** (`workers ≥ 2`): a `workers`-lane
+//!   [`WorkerPool`] is attached to the session and its context. Each
+//!   chunk (and each `ask_all` fan-out) dispatches one *branch job*
+//!   per maintainer: the maintainer box moves to a worker thread
+//!   together with a forked recording context
+//!   (`MpcContext::fork_for_branch`) and runs its ingest/answer
+//!   there, with per-worker scratch state (forks clone the context,
+//!   maintainers own their scratch). Inside a branch, pool-aware
+//!   structures steal work at a finer grain through `MpcContext::
+//!   pool` (sketch-arena vertex blocks, per-tour Euler-tour shards).
+//!   A pipelined front door additionally overlaps normalize → chunk
+//!   of the next chunk with the fan-out of the current one.
+//!
+//! **Why the accounting is unchanged:** a forked context records
+//! every charging operation as an `MpcEvent`; after the branches
+//! finish, the master context *replays* each branch's log in
+//! registration order inside the very same `BatchAudit` +
+//! `parallel_begin`/`branch`/`end` structure the serial engine uses.
+//! Every charge is a pure function of the configuration and the call
+//! arguments, so replay reproduces rounds, words, peaks, violations,
+//! and per-maintainer breakdowns bit-for-bit; thread scheduling can
+//! reorder *execution*, never *measurement*. Results are therefore
+//! identical at every worker count, which
+//! `tests/session_parallel_equivalence.rs` pins suite-wide. The one
+//! caveat: in strict mode an error can be *detected* at a different
+//! point than serial execution would detect it when co-scheduled
+//! maintainers share machines (a fork sees pre-chunk loads), and on
+//! any `Err` the set of maintainers that ingested the failing chunk
+//! may differ — the session is documented inconsistent-on-`Err` in
+//! both modes.
+//!
 //! # Examples
 //!
 //! ```
@@ -96,12 +137,13 @@ use crate::vertex_dynamic::VertexDynamicConnectivity;
 use mpc_graph::ids::VertexId;
 use mpc_graph::update::{Batch, Update, WeightedBatch, WeightedUpdate};
 use mpc_sim::{
-    BatchAudit, BatchReport, MachineGroup, MpcConfig, MpcContext, MpcError, MpcStreamError,
-    QueryReport, SessionStats,
+    BatchAudit, BatchReport, MachineGroup, MpcConfig, MpcContext, MpcError, MpcEvent,
+    MpcStreamError, QueryReport, SessionStats, WorkerPool,
 };
 use std::any::Any;
 use std::collections::BTreeMap;
 use std::marker::PhantomData;
+use std::sync::{mpsc, Arc};
 
 /// A batch-dynamic graph structure that can be driven through the
 /// unified [`Session`] engine.
@@ -115,7 +157,11 @@ use std::marker::PhantomData;
 /// The `Any` supertrait is an implementation detail of the typed
 /// [`Handle`] accessors ([`Session::get`] and friends re-express the
 /// downcast internally, where handle provenance makes it infallible).
-pub trait Maintain: Any {
+/// The `Send` supertrait is what lets the parallel executor move a
+/// maintainer to a worker thread for the duration of one branch (the
+/// session moves it back before returning, so the serial API is
+/// unchanged); maintainers are plain owned state, so this is free.
+pub trait Maintain: Any + Send {
     /// A short stable name for reports and diagnostics.
     fn name(&self) -> &'static str;
 
@@ -226,6 +272,21 @@ pub trait Maintain: Any {
         let _ = ctx;
         Err(unsupported_query(self.name(), query))
     }
+
+    /// Whether [`Maintain::answer`] can serve this query — the
+    /// charge-free support probe [`Session::ask_all`] consults
+    /// *before* opening a parallel branch, so non-supporters never
+    /// enter the fan-out at all (they are skipped, not charged, and
+    /// never dispatched to a worker).
+    ///
+    /// Must agree with [`Maintain::answer`]: `supports` returning
+    /// `false` for a query `answer` would serve makes `ask_all` miss
+    /// that maintainer. The default supports nothing, matching the
+    /// default `answer`.
+    fn supports(&self, query: &QueryRequest) -> bool {
+        let _ = query;
+        false
+    }
 }
 
 /// Untyped index of a maintainer in a [`Session`], in registration
@@ -313,6 +374,8 @@ pub struct Session {
     max_batch: usize,
     normalize: bool,
     last_query_reports: Vec<QueryReport>,
+    workers: usize,
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl std::fmt::Debug for Session {
@@ -330,16 +393,26 @@ impl Session {
     /// The default chunk size is `s / 4` updates — a batch whose
     /// auxiliary structures (≈ 2–3 words per update) are guaranteed
     /// to fit one machine.
+    ///
+    /// The host worker count defaults to the `MPC_WORKERS`
+    /// environment variable (1 — fully serial — when unset); override
+    /// with [`Session::with_workers`]. Worker count never affects
+    /// results or accounting, only wall-clock (see the module-level
+    /// "Execution model" section).
     pub fn new(cfg: MpcConfig) -> Self {
         let max_batch = (cfg.local_capacity() / 4).max(1) as usize;
-        Session {
+        let mut session = Session {
             ctx: MpcContext::new(cfg),
             maintainers: Vec::new(),
             stats: SessionStats::default(),
             max_batch,
             normalize: true,
             last_query_reports: Vec::new(),
-        }
+            workers: 1,
+            pool: None,
+        };
+        session.set_workers(mpc_sim::workers_from_env().unwrap_or(1));
+        session
     }
 
     /// Overrides the chunk size (clamped to at least 1).
@@ -347,6 +420,35 @@ impl Session {
     pub fn with_max_batch(mut self, updates: usize) -> Self {
         self.max_batch = updates.max(1);
         self
+    }
+
+    /// Sets the host worker count (clamped to at least 1). `1` is the
+    /// fully serial engine — no threads, no pool; `w ≥ 2` spawns a
+    /// `w`-lane [`WorkerPool`] that fans chunks and `ask_all` queries
+    /// out one branch per maintainer and overlaps chunk preparation
+    /// with fan-out. Execution results and all accounting are
+    /// bit-identical at every worker count.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.set_workers(workers);
+        self
+    }
+
+    /// Non-consuming form of [`Session::with_workers`].
+    pub fn set_workers(&mut self, workers: usize) {
+        let workers = workers.max(1);
+        self.workers = workers;
+        self.pool = if workers > 1 {
+            Some(Arc::new(WorkerPool::new(workers)))
+        } else {
+            None
+        };
+        self.ctx.set_pool(self.pool.clone());
+    }
+
+    /// The configured host worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
     }
 
     /// Enables or disables submission-level normalization (default:
@@ -536,6 +638,12 @@ impl Session {
     /// supporting maintainer (empty if none support the query); the
     /// per-answer receipts are in [`Session::query_reports`].
     ///
+    /// Support is decided by [`Maintain::supports`] *before* the
+    /// parallel scope opens: a non-supporting maintainer is never
+    /// invoked, never charged, and never gets a branch — the
+    /// "non-supporters are free" contract holds even for a maintainer
+    /// whose `answer` would (incorrectly) charge before declining.
+    ///
     /// # Errors
     ///
     /// The first *real* failure (anything but `Unsupported`) aborts
@@ -544,6 +652,10 @@ impl Session {
         &mut self,
         query: &QueryRequest,
     ) -> Result<Vec<(MaintainerId, QueryResponse)>, MpcStreamError> {
+        let supported: Vec<bool> = self.maintainers.iter().map(|m| m.supports(query)).collect();
+        if self.pool.is_some() && supported.iter().filter(|&&s| s).count() > 1 {
+            return self.ask_all_parallel(query, &supported);
+        }
         let phase_rounds = self.ctx.stats().rounds;
         let phase_words = self.ctx.stats().words_communicated;
         let mut responses = Vec::new();
@@ -551,6 +663,10 @@ impl Session {
         let mut failure: Option<MpcStreamError> = None;
         self.ctx.parallel_begin();
         for (id, m) in self.maintainers.iter_mut().enumerate() {
+            if !supported[id] {
+                // Skipped before the branch opens: free by construction.
+                continue;
+            }
             let rounds = self.ctx.stats().rounds;
             let words = self.ctx.stats().words_communicated;
             match m.answer(query, &mut self.ctx) {
@@ -566,7 +682,8 @@ impl Session {
                     ));
                     responses.push((id, response));
                 }
-                // Non-support is free and skipped; see Maintain::answer.
+                // Defensive: a claimed supporter that still declines is
+                // treated as free (its contract says ctx is untouched).
                 Err(MpcStreamError::Unsupported(_)) => {}
                 Err(e) => {
                     failure = Some(e);
@@ -574,6 +691,112 @@ impl Session {
                 }
             }
             self.ctx.parallel_branch();
+        }
+        self.ctx.parallel_end();
+        for (id, report) in &reports {
+            self.stats.absorb_query(*id, report);
+        }
+        self.stats.record_query_phase(
+            self.ctx.stats().rounds - phase_rounds,
+            self.ctx.stats().words_communicated - phase_words,
+        );
+        self.last_query_reports = reports.into_iter().map(|(_, r)| r).collect();
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(responses),
+        }
+    }
+
+    /// Parallel [`Session::ask_all`]: every supporting maintainer
+    /// answers on a worker thread against a forked recording context;
+    /// the logs are replayed on the master in registration order
+    /// inside the same parallel scope the serial path uses, so the
+    /// receipts, rollup, and round max-composition are bit-identical.
+    fn ask_all_parallel(
+        &mut self,
+        query: &QueryRequest,
+        supported: &[bool],
+    ) -> Result<Vec<(MaintainerId, QueryResponse)>, MpcStreamError> {
+        type AskOutcome = (
+            Box<dyn Maintain>,
+            Vec<MpcEvent>,
+            Result<QueryResponse, MpcStreamError>,
+        );
+        let pool = self.pool.clone().expect("parallel ask_all requires a pool");
+        let phase_rounds = self.ctx.stats().rounds;
+        let phase_words = self.ctx.stats().words_communicated;
+        let count = self.maintainers.len();
+        let query = *query;
+        let (tx, rx) = mpsc::channel::<(usize, AskOutcome)>();
+        let mut slots: Vec<Option<AskOutcome>> = Vec::new();
+        slots.resize_with(count, || None);
+        let mut skipped: Vec<Option<Box<dyn Maintain>>> = Vec::new();
+        skipped.resize_with(count, || None);
+        for (id, mut m) in std::mem::take(&mut self.maintainers)
+            .into_iter()
+            .enumerate()
+        {
+            if !supported[id] {
+                skipped[id] = Some(m);
+                continue;
+            }
+            let mut fork = self.ctx.fork_for_branch();
+            let tx = tx.clone();
+            pool.execute(Box::new(move || {
+                let result = m.answer(&query, &mut fork);
+                let _ = tx.send((id, (m, fork.take_log(), result)));
+            }));
+        }
+        drop(tx);
+        for (id, outcome) in rx {
+            slots[id] = Some(outcome);
+        }
+        // Replay in registration order, mirroring the serial loop.
+        let mut responses = Vec::new();
+        let mut reports: Vec<(MaintainerId, QueryReport)> = Vec::new();
+        let mut failure: Option<MpcStreamError> = None;
+        self.ctx.parallel_begin();
+        for id in 0..count {
+            if let Some(m) = skipped[id].take() {
+                self.maintainers.push(m);
+                continue;
+            }
+            let (m, log, result) = slots[id].take().expect("every dispatched branch reports");
+            if failure.is_none() {
+                let rounds = self.ctx.stats().rounds;
+                let words = self.ctx.stats().words_communicated;
+                match result {
+                    Ok(response) => match self.ctx.replay(&log) {
+                        Ok(()) => {
+                            reports.push((
+                                id,
+                                QueryReport {
+                                    maintainer: m.name(),
+                                    query: query.to_string(),
+                                    rounds: self.ctx.stats().rounds - rounds,
+                                    words: self.ctx.stats().words_communicated - words,
+                                },
+                            ));
+                            responses.push((id, response));
+                            self.ctx.parallel_branch();
+                        }
+                        Err(e) => failure = Some(MpcStreamError::from(e)),
+                    },
+                    Err(MpcStreamError::Unsupported(_)) => {
+                        // Defensive, as in the serial loop: replay
+                        // whatever (per contract: nothing) it charged.
+                        let _ = self.ctx.replay(&log);
+                        self.ctx.parallel_branch();
+                    }
+                    Err(e) => {
+                        // Serial charges the failing answer's partial
+                        // work before aborting the fan-out.
+                        let _ = self.ctx.replay(&log);
+                        failure = Some(e);
+                    }
+                }
+            }
+            self.maintainers.push(m);
         }
         self.ctx.parallel_end();
         for (id, report) in &reports {
@@ -635,6 +858,34 @@ impl Session {
         &mut self,
         updates: impl IntoIterator<Item = Update>,
     ) -> Result<Vec<BatchReport>, MpcStreamError> {
+        if let Some(pool) = self.pool.clone() {
+            // Pipelined front door: normalize → chunk runs on a pool
+            // lane and streams chunks out, so chunk k+1 is being
+            // prepared while chunk k fans out below.
+            let updates: Vec<Update> = updates.into_iter().collect();
+            let normalize = self.normalize;
+            let max_batch = self.max_batch;
+            let (tx, rx) = mpsc::channel::<Batch>();
+            pool.execute(Box::new(move || {
+                let submitted = if normalize {
+                    normalize_updates(updates)
+                } else {
+                    updates
+                };
+                for c in submitted.chunks(max_batch) {
+                    if tx.send(Batch::from_updates(c.to_vec())).is_err() {
+                        return; // consumer aborted on an earlier chunk
+                    }
+                }
+            }));
+            let mut reports = Vec::new();
+            for chunk in rx {
+                if !chunk.is_empty() {
+                    self.run_chunk_parallel(&Arc::new(chunk), &mut reports)?;
+                }
+            }
+            return Ok(reports);
+        }
         let submitted = if self.normalize {
             normalize_updates(updates)
         } else {
@@ -644,7 +895,7 @@ impl Session {
             .chunks(self.max_batch)
             .map(|c| Batch::from_updates(c.to_vec()))
             .collect();
-        self.fan_out(&chunks, |m, batch, ctx| m.apply_batch(batch, ctx))
+        self.fan_out(&chunks)
     }
 
     /// Submits weighted updates; weight-aware maintainers see the
@@ -657,6 +908,31 @@ impl Session {
         &mut self,
         updates: impl IntoIterator<Item = WeightedUpdate>,
     ) -> Result<Vec<BatchReport>, MpcStreamError> {
+        if let Some(pool) = self.pool.clone() {
+            let updates: Vec<WeightedUpdate> = updates.into_iter().collect();
+            let normalize = self.normalize;
+            let max_batch = self.max_batch;
+            let (tx, rx) = mpsc::channel::<WeightedBatch>();
+            pool.execute(Box::new(move || {
+                let submitted = if normalize {
+                    normalize_weighted_updates(updates)
+                } else {
+                    updates
+                };
+                for c in submitted.chunks(max_batch) {
+                    if tx.send(WeightedBatch::from_updates(c.to_vec())).is_err() {
+                        return;
+                    }
+                }
+            }));
+            let mut reports = Vec::new();
+            for chunk in rx {
+                if !chunk.is_empty() {
+                    self.run_chunk_parallel(&Arc::new(chunk), &mut reports)?;
+                }
+            }
+            return Ok(reports);
+        }
         let submitted = if self.normalize {
             normalize_weighted_updates(updates)
         } else {
@@ -666,7 +942,7 @@ impl Session {
             .chunks(self.max_batch)
             .map(|c| WeightedBatch::from_updates(c.to_vec()))
             .collect();
-        self.fan_out(&chunks, |m, batch, ctx| m.apply_weighted_batch(batch, ctx))
+        self.fan_out(&chunks)
     }
 
     /// Convenience: submit an already-built batch (still normalized
@@ -680,17 +956,10 @@ impl Session {
     }
 
     /// Chunk-by-chunk fan-out with parallel round composition and the
-    /// per-chunk capacity audit.
-    fn fan_out<B>(
-        &mut self,
-        chunks: &[B],
-        mut apply: impl FnMut(
-            &mut dyn Maintain,
-            &B,
-            &mut MpcContext,
-        ) -> Result<BatchReport, MpcStreamError>,
-        // B: Batch or WeightedBatch; only its length is needed here.
-    ) -> Result<Vec<BatchReport>, MpcStreamError>
+    /// per-chunk capacity audit (the serial engine; the parallel
+    /// engine reaches the same per-chunk structure through
+    /// [`Session::run_chunk_parallel`]).
+    fn fan_out<B>(&mut self, chunks: &[B]) -> Result<Vec<BatchReport>, MpcStreamError>
     where
         B: BatchLike,
     {
@@ -699,38 +968,140 @@ impl Session {
             if chunk.len() == 0 {
                 continue;
             }
-            // Distribute the chunk to every maintainer's machine
-            // group: one sort of the update list (O(1/φ) rounds).
-            let chunk_audit = BatchAudit::begin(&self.ctx);
-            self.ctx.sort(2 * chunk.len() as u64 + 1);
-            self.ctx.parallel_begin();
-            let mut failure: Option<MpcStreamError> = None;
-            for (id, m) in self.maintainers.iter_mut().enumerate() {
-                match apply(m.as_mut(), chunk, &mut self.ctx) {
-                    Ok(report) => {
-                        self.stats.absorb(id, &report);
-                        reports.push(report);
-                    }
-                    Err(e) => {
-                        failure = Some(e);
-                        break;
-                    }
-                }
-                self.ctx.parallel_branch();
-            }
-            self.ctx.parallel_end();
-            if let Some(e) = failure {
-                // The failed chunk's rounds remain visible in the raw
-                // context stats, but the session rollup only counts
-                // chunks every maintainer ingested.
-                return Err(e);
-            }
-            let chunk_report = chunk_audit.finish("session", chunk.len(), 0, &self.ctx);
-            self.stats
-                .record_chunk(chunk.len(), chunk_report.rounds, chunk_report.words);
-            self.audit_capacity()?;
+            self.run_chunk_serial(chunk, &mut reports)?;
         }
         Ok(reports)
+    }
+
+    /// One chunk through every maintainer, on the calling thread.
+    fn run_chunk_serial<B: BatchLike>(
+        &mut self,
+        chunk: &B,
+        reports: &mut Vec<BatchReport>,
+    ) -> Result<(), MpcStreamError> {
+        // Distribute the chunk to every maintainer's machine
+        // group: one sort of the update list (O(1/φ) rounds).
+        let chunk_audit = BatchAudit::begin(&self.ctx);
+        self.ctx.sort(2 * chunk.len() as u64 + 1);
+        self.ctx.parallel_begin();
+        let mut failure: Option<MpcStreamError> = None;
+        for (id, m) in self.maintainers.iter_mut().enumerate() {
+            match chunk.apply_into(m.as_mut(), &mut self.ctx) {
+                Ok(report) => {
+                    self.stats.absorb(id, &report);
+                    reports.push(report);
+                }
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+            self.ctx.parallel_branch();
+        }
+        self.ctx.parallel_end();
+        if let Some(e) = failure {
+            // The failed chunk's rounds remain visible in the raw
+            // context stats, but the session rollup only counts
+            // chunks every maintainer ingested.
+            return Err(e);
+        }
+        let chunk_report = chunk_audit.finish("session", chunk.len(), 0, &self.ctx);
+        self.stats
+            .record_chunk(chunk.len(), chunk_report.rounds, chunk_report.words);
+        self.audit_capacity()
+    }
+
+    /// One chunk through every maintainer, one branch job per
+    /// maintainer on the worker pool.
+    ///
+    /// Each branch moves its maintainer box and a forked recording
+    /// context to a worker, runs the plain ingest there (no audit —
+    /// measurement happens at replay), and sends everything back. The
+    /// master then replays each branch's event log in registration
+    /// order inside the same `BatchAudit`/`parallel_begin`/`branch`/
+    /// `end` structure the serial engine uses — every charge is a pure
+    /// function of `(config, call arguments)`, so the replayed
+    /// counters, reports, peaks, and violations are bit-identical to
+    /// serial execution. A failing branch charges its partial work and
+    /// aborts the chunk exactly like the serial loop; branches later
+    /// in registration order are not charged (their maintainers may
+    /// still have ingested — the session is documented
+    /// inconsistent-on-`Err` either way).
+    fn run_chunk_parallel<B: BatchLike>(
+        &mut self,
+        chunk: &Arc<B>,
+        reports: &mut Vec<BatchReport>,
+    ) -> Result<(), MpcStreamError> {
+        type BranchOutcome = (
+            Box<dyn Maintain>,
+            Vec<MpcEvent>,
+            Result<(), MpcStreamError>,
+            u64,
+        );
+        let pool = self.pool.clone().expect("parallel chunk requires a pool");
+        let chunk_audit = BatchAudit::begin(&self.ctx);
+        self.ctx.sort(2 * chunk.len() as u64 + 1);
+        let count = self.maintainers.len();
+        let (tx, rx) = mpsc::channel::<(usize, BranchOutcome)>();
+        for (id, mut m) in std::mem::take(&mut self.maintainers)
+            .into_iter()
+            .enumerate()
+        {
+            let mut fork = self.ctx.fork_for_branch();
+            let chunk = Arc::clone(chunk);
+            let tx = tx.clone();
+            pool.execute(Box::new(move || {
+                let l0_before = m.l0_failures();
+                let result = chunk.ingest_into(m.as_mut(), &mut fork);
+                let l0_delta = m.l0_failures().saturating_sub(l0_before);
+                let _ = tx.send((id, (m, fork.take_log(), result, l0_delta)));
+            }));
+        }
+        drop(tx);
+        let mut slots: Vec<Option<BranchOutcome>> = Vec::new();
+        slots.resize_with(count, || None);
+        for (id, outcome) in rx {
+            slots[id] = Some(outcome);
+        }
+        // Replay in registration order, mirroring run_chunk_serial.
+        self.ctx.parallel_begin();
+        let mut failure: Option<MpcStreamError> = None;
+        for (id, slot) in slots.into_iter().enumerate() {
+            let (m, log, result, l0_delta) = slot.expect("every branch job reports");
+            if failure.is_none() {
+                let audit = BatchAudit::begin(&self.ctx);
+                match result {
+                    Ok(()) => match self.ctx.replay(&log) {
+                        Ok(()) => {
+                            let report = audit.finish(m.name(), chunk.len(), l0_delta, &self.ctx);
+                            self.stats.absorb(id, &report);
+                            reports.push(report);
+                            self.ctx.parallel_branch();
+                        }
+                        // Replay can fail where the fork did not (strict
+                        // mode, co-scheduled machines: the fork saw the
+                        // pre-chunk loads, the master sees the replayed
+                        // siblings' too) — the master is authoritative.
+                        Err(e) => failure = Some(MpcStreamError::from(e)),
+                    },
+                    Err(e) => {
+                        // Serial charges the failing branch's partial
+                        // work before aborting the chunk.
+                        let _ = self.ctx.replay(&log);
+                        failure = Some(e);
+                    }
+                }
+            }
+            self.maintainers.push(m);
+        }
+        self.ctx.parallel_end();
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        let chunk_report = chunk_audit.finish("session", chunk.len(), 0, &self.ctx);
+        self.stats
+            .record_chunk(chunk.len(), chunk_report.rounds, chunk_report.words);
+        self.audit_capacity()
     }
 
     /// Audits every maintainer's standing state against **its own**
@@ -793,20 +1164,62 @@ impl Session {
     }
 }
 
-/// Batches the fan-out can drive: the engine only needs their length.
-trait BatchLike {
+/// Batches the fan-out can drive: length plus the two dispatch forms
+/// (audited, for the serial engine; bare ingest, for parallel branches
+/// whose audit happens at replay time on the master). `Send + Sync +
+/// 'static` lets a chunk be shared across branch jobs behind an `Arc`.
+trait BatchLike: Send + Sync + 'static {
     fn len(&self) -> usize;
+    fn apply_into(
+        &self,
+        m: &mut dyn Maintain,
+        ctx: &mut MpcContext,
+    ) -> Result<BatchReport, MpcStreamError>;
+    fn ingest_into(&self, m: &mut dyn Maintain, ctx: &mut MpcContext)
+        -> Result<(), MpcStreamError>;
 }
 
 impl BatchLike for Batch {
     fn len(&self) -> usize {
         Batch::len(self)
     }
+
+    fn apply_into(
+        &self,
+        m: &mut dyn Maintain,
+        ctx: &mut MpcContext,
+    ) -> Result<BatchReport, MpcStreamError> {
+        m.apply_batch(self, ctx)
+    }
+
+    fn ingest_into(
+        &self,
+        m: &mut dyn Maintain,
+        ctx: &mut MpcContext,
+    ) -> Result<(), MpcStreamError> {
+        m.ingest(self, ctx)
+    }
 }
 
 impl BatchLike for WeightedBatch {
     fn len(&self) -> usize {
         WeightedBatch::len(self)
+    }
+
+    fn apply_into(
+        &self,
+        m: &mut dyn Maintain,
+        ctx: &mut MpcContext,
+    ) -> Result<BatchReport, MpcStreamError> {
+        m.apply_weighted_batch(self, ctx)
+    }
+
+    fn ingest_into(
+        &self,
+        m: &mut dyn Maintain,
+        ctx: &mut MpcContext,
+    ) -> Result<(), MpcStreamError> {
+        m.ingest_weighted(self, ctx)
     }
 }
 
@@ -928,6 +1341,16 @@ impl Maintain for Connectivity {
         Ok(())
     }
 
+    fn supports(&self, query: &QueryRequest) -> bool {
+        matches!(
+            query,
+            QueryRequest::Connected(..)
+                | QueryRequest::ComponentOf(..)
+                | QueryRequest::ComponentCount
+                | QueryRequest::SpanningForest
+        )
+    }
+
     /// Maintained solution ⇒ `O(1)`-round answers: point queries
     /// route the question to the vertex shard and the answer back
     /// (one exchange); whole-solution reports charge the paper's
@@ -988,6 +1411,16 @@ impl Maintain for StreamingConnectivity {
         Ok(())
     }
 
+    fn supports(&self, query: &QueryRequest) -> bool {
+        matches!(
+            query,
+            QueryRequest::Connected(..)
+                | QueryRequest::ComponentOf(..)
+                | QueryRequest::ComponentCount
+                | QueryRequest::SpanningForest
+        )
+    }
+
     /// Same maintained-solution charges as `Connectivity` (the
     /// Section 4 reference maintains labels and forest too; only its
     /// *update* path is sequential).
@@ -1045,6 +1478,16 @@ impl Maintain for RobustConnectivity {
         Ok(())
     }
 
+    fn supports(&self, query: &QueryRequest) -> bool {
+        matches!(
+            query,
+            QueryRequest::Connected(..)
+                | QueryRequest::ComponentOf(..)
+                | QueryRequest::ComponentCount
+                | QueryRequest::SpanningForest
+        )
+    }
+
     /// Answers from the currently exposed instance at the maintained-
     /// solution charges; reads burn no adaptivity budget (only
     /// consuming deletions do).
@@ -1098,6 +1541,16 @@ impl Maintain for VertexDynamicConnectivity {
     fn ingest(&mut self, batch: &Batch, ctx: &mut MpcContext) -> Result<(), MpcStreamError> {
         VertexDynamicConnectivity::apply_batch(self, batch, ctx)?;
         Ok(())
+    }
+
+    fn supports(&self, query: &QueryRequest) -> bool {
+        matches!(
+            query,
+            QueryRequest::Connected(..)
+                | QueryRequest::ComponentOf(..)
+                | QueryRequest::ComponentCount
+                | QueryRequest::SpanningForest
+        )
     }
 
     /// Point queries on inactive vertices are `InvalidBatch` (the

@@ -21,8 +21,34 @@ use crate::dist::{DistEtf, EdgeRec, Traversal};
 use crate::TourId;
 use mpc_graph::ids::{Edge, VertexId};
 use mpc_graph::oracle::UnionFind;
-use mpc_sim::MpcContext;
+use mpc_sim::{MpcContext, WorkerPool};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Entries per lane claim below which a parallel shard remap cannot
+/// amortize the scope's synchronization.
+const REMAP_PAR_MIN: usize = 4096;
+
+/// Applies the pure per-entry remap `f` to a shard, stealing entries
+/// across the host pool's lanes for large shards. Each entry is
+/// claimed by exactly one lane and `f` is position arithmetic with no
+/// cross-entry state, so the result is bit-identical to the serial
+/// walk (which is what small shards and `pool == None` get).
+fn remap_entries(
+    pool: Option<&WorkerPool>,
+    shard: &mut [(Edge, EdgeRec)],
+    f: impl Fn(&mut EdgeRec) + Sync,
+) {
+    match pool {
+        Some(pool) if pool.lanes() >= 2 && shard.len() >= REMAP_PAR_MIN => {
+            pool.steal_each(shard, |(_, rec)| f(rec));
+        }
+        _ => {
+            for (_, rec) in shard {
+                f(rec);
+            }
+        }
+    }
+}
 
 /// Per-tour remapping plan broadcast to all machines during a batch
 /// join: entry `x` of the tour maps to
@@ -77,10 +103,15 @@ impl DistEtf {
         ctx.exchange(2 * k);
         ctx.sort(8 * k);
         ctx.broadcast(4);
-        self.batch_join_uncharged(edges);
+        self.batch_join_pooled(edges, ctx.pool());
     }
 
-    pub(crate) fn batch_join_uncharged(&mut self, edges: &[Edge]) {
+    /// [`DistEtf::batch_join`] without the round charge, with an
+    /// optional host pool for the local shard-remap passes (step 3 of
+    /// the protocol — the "every machine remaps its own shard
+    /// locally" step, which is exactly the part a host thread per
+    /// span can execute).
+    fn batch_join_pooled(&mut self, edges: &[Edge], pool: Option<&WorkerPool>) {
         // --- validate forest structure over tours -----------------
         let mut tour_index: HashMap<TourId, usize> = HashMap::new();
         for &e in edges {
@@ -107,9 +138,9 @@ impl DistEtf {
         }
         for (_, comp) in comp_edges {
             if let [e] = comp[..] {
-                self.join_single(e);
+                self.join_single(e, pool);
             } else {
-                self.join_component(&comp);
+                self.join_component(&comp, pool);
             }
         }
     }
@@ -120,7 +151,7 @@ impl DistEtf {
     /// past the attach point shifts), the smaller tour is rerooted at
     /// its attach terminal and spliced into the gap. Produces exactly
     /// the tour [`DistEtf::join_component`] would.
-    fn join_single(&mut self, e: Edge) {
+    fn join_single(&mut self, e: Edge, pool: Option<&WorkerPool>) {
         let (tu, tv) = (self.tour_of(e.u()), self.tour_of(e.v()));
         let (root, child, u_root, v_child) = if self.tour_len(tu) >= self.tour_len(tv) {
             (tu, tv, e.u(), e.v())
@@ -135,23 +166,22 @@ impl DistEtf {
         // Root tail shift: positions strictly above the attach point
         // make room for the child block of w + 4 entries.
         if let Some(shard) = self.shard_mut(root) {
-            for (_, rec) in shard.iter_mut() {
+            remap_entries(pool, shard, |rec| {
                 for trav in [&mut rec.first, &mut rec.second] {
                     if trav.pos > c {
                         trav.pos += w + 4;
                     }
                 }
-            }
+            });
         }
         // Child block: old position x lands at c + 2 + x.
-        let child_shard = self.take_shard(child);
-        let mut merged: Vec<(Edge, EdgeRec)> = Vec::with_capacity(child_shard.len() + 1);
-        for (edge, mut rec) in child_shard {
+        let mut merged = self.take_shard(child);
+        remap_entries(pool, &mut merged, |rec| {
             rec.tour = root;
             rec.first.pos += c + 2;
             rec.second.pos += c + 2;
-            merged.push((edge, rec));
-        }
+        });
+        merged.reserve(1);
         self.add_adjacency(e);
         merged.push((
             e,
@@ -179,7 +209,7 @@ impl DistEtf {
     }
 
     /// Joins one auxiliary-tree component.
-    fn join_component(&mut self, comp: &[Edge]) {
+    fn join_component(&mut self, comp: &[Edge], pool: Option<&WorkerPool>) {
         // Auxiliary adjacency: tour -> (edge, local endpoint, remote
         // endpoint, remote tour).
         let mut aux: BTreeMap<TourId, Vec<(Edge, VertexId, VertexId, TourId)>> = BTreeMap::new();
@@ -317,29 +347,28 @@ impl DistEtf {
         let mut merged: Vec<(Edge, EdgeRec)> =
             Vec::with_capacity(child_edges as usize + new_recs.len());
         if rebuild {
-            let shard = self.take_shard(root);
-            merged.reserve(shard.len());
-            for (e, mut rec) in shard {
+            let mut shard = self.take_shard(root);
+            remap_entries(pool, &mut shard, |rec| {
                 rec.first.pos = root_plan.map(rec.first.pos);
                 rec.second.pos = root_plan.map(rec.second.pos);
-                merged.push((e, rec));
-            }
+            });
+            merged = shard;
+            merged.reserve(child_edges as usize + new_recs.len());
         } else if let Some(shard) = self.shard_mut(root) {
-            for (_, rec) in shard.iter_mut() {
+            remap_entries(pool, shard, |rec| {
                 rec.first.pos = root_plan.map(rec.first.pos);
                 rec.second.pos = root_plan.map(rec.second.pos);
-            }
+            });
         }
         for &t in &order[1..] {
             let plan = &plans[&t];
-            let shard = self.take_shard(t);
-            merged.reserve(shard.len());
-            for (e, mut rec) in shard {
+            let mut shard = self.take_shard(t);
+            remap_entries(pool, &mut shard, |rec| {
                 rec.first.pos = plan.map(rec.first.pos);
                 rec.second.pos = plan.map(rec.second.pos);
                 rec.tour = new_tour;
-                merged.push((e, rec));
-            }
+            });
+            merged.append(&mut shard);
         }
         // The k new edges ride the same splice instead of k separate
         // shard inserts; only their adjacency entries are per-edge.

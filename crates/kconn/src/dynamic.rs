@@ -231,6 +231,11 @@ impl mpc_stream_core::Maintain for DynamicKConn {
         DynamicKConn::apply_batch(self, batch, ctx)
     }
 
+    fn supports(&self, query: &mpc_stream_core::QueryRequest) -> bool {
+        use mpc_stream_core::QueryRequest;
+        matches!(query, QueryRequest::MinCutLowerBound)
+    }
+
     /// The recompute-on-read side of the open problem: a cut query
     /// peels a fresh certificate at its genuine `Θ(k log n)` round
     /// cost (the charge the insert-only cascade's maintained
@@ -280,7 +285,9 @@ fn boruvka_forest(bank: &SketchBank, n: usize, ctx: &mut MpcContext) -> Vec<Edge
             scratch.reset(level);
             // A group with no materialized member has the zero
             // sketch: an empty cut — nothing found, nothing failed.
-            if bank.merge_copy_into(&members, &mut scratch) > 0 {
+            // Host-parallel column merge (bit-identical; see
+            // SketchArena::merge_into_stealing).
+            if bank.merge_copy_into_stealing(&members, &mut scratch, ctx.pool()) > 0 {
                 match bank.sample_merged(&scratch) {
                     EdgeSample::Edge(e) => found.push(e),
                     EdgeSample::Empty => {}

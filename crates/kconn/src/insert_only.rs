@@ -299,6 +299,14 @@ impl mpc_stream_core::Maintain for InsertOnlyKConn {
         Ok(())
     }
 
+    fn supports(&self, query: &mpc_stream_core::QueryRequest) -> bool {
+        use mpc_stream_core::QueryRequest;
+        matches!(
+            query,
+            QueryRequest::MinCutLowerBound | QueryRequest::SpanningForest
+        )
+    }
+
     /// The certificate is maintained by the cascade, so cut answers
     /// cost only gathering the `O(k·n)`-edge certificate to read off
     /// the bound — constant rounds, against the dynamic peeler's

@@ -298,6 +298,14 @@ impl mpc_stream_core::Maintain for AklyMatching {
         AklyMatching::apply_batch(self, batch, ctx)
     }
 
+    fn supports(&self, query: &mpc_stream_core::QueryRequest) -> bool {
+        use mpc_stream_core::QueryRequest;
+        matches!(
+            query,
+            QueryRequest::MatchingSize | QueryRequest::MatchingEdges
+        )
+    }
+
     /// The reported matching is the best guess's: every guess
     /// converge-casts its size, the coordinator picks the winner, and
     /// the edge report additionally pays the output sort.

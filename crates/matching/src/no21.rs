@@ -259,6 +259,14 @@ impl mpc_stream_core::Maintain for MaximalMatching {
         MaximalMatching::apply_batch(self, batch, ctx)
     }
 
+    fn supports(&self, query: &mpc_stream_core::QueryRequest) -> bool {
+        use mpc_stream_core::QueryRequest;
+        matches!(
+            query,
+            QueryRequest::MatchingSize | QueryRequest::MatchingEdges
+        )
+    }
+
     /// The matching is maintained explicitly: its size is one
     /// converge-cast of per-shard matched counts, the edge list is
     /// the model's output sort.

@@ -341,6 +341,11 @@ impl mpc_stream_core::Maintain for MatchingSizeEstimator {
         MatchingSizeEstimator::apply_batch(self, batch, ctx)
     }
 
+    fn supports(&self, query: &mpc_stream_core::QueryRequest) -> bool {
+        use mpc_stream_core::QueryRequest;
+        matches!(query, QueryRequest::MatchingSize)
+    }
+
     /// The estimate is the largest passing guess: every tester
     /// reports its pass/fail bit in one converge-cast and the
     /// coordinator takes the maximum (Section 8.2).

@@ -9,8 +9,49 @@
 
 use crate::config::MpcConfig;
 use crate::error::MpcError;
+use crate::executor::WorkerPool;
 use crate::primitives::{tree_fanout, tree_rounds};
 use crate::stats::{Op, PhaseReport, Stats};
+use std::sync::Arc;
+
+/// One recorded invocation of a mutating [`MpcContext`] operation.
+///
+/// A forked context (see [`MpcContext::fork_for_branch`]) records every
+/// charging/accounting call it receives; the parallel executor then
+/// feeds the log back through [`MpcContext::replay`] on the master
+/// context, which re-invokes the identical operations in the identical
+/// order. All charges are pure functions of the configuration and the
+/// call arguments, so a replayed log charges bit-identical rounds,
+/// words, peaks, and violations to running the branch serially.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpcEvent {
+    /// [`MpcContext::exchange`]
+    Exchange(u64),
+    /// [`MpcContext::broadcast`]
+    Broadcast(u64),
+    /// [`MpcContext::converge_cast`] `(items, item_words)`
+    ConvergeCast(u64, u64),
+    /// [`MpcContext::sort`]
+    Sort(u64),
+    /// [`MpcContext::gather`]
+    Gather(u64),
+    /// [`MpcContext::alloc`] with the machine already resolved
+    Alloc(usize, u64),
+    /// [`MpcContext::free`] with the machine already resolved
+    Free(usize, u64),
+    /// [`MpcContext::set_load`]
+    SetLoad(usize, u64),
+    /// [`MpcContext::parallel_begin`]
+    ParallelBegin,
+    /// [`MpcContext::parallel_branch`]
+    ParallelBranch,
+    /// [`MpcContext::parallel_end`]
+    ParallelEnd,
+    /// [`MpcContext::begin_phase`]
+    BeginPhase(String),
+    /// [`MpcContext::end_phase`]
+    EndPhase,
+}
 
 /// Accounting context for one algorithm instance running on a
 /// simulated cluster.
@@ -37,6 +78,8 @@ pub struct MpcContext {
     phase_start_rounds: u64,
     phase_start_words: u64,
     parallel_stack: Vec<(u64, u64)>,
+    log: Option<Vec<MpcEvent>>,
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl MpcContext {
@@ -52,6 +95,98 @@ impl MpcContext {
             phase_start_rounds: 0,
             phase_start_words: 0,
             parallel_stack: Vec::new(),
+            log: None,
+            pool: None,
+        }
+    }
+
+    // ----- parallel executor support ------------------------------
+
+    /// Attaches (or detaches) a host worker pool. Structures that
+    /// support intra-group work stealing pick it up via
+    /// [`MpcContext::pool`]; `None` (the default) means fully serial
+    /// host execution.
+    pub fn set_pool(&mut self, pool: Option<Arc<WorkerPool>>) {
+        self.pool = pool;
+    }
+
+    /// The attached worker pool, if any.
+    pub fn pool(&self) -> Option<&WorkerPool> {
+        self.pool.as_deref()
+    }
+
+    /// Forks a recording context for one parallel branch.
+    ///
+    /// The fork carries the master's configuration, cumulative stats,
+    /// and machine loads (so capacity checks and peak observation see
+    /// the true cluster state), but starts with an empty parallel
+    /// stack, no active phase, and an **event log**: every mutating
+    /// operation invoked on the fork is recorded. The branch runs its
+    /// maintainer compute against the fork on a worker thread; the
+    /// executor then discards the fork's counters and calls
+    /// [`MpcContext::replay`] with [`MpcContext::take_log`]'s events on
+    /// the master, inside the master's own parallel scope, in
+    /// registration order. Because every charge is a pure function of
+    /// `(config, call arguments)`, the master ends up with exactly the
+    /// counters serial execution would have produced.
+    pub fn fork_for_branch(&self) -> MpcContext {
+        let mut fork = self.clone();
+        fork.parallel_stack.clear();
+        fork.phase_label = None;
+        fork.log = Some(Vec::new());
+        fork
+    }
+
+    /// Takes the recorded event log (empty if recording was off).
+    pub fn take_log(&mut self) -> Vec<MpcEvent> {
+        self.log.take().unwrap_or_default()
+    }
+
+    /// Re-invokes a recorded event sequence on this context, stopping
+    /// at (and returning) the first error, exactly as the original
+    /// caller would have experienced it.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the replayed operation returns — e.g.
+    /// [`MpcError::GatherTooLarge`] or, in strict mode,
+    /// [`MpcError::LocalMemoryExceeded`].
+    pub fn replay(&mut self, events: &[MpcEvent]) -> Result<(), MpcError> {
+        // Never re-record while replaying (a master context normally
+        // has no log, but replay must be safe on any context).
+        let saved = self.log.take();
+        let result = self.replay_inner(events);
+        self.log = saved;
+        result
+    }
+
+    fn replay_inner(&mut self, events: &[MpcEvent]) -> Result<(), MpcError> {
+        for e in events {
+            match e {
+                MpcEvent::Exchange(w) => self.exchange(*w),
+                MpcEvent::Broadcast(w) => self.broadcast(*w),
+                MpcEvent::ConvergeCast(items, w) => self.converge_cast(*items, *w),
+                MpcEvent::Sort(w) => self.sort(*w),
+                MpcEvent::Gather(w) => self.gather(*w)?,
+                MpcEvent::Alloc(m, w) => self.alloc(*m, *w)?,
+                MpcEvent::Free(m, w) => self.free(*m, *w),
+                MpcEvent::SetLoad(m, w) => self.set_load(*m, *w)?,
+                MpcEvent::ParallelBegin => self.parallel_begin(),
+                MpcEvent::ParallelBranch => self.parallel_branch(),
+                MpcEvent::ParallelEnd => self.parallel_end(),
+                MpcEvent::BeginPhase(label) => self.begin_phase(label),
+                MpcEvent::EndPhase => {
+                    let _ = self.end_phase();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn record(&mut self, event: MpcEvent) {
+        if let Some(log) = self.log.as_mut() {
+            log.push(event);
         }
     }
 
@@ -76,6 +211,7 @@ impl MpcContext {
     /// experiments report *rounds per batch*, the paper's headline
     /// quantity.
     pub fn begin_phase(&mut self, label: &str) {
+        self.record(MpcEvent::BeginPhase(label.to_string()));
         self.phase_label = Some(label.to_string());
         self.phase_start_rounds = self.stats.rounds;
         self.phase_start_words = self.stats.words_communicated;
@@ -87,6 +223,7 @@ impl MpcContext {
     ///
     /// Panics if no phase is active.
     pub fn end_phase(&mut self) -> PhaseReport {
+        self.record(MpcEvent::EndPhase);
         let label = self
             .phase_label
             .take()
@@ -109,6 +246,7 @@ impl MpcContext {
     /// of it really moves. Per-op round attribution keeps counting
     /// serial-equivalent work.
     pub fn parallel_begin(&mut self) {
+        self.record(MpcEvent::ParallelBegin);
         self.parallel_stack.push((self.stats.rounds, 0));
     }
 
@@ -119,6 +257,7 @@ impl MpcContext {
     ///
     /// Panics outside a parallel scope.
     pub fn parallel_branch(&mut self) {
+        self.record(MpcEvent::ParallelBranch);
         let (saved, max) = *self
             .parallel_stack
             .last()
@@ -135,6 +274,7 @@ impl MpcContext {
     ///
     /// Panics if no scope is open.
     pub fn parallel_end(&mut self) {
+        self.record(MpcEvent::ParallelEnd);
         let (saved, max) = self
             .parallel_stack
             .pop()
@@ -148,12 +288,14 @@ impl MpcContext {
 
     /// One synchronous point-to-point exchange moving `words` words.
     pub fn exchange(&mut self, words: u64) {
+        self.record(MpcEvent::Exchange(words));
         self.stats.charge(Op::Exchange, 1, words);
     }
 
     /// Broadcast of a `words`-word payload from a coordinator to all
     /// machines through a fan-out tree.
     pub fn broadcast(&mut self, words: u64) {
+        self.record(MpcEvent::Broadcast(words));
         let fanout = tree_fanout(self.cfg.local_capacity(), words);
         let rounds = tree_rounds(self.cfg.machines(), fanout);
         let total = words * self.cfg.machines() as u64;
@@ -165,6 +307,7 @@ impl MpcContext {
     /// paper's sketch-merging step: `O(log_{s/‖sketch‖} n) = O(1/φ)`
     /// rounds (footnote 8 of the paper).
     pub fn converge_cast(&mut self, items: u64, item_words: u64) {
+        self.record(MpcEvent::ConvergeCast(items, item_words));
         let fanout = tree_fanout(self.cfg.local_capacity(), item_words);
         let rounds = tree_rounds(items.max(1) as usize, fanout);
         let total = items * item_words;
@@ -174,6 +317,7 @@ impl MpcContext {
     /// Distributed sort of `total_words` words (GSZ'11:
     /// `O(log_s N) = O(1/φ)` rounds).
     pub fn sort(&mut self, total_words: u64) {
+        self.record(MpcEvent::Sort(total_words));
         let s = self.cfg.local_capacity().max(2);
         let mut rounds = 1;
         let mut covered = s;
@@ -213,6 +357,7 @@ impl MpcContext {
     /// auxiliary structures that fit in one machine (Claim 6.1), so
     /// hitting this means the batch-size precondition was violated.
     pub fn gather(&mut self, words: u64) -> Result<(), MpcError> {
+        self.record(MpcEvent::Gather(words));
         if words > self.cfg.local_capacity() {
             return Err(MpcError::GatherTooLarge {
                 words,
@@ -233,6 +378,7 @@ impl MpcContext {
     /// the machine overflows `s`; in permissive mode the overflow is
     /// recorded in [`Stats::violations`].
     pub fn alloc(&mut self, m: usize, words: u64) -> Result<(), MpcError> {
+        self.record(MpcEvent::Alloc(m, words));
         self.loads[m] += words;
         self.total_load += words;
         let used = self.loads[m];
@@ -258,6 +404,7 @@ impl MpcContext {
     /// Panics if more words are freed than were allocated (an
     /// accounting bug in the calling algorithm).
     pub fn free(&mut self, m: usize, words: u64) {
+        self.record(MpcEvent::Free(m, words));
         assert!(
             self.loads[m] >= words,
             "machine {m} frees {words} words but holds {}",
@@ -291,6 +438,7 @@ impl MpcContext {
     /// In strict mode, returns [`MpcError::LocalMemoryExceeded`] on
     /// overflow.
     pub fn set_load(&mut self, m: usize, words: u64) -> Result<(), MpcError> {
+        self.record(MpcEvent::SetLoad(m, words));
         let old = self.loads[m];
         self.loads[m] = words;
         self.total_load = self.total_load + words - old;
@@ -468,6 +616,100 @@ mod tests {
     fn over_free_panics() {
         let mut c = ctx();
         c.free(0, 1);
+    }
+
+    #[test]
+    fn fork_replay_matches_direct_execution() {
+        // Run the same operation sequence (a) directly on one context
+        // and (b) on a fork whose log is replayed onto a second
+        // context; the resulting stats and loads must be identical.
+        let script = |c: &mut MpcContext| -> Result<(), MpcError> {
+            c.begin_phase("batch");
+            c.sort(100);
+            c.parallel_begin();
+            c.converge_cast(64, 4);
+            c.alloc_vertex(5, 10)?;
+            c.parallel_branch();
+            c.broadcast(8);
+            c.exchange(3);
+            c.parallel_branch();
+            c.parallel_end();
+            c.gather(16)?;
+            c.free_vertex(5, 4);
+            c.set_load(0, 7)?;
+            let _ = c.end_phase();
+            Ok(())
+        };
+        let mut direct = ctx();
+        script(&mut direct).unwrap();
+
+        let master = ctx();
+        let mut fork = master.fork_for_branch();
+        script(&mut fork).unwrap();
+        let mut replayed = master;
+        replayed.replay(&fork.take_log()).unwrap();
+
+        assert_eq!(replayed.stats(), direct.stats());
+        assert_eq!(replayed.total_load(), direct.total_load());
+        for m in 0..replayed.config().machines() {
+            assert_eq!(replayed.load(m), direct.load(m));
+        }
+    }
+
+    #[test]
+    fn fork_starts_with_clean_scope_but_keeps_loads() {
+        let mut c = ctx();
+        c.alloc(0, 12).unwrap();
+        c.begin_phase("outer");
+        c.parallel_begin();
+        let fork = c.fork_for_branch();
+        assert_eq!(fork.load(0), 12, "loads carry over");
+        assert_eq!(fork.total_load(), 12);
+        // The fork has no open scope or phase: branch-local scopes
+        // balance from zero regardless of the master's state.
+        let mut fork = fork;
+        fork.parallel_begin();
+        fork.exchange(1);
+        fork.parallel_branch();
+        fork.parallel_end();
+        c.parallel_end();
+        let _ = c.end_phase();
+    }
+
+    #[test]
+    fn replay_reproduces_errors_at_the_same_point() {
+        let cfg = MpcConfig::builder(1024, 0.5)
+            .local_capacity(8)
+            .machines(4)
+            .strict(true)
+            .build();
+        let master = MpcContext::new(cfg);
+        let mut fork = master.fork_for_branch();
+        fork.exchange(2);
+        let err = fork.alloc(1, 9);
+        assert!(matches!(err, Err(MpcError::LocalMemoryExceeded { .. })));
+        let log = fork.take_log();
+        let mut replayed = master;
+        let replay_err = replayed.replay(&log);
+        assert!(matches!(
+            replay_err,
+            Err(MpcError::LocalMemoryExceeded { machine: 1, .. })
+        ));
+        // Work before the failure point was still charged.
+        assert_eq!(replayed.stats().rounds, 1);
+    }
+
+    #[test]
+    fn replay_does_not_rerecord() {
+        let master = ctx();
+        let mut fork = master.fork_for_branch();
+        fork.exchange(1);
+        let log = fork.take_log();
+        let mut inner = master.fork_for_branch();
+        inner.replay(&log).unwrap();
+        // Replaying on a recording context must not duplicate events
+        // into its own log.
+        assert!(inner.take_log().is_empty());
     }
 
     #[test]

@@ -41,13 +41,15 @@ pub mod cluster;
 pub mod config;
 pub mod context;
 pub mod error;
+pub mod executor;
 pub mod group;
 pub mod primitives;
 pub mod stats;
 
 pub use config::MpcConfig;
-pub use context::MpcContext;
+pub use context::{MpcContext, MpcEvent};
 pub use error::{MpcError, MpcStreamError};
+pub use executor::{workers_from_env, WorkerPool};
 pub use group::MachineGroup;
 pub use stats::{
     BatchAudit, BatchReport, MaintainerStats, PhaseReport, QueryReport, SessionStats, Stats,

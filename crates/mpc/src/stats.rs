@@ -31,7 +31,7 @@ impl std::fmt::Display for Op {
 }
 
 /// Cumulative counters for a run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Stats {
     /// Total synchronous rounds charged.
     pub rounds: u64,

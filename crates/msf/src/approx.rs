@@ -314,6 +314,11 @@ impl mpc_stream_core::Maintain for ApproxMsfWeight {
         Ok(())
     }
 
+    fn supports(&self, query: &mpc_stream_core::QueryRequest) -> bool {
+        use mpc_stream_core::QueryRequest;
+        matches!(query, QueryRequest::ForestWeight)
+    }
+
     /// The estimate reads every threshold instance's component count:
     /// the label sorts run in parallel across the `t + 1` instances
     /// (one sort's rounds), and the `t + 1` counts converge-cast to
@@ -371,6 +376,16 @@ impl mpc_stream_core::Maintain for ApproxMsfForest {
     ) -> Result<(), mpc_sim::MpcStreamError> {
         ApproxMsfForest::apply_batch(self, batch, ctx)?;
         Ok(())
+    }
+
+    fn supports(&self, query: &mpc_stream_core::QueryRequest) -> bool {
+        use mpc_stream_core::QueryRequest;
+        matches!(
+            query,
+            QueryRequest::SpanningForest
+                | QueryRequest::ForestWeight
+                | QueryRequest::ComponentOf(..)
+        )
     }
 
     /// The forest report pays the documented `t` dependent rounds of

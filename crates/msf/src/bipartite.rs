@@ -149,6 +149,14 @@ impl mpc_stream_core::Maintain for Bipartiteness {
         Ok(())
     }
 
+    fn supports(&self, query: &mpc_stream_core::QueryRequest) -> bool {
+        use mpc_stream_core::QueryRequest;
+        matches!(
+            query,
+            QueryRequest::IsBipartite | QueryRequest::ComponentCount
+        )
+    }
+
     /// Bipartiteness compares the component counts of `G` and the
     /// double cover `G'` (Lemma 7.4): two label sorts (parallel, but
     /// charged as one phase here) plus the two-count gather.

@@ -126,6 +126,18 @@ impl mpc_stream_core::Maintain for ExactMsf {
         Ok(())
     }
 
+    fn supports(&self, query: &mpc_stream_core::QueryRequest) -> bool {
+        use mpc_stream_core::QueryRequest;
+        matches!(
+            query,
+            QueryRequest::Connected(..)
+                | QueryRequest::ComponentOf(..)
+                | QueryRequest::ComponentCount
+                | QueryRequest::ForestWeight
+                | QueryRequest::SpanningForest
+        )
+    }
+
     /// Maintained forest ⇒ `O(1)`-round answers: point queries are
     /// one exchange, the weight is one converge-cast of per-shard
     /// partial sums, and whole-solution reports charge the output

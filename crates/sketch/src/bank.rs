@@ -170,6 +170,19 @@ impl SketchBank {
         self.arena.merge_into(members, scratch)
     }
 
+    /// [`SketchBank::merge_copy_into`] with optional host work
+    /// stealing over the member columns (see
+    /// [`SketchArena::merge_into_stealing`]); bit-identical to the
+    /// serial merge, `pool` or not.
+    pub fn merge_copy_into_stealing(
+        &self,
+        members: &[VertexId],
+        scratch: &mut MergeScratch,
+        pool: Option<&mpc_sim::WorkerPool>,
+    ) -> usize {
+        self.arena.merge_into_stealing(members, scratch, pool)
+    }
+
     /// Samples the set sketch accumulated in `scratch` (the cut of
     /// the merged vertex set, Lemma 3.3).
     pub fn sample_merged(&self, scratch: &MergeScratch) -> EdgeSample {

@@ -1,0 +1,277 @@
+//! Serial-equivalence harness for the parallel `Session` executor:
+//! the worker count is an *execution* knob, never an *observable* one.
+//! Every scenario below runs the same seeded pipeline at 1, 2, 4, and
+//! 8 workers and demands bit-identical batch reports, query answers,
+//! receipts, and rolled-up `SessionStats` — the accounting contract
+//! the executor's fork/replay scheme exists to keep ("replaying each
+//! branch's event log on the master reproduces the serial charges
+//! exactly").
+
+use mpc_stream::graph::gen;
+use mpc_stream::graph::ids::Edge;
+use mpc_stream::graph::update::Update;
+use mpc_stream::prelude::*;
+use std::collections::BTreeSet;
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn cfg(n: usize) -> MpcConfig {
+    MpcConfig::builder(2 * n, 0.5)
+        .local_capacity(1 << 16)
+        .build()
+}
+
+/// Everything a run can observe: per-apply batch reports, per-query
+/// fan-out answers with their receipts, and the final rollup.
+type Observables = (
+    Vec<Vec<BatchReport>>,
+    Vec<Vec<(MaintainerId, QueryResponse)>>,
+    Vec<Vec<QueryReport>>,
+    SessionStats,
+);
+
+fn observe(session: &mut Session, batches: &[Batch], queries: &[QueryRequest]) -> Observables {
+    let mut reports = Vec::new();
+    for batch in batches {
+        reports.push(session.apply_batch(batch).expect("stream in regime"));
+    }
+    let mut answers = Vec::new();
+    let mut receipts = Vec::new();
+    for q in queries {
+        answers.push(session.ask_all(q).expect("fan-out answers"));
+        receipts.push(session.query_reports().to_vec());
+    }
+    session.validate_all().expect("invariants hold");
+    (reports, answers, receipts, session.stats().clone())
+}
+
+/// All sixteen maintainer kinds on one insert-only stream (the widest
+/// vocabulary every kind accepts), asked every query in the plane's
+/// vocabulary. One registration function keeps the twins identical.
+fn full_roster_run(workers: usize) -> Observables {
+    let n = 24usize;
+    let mut session = Session::new(cfg(n)).with_workers(workers);
+    session.register(Connectivity::new(n, ConnectivityConfig::default(), 1));
+    session.register(StreamingConnectivity::new(n, 2));
+    session.register(RobustConnectivity::new(
+        n,
+        2,
+        4,
+        ConnectivityConfig::default(),
+        3,
+    ));
+    let mut vd = VertexDynamicConnectivity::with_capacity(n, ConnectivityConfig::default(), 4);
+    {
+        let mut setup = MpcContext::new(cfg(n));
+        vd.add_vertices(n, &mut setup).expect("slots available");
+    }
+    session.register(vd);
+    session.register(ExactMsf::new(n));
+    session.register(ApproxMsfWeight::new(n, 0.5, 4, 5));
+    session.register(ApproxMsfForest::new(n, 0.5, 4, 6));
+    session.register(Bipartiteness::new(n, 7));
+    session.register(MatchingSizeEstimator::new(
+        n,
+        2.0,
+        StreamKind::InsertionOnly,
+        8,
+    ));
+    session.register(MatchingSizeEstimator::new(n, 2.0, StreamKind::Dynamic, 9));
+    session.register(AklyMatching::new(n, 2.0, 10));
+    session.register(MaximalMatching::new(n));
+    session.register(DynamicKConn::new(n, 2, 11));
+    session.register(InsertOnlyKConn::new(n, 2));
+    session.register(AgmBaseline::new(n, 12));
+    session.register(FullMemoryBaseline::new(n));
+    assert_eq!(session.maintainer_count(), 16);
+    assert_eq!(session.workers(), workers);
+
+    let stream = gen::random_insert_stream(n, 6, 10, 0x9A11);
+    let queries = [
+        QueryRequest::Connected(0, n as u32 - 1),
+        QueryRequest::ComponentOf(3),
+        QueryRequest::ComponentCount,
+        QueryRequest::SpanningForest,
+        QueryRequest::ForestWeight,
+        QueryRequest::IsBipartite,
+        QueryRequest::MatchingSize,
+        QueryRequest::MatchingEdges,
+        QueryRequest::MinCutLowerBound,
+    ];
+    observe(&mut session, &stream.batches, &queries)
+}
+
+#[test]
+fn full_roster_is_bit_identical_at_every_worker_count() {
+    let serial = full_roster_run(1);
+    for workers in &WORKER_COUNTS[1..] {
+        assert_eq!(
+            full_roster_run(*workers),
+            serial,
+            "{workers}-worker execution diverged from serial"
+        );
+    }
+}
+
+/// The dynamic subset under a mixed insert/delete stream: deletions
+/// exercise sketch recovery and rematch control flow, the paths where
+/// a data race or replay gap would actually change an answer.
+fn dynamic_roster_run(workers: usize) -> Observables {
+    let n = 32usize;
+    let mut session = Session::new(cfg(n)).with_workers(workers);
+    session.register(Connectivity::new(n, ConnectivityConfig::default(), 21));
+    session.register(AklyMatching::new(n, 2.0, 22));
+    session.register(DynamicKConn::new(n, 2, 23));
+    session.register(AgmBaseline::new(n, 24));
+    session.register(FullMemoryBaseline::new(n));
+
+    let stream = gen::random_mixed_stream(n, 8, 10, 0.65, 0xD11);
+    let queries = [
+        QueryRequest::Connected(1, n as u32 - 2),
+        QueryRequest::ComponentCount,
+        QueryRequest::MatchingSize,
+        QueryRequest::MinCutLowerBound,
+    ];
+    observe(&mut session, &stream.batches, &queries)
+}
+
+#[test]
+fn dynamic_roster_with_deletions_is_bit_identical_at_every_worker_count() {
+    let serial = dynamic_roster_run(1);
+    for workers in &WORKER_COUNTS[1..] {
+        assert_eq!(
+            dynamic_roster_run(*workers),
+            serial,
+            "{workers}-worker execution diverged from serial"
+        );
+    }
+}
+
+/// The weighted front door (`apply_weighted`) through the same
+/// pipeline: the MSF family sees weights, and the pipelined chunker
+/// must hand workers the same weighted chunks the serial path built.
+type WeightedObservables = (
+    Vec<Vec<BatchReport>>,
+    Vec<(MaintainerId, QueryResponse)>,
+    SessionStats,
+);
+
+fn weighted_roster_run(workers: usize) -> WeightedObservables {
+    let n = 24usize;
+    let mut session = Session::new(cfg(n)).with_workers(workers);
+    session.register(ExactMsf::new(n));
+    session.register(ApproxMsfWeight::new(n, 0.5, 4, 31));
+    session.register(ApproxMsfForest::new(n, 0.5, 4, 32));
+
+    let stream = gen::random_weighted_insert_stream(n, 5, 9, 64, 0x3E1);
+    let mut reports = Vec::new();
+    for batch in &stream.batches {
+        reports.push(
+            session
+                .apply_weighted(batch.iter())
+                .expect("insert-only weighted stream"),
+        );
+    }
+    let answers = session
+        .ask_all(&QueryRequest::ForestWeight)
+        .expect("weights answered");
+    session.validate_all().expect("invariants hold");
+    (reports, answers, session.stats().clone())
+}
+
+#[test]
+fn weighted_roster_is_bit_identical_at_every_worker_count() {
+    let serial = weighted_roster_run(1);
+    for workers in &WORKER_COUNTS[1..] {
+        assert_eq!(
+            weighted_roster_run(*workers),
+            serial,
+            "{workers}-worker weighted execution diverged from serial"
+        );
+    }
+}
+
+/// Splitmix-style step for the stress schedule — the test owns its
+/// randomness so the interleaving reproduces from the literal seed.
+fn next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Concurrency stress: thousands of randomly interleaved tiny ingests
+/// and `ask_all` fan-outs across three maintainers, executed twice —
+/// serially and on a 4-worker pool — step by step. Every answer and
+/// the final stats must stay locked together (no drift), nothing may
+/// panic, and dropping the parallel session must join its pool
+/// cleanly (a leaked worker would hang the test binary at exit).
+#[test]
+fn randomized_interleaving_never_drifts_from_serial() {
+    let n = 12usize;
+    let build = |workers: usize| {
+        let mut s = Session::new(cfg(n)).with_workers(workers);
+        s.register(Connectivity::new(n, ConnectivityConfig::default(), 41));
+        s.register(AgmBaseline::new(n, 42));
+        s.register(FullMemoryBaseline::new(n));
+        s
+    };
+    let mut serial = build(1);
+    let mut pooled = build(4);
+
+    let mut rng = 0x57E55u64;
+    let mut live: BTreeSet<Edge> = BTreeSet::new();
+    let queries = [
+        QueryRequest::ComponentCount,
+        QueryRequest::Connected(0, n as u32 - 1),
+        QueryRequest::ComponentOf(5),
+    ];
+    let mut asked = 0u32;
+    for step in 0..2500u32 {
+        let roll = next(&mut rng);
+        if roll % 10 < 6 {
+            // Ingest a small valid batch: inserts of absent edges,
+            // deletions of live ones, all simple-graph legal.
+            let mut ops = Vec::new();
+            for _ in 0..(1 + next(&mut rng) % 3) {
+                let a = (next(&mut rng) % n as u64) as u32;
+                let b = (next(&mut rng) % n as u64) as u32;
+                if a == b {
+                    continue;
+                }
+                let e = Edge::new(a, b);
+                if live.insert(e) {
+                    ops.push(Update::Insert(e));
+                } else if next(&mut rng).is_multiple_of(2) {
+                    live.remove(&e);
+                    ops.push(Update::Delete(e));
+                }
+            }
+            let a = serial.apply(ops.iter().copied()).expect("legal batch");
+            let b = pooled.apply(ops.iter().copied()).expect("legal batch");
+            assert_eq!(a, b, "ingest reports drifted at step {step}");
+        } else {
+            let q = &queries[(roll % 3) as usize];
+            let a = serial.ask_all(q).expect("all three answer");
+            let b = pooled.ask_all(q).expect("all three answer");
+            assert_eq!(a, b, "answers drifted at step {step}");
+            assert_eq!(
+                serial.query_reports(),
+                pooled.query_reports(),
+                "receipts drifted at step {step}"
+            );
+            asked += 1;
+        }
+    }
+    assert!(asked > 500, "schedule degenerated: only {asked} fan-outs");
+    assert_eq!(
+        serial.stats(),
+        pooled.stats(),
+        "cumulative stats drifted over the stress schedule"
+    );
+    // Clean shutdown: dropping the pooled session joins every worker
+    // thread; a stuck lane would deadlock right here, inside the test.
+    drop(pooled);
+    drop(serial);
+}

@@ -329,3 +329,103 @@ fn capacity_overrun_names_the_oversized_maintainer_and_spares_neighbors() {
     assert!(stats.per_maintainer[fat.id()].capacity_violations > 0);
     assert!(stats.per_maintainer[fat.id()].state_words > 4096);
 }
+
+/// A maintainer whose `answer` burns rounds *before* discovering the
+/// query is outside its vocabulary — the shape that made the old
+/// `ask_all` leak charges: it opened a parallel branch for every
+/// maintainer, so a noisy decliner's probe rounds max-composed into
+/// the scope even though it had nothing to say.
+#[derive(Debug)]
+struct NoisyDecliner;
+
+impl Maintain for NoisyDecliner {
+    fn name(&self) -> &'static str {
+        "noisy-decliner"
+    }
+
+    fn n(&self) -> usize {
+        4
+    }
+
+    fn words(&self) -> u64 {
+        1
+    }
+
+    fn ingest(&mut self, _batch: &Batch, _ctx: &mut MpcContext) -> Result<(), MpcStreamError> {
+        Ok(())
+    }
+
+    fn answer(
+        &mut self,
+        query: &QueryRequest,
+        ctx: &mut MpcContext,
+    ) -> Result<QueryResponse, MpcStreamError> {
+        // Ten broadcasts dwarf any supporter's answer, so a leaked
+        // branch visibly inflates the fan-out's max-composed rounds.
+        for _ in 0..10 {
+            ctx.broadcast(1);
+        }
+        Err(MpcStreamError::Unsupported(format!(
+            "noisy-decliner cannot answer {query}"
+        )))
+    }
+
+    // Default `supports`: false for every query. `ask_all` must trust
+    // the probe and never call `answer` at all.
+}
+
+/// Regression: `ask_all` must consult `supports` *before* opening a
+/// parallel branch, so non-supporters are free — same fan-out rounds
+/// as a session without them, no query receipt, no per-maintainer
+/// query charge.
+#[test]
+fn ask_all_charges_nothing_for_unsupported_decliners() {
+    let n = 16usize;
+    let batch: Vec<Update> = (0..8u32)
+        .map(|i| Update::Insert(Edge::new(i, i + 8)))
+        .collect();
+
+    // Twin sessions over the same stream: one with the decliner
+    // sandwiched between two supporters, one with the supporters only.
+    let mut with = Session::new(cfg(n));
+    with.register(Connectivity::new(n, ConnectivityConfig::default(), 1));
+    let decliner = with.register(NoisyDecliner);
+    with.register(FullMemoryBaseline::new(n));
+    with.apply(batch.iter().copied())
+        .expect("insert-only stream");
+
+    let mut without = Session::new(cfg(n));
+    without.register(Connectivity::new(n, ConnectivityConfig::default(), 1));
+    without.register(FullMemoryBaseline::new(n));
+    without
+        .apply(batch.iter().copied())
+        .expect("insert-only stream");
+
+    let rounds_before = with.stats().query_rounds;
+    let answers = with
+        .ask_all(&QueryRequest::ComponentCount)
+        .expect("supporters answer");
+    let with_delta = with.stats().query_rounds - rounds_before;
+
+    let rounds_before = without.stats().query_rounds;
+    let expected = without
+        .ask_all(&QueryRequest::ComponentCount)
+        .expect("supporters answer");
+    let without_delta = without.stats().query_rounds - rounds_before;
+
+    // Only the two supporters answered, with identical responses…
+    assert_eq!(answers.len(), 2);
+    assert_eq!(
+        answers.iter().map(|(_, r)| r.clone()).collect::<Vec<_>>(),
+        expected.iter().map(|(_, r)| r.clone()).collect::<Vec<_>>()
+    );
+    assert_eq!(with.query_reports().len(), 2, "no receipt for a decliner");
+    // …the decliner was never asked, never charged…
+    let m = &with.stats().per_maintainer[decliner.id()];
+    assert_eq!(m.queries, 0, "decliner must not be counted as answering");
+    assert_eq!(m.query_rounds, 0, "decliner must not be charged rounds");
+    assert_eq!(m.query_words, 0, "decliner must not be charged words");
+    // …and the fan-out cost exactly what the decliner-free twin paid:
+    // the skipped maintainer contributed no branch to the max.
+    assert_eq!(with_delta, without_delta, "a decliner must be free");
+}
