@@ -14,7 +14,7 @@ use mpc_graph::update::Batch;
 use mpc_sim::MpcContext;
 use mpc_sketch::vertex::EdgeSample;
 use mpc_sketch::SketchBank;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The sketch-only baseline.
 ///
@@ -114,7 +114,7 @@ impl AgmBaseline {
             // Merge sketches per current supernode, query each — one
             // reusable accumulator, no per-component sketch clones.
             ctx.converge_cast(self.n as u64, sketch_words);
-            let mut groups: HashMap<u32, Vec<u32>> = HashMap::new();
+            let mut groups: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
             for v in 0..self.n as u32 {
                 groups.entry(uf.find(v)).or_default().push(v);
             }
@@ -153,7 +153,7 @@ impl AgmBaseline {
         }
         self.last_query_rounds = ctx.rounds() - rounds_before;
         // Labels: minimum vertex id per component.
-        let mut min_of: HashMap<u32, u32> = HashMap::new();
+        let mut min_of: BTreeMap<u32, u32> = BTreeMap::new();
         for v in 0..self.n as u32 {
             let r = uf.find(v);
             min_of

@@ -12,6 +12,8 @@
 //! cargo run --release -p mpc-bench --bin experiments -- e1 e4
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod table;
 

@@ -7,7 +7,7 @@ use mpc_graph::update::{Batch, Update};
 use mpc_sim::{MpcContext, MpcError};
 use mpc_sketch::vertex::EdgeSample;
 use mpc_sketch::SketchBank;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// Tuning knobs for [`Connectivity`].
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -388,7 +388,7 @@ impl Connectivity {
         // Coordinator builds the auxiliary graph H over component ids
         // (Claim 6.1: it has O(k) nodes, fits one machine).
         ctx.gather(2 * k)?;
-        let mut index: HashMap<VertexId, u32> = HashMap::new();
+        let mut index: BTreeMap<VertexId, u32> = BTreeMap::new();
         for &e in edges {
             for c in [self.comp[e.u() as usize], self.comp[e.v() as usize]] {
                 let next = index.len() as u32;
@@ -408,7 +408,7 @@ impl Connectivity {
         self.etf.batch_join(&f_h, ctx);
         // Component relabelling: each merged group takes the minimum
         // id; broadcast the O(k)-entry map, applied locally.
-        let mut group_min: HashMap<u32, VertexId> = HashMap::new();
+        let mut group_min: BTreeMap<u32, VertexId> = BTreeMap::new();
         for (&c, &i) in &index {
             let root = uf.find(i);
             group_min
@@ -416,7 +416,7 @@ impl Connectivity {
                 .and_modify(|m| *m = (*m).min(c))
                 .or_insert(c);
         }
-        let mut relabel: HashMap<VertexId, VertexId> = HashMap::new();
+        let mut relabel: BTreeMap<VertexId, VertexId> = BTreeMap::new();
         for (&c, &i) in &index {
             let target = group_min[&uf.find(i)];
             if target != c {
@@ -512,7 +512,7 @@ impl Connectivity {
         pieces: &[TourId],
         ctx: &mut MpcContext,
     ) -> Result<Vec<Edge>, ConnectivityError> {
-        let piece_index: HashMap<TourId, u32> = pieces
+        let piece_index: BTreeMap<TourId, u32> = pieces
             .iter()
             .enumerate()
             .map(|(i, &t)| (t, i as u32))

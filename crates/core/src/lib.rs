@@ -54,6 +54,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod connectivity;
 pub mod query;
 pub mod robust;

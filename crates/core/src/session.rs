@@ -721,6 +721,7 @@ impl Session {
             Box<dyn Maintain>,
             Vec<MpcEvent>,
             Result<QueryResponse, MpcStreamError>,
+            (u64, u64),
         );
         let pool = self.pool.clone().expect("parallel ask_all requires a pool");
         let phase_rounds = self.ctx.stats().rounds;
@@ -743,8 +744,14 @@ impl Session {
             let mut fork = self.ctx.fork_for_branch();
             let tx = tx.clone();
             pool.execute(Box::new(move || {
+                let fork_rounds = fork.stats().rounds;
+                let fork_words = fork.stats().words_communicated;
                 let result = m.answer(&query, &mut fork);
-                let _ = tx.send((id, (m, fork.take_log(), result)));
+                let fork_delta = (
+                    fork.stats().rounds - fork_rounds,
+                    fork.stats().words_communicated - fork_words,
+                );
+                let _ = tx.send((id, (m, fork.take_log(), result, fork_delta)));
             }));
         }
         drop(tx);
@@ -761,22 +768,31 @@ impl Session {
                 self.maintainers.push(m);
                 continue;
             }
-            let (m, log, result) = slots[id].take().expect("every dispatched branch reports");
+            let (m, log, result, fork_delta) =
+                slots[id].take().expect("every dispatched branch reports");
             if failure.is_none() {
                 let rounds = self.ctx.stats().rounds;
                 let words = self.ctx.stats().words_communicated;
                 match result {
                     Ok(response) => match self.ctx.replay(&log) {
                         Ok(()) => {
-                            reports.push((
-                                id,
-                                QueryReport {
-                                    maintainer: m.name(),
-                                    query: query.to_string(),
-                                    rounds: self.ctx.stats().rounds - rounds,
-                                    words: self.ctx.stats().words_communicated - words,
-                                },
-                            ));
+                            let report = QueryReport {
+                                maintainer: m.name(),
+                                query: query.to_string(),
+                                rounds: self.ctx.stats().rounds - rounds,
+                                words: self.ctx.stats().words_communicated - words,
+                            };
+                            // Differential fork/replay audit: every
+                            // charge is a pure function of (config,
+                            // args), so what the fork recorded must be
+                            // exactly what replay re-charged.
+                            debug_assert_eq!(
+                                (report.rounds, report.words),
+                                fork_delta,
+                                "fork/replay accounting drift for `{}`",
+                                report.maintainer
+                            );
+                            reports.push((id, report));
                             responses.push((id, response));
                             self.ctx.parallel_branch();
                         }
@@ -1037,6 +1053,7 @@ impl Session {
             Vec<MpcEvent>,
             Result<(), MpcStreamError>,
             u64,
+            (u64, u64),
         );
         let pool = self.pool.clone().expect("parallel chunk requires a pool");
         let chunk_audit = BatchAudit::begin(&self.ctx);
@@ -1052,9 +1069,15 @@ impl Session {
             let tx = tx.clone();
             pool.execute(Box::new(move || {
                 let l0_before = m.l0_failures();
+                let fork_rounds = fork.stats().rounds;
+                let fork_words = fork.stats().words_communicated;
                 let result = chunk.ingest_into(m.as_mut(), &mut fork);
                 let l0_delta = m.l0_failures().saturating_sub(l0_before);
-                let _ = tx.send((id, (m, fork.take_log(), result, l0_delta)));
+                let fork_delta = (
+                    fork.stats().rounds - fork_rounds,
+                    fork.stats().words_communicated - fork_words,
+                );
+                let _ = tx.send((id, (m, fork.take_log(), result, l0_delta, fork_delta)));
             }));
         }
         drop(tx);
@@ -1067,13 +1090,23 @@ impl Session {
         self.ctx.parallel_begin();
         let mut failure: Option<MpcStreamError> = None;
         for (id, slot) in slots.into_iter().enumerate() {
-            let (m, log, result, l0_delta) = slot.expect("every branch job reports");
+            let (m, log, result, l0_delta, fork_delta) = slot.expect("every branch job reports");
             if failure.is_none() {
                 let audit = BatchAudit::begin(&self.ctx);
                 match result {
                     Ok(()) => match self.ctx.replay(&log) {
                         Ok(()) => {
                             let report = audit.finish(m.name(), chunk.len(), l0_delta, &self.ctx);
+                            // Differential fork/replay audit: every
+                            // charge is a pure function of (config,
+                            // args), so what the fork recorded must be
+                            // exactly what replay re-charged.
+                            debug_assert_eq!(
+                                (report.rounds, report.words),
+                                fork_delta,
+                                "fork/replay accounting drift for `{}`",
+                                report.maintainer
+                            );
                             self.stats.absorb(id, &report);
                             reports.push(report);
                             self.ctx.parallel_branch();

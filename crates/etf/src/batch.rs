@@ -22,7 +22,7 @@ use crate::TourId;
 use mpc_graph::ids::{Edge, VertexId};
 use mpc_graph::oracle::UnionFind;
 use mpc_sim::{MpcContext, WorkerPool};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Entries per lane claim below which a parallel shard remap cannot
 /// amortize the scope's synchronization.
@@ -113,7 +113,7 @@ impl DistEtf {
     /// span can execute).
     fn batch_join_pooled(&mut self, edges: &[Edge], pool: Option<&WorkerPool>) {
         // --- validate forest structure over tours -----------------
-        let mut tour_index: HashMap<TourId, usize> = HashMap::new();
+        let mut tour_index: BTreeMap<TourId, usize> = BTreeMap::new();
         for &e in edges {
             for v in [e.u(), e.v()] {
                 let t = self.tour_of(v);
@@ -291,7 +291,7 @@ impl DistEtf {
         // merged tour keeps the root's id (cf. `split_tour`, whose
         // root region keeps the split tour's id).
         let new_tour = root;
-        let mut plans: HashMap<TourId, NodePlan> = HashMap::new();
+        let mut plans: BTreeMap<TourId, NodePlan> = BTreeMap::new();
         plans.insert(
             root,
             NodePlan {
@@ -777,7 +777,7 @@ mod tests {
                     // Batch join: random forest edges between distinct
                     // tours (and distinct tour pairs within the batch).
                     let mut batch = Vec::new();
-                    let mut uf_tours: HashMap<TourId, u32> = HashMap::new();
+                    let mut uf_tours: BTreeMap<TourId, u32> = BTreeMap::new();
                     let mut uf = UnionFind::new(n);
                     let mut attempts = 0;
                     while batch.len() < 4 && attempts < 200 {

@@ -25,6 +25,8 @@
 //! assert_eq!(x, h.eval(17)); // deterministic
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod field;
 pub mod fingerprint;
 pub mod kwise;

@@ -209,7 +209,7 @@ impl Certificate {
     ///
     /// Returns a human-readable description of the first violation.
     pub fn validate(&self) -> Result<(), String> {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for (i, layer) in self.layers.iter().enumerate() {
             let mut uf = UnionFind::new(self.n);
             for e in layer {

@@ -115,7 +115,7 @@ pub struct InsertOnlyKConn {
     /// The forest edges per layer.
     layers: Vec<Vec<Edge>>,
     /// Live edges, to reject duplicate insertions.
-    live: std::collections::HashSet<Edge>,
+    live: std::collections::BTreeSet<Edge>,
     /// Edges discarded by the cascade (count only; they are *not*
     /// stored — that is the certificate's point).
     discarded: u64,
@@ -135,7 +135,7 @@ impl InsertOnlyKConn {
             k,
             layer_uf: (0..k).map(|_| UnionFind::new(n)).collect(),
             layers: vec![Vec::new(); k],
-            live: std::collections::HashSet::new(),
+            live: std::collections::BTreeSet::new(),
             discarded: 0,
         }
     }
@@ -224,7 +224,7 @@ impl InsertOnlyKConn {
     /// the state is unchanged (validation happens before mutation).
     pub fn apply_batch(&mut self, batch: &Batch, ctx: &mut MpcContext) -> Result<(), KConnError> {
         // Validate before mutating.
-        let mut fresh = std::collections::HashSet::new();
+        let mut fresh = std::collections::BTreeSet::new();
         for u in batch.iter() {
             if !u.is_insert() {
                 return Err(KConnError::DeletionInInsertOnlyStream(u.edge()));

@@ -62,6 +62,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod certificate;
 pub mod dynamic;
 pub mod insert_only;

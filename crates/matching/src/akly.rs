@@ -26,7 +26,7 @@ use mpc_graph::update::Batch;
 use mpc_hashing::kwise::KWiseHash;
 use mpc_sim::{MpcContext, MpcStreamError};
 use mpc_sketch::l0::{L0Sampler, SampleOutcome};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One guess `OPT'` of the maximum matching size.
 #[derive(Debug, Clone)]
@@ -43,8 +43,8 @@ struct Guess {
     h_l: KWiseHash,
     h_r: KWiseHash,
     assign_hash: KWiseHash,
-    samplers: HashMap<(u64, u64), L0Sampler>,
-    outcomes: HashMap<(u64, u64), Option<Edge>>,
+    samplers: BTreeMap<(u64, u64), L0Sampler>,
+    outcomes: BTreeMap<(u64, u64), Option<Edge>>,
     matcher: MaximalMatching,
 }
 
@@ -62,8 +62,8 @@ impl Guess {
             h_l: KWiseHash::from_seed(2, seed ^ 0x1eff),
             h_r: KWiseHash::from_seed(2, seed ^ 0x417e),
             assign_hash: KWiseHash::from_seed(2, seed ^ 0xac7e),
-            samplers: HashMap::new(),
-            outcomes: HashMap::new(),
+            samplers: BTreeMap::new(),
+            outcomes: BTreeMap::new(),
             matcher: MaximalMatching::new(n),
         }
     }

@@ -28,7 +28,7 @@ use mpc_hashing::field::P;
 use mpc_hashing::kwise::KWiseHash;
 use mpc_sim::{MpcContext, MpcStreamError};
 use mpc_sketch::l0::{L0Sampler, SampleOutcome};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Which stream model an estimator instance supports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,8 +56,8 @@ enum Tester {
         groups: u64,
         group_hash: KWiseHash,
         seed: u64,
-        samplers: HashMap<(u64, u64), L0Sampler>,
-        outcomes: HashMap<(u64, u64), Option<Edge>>,
+        samplers: BTreeMap<(u64, u64), L0Sampler>,
+        outcomes: BTreeMap<(u64, u64), Option<Edge>>,
         matcher: MaximalMatching,
     },
 }
@@ -236,8 +236,8 @@ impl MatchingSizeEstimator {
                     groups: (2 * k as u64).max(2),
                     group_hash: KWiseHash::from_seed(2, tseed ^ 0xdead_beef),
                     seed: tseed,
-                    samplers: HashMap::new(),
-                    outcomes: HashMap::new(),
+                    samplers: BTreeMap::new(),
+                    outcomes: BTreeMap::new(),
                     matcher: MaximalMatching::new(n),
                 },
             };

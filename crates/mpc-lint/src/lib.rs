@@ -1,0 +1,371 @@
+//! `mpc-lint` — an offline workspace invariant linter for accounting
+//! completeness, determinism, and unsafe hygiene.
+//!
+//! The compiler cannot see the invariants this workspace actually
+//! rests on: that every mutating [`MpcContext`] primitive is mirrored
+//! in the `MpcEvent` record/replay log (or the parallel executor
+//! silently drifts from serial accounting), that hot paths stay
+//! panic-free, that same-seed runs stay bit-identical across worker
+//! counts. `mpc-lint` turns those conventions into machine-enforced
+//! rules, the same way the deterministic-MPC line of work (Nowicki,
+//! arXiv:1912.04239; Pai–Pemmaraju, arXiv:2205.12686) turns
+//! randomized guarantees into failure-free ones. It is clean-room and
+//! dependency-free — its own lightweight lexer, no `syn`, no registry
+//! access — and runs over the whole workspace in well under a second.
+//!
+//! [`MpcContext`]: https://docs.rs/mpc-sim (crates/mpc/src/context.rs)
+//!
+//! # The invariant catalog
+//!
+//! | rule id | invariant |
+//! |---|---|
+//! | `event-completeness` | Every mutating `MpcContext` primitive records an `MpcEvent`, every variant is recorded by some primitive, and every variant has an explicit `replay_inner` arm (no wildcard). A gap here is exactly the PR-6-style drift the serial-equivalence suite would only catch dynamically — and only if a test happens to exercise the missing primitive. |
+//! | `no-panic-hot-path` | `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!`/`assert!`/`assert_eq!`/`assert_ne!` (but **not** `debug_assert!`) are banned inside `apply_batch`, `answer`, and the arena merge / converge-cast kernels — the PR-3 de-panicking contract. |
+//! | `unsafe-hygiene` | `unsafe` is confined to `crates/mpc/src/executor.rs`; every `unsafe` there carries a `// SAFETY:` argument within the preceding 8 lines; every other crate root carries `#![forbid(unsafe_code)]`. |
+//! | `determinism-hygiene` | No `Instant`/`SystemTime`, no default-hasher `HashMap`/`HashSet`, no raw `Mutex`/`RwLock`/`Condvar`/`std::thread::spawn` outside the executor, no `dbg!`/`println!` in library crates. Tool crates (`mpc-bench`, `mpc-lint`) and `#[cfg(test)]` code are out of scope. |
+//! | `maintain-completeness` | Every production `impl Maintain` defines both `supports` and `answer` (the pair PR 6 had to retrofit). |
+//! | `allow-hygiene` | Meta rule: every inline allow must name a known rule and carry justification text. |
+//!
+//! # The allowlist syntax
+//!
+//! A finding is suppressed by a comment on the same line or the line
+//! directly above:
+//!
+//! ```text
+//! // lint: allow(determinism-hygiene): lookup-only map keyed by edge,
+//! let cache: HashMap<Edge, u64> = HashMap::new();
+//! ```
+//!
+//! The justification after the closing parenthesis is **mandatory**
+//! (≥ 10 characters); an allow without one, or naming an unknown
+//! rule, suppresses nothing and is itself reported under
+//! `allow-hygiene`. Every allow that fires is listed with its
+//! justification in the JSON report, so suppressions stay auditable.
+//!
+//! # Scope
+//!
+//! The linter walks every `.rs` file under the workspace root except
+//! `target/`, `vendor/` (clean-room stand-ins for external crates),
+//! and `fixtures/` (the linter's own seeded-violation test inputs).
+//! Rules then scope themselves by path: `event-completeness` reads
+//! `crates/mpc/src/context.rs`; `no-panic-hot-path` and
+//! `maintain-completeness` cover library sources; `determinism-
+//! hygiene` covers library sources minus the tool crates;
+//! `unsafe-hygiene` covers everything walked.
+//!
+//! # Runtime counterparts
+//!
+//! Two invariants are beyond source analysis and are instead audited
+//! at runtime in debug builds: `WorkerPool::steal_each` asserts each
+//! element is claimed by exactly one lane, and both parallel `Session`
+//! fan-outs assert that a replayed branch charges exactly the rounds
+//! and words its fork recorded (the differential fork/replay audit).
+//!
+//! # CLI
+//!
+//! ```text
+//! cargo run -p mpc-lint --              # warn mode: report, exit 0
+//! cargo run -p mpc-lint -- --deny       # CI mode: exit 2 on findings
+//! cargo run -p mpc-lint -- --json       # machine-readable report
+//! cargo run -p mpc-lint -- --explain event-completeness
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod allow;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod scan;
+
+use report::{AppliedAllow, Finding, Report};
+use rules::FileCtx;
+use std::path::{Path, PathBuf};
+
+/// Rule id: `MpcContext` ↔ `MpcEvent` ↔ `replay_inner` completeness.
+pub const RULE_EVENT: &str = "event-completeness";
+/// Rule id: panic-free ingest/query/merge hot paths.
+pub const RULE_NO_PANIC: &str = "no-panic-hot-path";
+/// Rule id: `unsafe` confinement + `// SAFETY:` + `forbid(unsafe_code)`.
+pub const RULE_UNSAFE: &str = "unsafe-hygiene";
+/// Rule id: no wall-clock / default hashers / raw threads / prints.
+pub const RULE_DETERMINISM: &str = "determinism-hygiene";
+/// Rule id: `supports`/`answer` implemented together.
+pub const RULE_MAINTAIN: &str = "maintain-completeness";
+/// Meta rule id: well-formed, justified allow comments.
+pub const RULE_ALLOW_HYGIENE: &str = "allow-hygiene";
+
+/// Every rule id with a one-paragraph explanation (`--explain`).
+pub const RULES: &[(&str, &str)] = &[
+    (
+        RULE_EVENT,
+        "Cross-references the mutating methods of MpcContext against the MpcEvent enum \
+         variants, the self.record(..) call sites, and the replay_inner match arms. The \
+         parallel executor reproduces branch accounting by replaying event logs; a primitive \
+         missing any leg of that triangle (no record call, orphaned variant, missing replay \
+         arm, or a wildcard arm) makes parallel accounting drift from serial without a \
+         compile error. This is the rule that would have caught a PR-6-style drift before \
+         the equivalence suite did.",
+    ),
+    (
+        RULE_NO_PANIC,
+        "Bans unwrap/expect/panic!/todo!/unimplemented!/assert!/assert_eq!/assert_ne! (but \
+         not debug_assert!*) inside the hot-path bodies: apply_batch, answer, and the \
+         sketch-arena merge / converge-cast kernels. These paths return Result by the PR-3 \
+         contract and run inside worker lanes where a panic becomes a lost branch instead \
+         of a typed error.",
+    ),
+    (
+        RULE_UNSAFE,
+        "Confines `unsafe` to crates/mpc/src/executor.rs (the reviewed allowlist), requires \
+         a `// SAFETY:` comment within 8 lines above every unsafe use there, and requires \
+         `#![forbid(unsafe_code)]` on every other crate root so the confinement is also \
+         compiler-enforced.",
+    ),
+    (
+        RULE_DETERMINISM,
+        "Bans nondeterminism sources from maintainer/accounting crates: Instant/SystemTime \
+         (host time), default-hasher HashMap/HashSet (RandomState randomizes iteration \
+         order per process), raw Mutex/RwLock/Condvar/std::thread::spawn outside the \
+         executor (unordered host concurrency), and dbg!/println!-family macros in library \
+         crates. Tool crates (mpc-bench, mpc-lint) and #[cfg(test)] code are exempt.",
+    ),
+    (
+        RULE_MAINTAIN,
+        "Every production `impl Maintain` must define both `supports` and `answer`. The \
+         trait defaults exist so new maintainers compile early, but a shipped maintainer \
+         with only one of the pair breaks the query plane's charge-free probe contract \
+         (supports decides before charging; answer does the charged work).",
+    ),
+    (
+        RULE_ALLOW_HYGIENE,
+        "Meta rule for the allowlist mechanism itself: `// lint: allow(<rule>)` must name a \
+         known rule and carry mandatory justification text (>= 10 chars). Malformed allows \
+         suppress nothing and are reported.",
+    ),
+];
+
+/// The explanation paragraph for `rule`, if the id is known.
+pub fn explain(rule: &str) -> Option<&'static str> {
+    RULES.iter().find(|(id, _)| *id == rule).map(|(_, e)| *e)
+}
+
+/// Which rule families apply to a workspace-relative path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileRoles {
+    /// `event-completeness` (the accounting context source only).
+    pub events: bool,
+    /// `no-panic-hot-path`.
+    pub panics: bool,
+    /// `determinism-hygiene`.
+    pub determinism: bool,
+    /// `maintain-completeness`.
+    pub maintain: bool,
+    /// This file is the sanctioned executor (lock/spawn exemption and
+    /// the `// SAFETY:` regime instead of an outright unsafe ban).
+    pub is_executor: bool,
+}
+
+/// Resolves rule scoping for one workspace-relative path
+/// (`/`-separated).
+pub fn roles_for(rel_path: &str) -> FileRoles {
+    let in_crate_src = (rel_path.starts_with("crates/") && rel_path.contains("/src/"))
+        || rel_path.starts_with("src/");
+    let tool_crate =
+        rel_path.starts_with("crates/bench/") || rel_path.starts_with("crates/mpc-lint/");
+    FileRoles {
+        events: rel_path == "crates/mpc/src/context.rs",
+        panics: in_crate_src && !tool_crate,
+        determinism: in_crate_src && !tool_crate,
+        maintain: in_crate_src && !tool_crate,
+        is_executor: rel_path == "crates/mpc/src/executor.rs",
+    }
+}
+
+/// Lints one source text as if it lived at `rel_path`, applying the
+/// allowlist mechanism. Returns surviving findings and applied
+/// allows. This is the entry point the fixture self-tests drive.
+pub fn lint_source(rel_path: &str, source: &str) -> (Vec<Finding>, Vec<AppliedAllow>) {
+    let lexed = lexer::lex(source);
+    let test_ranges = scan::test_line_ranges(&lexed);
+    let ctx = FileCtx {
+        rel_path,
+        lexed: &lexed,
+        test_ranges: &test_ranges,
+    };
+    let roles = roles_for(rel_path);
+    let mut findings = Vec::new();
+    if roles.events {
+        findings.extend(rules::events::check(&ctx));
+    }
+    if roles.panics {
+        findings.extend(rules::panics::check(&ctx));
+    }
+    if roles.determinism {
+        findings.extend(rules::determinism::check(&ctx, roles.is_executor));
+    }
+    if roles.maintain {
+        findings.extend(rules::maintain::check(&ctx));
+    }
+    findings.extend(rules::unsafety::check(&ctx));
+
+    let rule_ids: Vec<&'static str> = RULES.iter().map(|(id, _)| *id).collect();
+    let mut meta = Vec::new();
+    let allows = allow::collect(&lexed.line_comments, &rule_ids, rel_path, &mut meta);
+    let mut applied = Vec::new();
+    let mut kept = allow::apply(findings, &allows, rel_path, &mut applied);
+    kept.extend(meta);
+    (kept, applied)
+}
+
+/// Crate roots that must carry `#![forbid(unsafe_code)]`: every
+/// `crates/<name>/src/lib.rs` except mpc-sim's, plus the facade.
+fn needs_forbid(rel_path: &str) -> bool {
+    if rel_path == "src/lib.rs" {
+        return true;
+    }
+    let Some(rest) = rel_path.strip_prefix("crates/") else {
+        return false;
+    };
+    rest.ends_with("/src/lib.rs") && !rest.starts_with("mpc/")
+}
+
+/// Lints the whole workspace rooted at `root`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from walking or reading the tree.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut report = Report::default();
+    let mut saw_context = false;
+    for rel in &files {
+        let source = std::fs::read_to_string(root.join(rel))?;
+        let rel = rel.replace('\\', "/");
+        saw_context |= rel == "crates/mpc/src/context.rs";
+        let (findings, applied) = lint_source(&rel, &source);
+        report.findings.extend(findings);
+        report.allows.extend(applied);
+        if needs_forbid(&rel) {
+            let lexed = lexer::lex(&source);
+            let ctx = FileCtx {
+                rel_path: &rel,
+                lexed: &lexed,
+                test_ranges: &[],
+            };
+            report.findings.extend(rules::unsafety::check_forbid(&ctx));
+        }
+        report.files_scanned += 1;
+    }
+    if !saw_context {
+        report.findings.push(Finding {
+            rule: RULE_EVENT,
+            file: "crates/mpc/src/context.rs".to_string(),
+            line: 1,
+            message: "accounting context source not found — event-completeness could not run"
+                .to_string(),
+        });
+    }
+    report.finalize();
+    Ok(report)
+}
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", "vendor", "fixtures", ".git", ".github"];
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Resolves the workspace root for the CLI: an explicit argument, the
+/// current directory if it looks like the workspace, or the crate's
+/// own manifest dir walked two levels up.
+pub fn resolve_root(arg: Option<PathBuf>) -> PathBuf {
+    if let Some(p) = arg {
+        return p;
+    }
+    let cwd = PathBuf::from(".");
+    if cwd.join("Cargo.toml").exists() && cwd.join("crates").is_dir() {
+        return cwd;
+    }
+    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+        let p = PathBuf::from(manifest);
+        if let Some(ws) = p.parent().and_then(Path::parent) {
+            return ws.to_path_buf();
+        }
+    }
+    cwd
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roles_scope_rules_by_path() {
+        let ctx = roles_for("crates/mpc/src/context.rs");
+        assert!(ctx.events && ctx.determinism && !ctx.is_executor);
+        let exec = roles_for("crates/mpc/src/executor.rs");
+        assert!(exec.is_executor && !exec.events);
+        let bench = roles_for("crates/bench/src/experiments/micro.rs");
+        assert!(!bench.determinism && !bench.panics);
+        let lint = roles_for("crates/mpc-lint/src/main.rs");
+        assert!(!lint.determinism);
+        let test = roles_for("tests/determinism.rs");
+        assert!(!test.determinism && !test.panics && !test.maintain);
+        let facade = roles_for("src/lib.rs");
+        assert!(facade.determinism);
+    }
+
+    #[test]
+    fn forbid_required_everywhere_but_mpc_sim() {
+        assert!(needs_forbid("crates/graph/src/lib.rs"));
+        assert!(needs_forbid("src/lib.rs"));
+        assert!(needs_forbid("crates/mpc-lint/src/lib.rs"));
+        assert!(!needs_forbid("crates/mpc/src/lib.rs"));
+        assert!(!needs_forbid("crates/graph/src/ids.rs"));
+    }
+
+    #[test]
+    fn explain_knows_every_rule() {
+        for (id, _) in RULES {
+            assert!(explain(id).is_some());
+        }
+        assert!(explain("nope").is_none());
+    }
+
+    #[test]
+    fn lint_source_applies_allows_and_reports_malformed_ones() {
+        let src = "\
+// lint: allow(determinism-hygiene): lookup-only, never iterated anywhere
+use std::collections::HashMap;
+// lint: allow(determinism-hygiene)
+use std::time::Instant;
+";
+        let (findings, applied) = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(applied.len(), 1, "justified allow fired: {applied:?}");
+        // Surviving: the Instant finding (unjustified allow does not
+        // suppress) plus the allow-hygiene meta finding.
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings.iter().any(|f| f.rule == RULE_DETERMINISM));
+        assert!(findings.iter().any(|f| f.rule == RULE_ALLOW_HYGIENE));
+    }
+}

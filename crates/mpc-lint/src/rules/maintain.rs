@@ -1,0 +1,100 @@
+//! Rule `maintain-completeness`: every `impl Maintain` provides both
+//! `supports` and `answer`.
+//!
+//! The trait ships defaults (`supports` → `false`, `answer` →
+//! `Unsupported`) so new maintainers compile before their query plane
+//! is wired up — but a shipped maintainer with only one of the pair
+//! is a contract bug: `supports` deciding *before charging* and
+//! `answer` doing the charged work must agree, and PR 6 had to
+//! retrofit exactly this pair. Any production `impl Maintain` must
+//! therefore define both explicitly (test doubles in `#[cfg(test)]`
+//! code are exempt).
+
+use super::FileCtx;
+use crate::report::Finding;
+use crate::scan;
+use crate::RULE_MAINTAIN;
+
+/// The method pair every maintainer must define together.
+const REQUIRED: &[&str] = &["supports", "answer"];
+
+/// Checks every `impl ... Maintain for Type` block in the file.
+pub fn check(ctx: &FileCtx) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let tokens = &ctx.lexed.tokens;
+    let fns = scan::functions(ctx.lexed);
+    for im in scan::impls(ctx.lexed) {
+        if scan::in_ranges(ctx.test_ranges, im.line) {
+            continue;
+        }
+        let header: Vec<&str> = tokens[im.header.0..im.header.1]
+            .iter()
+            .filter_map(|t| t.ident())
+            .collect();
+        let Some(for_pos) = header.iter().position(|&h| h == "for") else {
+            continue;
+        };
+        if header[..for_pos].last().is_none_or(|&h| h != "Maintain") {
+            continue;
+        }
+        let ty = header.get(for_pos + 1).copied().unwrap_or("?");
+        let defined: Vec<&str> = fns
+            .iter()
+            .filter(|f| f.body.0 > im.body.0 && f.body.1 <= im.body.1)
+            .map(|f| f.name.as_str())
+            .collect();
+        for need in REQUIRED {
+            if !defined.contains(need) {
+                out.push(Finding {
+                    rule: RULE_MAINTAIN,
+                    file: ctx.rel_path.to_string(),
+                    line: im.line,
+                    message: format!(
+                        "`impl Maintain for {ty}` does not define `{need}` — the \
+                         `supports`/`answer` pair must be implemented together so the \
+                         charge-free probe and the charged answer agree (the contract \
+                         PR 6 had to retrofit)"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let lexed = lex(src);
+        let ranges = scan::test_line_ranges(&lexed);
+        check(&FileCtx {
+            rel_path: "crates/msf/src/x.rs",
+            lexed: &lexed,
+            test_ranges: &ranges,
+        })
+    }
+
+    #[test]
+    fn complete_impl_passes_including_path_qualified() {
+        let src = "impl mpc_stream_core::Maintain for Foo {\n    fn supports(&self, q: &Q) -> bool { true }\n    fn answer(&mut self) -> R { R }\n}";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn missing_answer_is_flagged_with_type_name() {
+        let src = "impl Maintain for Foo {\n    fn supports(&self, q: &Q) -> bool { true }\n}";
+        let f = run(src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("Foo"));
+        assert!(f[0].message.contains("`answer`"));
+    }
+
+    #[test]
+    fn unrelated_impls_and_test_doubles_are_ignored() {
+        let src = "impl Display for Foo { }\nimpl MaintainerStats { }\n#[cfg(test)]\nmod tests {\n    impl Maintain for Fake { }\n}";
+        assert!(run(src).is_empty());
+    }
+}

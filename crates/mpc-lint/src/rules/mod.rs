@@ -1,0 +1,108 @@
+//! The rule catalog. Each rule lives in its own module and produces
+//! [`Finding`](crate::report::Finding)s; scoping (which rules see
+//! which files) is decided by [`crate::lint_source`].
+
+pub mod determinism;
+pub mod events;
+pub mod maintain;
+pub mod panics;
+pub mod unsafety;
+
+use crate::lexer::Lexed;
+
+/// Everything a per-file rule needs to know about one source file.
+pub struct FileCtx<'a> {
+    /// Workspace-relative path, `/`-separated.
+    pub rel_path: &'a str,
+    /// The lexed source.
+    pub lexed: &'a Lexed,
+    /// `#[cfg(test)]`/`#[test]` line ranges (rules skip these).
+    pub test_ranges: &'a [(u32, u32)],
+}
+
+/// Searches `tokens[range]` for the token sequence `pattern`, where
+/// each pattern element matches an identifier (`"name"`) or a single
+/// punctuation character (`"."`, `"!"`, …). Returns matching start
+/// indices.
+pub(crate) fn find_seq(
+    tokens: &[crate::lexer::Token],
+    range: (usize, usize),
+    pattern: &[&str],
+) -> Vec<usize> {
+    let mut out = Vec::new();
+    let (lo, hi) = range;
+    if pattern.is_empty() || hi > tokens.len() {
+        return out;
+    }
+    'outer: for i in lo..hi.saturating_sub(pattern.len() - 1) {
+        for (k, p) in pattern.iter().enumerate() {
+            let t = &tokens[i + k];
+            let ok = if p.len() == 1
+                && !p.chars().next().unwrap().is_ascii_alphanumeric()
+                && *p != "_"
+            {
+                t.is_punct(p.chars().next().unwrap())
+            } else {
+                t.is_ident(p)
+            };
+            if !ok {
+                continue 'outer;
+            }
+        }
+        out.push(i);
+    }
+    out
+}
+
+/// `snake_case` → `CamelCase` (for primitive → event-variant names).
+pub(crate) fn camel(name: &str) -> String {
+    name.split('_')
+        .map(|w| {
+            let mut c = w.chars();
+            match c.next() {
+                Some(f) => f.to_ascii_uppercase().to_string() + c.as_str(),
+                None => String::new(),
+            }
+        })
+        .collect()
+}
+
+/// `CamelCase` → `snake_case` (for event-variant → primitive names).
+pub(crate) fn snake(name: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_conversions_roundtrip() {
+        assert_eq!(camel("converge_cast"), "ConvergeCast");
+        assert_eq!(snake("ConvergeCast"), "converge_cast");
+        assert_eq!(camel("sort"), "Sort");
+        assert_eq!(snake("ParallelBegin"), "parallel_begin");
+    }
+
+    #[test]
+    fn find_seq_matches_idents_and_puncts() {
+        let l = crate::lexer::lex("self.record(MpcEvent::Sort(w));");
+        let hits = find_seq(
+            &l.tokens,
+            (0, l.tokens.len()),
+            &["self", ".", "record", "(", "MpcEvent", ":", ":", "Sort"],
+        );
+        assert_eq!(hits.len(), 1);
+    }
+}

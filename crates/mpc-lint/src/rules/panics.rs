@@ -1,0 +1,123 @@
+//! Rule `no-panic-hot-path`: the ingest and query hot paths must not
+//! contain panicking constructs.
+//!
+//! The PR-3 de-panicking contract: `apply_batch` and `answer` return
+//! `Result` and must surface failures as errors, never aborts — a
+//! panic inside a worker lane is contained by the pool but shows up
+//! as a lost branch, not a typed error. The sketch-arena merge and
+//! converge-cast kernels are on the same list because they run inside
+//! work-stealing scopes. `debug_assert!` (and friends) stay legal:
+//! they vanish in release builds and are the documented way to state
+//! invariants on these paths.
+
+use super::{find_seq, FileCtx};
+use crate::report::Finding;
+use crate::scan;
+use crate::RULE_NO_PANIC;
+
+/// Function names whose bodies are hot paths.
+pub const HOT_FNS: &[&str] = &[
+    "apply_batch",
+    "answer",
+    "merge_into",
+    "merge_into_stealing",
+    "merge_copy_into",
+    "merge_copy_into_stealing",
+    "sample_merged",
+    "sample_scratch",
+    "converge_cast",
+];
+
+/// Macros banned in hot paths (`debug_assert!*` deliberately absent).
+const BANNED_MACROS: &[&str] = &[
+    "panic",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+/// Methods banned in hot paths (`unwrap_or*` are different
+/// identifiers and stay legal).
+const BANNED_METHODS: &[&str] = &["unwrap", "expect"];
+
+/// Checks every hot-path function body in the file.
+pub fn check(ctx: &FileCtx) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let tokens = &ctx.lexed.tokens;
+    for f in scan::functions(ctx.lexed) {
+        if !HOT_FNS.contains(&f.name.as_str()) || scan::in_ranges(ctx.test_ranges, f.line) {
+            continue;
+        }
+        for m in BANNED_METHODS {
+            for hit in find_seq(tokens, f.body, &[".", m, "("]) {
+                out.push(Finding {
+                    rule: RULE_NO_PANIC,
+                    file: ctx.rel_path.to_string(),
+                    line: tokens[hit].line,
+                    message: format!(
+                        "`.{m}(..)` in hot path `{}` — this path is panic-free by contract \
+                         (PR-3); surface the failure as an error instead",
+                        f.name
+                    ),
+                });
+            }
+        }
+        for m in BANNED_MACROS {
+            for hit in find_seq(tokens, f.body, &[m, "!"]) {
+                out.push(Finding {
+                    rule: RULE_NO_PANIC,
+                    file: ctx.rel_path.to_string(),
+                    line: tokens[hit].line,
+                    message: format!(
+                        "`{m}!` in hot path `{}` — this path is panic-free by contract \
+                         (PR-3); use `debug_assert!` for invariants or return an error",
+                        f.name
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let lexed = lex(src);
+        let ranges = scan::test_line_ranges(&lexed);
+        check(&FileCtx {
+            rel_path: "crates/core/src/x.rs",
+            lexed: &lexed,
+            test_ranges: &ranges,
+        })
+    }
+
+    #[test]
+    fn unwrap_in_apply_batch_is_flagged_but_unwrap_or_is_not() {
+        let src =
+            "fn apply_batch(&mut self) {\n    let a = x.unwrap();\n    let b = y.unwrap_or(0);\n}";
+        let f = run(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn debug_assert_is_legal_assert_is_not() {
+        let src = "fn answer(&self) {\n    debug_assert!(ok());\n    assert!(ok());\n}";
+        let f = run(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 3);
+        assert!(f[0].message.contains("`assert!`"));
+    }
+
+    #[test]
+    fn cold_functions_and_test_code_may_panic() {
+        let src = "fn setup() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn apply_batch() { panic!(\"in tests\"); }\n}";
+        assert!(run(src).is_empty());
+    }
+}

@@ -1,0 +1,258 @@
+//! Structural passes over the token stream: function bodies, `impl`
+//! blocks, and `#[cfg(test)]` regions.
+//!
+//! These are heuristic but conservative recognizers tuned to the
+//! idioms this workspace actually uses; they only need to be precise
+//! enough that every rule can (a) scope itself to the right bodies
+//! and (b) skip test code, where the invariants deliberately do not
+//! apply (tests panic on purpose and may use host-time or hash maps).
+
+use crate::lexer::{Lexed, Token};
+
+/// A function item with a resolved body span.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// The function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token-index range of the signature (`fn` keyword up to the
+    /// body's `{`, exclusive).
+    pub sig: (usize, usize),
+    /// Token-index range of the body, **excluding** the outer braces.
+    pub body: (usize, usize),
+}
+
+/// An `impl` item with its header and body spans.
+#[derive(Debug, Clone)]
+pub struct ImplSpan {
+    /// 1-based line of the `impl` keyword.
+    pub line: u32,
+    /// Token-index range of the header (between `impl` and `{`).
+    pub header: (usize, usize),
+    /// Token-index range of the body, excluding the outer braces.
+    pub body: (usize, usize),
+}
+
+/// Whether the token at `i` begins an *item* (as opposed to an
+/// `impl Trait`/`fn(..)` type position): items follow the start of
+/// file, `}`/`;`, an attribute `]`, a visibility `)` (as in
+/// `pub(crate)`), or item-introducing keywords.
+fn at_item_position(tokens: &[Token], i: usize) -> bool {
+    if i == 0 {
+        return true;
+    }
+    let prev = &tokens[i - 1];
+    if prev.is_punct('}') || prev.is_punct(';') || prev.is_punct(']') || prev.is_punct(')') {
+        return true;
+    }
+    if prev.is_punct('{') {
+        // First item of a module or block.
+        return true;
+    }
+    matches!(
+        prev.ident(),
+        Some("pub" | "unsafe" | "const" | "async" | "default" | "extern")
+    )
+}
+
+/// Finds the token index of the `{` opening the next body after `i`,
+/// or `None` if a `;` ends the item first (declarations, fn types).
+/// Parentheses and brackets are tracked so `;` inside `[u8; 4]` or a
+/// default argument position does not end the scan.
+fn find_body_open(tokens: &[Token], mut i: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if depth == 0 && t.is_punct(';') {
+            return None;
+        } else if depth == 0 && t.is_punct('{') {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Given the index of an opening `{`, returns the index of its
+/// matching `}` (or the last token on imbalance).
+pub fn matching_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// All function items (any nesting level) with their body spans.
+pub fn functions(lexed: &Lexed) -> Vec<FnSpan> {
+    let tokens = &lexed.tokens;
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if !tokens[i].is_ident("fn") {
+            continue;
+        }
+        let Some(name_tok) = tokens.get(i + 1) else {
+            continue;
+        };
+        let Some(name) = name_tok.ident() else {
+            continue; // `fn(..)` pointer type
+        };
+        let Some(open) = find_body_open(tokens, i + 2) else {
+            continue; // trait method declaration without a body
+        };
+        let close = matching_brace(tokens, open);
+        out.push(FnSpan {
+            name: name.to_string(),
+            line: tokens[i].line,
+            sig: (i, open),
+            body: (open + 1, close),
+        });
+    }
+    out
+}
+
+/// All `impl` items with header and body spans.
+pub fn impls(lexed: &Lexed) -> Vec<ImplSpan> {
+    let tokens = &lexed.tokens;
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if !tokens[i].is_ident("impl") || !at_item_position(tokens, i) {
+            continue;
+        }
+        let Some(open) = find_body_open(tokens, i + 1) else {
+            continue;
+        };
+        let close = matching_brace(tokens, open);
+        out.push(ImplSpan {
+            line: tokens[i].line,
+            header: (i + 1, open),
+            body: (open + 1, close),
+        });
+    }
+    out
+}
+
+/// 1-based inclusive line ranges covered by `#[cfg(test)]` or
+/// `#[test]` items (modules, functions, impls).
+pub fn test_line_ranges(lexed: &Lexed) -> Vec<(u32, u32)> {
+    let tokens = &lexed.tokens;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if is_test_attr(tokens, i) {
+            // Find the end of this attribute, skip any further
+            // attributes, then span the following item.
+            let mut j = attr_end(tokens, i);
+            while j < tokens.len() && tokens[j].is_punct('#') {
+                j = attr_end(tokens, j);
+            }
+            let start_line = tokens[i].line;
+            if let Some(open) = find_body_open(tokens, j) {
+                let close = matching_brace(tokens, open);
+                out.push((start_line, tokens[close].line));
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Whether tokens at `i` start `#[cfg(test)]` or `#[test]`.
+fn is_test_attr(tokens: &[Token], i: usize) -> bool {
+    if !tokens[i].is_punct('#') {
+        return false;
+    }
+    let Some(open) = tokens.get(i + 1) else {
+        return false;
+    };
+    if !open.is_punct('[') {
+        return false;
+    }
+    match tokens.get(i + 2) {
+        Some(t) if t.is_ident("test") => true,
+        Some(t) if t.is_ident("cfg") => {
+            // `#[cfg(test)]` or `#[cfg(all(test, ...))]` — accept any
+            // cfg attribute that mentions `test` before its `]`.
+            let end = attr_end(tokens, i);
+            tokens[i..end].iter().any(|t| t.is_ident("test"))
+        }
+        _ => false,
+    }
+}
+
+/// Token index just past the `]` closing the attribute at `i` (`#`).
+fn attr_end(tokens: &[Token], i: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = i + 1;
+    while j < tokens.len() {
+        if tokens[j].is_punct('[') {
+            depth += 1;
+        } else if tokens[j].is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    tokens.len()
+}
+
+/// Whether `line` falls inside any of the given inclusive ranges.
+pub fn in_ranges(ranges: &[(u32, u32)], line: u32) -> bool {
+    ranges.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn finds_functions_and_bodies() {
+        let src =
+            "pub fn a(x: [u8; 3]) -> u32 { x[0] as u32 }\nfn b();\nimpl T { fn c(&self) { } }";
+        let l = lex(src);
+        let fns = functions(&l);
+        let names: Vec<_> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "c"], "b has no body, fn types skipped");
+    }
+
+    #[test]
+    fn return_position_impl_is_not_an_item() {
+        let src =
+            "fn f() -> impl Iterator<Item = u32> { 0..3 }\nimpl Foo for Bar { fn g(&self) {} }";
+        let l = lex(src);
+        let is = impls(&l);
+        assert_eq!(is.len(), 1);
+        let header: Vec<_> = l.tokens[is[0].header.0..is[0].header.1]
+            .iter()
+            .filter_map(|t| t.ident())
+            .collect();
+        assert_eq!(header, vec!["Foo", "for", "Bar"]);
+    }
+
+    #[test]
+    fn cfg_test_regions_span_the_following_item() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn t() {}\n}\nfn after() {}\n";
+        let l = lex(src);
+        let ranges = test_line_ranges(&l);
+        assert_eq!(ranges, vec![(2, 5)]);
+        assert!(in_ranges(&ranges, 4));
+        assert!(!in_ranges(&ranges, 6));
+    }
+}

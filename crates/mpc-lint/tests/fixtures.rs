@@ -1,0 +1,244 @@
+//! Fixture-based self-tests: one clean and one dirty source per rule
+//! family, asserting the exact rule ids and line numbers the linter
+//! reports, plus the end-to-end mutation drill on the *real*
+//! accounting context (delete a replay arm, watch rule 1 name the
+//! missing primitive).
+
+#![forbid(unsafe_code)]
+
+use mpc_lint::report::{AppliedAllow, Finding, Report};
+use mpc_lint::{
+    lint_source, RULE_ALLOW_HYGIENE, RULE_DETERMINISM, RULE_EVENT, RULE_MAINTAIN, RULE_NO_PANIC,
+    RULE_UNSAFE,
+};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+fn run(rel_path: &str, name: &str) -> (Vec<Finding>, Vec<AppliedAllow>) {
+    lint_source(rel_path, &fixture(name))
+}
+
+/// `(rule, line)` pairs, sorted, for exact comparisons.
+fn keys(findings: &[Finding]) -> Vec<(&'static str, u32)> {
+    let mut k: Vec<_> = findings.iter().map(|f| (f.rule, f.line)).collect();
+    k.sort();
+    k
+}
+
+#[test]
+fn events_clean_fixture_passes() {
+    let (findings, _) = run("crates/mpc/src/context.rs", "events_clean.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn events_dirty_fixture_reports_every_leg() {
+    let (findings, _) = run("crates/mpc/src/context.rs", "events_dirty.rs");
+    assert_eq!(
+        keys(&findings),
+        vec![
+            (RULE_EVENT, 3),  // Broadcast never recorded
+            (RULE_EVENT, 4),  // Orphan never recorded
+            (RULE_EVENT, 17), // fn broadcast records nothing
+            (RULE_EVENT, 23), // Broadcast has no replay arm
+            (RULE_EVENT, 23), // Orphan has no replay arm
+            (RULE_EVENT, 23), // wildcard arm
+        ],
+        "{findings:?}"
+    );
+    let messages: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(messages
+        .iter()
+        .any(|m| m.contains("`broadcast` records no MpcEvent")));
+    assert!(messages
+        .iter()
+        .any(|m| m.contains("MpcEvent::Orphan is never recorded")));
+    assert!(messages
+        .iter()
+        .any(|m| m.contains("MpcEvent::Broadcast has no match arm") && m.contains("`broadcast`")));
+    assert!(messages.iter().any(|m| m.contains("wildcard")));
+}
+
+#[test]
+fn panics_clean_fixture_passes() {
+    let (findings, _) = run("crates/sketch/src/arena.rs", "panics_clean.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn panics_dirty_fixture_reports_exact_lines() {
+    let (findings, _) = run("crates/sketch/src/arena.rs", "panics_dirty.rs");
+    assert_eq!(
+        keys(&findings),
+        vec![(RULE_NO_PANIC, 2), (RULE_NO_PANIC, 3), (RULE_NO_PANIC, 8)],
+        "{findings:?}"
+    );
+    assert!(findings
+        .iter()
+        .any(|f| f.line == 2 && f.message.contains("`.unwrap(..)`")));
+    assert!(findings
+        .iter()
+        .any(|f| f.line == 3 && f.message.contains("`assert!`")));
+    assert!(findings
+        .iter()
+        .any(|f| f.line == 8 && f.message.contains("`.expect(..)`")));
+}
+
+#[test]
+fn unsafety_clean_fixture_passes_in_the_executor() {
+    let (findings, _) = run("crates/mpc/src/executor.rs", "unsafety_clean.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn unsafety_dirty_fixture_fails_both_ways() {
+    // Outside the allowlist: banned outright.
+    let (findings, _) = run("crates/core/src/session.rs", "unsafety_dirty.rs");
+    assert_eq!(keys(&findings), vec![(RULE_UNSAFE, 2)], "{findings:?}");
+    assert!(findings[0].message.contains("allowlist"));
+    // Inside the allowlist but undocumented: SAFETY comment required.
+    let (findings, _) = run("crates/mpc/src/executor.rs", "unsafety_dirty.rs");
+    assert_eq!(keys(&findings), vec![(RULE_UNSAFE, 2)], "{findings:?}");
+    assert!(findings[0].message.contains("SAFETY"));
+}
+
+#[test]
+fn determinism_clean_fixture_passes() {
+    let (findings, _) = run("crates/core/src/cache.rs", "determinism_clean.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn determinism_dirty_fixture_reports_exact_lines() {
+    let (findings, _) = run("crates/core/src/cache.rs", "determinism_dirty.rs");
+    assert_eq!(
+        keys(&findings),
+        vec![
+            (RULE_DETERMINISM, 1), // use HashMap
+            (RULE_DETERMINISM, 2), // use Instant
+            (RULE_DETERMINISM, 5), // Instant::now
+            (RULE_DETERMINISM, 6), // HashMap (deduped per line)
+            (RULE_DETERMINISM, 7), // thread::spawn
+            (RULE_DETERMINISM, 8), // println!
+        ],
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn maintain_clean_fixture_passes() {
+    let (findings, _) = run("crates/msf/src/exact.rs", "maintain_clean.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn maintain_dirty_fixture_names_the_type_and_method() {
+    let (findings, _) = run("crates/msf/src/exact.rs", "maintain_dirty.rs");
+    assert_eq!(keys(&findings), vec![(RULE_MAINTAIN, 1)], "{findings:?}");
+    assert!(findings[0].message.contains("HalfWired"));
+    assert!(findings[0].message.contains("`answer`"));
+}
+
+#[test]
+fn allow_clean_fixture_suppresses_and_records_justifications() {
+    let (findings, applied) = run("crates/core/src/cache.rs", "allow_clean.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+    assert_eq!(applied.len(), 2, "{applied:?}");
+    assert!(applied.iter().all(|a| a.rule == RULE_DETERMINISM));
+    assert!(applied
+        .iter()
+        .any(|a| a.justification.contains("never iterated")));
+    assert!(applied
+        .iter()
+        .any(|a| a.justification.contains("length query only")));
+}
+
+#[test]
+fn allow_dirty_fixture_suppresses_nothing_and_reports_the_allows() {
+    let (findings, applied) = run("crates/core/src/cache.rs", "allow_dirty.rs");
+    assert!(applied.is_empty(), "{applied:?}");
+    assert_eq!(
+        keys(&findings),
+        vec![
+            (RULE_ALLOW_HYGIENE, 1), // missing justification
+            (RULE_ALLOW_HYGIENE, 3), // unknown rule
+            (RULE_DETERMINISM, 2),   // HashMap survives the bad allow
+            (RULE_DETERMINISM, 4),   // Instant survives the bad allow
+            (RULE_DETERMINISM, 6),
+            (RULE_DETERMINISM, 7),
+            (RULE_DETERMINISM, 8),
+        ],
+        "{findings:?}"
+    );
+    assert!(findings.iter().any(|f| f.message.contains("mandatory")));
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("unknown rule `made-up-rule`")));
+}
+
+#[test]
+fn json_report_carries_rule_ids_lines_and_allows() {
+    let (findings, _) = run("crates/mpc/src/context.rs", "events_dirty.rs");
+    let (_, allows) = run("crates/core/src/cache.rs", "allow_clean.rs");
+    let mut report = Report {
+        findings,
+        allows,
+        files_scanned: 2,
+    };
+    report.finalize();
+    let json = report.to_json();
+    assert!(json.contains("\"version\": 1"));
+    assert!(json.contains("\"finding_count\": 6"));
+    assert!(json.contains("\"rule\":\"event-completeness\""));
+    assert!(json.contains("\"file\":\"crates/mpc/src/context.rs\""));
+    assert!(json.contains("\"line\":17"));
+    assert!(json.contains("\"rule\":\"determinism-hygiene\""));
+    assert!(json.contains("\"justification\":\"seeded-hasher build, keys never iterated\""));
+}
+
+/// The acceptance-criteria drill: take the **real** accounting context
+/// source, delete one `replay_inner` match arm, and the event rule
+/// must fail naming the un-replayed primitive.
+#[test]
+fn deleting_a_real_replay_arm_names_the_primitive() {
+    let path = format!("{}/../mpc/src/context.rs", env!("CARGO_MANIFEST_DIR"));
+    let source = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    // The genuine source must be clean first.
+    let (findings, _) = lint_source("crates/mpc/src/context.rs", &source);
+    let events_ok: Vec<_> = findings.iter().filter(|f| f.rule == RULE_EVENT).collect();
+    assert!(
+        events_ok.is_empty(),
+        "real context.rs is not clean: {events_ok:?}"
+    );
+
+    let arm = "MpcEvent::Broadcast(w) => self.broadcast(*w),";
+    assert!(
+        source.contains(arm),
+        "replay arm shape changed — update this drill"
+    );
+    let mutated = source.replace(arm, "");
+    let (findings, _) = lint_source("crates/mpc/src/context.rs", &mutated);
+    let hit = findings
+        .iter()
+        .find(|f| f.rule == RULE_EVENT)
+        .expect("mutated context must fail event-completeness");
+    assert!(
+        hit.message.contains("MpcEvent::Broadcast"),
+        "{}",
+        hit.message
+    );
+    assert!(hit.message.contains("`broadcast`"), "{}", hit.message);
+}
+
+/// The whole real workspace must lint clean — the same gate CI runs
+/// via `cargo run -p mpc-lint -- --deny`.
+#[test]
+fn real_workspace_is_clean() {
+    let root = format!("{}/../..", env!("CARGO_MANIFEST_DIR"));
+    let report = mpc_lint::lint_workspace(std::path::Path::new(&root)).expect("walk workspace");
+    assert!(report.findings.is_empty(), "{}", report.to_json());
+    assert!(report.files_scanned > 50, "walker missed the tree");
+}

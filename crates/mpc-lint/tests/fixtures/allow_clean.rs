@@ -1,0 +1,6 @@
+// lint: allow(determinism-hygiene): seeded-hasher build, keys never iterated
+use std::collections::HashMap;
+
+pub fn lookup_only() -> usize {
+    HashMap::<u32, u32>::new().len() // lint: allow(determinism-hygiene): length query only, no iteration order observed
+}

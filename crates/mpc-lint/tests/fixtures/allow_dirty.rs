@@ -1,0 +1,9 @@
+// lint: allow(determinism-hygiene)
+use std::collections::HashMap;
+// lint: allow(made-up-rule): a justification that is long enough
+use std::time::Instant;
+
+pub fn f() -> HashMap<u32, u32> {
+    let _ = Instant::now();
+    HashMap::new()
+}

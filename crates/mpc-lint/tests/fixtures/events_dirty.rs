@@ -1,0 +1,31 @@
+pub enum MpcEvent {
+    Exchange(u64),
+    Broadcast(u64),
+    Orphan(u64),
+}
+
+pub struct MpcContext {
+    rounds: u64,
+}
+
+impl MpcContext {
+    pub fn exchange(&mut self, words: u64) {
+        self.record(MpcEvent::Exchange(words));
+        self.rounds += 1;
+    }
+
+    pub fn broadcast(&mut self, words: u64) {
+        self.rounds += words;
+    }
+
+    fn record(&mut self, _event: MpcEvent) {}
+
+    fn replay_inner(&mut self, events: &[MpcEvent]) {
+        for e in events {
+            match e {
+                MpcEvent::Exchange(w) => self.exchange(*w),
+                _ => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,9 @@
+impl Maintain for ExactMsf {
+    fn supports(&self, _q: &QueryRequest) -> bool {
+        true
+    }
+
+    fn answer(&mut self, _q: &QueryRequest) -> QueryResponse {
+        QueryResponse::None
+    }
+}

@@ -1,0 +1,5 @@
+impl Maintain for HalfWired {
+    fn supports(&self, _q: &QueryRequest) -> bool {
+        true
+    }
+}

@@ -1,0 +1,15 @@
+pub fn apply_batch(x: Option<u64>) -> Result<u64, ()> {
+    let v = x.unwrap_or(0);
+    debug_assert!(v < 100, "bounded by the caller");
+    Ok(v)
+}
+
+pub fn answer(y: Result<u64, ()>) -> Result<u64, ()> {
+    let v = y?;
+    debug_assert_eq!(v % 2, 0);
+    Ok(v)
+}
+
+pub fn setup(x: Option<u64>) -> u64 {
+    x.unwrap()
+}

@@ -1,0 +1,9 @@
+pub fn apply_batch(x: Option<u64>) -> Result<u64, ()> {
+    let v = x.unwrap();
+    assert!(v < 100);
+    Ok(v)
+}
+
+pub fn answer(y: Option<u64>) -> u64 {
+    y.expect("always present")
+}

@@ -1,0 +1,5 @@
+pub fn claim(slice: &mut [u64], i: usize) -> &mut u64 {
+    let base = slice.as_mut_ptr();
+    // SAFETY: `i` is claimed by exactly one lane, so no aliasing.
+    unsafe { &mut *base.add(i) }
+}

@@ -1,0 +1,3 @@
+pub fn sneak(p: *mut u64) -> u64 {
+    unsafe { *p }
+}

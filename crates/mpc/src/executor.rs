@@ -134,10 +134,12 @@ impl WorkerPool {
         }
         let scope = Arc::new(ScopeState::new(n));
         // Erase the closure's lifetime so helper jobs can carry it
-        // through the 'static queue. Sound because this function does
-        // not return until every claimed index has completed, and a
-        // helper that arrives late finds the counter exhausted and
-        // never touches `f`.
+        // through the 'static queue.
+        // SAFETY: the erased reference never outlives `f`. This
+        // function does not return until `scope.wait()` has seen every
+        // claimed index complete, and a helper that arrives after the
+        // scope is exhausted finds the claim counter spent and never
+        // touches `f`; `F: Sync` makes the sharing across lanes sound.
         let f_ref: &(dyn Fn(usize) + Sync) = &f;
         let f_static: &'static (dyn Fn(usize) + Sync) =
             unsafe { std::mem::transmute::<_, &'static (dyn Fn(usize) + Sync)>(f_ref) };
@@ -166,14 +168,28 @@ impl WorkerPool {
         T: Send,
         F: Fn(&mut T) + Sync,
     {
+        // Debug builds audit the disjointness claim the SAFETY
+        // argument below rests on: every element claimed exactly once.
+        #[cfg(debug_assertions)]
+        let claims: Vec<AtomicUsize> = (0..items.len()).map(|_| AtomicUsize::new(0)).collect();
         let base = items.as_mut_ptr() as usize;
         self.scope_indices(items.len(), |i| {
+            #[cfg(debug_assertions)]
+            claims[i].fetch_add(1, Ordering::Relaxed);
             // SAFETY: every index in 0..len is claimed exactly once
             // (atomic counter), so no two lanes alias an element, and
             // the slice outlives the scope (scope_indices blocks).
             let item = unsafe { &mut *(base as *mut T).add(i) };
             f(item);
         });
+        #[cfg(debug_assertions)]
+        for (i, c) in claims.iter().enumerate() {
+            let n = c.load(Ordering::Relaxed);
+            debug_assert_eq!(
+                n, 1,
+                "steal_each element {i} claimed {n} times — lanes aliased"
+            );
+        }
     }
 }
 

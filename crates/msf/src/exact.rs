@@ -30,7 +30,7 @@ use mpc_graph::ids::{Edge, VertexId, WeightedEdge};
 use mpc_graph::oracle::UnionFind;
 use mpc_graph::update::WeightedBatch;
 use mpc_sim::{MpcContext, MpcError};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Errors surfaced by the exact MSF algorithm.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -348,7 +348,7 @@ impl ExactMsf {
         // --- Case 1: cross-component candidates -------------------
         ctx.gather(3 * k)?;
         cand.sort_by_key(|we| (we.weight, we.edge));
-        let mut index: HashMap<VertexId, u32> = HashMap::new();
+        let mut index: BTreeMap<VertexId, u32> = BTreeMap::new();
         for we in &cand {
             for c in [
                 self.comp[we.edge.u() as usize],
@@ -377,7 +377,7 @@ impl ExactMsf {
                 self.weights.insert(we.edge, we.weight);
             }
             // Component relabel (minimum id per merged group).
-            let mut group_min: HashMap<u32, VertexId> = HashMap::new();
+            let mut group_min: BTreeMap<u32, VertexId> = BTreeMap::new();
             for (&c, &i) in &index {
                 let root = uf.find(i);
                 group_min
@@ -385,7 +385,7 @@ impl ExactMsf {
                     .and_modify(|m| *m = (*m).min(c))
                     .or_insert(c);
             }
-            let relabel: HashMap<VertexId, VertexId> = index
+            let relabel: BTreeMap<VertexId, VertexId> = index
                 .iter()
                 .filter_map(|(&c, &i)| {
                     let target = group_min[&uf.find(i)];

@@ -401,7 +401,7 @@ impl SketchArena {
     /// supernode sums its member pieces without intermediate clones.
     pub fn merge_into(&self, members: &[u32], scratch: &mut MergeScratch) -> usize {
         let copy = scratch.copy;
-        assert!(copy < self.copies, "copy {copy} out of range");
+        debug_assert!(copy < self.copies, "copy {copy} out of range");
         let mut absorbed = 0usize;
         for &v in members {
             if !self.is_materialized(v) {

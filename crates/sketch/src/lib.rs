@@ -61,6 +61,8 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod arena;
 pub mod bank;
 pub mod l0;

@@ -67,6 +67,8 @@
 //! with its typed [`ConnectivityError`](core_alg::ConnectivityError))
 //! remain available for single-maintainer workloads.
 
+#![forbid(unsafe_code)]
+
 pub use mpc_baselines as baselines;
 pub use mpc_etf as etf;
 pub use mpc_graph as graph;

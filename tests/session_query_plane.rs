@@ -265,6 +265,121 @@ proptest! {
     }
 }
 
+/// Every typed query the plane knows, for the contract sweep below.
+const ALL_QUERIES: [QueryRequest; 9] = [
+    QueryRequest::Connected(0, 1),
+    QueryRequest::ComponentOf(1),
+    QueryRequest::ComponentCount,
+    QueryRequest::SpanningForest,
+    QueryRequest::ForestWeight,
+    QueryRequest::MatchingSize,
+    QueryRequest::MatchingEdges,
+    QueryRequest::MinCutLowerBound,
+    QueryRequest::IsBipartite,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The `supports`/`answer` contract, swept over all sixteen
+    /// maintainer kinds × all nine query kinds: a maintainer that
+    /// claims support must actually answer (never `Unsupported`),
+    /// and a maintainer that declines must be completely free —
+    /// no receipt, no query count, zero charged rounds and words.
+    #[test]
+    fn supports_and_answer_agree_for_every_maintainer(
+        batches in insert_streams(20, 40),
+    ) {
+        let n = 20usize;
+        let mut session = Session::new(cfg(n));
+        session.register(Connectivity::new(n, ConnectivityConfig::default(), 1));
+        session.register(StreamingConnectivity::new(n, 2));
+        session.register(RobustConnectivity::new(
+            n, 2, 4, ConnectivityConfig::default(), 3,
+        ));
+        let mut vd0 =
+            VertexDynamicConnectivity::with_capacity(n, ConnectivityConfig::default(), 4);
+        {
+            let mut setup = MpcContext::new(cfg(n));
+            vd0.add_vertices(n, &mut setup).expect("slots available");
+        }
+        session.register(vd0);
+        session.register(ExactMsf::new(n));
+        session.register(ApproxMsfWeight::new(n, 0.5, 4, 5));
+        session.register(ApproxMsfForest::new(n, 0.5, 4, 6));
+        session.register(Bipartiteness::new(n, 7));
+        session.register(MatchingSizeEstimator::new(
+            n, 2.0, StreamKind::InsertionOnly, 8,
+        ));
+        session.register(MatchingSizeEstimator::new(n, 2.0, StreamKind::Dynamic, 9));
+        session.register(AklyMatching::new(n, 2.0, 10));
+        session.register(MaximalMatching::new(n));
+        session.register(DynamicKConn::new(n, 2, 11));
+        session.register(InsertOnlyKConn::new(n, 2));
+        session.register(AgmBaseline::new(n, 12));
+        session.register(FullMemoryBaseline::new(n));
+        let count = session.maintainer_count();
+        prop_assert_eq!(count, 16);
+
+        for batch in &batches {
+            session.apply_batch(batch).expect("insert-only simple stream");
+        }
+
+        for query in &ALL_QUERIES {
+            let supports: Vec<bool> = (0..count)
+                .map(|id| session.maintainer(id).expect("registered").supports(query))
+                .collect();
+            let before: Vec<(u64, u64, u64)> = session
+                .stats()
+                .per_maintainer
+                .iter()
+                .map(|m| (m.queries, m.query_rounds, m.query_words))
+                .collect();
+            let answers = session.ask_all(query).expect("fan-out succeeds");
+            let answered: BTreeSet<usize> = answers.iter().map(|(id, _)| *id).collect();
+            prop_assert_eq!(
+                session.query_reports().len(),
+                answered.len(),
+                "one receipt per answering maintainer for {}",
+                query
+            );
+            for id in 0..count {
+                let name = session.maintainer(id).expect("registered").name();
+                let after = &session.stats().per_maintainer[id];
+                if supports[id] {
+                    // A claimed `supports` must produce a real answer:
+                    // `ask_all` drops any branch that returns
+                    // `Unsupported`, so membership proves the pair
+                    // agreed.
+                    prop_assert!(
+                        answered.contains(&id),
+                        "{} claims support for {} but answered Unsupported",
+                        name,
+                        query
+                    );
+                    prop_assert!(
+                        after.query_rounds > before[id].1,
+                        "{} answered {} for free",
+                        name,
+                        query
+                    );
+                } else {
+                    prop_assert!(
+                        !answered.contains(&id),
+                        "{} answered {} it does not support",
+                        name,
+                        query
+                    );
+                    let (q, r, w) = before[id];
+                    prop_assert_eq!(after.queries, q, "{} probed {} was counted", name, query);
+                    prop_assert_eq!(after.query_rounds, r, "{} charged rounds for {}", name, query);
+                    prop_assert_eq!(after.query_words, w, "{} charged words for {}", name, query);
+                }
+            }
+        }
+    }
+}
+
 /// The attribution gate: a strict session with one deliberately
 /// oversized maintainer must name *that* maintainer (and its machine
 /// group) in `ClusterMemoryExceeded`, while its neighbor stays green.

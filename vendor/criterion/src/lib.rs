@@ -20,6 +20,8 @@
 //! g.finish();
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

@@ -25,6 +25,8 @@
 //! addition_commutes();
 //! ```
 
+#![forbid(unsafe_code)]
+
 /// Case generation driver and error plumbing.
 pub mod test_runner {
     use rand::rngs::StdRng;

@@ -24,6 +24,8 @@
 //! assert_eq!(StdRng::seed_from_u64(7).gen_range(0..10u32), x);
 //! ```
 
+#![forbid(unsafe_code)]
+
 /// A source of random 32/64-bit words, mirroring `rand_core::RngCore`.
 pub trait RngCore {
     /// Returns the next pseudorandom `u32`.
