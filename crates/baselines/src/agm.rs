@@ -166,6 +166,10 @@ impl AgmBaseline {
 }
 
 impl mpc_stream_core::Maintain for AgmBaseline {
+    fn save_state(&self, w: &mut mpc_snapshot::SnapshotWriter) {
+        mpc_snapshot::Persist::save(self, w);
+    }
+
     fn name(&self) -> &'static str {
         "agm-baseline"
     }
@@ -237,6 +241,26 @@ impl mpc_stream_core::Maintain for AgmBaseline {
             }
             _ => Err(mpc_stream_core::unsupported_query("agm-baseline", query)),
         }
+    }
+}
+
+// ----- snapshot persistence ---------------------------------------
+
+impl mpc_snapshot::Persist for AgmBaseline {
+    fn save(&self, w: &mut mpc_snapshot::SnapshotWriter) {
+        w.put_usize(self.n);
+        self.bank.save(w);
+        w.put_u64(self.last_query_rounds);
+        w.put_u64(self.sampler_failures);
+    }
+
+    fn load(r: &mut mpc_snapshot::SnapshotReader<'_>) -> Result<Self, mpc_snapshot::SnapshotError> {
+        Ok(AgmBaseline {
+            n: r.take_usize()?,
+            bank: SketchBank::load(r)?,
+            last_query_rounds: r.take_u64()?,
+            sampler_failures: r.take_u64()?,
+        })
     }
 }
 

@@ -20,3 +20,14 @@ pub mod fullmem;
 
 pub use agm::AgmBaseline;
 pub use fullmem::FullMemoryBaseline;
+
+/// Registers this crate's snapshot decoders — `agm-baseline` and
+/// `fullmem-baseline` — into a
+/// [`MaintainerRegistry`](mpc_stream_core::MaintainerRegistry).
+pub fn register_snapshot_loaders(reg: &mut mpc_stream_core::MaintainerRegistry) {
+    use mpc_snapshot::Persist;
+    reg.register("agm-baseline", |r| Ok(Box::new(AgmBaseline::load(r)?)));
+    reg.register("fullmem-baseline", |r| {
+        Ok(Box::new(FullMemoryBaseline::load(r)?))
+    });
+}

@@ -1,6 +1,7 @@
-//! Experiments E1–E18 (see DESIGN.md §5 for the index; E13–E16 are
+//! Experiments E1–E19 (see DESIGN.md §5 for the index; E13–E16 are
 //! the extension experiments, E17 the Session-level workload table,
-//! E18 the parallel-executor scaling curve).
+//! E18 the parallel-executor scaling curve, E19 the checkpoint/
+//! recovery soak).
 
 pub mod connectivity;
 pub mod extensions;
@@ -9,6 +10,7 @@ pub mod micro;
 pub mod msf;
 pub mod parallel;
 pub mod session;
+pub mod snapshot;
 
 use crate::table::Table;
 
@@ -34,14 +36,15 @@ pub fn run(id: &str) -> Vec<Table> {
         "e16" => extensions::e16_preprocessing(),
         "e17" => session::e17_session_workload(),
         "e18" => parallel::e18_parallel_scaling(),
-        other => panic!("unknown experiment id {other:?} (use e1..e18 or all)"),
+        "e19" => snapshot::e19_snapshot_soak(),
+        other => panic!("unknown experiment id {other:?} (use e1..e19 or all)"),
     }
 }
 
 /// All experiment ids in order.
-pub const ALL: [&str; 18] = [
+pub const ALL: [&str; 19] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18",
+    "e16", "e17", "e18", "e19",
 ];
 
 #[cfg(test)]

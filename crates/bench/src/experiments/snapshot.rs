@@ -1,0 +1,197 @@
+//! Experiment E19: the checkpoint/recovery soak (the PR-8 tentpole).
+//!
+//! One long insert stream over a memory-light four-maintainer roster
+//! (the full-memory baseline, maximal matching, insert-only
+//! 2-connectivity, and exact MSF — the kinds whose state stays
+//! near-linear in `n`, so the soak scales to `n = 10⁵` on a small
+//! host), run twice:
+//!
+//! * **uninterrupted** — the reference run;
+//! * **durable** — checkpointing every `C` batches, then *killed* at
+//!   the midpoint (the `Session` is dropped on the floor), restored
+//!   from the latest snapshot on disk, and driven to the end.
+//!
+//! Three things matter and all are in the table:
+//!
+//! * **Equivalence at scale** — the recovered run's final
+//!   `SessionStats` and its answers to the component-count /
+//!   matching-size / min-cut queries must be bit-identical to the
+//!   uninterrupted run's (`DIVERGED` means the durability contract
+//!   broke somewhere the unit suites' small graphs never reached).
+//! * **Checkpoint overhead** — total wall time spent inside
+//!   `Session::checkpoint` as a fraction of the uninterrupted ingest
+//!   wall time, plus the snapshot size on disk.
+//! * **Restore vs rebuild** — wall time of `Session::restore` against
+//!   replaying the same prefix of the stream from scratch; the whole
+//!   point of durability is that this ratio grows with the prefix.
+//!
+//! By default the soak runs a lite shape (`n = 10⁴`) sized for CI
+//! smoke; set `MPC_SOAK_SCALE=full` for the committed
+//! `BENCH_PR8_SNAPSHOT_SOAK.json` shape (`n = 10⁵`).
+
+use crate::table::Table;
+use mpc_baselines::FullMemoryBaseline;
+use mpc_graph::gen;
+use mpc_kconn::InsertOnlyKConn;
+use mpc_matching::MaximalMatching;
+use mpc_msf::ExactMsf;
+use mpc_sim::MpcConfig;
+use mpc_stream_core::{MaintainerRegistry, QueryRequest, Session};
+use std::time::Instant;
+
+fn cfg(n: usize) -> MpcConfig {
+    MpcConfig::builder(2 * n, 0.5)
+        .local_capacity(1 << 16)
+        .build()
+}
+
+fn roster(n: usize) -> Session {
+    let mut session = Session::new(cfg(n));
+    session.register(FullMemoryBaseline::new(n));
+    session.register(MaximalMatching::new(n));
+    session.register(InsertOnlyKConn::new(n, 2));
+    session.register(ExactMsf::new(n));
+    session
+}
+
+fn registry() -> MaintainerRegistry {
+    let mut reg = MaintainerRegistry::core();
+    mpc_kconn::register_snapshot_loaders(&mut reg);
+    mpc_msf::register_snapshot_loaders(&mut reg);
+    mpc_matching::register_snapshot_loaders(&mut reg);
+    mpc_baselines::register_snapshot_loaders(&mut reg);
+    reg
+}
+
+const SOAK_QUERIES: [QueryRequest; 3] = [
+    QueryRequest::ComponentCount,
+    QueryRequest::MatchingSize,
+    QueryRequest::MinCutLowerBound,
+];
+
+/// E19 — the durability soak: throughput with periodic checkpoints, a
+/// mid-run kill/restore, and the restore-vs-rebuild ratio.
+///
+/// Shape expectations: `recovered` is `bit-identical` at every scale
+/// (the durability contract); checkpoint overhead stays in single-
+/// digit percent; the restore-vs-rebuild speedup grows with `n`
+/// because restore cost scales with *state* while rebuild cost scales
+/// with *stream prefix*.
+pub fn e19_snapshot_soak() -> Vec<Table> {
+    let full = std::env::var("MPC_SOAK_SCALE").is_ok_and(|v| v == "full");
+    // (n, batches, batch size, checkpoint cadence in batches).
+    let shapes: &[(usize, usize, usize, usize)] = if full {
+        &[(10_000, 400, 48, 50), (100_000, 2_000, 64, 250)]
+    } else {
+        &[(10_000, 150, 32, 25)]
+    };
+    let mut t = Table::new(
+        "E19 (snapshot soak): checkpoint cadence, mid-run kill/restore, restore vs rebuild",
+        &[
+            "n",
+            "updates",
+            "ingest ms",
+            "updates/ms",
+            "ckpts",
+            "snap MB",
+            "ckpt ms",
+            "overhead",
+            "restore ms",
+            "rebuild ms",
+            "speedup",
+            "recovered",
+        ],
+    );
+    for &(n, batches, width, cadence) in shapes {
+        let stream = gen::random_insert_stream(n, batches, width, 0xE19 + n as u64);
+        let path = std::env::temp_dir().join(format!("mpc-e19-{}-{n}.snap", std::process::id()));
+
+        // Uninterrupted reference run.
+        let mut reference = roster(n);
+        let start = Instant::now();
+        for batch in &stream.batches {
+            reference.apply_batch(batch).expect("insert-only stream");
+        }
+        let ingest_wall = start.elapsed();
+        let ref_answers: Vec<_> = SOAK_QUERIES
+            .iter()
+            .map(|q| reference.ask_all(q).expect("answered"))
+            .collect();
+
+        // Durable run: checkpoint every `cadence` batches; at the
+        // midpoint the session is dropped — the "crash" — and the rest
+        // of the stream is driven by the session restored from disk.
+        let kill_at = batches / 2;
+        let mut durable = roster(n);
+        let mut checkpoints = 0u32;
+        let mut ckpt_wall = std::time::Duration::ZERO;
+        for batch in &stream.batches[..kill_at] {
+            durable.apply_batch(batch).expect("insert-only stream");
+            if durable.stream_epoch().is_multiple_of(cadence as u64) {
+                let t0 = Instant::now();
+                durable.checkpoint(&path).expect("checkpoint");
+                ckpt_wall += t0.elapsed();
+                checkpoints += 1;
+            }
+        }
+        // Ensure a checkpoint exists exactly at the kill point, so the
+        // recovered run replays nothing (pure restore, no catch-up).
+        let t0 = Instant::now();
+        let snap_bytes = durable.checkpoint(&path).expect("checkpoint").bytes;
+        ckpt_wall += t0.elapsed();
+        checkpoints += 1;
+        drop(durable);
+
+        let t0 = Instant::now();
+        let mut recovered = Session::restore(&path, &registry()).expect("restore");
+        let restore_wall = t0.elapsed();
+        std::fs::remove_file(&path).expect("scratch snapshot removable");
+        for batch in &stream.batches[kill_at..] {
+            recovered.apply_batch(batch).expect("insert-only stream");
+        }
+        let rec_answers: Vec<_> = SOAK_QUERIES
+            .iter()
+            .map(|q| recovered.ask_all(q).expect("answered"))
+            .collect();
+
+        // Rebuild cost for the same prefix: replay from scratch.
+        let t0 = Instant::now();
+        let mut rebuilt = roster(n);
+        for batch in &stream.batches[..kill_at] {
+            rebuilt.apply_batch(batch).expect("insert-only stream");
+        }
+        let rebuild_wall = t0.elapsed();
+        drop(rebuilt);
+
+        let identical = recovered.stats() == reference.stats()
+            && rec_answers == ref_answers
+            && recovered.stream_epoch() == reference.stream_epoch();
+        let updates = reference.stats().updates;
+        let ingest_ms = ingest_wall.as_secs_f64() * 1e3;
+        t.row(vec![
+            n.to_string(),
+            updates.to_string(),
+            format!("{ingest_ms:.0}"),
+            format!("{:.0}", updates as f64 / ingest_ms),
+            checkpoints.to_string(),
+            format!("{:.2}", snap_bytes as f64 / (1024.0 * 1024.0)),
+            format!("{:.0}", ckpt_wall.as_secs_f64() * 1e3),
+            format!(
+                "{:.1}%",
+                100.0 * ckpt_wall.as_secs_f64() / ingest_wall.as_secs_f64()
+            ),
+            format!("{:.1}", restore_wall.as_secs_f64() * 1e3),
+            format!("{:.0}", rebuild_wall.as_secs_f64() * 1e3),
+            format!(
+                "{:.1}x",
+                rebuild_wall.as_secs_f64() / restore_wall.as_secs_f64().max(1e-9)
+            ),
+            if identical {
+                "bit-identical".into()
+            } else {
+                "DIVERGED".into()
+            },
+        ]);
+    }
+    vec![t]
+}

@@ -67,7 +67,8 @@ pub use connectivity::{Connectivity, ConnectivityConfig, ConnectivityError};
 pub use query::{canonical_component_count, unsupported_query, QueryRequest, QueryResponse};
 pub use robust::{RobustConnectivity, RobustError};
 pub use session::{
-    ensure_endpoints_in, ensure_vertex_in, route_batch, Handle, Maintain, MaintainerId, Session,
+    ensure_endpoints_in, ensure_vertex_in, route_batch, CheckpointReceipt, Handle, Maintain,
+    MaintainerId, MaintainerLoader, MaintainerRegistry, Session,
 };
 pub use streaming::StreamingConnectivity;
 pub use vertex_dynamic::{VertexDynError, VertexDynamicConnectivity};

@@ -102,6 +102,45 @@
 //! may differ — the session is documented inconsistent-on-`Err` in
 //! both modes.
 //!
+//! # Durability
+//!
+//! [`Session::checkpoint`] serializes the whole session — context,
+//! stats rollup, and every maintainer's accumulated state (sketch
+//! banks, Euler-tour shards, per-copy randomness seeds) — into one
+//! `mpc-snapshot` container, and [`Session::restore`] rebuilds it
+//! through a [`MaintainerRegistry`] mapping each [`Maintain::name`]
+//! to its decoder. Three contracts make the checkpoint a *true*
+//! suspend point rather than an approximate save:
+//!
+//! * **Host-side, zero charged rounds.** Checkpointing is an
+//!   operational concern of the simulation host, not a protocol phase
+//!   of the simulated cluster: neither `checkpoint` nor `restore`
+//!   touches the accounted round/word counters, so an interrupted-
+//!   and-resumed run reports exactly the costs of an uninterrupted
+//!   one. (A real MPC deployment would pay one converge-cast to
+//!   persist state; modeling that charge is explicitly out of scope —
+//!   the simulator measures the *algorithm*, not the fault-tolerance
+//!   of its host.)
+//! * **Bit-identical continuation.** Randomness is seed-derived
+//!   everywhere (save accumulated state, rebuild derived state), so a
+//!   restored session continues sampling, answering, and accounting
+//!   exactly where the original would have — `SessionStats`, query
+//!   receipts, and sampler outcomes are equal as values from that
+//!   point on, at every `MPC_WORKERS` setting.
+//! * **Monotonic stream epoch.** Every update submission bumps
+//!   [`Session::stream_epoch`], the epoch is embedded in the snapshot
+//!   header, and [`Session::restore_checked`] rejects a stale file
+//!   with the typed [`SnapshotError::EpochMismatch`] instead of
+//!   silently rewinding (and thereby forking) the stream history.
+//!
+//! Host knobs — worker count, pool — are deliberately *not*
+//! persisted: a snapshot taken at `MPC_WORKERS=4` restores into a
+//! serial process and vice versa, because execution mode never
+//! affects results. `tests/session_checkpoint.rs` pins the full
+//! kill/restore/continue equivalence; the checkpoint's per-maintainer
+//! section sizes land in `MaintainerStats::checkpoint_bytes` (which
+//! `==` ignores, keeping checkpointed and uninterrupted runs equal).
+//!
 //! # Examples
 //!
 //! ```
@@ -140,9 +179,13 @@ use mpc_sim::{
     BatchAudit, BatchReport, MachineGroup, MpcConfig, MpcContext, MpcError, MpcEvent,
     MpcStreamError, QueryReport, SessionStats, WorkerPool,
 };
+use mpc_snapshot::{
+    load_section, save_section, Persist, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter,
+};
 use std::any::Any;
 use std::collections::BTreeMap;
 use std::marker::PhantomData;
+use std::path::Path;
 use std::sync::{mpsc, Arc};
 
 /// A batch-dynamic graph structure that can be driven through the
@@ -287,6 +330,110 @@ pub trait Maintain: Any + Send {
         let _ = query;
         false
     }
+
+    /// Serializes this maintainer's complete accumulated state into
+    /// the writer's open section — the save half of the
+    /// checkpoint/restore contract ([`Session::checkpoint`]).
+    ///
+    /// Implementations delegate to the type's
+    /// [`Persist`] impl; the load half is a
+    /// [`MaintainerLoader`] registered under this maintainer's
+    /// [`Maintain::name`] in a [`MaintainerRegistry`]. The pair must
+    /// round-trip: restoring what `save_state` wrote yields a
+    /// maintainer that answers, samples, and accounts bit-identically
+    /// to the original from that point on.
+    fn save_state(&self, w: &mut SnapshotWriter);
+}
+
+/// Decodes one maintainer's state from its snapshot section — the
+/// restore half of [`Maintain::save_state`], registered per
+/// maintainer kind in a [`MaintainerRegistry`].
+pub type MaintainerLoader = fn(&mut SnapshotReader<'_>) -> Result<Box<dyn Maintain>, SnapshotError>;
+
+/// Maps [`Maintain::name`] strings to their snapshot decoders.
+///
+/// A snapshot records each maintainer's `name()` next to its state
+/// section; [`Session::restore`] looks the name up here to rebuild
+/// the concrete type. [`MaintainerRegistry::core`] covers the four
+/// maintainers of this crate; downstream crates contribute their own
+/// loader sets (`register_snapshot_loaders` in `mpc-kconn`,
+/// `mpc-msf`, `mpc-matching`, `mpc-baselines`), and the workspace
+/// facade assembles the whole roster as `mpc_stream::full_registry()`.
+#[derive(Default)]
+pub struct MaintainerRegistry {
+    loaders: BTreeMap<&'static str, MaintainerLoader>,
+}
+
+impl MaintainerRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A registry covering this crate's maintainers:
+    /// `connectivity`, `streaming-connectivity`,
+    /// `robust-connectivity`, and `vertex-dynamic-connectivity`.
+    pub fn core() -> Self {
+        let mut reg = Self::new();
+        reg.register("connectivity", |r| Ok(Box::new(Connectivity::load(r)?)));
+        reg.register("streaming-connectivity", |r| {
+            Ok(Box::new(StreamingConnectivity::load(r)?))
+        });
+        reg.register("robust-connectivity", |r| {
+            Ok(Box::new(RobustConnectivity::load(r)?))
+        });
+        reg.register("vertex-dynamic-connectivity", |r| {
+            Ok(Box::new(VertexDynamicConnectivity::load(r)?))
+        });
+        reg
+    }
+
+    /// Registers a decoder under a maintainer kind name.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate name — two crates claiming one kind is a
+    /// wiring bug, not a recoverable condition.
+    pub fn register(&mut self, name: &'static str, loader: MaintainerLoader) {
+        let prev = self.loaders.insert(name, loader);
+        assert!(
+            prev.is_none(),
+            "duplicate snapshot loader for kind {name:?}"
+        );
+    }
+
+    /// The decoder for a kind, if registered.
+    pub fn loader(&self, name: &str) -> Option<MaintainerLoader> {
+        self.loaders.get(name).copied()
+    }
+
+    /// The registered kind names, sorted.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.loaders.keys().copied().collect()
+    }
+}
+
+impl std::fmt::Debug for MaintainerRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MaintainerRegistry")
+            .field("kinds", &self.names())
+            .finish()
+    }
+}
+
+/// What [`Session::checkpoint`] wrote: the snapshot's stream epoch,
+/// its total size, and each maintainer's state-section size in
+/// registration order (also recorded into
+/// `MaintainerStats::checkpoint_bytes`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointReceipt {
+    /// The stream epoch embedded in the snapshot header.
+    pub epoch: u64,
+    /// Total container size on disk, in bytes.
+    pub bytes: u64,
+    /// `(Maintain::name(), state-section bytes)` per maintainer, in
+    /// registration order.
+    pub maintainers: Vec<(String, u64)>,
 }
 
 /// Untyped index of a maintainer in a [`Session`], in registration
@@ -376,6 +523,9 @@ pub struct Session {
     last_query_reports: Vec<QueryReport>,
     workers: usize,
     pool: Option<Arc<WorkerPool>>,
+    /// Monotonic update-submission counter, embedded in snapshot
+    /// headers so a stale checkpoint is typed-rejected at restore.
+    stream_epoch: u64,
 }
 
 impl std::fmt::Debug for Session {
@@ -410,6 +560,7 @@ impl Session {
             last_query_reports: Vec::new(),
             workers: 1,
             pool: None,
+            stream_epoch: 0,
         };
         session.set_workers(mpc_sim::workers_from_env().unwrap_or(1));
         session
@@ -862,6 +1013,168 @@ impl Session {
         Ok(())
     }
 
+    /// The monotonic update-submission counter: bumped by every
+    /// [`Session::apply`] / [`Session::apply_weighted`] call and
+    /// embedded in every checkpoint's header. Pass the value returned
+    /// by the latest [`Session::checkpoint`] to
+    /// [`Session::restore_checked`] to reject stale files.
+    pub fn stream_epoch(&self) -> u64 {
+        self.stream_epoch
+    }
+
+    /// Serializes the whole session — context, stats rollup, and
+    /// every maintainer's accumulated state — into one atomic
+    /// snapshot file (written to a temporary sibling, then renamed).
+    ///
+    /// This is a **host-side** operation: it charges zero rounds and
+    /// zero words on the simulated cluster (see the module-level
+    /// "Durability" section for why). The only session mutation is
+    /// bookkeeping: each maintainer's state-section size is recorded
+    /// in `MaintainerStats::checkpoint_bytes`, a field `==` ignores.
+    ///
+    /// Call between submissions — a checkpoint mid-`apply` is
+    /// unrepresentable, since `&mut self` methods cannot interleave.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] on any filesystem failure.
+    pub fn checkpoint(
+        &mut self,
+        path: impl AsRef<Path>,
+    ) -> Result<CheckpointReceipt, SnapshotError> {
+        let mut w = SnapshotWriter::new(self.stream_epoch);
+        w.begin_section("session");
+        w.put_usize(self.max_batch);
+        w.put_bool(self.normalize);
+        let names: Vec<String> = self.names().iter().map(ToString::to_string).collect();
+        names.save(&mut w);
+        w.end_section();
+        save_section(&mut w, "context", &self.ctx);
+        let mut maintainers = Vec::with_capacity(self.maintainers.len());
+        for (id, m) in self.maintainers.iter().enumerate() {
+            w.begin_section(&format!("maintainer.{id}"));
+            m.save_state(&mut w);
+            let bytes = w.end_section();
+            self.stats.per_maintainer[id].checkpoint_bytes = bytes;
+            maintainers.push((m.name().to_string(), bytes));
+        }
+        // Stats go last so the section sizes recorded above are part
+        // of the persisted rollup (checkpoint → restore → checkpoint
+        // reproduces the identical container).
+        save_section(&mut w, "stats", &self.stats);
+        let epoch = self.stream_epoch;
+        let bytes = w.write_to(path.as_ref())?;
+        Ok(CheckpointReceipt {
+            epoch,
+            bytes,
+            maintainers,
+        })
+    }
+
+    /// Rebuilds a session from a [`Session::checkpoint`] file,
+    /// decoding each maintainer through `registry`.
+    ///
+    /// Host knobs are re-derived, not restored: the worker count
+    /// comes from `MPC_WORKERS` exactly as in [`Session::new`]
+    /// (execution mode never affects results), and the query-receipt
+    /// buffer starts empty. Everything the paper's accounting
+    /// observes — context counters, stats rollup, maintainer state,
+    /// randomness position — continues bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`]: I/O, a corrupted or truncated
+    /// container, or [`SnapshotError::UnknownMaintainer`] when the
+    /// registry is missing a kind the snapshot names.
+    pub fn restore(
+        path: impl AsRef<Path>,
+        registry: &MaintainerRegistry,
+    ) -> Result<Session, SnapshotError> {
+        let snap = Snapshot::read_from(path.as_ref())?;
+        Session::from_snapshot(&snap, registry)
+    }
+
+    /// [`Session::restore`] plus the stale-checkpoint guard: the
+    /// file's stream epoch must equal `expected_epoch` (the value the
+    /// latest [`Session::checkpoint`] receipt carried), or the
+    /// restore fails with [`SnapshotError::EpochMismatch`] before any
+    /// state is decoded.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::restore`], plus the epoch mismatch.
+    pub fn restore_checked(
+        path: impl AsRef<Path>,
+        registry: &MaintainerRegistry,
+        expected_epoch: u64,
+    ) -> Result<Session, SnapshotError> {
+        let snap = Snapshot::read_from(path.as_ref())?;
+        if snap.epoch() != expected_epoch {
+            return Err(SnapshotError::EpochMismatch {
+                expected: expected_epoch,
+                found: snap.epoch(),
+            });
+        }
+        Session::from_snapshot(&snap, registry)
+    }
+
+    fn from_snapshot(
+        snap: &Snapshot,
+        registry: &MaintainerRegistry,
+    ) -> Result<Session, SnapshotError> {
+        let mut r = snap.section("session")?;
+        let max_batch = r.take_usize()?;
+        let normalize = r.take_bool()?;
+        let names = Vec::<String>::load(&mut r)?;
+        r.expect_end()?;
+        if max_batch == 0 {
+            return Err(SnapshotError::Corrupt("session chunk size is zero".into()));
+        }
+        let ctx: MpcContext = load_section(snap, "context")?;
+        let mut maintainers: Vec<Box<dyn Maintain>> = Vec::with_capacity(names.len());
+        for (id, name) in names.iter().enumerate() {
+            let loader = registry
+                .loader(name)
+                .ok_or_else(|| SnapshotError::UnknownMaintainer { kind: name.clone() })?;
+            let mut mr = snap.section(&format!("maintainer.{id}"))?;
+            let m = loader(&mut mr)?;
+            mr.expect_end()?;
+            if m.name() != name {
+                return Err(SnapshotError::Corrupt(format!(
+                    "maintainer {id} decoded as kind `{}` but was saved as `{name}`",
+                    m.name()
+                )));
+            }
+            maintainers.push(m);
+        }
+        let mut stats: SessionStats = load_section(snap, "stats")?;
+        if stats.per_maintainer.len() != maintainers.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "stats cover {} maintainers, snapshot holds {}",
+                stats.per_maintainer.len(),
+                maintainers.len()
+            )));
+        }
+        // `&'static str` names cannot be fabricated from file bytes;
+        // re-bind each entry from the live maintainer it describes.
+        for (entry, m) in stats.per_maintainer.iter_mut().zip(&maintainers) {
+            entry.name = m.name();
+        }
+        let mut session = Session {
+            ctx,
+            maintainers,
+            stats,
+            max_batch,
+            normalize,
+            last_query_reports: Vec::new(),
+            workers: 1,
+            pool: None,
+            stream_epoch: snap.epoch(),
+        };
+        session.set_workers(mpc_sim::workers_from_env().unwrap_or(1));
+        Ok(session)
+    }
+
     /// Submits unweighted updates: normalize, chunk, fan out. Returns
     /// one [`BatchReport`] per (chunk, maintainer) pair, in chunk
     /// order then registration order.
@@ -874,6 +1187,7 @@ impl Session {
         &mut self,
         updates: impl IntoIterator<Item = Update>,
     ) -> Result<Vec<BatchReport>, MpcStreamError> {
+        self.stream_epoch += 1;
         if let Some(pool) = self.pool.clone() {
             // Pipelined front door: normalize → chunk runs on a pool
             // lane and streams chunks out, so chunk k+1 is being
@@ -924,6 +1238,7 @@ impl Session {
         &mut self,
         updates: impl IntoIterator<Item = WeightedUpdate>,
     ) -> Result<Vec<BatchReport>, MpcStreamError> {
+        self.stream_epoch += 1;
         if let Some(pool) = self.pool.clone() {
             let updates: Vec<WeightedUpdate> = updates.into_iter().collect();
             let normalize = self.normalize;
@@ -1374,6 +1689,10 @@ impl Maintain for Connectivity {
         Ok(())
     }
 
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        Persist::save(self, w);
+    }
+
     fn supports(&self, query: &QueryRequest) -> bool {
         matches!(
             query,
@@ -1444,6 +1763,10 @@ impl Maintain for StreamingConnectivity {
         Ok(())
     }
 
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        Persist::save(self, w);
+    }
+
     fn supports(&self, query: &QueryRequest) -> bool {
         matches!(
             query,
@@ -1511,6 +1834,10 @@ impl Maintain for RobustConnectivity {
         Ok(())
     }
 
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        Persist::save(self, w);
+    }
+
     fn supports(&self, query: &QueryRequest) -> bool {
         matches!(
             query,
@@ -1574,6 +1901,10 @@ impl Maintain for VertexDynamicConnectivity {
     fn ingest(&mut self, batch: &Batch, ctx: &mut MpcContext) -> Result<(), MpcStreamError> {
         VertexDynamicConnectivity::apply_batch(self, batch, ctx)?;
         Ok(())
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        Persist::save(self, w);
     }
 
     fn supports(&self, query: &QueryRequest) -> bool {
@@ -2033,6 +2364,10 @@ mod tests {
 
         fn ingest(&mut self, batch: &Batch, ctx: &mut MpcContext) -> Result<(), MpcStreamError> {
             route_batch(batch, self.n, ctx)
+        }
+
+        fn save_state(&self, w: &mut SnapshotWriter) {
+            w.put_u64(self.state_words);
         }
     }
 

@@ -244,6 +244,40 @@ impl StreamingConnectivity {
     }
 }
 
+// ----- snapshot persistence ---------------------------------------
+
+impl mpc_snapshot::Persist for StreamingConnectivity {
+    fn save(&self, w: &mut mpc_snapshot::SnapshotWriter) {
+        w.put_usize(self.n);
+        self.comp.save(w);
+        self.forest.save(w);
+        self.bank.save(w);
+        self.live.save(w);
+    }
+
+    fn load(r: &mut mpc_snapshot::SnapshotReader<'_>) -> Result<Self, mpc_snapshot::SnapshotError> {
+        let n = r.take_usize()?;
+        let comp = Vec::<VertexId>::load(r)?;
+        let forest = Vec::<BTreeSet<VertexId>>::load(r)?;
+        let bank = SketchBank::load(r)?;
+        let live = BTreeSet::<Edge>::load(r)?;
+        if comp.len() != n || forest.len() != n {
+            return Err(mpc_snapshot::SnapshotError::Corrupt(format!(
+                "streaming-connectivity tables cover {}/{} of {n} vertices",
+                comp.len(),
+                forest.len()
+            )));
+        }
+        Ok(StreamingConnectivity {
+            n,
+            comp,
+            forest,
+            bank,
+            live,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -94,6 +94,43 @@ impl EdgeRec {
     }
 }
 
+impl mpc_snapshot::Persist for Traversal {
+    fn save(&self, w: &mut mpc_snapshot::SnapshotWriter) {
+        w.put_u64(self.pos);
+        w.put_u32(self.from);
+    }
+    fn load(r: &mut mpc_snapshot::SnapshotReader<'_>) -> Result<Self, mpc_snapshot::SnapshotError> {
+        Ok(Traversal {
+            pos: r.take_u64()?,
+            from: r.take_u32()?,
+        })
+    }
+}
+
+impl mpc_snapshot::Persist for EdgeRec {
+    fn save(&self, w: &mut mpc_snapshot::SnapshotWriter) {
+        w.put_u64(self.tour);
+        self.first.save(w);
+        self.second.save(w);
+    }
+    fn load(r: &mut mpc_snapshot::SnapshotReader<'_>) -> Result<Self, mpc_snapshot::SnapshotError> {
+        let tour = r.take_u64()?;
+        let first = Traversal::load(r)?;
+        let second = Traversal::load(r)?;
+        if first.pos >= second.pos {
+            return Err(mpc_snapshot::SnapshotError::Corrupt(format!(
+                "edge record traversals out of order: {} >= {}",
+                first.pos, second.pos
+            )));
+        }
+        Ok(EdgeRec {
+            tour,
+            first,
+            second,
+        })
+    }
+}
+
 /// A forest of Euler tours in the paper's distributed representation.
 ///
 /// State is *vertex- and edge-sharded*: each vertex carries only its
@@ -703,6 +740,65 @@ impl DistEtf {
             })
             .map(|(e, _)| e)
             .collect()
+    }
+}
+
+// The whole sharded representation is plain data — tour ids, sorted
+// shards, member lists — so it travels verbatim. Loading re-checks the
+// cross-structure invariants (lengths, key agreement, edge counts) the
+// mutation paths maintain.
+impl mpc_snapshot::Persist for DistEtf {
+    fn save(&self, w: &mut mpc_snapshot::SnapshotWriter) {
+        w.put_usize(self.n);
+        self.vertex_tour.save(w);
+        self.adj.save(w);
+        self.shards.save(w);
+        w.put_usize(self.edge_count);
+        self.tour_len.save(w);
+        self.members.save(w);
+        w.put_u64(self.next_id);
+    }
+    fn load(r: &mut mpc_snapshot::SnapshotReader<'_>) -> Result<Self, mpc_snapshot::SnapshotError> {
+        let n = r.take_usize()?;
+        let vertex_tour = Vec::<TourId>::load(r)?;
+        let adj = Vec::<BTreeSet<VertexId>>::load(r)?;
+        let shards = BTreeMap::<TourId, Shard>::load(r)?;
+        let edge_count = r.take_usize()?;
+        let tour_len = BTreeMap::<TourId, u64>::load(r)?;
+        let members = BTreeMap::<TourId, Vec<VertexId>>::load(r)?;
+        let next_id = r.take_u64()?;
+        let corrupt = |what: String| Err(mpc_snapshot::SnapshotError::Corrupt(what));
+        if vertex_tour.len() != n || adj.len() != n {
+            return corrupt(format!(
+                "forest over {n} vertices has {} tour ids and {} adjacency rows",
+                vertex_tour.len(),
+                adj.len()
+            ));
+        }
+        if shards.values().map(Vec::len).sum::<usize>() != edge_count {
+            return corrupt(format!("shards disagree with edge count {edge_count}"));
+        }
+        if !tour_len.keys().eq(members.keys()) {
+            return corrupt("tour-length and member tables disagree on live tours".into());
+        }
+        if vertex_tour.iter().any(|t| !tour_len.contains_key(t)) {
+            return corrupt("a vertex points at a dead tour".into());
+        }
+        if next_id < n as TourId {
+            return corrupt(format!(
+                "tour id allocator {next_id} behind the range 0..{n}"
+            ));
+        }
+        Ok(DistEtf {
+            n,
+            vertex_tour,
+            adj,
+            shards,
+            edge_count,
+            tour_len,
+            members,
+            next_id,
+        })
     }
 }
 

@@ -108,6 +108,23 @@ impl Edge {
     }
 }
 
+impl mpc_snapshot::Persist for Edge {
+    fn save(&self, w: &mut mpc_snapshot::SnapshotWriter) {
+        w.put_u32(self.u);
+        w.put_u32(self.v);
+    }
+    fn load(r: &mut mpc_snapshot::SnapshotReader<'_>) -> Result<Self, mpc_snapshot::SnapshotError> {
+        let u = r.take_u32()?;
+        let v = r.take_u32()?;
+        if u >= v {
+            return Err(mpc_snapshot::SnapshotError::Corrupt(format!(
+                "edge ({u},{v}) is not normalized"
+            )));
+        }
+        Ok(Edge { u, v })
+    }
+}
+
 impl std::fmt::Display for Edge {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{{{},{}}}", self.u, self.v)
@@ -138,6 +155,19 @@ impl WeightedEdge {
             edge: Edge::new(a, b),
             weight,
         }
+    }
+}
+
+impl mpc_snapshot::Persist for WeightedEdge {
+    fn save(&self, w: &mut mpc_snapshot::SnapshotWriter) {
+        self.edge.save(w);
+        w.put_u64(self.weight);
+    }
+    fn load(r: &mut mpc_snapshot::SnapshotReader<'_>) -> Result<Self, mpc_snapshot::SnapshotError> {
+        Ok(WeightedEdge {
+            edge: Edge::load(r)?,
+            weight: r.take_u64()?,
+        })
     }
 }
 

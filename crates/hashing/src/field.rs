@@ -84,6 +84,21 @@ impl M61 {
     }
 }
 
+impl mpc_snapshot::Persist for M61 {
+    fn save(&self, w: &mut mpc_snapshot::SnapshotWriter) {
+        w.put_u64(self.0);
+    }
+    fn load(r: &mut mpc_snapshot::SnapshotReader<'_>) -> Result<Self, mpc_snapshot::SnapshotError> {
+        let v = r.take_u64()?;
+        if v >= P {
+            return Err(mpc_snapshot::SnapshotError::Corrupt(format!(
+                "field element {v} is not reduced modulo 2^61 - 1"
+            )));
+        }
+        Ok(M61(v))
+    }
+}
+
 /// One conditional subtraction, valid for inputs `< 2P`.
 #[inline]
 fn reduce_once(v: u64) -> u64 {

@@ -51,6 +51,23 @@ fn blocks_for(max_exponent: u64) -> usize {
     (((64 - max_exponent.leading_zeros()) as usize).div_ceil(8)).max(1)
 }
 
+/// `pow[b][d] = z^(d << (8b))`, by repeated squaring across blocks.
+fn build_pow(z: M61, blocks: usize) -> Vec<[M61; 256]> {
+    let mut pow = vec![[M61::ZERO; 256]; blocks];
+    // base_b = z^(256^b).
+    let mut base = z;
+    for block in pow.iter_mut() {
+        let mut acc = M61::ONE;
+        for slot in block.iter_mut() {
+            *slot = acc;
+            acc *= base;
+        }
+        // acc is now base^256 = z^(256^(b+1)).
+        base = acc;
+    }
+    pow
+}
+
 impl FingerprintFamily {
     /// Draws a family with a random evaluation point from `rng`,
     /// covering the full `u64` exponent range.
@@ -63,19 +80,10 @@ impl FingerprintFamily {
         // draw happens before any table building, so bounded and
         // unbounded families of one seed share the evaluation point.
         let z = M61::new(rng.gen_range(2..P));
-        let mut pow = vec![[M61::ZERO; 256]; blocks];
-        // base_b = z^(256^b), by repeated squaring across blocks.
-        let mut base = z;
-        for block in pow.iter_mut() {
-            let mut acc = M61::ONE;
-            for slot in block.iter_mut() {
-                *slot = acc;
-                acc *= base;
-            }
-            // acc is now base^256 = z^(256^(b+1)).
-            base = acc;
+        FingerprintFamily {
+            z,
+            pow: build_pow(z, blocks),
         }
-        FingerprintFamily { z, pow }
     }
 
     /// Draws a family deterministically from a seed, covering the
@@ -134,6 +142,44 @@ impl FingerprintFamily {
     #[inline]
     pub fn expected_one_sparse(&self, index: u64, weight: i64) -> M61 {
         self.term(index) * M61::from_i64(weight)
+    }
+}
+
+// Only the evaluation point and the table *extent* travel in a
+// snapshot; the power tables themselves are derived state, rebuilt on
+// load — the same split the MPC memory accounting uses (z counts, the
+// tables don't).
+impl mpc_snapshot::Persist for FingerprintFamily {
+    fn save(&self, w: &mut mpc_snapshot::SnapshotWriter) {
+        self.z.save(w);
+        w.put_usize(self.pow.len());
+    }
+    fn load(r: &mut mpc_snapshot::SnapshotReader<'_>) -> Result<Self, mpc_snapshot::SnapshotError> {
+        let z = M61::load(r)?;
+        let blocks = r.take_usize()?;
+        if z.value() < 2 || blocks == 0 || blocks > RADIX_BLOCKS {
+            return Err(mpc_snapshot::SnapshotError::Corrupt(format!(
+                "invalid fingerprint family: z={}, blocks={blocks}",
+                z.value()
+            )));
+        }
+        Ok(FingerprintFamily {
+            z,
+            pow: build_pow(z, blocks),
+        })
+    }
+}
+
+impl mpc_snapshot::Persist for Fingerprint {
+    fn save(&self, w: &mut mpc_snapshot::SnapshotWriter) {
+        self.family.save(w);
+        self.acc.save(w);
+    }
+    fn load(r: &mut mpc_snapshot::SnapshotReader<'_>) -> Result<Self, mpc_snapshot::SnapshotError> {
+        Ok(Fingerprint {
+            family: Arc::<FingerprintFamily>::load(r)?,
+            acc: M61::load(r)?,
+        })
     }
 }
 

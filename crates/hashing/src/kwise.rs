@@ -128,6 +128,31 @@ impl KWiseHash {
     }
 }
 
+// The drawn coefficients *are* the function: persisting them verbatim
+// makes a restored hash evaluate bit-identically without re-seeding.
+impl mpc_snapshot::Persist for KWiseHash {
+    fn save(&self, w: &mut mpc_snapshot::SnapshotWriter) {
+        w.put_usize(self.k);
+        for c in &self.coeffs {
+            c.save(w);
+        }
+    }
+    fn load(r: &mut mpc_snapshot::SnapshotReader<'_>) -> Result<Self, mpc_snapshot::SnapshotError> {
+        let k = r.take_usize()?;
+        if k == 0 || k > Self::MAX_K {
+            return Err(mpc_snapshot::SnapshotError::Corrupt(format!(
+                "independence parameter {k} outside 1..={}",
+                Self::MAX_K
+            )));
+        }
+        let mut coeffs = [M61::ZERO; Self::MAX_K];
+        for c in coeffs.iter_mut() {
+            *c = M61::load(r)?;
+        }
+        Ok(KWiseHash { k, coeffs })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -215,6 +215,10 @@ impl DynamicKConn {
 }
 
 impl mpc_stream_core::Maintain for DynamicKConn {
+    fn save_state(&self, w: &mut mpc_snapshot::SnapshotWriter) {
+        mpc_snapshot::Persist::save(self, w);
+    }
+
     fn name(&self) -> &'static str {
         "kconn-dynamic"
     }
@@ -331,6 +335,36 @@ fn relaminate(n: usize, k: usize, cert: Certificate) -> Certificate {
         }
     }
     Certificate::from_layers(n, layers)
+}
+
+// ----- snapshot persistence ---------------------------------------
+
+impl mpc_snapshot::Persist for DynamicKConn {
+    fn save(&self, w: &mut mpc_snapshot::SnapshotWriter) {
+        w.put_usize(self.n);
+        w.put_usize(self.k);
+        self.banks.save(w);
+        w.put_u64(self.last_query_rounds);
+    }
+
+    fn load(r: &mut mpc_snapshot::SnapshotReader<'_>) -> Result<Self, mpc_snapshot::SnapshotError> {
+        let n = r.take_usize()?;
+        let k = r.take_usize()?;
+        let banks = Vec::<SketchBank>::load(r)?;
+        let last_query_rounds = r.take_u64()?;
+        if k == 0 || banks.len() != k {
+            return Err(mpc_snapshot::SnapshotError::Corrupt(format!(
+                "dynamic k-connectivity holds {} banks for k = {k}",
+                banks.len()
+            )));
+        }
+        Ok(DynamicKConn {
+            n,
+            k,
+            banks,
+            last_query_rounds,
+        })
+    }
 }
 
 #[cfg(test)]

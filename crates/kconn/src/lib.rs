@@ -71,3 +71,14 @@ pub mod insert_only;
 pub use certificate::{Certificate, MinCut};
 pub use dynamic::DynamicKConn;
 pub use insert_only::{InsertOnlyKConn, KConnError};
+
+/// Registers this crate's snapshot decoders — `kconn-dynamic` and
+/// `kconn-insert-only` — into a
+/// [`MaintainerRegistry`](mpc_stream_core::MaintainerRegistry).
+pub fn register_snapshot_loaders(reg: &mut mpc_stream_core::MaintainerRegistry) {
+    use mpc_snapshot::Persist;
+    reg.register("kconn-dynamic", |r| Ok(Box::new(DynamicKConn::load(r)?)));
+    reg.register("kconn-insert-only", |r| {
+        Ok(Box::new(InsertOnlyKConn::load(r)?))
+    });
+}

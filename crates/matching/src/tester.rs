@@ -322,6 +322,10 @@ impl MatchingSizeEstimator {
 }
 
 impl mpc_stream_core::Maintain for MatchingSizeEstimator {
+    fn save_state(&self, w: &mut mpc_snapshot::SnapshotWriter) {
+        mpc_snapshot::Persist::save(self, w);
+    }
+
     fn name(&self) -> &'static str {
         match self.kind {
             StreamKind::InsertionOnly => "matching-estimator-insert",
@@ -366,6 +370,137 @@ impl mpc_stream_core::Maintain for MatchingSizeEstimator {
                 query,
             )),
         }
+    }
+}
+
+// ----- snapshot persistence ---------------------------------------
+
+impl mpc_snapshot::Persist for StreamKind {
+    fn save(&self, w: &mut mpc_snapshot::SnapshotWriter) {
+        w.put_u8(match self {
+            StreamKind::InsertionOnly => 0,
+            StreamKind::Dynamic => 1,
+        });
+    }
+
+    fn load(r: &mut mpc_snapshot::SnapshotReader<'_>) -> Result<Self, mpc_snapshot::SnapshotError> {
+        match r.take_u8()? {
+            0 => Ok(StreamKind::InsertionOnly),
+            1 => Ok(StreamKind::Dynamic),
+            t => Err(mpc_snapshot::SnapshotError::Corrupt(format!(
+                "invalid stream-kind tag {t}"
+            ))),
+        }
+    }
+}
+
+impl mpc_snapshot::Persist for Tester {
+    fn save(&self, w: &mut mpc_snapshot::SnapshotWriter) {
+        match self {
+            Tester::Insertion {
+                k,
+                sample_hash,
+                threshold,
+                greedy,
+            } => {
+                w.put_u8(0);
+                w.put_usize(*k);
+                sample_hash.save(w);
+                w.put_u64(*threshold);
+                greedy.save(w);
+            }
+            Tester::Dynamic {
+                k,
+                n,
+                sample_hash,
+                threshold,
+                groups,
+                group_hash,
+                seed,
+                samplers,
+                outcomes,
+                matcher,
+            } => {
+                w.put_u8(1);
+                w.put_usize(*k);
+                w.put_usize(*n);
+                sample_hash.save(w);
+                w.put_u64(*threshold);
+                w.put_u64(*groups);
+                group_hash.save(w);
+                w.put_u64(*seed);
+                samplers.save(w);
+                outcomes.save(w);
+                matcher.save(w);
+            }
+        }
+    }
+
+    fn load(r: &mut mpc_snapshot::SnapshotReader<'_>) -> Result<Self, mpc_snapshot::SnapshotError> {
+        match r.take_u8()? {
+            0 => Ok(Tester::Insertion {
+                k: r.take_usize()?,
+                sample_hash: KWiseHash::load(r)?,
+                threshold: r.take_u64()?,
+                greedy: CappedGreedyMatching::load(r)?,
+            }),
+            1 => Ok(Tester::Dynamic {
+                k: r.take_usize()?,
+                n: r.take_usize()?,
+                sample_hash: KWiseHash::load(r)?,
+                threshold: r.take_u64()?,
+                groups: r.take_u64()?,
+                group_hash: KWiseHash::load(r)?,
+                seed: r.take_u64()?,
+                samplers: BTreeMap::load(r)?,
+                outcomes: BTreeMap::load(r)?,
+                matcher: MaximalMatching::load(r)?,
+            }),
+            t => Err(mpc_snapshot::SnapshotError::Corrupt(format!(
+                "invalid tester tag {t}"
+            ))),
+        }
+    }
+}
+
+impl mpc_snapshot::Persist for MatchingSizeEstimator {
+    fn save(&self, w: &mut mpc_snapshot::SnapshotWriter) {
+        w.put_usize(self.n);
+        self.kind.save(w);
+        w.put_f64(self.alpha);
+        self.testers.save(w);
+    }
+
+    fn load(r: &mut mpc_snapshot::SnapshotReader<'_>) -> Result<Self, mpc_snapshot::SnapshotError> {
+        let n = r.take_usize()?;
+        let kind = StreamKind::load(r)?;
+        let alpha = r.take_f64()?;
+        let testers = Vec::<(usize, Tester)>::load(r)?;
+        if alpha.is_nan() || alpha < 1.0 {
+            return Err(mpc_snapshot::SnapshotError::Corrupt(format!(
+                "matching-size estimator needs α ≥ 1, got {alpha}"
+            )));
+        }
+        // Every tester must match the estimator's declared stream
+        // contract — a mixed ladder cannot have come from save.
+        for (_, t) in &testers {
+            let consistent = matches!(
+                (kind, t),
+                (StreamKind::InsertionOnly, Tester::Insertion { .. })
+                    | (StreamKind::Dynamic, Tester::Dynamic { .. })
+            );
+            if !consistent {
+                return Err(mpc_snapshot::SnapshotError::Corrupt(
+                    "matching-size estimator holds a tester of the wrong stream kind".into(),
+                ));
+            }
+        }
+        Ok(MatchingSizeEstimator {
+            n,
+            kind,
+            alpha,
+            testers,
+        })
     }
 }
 

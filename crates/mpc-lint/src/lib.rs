@@ -24,6 +24,7 @@
 //! | `unsafe-hygiene` | `unsafe` is confined to `crates/mpc/src/executor.rs`; every `unsafe` there carries a `// SAFETY:` argument within the preceding 8 lines; every other crate root carries `#![forbid(unsafe_code)]`. |
 //! | `determinism-hygiene` | No `Instant`/`SystemTime`, no default-hasher `HashMap`/`HashSet`, no raw `Mutex`/`RwLock`/`Condvar`/`std::thread::spawn` outside the executor, no `dbg!`/`println!` in library crates. Tool crates (`mpc-bench`, `mpc-lint`) and `#[cfg(test)]` code are out of scope. |
 //! | `maintain-completeness` | Every production `impl Maintain` defines both `supports` and `answer` (the pair PR 6 had to retrofit). |
+//! | `io-hygiene` | `std::fs`/`std::io` are confined to `crates/mpc-snapshot` (the one sanctioned persistence path — the checksummed snapshot container behind `Session::checkpoint`/`restore`) and the tool crates. |
 //! | `allow-hygiene` | Meta rule: every inline allow must name a known rule and carry justification text. |
 //!
 //! # The allowlist syntax
@@ -51,7 +52,8 @@
 //! `crates/mpc/src/context.rs`; `no-panic-hot-path` and
 //! `maintain-completeness` cover library sources; `determinism-
 //! hygiene` covers library sources minus the tool crates;
-//! `unsafe-hygiene` covers everything walked.
+//! `io-hygiene` covers library sources minus the tool crates and the
+//! snapshot crate; `unsafe-hygiene` covers everything walked.
 //!
 //! # Runtime counterparts
 //!
@@ -92,6 +94,8 @@ pub const RULE_UNSAFE: &str = "unsafe-hygiene";
 pub const RULE_DETERMINISM: &str = "determinism-hygiene";
 /// Rule id: `supports`/`answer` implemented together.
 pub const RULE_MAINTAIN: &str = "maintain-completeness";
+/// Rule id: `std::fs`/`std::io` confined to the snapshot crate.
+pub const RULE_IO: &str = "io-hygiene";
 /// Meta rule id: well-formed, justified allow comments.
 pub const RULE_ALLOW_HYGIENE: &str = "allow-hygiene";
 
@@ -138,6 +142,15 @@ pub const RULES: &[(&str, &str)] = &[
          (supports decides before charging; answer does the charged work).",
     ),
     (
+        RULE_IO,
+        "Confines `std::fs`/`std::io` to crates/mpc-snapshot (the one sanctioned \
+         persistence path: the checksummed, versioned snapshot container behind \
+         Session::checkpoint / Session::restore) and the tool crates (mpc-bench, \
+         mpc-lint). File I/O anywhere else is either a second, unversioned persistence \
+         path that restore would silently drop, or a hidden host dependency in code \
+         that must stay a pure function of its seeds. Test code is exempt.",
+    ),
+    (
         RULE_ALLOW_HYGIENE,
         "Meta rule for the allowlist mechanism itself: `// lint: allow(<rule>)` must name a \
          known rule and carry mandatory justification text (>= 10 chars). Malformed allows \
@@ -161,6 +174,8 @@ pub struct FileRoles {
     pub determinism: bool,
     /// `maintain-completeness`.
     pub maintain: bool,
+    /// `io-hygiene`.
+    pub io: bool,
     /// This file is the sanctioned executor (lock/spawn exemption and
     /// the `// SAFETY:` regime instead of an outright unsafe ban).
     pub is_executor: bool,
@@ -178,6 +193,7 @@ pub fn roles_for(rel_path: &str) -> FileRoles {
         panics: in_crate_src && !tool_crate,
         determinism: in_crate_src && !tool_crate,
         maintain: in_crate_src && !tool_crate,
+        io: in_crate_src && !tool_crate && !rel_path.starts_with("crates/mpc-snapshot/"),
         is_executor: rel_path == "crates/mpc/src/executor.rs",
     }
 }
@@ -206,6 +222,9 @@ pub fn lint_source(rel_path: &str, source: &str) -> (Vec<Finding>, Vec<AppliedAl
     }
     if roles.maintain {
         findings.extend(rules::maintain::check(&ctx));
+    }
+    if roles.io {
+        findings.extend(rules::io_hygiene::check(&ctx));
     }
     findings.extend(rules::unsafety::check(&ctx));
 
@@ -330,9 +349,16 @@ mod tests {
         let lint = roles_for("crates/mpc-lint/src/main.rs");
         assert!(!lint.determinism);
         let test = roles_for("tests/determinism.rs");
-        assert!(!test.determinism && !test.panics && !test.maintain);
+        assert!(!test.determinism && !test.panics && !test.maintain && !test.io);
         let facade = roles_for("src/lib.rs");
-        assert!(facade.determinism);
+        assert!(facade.determinism && facade.io);
+        let snap = roles_for("crates/mpc-snapshot/src/format.rs");
+        assert!(
+            snap.determinism && !snap.io,
+            "snapshot crate may touch disk"
+        );
+        assert!(roles_for("crates/core/src/session.rs").io);
+        assert!(!roles_for("crates/bench/src/experiments/micro.rs").io);
     }
 
     #[test]

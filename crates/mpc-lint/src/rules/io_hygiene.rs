@@ -1,0 +1,83 @@
+//! Rule `io-hygiene`: host file I/O is confined to the snapshot
+//! crate.
+//!
+//! Durability is `mpc-snapshot`'s whole job: every byte that reaches
+//! disk goes through its checksummed, versioned container, and
+//! `Session::checkpoint` is the one sanctioned write path. A stray
+//! `std::fs`/`std::io` call anywhere else is either a second,
+//! unversioned persistence path (state that restore would silently
+//! drop) or a hidden host dependency in code that must stay a pure
+//! function of its seeds. Tool crates (`mpc-bench`, `mpc-lint`) and
+//! test/bench/example code are exempt by scope.
+
+use super::{find_seq, FileCtx};
+use crate::report::Finding;
+use crate::scan;
+use crate::RULE_IO;
+use std::collections::BTreeSet;
+
+/// Checks one library source file for `std::fs` / `std::io` paths.
+pub fn check(ctx: &FileCtx) -> Vec<Finding> {
+    let mut out = Vec::new();
+    // One finding per (line, module) even if a line repeats it.
+    let mut seen: BTreeSet<(u32, &'static str)> = BTreeSet::new();
+    let tokens = &ctx.lexed.tokens;
+    for module in ["fs", "io"] {
+        for i in find_seq(tokens, (0, tokens.len()), &["std", ":", ":", module]) {
+            let line = tokens[i].line;
+            if scan::in_ranges(ctx.test_ranges, line) {
+                continue;
+            }
+            if seen.insert((line, module)) {
+                out.push(Finding {
+                    rule: RULE_IO,
+                    file: ctx.rel_path.to_string(),
+                    line,
+                    message: format!(
+                        "`std::{module}` in a library crate — host I/O is confined to \
+                         crates/mpc-snapshot (the checksummed snapshot container) and the \
+                         tool crates; persist through `Session::checkpoint` instead"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(rel_path: &str, src: &str) -> Vec<Finding> {
+        let lexed = lex(src);
+        let ranges = scan::test_line_ranges(&lexed);
+        check(&FileCtx {
+            rel_path,
+            lexed: &lexed,
+            test_ranges: &ranges,
+        })
+    }
+
+    #[test]
+    fn flags_fs_and_io_paths_once_per_line() {
+        let src = "use std::fs::File;\nfn f() -> std::io::Result<()> { std::io::stdout(); Ok(()) }";
+        let f = run("crates/core/src/x.rs", src);
+        assert_eq!(f.len(), 2, "fs on line 1, io once on line 2: {f:?}");
+        assert!(f[0].message.contains("std::fs"));
+        assert!(f[1].message.contains("std::io"));
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::fs;\n    fn t() { let _ = std::io::sink(); }\n}";
+        assert!(run("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unrelated_idents_pass() {
+        let src = "fn f(fs: u32, io: u32) -> u32 { fs + io }\nmod io { pub fn g() {} }";
+        assert!(run("crates/core/src/x.rs", src).is_empty());
+    }
+}

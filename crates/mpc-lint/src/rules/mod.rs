@@ -4,6 +4,7 @@
 
 pub mod determinism;
 pub mod events;
+pub mod io_hygiene;
 pub mod maintain;
 pub mod panics;
 pub mod unsafety;

@@ -8,8 +8,8 @@
 
 use mpc_lint::report::{AppliedAllow, Finding, Report};
 use mpc_lint::{
-    lint_source, RULE_ALLOW_HYGIENE, RULE_DETERMINISM, RULE_EVENT, RULE_MAINTAIN, RULE_NO_PANIC,
-    RULE_UNSAFE,
+    lint_source, RULE_ALLOW_HYGIENE, RULE_DETERMINISM, RULE_EVENT, RULE_IO, RULE_MAINTAIN,
+    RULE_NO_PANIC, RULE_UNSAFE,
 };
 
 fn fixture(name: &str) -> String {
@@ -140,6 +140,38 @@ fn maintain_dirty_fixture_names_the_type_and_method() {
     assert_eq!(keys(&findings), vec![(RULE_MAINTAIN, 1)], "{findings:?}");
     assert!(findings[0].message.contains("HalfWired"));
     assert!(findings[0].message.contains("`answer`"));
+}
+
+#[test]
+fn io_clean_fixture_passes() {
+    let (findings, _) = run("crates/core/src/cache.rs", "io_clean.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn io_dirty_fixture_reports_exact_lines() {
+    let (findings, _) = run("crates/core/src/cache.rs", "io_dirty.rs");
+    assert_eq!(
+        keys(&findings),
+        vec![
+            (RULE_IO, 1), // use std::fs::File
+            (RULE_IO, 2), // use std::io::Write
+            (RULE_IO, 5), // std::fs::write
+        ],
+        "{findings:?}"
+    );
+    assert!(findings
+        .iter()
+        .all(|f| f.message.contains("mpc-snapshot") && f.message.contains("checkpoint")));
+}
+
+#[test]
+fn io_dirty_fixture_is_sanctioned_inside_the_snapshot_crate() {
+    let (findings, _) = run("crates/mpc-snapshot/src/format.rs", "io_dirty.rs");
+    assert!(
+        findings.iter().all(|f| f.rule != RULE_IO),
+        "snapshot crate must keep its fs access: {findings:?}"
+    );
 }
 
 #[test]

@@ -1,0 +1,19 @@
+use std::path::Path;
+
+/// Persistence goes through the snapshot plane; a library crate may
+/// hold and pass paths, it just may not open them.
+pub fn checkpoint_label(path: &Path) -> usize {
+    path.as_os_str().len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_io_is_test_scoped() {
+        // Test code may touch the filesystem freely.
+        let meta = std::fs::metadata("Cargo.toml");
+        assert!(checkpoint_label(Path::new("x")) == 1 || meta.is_ok());
+    }
+}

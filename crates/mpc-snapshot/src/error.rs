@@ -1,0 +1,103 @@
+//! The typed failure vocabulary of the snapshot subsystem.
+
+/// Everything that can go wrong writing, reading, or decoding a
+/// snapshot. Restore paths are expected to match on the variant —
+/// in particular [`SnapshotError::EpochMismatch`], the typed
+/// stale-snapshot rejection that keeps a crashed-and-restored session
+/// from silently forking its stream history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// Host I/O failure (open/read/write/rename), with the OS error
+    /// rendered. Carried as a string so the error stays `Clone + Eq`
+    /// and dependency-free.
+    Io(String),
+    /// The file does not start with the snapshot magic — not a
+    /// snapshot at all, or one mangled beyond recognition.
+    BadMagic,
+    /// The format version is newer than this reader understands.
+    UnsupportedVersion(u32),
+    /// A section's payload does not hash to the checksum the table
+    /// recorded for it.
+    ChecksumMismatch {
+        /// The corrupted section's name.
+        section: String,
+    },
+    /// A section the restore path requires is absent.
+    MissingSection(String),
+    /// The byte stream is structurally malformed: truncated payload,
+    /// an impossible length, a non-UTF-8 name, a decoder reading past
+    /// its section, or an invalid enum tag.
+    Corrupt(String),
+    /// The snapshot's stream epoch is not the one the caller
+    /// demanded — a *stale* checkpoint. Restoring it would rewind the
+    /// stream and fork history, so the mismatch is a hard typed error
+    /// rather than a silent success.
+    EpochMismatch {
+        /// The epoch the caller expected (the latest checkpoint's).
+        expected: u64,
+        /// The epoch embedded in the snapshot file.
+        found: u64,
+    },
+    /// The snapshot names a maintainer kind the restoring registry
+    /// has no loader for (a snapshot from a build with more crates,
+    /// or a registry assembled without one of the loader sets).
+    UnknownMaintainer {
+        /// The unrecognized `Maintain::name()` recorded at save time.
+        kind: String,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot i/o error: {e}"),
+            SnapshotError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot format version {v}")
+            }
+            SnapshotError::ChecksumMismatch { section } => {
+                write!(
+                    f,
+                    "section `{section}` failed its checksum (corrupted payload)"
+                )
+            }
+            SnapshotError::MissingSection(name) => {
+                write!(f, "required section `{name}` is missing from the snapshot")
+            }
+            SnapshotError::Corrupt(what) => write!(f, "malformed snapshot: {what}"),
+            SnapshotError::EpochMismatch { expected, found } => write!(
+                f,
+                "stale snapshot: stream epoch {found}, but the latest checkpoint is epoch \
+                 {expected} — restoring would fork the stream history"
+            ),
+            SnapshotError::UnknownMaintainer { kind } => {
+                write!(f, "no registered loader for maintainer kind `{kind}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        let e = SnapshotError::EpochMismatch {
+            expected: 3,
+            found: 1,
+        };
+        let text = e.to_string();
+        assert!(text.contains("stale"));
+        assert!(text.contains("epoch 1"));
+        assert!(text.contains("epoch 3"));
+        assert!(SnapshotError::BadMagic.to_string().contains("magic"));
+        assert!(SnapshotError::UnknownMaintainer {
+            kind: "connectivity".into()
+        }
+        .to_string()
+        .contains("connectivity"));
+    }
+}

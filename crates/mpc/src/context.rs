@@ -468,6 +468,50 @@ impl MpcContext {
     }
 }
 
+// A checkpoint is only taken between batches, when no phase or
+// parallel scope is open and no branch log is being recorded, so only
+// the durable ledger travels: configuration, cumulative stats, and the
+// per-machine loads. The host worker pool is a runtime knob the
+// restoring host chooses afresh.
+impl mpc_snapshot::Persist for MpcContext {
+    fn save(&self, w: &mut mpc_snapshot::SnapshotWriter) {
+        self.cfg.save(w);
+        self.stats.save(w);
+        self.loads.save(w);
+        self.total_load.save(w);
+    }
+    fn load(r: &mut mpc_snapshot::SnapshotReader<'_>) -> Result<Self, mpc_snapshot::SnapshotError> {
+        let cfg = MpcConfig::load(r)?;
+        let stats = Stats::load(r)?;
+        let loads = Vec::<u64>::load(r)?;
+        let total_load = u64::load(r)?;
+        if loads.len() != cfg.machines() {
+            return Err(mpc_snapshot::SnapshotError::Corrupt(format!(
+                "context tracks {} machine loads but the configuration has {} machines",
+                loads.len(),
+                cfg.machines()
+            )));
+        }
+        if loads.iter().sum::<u64>() != total_load {
+            return Err(mpc_snapshot::SnapshotError::Corrupt(format!(
+                "context total load {total_load} does not match the sum of machine loads"
+            )));
+        }
+        Ok(MpcContext {
+            cfg,
+            stats,
+            loads,
+            total_load,
+            phase_label: None,
+            phase_start_rounds: 0,
+            phase_start_words: 0,
+            parallel_stack: Vec::new(),
+            log: None,
+            pool: None,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

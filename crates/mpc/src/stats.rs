@@ -1,5 +1,6 @@
 //! Round, communication, and memory accounting.
 
+use mpc_snapshot::{Persist, SnapshotError, SnapshotReader, SnapshotWriter};
 use std::collections::BTreeMap;
 
 /// The kind of MPC primitive a round was charged to.
@@ -249,10 +250,16 @@ impl std::fmt::Display for QueryReport {
 /// ingest and query costs are tracked separately, so the round
 /// asymmetry the paper measures (free maintained answers vs
 /// recompute-on-read baselines) is visible per structure.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct MaintainerStats {
     /// The maintainer's stable name.
     pub name: &'static str,
+    /// Bytes this maintainer's state section occupied in the most
+    /// recent `Session::checkpoint` (0 until one is taken). Host-side
+    /// observability, not stream state: a session that never
+    /// checkpoints and one that checkpoints along the way must stay
+    /// `==`, so equality excludes this field.
+    pub checkpoint_bytes: u64,
     /// Batches this maintainer ingested.
     pub batches: u64,
     /// Rounds charged to this maintainer's batch ingestion
@@ -282,6 +289,7 @@ impl MaintainerStats {
     pub fn new(name: &'static str) -> Self {
         MaintainerStats {
             name,
+            checkpoint_bytes: 0,
             batches: 0,
             rounds: 0,
             words: 0,
@@ -295,6 +303,28 @@ impl MaintainerStats {
         }
     }
 }
+
+// Equality deliberately ignores `checkpoint_bytes`: it records what the
+// *host* did (how large the last snapshot section was), not what the
+// *stream* did, and the crash-recovery equivalence tests compare the
+// stats of a checkpointing run against an uninterrupted one.
+impl PartialEq for MaintainerStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.batches == other.batches
+            && self.rounds == other.rounds
+            && self.words == other.words
+            && self.queries == other.queries
+            && self.query_rounds == other.query_rounds
+            && self.query_words == other.query_words
+            && self.l0_failures == other.l0_failures
+            && self.capacity_violations == other.capacity_violations
+            && self.state_words == other.state_words
+            && self.peak_state_words == other.peak_state_words
+    }
+}
+
+impl Eq for MaintainerStats {}
 
 /// Rollup of a `Session`'s lifetime consumption across all batches
 /// and maintainers, including the per-maintainer breakdown
@@ -439,8 +469,129 @@ impl SessionStats {
                 m.l0_failures,
                 m.capacity_violations
             ));
+            if m.checkpoint_bytes > 0 {
+                out.push_str(&format!(" | ckpt {} bytes", m.checkpoint_bytes));
+            }
         }
         out
+    }
+}
+
+// ----- persistence ----------------------------------------------------
+//
+// Accounting state travels with a checkpoint so a restored session
+// resumes with the exact round/word/memory ledger the crashed one had.
+// `MaintainerStats::name` is a `&'static str` a decoder cannot
+// fabricate, so it is *not* serialized: `Session::restore` re-binds
+// each entry's name from the restored maintainer's `Maintain::name()`.
+
+impl Persist for Op {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.put_u8(match self {
+            Op::Exchange => 0,
+            Op::Broadcast => 1,
+            Op::Aggregate => 2,
+            Op::Sort => 3,
+            Op::Gather => 4,
+        });
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        match r.take_u8()? {
+            0 => Ok(Op::Exchange),
+            1 => Ok(Op::Broadcast),
+            2 => Ok(Op::Aggregate),
+            3 => Ok(Op::Sort),
+            4 => Ok(Op::Gather),
+            t => Err(SnapshotError::Corrupt(format!("invalid Op tag {t}"))),
+        }
+    }
+}
+
+impl Persist for Stats {
+    fn save(&self, w: &mut SnapshotWriter) {
+        self.rounds.save(w);
+        self.words_communicated.save(w);
+        self.peak_round_words.save(w);
+        self.rounds_by_op.save(w);
+        self.peak_machine_words.save(w);
+        self.peak_total_words.save(w);
+        self.violations.save(w);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Stats {
+            rounds: Persist::load(r)?,
+            words_communicated: Persist::load(r)?,
+            peak_round_words: Persist::load(r)?,
+            rounds_by_op: Persist::load(r)?,
+            peak_machine_words: Persist::load(r)?,
+            peak_total_words: Persist::load(r)?,
+            violations: Persist::load(r)?,
+        })
+    }
+}
+
+impl Persist for MaintainerStats {
+    fn save(&self, w: &mut SnapshotWriter) {
+        self.batches.save(w);
+        self.rounds.save(w);
+        self.words.save(w);
+        self.queries.save(w);
+        self.query_rounds.save(w);
+        self.query_words.save(w);
+        self.l0_failures.save(w);
+        self.capacity_violations.save(w);
+        self.state_words.save(w);
+        self.peak_state_words.save(w);
+        self.checkpoint_bytes.save(w);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(MaintainerStats {
+            name: "",
+            batches: Persist::load(r)?,
+            rounds: Persist::load(r)?,
+            words: Persist::load(r)?,
+            queries: Persist::load(r)?,
+            query_rounds: Persist::load(r)?,
+            query_words: Persist::load(r)?,
+            l0_failures: Persist::load(r)?,
+            capacity_violations: Persist::load(r)?,
+            state_words: Persist::load(r)?,
+            peak_state_words: Persist::load(r)?,
+            checkpoint_bytes: Persist::load(r)?,
+        })
+    }
+}
+
+impl Persist for SessionStats {
+    fn save(&self, w: &mut SnapshotWriter) {
+        self.batches.save(w);
+        self.updates.save(w);
+        self.maintainer_batches.save(w);
+        self.rounds.save(w);
+        self.words.save(w);
+        self.l0_failures.save(w);
+        self.capacity_violations.save(w);
+        self.max_batch_rounds.save(w);
+        self.queries.save(w);
+        self.query_rounds.save(w);
+        self.query_words.save(w);
+        self.per_maintainer.save(w);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(SessionStats {
+            batches: Persist::load(r)?,
+            updates: Persist::load(r)?,
+            maintainer_batches: Persist::load(r)?,
+            rounds: Persist::load(r)?,
+            words: Persist::load(r)?,
+            l0_failures: Persist::load(r)?,
+            capacity_violations: Persist::load(r)?,
+            max_batch_rounds: Persist::load(r)?,
+            queries: Persist::load(r)?,
+            query_rounds: Persist::load(r)?,
+            query_words: Persist::load(r)?,
+            per_maintainer: Persist::load(r)?,
+        })
     }
 }
 

@@ -280,6 +280,10 @@ impl ApproxMsfForest {
 }
 
 impl mpc_stream_core::Maintain for ApproxMsfWeight {
+    fn save_state(&self, w: &mut mpc_snapshot::SnapshotWriter) {
+        mpc_snapshot::Persist::save(self, w);
+    }
+
     fn name(&self) -> &'static str {
         "msf-approx-weight"
     }
@@ -344,6 +348,10 @@ impl mpc_stream_core::Maintain for ApproxMsfWeight {
 }
 
 impl mpc_stream_core::Maintain for ApproxMsfForest {
+    fn save_state(&self, w: &mut mpc_snapshot::SnapshotWriter) {
+        mpc_snapshot::Persist::save(self, w);
+    }
+
     fn name(&self) -> &'static str {
         "msf-approx-forest"
     }
@@ -445,6 +453,68 @@ pub fn unit_weighted(batch: &Batch) -> WeightedBatch {
             }
         })
         .collect()
+}
+
+// ----- snapshot persistence ---------------------------------------
+
+impl mpc_snapshot::Persist for ThresholdStack {
+    fn save(&self, w: &mut mpc_snapshot::SnapshotWriter) {
+        w.put_usize(self.n);
+        w.put_f64(self.eps);
+        // The threshold ladder is saved verbatim (not recomputed from
+        // ε) so the restored instance compares weights against
+        // bit-identical floats.
+        self.thresholds.save(w);
+        self.instances.save(w);
+    }
+
+    fn load(r: &mut mpc_snapshot::SnapshotReader<'_>) -> Result<Self, mpc_snapshot::SnapshotError> {
+        let n = r.take_usize()?;
+        let eps = r.take_f64()?;
+        let thresholds = Vec::<f64>::load(r)?;
+        let instances = Vec::<Connectivity>::load(r)?;
+        if !eps.is_finite()
+            || eps <= 0.0
+            || thresholds.is_empty()
+            || thresholds.len() != instances.len()
+        {
+            return Err(mpc_snapshot::SnapshotError::Corrupt(format!(
+                "threshold stack holds {} thresholds / {} instances at eps {eps}",
+                thresholds.len(),
+                instances.len()
+            )));
+        }
+        Ok(ThresholdStack {
+            n,
+            eps,
+            thresholds,
+            instances,
+        })
+    }
+}
+
+impl mpc_snapshot::Persist for ApproxMsfWeight {
+    fn save(&self, w: &mut mpc_snapshot::SnapshotWriter) {
+        self.stack.save(w);
+    }
+
+    fn load(r: &mut mpc_snapshot::SnapshotReader<'_>) -> Result<Self, mpc_snapshot::SnapshotError> {
+        Ok(ApproxMsfWeight {
+            stack: ThresholdStack::load(r)?,
+        })
+    }
+}
+
+impl mpc_snapshot::Persist for ApproxMsfForest {
+    fn save(&self, w: &mut mpc_snapshot::SnapshotWriter) {
+        self.stack.save(w);
+    }
+
+    fn load(r: &mut mpc_snapshot::SnapshotReader<'_>) -> Result<Self, mpc_snapshot::SnapshotError> {
+        Ok(ApproxMsfForest {
+            stack: ThresholdStack::load(r)?,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -124,6 +124,10 @@ impl Bipartiteness {
 }
 
 impl mpc_stream_core::Maintain for Bipartiteness {
+    fn save_state(&self, w: &mut mpc_snapshot::SnapshotWriter) {
+        mpc_snapshot::Persist::save(self, w);
+    }
+
     fn name(&self) -> &'static str {
         "bipartiteness"
     }
@@ -178,6 +182,30 @@ impl mpc_stream_core::Maintain for Bipartiteness {
             }
             _ => Err(mpc_stream_core::unsupported_query("bipartiteness", query)),
         }
+    }
+}
+
+// ----- snapshot persistence ---------------------------------------
+
+impl mpc_snapshot::Persist for Bipartiteness {
+    fn save(&self, w: &mut mpc_snapshot::SnapshotWriter) {
+        w.put_usize(self.n);
+        self.graph.save(w);
+        self.cover.save(w);
+    }
+
+    fn load(r: &mut mpc_snapshot::SnapshotReader<'_>) -> Result<Self, mpc_snapshot::SnapshotError> {
+        let n = r.take_usize()?;
+        let graph = Connectivity::load(r)?;
+        let cover = Connectivity::load(r)?;
+        if graph.vertex_count() != n || cover.vertex_count() != 2 * n {
+            return Err(mpc_snapshot::SnapshotError::Corrupt(format!(
+                "bipartiteness tester holds a {}-vertex graph and {}-vertex cover for n = {n}",
+                graph.vertex_count(),
+                cover.vertex_count()
+            )));
+        }
+        Ok(Bipartiteness { n, graph, cover })
     }
 }
 

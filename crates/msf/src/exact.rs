@@ -94,6 +94,10 @@ impl From<MsfError> for mpc_sim::MpcStreamError {
 }
 
 impl mpc_stream_core::Maintain for ExactMsf {
+    fn save_state(&self, w: &mut mpc_snapshot::SnapshotWriter) {
+        mpc_snapshot::Persist::save(self, w);
+    }
+
     fn name(&self) -> &'static str {
         "msf-exact"
     }
@@ -505,6 +509,44 @@ impl ExactMsf {
         ctx.broadcast(2);
         reactivated.extend(swappers);
         Ok(reactivated)
+    }
+}
+
+// ----- snapshot persistence ---------------------------------------
+
+impl mpc_snapshot::Persist for ExactMsf {
+    fn save(&self, w: &mut mpc_snapshot::SnapshotWriter) {
+        w.put_usize(self.n);
+        self.comp.save(w);
+        self.etf.save(w);
+        self.weights.save(w);
+        w.put_usize(self.last_iterations);
+        self.seen.save(w);
+    }
+
+    fn load(r: &mut mpc_snapshot::SnapshotReader<'_>) -> Result<Self, mpc_snapshot::SnapshotError> {
+        let n = r.take_usize()?;
+        let comp = Vec::<VertexId>::load(r)?;
+        let etf = DistEtf::load(r)?;
+        let weights = BTreeMap::<Edge, u64>::load(r)?;
+        let last_iterations = r.take_usize()?;
+        let seen = BTreeSet::<Edge>::load(r)?;
+        // A forest on n vertices has at most n-1 edges.
+        if comp.len() != n || weights.len() >= n.max(1) {
+            return Err(mpc_snapshot::SnapshotError::Corrupt(format!(
+                "exact-msf holds {} labels and {} forest edges for n = {n}",
+                comp.len(),
+                weights.len()
+            )));
+        }
+        Ok(ExactMsf {
+            n,
+            comp,
+            etf,
+            weights,
+            last_iterations,
+            seen,
+        })
     }
 }
 

@@ -25,3 +25,18 @@ pub mod exact;
 pub use approx::{unit_weighted, ApproxMsfForest, ApproxMsfWeight};
 pub use bipartite::Bipartiteness;
 pub use exact::{ExactMsf, MsfError};
+
+/// Registers this crate's snapshot decoders — `msf-exact`,
+/// `msf-approx-weight`, `msf-approx-forest`, and `bipartiteness` —
+/// into a [`MaintainerRegistry`](mpc_stream_core::MaintainerRegistry).
+pub fn register_snapshot_loaders(reg: &mut mpc_stream_core::MaintainerRegistry) {
+    use mpc_snapshot::Persist;
+    reg.register("msf-exact", |r| Ok(Box::new(ExactMsf::load(r)?)));
+    reg.register("msf-approx-weight", |r| {
+        Ok(Box::new(ApproxMsfWeight::load(r)?))
+    });
+    reg.register("msf-approx-forest", |r| {
+        Ok(Box::new(ApproxMsfForest::load(r)?))
+    });
+    reg.register("bipartiteness", |r| Ok(Box::new(Bipartiteness::load(r)?)));
+}

@@ -120,6 +120,26 @@ impl SketchFamily {
     }
 }
 
+// Families are pure functions of `(max_index, seed)`: the snapshot
+// carries those two words and the load path re-derives the level hash
+// and power tables, so a restored family samples bit-identically.
+impl mpc_snapshot::Persist for SketchFamily {
+    fn save(&self, w: &mut mpc_snapshot::SnapshotWriter) {
+        w.put_u64(self.max_index);
+        w.put_u64(self.seed);
+    }
+    fn load(r: &mut mpc_snapshot::SnapshotReader<'_>) -> Result<Self, mpc_snapshot::SnapshotError> {
+        let max_index = r.take_u64()?;
+        let seed = r.take_u64()?;
+        if max_index == 0 {
+            return Err(mpc_snapshot::SnapshotError::Corrupt(
+                "sketch family with empty index space".into(),
+            ));
+        }
+        Ok(SketchFamily::new(max_index, seed))
+    }
+}
+
 /// Sentinel for a never-touched vertex (no block allocated).
 const UNMATERIALIZED: u32 = u32::MAX;
 
@@ -163,6 +183,21 @@ impl Cell {
         self.value_sum += other.value_sum;
         self.index_sum += other.index_sum;
         self.fp += other.fp;
+    }
+}
+
+impl mpc_snapshot::Persist for Cell {
+    fn save(&self, w: &mut mpc_snapshot::SnapshotWriter) {
+        w.put_i128(self.index_sum);
+        w.put_i64(self.value_sum);
+        self.fp.save(w);
+    }
+    fn load(r: &mut mpc_snapshot::SnapshotReader<'_>) -> Result<Self, mpc_snapshot::SnapshotError> {
+        Ok(Cell {
+            index_sum: r.take_i128()?,
+            value_sum: r.take_i64()?,
+            fp: M61::load(r)?,
+        })
     }
 }
 
@@ -491,6 +526,64 @@ impl SketchArena {
         }
         scratch.absorbed += absorbed;
         absorbed
+    }
+}
+
+// The pool travels wholesale: one contiguous `Vec<Cell>` write at save
+// and one at load, with the per-copy families re-derived from their
+// seeds. Loading cross-checks every structural invariant (block
+// arithmetic, base-table bounds, mask extent) so a corrupted snapshot
+// surfaces as a typed error instead of an out-of-bounds slot.
+impl mpc_snapshot::Persist for SketchArena {
+    fn save(&self, w: &mut mpc_snapshot::SnapshotWriter) {
+        self.families.save(w);
+        self.base.save(w);
+        self.cells.save(w);
+        self.live.save(w);
+    }
+    fn load(r: &mut mpc_snapshot::SnapshotReader<'_>) -> Result<Self, mpc_snapshot::SnapshotError> {
+        let families = Vec::<SketchFamily>::load(r)?;
+        let base = Vec::<u32>::load(r)?;
+        let cells = Vec::<Cell>::load(r)?;
+        let live = Vec::<u64>::load(r)?;
+        let corrupt = |what: String| Err(mpc_snapshot::SnapshotError::Corrupt(what));
+        if families.is_empty() {
+            return corrupt("sketch arena with no copies".into());
+        }
+        let copies = families.len();
+        let levels = families[0].levels();
+        if families.iter().any(|f| f.levels() != levels) {
+            return corrupt("sketch arena copies disagree on level count".into());
+        }
+        let block = copies * levels;
+        if cells.len() % block != 0 {
+            return corrupt(format!(
+                "cell pool length {} is not a multiple of the {block}-cell block",
+                cells.len()
+            ));
+        }
+        let blocks = cells.len() / block;
+        if base
+            .iter()
+            .any(|&b| b != UNMATERIALIZED && b as usize >= blocks)
+        {
+            return corrupt(format!("base table points past {blocks} blocks"));
+        }
+        let expected_masks = if levels <= 64 { blocks * copies } else { 0 };
+        if live.len() != expected_masks {
+            return corrupt(format!(
+                "live-mask table has {} entries, expected {expected_masks}",
+                live.len()
+            ));
+        }
+        Ok(SketchArena {
+            copies,
+            levels,
+            families,
+            base,
+            cells,
+            live,
+        })
     }
 }
 

@@ -219,6 +219,35 @@ impl SketchBank {
     }
 }
 
+impl mpc_snapshot::Persist for SketchBank {
+    fn save(&self, w: &mut mpc_snapshot::SnapshotWriter) {
+        w.put_usize(self.n);
+        self.arena.save(w);
+        w.put_u64(self.words);
+    }
+    fn load(r: &mut mpc_snapshot::SnapshotReader<'_>) -> Result<Self, mpc_snapshot::SnapshotError> {
+        let n = r.take_usize()?;
+        let arena = SketchArena::load(r)?;
+        let words = r.take_u64()?;
+        if n == 0 {
+            return Err(mpc_snapshot::SnapshotError::Corrupt(
+                "sketch bank over an empty vertex set".into(),
+            ));
+        }
+        let copies = arena.copies();
+        // The cached per-column cost is derived state, re-probed the
+        // same way the constructor does.
+        let words_per_vertex = VertexSketch::new(n, 0, 0).words() * copies as u64;
+        Ok(SketchBank {
+            n,
+            copies,
+            arena,
+            words,
+            words_per_vertex,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

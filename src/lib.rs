@@ -78,6 +78,7 @@ pub use mpc_matching as matching;
 pub use mpc_msf as msf;
 pub use mpc_sim as mpc;
 pub use mpc_sketch as sketch;
+pub use mpc_snapshot as snapshot;
 pub use mpc_stream_core as core_alg;
 
 /// Everything needed to drive the unified maintainer surface: the
@@ -101,9 +102,35 @@ pub mod prelude {
         BatchReport, MachineGroup, MaintainerStats, MpcConfig, MpcContext, MpcError,
         MpcStreamError, QueryReport, SessionStats,
     };
+    pub use mpc_snapshot::SnapshotError;
     pub use mpc_stream_core::{
-        Connectivity, ConnectivityConfig, ConnectivityError, Handle, Maintain, MaintainerId,
-        QueryRequest, QueryResponse, RobustConnectivity, Session, StreamingConnectivity,
-        VertexDynamicConnectivity,
+        CheckpointReceipt, Connectivity, ConnectivityConfig, ConnectivityError, Handle, Maintain,
+        MaintainerId, MaintainerRegistry, QueryRequest, QueryResponse, RobustConnectivity, Session,
+        StreamingConnectivity, VertexDynamicConnectivity,
     };
+}
+
+/// The complete snapshot-loader roster: every maintainer kind the
+/// workspace ships, under its [`Maintain::name`] — the registry to
+/// hand [`Session::restore`] when a checkpoint may contain any of the
+/// sixteen registrations.
+///
+/// [`Maintain::name`]: mpc_stream_core::Maintain::name
+/// [`Session::restore`]: mpc_stream_core::Session::restore
+///
+/// # Examples
+///
+/// ```
+/// let reg = mpc_stream::full_registry();
+/// assert!(reg.loader("connectivity").is_some());
+/// assert!(reg.loader("matching-estimator-dynamic").is_some());
+/// assert_eq!(reg.names().len(), 16);
+/// ```
+pub fn full_registry() -> mpc_stream_core::MaintainerRegistry {
+    let mut reg = mpc_stream_core::MaintainerRegistry::core();
+    mpc_kconn::register_snapshot_loaders(&mut reg);
+    mpc_msf::register_snapshot_loaders(&mut reg);
+    mpc_matching::register_snapshot_loaders(&mut reg);
+    mpc_baselines::register_snapshot_loaders(&mut reg);
+    reg
 }

@@ -135,6 +135,68 @@ fn session_runs_are_identical_across_worker_counts() {
     assert_eq!(run(4), serial, "4 workers diverged from serial");
 }
 
+/// A restored maintainer's RNG streams continue *exactly* where the
+/// original stopped: snapshotting mid-stream and resuming must
+/// reproduce the uninterrupted run's sampler outcomes — the spanning
+/// forest rebuilt from ℓ0 samples after deletions, the cumulative
+/// sampler-failure count, and every per-batch round/word charge.
+/// (A snapshot that re-seeded or replayed its samplers would diverge
+/// on the first post-restore deletion.)
+#[test]
+fn restored_sampler_streams_continue_exactly() {
+    use mpc_stream::core_alg::Maintain;
+    use mpc_stream::snapshot::{load_section, save_section, Snapshot, SnapshotWriter};
+    let n = 96;
+    let stream = gen::random_mixed_stream(n, 10, 12, 0.6, 0xDE7);
+    let split = stream.batches.len() / 2;
+    type Trace = Vec<(u64, u64, Vec<u32>, Vec<Edge>, u64)>;
+    let observe = |conn: &mut Connectivity, ctx: &mut MpcContext, batch| {
+        ctx.begin_phase("b");
+        conn.apply_batch(batch, ctx).expect("in regime");
+        let r = ctx.end_phase();
+        let mut f = conn.spanning_forest();
+        f.sort();
+        (
+            r.rounds,
+            r.words,
+            conn.component_labels().to_vec(),
+            f,
+            Maintain::l0_failures(conn),
+        )
+    };
+
+    // The uninterrupted twin.
+    let mut ctx = ctx_for(n);
+    let mut full = Connectivity::new(n, ConnectivityConfig::default(), 0x5EED);
+    let mut full_trace: Trace = Vec::new();
+    for batch in &stream.batches {
+        full_trace.push(observe(&mut full, &mut ctx, batch));
+    }
+
+    // The interrupted twin: half the stream, a `Persist` round-trip
+    // through real snapshot bytes, then the rest of the stream.
+    let mut ctx = ctx_for(n);
+    let mut first_half = Connectivity::new(n, ConnectivityConfig::default(), 0x5EED);
+    let mut trace: Trace = Vec::new();
+    for batch in &stream.batches[..split] {
+        trace.push(observe(&mut first_half, &mut ctx, batch));
+    }
+    let mut w = SnapshotWriter::new(0);
+    save_section(&mut w, "conn", &first_half);
+    let bytes = w.finish();
+    drop(first_half);
+    let snap = Snapshot::from_bytes(&bytes).expect("container parses");
+    let mut resumed: Connectivity = load_section(&snap, "conn").expect("decodes");
+    let mut ctx = ctx_for(n);
+    for batch in &stream.batches[split..] {
+        trace.push(observe(&mut resumed, &mut ctx, batch));
+    }
+    assert_eq!(
+        trace, full_trace,
+        "post-restore sampler outcomes diverged from the uninterrupted run"
+    );
+}
+
 /// Different seeds genuinely change the randomized internals (the
 /// deterministic tests above are not vacuous).
 #[test]

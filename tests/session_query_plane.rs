@@ -470,6 +470,8 @@ impl Maintain for NoisyDecliner {
         Ok(())
     }
 
+    fn save_state(&self, _w: &mut mpc_stream::snapshot::SnapshotWriter) {}
+
     fn answer(
         &mut self,
         query: &QueryRequest,
