@@ -47,6 +47,34 @@ fn bench_sketch(c: &mut Criterion) {
         }
         b.iter(|| black_box(s.sample()));
     });
+    g.bench_function("update_stream_4k", |b| {
+        // The batched cell-write path: 4096 edge inserts streamed into
+        // a bank's arena (per copy per endpoint: one level-hash and
+        // fingerprint evaluation, then the kernel cell write).
+        use mpc_sketch::SketchBank;
+        let n = 1 << 12;
+        let edges: Vec<Edge> = {
+            let mut x = 0x9E37_79B9_7F4A_7C15u64;
+            (0..4096)
+                .map(|_| {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let u = (x >> 33) as u32 % (n as u32 - 1);
+                    let gap = 1 + (x >> 11) as u32 % (n as u32 - 1 - u);
+                    Edge::new(u, u + gap)
+                })
+                .collect()
+        };
+        b.iter_batched(
+            || SketchBank::new(n, 8, 13),
+            |mut bank| {
+                for e in &edges {
+                    bank.insert_edge(*e);
+                }
+                bank
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
     g.bench_function("merged_copy", |b| {
         // The converge-cast inner loop: merge one component's 64
         // member columns at one copy and sample the set sketch, at a

@@ -1,7 +1,7 @@
-//! Experiments E1–E19 (see DESIGN.md §5 for the index; E13–E16 are
+//! Experiments E1–E20 (see DESIGN.md §5 for the index; E13–E16 are
 //! the extension experiments, E17 the Session-level workload table,
 //! E18 the parallel-executor scaling curve, E19 the checkpoint/
-//! recovery soak).
+//! recovery soak, E20 the million-scale SIMD soak).
 
 pub mod connectivity;
 pub mod extensions;
@@ -11,6 +11,7 @@ pub mod msf;
 pub mod parallel;
 pub mod session;
 pub mod snapshot;
+pub mod soak;
 
 use crate::table::Table;
 
@@ -37,14 +38,15 @@ pub fn run(id: &str) -> Vec<Table> {
         "e17" => session::e17_session_workload(),
         "e18" => parallel::e18_parallel_scaling(),
         "e19" => snapshot::e19_snapshot_soak(),
-        other => panic!("unknown experiment id {other:?} (use e1..e19 or all)"),
+        "e20" => soak::e20_simd_soak(),
+        other => panic!("unknown experiment id {other:?} (use e1..e20 or all)"),
     }
 }
 
 /// All experiment ids in order.
-pub const ALL: [&str; 19] = [
+pub const ALL: [&str; 20] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19",
+    "e16", "e17", "e18", "e19", "e20",
 ];
 
 #[cfg(test)]

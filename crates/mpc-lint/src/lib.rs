@@ -21,7 +21,7 @@
 //! |---|---|
 //! | `event-completeness` | Every mutating `MpcContext` primitive records an `MpcEvent`, every variant is recorded by some primitive, and every variant has an explicit `replay_inner` arm (no wildcard). A gap here is exactly the PR-6-style drift the serial-equivalence suite would only catch dynamically — and only if a test happens to exercise the missing primitive. |
 //! | `no-panic-hot-path` | `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!`/`assert!`/`assert_eq!`/`assert_ne!` (but **not** `debug_assert!`) are banned inside `apply_batch`, `answer`, and the arena merge / converge-cast kernels — the PR-3 de-panicking contract. |
-//! | `unsafe-hygiene` | `unsafe` is confined to `crates/mpc/src/executor.rs`; every `unsafe` there carries a `// SAFETY:` argument within the preceding 8 lines; every other crate root carries `#![forbid(unsafe_code)]`. |
+//! | `unsafe-hygiene` | `unsafe` is confined to an explicit allowlist — `crates/mpc/src/executor.rs` and the SIMD kernel directory `crates/sketch/src/kernels/`; every `unsafe` there carries a `// SAFETY:` argument within the preceding 8 lines; every other crate root carries `#![forbid(unsafe_code)]` (the sketch root, whose kernels hold module-level allows `forbid` would reject, carries `#![deny(unsafe_code)]` instead). |
 //! | `determinism-hygiene` | No `Instant`/`SystemTime`, no default-hasher `HashMap`/`HashSet`, no raw `Mutex`/`RwLock`/`Condvar`/`std::thread::spawn` outside the executor, no `dbg!`/`println!` in library crates. Tool crates (`mpc-bench`, `mpc-lint`) and `#[cfg(test)]` code are out of scope. |
 //! | `maintain-completeness` | Every production `impl Maintain` defines both `supports` and `answer` (the pair PR 6 had to retrofit). |
 //! | `io-hygiene` | `std::fs`/`std::io` are confined to `crates/mpc-snapshot` (the one sanctioned persistence path — the checksummed snapshot container behind `Session::checkpoint`/`restore`) and the tool crates. |
@@ -121,10 +121,14 @@ pub const RULES: &[(&str, &str)] = &[
     ),
     (
         RULE_UNSAFE,
-        "Confines `unsafe` to crates/mpc/src/executor.rs (the reviewed allowlist), requires \
-         a `// SAFETY:` comment within 8 lines above every unsafe use there, and requires \
-         `#![forbid(unsafe_code)]` on every other crate root so the confinement is also \
-         compiler-enforced.",
+        "Confines `unsafe` to the reviewed allowlist — crates/mpc/src/executor.rs (the \
+         work-stealing executor) and crates/sketch/src/kernels/ (the #[target_feature] \
+         SIMD tiers, allowlisted as a directory) — requires a `// SAFETY:` comment within \
+         8 lines above every unsafe use there, and requires `#![forbid(unsafe_code)]` on \
+         every other crate root so the confinement is also compiler-enforced. The sketch \
+         crate root is the one exception to `forbid`: its kernels carry module-level \
+         allows that `forbid` cannot be overridden by, so that root must carry \
+         `#![deny(unsafe_code)]` instead, which the rule verifies explicitly.",
     ),
     (
         RULE_DETERMINISM,
@@ -238,7 +242,9 @@ pub fn lint_source(rel_path: &str, source: &str) -> (Vec<Finding>, Vec<AppliedAl
 }
 
 /// Crate roots that must carry `#![forbid(unsafe_code)]`: every
-/// `crates/<name>/src/lib.rs` except mpc-sim's, plus the facade.
+/// `crates/<name>/src/lib.rs` except mpc-sim's (the executor is
+/// allowlisted) and mpc-sketch's (see [`needs_deny`]), plus the
+/// facade.
 fn needs_forbid(rel_path: &str) -> bool {
     if rel_path == "src/lib.rs" {
         return true;
@@ -246,7 +252,15 @@ fn needs_forbid(rel_path: &str) -> bool {
     let Some(rest) = rel_path.strip_prefix("crates/") else {
         return false;
     };
-    rest.ends_with("/src/lib.rs") && !rest.starts_with("mpc/")
+    rest.ends_with("/src/lib.rs") && !rest.starts_with("mpc/") && !rest.starts_with("sketch/")
+}
+
+/// Crate roots that must carry `#![deny(unsafe_code)]` instead of
+/// `forbid`: only mpc-sketch's, whose allowlisted `kernels` modules
+/// hold `#![allow(unsafe_code)]` that `forbid` could not be
+/// overridden by.
+fn needs_deny(rel_path: &str) -> bool {
+    rel_path == "crates/sketch/src/lib.rs"
 }
 
 /// Lints the whole workspace rooted at `root`.
@@ -267,14 +281,18 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
         let (findings, applied) = lint_source(&rel, &source);
         report.findings.extend(findings);
         report.allows.extend(applied);
-        if needs_forbid(&rel) {
+        if needs_forbid(&rel) || needs_deny(&rel) {
             let lexed = lexer::lex(&source);
             let ctx = FileCtx {
                 rel_path: &rel,
                 lexed: &lexed,
                 test_ranges: &[],
             };
-            report.findings.extend(rules::unsafety::check_forbid(&ctx));
+            if needs_forbid(&rel) {
+                report.findings.extend(rules::unsafety::check_forbid(&ctx));
+            } else {
+                report.findings.extend(rules::unsafety::check_deny(&ctx));
+            }
         }
         report.files_scanned += 1;
     }
@@ -362,12 +380,18 @@ mod tests {
     }
 
     #[test]
-    fn forbid_required_everywhere_but_mpc_sim() {
+    fn forbid_required_everywhere_but_mpc_sim_and_sketch() {
         assert!(needs_forbid("crates/graph/src/lib.rs"));
         assert!(needs_forbid("src/lib.rs"));
         assert!(needs_forbid("crates/mpc-lint/src/lib.rs"));
         assert!(!needs_forbid("crates/mpc/src/lib.rs"));
         assert!(!needs_forbid("crates/graph/src/ids.rs"));
+        // The sketch root trades `forbid` for `deny` so its kernels'
+        // module-level allows can exist; `deny` is then mandatory.
+        assert!(!needs_forbid("crates/sketch/src/lib.rs"));
+        assert!(needs_deny("crates/sketch/src/lib.rs"));
+        assert!(!needs_deny("crates/graph/src/lib.rs"));
+        assert!(!needs_deny("crates/sketch/src/arena.rs"));
     }
 
     #[test]

@@ -1,19 +1,40 @@
-//! Rule `unsafe-hygiene`: `unsafe` is confined to the executor, and
-//! every use carries a `// SAFETY:` argument.
+//! Rule `unsafe-hygiene`: `unsafe` is confined to an explicit
+//! allowlist, and every use carries a `// SAFETY:` argument.
 //!
-//! The workspace has exactly one module with a legitimate need for
+//! The workspace has exactly two modules with a legitimate need for
 //! `unsafe` — the work-stealing executor (`crates/mpc/src/executor.rs`),
 //! whose lifetime-erasure and disjoint-claim tricks are documented
-//! and runtime-audited. Everywhere else `unsafe` is banned outright
+//! and runtime-audited, and the sketch arena's SIMD kernel tier
+//! (`crates/sketch/src/kernels/`), whose `#[target_feature]`
+//! intrinsics are inherently unsafe to call and are gated behind
+//! runtime CPU detection. Everywhere else `unsafe` is banned outright
 //! (and statically excluded via `#![forbid(unsafe_code)]`, which this
-//! rule also verifies on every crate root except `mpc-sim`).
+//! rule also verifies on every crate root except `mpc-sim`'s and
+//! `mpc-sketch`'s — the sketch root instead carries
+//! `#![deny(unsafe_code)]`, verified by [`check_deny`], because
+//! `forbid` cannot be overridden by the kernels' module-level allows).
 
 use super::FileCtx;
 use crate::report::Finding;
 use crate::RULE_UNSAFE;
 
-/// The only file allowed to contain `unsafe` code.
-pub const UNSAFE_ALLOWLIST: &[&str] = &["crates/mpc/src/executor.rs"];
+/// The only places allowed to contain `unsafe` code. An entry ending
+/// in `/` allowlists every file under that directory; any other entry
+/// names a single file exactly.
+pub const UNSAFE_ALLOWLIST: &[&str] = &["crates/mpc/src/executor.rs", "crates/sketch/src/kernels/"];
+
+/// Whether `rel_path` falls inside [`UNSAFE_ALLOWLIST`].
+pub fn is_allowlisted(rel_path: &str) -> bool {
+    UNSAFE_ALLOWLIST.iter().any(|entry| {
+        if let Some(dir) = entry.strip_suffix('/') {
+            rel_path
+                .strip_prefix(dir)
+                .is_some_and(|rest| rest.starts_with('/'))
+        } else {
+            rel_path == *entry
+        }
+    })
+}
 
 /// How many lines above an `unsafe` token a `// SAFETY:` comment may
 /// sit (comment blocks directly above the statement count).
@@ -22,7 +43,7 @@ const SAFETY_LOOKBACK: u32 = 8;
 /// Checks one file for unsafe placement and SAFETY comments.
 pub fn check(ctx: &FileCtx) -> Vec<Finding> {
     let mut out = Vec::new();
-    let allowed = UNSAFE_ALLOWLIST.contains(&ctx.rel_path);
+    let allowed = is_allowlisted(ctx.rel_path);
     for t in &ctx.lexed.tokens {
         if !t.is_ident("unsafe") {
             continue;
@@ -33,8 +54,8 @@ pub fn check(ctx: &FileCtx) -> Vec<Finding> {
                 file: ctx.rel_path.to_string(),
                 line: t.line,
                 message: format!(
-                    "`unsafe` outside the executor allowlist ({}) — add the crate to \
-                     the reviewed allowlist or find a safe formulation",
+                    "`unsafe` outside the reviewed allowlist ({}) — extend the \
+                     allowlist deliberately or find a safe formulation",
                     UNSAFE_ALLOWLIST.join(", ")
                 ),
             });
@@ -62,26 +83,48 @@ pub fn check(ctx: &FileCtx) -> Vec<Finding> {
     out
 }
 
-/// Verifies that a crate root opts out of unsafe code entirely.
-/// Returns a finding when `#![forbid(unsafe_code)]` is absent.
-pub fn check_forbid(ctx: &FileCtx) -> Option<Finding> {
+/// Verifies a crate-root `#![<lint_level>(unsafe_code)]` attribute and
+/// returns a finding carrying `message` when it is absent.
+fn check_opt_out(ctx: &FileCtx, lint_level: &str, message: &str) -> Option<Finding> {
     let hit = super::find_seq(
         &ctx.lexed.tokens,
         (0, ctx.lexed.tokens.len()),
-        &["#", "!", "[", "forbid", "(", "unsafe_code", ")", "]"],
+        &["#", "!", "[", lint_level, "(", "unsafe_code", ")", "]"],
     );
     if hit.is_empty() {
         Some(Finding {
             rule: RULE_UNSAFE,
             file: ctx.rel_path.to_string(),
             line: 1,
-            message: "crate root is missing `#![forbid(unsafe_code)]` — every crate except \
-                      mpc-sim forbids unsafe at the compiler level"
-                .to_string(),
+            message: message.to_string(),
         })
     } else {
         None
     }
+}
+
+/// Verifies that a crate root opts out of unsafe code entirely.
+/// Returns a finding when `#![forbid(unsafe_code)]` is absent.
+pub fn check_forbid(ctx: &FileCtx) -> Option<Finding> {
+    check_opt_out(
+        ctx,
+        "forbid",
+        "crate root is missing `#![forbid(unsafe_code)]` — every crate except mpc-sim and \
+         mpc-sketch forbids unsafe at the compiler level",
+    )
+}
+
+/// Verifies that a crate root denies unsafe code by default, the
+/// weakest compiler-level opt-out that module-level allows (the SIMD
+/// kernels) can still override. Returns a finding when
+/// `#![deny(unsafe_code)]` is absent.
+pub fn check_deny(ctx: &FileCtx) -> Option<Finding> {
+    check_opt_out(
+        ctx,
+        "deny",
+        "crate root is missing `#![deny(unsafe_code)]` — the sketch crate must deny unsafe \
+         by default so only the kernels' explicit module-level allows escape it",
+    )
 }
 
 #[cfg(test)]
@@ -101,38 +144,84 @@ mod tests {
     }
 
     #[test]
-    fn unsafe_outside_executor_is_flagged() {
-        let f = run("crates/core/src/session.rs", "fn f() { unsafe { g() } }");
-        assert_eq!(f.len(), 1);
-        assert!(f[0].message.contains("allowlist"));
+    fn allowlist_matches_files_exactly_and_directories_by_prefix() {
+        assert!(is_allowlisted("crates/mpc/src/executor.rs"));
+        assert!(is_allowlisted("crates/sketch/src/kernels/sse2.rs"));
+        assert!(is_allowlisted("crates/sketch/src/kernels/mod.rs"));
+        // An exact-file entry does not allowlist its siblings, and a
+        // directory entry does not match lookalike directory names.
+        assert!(!is_allowlisted("crates/mpc/src/executor2.rs"));
+        assert!(!is_allowlisted("crates/mpc/src/context.rs"));
+        assert!(!is_allowlisted("crates/sketch/src/kernels.rs"));
+        assert!(!is_allowlisted("crates/sketch/src/kernels_extra/x.rs"));
+        assert!(!is_allowlisted("crates/sketch/src/arena.rs"));
     }
 
     #[test]
-    fn executor_unsafe_needs_safety_comment() {
-        let dirty = "fn f() {\n    let x = unsafe { g() };\n}";
-        let f = run("crates/mpc/src/executor.rs", dirty);
+    fn unsafe_outside_allowlist_is_flagged() {
+        let f = run("crates/core/src/session.rs", "fn f() { unsafe { g() } }");
         assert_eq!(f.len(), 1);
-        assert!(f[0].message.contains("SAFETY"));
+        assert!(f[0].message.contains("allowlist"));
+        let f = run("crates/sketch/src/arena.rs", "fn f() { unsafe { g() } }");
+        assert_eq!(f.len(), 1, "sketch outside kernels/ stays banned");
+    }
 
+    #[test]
+    fn allowlisted_unsafe_needs_safety_comment() {
+        let dirty = "fn f() {\n    let x = unsafe { g() };\n}";
         let clean = "fn f() {\n    // SAFETY: g is sound here because reasons.\n    let x = unsafe { g() };\n}";
-        assert!(run("crates/mpc/src/executor.rs", clean).is_empty());
+        for path in [
+            "crates/mpc/src/executor.rs",
+            "crates/sketch/src/kernels/avx2.rs",
+        ] {
+            let f = run(path, dirty);
+            assert_eq!(f.len(), 1, "{path}");
+            assert!(f[0].message.contains("SAFETY"), "{path}");
+            assert!(run(path, clean).is_empty(), "{path}");
+        }
+    }
+
+    fn opt_out_ctx(src: &str) -> (crate::lexer::Lexed, &'static str) {
+        (lex(src), "crates/graph/src/lib.rs")
     }
 
     #[test]
     fn forbid_attribute_is_required() {
-        let lexed = lex("//! docs\n#![forbid(unsafe_code)]\npub fn f() {}\n");
+        let (lexed, rel_path) = opt_out_ctx("//! docs\n#![forbid(unsafe_code)]\npub fn f() {}\n");
         let ctx = FileCtx {
-            rel_path: "crates/graph/src/lib.rs",
+            rel_path,
             lexed: &lexed,
             test_ranges: &[],
         };
         assert!(check_forbid(&ctx).is_none());
-        let lexed = lex("//! docs\npub fn f() {}\n");
+        let (lexed, rel_path) = opt_out_ctx("//! docs\npub fn f() {}\n");
         let ctx = FileCtx {
-            rel_path: "crates/graph/src/lib.rs",
+            rel_path,
             lexed: &lexed,
             test_ranges: &[],
         };
         assert!(check_forbid(&ctx).is_some());
+    }
+
+    #[test]
+    fn deny_attribute_check_accepts_deny_but_not_forbid() {
+        let (lexed, rel_path) = opt_out_ctx("//! docs\n#![deny(unsafe_code)]\npub fn f() {}\n");
+        let ctx = FileCtx {
+            rel_path,
+            lexed: &lexed,
+            test_ranges: &[],
+        };
+        assert!(check_deny(&ctx).is_none());
+        // `forbid` is not `deny`: the sketch root pairing with
+        // module-level allows would not even compile under forbid, so
+        // the check looks for the exact attribute.
+        let (lexed, rel_path) = opt_out_ctx("//! docs\n#![forbid(unsafe_code)]\npub fn f() {}\n");
+        let ctx = FileCtx {
+            rel_path,
+            lexed: &lexed,
+            test_ranges: &[],
+        };
+        let f = check_deny(&ctx).expect("forbid does not satisfy the deny check");
+        assert!(f.message.contains("deny(unsafe_code)"));
     }
 }

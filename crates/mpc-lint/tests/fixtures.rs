@@ -106,6 +106,40 @@ fn unsafety_dirty_fixture_fails_both_ways() {
 }
 
 #[test]
+fn kernels_clean_fixture_passes_inside_the_kernels_directory() {
+    let (findings, _) = run(
+        "crates/sketch/src/kernels/sse2.rs",
+        "unsafety_kernels_clean.rs",
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn kernels_dirty_fixture_fails_both_ways() {
+    // Inside the allowlisted directory but undocumented: both the
+    // `unsafe fn` declaration and the dispatch call site need SAFETY.
+    let (findings, _) = run(
+        "crates/sketch/src/kernels/sse2.rs",
+        "unsafety_kernels_dirty.rs",
+    );
+    assert_eq!(
+        keys(&findings),
+        vec![(RULE_UNSAFE, 2), (RULE_UNSAFE, 10)],
+        "{findings:?}"
+    );
+    assert!(findings.iter().all(|f| f.message.contains("SAFETY")));
+    // The same source one directory up sits outside the allowlist
+    // (the directory entry must not leak onto sibling paths).
+    let (findings, _) = run("crates/sketch/src/arena.rs", "unsafety_kernels_dirty.rs");
+    assert_eq!(
+        keys(&findings),
+        vec![(RULE_UNSAFE, 2), (RULE_UNSAFE, 10)],
+        "{findings:?}"
+    );
+    assert!(findings.iter().all(|f| f.message.contains("allowlist")));
+}
+
+#[test]
 fn determinism_clean_fixture_passes() {
     let (findings, _) = run("crates/core/src/cache.rs", "determinism_clean.rs");
     assert!(findings.is_empty(), "{findings:?}");

@@ -1,0 +1,12 @@
+#[target_feature(enable = "sse2")]
+pub unsafe fn fold(dst: &mut [u64], src: &[u64]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = d.wrapping_add(*s);
+    }
+}
+
+pub fn dispatch(dst: &mut [u64], src: &[u64]) {
+    if is_x86_feature_detected!("sse2") {
+        unsafe { fold(dst, src) }
+    }
+}

@@ -30,10 +30,11 @@
 //! materialized column (see [`crate::l0::L0Sampler::words`]); the
 //! arena is the host representation of exactly that shape.
 
+use crate::kernels::KernelKind;
 use crate::l0::SampleOutcome;
 use crate::one_sparse::decode_parts;
 use mpc_hashing::field::M61;
-use mpc_hashing::fingerprint::{accumulate, FingerprintFamily};
+use mpc_hashing::fingerprint::FingerprintFamily;
 use mpc_hashing::kwise::KWiseHash;
 use std::sync::Arc;
 
@@ -147,7 +148,13 @@ const UNMATERIALIZED: u32 = u32::MAX;
 /// fingerprint accumulator, interleaved so a cell is exactly 32
 /// bytes — one update or merge read touches a single cache line
 /// instead of three distant pool lines.
+///
+/// The `repr(C)` layout is load-bearing: field order is declaration
+/// order with no padding (16 + 8 + 8 bytes), so the vectorized
+/// kernels in [`crate::kernels`] may view a cell as four little-endian
+/// 64-bit lanes `[index_lo, index_hi, value_sum, fp]`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(C)]
 pub(crate) struct Cell {
     pub(crate) index_sum: i128,
     pub(crate) value_sum: i64,
@@ -169,19 +176,19 @@ impl Cell {
     /// Applies `X[index] += delta` given the precomputed
     /// `weighted = index` widening and fingerprint term — the one
     /// cell-update routine shared by the arena pool and the
-    /// standalone sampler column.
+    /// standalone sampler column. Delegates to the portable kernel so
+    /// there is exactly one scalar reference for the vectorized tiers
+    /// to match.
     #[inline]
     pub(crate) fn apply(&mut self, weighted: i128, delta: i64, term: M61) {
-        self.value_sum += delta;
-        self.index_sum += weighted * delta as i128;
-        self.fp = accumulate(self.fp, term, delta);
+        crate::kernels::portable::cell_apply(self, weighted, delta, term);
     }
 
     /// Adds another cell of the same family (vector addition).
     #[inline]
     pub(crate) fn absorb(&mut self, other: &Cell) {
-        self.value_sum += other.value_sum;
-        self.index_sum += other.index_sum;
+        self.value_sum = self.value_sum.wrapping_add(other.value_sum);
+        self.index_sum = self.index_sum.wrapping_add(other.index_sum);
         self.fp += other.fp;
     }
 }
@@ -219,6 +226,12 @@ pub struct SketchArena {
     /// (always, for the `≤ 2^62`-sized index spaces the graph
     /// sketches use); wider columns fall back to full scans.
     live: Vec<u64>,
+    /// The vectorization tier every cell kernel of this arena
+    /// dispatches through — fixed at construction
+    /// ([`KernelKind::selected`]), never persisted (a restored arena
+    /// re-selects for the restoring host), and irrelevant to results:
+    /// all tiers are bit-identical.
+    kernel: KernelKind,
 }
 
 impl SketchArena {
@@ -243,6 +256,7 @@ impl SketchArena {
             base: vec![UNMATERIALIZED; n],
             cells: Vec::new(),
             live: Vec::new(),
+            kernel: KernelKind::selected(),
         }
     }
 
@@ -251,6 +265,20 @@ impl SketchArena {
     #[inline]
     fn masked(&self) -> bool {
         self.levels <= 64
+    }
+
+    /// The vectorization tier this arena's kernels run at.
+    #[inline]
+    pub fn kernel(&self) -> KernelKind {
+        self.kernel
+    }
+
+    /// Overrides the kernel tier, clamped to what the host supports —
+    /// the hook the bit-identity property tests use to compare tiers
+    /// within one process. Returns the tier actually installed.
+    pub fn set_kernel(&mut self, kernel: KernelKind) -> KernelKind {
+        self.kernel = kernel.clamped();
+        self.kernel
     }
 
     /// Number of independent copies.
@@ -311,7 +339,8 @@ impl SketchArena {
         delta: i64,
         term: M61,
     ) {
-        self.cells[s].apply(weighted, delta, term);
+        self.kernel
+            .cell_apply(&mut self.cells[s], weighted, delta, term);
         if self.masked() {
             let bit = 1u64 << level;
             if self.cells[s].is_zero() {
@@ -413,6 +442,7 @@ impl SketchArena {
         sample_cell_slice(
             &self.cells[start..start + self.levels],
             &self.families[copy],
+            self.kernel,
         )
     }
 
@@ -422,6 +452,8 @@ impl SketchArena {
         MergeScratch {
             copy: 0,
             absorbed: 0,
+            live: 0,
+            dense: false,
             value_sum: vec![0; self.levels],
             index_sum: vec![0; self.levels],
             fp: vec![M61::ZERO; self.levels],
@@ -444,24 +476,37 @@ impl SketchArena {
             }
             let start = self.slot(v, copy, 0);
             if self.masked() {
-                // Walk only the live levels of this column — one
-                // cache line per live cell.
+                // Fold only the live levels of this column, extracting
+                // maximal contiguous runs of set bits so each run is
+                // one vectorized span fold. Levels never interact, so
+                // run folds are bit-identical to a per-bit walk.
                 let mut mask = self.live[self.mask_slot(v, copy)];
+                scratch.live |= mask;
                 while mask != 0 {
-                    let l = mask.trailing_zeros() as usize;
-                    mask &= mask - 1;
-                    let c = &self.cells[start + l];
-                    scratch.value_sum[l] += c.value_sum;
-                    scratch.index_sum[l] += c.index_sum;
-                    scratch.fp[l] += c.fp;
+                    let lo = mask.trailing_zeros() as usize;
+                    let run = (!(mask >> lo)).trailing_zeros() as usize;
+                    self.kernel.fold_cells_soa(
+                        &self.cells[start + lo..start + lo + run],
+                        &mut scratch.value_sum[lo..lo + run],
+                        &mut scratch.index_sum[lo..lo + run],
+                        &mut scratch.fp[lo..lo + run],
+                    );
+                    // Clear the run; `run` can be 64, which a shifted
+                    // mask cannot express.
+                    mask = if lo + run >= 64 {
+                        0
+                    } else {
+                        mask & !(((1u64 << run) - 1) << lo)
+                    };
                 }
             } else {
-                for l in 0..self.levels {
-                    let c = &self.cells[start + l];
-                    scratch.value_sum[l] += c.value_sum;
-                    scratch.index_sum[l] += c.index_sum;
-                    scratch.fp[l] += c.fp;
-                }
+                scratch.dense = true;
+                self.kernel.fold_cells_soa(
+                    &self.cells[start..start + self.levels],
+                    &mut scratch.value_sum,
+                    &mut scratch.index_sum,
+                    &mut scratch.fp,
+                );
             }
             absorbed += 1;
         }
@@ -469,13 +514,45 @@ impl SketchArena {
         absorbed
     }
 
-    /// Queries the accumulated set sketch in `scratch`.
+    /// Queries the accumulated set sketch in `scratch`. When every
+    /// absorbed column carried a live mask, only levels in the union
+    /// mask are inspected (a level outside every member's mask is a
+    /// sum of zeros — provably zero even under cancellation), walked
+    /// from the sparsest down exactly like the dense scan.
     pub fn sample_scratch(&self, scratch: &MergeScratch) -> SampleOutcome {
+        let family = &self.families[scratch.copy];
+        if self.masked() && !scratch.dense {
+            let mut any_nonzero = false;
+            let mut mask = scratch.live;
+            while mask != 0 {
+                let l = 63 - mask.leading_zeros() as usize;
+                mask &= !(1u64 << l);
+                let (value_sum, index_sum, fp) =
+                    (scratch.value_sum[l], scratch.index_sum[l], scratch.fp[l]);
+                if value_sum == 0 && index_sum == 0 && fp.is_zero() {
+                    continue;
+                }
+                any_nonzero = true;
+                if let crate::one_sparse::OneSparseDecode::One { index, weight } =
+                    decode_parts(value_sum, index_sum, fp, |i, w| {
+                        family.fingerprint().expected_one_sparse(i, w)
+                    })
+                {
+                    return SampleOutcome::Sample { index, weight };
+                }
+            }
+            return if any_nonzero {
+                SampleOutcome::Fail
+            } else {
+                SampleOutcome::Zero
+            };
+        }
         sample_cells(
             &scratch.value_sum,
             &scratch.index_sum,
             &scratch.fp,
-            &self.families[scratch.copy],
+            family,
+            self.kernel,
         )
     }
 
@@ -517,11 +594,16 @@ impl SketchArena {
         });
         let mut absorbed = 0usize;
         for (_, partial) in &spans {
-            for l in 0..self.levels {
-                scratch.value_sum[l] += partial.value_sum[l];
-                scratch.index_sum[l] += partial.index_sum[l];
-                scratch.fp[l] += partial.fp[l];
-            }
+            self.kernel.fold_soa(
+                &mut scratch.value_sum,
+                &mut scratch.index_sum,
+                &mut scratch.fp,
+                &partial.value_sum,
+                &partial.index_sum,
+                &partial.fp,
+            );
+            scratch.live |= partial.live;
+            scratch.dense |= partial.dense;
             absorbed += partial.absorbed;
         }
         scratch.absorbed += absorbed;
@@ -583,6 +665,10 @@ impl mpc_snapshot::Persist for SketchArena {
             base,
             cells,
             live,
+            // Never persisted: the restoring host re-selects its own
+            // tier (tiers are bit-identical, so restore equivalence
+            // holds across hosts).
+            kernel: KernelKind::selected(),
         })
     }
 }
@@ -594,6 +680,14 @@ impl mpc_snapshot::Persist for SketchArena {
 pub struct MergeScratch {
     copy: usize,
     absorbed: usize,
+    /// Union of the live-level masks of every absorbed column: a
+    /// level outside this union is a sum of zero cells, so the query
+    /// scan can skip it without looking.
+    pub(crate) live: u64,
+    /// Set when a column without a live mask was absorbed (arena with
+    /// `levels > 64`), invalidating `live` — queries fall back to the
+    /// dense scan.
+    pub(crate) dense: bool,
     pub(crate) value_sum: Vec<i64>,
     pub(crate) index_sum: Vec<i128>,
     pub(crate) fp: Vec<M61>,
@@ -605,6 +699,8 @@ impl MergeScratch {
     pub fn reset(&mut self, copy: usize) {
         self.copy = copy;
         self.absorbed = 0;
+        self.live = 0;
+        self.dense = false;
         self.value_sum.fill(0);
         self.index_sum.fill(0);
         self.fp.fill(M61::ZERO);
@@ -621,32 +717,61 @@ impl MergeScratch {
     pub fn absorbed(&self) -> usize {
         self.absorbed
     }
+
+    /// The accumulated raw cell triple at `level` — the hook the
+    /// cross-tier bit-identity tests use to compare accumulators
+    /// cell for cell.
+    #[inline]
+    pub fn cell(&self, level: usize) -> (i64, i128, M61) {
+        (self.value_sum[level], self.index_sum[level], self.fp[level])
+    }
+
+    /// Number of levels in the accumulator column.
+    #[inline]
+    pub fn levels(&self) -> usize {
+        self.value_sum.len()
+    }
 }
 
-/// The one dense-column query routine: scan from the sparsest
-/// (highest) level down, skip cancelled cells, return the first
-/// one-sparse recovery; `Zero` iff every cell is zero, `Fail` if
-/// nonzero cells exist but none decodes. `cell_at` abstracts the
-/// storage layout (interleaved arena cells vs parallel slices).
-fn sample_with(
-    levels: usize,
-    cell_at: impl Fn(usize) -> (i64, i128, M61),
+/// Decodes one nonzero cell, mapping a one-sparse recovery to a
+/// sample.
+#[inline]
+fn decode_cell(
+    value_sum: i64,
+    index_sum: i128,
+    fp: M61,
     family: &SketchFamily,
+) -> Option<(u64, i64)> {
+    if let crate::one_sparse::OneSparseDecode::One { index, weight } =
+        decode_parts(value_sum, index_sum, fp, |i, w| {
+            family.fingerprint().expected_one_sparse(i, w)
+        })
+    {
+        Some((index, weight))
+    } else {
+        None
+    }
+}
+
+/// Samples a dense interleaved cell column (the arena's storage and
+/// the standalone sampler): the kernel's wide zero-skip scan hops
+/// from one nonzero cell to the next going down from the sparsest
+/// level; the first one-sparse recovery wins. `Zero` iff every cell
+/// is zero, `Fail` if nonzero cells exist but none decodes.
+pub(crate) fn sample_cell_slice(
+    cells: &[Cell],
+    family: &SketchFamily,
+    kernel: KernelKind,
 ) -> SampleOutcome {
+    let mut below = cells.len();
     let mut any_nonzero = false;
-    for l in (0..levels).rev() {
-        let (value_sum, index_sum, fp) = cell_at(l);
-        if value_sum == 0 && index_sum == 0 && fp.is_zero() {
-            continue;
-        }
+    while let Some(l) = kernel.top_nonzero_cells(cells, below) {
         any_nonzero = true;
-        if let crate::one_sparse::OneSparseDecode::One { index, weight } =
-            decode_parts(value_sum, index_sum, fp, |i, w| {
-                family.fingerprint().expected_one_sparse(i, w)
-            })
-        {
+        let c = &cells[l];
+        if let Some((index, weight)) = decode_cell(c.value_sum, c.index_sum, c.fp, family) {
             return SampleOutcome::Sample { index, weight };
         }
+        below = l;
     }
     if any_nonzero {
         SampleOutcome::Fail
@@ -655,32 +780,30 @@ fn sample_with(
     }
 }
 
-/// Samples a dense interleaved cell column (the arena's storage and
-/// the standalone sampler).
-pub(crate) fn sample_cell_slice(cells: &[Cell], family: &SketchFamily) -> SampleOutcome {
-    sample_with(
-        cells.len(),
-        |l| {
-            let c = &cells[l];
-            (c.value_sum, c.index_sum, c.fp)
-        },
-        family,
-    )
-}
-
 /// Samples a dense cell column held as parallel slices (the scratch
-/// accumulator and the standalone sampler).
+/// accumulator and the standalone sampler); same scan as
+/// [`sample_cell_slice`].
 pub(crate) fn sample_cells(
     value_sum: &[i64],
     index_sum: &[i128],
     fp: &[M61],
     family: &SketchFamily,
+    kernel: KernelKind,
 ) -> SampleOutcome {
-    sample_with(
-        value_sum.len(),
-        |l| (value_sum[l], index_sum[l], fp[l]),
-        family,
-    )
+    let mut below = value_sum.len();
+    let mut any_nonzero = false;
+    while let Some(l) = kernel.top_nonzero_soa(value_sum, index_sum, fp, below) {
+        any_nonzero = true;
+        if let Some((index, weight)) = decode_cell(value_sum[l], index_sum[l], fp[l], family) {
+            return SampleOutcome::Sample { index, weight };
+        }
+        below = l;
+    }
+    if any_nonzero {
+        SampleOutcome::Fail
+    } else {
+        SampleOutcome::Zero
+    }
 }
 
 #[cfg(test)]

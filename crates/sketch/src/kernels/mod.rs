@@ -1,0 +1,503 @@
+//! Runtime-dispatched vectorized kernels for the sketch arena.
+//!
+//! Every maintained structure bottoms out in the same flat loops over
+//! interleaved 32-byte one-sparse cells: the converge-cast column
+//! folds of [`SketchArena::merge_into`], the span-partial folds of
+//! the stealing merge, the `update`/`update_pair` cell-write path,
+//! and the zero-skip scan in front of `decode_parts` on the sample
+//! paths. This module implements those loops three times —
+//!
+//! * [`portable`] — safe scalar code shaped for auto-vectorization,
+//!   the behavioral reference on every architecture;
+//! * [`sse2`] — x86-64 baseline vectors (2 cells per step);
+//! * [`avx2`] — 256-bit vectors (4 cells per step, 4×4 lane
+//!   transposes between the interleaved pool and the
+//!   struct-of-arrays scratch).
+//!
+//! — and selects one tier per [`SketchArena`] at construction via
+//! [`KernelKind::selected`]: the best tier the host CPU reports
+//! (`is_x86_feature_detected!`), overridable with
+//! `MPC_KERNEL=scalar|sse2|avx2` (parsed by
+//! [`mpc_sim::kernel_from_env`]; an unsupported request clamps down
+//! to what the host can run, never up).
+//!
+//! # The bit-identity contract
+//!
+//! Every kernel computes **exactly** the arithmetic of the scalar
+//! path: two's-complement wrapping adds for the value and
+//! index-weighted sums, and the `GF(2^61 - 1)` conditional-subtract
+//! add for fingerprints — no floats, no reassociation of anything
+//! non-associative. Same seeds, same stream ⇒ bit-identical cells,
+//! bit-identical samples, bit-identical snapshot bytes, at every
+//! tier. The property suite in `crates/sketch/tests/` pins all three
+//! tiers against each other; the workspace equivalence / determinism
+//! / snapshot suites pin the whole layer end to end. `words()`
+//! accounting never looks at the kernel tier.
+//!
+//! [`SketchArena`]: crate::arena::SketchArena
+//! [`SketchArena::merge_into`]: crate::arena::SketchArena::merge_into
+
+// The dispatch arms below call `#[target_feature]` functions, which
+// is an unsafe operation even though every call site is guarded by
+// feature detection.
+#![allow(unsafe_code)]
+
+use crate::arena::Cell;
+use mpc_hashing::field::M61;
+
+pub mod portable;
+
+#[cfg(target_arch = "x86_64")]
+pub mod avx2;
+#[cfg(target_arch = "x86_64")]
+pub mod sse2;
+
+/// One vectorization tier of the arena kernels. `Scalar` exists on
+/// every architecture; `Sse2`/`Avx2` are selectable only where the
+/// host CPU reports the feature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum KernelKind {
+    /// Portable scalar loops (auto-vectorization friendly).
+    Scalar,
+    /// x86-64 SSE2: 128-bit lanes, two cells per step.
+    Sse2,
+    /// x86-64 AVX2: 256-bit lanes, four cells per step.
+    Avx2,
+}
+
+impl KernelKind {
+    /// Short lowercase tier name (`"scalar"` / `"sse2"` / `"avx2"`),
+    /// matching the `MPC_KERNEL` vocabulary.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelKind::Scalar => "scalar",
+            KernelKind::Sse2 => "sse2",
+            KernelKind::Avx2 => "avx2",
+        }
+    }
+
+    /// Whether this tier can run on the current host.
+    pub fn is_available(self) -> bool {
+        match self {
+            KernelKind::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            KernelKind::Sse2 => is_x86_feature_detected!("sse2"),
+            #[cfg(target_arch = "x86_64")]
+            KernelKind::Avx2 => is_x86_feature_detected!("avx2"),
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => false,
+        }
+    }
+
+    /// The best tier the host CPU supports (ignoring any override).
+    pub fn detect_best() -> KernelKind {
+        if KernelKind::Avx2.is_available() {
+            KernelKind::Avx2
+        } else if KernelKind::Sse2.is_available() {
+            KernelKind::Sse2
+        } else {
+            KernelKind::Scalar
+        }
+    }
+
+    /// This tier if the host supports it, otherwise the best tier the
+    /// host does support — requests degrade, they never escalate past
+    /// what was asked for into undefined behavior.
+    pub fn clamped(self) -> KernelKind {
+        if self.is_available() {
+            self
+        } else {
+            KernelKind::detect_best().min(self)
+        }
+    }
+
+    /// The process-wide selected tier: the `MPC_KERNEL` override
+    /// (clamped to host support) if present, else
+    /// [`KernelKind::detect_best`]. Computed once and cached — every
+    /// arena constructed in this process without an explicit
+    /// [`set_kernel`](crate::arena::SketchArena::set_kernel) call
+    /// uses this tier.
+    pub fn selected() -> KernelKind {
+        static SELECTED: std::sync::OnceLock<KernelKind> = std::sync::OnceLock::new();
+        *SELECTED.get_or_init(|| {
+            let requested = match mpc_sim::kernel_from_env() {
+                Some(mpc_sim::KernelOverride::Scalar) => Some(KernelKind::Scalar),
+                Some(mpc_sim::KernelOverride::Sse2) => Some(KernelKind::Sse2),
+                Some(mpc_sim::KernelOverride::Avx2) => Some(KernelKind::Avx2),
+                None => None,
+            };
+            match requested {
+                Some(k) => k.clamped(),
+                None => KernelKind::detect_best(),
+            }
+        })
+    }
+
+    /// Folds a span of interleaved cells into the struct-of-arrays
+    /// scratch slices: `vs[j] += src[j].value_sum`, `is[j] +=
+    /// src[j].index_sum`, `fp[j] += src[j].fp` (field add). All four
+    /// slices must have equal length.
+    #[inline]
+    pub(crate) fn fold_cells_soa(
+        self,
+        src: &[Cell],
+        vs: &mut [i64],
+        is: &mut [i128],
+        fp: &mut [M61],
+    ) {
+        debug_assert!(vs.len() == src.len() && is.len() == src.len() && fp.len() == src.len());
+        match self {
+            KernelKind::Scalar => portable::fold_cells_soa(src, vs, is, fp),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `Sse2`/`Avx2` are only reachable through
+            // `clamped()`/`selected()`, which verify the host reports
+            // the feature via `is_x86_feature_detected!`.
+            KernelKind::Sse2 => unsafe { sse2::fold_cells_soa(src, vs, is, fp) },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as above — tier implies detected avx2.
+            KernelKind::Avx2 => unsafe { avx2::fold_cells_soa(src, vs, is, fp) },
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => portable::fold_cells_soa(src, vs, is, fp),
+        }
+    }
+
+    /// Folds one interleaved cell column into another (`dst[j] +=
+    /// src[j]`, component-wise). Both slices must have equal length.
+    #[inline]
+    pub(crate) fn fold_cells(self, dst: &mut [Cell], src: &[Cell]) {
+        debug_assert!(dst.len() == src.len());
+        match self {
+            KernelKind::Scalar => portable::fold_cells(dst, src),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: tier implies detected sse2 (see fold_cells_soa).
+            KernelKind::Sse2 => unsafe { sse2::fold_cells(dst, src) },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: tier implies detected avx2.
+            KernelKind::Avx2 => unsafe { avx2::fold_cells(dst, src) },
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => portable::fold_cells(dst, src),
+        }
+    }
+
+    /// Folds one struct-of-arrays column into another (the span-order
+    /// partial fold of the stealing merge). All six slices must have
+    /// equal length.
+    #[inline]
+    pub(crate) fn fold_soa(
+        self,
+        dst_vs: &mut [i64],
+        dst_is: &mut [i128],
+        dst_fp: &mut [M61],
+        src_vs: &[i64],
+        src_is: &[i128],
+        src_fp: &[M61],
+    ) {
+        debug_assert!(dst_vs.len() == src_vs.len() && dst_is.len() == src_is.len());
+        debug_assert!(dst_fp.len() == src_fp.len());
+        match self {
+            KernelKind::Scalar => {
+                portable::fold_soa(dst_vs, dst_is, dst_fp, src_vs, src_is, src_fp)
+            }
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: tier implies detected sse2 (see fold_cells_soa).
+            KernelKind::Sse2 => unsafe {
+                sse2::fold_soa(dst_vs, dst_is, dst_fp, src_vs, src_is, src_fp)
+            },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: tier implies detected avx2.
+            KernelKind::Avx2 => unsafe {
+                avx2::fold_soa(dst_vs, dst_is, dst_fp, src_vs, src_is, src_fp)
+            },
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => portable::fold_soa(dst_vs, dst_is, dst_fp, src_vs, src_is, src_fp),
+        }
+    }
+
+    /// The one-cell write kernel behind `update`/`update_pair`:
+    /// applies `X[index] += delta` to a cell given the precomputed
+    /// widened index and fingerprint term. Exactly
+    /// [`Cell::apply`](crate::arena::Cell)'s arithmetic — the ±1 fast
+    /// paths add `±term` in the field, which equals the accumulate
+    /// routine's `acc ± term` bit for bit.
+    #[inline]
+    pub(crate) fn cell_apply(self, cell: &mut Cell, weighted: i128, delta: i64, term: M61) {
+        match self {
+            KernelKind::Scalar => portable::cell_apply(cell, weighted, delta, term),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: tier implies detected sse2 (see fold_cells_soa).
+            KernelKind::Sse2 => unsafe { sse2::cell_apply(cell, weighted, delta, term) },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: tier implies detected avx2.
+            KernelKind::Avx2 => unsafe { avx2::cell_apply(cell, weighted, delta, term) },
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => portable::cell_apply(cell, weighted, delta, term),
+        }
+    }
+
+    /// Index of the highest nonzero cell strictly below `below` in an
+    /// interleaved column, or `None` if all are zero — the wide
+    /// zero-skip scan in front of `decode_parts` on the sample paths.
+    #[inline]
+    pub(crate) fn top_nonzero_cells(self, cells: &[Cell], below: usize) -> Option<usize> {
+        debug_assert!(below <= cells.len());
+        match self {
+            KernelKind::Scalar => portable::top_nonzero_cells(cells, below),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: tier implies detected sse2 (see fold_cells_soa).
+            KernelKind::Sse2 => unsafe { sse2::top_nonzero_cells(cells, below) },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: tier implies detected avx2.
+            KernelKind::Avx2 => unsafe { avx2::top_nonzero_cells(cells, below) },
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => portable::top_nonzero_cells(cells, below),
+        }
+    }
+
+    /// [`KernelKind::top_nonzero_cells`] for a struct-of-arrays
+    /// column (the merge scratch).
+    #[inline]
+    pub(crate) fn top_nonzero_soa(
+        self,
+        vs: &[i64],
+        is: &[i128],
+        fp: &[M61],
+        below: usize,
+    ) -> Option<usize> {
+        debug_assert!(below <= vs.len() && vs.len() == is.len() && vs.len() == fp.len());
+        match self {
+            KernelKind::Scalar => portable::top_nonzero_soa(vs, is, fp, below),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: tier implies detected sse2 (see fold_cells_soa).
+            KernelKind::Sse2 => unsafe { sse2::top_nonzero_soa(vs, is, fp, below) },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: tier implies detected avx2.
+            KernelKind::Avx2 => unsafe { avx2::top_nonzero_soa(vs, is, fp, below) },
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => portable::top_nonzero_soa(vs, is, fp, below),
+        }
+    }
+}
+
+/// The fingerprint increment of one `X[index] += delta` update as a
+/// single field element, so a cell write is a plain component-wise
+/// cell add. Matches `accumulate(acc, term, delta)` exactly: for
+/// `delta = 1` both add `term`; for `delta = -1`, `acc - term` and
+/// `acc + (-term)` are the same conditional-subtract expression in
+/// `GF(2^61 - 1)`; otherwise both add `term · delta`.
+#[inline]
+pub(crate) fn fp_delta(term: M61, delta: i64) -> M61 {
+    match delta {
+        1 => term,
+        -1 => -term,
+        d => term * M61::from_i64(d),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_ordering() {
+        assert_eq!(KernelKind::Scalar.name(), "scalar");
+        assert_eq!(KernelKind::Sse2.name(), "sse2");
+        assert_eq!(KernelKind::Avx2.name(), "avx2");
+        assert!(KernelKind::Scalar < KernelKind::Sse2);
+        assert!(KernelKind::Sse2 < KernelKind::Avx2);
+    }
+
+    #[test]
+    fn scalar_is_always_available_and_clamping_never_escalates() {
+        assert!(KernelKind::Scalar.is_available());
+        assert_eq!(KernelKind::Scalar.clamped(), KernelKind::Scalar);
+        for k in [KernelKind::Scalar, KernelKind::Sse2, KernelKind::Avx2] {
+            let c = k.clamped();
+            assert!(c.is_available(), "{c:?} must run on this host");
+            assert!(c <= k, "clamping never escalates past the request");
+        }
+        let best = KernelKind::detect_best();
+        assert!(best.is_available());
+        assert!(KernelKind::selected().is_available());
+        assert!(KernelKind::selected() <= best);
+    }
+
+    use rand::rngs::StdRng;
+    use rand::{Rng, RngCore, SeedableRng};
+
+    fn tiers() -> Vec<KernelKind> {
+        [KernelKind::Scalar, KernelKind::Sse2, KernelKind::Avx2]
+            .into_iter()
+            .filter(|k| k.is_available())
+            .collect()
+    }
+
+    fn random_cell(rng: &mut StdRng) -> Cell {
+        // Skew toward extremes so carries, cancellations, and the
+        // conditional subtract all fire.
+        let value_sum = match rng.gen_range(0..4) {
+            0 => rng.next_u64() as i64,
+            1 => -1,
+            2 => i64::MAX - rng.gen_range(0i64..3),
+            _ => rng.gen_range(-5i64..6),
+        };
+        let index_sum = match rng.gen_range(0..4) {
+            0 => ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) as i128,
+            1 => -1,
+            2 => u64::MAX as i128 - rng.gen_range(0i64..3) as i128,
+            _ => rng.gen_range(-5i64..6) as i128,
+        };
+        Cell {
+            index_sum,
+            value_sum,
+            fp: M61::from_reduced(rng.gen_range(0..mpc_hashing::field::P)),
+        }
+    }
+
+    fn random_column(rng: &mut StdRng, len: usize) -> (Vec<i64>, Vec<i128>, Vec<M61>) {
+        let cells: Vec<Cell> = (0..len).map(|_| random_cell(rng)).collect();
+        (
+            cells.iter().map(|c| c.value_sum).collect(),
+            cells.iter().map(|c| c.index_sum).collect(),
+            cells.iter().map(|c| c.fp).collect(),
+        )
+    }
+
+    /// Odd/even lengths around the 2- and 4-cell vector widths plus a
+    /// full 64-level column and a seam-sized span.
+    const LENS: &[usize] = &[0, 1, 2, 3, 4, 5, 7, 8, 9, 42, 64, 127];
+
+    #[test]
+    fn fold_cells_soa_tiers_bit_identical() {
+        let mut rng = StdRng::seed_from_u64(0x90_01);
+        for &len in LENS {
+            let src: Vec<Cell> = (0..len).map(|_| random_cell(&mut rng)).collect();
+            let (vs0, is0, fp0) = random_column(&mut rng, len);
+            let mut reference = None;
+            for k in tiers() {
+                let (mut vs, mut is, mut fp) = (vs0.clone(), is0.clone(), fp0.clone());
+                k.fold_cells_soa(&src, &mut vs, &mut is, &mut fp);
+                let got = (vs, is, fp);
+                match &reference {
+                    None => reference = Some(got),
+                    Some(want) => assert_eq!(want, &got, "{k:?} diverged at len {len}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fold_cells_tiers_bit_identical() {
+        let mut rng = StdRng::seed_from_u64(0x90_02);
+        for &len in LENS {
+            let src: Vec<Cell> = (0..len).map(|_| random_cell(&mut rng)).collect();
+            let dst0: Vec<Cell> = (0..len).map(|_| random_cell(&mut rng)).collect();
+            let mut reference = None;
+            for k in tiers() {
+                let mut dst = dst0.clone();
+                k.fold_cells(&mut dst, &src);
+                match &reference {
+                    None => reference = Some(dst),
+                    Some(want) => assert_eq!(want, &dst, "{k:?} diverged at len {len}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fold_soa_tiers_bit_identical() {
+        let mut rng = StdRng::seed_from_u64(0x90_03);
+        for &len in LENS {
+            let (svs, sis, sfp) = random_column(&mut rng, len);
+            let (dvs0, dis0, dfp0) = random_column(&mut rng, len);
+            let mut reference = None;
+            for k in tiers() {
+                let (mut vs, mut is, mut fp) = (dvs0.clone(), dis0.clone(), dfp0.clone());
+                k.fold_soa(&mut vs, &mut is, &mut fp, &svs, &sis, &sfp);
+                let got = (vs, is, fp);
+                match &reference {
+                    None => reference = Some(got),
+                    Some(want) => assert_eq!(want, &got, "{k:?} diverged at len {len}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cell_apply_tiers_bit_identical() {
+        let mut rng = StdRng::seed_from_u64(0x90_04);
+        for _ in 0..200 {
+            let cell0 = random_cell(&mut rng);
+            let weighted = rng.gen_range(0..u64::MAX) as i128;
+            let delta = match rng.gen_range(0..3) {
+                0 => 1,
+                1 => -1,
+                _ => rng.gen_range(-9i64..10),
+            };
+            let term = M61::from_reduced(rng.gen_range(0..mpc_hashing::field::P));
+            let mut reference = None;
+            for k in tiers() {
+                let mut cell = cell0;
+                k.cell_apply(&mut cell, weighted, delta, term);
+                match &reference {
+                    None => reference = Some(cell),
+                    Some(want) => assert_eq!(want, &cell, "{k:?} diverged"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn top_nonzero_tiers_agree() {
+        let mut rng = StdRng::seed_from_u64(0x90_05);
+        for &len in LENS {
+            for _ in 0..8 {
+                // Sparse columns: mostly zero with a few survivors, so
+                // empty, full, and singleton cases all occur.
+                let cells: Vec<Cell> = (0..len)
+                    .map(|_| {
+                        if rng.gen_bool(0.25) {
+                            random_cell(&mut rng)
+                        } else {
+                            Cell::ZERO
+                        }
+                    })
+                    .collect();
+                let vs: Vec<i64> = cells.iter().map(|c| c.value_sum).collect();
+                let is: Vec<i128> = cells.iter().map(|c| c.index_sum).collect();
+                let fp: Vec<M61> = cells.iter().map(|c| c.fp).collect();
+                for below in [0, len / 2, len] {
+                    let want = KernelKind::Scalar.top_nonzero_cells(&cells, below);
+                    for k in tiers() {
+                        assert_eq!(
+                            k.top_nonzero_cells(&cells, below),
+                            want,
+                            "{k:?} cells scan diverged (len {len}, below {below})"
+                        );
+                        assert_eq!(
+                            k.top_nonzero_soa(&vs, &is, &fp, below),
+                            want,
+                            "{k:?} soa scan diverged (len {len}, below {below})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fp_delta_matches_accumulate() {
+        use mpc_hashing::fingerprint::accumulate;
+        let terms = [M61::ZERO, M61::new(1), M61::new(12345), -M61::new(7)];
+        for &term in &terms {
+            for delta in [-3i64, -1, 0, 1, 2, 9] {
+                for &acc in &terms {
+                    assert_eq!(
+                        acc + fp_delta(term, delta),
+                        accumulate(acc, term, delta),
+                        "term {term} delta {delta} acc {acc}"
+                    );
+                }
+            }
+        }
+    }
+}

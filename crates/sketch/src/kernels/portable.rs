@@ -1,0 +1,131 @@
+//! Portable scalar kernels — the behavioral reference for every
+//! vectorized tier, and the tail handler the SIMD paths fall back to
+//! for the last partial chunk of a span.
+//!
+//! The loops are written over `chunks_exact` zips with simple
+//! per-field bodies so LLVM can auto-vectorize them on targets where
+//! the hand-written tiers are unavailable. All integer sums use
+//! wrapping arithmetic explicitly: the arena's accounting is defined
+//! over two's-complement wrap (a cancellation can transit through
+//! "negative" partial sums), and the SIMD lanes wrap by construction,
+//! so the scalar reference must too.
+
+use crate::arena::Cell;
+use mpc_hashing::field::M61;
+#[cfg(test)]
+use mpc_hashing::field::P;
+
+/// `GF(2^61 - 1)` add over raw reduced representatives: one add
+/// (cannot overflow: both inputs `< 2^61`) and one conditional
+/// subtract. This is bit-for-bit `M61::add`, restated over `u64` as
+/// the exact recipe the SIMD tiers mirror lane-wise.
+#[cfg(test)]
+pub(crate) fn m61_add_raw(a: u64, b: u64) -> u64 {
+    let s = a + b;
+    if s >= P {
+        s - P
+    } else {
+        s
+    }
+}
+
+/// Folds a span of interleaved cells into struct-of-arrays scratch
+/// columns. Slices must have equal length (checked by the zip).
+pub(crate) fn fold_cells_soa(src: &[Cell], vs: &mut [i64], is: &mut [i128], fp: &mut [M61]) {
+    for (((c, v), i), f) in src.iter().zip(vs).zip(is).zip(fp) {
+        *v = v.wrapping_add(c.value_sum);
+        *i = i.wrapping_add(c.index_sum);
+        *f += c.fp;
+    }
+}
+
+/// Folds one interleaved cell column into another, component-wise.
+pub(crate) fn fold_cells(dst: &mut [Cell], src: &[Cell]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        d.absorb(s);
+    }
+}
+
+/// Folds one struct-of-arrays column into another (stealing-merge
+/// partial fold).
+pub(crate) fn fold_soa(
+    dst_vs: &mut [i64],
+    dst_is: &mut [i128],
+    dst_fp: &mut [M61],
+    src_vs: &[i64],
+    src_is: &[i128],
+    src_fp: &[M61],
+) {
+    for (d, s) in dst_vs.iter_mut().zip(src_vs) {
+        *d = d.wrapping_add(*s);
+    }
+    for (d, s) in dst_is.iter_mut().zip(src_is) {
+        *d = d.wrapping_add(*s);
+    }
+    for (d, s) in dst_fp.iter_mut().zip(src_fp) {
+        *d += *s;
+    }
+}
+
+/// Applies `X[index] += delta` to one cell given the widened index
+/// `weighted` and the fingerprint term: value/index wrapping adds
+/// plus the fingerprint term fold (see [`fp_delta`](super::fp_delta)
+/// for the equivalence argument).
+#[inline]
+pub(crate) fn cell_apply(cell: &mut Cell, weighted: i128, delta: i64, term: M61) {
+    cell.value_sum = cell.value_sum.wrapping_add(delta);
+    cell.index_sum = cell
+        .index_sum
+        .wrapping_add(weighted.wrapping_mul(delta as i128));
+    cell.fp += super::fp_delta(term, delta);
+}
+
+/// Highest nonzero cell strictly below `below`, scanning downward.
+pub(crate) fn top_nonzero_cells(cells: &[Cell], below: usize) -> Option<usize> {
+    cells[..below].iter().rposition(|c| !c.is_zero())
+}
+
+/// Highest index strictly below `below` where any of the three
+/// struct-of-arrays columns is nonzero.
+pub(crate) fn top_nonzero_soa(vs: &[i64], is: &[i128], fp: &[M61], below: usize) -> Option<usize> {
+    (0..below)
+        .rev()
+        .find(|&j| vs[j] != 0 || is[j] != 0 || !fp[j].is_zero())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn m61_add_raw_matches_field_add() {
+        let cases = [0u64, 1, 7, P - 1, P / 2, 0x1234_5678_9abc];
+        for &a in &cases {
+            for &b in &cases {
+                assert_eq!(
+                    m61_add_raw(a, b),
+                    (M61::from_reduced(a) + M61::from_reduced(b)).value(),
+                    "{a} + {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn top_nonzero_scans() {
+        let mut cells = vec![Cell::ZERO; 8];
+        assert_eq!(top_nonzero_cells(&cells, 8), None);
+        cells[3].value_sum = 1;
+        cells[6].fp = M61::new(9);
+        assert_eq!(top_nonzero_cells(&cells, 8), Some(6));
+        assert_eq!(top_nonzero_cells(&cells, 6), Some(3));
+        assert_eq!(top_nonzero_cells(&cells, 3), None);
+
+        let vs = [0i64, 0, 0, 0];
+        let is = [0i128, 5, 0, 0];
+        let fp = [M61::ZERO, M61::ZERO, M61::ZERO, M61::new(2)];
+        assert_eq!(top_nonzero_soa(&vs, &is, &fp, 4), Some(3));
+        assert_eq!(top_nonzero_soa(&vs, &is, &fp, 3), Some(1));
+        assert_eq!(top_nonzero_soa(&vs, &is, &fp, 1), None);
+    }
+}

@@ -1,0 +1,256 @@
+//! x86-64 SSE2 kernels: 128-bit lanes, two cells (or two scratch
+//! columns) per step.
+//!
+//! SSE2 has no 64-bit compare or test instruction, so the two
+//! non-trivial lane operations are synthesized from boolean algebra
+//! on sign bits:
+//!
+//! * **Carry of a 64-bit lane add** (for 128-bit `index_sum`):
+//!   `carry = ((d & a) | ((d | a) & !s)) >> 63` where `s = d + a` —
+//!   the textbook full-adder carry-out expression evaluated on the
+//!   sign bits, then shifted into the next lane with `slli_si128`.
+//! * **`GF(2^61 - 1)` conditional subtract**: `t = s - P` and
+//!   `s < P ⟺ t` is negative (for `s < 2P < 2^62`), so the select
+//!   mask is `t`'s sign bit, extracted by broadcasting each lane's
+//!   high 32 bits (`shuffle_epi32` with `0xF5`) and arithmetic
+//!   right-shifting them (`srai_epi32` by 31). Subtracting a `P`
+//!   vector of `[0, P]` makes the same select a no-op on a lane that
+//!   must stay unreduced (the `t = s` branch and the `s` branch
+//!   coincide), which is how mixed `[value_sum, fp]` vectors reduce
+//!   only their fingerprint lane.
+//!
+//! Every load/store is unaligned (`loadu`/`storeu`): the cell pool is
+//! only 16-byte aligned and spans start at arbitrary cells. Bodies
+//! iterate `chunks_exact` zips so all pointer arithmetic stays inside
+//! bounds proven by the chunk lengths; tails fall back to
+//! [`portable`].
+
+#![allow(unsafe_code)]
+
+use super::portable;
+use crate::arena::Cell;
+use mpc_hashing::field::{M61, P};
+
+#[cfg(target_arch = "x86_64")]
+use core::arch::x86_64::*;
+
+/// Lane-wise `a + b` in `GF(2^61 - 1)` for reduced lanes, with the
+/// conditional subtract controlled by `p_vec` per lane: a lane of `P`
+/// reduces, a lane of `0` passes the wrapping sum through untouched.
+///
+/// # Safety
+/// SAFETY: requires SSE2 (guaranteed on x86-64; callers are
+/// `#[target_feature(enable = "sse2")]` functions).
+#[target_feature(enable = "sse2")]
+#[inline]
+unsafe fn m61_add_lanes(a: __m128i, b: __m128i, p_vec: __m128i) -> __m128i {
+    let s = _mm_add_epi64(a, b);
+    let t = _mm_sub_epi64(s, p_vec);
+    // Broadcast each 64-bit lane's sign bit into a full-lane mask:
+    // copy the high 32 bits over the low (0xF5 = lanes [1,1,3,3]),
+    // then arithmetic-shift those 32-bit words by 31.
+    let sign = _mm_srai_epi32(_mm_shuffle_epi32(t, 0xF5), 31);
+    // t negative (s < P): keep s.  t non-negative (s >= P): keep t.
+    _mm_or_si128(_mm_and_si128(sign, s), _mm_andnot_si128(sign, t))
+}
+
+/// Lane-wise carry-out of `s = d + a` as a 0/1 value in each lane:
+/// the full-adder carry expression on sign bits.
+///
+/// # Safety
+/// SAFETY: requires SSE2 (see [`m61_add_lanes`]).
+#[target_feature(enable = "sse2")]
+#[inline]
+unsafe fn carry_lanes(d: __m128i, a: __m128i, s: __m128i) -> __m128i {
+    let both = _mm_and_si128(d, a);
+    let either = _mm_or_si128(d, a);
+    let c = _mm_or_si128(both, _mm_andnot_si128(s, either));
+    _mm_srli_epi64(c, 63)
+}
+
+/// Adds the two halves of one cell (`[index_lo, index_hi]` and
+/// `[value_sum, fp]`) of `src` into `dst` in place.
+///
+/// # Safety
+/// SAFETY: requires SSE2; `dst`/`src` must be valid cell pointers. `Cell` is
+/// `repr(C)` with the documented four-lane layout, all lanes plain
+/// integers, and the fingerprint lane stays reduced because the
+/// conditional subtract mirrors `M61::add` exactly.
+#[target_feature(enable = "sse2")]
+#[inline]
+unsafe fn fold_one_cell(dst: *mut Cell, src: *const Cell) {
+    let d_lo = _mm_loadu_si128(dst as *const __m128i);
+    let a_lo = _mm_loadu_si128(src as *const __m128i);
+    let s_lo = _mm_add_epi64(d_lo, a_lo);
+    // 128-bit add: the low lane's carry moves up one lane; the high
+    // lane's carry is shifted out (i128 wrapping add).
+    let carry = _mm_slli_si128(carry_lanes(d_lo, a_lo, s_lo), 8);
+    let is = _mm_add_epi64(s_lo, carry);
+    _mm_storeu_si128(dst as *mut __m128i, is);
+
+    let d_hi = _mm_loadu_si128((dst as *const __m128i).add(1));
+    let a_hi = _mm_loadu_si128((src as *const __m128i).add(1));
+    // Lane 0 (value_sum) wraps: P-lane 0 makes the select a no-op.
+    // Lane 1 (fp) reduces modulo P.
+    let p_vec = _mm_set_epi64x(P as i64, 0);
+    let vf = m61_add_lanes(d_hi, a_hi, p_vec);
+    _mm_storeu_si128((dst as *mut __m128i).add(1), vf);
+}
+
+/// SSE2 [`fold_cells_soa`](super::KernelKind::fold_cells_soa): two
+/// cells per step, transposing `[value_sum, fp]` halves into the
+/// struct-of-arrays columns with `unpacklo/hi_epi64`; `index_sum`
+/// stays scalar (`add`/`adc` beats two-instruction carry emulation).
+///
+/// # Safety
+/// SAFETY: requires SSE2 (callers dispatch only after feature detection).
+/// Slice lengths must be equal; all pointer arithmetic is within
+/// `chunks_exact(2)` chunks.
+#[target_feature(enable = "sse2")]
+pub(crate) unsafe fn fold_cells_soa(src: &[Cell], vs: &mut [i64], is: &mut [i128], fp: &mut [M61]) {
+    let mut cells = src.chunks_exact(2);
+    let mut vs_it = vs.chunks_exact_mut(2);
+    let mut is_it = is.chunks_exact_mut(2);
+    let mut fp_it = fp.chunks_exact_mut(2);
+    let p_pair = _mm_set1_epi64x(P as i64);
+    for (((c, v), i), f) in (&mut cells).zip(&mut vs_it).zip(&mut is_it).zip(&mut fp_it) {
+        let b0 = _mm_loadu_si128((c.as_ptr() as *const __m128i).add(1));
+        let b1 = _mm_loadu_si128((c.as_ptr() as *const __m128i).add(3));
+        let v_col = _mm_unpacklo_epi64(b0, b1);
+        let f_col = _mm_unpackhi_epi64(b0, b1);
+        let v_dst = _mm_loadu_si128(v.as_ptr() as *const __m128i);
+        _mm_storeu_si128(v.as_mut_ptr() as *mut __m128i, _mm_add_epi64(v_dst, v_col));
+        let f_dst = _mm_loadu_si128(f.as_ptr() as *const __m128i);
+        let f_sum = m61_add_lanes(f_dst, f_col, p_pair);
+        _mm_storeu_si128(f.as_mut_ptr() as *mut __m128i, f_sum);
+        i[0] = i[0].wrapping_add(c[0].index_sum);
+        i[1] = i[1].wrapping_add(c[1].index_sum);
+    }
+    portable::fold_cells_soa(
+        cells.remainder(),
+        vs_it.into_remainder(),
+        is_it.into_remainder(),
+        fp_it.into_remainder(),
+    );
+}
+
+/// SSE2 [`fold_cells`](super::KernelKind::fold_cells): per-cell
+/// vector fold of one interleaved column into another.
+///
+/// # Safety
+/// SAFETY: requires SSE2; slice lengths must be equal (pointers stay inside
+/// the zipped elements).
+#[target_feature(enable = "sse2")]
+pub(crate) unsafe fn fold_cells(dst: &mut [Cell], src: &[Cell]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        fold_one_cell(d, s);
+    }
+}
+
+/// SSE2 [`fold_soa`](super::KernelKind::fold_soa): two lanes per step
+/// on the value and fingerprint columns, scalar `index_sum`.
+///
+/// # Safety
+/// SAFETY: requires SSE2; paired slices must have equal lengths.
+#[target_feature(enable = "sse2")]
+pub(crate) unsafe fn fold_soa(
+    dst_vs: &mut [i64],
+    dst_is: &mut [i128],
+    dst_fp: &mut [M61],
+    src_vs: &[i64],
+    src_is: &[i128],
+    src_fp: &[M61],
+) {
+    let mut d_it = dst_vs.chunks_exact_mut(2);
+    let mut s_it = src_vs.chunks_exact(2);
+    for (d, s) in (&mut d_it).zip(&mut s_it) {
+        let sum = _mm_add_epi64(
+            _mm_loadu_si128(d.as_ptr() as *const __m128i),
+            _mm_loadu_si128(s.as_ptr() as *const __m128i),
+        );
+        _mm_storeu_si128(d.as_mut_ptr() as *mut __m128i, sum);
+    }
+    for (d, s) in d_it.into_remainder().iter_mut().zip(s_it.remainder()) {
+        *d = d.wrapping_add(*s);
+    }
+    for (d, s) in dst_is.iter_mut().zip(src_is) {
+        *d = d.wrapping_add(*s);
+    }
+    let p_pair = _mm_set1_epi64x(P as i64);
+    let mut df_it = dst_fp.chunks_exact_mut(2);
+    let mut sf_it = src_fp.chunks_exact(2);
+    for (d, s) in (&mut df_it).zip(&mut sf_it) {
+        let sum = m61_add_lanes(
+            _mm_loadu_si128(d.as_ptr() as *const __m128i),
+            _mm_loadu_si128(s.as_ptr() as *const __m128i),
+            p_pair,
+        );
+        _mm_storeu_si128(d.as_mut_ptr() as *mut __m128i, sum);
+    }
+    for (d, s) in df_it.into_remainder().iter_mut().zip(sf_it.remainder()) {
+        *d += *s;
+    }
+}
+
+/// SSE2 [`cell_apply`](super::KernelKind::cell_apply): materializes
+/// the update as a delta cell `[weighted, delta, fp_delta]` and folds
+/// it in with the per-cell vector fold.
+///
+/// # Safety
+/// SAFETY: requires SSE2; `cell` is a valid exclusive reference.
+#[target_feature(enable = "sse2")]
+pub(crate) unsafe fn cell_apply(cell: &mut Cell, weighted: i128, delta: i64, term: M61) {
+    let delta_cell = Cell {
+        index_sum: weighted.wrapping_mul(delta as i128),
+        value_sum: delta,
+        fp: super::fp_delta(term, delta),
+    };
+    fold_one_cell(cell, &delta_cell);
+}
+
+/// Whether the 32-byte cell at `c` is all-zero, via one vector OR and
+/// a byte-equality movemask (SSE2 has no 64-bit test instruction).
+///
+/// # Safety
+/// SAFETY: requires SSE2; `c` must be a valid cell pointer.
+#[target_feature(enable = "sse2")]
+#[inline]
+unsafe fn cell_is_zero(c: *const Cell) -> bool {
+    let lo = _mm_loadu_si128(c as *const __m128i);
+    let hi = _mm_loadu_si128((c as *const __m128i).add(1));
+    let or = _mm_or_si128(lo, hi);
+    let eq = _mm_cmpeq_epi32(or, _mm_setzero_si128());
+    _mm_movemask_epi8(eq) == 0xFFFF
+}
+
+/// SSE2 [`top_nonzero_cells`](super::KernelKind::top_nonzero_cells):
+/// downward scan with one vector zero-test per cell.
+///
+/// # Safety
+/// SAFETY: requires SSE2; `below <= cells.len()` (checked by the slice
+/// index).
+#[target_feature(enable = "sse2")]
+pub(crate) unsafe fn top_nonzero_cells(cells: &[Cell], below: usize) -> Option<usize> {
+    let live = &cells[..below];
+    (0..live.len()).rev().find(|&j| !cell_is_zero(&live[j]))
+}
+
+/// SSE2 [`top_nonzero_soa`](super::KernelKind::top_nonzero_soa):
+/// downward scan ORing all three columns per index.
+///
+/// # Safety
+/// SAFETY: requires SSE2; `below` must not exceed the common slice length.
+#[target_feature(enable = "sse2")]
+pub(crate) unsafe fn top_nonzero_soa(
+    vs: &[i64],
+    is: &[i128],
+    fp: &[M61],
+    below: usize,
+) -> Option<usize> {
+    (0..below).rev().find(|&j| {
+        let i_vec = _mm_loadu_si128(&is[j] as *const i128 as *const __m128i);
+        let vf = _mm_set_epi64x(fp[j].value() as i64, vs[j]);
+        let eq = _mm_cmpeq_epi32(_mm_or_si128(i_vec, vf), _mm_setzero_si128());
+        _mm_movemask_epi8(eq) != 0xFFFF
+    })
+}

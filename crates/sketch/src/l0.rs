@@ -197,7 +197,9 @@ impl L0Sampler {
     }
 
     /// Merges a sampler of the same family (vector addition): one
-    /// straight pass over the dense columns.
+    /// vectorized pass over the dense columns
+    /// ([`KernelKind::selected`](crate::kernels::KernelKind::selected)
+    /// tier — bit-identical at every tier).
     ///
     /// # Panics
     ///
@@ -207,9 +209,7 @@ impl L0Sampler {
             self.family.same_family(&other.family),
             "cannot merge l0-samplers from different families"
         );
-        for (c, o) in self.cells.iter_mut().zip(&other.cells) {
-            c.absorb(o);
-        }
+        crate::kernels::KernelKind::selected().fold_cells(&mut self.cells, &other.cells);
     }
 
     /// Whether every cell is zero (w.h.p. the zero vector).
@@ -221,7 +221,11 @@ impl L0Sampler {
     /// (highest) down — they are the ones designed to isolate a single
     /// survivor — and the first one-sparse recovery wins.
     pub fn sample(&self) -> SampleOutcome {
-        sample_cell_slice(&self.cells, &self.family)
+        sample_cell_slice(
+            &self.cells,
+            &self.family,
+            crate::kernels::KernelKind::selected(),
+        )
     }
 }
 

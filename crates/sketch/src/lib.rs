@@ -46,6 +46,30 @@
 //! *canonical*: two permutations of one update stream produce
 //! bit-identical storage, which keeps sketch equality structural.
 //!
+//! # Vectorized kernels
+//!
+//! The flat loops every sketch operation bottoms out in — span
+//! folds of cell columns, the cell-write path, zero-skip scans in
+//! front of the one-sparse decoder — are implemented by the
+//! [`kernels`] module at three tiers (portable scalar, x86-64 SSE2,
+//! x86-64 AVX2). Each [`SketchArena`] picks the best tier the host
+//! CPU supports at construction ([`kernels::KernelKind::selected`]);
+//! `MPC_KERNEL=scalar|sse2|avx2` overrides the choice (clamped to
+//! host support, never escalating past the request). The tiers are
+//! **bit-identical** — exact integer adds and `GF(2^61 - 1)`
+//! conditional-subtract adds, no reassociation of anything
+//! non-associative — so same seeds and stream give the same samples,
+//! the same snapshot bytes, and the same `words()` accounting at
+//! every tier; the kernel choice is pure host-side speed, invisible
+//! to the accounted MPC model.
+//!
+//! Unsafe code in this crate is confined to the `kernels` SIMD
+//! modules (raw lane loads/stores behind `#[target_feature]`), which
+//! is why the crate is `#![deny(unsafe_code)]` with narrow
+//! module-level allows rather than `#![forbid]`; mpc-lint's
+//! `unsafe-hygiene` rule allowlists exactly those files and checks
+//! every `unsafe` keeps a `// SAFETY:` justification.
+//!
 //! # Examples
 //!
 //! ```
@@ -61,16 +85,22 @@
 //! }
 //! ```
 
-#![forbid(unsafe_code)]
+// Not `forbid` (which cannot be overridden): the `kernels` SIMD
+// modules carry `#![allow(unsafe_code)]` for their lane loads/stores.
+// Everything else in the crate stays unsafe-free, enforced here and
+// audited by mpc-lint's unsafe-hygiene rule.
+#![deny(unsafe_code)]
 
 pub mod arena;
 pub mod bank;
+pub mod kernels;
 pub mod l0;
 pub mod one_sparse;
 pub mod vertex;
 
 pub use arena::{MergeScratch, SketchArena, SketchFamily};
 pub use bank::SketchBank;
+pub use kernels::KernelKind;
 pub use l0::{L0Sampler, SampleOutcome};
 pub use one_sparse::OneSparseCell;
 pub use vertex::VertexSketch;

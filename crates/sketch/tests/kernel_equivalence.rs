@@ -1,0 +1,295 @@
+//! Cross-tier bit-identity property tests for the vectorized arena
+//! kernels: the scalar, SSE2, and AVX2 tiers must produce the same
+//! cells, the same live masks, the same samples, and the same
+//! snapshot bytes on the same seeds and streams — on randomized
+//! arenas across odd/even cell counts, empty/full live masks, and
+//! the `merge_into_stealing` span-split seams.
+//!
+//! The suite runs under `MPC_KERNEL=scalar` and under auto-detection
+//! in CI: the per-arena `set_kernel` override makes every available
+//! tier comparable inside one process regardless of the env choice,
+//! and the `selected_tier_respects_env` test pins the env plumbing
+//! itself.
+
+use mpc_sketch::l0::SampleOutcome;
+use mpc_sketch::{KernelKind, MergeScratch, SketchArena};
+use mpc_snapshot::{Persist, SnapshotWriter};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Every tier the host can actually run.
+fn tiers() -> Vec<KernelKind> {
+    [KernelKind::Scalar, KernelKind::Sse2, KernelKind::Avx2]
+        .into_iter()
+        .filter(|k| k.is_available())
+        .collect()
+}
+
+/// Serializes an arena to snapshot bytes.
+fn snapshot_bytes(arena: &SketchArena) -> Vec<u8> {
+    let mut w = SnapshotWriter::new(0);
+    w.begin_section("arena");
+    arena.save(&mut w);
+    w.end_section();
+    w.finish()
+}
+
+/// Builds one arena per available tier and drives all of them through
+/// the same update stream; returns the arenas.
+fn arenas_on_all_tiers(
+    n: usize,
+    copies: usize,
+    max_index: u64,
+    seed: u64,
+    drive: impl Fn(&mut SketchArena, &mut StdRng),
+) -> Vec<(KernelKind, SketchArena)> {
+    tiers()
+        .into_iter()
+        .map(|k| {
+            let mut arena = SketchArena::new(n, copies, max_index, seed);
+            assert_eq!(arena.set_kernel(k), k, "tier {k:?} reported available");
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xD1CE);
+            drive(&mut arena, &mut rng);
+            (k, arena)
+        })
+        .collect()
+}
+
+/// Random adversarial stream: single updates, pair updates, and
+/// exact cancellations (re-applying an earlier update negated), so
+/// live-mask bits both set and clear.
+fn random_stream(
+    arena: &mut SketchArena,
+    rng: &mut StdRng,
+    n: u32,
+    max_index: u64,
+    updates: usize,
+) {
+    let mut history: Vec<(u32, u64, i64)> = Vec::new();
+    for _ in 0..updates {
+        match rng.gen_range(0..4) {
+            // Cancel an earlier single update exactly.
+            0 if !history.is_empty() => {
+                let (v, index, delta) = history.swap_remove(rng.gen_range(0..history.len()));
+                arena.update(v, index, -delta);
+            }
+            // Pair update (the edge path).
+            1 => {
+                let a = rng.gen_range(0..n);
+                let b = (a + 1 + rng.gen_range(0..n - 1)) % n;
+                let index = rng.gen_range(0..max_index);
+                arena.materialize(a);
+                arena.materialize(b);
+                arena.update_pair(a, b, index, 1, -1);
+            }
+            // Single update with a small weight.
+            _ => {
+                let v = rng.gen_range(0..n);
+                let index = rng.gen_range(0..max_index);
+                let delta = [1, -1, 2, -3][rng.gen_range(0..4usize)];
+                arena.materialize(v);
+                arena.update(v, index, delta);
+                history.push((v, index, delta));
+            }
+        }
+    }
+}
+
+/// Asserts two arenas agree cell-for-cell and byte-for-byte.
+fn assert_arenas_identical(want: &SketchArena, got: &SketchArena, label: &str) {
+    assert_eq!(
+        snapshot_bytes(want),
+        snapshot_bytes(got),
+        "{label}: snapshot bytes diverged"
+    );
+}
+
+#[test]
+fn update_streams_bit_identical_across_tiers() {
+    // Odd and even copy/level shapes: max_index 1<<k gives k+3
+    // levels, so 61 and 62 exercise both parities near the 64-level
+    // mask boundary alongside small columns.
+    for (n, copies, max_index) in [
+        (33u32, 3usize, 1u64 << 9),
+        (64, 4, 1 << 10),
+        (17, 1, 1 << 4),
+        (8, 2, 1 << 61),
+    ] {
+        let built = arenas_on_all_tiers(n as usize, copies, max_index, 0xA11CE, |arena, rng| {
+            random_stream(arena, rng, n, max_index, 600);
+        });
+        let (k0, reference) = &built[0];
+        for (k, arena) in &built[1..] {
+            assert_arenas_identical(
+                reference,
+                arena,
+                &format!("stream {k0:?} vs {k:?} (n={n}, copies={copies})"),
+            );
+        }
+    }
+}
+
+/// One tier's merge observation: absorbed count, scratch cells, and
+/// the decoded sample.
+type MergeObservation = (
+    usize,
+    Vec<(i64, i128, mpc_hashing::field::M61)>,
+    SampleOutcome,
+);
+
+/// Merges a member set on every tier (serial and stealing) and
+/// asserts scratch cells and samples agree across all of them.
+fn assert_merges_agree(
+    built: &[(KernelKind, SketchArena)],
+    members: &[u32],
+    pool: Option<&mpc_sim::WorkerPool>,
+    label: &str,
+) {
+    let copies = built[0].1.copies();
+    for copy in 0..copies {
+        let mut reference: Option<MergeObservation> = None;
+        for (k, arena) in built {
+            for stealing in [false, true] {
+                let mut scratch: MergeScratch = arena.new_scratch();
+                scratch.reset(copy);
+                let absorbed = if stealing {
+                    arena.merge_into_stealing(members, &mut scratch, pool)
+                } else {
+                    arena.merge_into(members, &mut scratch)
+                };
+                let cells: Vec<_> = (0..scratch.levels()).map(|l| scratch.cell(l)).collect();
+                let sample = arena.sample_scratch(&scratch);
+                match &reference {
+                    None => reference = Some((absorbed, cells, sample)),
+                    Some((want_a, want_c, want_s)) => {
+                        assert_eq!(*want_a, absorbed, "{label}: absorbed ({k:?}, {stealing})");
+                        assert_eq!(want_c, &cells, "{label}: cells ({k:?} stealing={stealing})");
+                        assert_eq!(
+                            want_s, &sample,
+                            "{label}: sample ({k:?} stealing={stealing})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn merges_bit_identical_across_tiers_and_span_seams() {
+    // 300 members with SPAN=128 puts seams at 128 and 256 — member
+    // counts straddle the 2*SPAN stealing threshold and leave an
+    // unaligned 44-member tail span.
+    let n = 300u32;
+    let max_index = 1u64 << 12;
+    let built = arenas_on_all_tiers(n as usize, 2, max_index, 0xB0B, |arena, rng| {
+        random_stream(arena, rng, n, max_index, 2_000);
+    });
+    let pool = mpc_sim::WorkerPool::new(3);
+    let mut rng = StdRng::seed_from_u64(7);
+    for (count, label) in [
+        (1usize, "singleton"),
+        (64, "sub-span"),
+        (129, "one seam"),
+        (300, "full set with tail span"),
+    ] {
+        let mut members: Vec<u32> = (0..n).collect();
+        for i in 0..count {
+            let j = rng.gen_range(i..n as usize);
+            members.swap(i, j);
+        }
+        members.truncate(count);
+        assert_merges_agree(&built, &members, Some(&pool), label);
+    }
+}
+
+#[test]
+fn empty_and_full_mask_extremes_agree() {
+    let max_index = 1u64 << 6; // 9 levels: every level reachable.
+    let built = arenas_on_all_tiers(16, 2, max_index, 0xF00D, |arena, _| {
+        // Vertex 0: untouched (no block). Vertex 1: materialized but
+        // empty (all-zero mask). Vertex 2: every index once — every
+        // level of every copy live (full mask). Vertex 3: filled then
+        // exactly cancelled (mask set, then cleared back to empty).
+        arena.materialize(1);
+        for index in 0..max_index {
+            arena.materialize(2);
+            arena.update(2, index, 1);
+            arena.materialize(3);
+            arena.update(3, index, 1);
+        }
+        for index in 0..max_index {
+            arena.update(3, index, -1);
+        }
+    });
+    let (_, reference) = &built[0];
+    for (k, arena) in &built {
+        assert_arenas_identical(reference, arena, &format!("extremes vs {k:?}"));
+        for copy in 0..arena.copies() {
+            assert_eq!(arena.sample_column(0, copy), SampleOutcome::Zero, "{k:?}");
+            assert_eq!(arena.sample_column(1, copy), SampleOutcome::Zero, "{k:?}");
+            assert_eq!(arena.sample_column(3, copy), SampleOutcome::Zero, "{k:?}");
+            assert!(
+                !matches!(arena.sample_column(2, copy), SampleOutcome::Zero),
+                "{k:?}: full column must not sample Zero"
+            );
+        }
+    }
+    assert_merges_agree(&built, &[0, 1, 2, 3], None, "extremes merge");
+    // The cancelled-and-empty member set must still sample Zero
+    // through the union-mask path.
+    for (k, arena) in &built {
+        let mut scratch = arena.new_scratch();
+        scratch.reset(0);
+        arena.merge_into(&[0, 1, 3], &mut scratch);
+        assert_eq!(
+            arena.sample_scratch(&scratch),
+            SampleOutcome::Zero,
+            "{k:?}: cancelled members must merge to the zero sketch"
+        );
+    }
+}
+
+#[test]
+fn snapshot_roundtrip_preserves_cells_on_every_tier() {
+    let n = 40u32;
+    let max_index = 1u64 << 8;
+    let built = arenas_on_all_tiers(n as usize, 2, max_index, 0x5EED, |arena, rng| {
+        random_stream(arena, rng, n, max_index, 400);
+    });
+    for (k, arena) in &built {
+        let bytes = snapshot_bytes(arena);
+        let snap = mpc_snapshot::Snapshot::from_bytes(&bytes).expect("readable");
+        let mut r = snap.section("arena").expect("arena section");
+        let restored = SketchArena::load(&mut r).expect("loadable");
+        // The restored arena re-selects its own tier; its *cells*
+        // must still serialize identically.
+        assert_eq!(
+            bytes,
+            snapshot_bytes(&restored),
+            "{k:?}: restore must be byte-stable"
+        );
+    }
+}
+
+#[test]
+fn selected_tier_respects_env() {
+    // `selected()` is cached process-wide, so this asserts
+    // consistency with whatever MPC_KERNEL the harness set — under
+    // `MPC_KERNEL=scalar` the whole suite above runs its reference
+    // tier through the same dispatch the production arenas use.
+    let selected = KernelKind::selected();
+    assert!(selected.is_available());
+    match mpc_sim::kernel_from_env() {
+        Some(mpc_sim::KernelOverride::Scalar) => assert_eq!(selected, KernelKind::Scalar),
+        Some(mpc_sim::KernelOverride::Sse2) => {
+            assert_eq!(selected, KernelKind::Sse2.clamped());
+        }
+        Some(mpc_sim::KernelOverride::Avx2) => {
+            assert_eq!(selected, KernelKind::Avx2.clamped());
+        }
+        None => assert_eq!(selected, KernelKind::detect_best()),
+    }
+    let arena = SketchArena::new(4, 1, 16, 1);
+    assert_eq!(arena.kernel(), selected);
+}

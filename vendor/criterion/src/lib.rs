@@ -6,8 +6,9 @@
 //! shape: [`criterion_group!`]/[`criterion_main!`], [`Criterion`],
 //! benchmark groups, [`Bencher::iter`]/[`Bencher::iter_batched`],
 //! [`BenchmarkId`], and [`BatchSize`]. Timing is a single short
-//! calibrated run per benchmark (median-of-samples wall clock printed
-//! to stdout) — no warm-up schedule, statistics, or HTML reports.
+//! calibrated run per benchmark (p50/p95/p99 of the per-iteration
+//! wall-clock samples, printed to stdout) — no warm-up schedule,
+//! distribution fitting, or HTML reports.
 //!
 //! # Examples
 //!
@@ -31,7 +32,7 @@ pub use std::hint::black_box;
 
 /// Wall-clock budget spent measuring each benchmark.
 const MEASURE_BUDGET: Duration = Duration::from_millis(200);
-/// Samples per benchmark (the median is reported).
+/// Samples per benchmark (p50/p95/p99 are reported).
 const SAMPLES: usize = 11;
 
 /// Entry point mirroring `criterion::Criterion`.
@@ -194,6 +195,18 @@ impl Bencher {
     }
 }
 
+/// Nearest-rank percentile of **sorted** `samples`: the smallest
+/// element with at least `q`% of the data at or below it. `q` is
+/// clamped to `(0, 100]`; empty input returns `None`.
+pub fn percentile(sorted: &[Duration], q: f64) -> Option<Duration> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let q = q.clamp(f64::MIN_POSITIVE, 100.0);
+    let rank = (q / 100.0 * sorted.len() as f64).ceil() as usize;
+    Some(sorted[rank.max(1) - 1])
+}
+
 fn run_one(label: &str, n_samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
     let mut b = Bencher {
         n_samples,
@@ -205,8 +218,10 @@ fn run_one(label: &str, n_samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
         return;
     }
     b.samples.sort_unstable();
-    let median = b.samples[b.samples.len() / 2];
-    println!("  {label:<40} median {median:>12.3?}/iter");
+    let p50 = percentile(&b.samples, 50.0).expect("nonempty");
+    let p95 = percentile(&b.samples, 95.0).expect("nonempty");
+    let p99 = percentile(&b.samples, 99.0).expect("nonempty");
+    println!("  {label:<40} p50 {p50:>12.3?}/iter  p95 {p95:>12.3?}/iter  p99 {p99:>12.3?}/iter");
 }
 
 /// Declares a benchmark group function, mirroring
@@ -249,5 +264,21 @@ mod tests {
         g.finish();
         assert_eq!(ran, 1);
         assert_eq!(BenchmarkId::new("a", 7).to_string(), "a/7");
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let ms = |v: u64| Duration::from_millis(v);
+        let sorted: Vec<Duration> = (1..=11).map(ms).collect();
+        // Nearest rank over 11 samples: ceil(0.50*11)=6 → 6ms,
+        // ceil(0.95*11)=11 → 11ms (the max), same for p99.
+        assert_eq!(percentile(&sorted, 50.0), Some(ms(6)));
+        assert_eq!(percentile(&sorted, 95.0), Some(ms(11)));
+        assert_eq!(percentile(&sorted, 99.0), Some(ms(11)));
+        assert_eq!(percentile(&sorted, 100.0), Some(ms(11)));
+        // Tiny quantiles clamp to the minimum, never index below 0.
+        assert_eq!(percentile(&sorted, 0.0), Some(ms(1)));
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(percentile(&[ms(3)], 99.0), Some(ms(3)));
     }
 }
