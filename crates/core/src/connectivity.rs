@@ -486,7 +486,11 @@ impl Connectivity {
         // member id.
         let mut final_groups: BTreeMap<TourId, Vec<VertexId>> = BTreeMap::new();
         for members in piece_members {
-            let rep = *members.first().expect("pieces are nonempty");
+            // A pieceless group has nothing to relabel; skipping it
+            // keeps the hot path free of aborts.
+            let Some(&rep) = members.first() else {
+                continue;
+            };
             final_groups
                 .entry(self.etf.tour_of(rep))
                 .or_default()
@@ -494,7 +498,11 @@ impl Connectivity {
         }
         let mut relabel_count = 0u64;
         for (_, members) in final_groups {
-            let new_c = *members.iter().min().expect("nonempty");
+            // Groups are seeded from nonempty piece lists, but an
+            // empty one relabels nothing — no reason to abort.
+            let Some(&new_c) = members.iter().min() else {
+                continue;
+            };
             for &v in &members {
                 self.comp[v as usize] = new_c;
             }

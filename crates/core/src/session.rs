@@ -677,6 +677,7 @@ impl Session {
     pub fn get<M: Maintain>(&self, handle: Handle<M>) -> &M {
         let m: &dyn Any = self.maintainers[handle.id].as_ref();
         m.downcast_ref::<M>()
+            // lint: allow(panic-reachability): documented "# Panics" contract — a foreign session's handle is a programmer error
             .expect("a typed Handle always matches its own session's registry; this handle was issued by a different Session")
     }
 
@@ -688,6 +689,7 @@ impl Session {
     pub fn get_mut<M: Maintain>(&mut self, handle: Handle<M>) -> &mut M {
         let m: &mut dyn Any = self.maintainers[handle.id].as_mut();
         m.downcast_mut::<M>()
+            // lint: allow(panic-reachability): documented "# Panics" contract — a foreign session's handle is a programmer error
             .expect("a typed Handle always matches its own session's registry; this handle was issued by a different Session")
     }
 
@@ -710,6 +712,7 @@ impl Session {
         let m: &mut dyn Any = self.maintainers[handle.id].as_mut();
         let m = m
             .downcast_mut::<M>()
+            // lint: allow(panic-reachability): documented "# Panics" contract — a foreign session's handle is a programmer error
             .expect("a typed Handle always matches its own session's registry; this handle was issued by a different Session");
         f(m, &mut self.ctx)
     }
@@ -1370,6 +1373,7 @@ impl Session {
             u64,
             (u64, u64),
         );
+        // lint: allow(panic-reachability): dispatch invariant — the parallel chunk path is gated on a pool being installed
         let pool = self.pool.clone().expect("parallel chunk requires a pool");
         let chunk_audit = BatchAudit::begin(&self.ctx);
         self.ctx.sort(2 * chunk.len() as u64 + 1);
@@ -1405,6 +1409,7 @@ impl Session {
         self.ctx.parallel_begin();
         let mut failure: Option<MpcStreamError> = None;
         for (id, slot) in slots.into_iter().enumerate() {
+            // lint: allow(panic-reachability): join invariant — every spawned branch job sends exactly one outcome
             let (m, log, result, l0_delta, fork_delta) = slot.expect("every branch job reports");
             if failure.is_none() {
                 let audit = BatchAudit::begin(&self.ctx);
@@ -1495,6 +1500,7 @@ impl Session {
                     let id = (0..self.maintainers.len())
                         .filter(|&i| groups[i].start() == machine)
                         .max_by_key(|&i| self.maintainers[i].words())
+                        // lint: allow(panic-reachability): arithmetic invariant — used > 0 implies a contributing maintainer exists
                         .expect("an overcommitted machine hosts a maintainer");
                     if self.ctx.config().strict() {
                         return Err(MpcStreamError::Capacity(MpcError::ClusterMemoryExceeded {

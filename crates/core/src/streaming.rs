@@ -160,7 +160,10 @@ impl StreamingConnectivity {
     }
 
     fn relabel(&mut self, members: &[VertexId]) {
-        let min = *members.iter().min().expect("nonempty");
+        // Relabeling an empty component is a no-op, not an abort.
+        let Some(&min) = members.iter().min() else {
+            return;
+        };
         for &w in members {
             self.comp[w as usize] = min;
         }

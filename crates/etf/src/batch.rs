@@ -98,6 +98,7 @@ impl DistEtf {
         // machines holding each tour's shard by a constant-round
         // sort-based multicast [GSZ'11]); re-gather terminal
         // f-values; broadcast O(1) control words.
+        // lint: allow(panic-reachability): capacity precondition — MSF batches are sized to one machine by the caller
         ctx.gather(4 * k).expect("batch fits one machine");
         ctx.sort(4 * k);
         ctx.exchange(2 * k);
@@ -125,6 +126,7 @@ impl DistEtf {
         for &e in edges {
             let a = tour_index[&self.tour_of(e.u())] as u32;
             let b = tour_index[&self.tour_of(e.v())] as u32;
+            // lint: allow(panic-reachability): documented "# Panics" precondition — ExactMsf rejects non-forest batches upstream
             assert!(
                 a != b && uf.union(a, b),
                 "batch_join edges must form a forest over tours (edge {e})"
@@ -223,8 +225,12 @@ impl DistEtf {
         // and its members' tour assignments — so the dominant cost of
         // a join is proportional to the smaller tours plus the shifted
         // tail of the root, not to the whole merged component.
+        // An empty component joins nothing.
+        let Some(&first_tour) = aux.keys().next() else {
+            return;
+        };
         let root: TourId = {
-            let mut best = *aux.keys().next().expect("nonempty component");
+            let mut best = first_tour;
             for &t in aux.keys().skip(1) {
                 // Strictly greater: ties keep the smallest id, which
                 // also keeps the merged runs in ascending key order.
@@ -274,6 +280,7 @@ impl DistEtf {
             let c = if f_u % 2 == 1 { f_u - 1 } else { f_u };
             children
                 .get_mut(&parent)
+                // lint: allow(panic-reachability): traversal invariant — silently dropping a child would corrupt the merge plan
                 .expect("parent visited")
                 .push(Child { c, child, u, v });
         }
@@ -331,7 +338,8 @@ impl DistEtf {
                 running += w + 4;
                 breakpoints.push((ch.c, running));
             }
-            plans.get_mut(&t).expect("inserted above").breakpoints = breakpoints;
+            // lint: allow(panic-reachability): map invariant — every tour in `order` received a plan in the pre-order pass
+        plans.get_mut(&t).expect("inserted above").breakpoints = breakpoints;
         }
         // Local application: tours outside the component are never
         // visited, and the root adapts to the merge shape. When the
@@ -343,6 +351,7 @@ impl DistEtf {
         // pass is cheaper than merging into the root.
         let child_edges: u64 = order[1..].iter().map(|&t| self.tour_len(t) / 4).sum();
         let rebuild = child_edges >= self.tour_len(root) / 4;
+        // lint: allow(panic-reachability): map invariant — the root is in `order`, so the pre-order pass planned it
         let root_plan = plans.remove(&root).expect("root planned");
         let mut merged: Vec<(Edge, EdgeRec)> =
             Vec::with_capacity(child_edges as usize + new_recs.len());
@@ -408,6 +417,7 @@ impl DistEtf {
             return Vec::new();
         }
         let k = edges.len() as u64;
+        // lint: allow(panic-reachability): capacity precondition — MSF batches are sized to one machine by the caller
         ctx.gather(4 * k).expect("batch fits one machine");
         ctx.sort(8 * k);
         ctx.broadcast(4);
@@ -423,6 +433,7 @@ impl DistEtf {
         for &e in edges {
             let rec = *self
                 .edge_rec(e)
+                // lint: allow(panic-reachability): documented "# Panics" precondition — ExactMsf deletes only tracked tree edges
                 .unwrap_or_else(|| panic!("batch_split of non-tree edge {e}"));
             by_tour
                 .entry(rec.tour)

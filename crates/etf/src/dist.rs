@@ -79,11 +79,13 @@ impl EdgeRec {
     }
 
     fn shift(&mut self, delta: i64) {
+        // lint: allow(panic-reachability): position arithmetic invariant — shifts never move a record below zero
         self.first.pos = self.first.pos.checked_add_signed(delta).expect("underflow");
         self.second.pos = self
             .second
             .pos
             .checked_add_signed(delta)
+            // lint: allow(panic-reachability): position arithmetic invariant — shifts never move a record below zero
             .expect("underflow");
     }
 
@@ -467,6 +469,7 @@ impl DistEtf {
         }
         let shard = &self.shards[&self.vertex_tour[v as usize]];
         for &w in adj {
+            // lint: allow(panic-reachability): adjacency and tour shards are mutated in lockstep — a missing edge is corruption
             let rec = *shard_get(shard, Edge::new(v, w)).expect("adjacent edge in shard");
             for t in [rec.first, rec.second] {
                 if t.from == v {
@@ -517,6 +520,7 @@ impl DistEtf {
             return;
         }
         // Only the rerooted tour's shard is touched.
+        // lint: allow(panic-reachability): shard invariant — every nonempty tour owns exactly one shard
         let shard = self.shards.get_mut(&t).expect("nonempty tour has a shard");
         for (_, rec) in shard.iter_mut() {
             for trav in [&mut rec.first, &mut rec.second] {
@@ -540,7 +544,9 @@ impl DistEtf {
     pub(crate) fn join_uncharged(&mut self, e: Edge) {
         let (u, v) = e.endpoints();
         let (tu, tv) = (self.tour_of(u), self.tour_of(v));
+        // lint: allow(panic-reachability): documented forest precondition — batch_join validates acyclicity upstream
         assert_ne!(tu, tv, "join would create a cycle: {e}");
+        // lint: allow(panic-reachability): documented forest precondition — batch_join validates duplicates upstream
         assert!(!self.contains_edge(e), "edge {e} already in the forest");
         // Root the v-side tour at v, then splice it after u's arrival.
         self.reroot_uncharged(v);
@@ -580,14 +586,17 @@ impl DistEtf {
             },
         );
         // Merge membership and length: splice the sorted member runs.
+        // lint: allow(panic-reachability): membership invariant — tour_of returned tv, so its member list exists
         let mut moved = self.members.remove(&tv).expect("tour exists");
         for &w in &moved {
             self.vertex_tour[w as usize] = tu;
         }
+        // lint: allow(panic-reachability): membership invariant — tour_of returned tu, so its member list exists
         let target = self.members.get_mut(&tu).expect("tour exists");
         target.append(&mut moved);
         target.sort_unstable();
         self.tour_len.remove(&tv);
+        // lint: allow(panic-reachability): membership invariant — tour_of returned tu, so its length entry exists
         *self.tour_len.get_mut(&tu).expect("tour exists") += len_v + 4;
     }
 

@@ -34,6 +34,7 @@ impl Edge {
     /// Panics on self-loops (`u == v`); the model's graphs are simple.
     #[inline]
     pub fn new(a: VertexId, b: VertexId) -> Self {
+        // lint: allow(panic-reachability): documented "# Panics" precondition — graphs are simple, a self-loop is a caller bug
         assert!(a != b, "self-loop {{{a},{a}}} is not a valid edge");
         if a < b {
             Edge { u: a, v: b }
@@ -103,6 +104,7 @@ impl Edge {
     pub fn from_index(index: u64, n: usize) -> Self {
         let u = (index / n as u64) as VertexId;
         let v = (index % n as u64) as VertexId;
+        // lint: allow(panic-reachability): documented "# Panics" precondition — a non-decoding index is a caller bug
         assert!(u < v, "index {index} does not decode to a normalized edge");
         Edge { u, v }
     }

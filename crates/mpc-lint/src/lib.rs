@@ -26,6 +26,24 @@
 //! | `maintain-completeness` | Every production `impl Maintain` defines both `supports` and `answer` (the pair PR 6 had to retrofit). |
 //! | `io-hygiene` | `std::fs`/`std::io` are confined to `crates/mpc-snapshot` (the one sanctioned persistence path — the checksummed snapshot container behind `Session::checkpoint`/`restore`) and the tool crates. |
 //! | `allow-hygiene` | Meta rule: every inline allow must name a known rule and carry justification text. |
+//! | `panic-reachability` | Interprocedural closure of the PR-3 contract: a hot entry point (`apply_batch`, `answer`, the merge/sample/converge-cast kernels) must not *reach* a panicking construct through any chain of workspace calls, not merely avoid panicking directly. Findings print the shortest witness chain (`ExactMsf::apply_batch -> ExactMsf::one_iteration -> ...`). Site-level allows at the panic site are honored and routed around. |
+//! | `persist-symmetry` | Every `impl Persist` pair must round-trip: `save` and `load` agree on the word-kind sequence (`u32` vs 64-bit words), every field `save` writes is read back by `load`, and shared fields appear in the same order — the static mirror of the snapshot suite's byte-stability tests. |
+//! | `kernel-parity` | The three SIMD tiers (`portable.rs`, `sse2.rs`, `avx2.rs`) expose the same op surface with token-identical signatures, and every SIMD op names its scalar reference (`portable::<op>` in the body or the doc comment) — the static mirror of the tier bit-identity suite. |
+//! | `query-charging` | Every `Ok`-returning arm of `Maintain::answer` charges the accounting context (`exchange`/`broadcast`/`converge_cast`/`sort`/`gather`), directly or through a helper on the call graph — answering free of charge is an accounting leak. |
+//! | `alloc-hot-path` | The zero-alloc merge path (`merge_copy_into` and the SIMD kernels) must not allocate (`Vec::new`/`with_capacity`/`vec!`/`to_vec`/`collect`/`Box::new`), directly or transitively; the stealing variant is exempt (it owns its scratch). |
+//!
+//! # The interprocedural phase
+//!
+//! The first seven rules are per-file. The last five run over a
+//! workspace-wide symbol table and call graph ([`graph::Workspace`]):
+//! every function is indexed with its owner `impl`, receiver, and
+//! arity; call sites resolve by name with receiver/arity ranking
+//! (dot-calls never resolve to associated functions), and unresolvable
+//! names over-approximate to every candidate. On top of the graph,
+//! [`summary`] computes per-function effect summaries — panics,
+//! allocates, charges — to a fixpoint, so a panic hidden two helpers
+//! deep is reported at the hot entry point with the shortest witness
+//! chain.
 //!
 //! # The allowlist syntax
 //!
@@ -62,6 +80,12 @@
 //! element is claimed by exactly one lane, and both parallel `Session`
 //! fan-outs assert that a replayed branch charges exactly the rounds
 //! and words its fork recorded (the differential fork/replay audit).
+//! Conversely, two of the interprocedural rules are static mirrors of
+//! existing runtime suites: `persist-symmetry` mirrors the snapshot
+//! byte-stability tests (a drifted `save`/`load` pair fails both, but
+//! the lint names the field without running anything), and
+//! `kernel-parity` mirrors the SIMD tier bit-identity suite the same
+//! way.
 //!
 //! # CLI
 //!
@@ -75,11 +99,14 @@
 #![forbid(unsafe_code)]
 
 pub mod allow;
+pub mod graph;
 pub mod lexer;
 pub mod report;
 pub mod rules;
 pub mod scan;
+pub mod summary;
 
+use graph::{FileIndex, Workspace};
 use report::{AppliedAllow, Finding, Report};
 use rules::FileCtx;
 use std::path::{Path, PathBuf};
@@ -98,6 +125,16 @@ pub const RULE_MAINTAIN: &str = "maintain-completeness";
 pub const RULE_IO: &str = "io-hygiene";
 /// Meta rule id: well-formed, justified allow comments.
 pub const RULE_ALLOW_HYGIENE: &str = "allow-hygiene";
+/// Rule id: hot paths cannot reach a panic through helpers.
+pub const RULE_PANIC_REACH: &str = "panic-reachability";
+/// Rule id: `Persist::save`/`load` mirror each other field-for-field.
+pub const RULE_PERSIST: &str = "persist-symmetry";
+/// Rule id: kernel ops exist at all tiers with matching signatures.
+pub const RULE_KERNEL_PARITY: &str = "kernel-parity";
+/// Rule id: `Maintain::answer` charges the context before `Ok`.
+pub const RULE_QUERY_CHARGE: &str = "query-charging";
+/// Rule id: no heap allocation reachable from kernel folds.
+pub const RULE_ALLOC_HOT: &str = "alloc-hot-path";
 
 /// Every rule id with a one-paragraph explanation (`--explain`).
 pub const RULES: &[(&str, &str)] = &[
@@ -160,6 +197,55 @@ pub const RULES: &[(&str, &str)] = &[
          known rule and carry mandatory justification text (>= 10 chars). Malformed allows \
          suppress nothing and are reported.",
     ),
+    (
+        RULE_PANIC_REACH,
+        "The transitive closure of no-panic-hot-path: walks the workspace call graph from \
+         every hot root (apply_batch, answer, the arena merge/sample kernels, everything in \
+         crates/sketch/src/kernels/) and reports any call edge into a function whose effect \
+         summary says it can reach unwrap/expect/panic!/assert! (debug_assert!* stays \
+         legal), printing the shortest witness chain. The body rule sees a panic *in* the \
+         hot function; this rule sees the one hidden two helpers deep, which loses a worker \
+         branch at runtime exactly the same way.",
+    ),
+    (
+        RULE_PERSIST,
+        "The static twin of the snapshot byte-stability property suite: inside each \
+         `impl Persist`, save's ordered write stream (w.put_*/field.save) and load's \
+         ordered read stream (r.take_*/T::load with recovered binding names) must mirror \
+         each other — same primitive wire kinds in the same sequence (u64 and usize share \
+         a wire word; skipped for enum impls that branch via match), every named field \
+         written by save read back by load, and shared field names in the same order. \
+         Derived writes (self.pow.len()) and reconstructed load-side fields \
+         (KernelKind::selected()) are exempt by construction.",
+    ),
+    (
+        RULE_KERNEL_PARITY,
+        "The static twin of the kernel tier bit-identity tests: every op visible in at \
+         least two of crates/sketch/src/kernels/{portable,sse2,avx2}.rs must exist in all \
+         three tiers with token-identical signatures (tier-local private helpers are \
+         exempt), and every SSE2/AVX2 op must name its scalar reference — portable::<op> \
+         in the body or portable::<op>/KernelKind::<op> in its docs — so the behavioral \
+         contract stays navigable from the intrinsics.",
+    ),
+    (
+        RULE_QUERY_CHARGE,
+        "Maintained answers are 'O(1) rounds' only because every Maintain::answer charges \
+         the accounting context; an arm returning Ok without a charge is not faster, it is \
+         unaccounted, and the rounds/words ledger silently undercounts. The rule splits \
+         each production answer body into match arms and requires a charge point — \
+         exchange/broadcast/converge_cast/sort/gather directly, or a call into a helper \
+         whose transitive summary charges — before every Ok return (a charge before the \
+         match covers all arms; Err arms are exempt).",
+    ),
+    (
+        RULE_ALLOC_HOT,
+        "Kernel tier bodies and merge_copy_into run inside the converge-cast inner loop \
+         with preallocated scratch; any Vec::new/vec!/collect()/to_vec()/format!-style \
+         heap allocation there — or reachable from there through workspace helpers — is a \
+         latency regression the E20 soak would surface later. Flagged unless justified \
+         with `// lint: allow(alloc-hot-path): …` at the reported line. The stealing merge \
+         allocates span partials by design and is not a root.",
+    ),
 ];
 
 /// The explanation paragraph for `rule`, if the id is known.
@@ -204,40 +290,96 @@ pub fn roles_for(rel_path: &str) -> FileRoles {
 
 /// Lints one source text as if it lived at `rel_path`, applying the
 /// allowlist mechanism. Returns surviving findings and applied
-/// allows. This is the entry point the fixture self-tests drive.
+/// allows. Interprocedural rules run over the one-file workspace;
+/// this is the entry point most fixture self-tests drive.
 pub fn lint_source(rel_path: &str, source: &str) -> (Vec<Finding>, Vec<AppliedAllow>) {
-    let lexed = lexer::lex(source);
-    let test_ranges = scan::test_line_ranges(&lexed);
-    let ctx = FileCtx {
-        rel_path,
-        lexed: &lexed,
-        test_ranges: &test_ranges,
-    };
-    let roles = roles_for(rel_path);
-    let mut findings = Vec::new();
-    if roles.events {
-        findings.extend(rules::events::check(&ctx));
-    }
-    if roles.panics {
-        findings.extend(rules::panics::check(&ctx));
-    }
-    if roles.determinism {
-        findings.extend(rules::determinism::check(&ctx, roles.is_executor));
-    }
-    if roles.maintain {
-        findings.extend(rules::maintain::check(&ctx));
-    }
-    if roles.io {
-        findings.extend(rules::io_hygiene::check(&ctx));
-    }
-    findings.extend(rules::unsafety::check(&ctx));
+    lint_sources(&[(rel_path.to_string(), source.to_string())])
+}
 
-    let rule_ids: Vec<&'static str> = RULES.iter().map(|(id, _)| *id).collect();
+/// Lints a set of `(rel_path, source)` files as one workspace: the
+/// per-file rules run on each file, then the symbol table / call
+/// graph is built across all of them and the interprocedural rules
+/// (panic-reachability, persist-symmetry, kernel-parity,
+/// query-charging, alloc-hot-path) run over the whole set. Allow
+/// comments suppress findings of both phases.
+pub fn lint_sources(files: &[(String, String)]) -> (Vec<Finding>, Vec<AppliedAllow>) {
+    // Phase 1: per-file rules, with each file's parsed allows kept
+    // for post-hoc application to interprocedural findings.
+    let mut indexed = Vec::with_capacity(files.len());
+    let mut per_file_allows = Vec::with_capacity(files.len());
+    let mut findings = Vec::new();
     let mut meta = Vec::new();
-    let allows = allow::collect(&lexed.line_comments, &rule_ids, rel_path, &mut meta);
+    let rule_ids: Vec<&'static str> = RULES.iter().map(|(id, _)| *id).collect();
+    for (rel_path, source) in files {
+        let file = FileIndex::new(rel_path, source);
+        let ctx = FileCtx {
+            rel_path,
+            lexed: &file.lexed,
+            test_ranges: &file.test_ranges,
+        };
+        let roles = roles_for(rel_path);
+        if roles.events {
+            findings.extend(rules::events::check(&ctx));
+        }
+        if roles.panics {
+            findings.extend(rules::panics::check(&ctx));
+        }
+        if roles.determinism {
+            findings.extend(rules::determinism::check(&ctx, roles.is_executor));
+        }
+        if roles.maintain {
+            findings.extend(rules::maintain::check(&ctx));
+        }
+        if roles.io {
+            findings.extend(rules::io_hygiene::check(&ctx));
+        }
+        findings.extend(rules::unsafety::check(&ctx));
+        per_file_allows.push(allow::collect(
+            &file.lexed.line_comments,
+            &rule_ids,
+            rel_path,
+            &mut meta,
+        ));
+        indexed.push(file);
+    }
+
+    // Phase 2: the workspace-wide symbol table, call graph, and
+    // effect summaries feed the interprocedural rules.
+    let ws = Workspace::build(indexed);
+    let sums = summary::compute(&ws);
+    findings.extend(rules::panic_reach::check(&ws, &sums));
+    findings.extend(rules::persist::check(&ws));
+    findings.extend(rules::kernel_parity::check(&ws));
+    findings.extend(rules::query_charge::check(&ws, &sums));
+    findings.extend(rules::alloc_hot::check(&ws, &sums));
+
+    // Allows apply per file, to findings of either phase.
     let mut applied = Vec::new();
-    let mut kept = allow::apply(findings, &allows, rel_path, &mut applied);
+    let mut kept = Vec::new();
+    for (fi, (rel_path, _)) in files.iter().enumerate() {
+        let mine: Vec<Finding> = findings
+            .iter()
+            .filter(|f| f.file == *rel_path)
+            .cloned()
+            .collect();
+        kept.extend(allow::apply(
+            mine,
+            &per_file_allows[fi],
+            rel_path,
+            &mut applied,
+        ));
+    }
+    // Findings anchored to files outside the set (none today, but a
+    // rule bug should not silently drop reports).
+    kept.extend(
+        findings
+            .into_iter()
+            .filter(|f| !files.iter().any(|(p, _)| *p == f.file)),
+    );
     kept.extend(meta);
+    // Site-level allows consumed inside the effect fixpoint are part
+    // of the same audit trail as per-file ones.
+    applied.extend(sums.applied);
     (kept, applied)
 }
 
@@ -272,23 +414,28 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
     let mut files = Vec::new();
     collect_rs_files(root, root, &mut files)?;
     files.sort();
-    let mut report = Report::default();
-    let mut saw_context = false;
+    let mut sources = Vec::with_capacity(files.len());
     for rel in &files {
         let source = std::fs::read_to_string(root.join(rel))?;
-        let rel = rel.replace('\\', "/");
+        sources.push((rel.replace('\\', "/"), source));
+    }
+    let mut report = Report::default();
+    let mut saw_context = false;
+    // One pass over the whole set, so the interprocedural rules see
+    // every cross-crate call edge.
+    let (findings, applied) = lint_sources(&sources);
+    report.findings.extend(findings);
+    report.allows.extend(applied);
+    for (rel, source) in &sources {
         saw_context |= rel == "crates/mpc/src/context.rs";
-        let (findings, applied) = lint_source(&rel, &source);
-        report.findings.extend(findings);
-        report.allows.extend(applied);
-        if needs_forbid(&rel) || needs_deny(&rel) {
-            let lexed = lexer::lex(&source);
+        if needs_forbid(rel) || needs_deny(rel) {
+            let lexed = lexer::lex(source);
             let ctx = FileCtx {
-                rel_path: &rel,
+                rel_path: rel,
                 lexed: &lexed,
                 test_ranges: &[],
             };
-            if needs_forbid(&rel) {
+            if needs_forbid(rel) {
                 report.findings.extend(rules::unsafety::check_forbid(&ctx));
             } else {
                 report.findings.extend(rules::unsafety::check_deny(&ctx));
@@ -400,6 +547,41 @@ mod tests {
             assert!(explain(id).is_some());
         }
         assert!(explain("nope").is_none());
+    }
+
+    /// Drift guard for the rule registry: every `RULE_*` constant must
+    /// appear in [`RULES`] exactly once with a non-empty explanation.
+    /// `--list` and `--explain` both read [`RULES`], so this pins all
+    /// three surfaces to the same set — adding a rule id without
+    /// registering it (or vice versa) fails here, not in the field.
+    #[test]
+    fn rule_registry_is_complete_and_unique() {
+        let consts = [
+            RULE_EVENT,
+            RULE_NO_PANIC,
+            RULE_UNSAFE,
+            RULE_DETERMINISM,
+            RULE_MAINTAIN,
+            RULE_IO,
+            RULE_ALLOW_HYGIENE,
+            RULE_PANIC_REACH,
+            RULE_PERSIST,
+            RULE_KERNEL_PARITY,
+            RULE_QUERY_CHARGE,
+            RULE_ALLOC_HOT,
+        ];
+        assert_eq!(consts.len(), RULES.len(), "registry size drifted");
+        for id in consts {
+            let hits = RULES.iter().filter(|(r, _)| *r == id).count();
+            assert_eq!(hits, 1, "rule `{id}` must be registered exactly once");
+        }
+        for (id, text) in RULES {
+            assert!(!text.trim().is_empty(), "rule `{id}` has no explanation");
+            assert!(
+                id.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                "rule id `{id}` is not kebab-case"
+            );
+        }
     }
 
     #[test]

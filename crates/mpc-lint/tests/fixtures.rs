@@ -308,3 +308,251 @@ fn real_workspace_is_clean() {
     assert!(report.findings.is_empty(), "{}", report.to_json());
     assert!(report.files_scanned > 50, "walker missed the tree");
 }
+
+// ----- interprocedural families (call-graph rules) ----------------
+
+use mpc_lint::{
+    lint_sources, RULE_ALLOC_HOT, RULE_KERNEL_PARITY, RULE_PANIC_REACH, RULE_PERSIST,
+    RULE_QUERY_CHARGE,
+};
+
+#[test]
+fn panic_reach_clean_fixture_passes() {
+    let (findings, _) = run("crates/sketch/src/arena.rs", "panic_reach_clean.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn panic_reach_dirty_fixture_prints_the_two_call_deep_chain() {
+    let (findings, _) = run("crates/sketch/src/arena.rs", "panic_reach_dirty.rs");
+    assert_eq!(keys(&findings), vec![(RULE_PANIC_REACH, 2)], "{findings:?}");
+    let msg = &findings[0].message;
+    assert!(msg.contains("apply_batch -> stage -> pick"), "{msg}");
+    assert!(msg.contains(".unwrap()"), "{msg}");
+    assert!(msg.contains("panic site"), "{msg}");
+}
+
+#[test]
+fn persist_clean_fixture_passes() {
+    let (findings, _) = run("crates/mpc/src/stats.rs", "persist_clean.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn persist_dirty_fixture_reports_kind_drift_and_the_dropped_field() {
+    let (findings, _) = run("crates/mpc/src/stats.rs", "persist_dirty.rs");
+    let persist: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == RULE_PERSIST)
+        .collect();
+    assert_eq!(persist.len(), 3, "{persist:?}");
+    // Wire-kind drift: save writes u32 where load reads the u64 word.
+    assert!(
+        persist
+            .iter()
+            .any(|f| f.message.contains("Wire")
+                && f.message.contains("(u32) at position 1")
+                && f.message.contains("round-trip")),
+        "{persist:?}"
+    );
+    // Length drift plus the missing field, each named.
+    assert!(
+        persist
+            .iter()
+            .any(|f| f.message.contains("Ledger") && f.message.contains("never reads")),
+        "{persist:?}"
+    );
+    assert!(
+        persist
+            .iter()
+            .any(|f| f.message.contains("`words`") && f.message.contains("never read by load")),
+        "{persist:?}"
+    );
+}
+
+#[test]
+fn query_charge_clean_fixture_passes_with_direct_and_helper_charges() {
+    let (findings, _) = run("crates/msf/src/exact.rs", "query_charge_clean.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn query_charge_dirty_fixture_flags_only_the_uncharged_arm() {
+    let (findings, _) = run("crates/msf/src/exact.rs", "query_charge_dirty.rs");
+    assert_eq!(keys(&findings), vec![(RULE_QUERY_CHARGE, 7)], "{findings:?}");
+    assert!(findings[0].message.contains("Estimator"));
+    assert!(findings[0].message.contains("ledger"));
+}
+
+#[test]
+fn alloc_hot_clean_fixture_passes() {
+    let (findings, _) = run("crates/sketch/src/kernels/portable.rs", "alloc_hot_clean.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn alloc_hot_dirty_fixture_reports_local_and_transitive_allocations() {
+    let (findings, _) = run("crates/sketch/src/kernels/portable.rs", "alloc_hot_dirty.rs");
+    // Three findings: the root's local alloc, the transitive edge
+    // into `scratch`, and `scratch`'s own local alloc (every fn in
+    // the kernels directory is a root).
+    assert_eq!(
+        keys(&findings),
+        vec![(RULE_ALLOC_HOT, 2), (RULE_ALLOC_HOT, 3), (RULE_ALLOC_HOT, 6)],
+        "{findings:?}"
+    );
+    assert!(findings.iter().any(|f| f.message.contains(".to_vec()")));
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("fold_cells -> scratch") && f.message.contains("vec!")));
+}
+
+/// Runs the three kernel tier fixtures as one workspace.
+fn run_tiers(avx2: &str) -> Vec<Finding> {
+    let files = vec![
+        (
+            "crates/sketch/src/kernels/portable.rs".to_string(),
+            fixture("kernel_parity_portable.rs"),
+        ),
+        (
+            "crates/sketch/src/kernels/sse2.rs".to_string(),
+            fixture("kernel_parity_sse2.rs"),
+        ),
+        (
+            "crates/sketch/src/kernels/avx2.rs".to_string(),
+            fixture(avx2),
+        ),
+    ];
+    lint_sources(&files).0
+}
+
+#[test]
+fn kernel_parity_clean_tier_set_passes() {
+    let findings = run_tiers("kernel_parity_avx2_clean.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn kernel_parity_dirty_tier_reports_drift_missing_op_and_reference() {
+    let findings = run_tiers("kernel_parity_avx2_dirty.rs");
+    let parity: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == RULE_KERNEL_PARITY)
+        .collect();
+    assert_eq!(parity.len(), 3, "{parity:?}");
+    assert!(parity.iter().all(|f| f.file.ends_with("avx2.rs")));
+    assert!(
+        parity
+            .iter()
+            .any(|f| f.message.contains("`top_bit`") && f.message.contains("not in this tier")),
+        "{parity:?}"
+    );
+    assert!(
+        parity
+            .iter()
+            .any(|f| f.message.contains("`fold_cells`")
+                && f.message.contains("different signature")),
+        "{parity:?}"
+    );
+    assert!(
+        parity
+            .iter()
+            .any(|f| f.message.contains("scalar reference")),
+        "{parity:?}"
+    );
+}
+
+/// Mutation drill on the **real** stats source: delete one load read
+/// from `MaintainerStats` and persist-symmetry must name the field.
+#[test]
+fn deleting_a_real_persist_load_read_names_the_field() {
+    let path = format!("{}/../mpc/src/stats.rs", env!("CARGO_MANIFEST_DIR"));
+    let source = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let clean = lint_source("crates/mpc/src/stats.rs", &source).0;
+    let persist: Vec<_> = clean.iter().filter(|f| f.rule == RULE_PERSIST).collect();
+    assert!(persist.is_empty(), "real stats.rs is not clean: {persist:?}");
+
+    let read = "            checkpoint_bytes: Persist::load(r)?,\n";
+    assert_eq!(
+        source.matches(read).count(),
+        1,
+        "load read shape changed — update this drill"
+    );
+    let mutated = source.replace(read, "");
+    let findings = lint_source("crates/mpc/src/stats.rs", &mutated).0;
+    let hit = findings
+        .iter()
+        .find(|f| f.rule == RULE_PERSIST)
+        .expect("mutated stats must fail persist-symmetry");
+    assert!(hit.message.contains("`checkpoint_bytes`"), "{}", hit.message);
+    assert!(hit.message.contains("MaintainerStats"), "{}", hit.message);
+}
+
+/// Mutation drill on the **real** MSF source: turn a helper's typed
+/// error into an `.expect()` and panic-reachability must print the
+/// hot-path chain into it.
+#[test]
+fn hiding_a_panic_in_a_real_helper_prints_the_chain() {
+    let path = format!("{}/../msf/src/exact.rs", env!("CARGO_MANIFEST_DIR"));
+    let source = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let clean = lint_source("crates/msf/src/exact.rs", &source).0;
+    let reach: Vec<_> = clean
+        .iter()
+        .filter(|f| f.rule == RULE_PANIC_REACH)
+        .collect();
+    assert!(reach.is_empty(), "real exact.rs is not clean: {reach:?}");
+
+    let typed = "let heaviest = heaviest.ok_or(MsfError::NoConvergence)?;";
+    assert!(
+        source.contains(typed),
+        "helper error shape changed — update this drill"
+    );
+    let mutated = source.replace(typed, "let heaviest = heaviest.expect(\"cycle edge\");");
+    let findings = lint_source("crates/msf/src/exact.rs", &mutated).0;
+    let hit = findings
+        .iter()
+        .find(|f| f.rule == RULE_PANIC_REACH)
+        .expect("mutated exact must fail panic-reachability");
+    assert!(
+        hit.message
+            .contains("ExactMsf::apply_batch -> ExactMsf::one_iteration"),
+        "{}",
+        hit.message
+    );
+    assert!(hit.message.contains(".expect()"), "{}", hit.message);
+}
+
+/// A site-level allow at a panic site must both suppress the finding
+/// (routing chains around the site) and show up in the applied-allow
+/// audit trail with its justification — suppressions are never
+/// silent.
+#[test]
+fn site_allows_are_suppressive_and_audited() {
+    let src = "\
+impl Arena {
+    pub fn merge_copy_into(&mut self, other: &Arena) {
+        self.step(other);
+    }
+    fn step(&mut self, other: &Arena) {
+        // lint: allow(panic-reachability): documented precondition — arenas share a layout
+        let w = other.words.first().expect(\"layout\");
+        self.acc += *w;
+    }
+}
+";
+    let (findings, applied) = lint_source("crates/sketch/src/arena.rs", src);
+    assert!(
+        !findings.iter().any(|f| f.rule == RULE_PANIC_REACH),
+        "{findings:?}"
+    );
+    let site = applied
+        .iter()
+        .find(|a| a.rule == RULE_PANIC_REACH)
+        .expect("site allow must be recorded as applied");
+    assert_eq!(site.file, "crates/sketch/src/arena.rs");
+    assert_eq!(site.line, 6);
+    assert!(
+        site.justification.contains("documented precondition"),
+        "{site:?}"
+    );
+}

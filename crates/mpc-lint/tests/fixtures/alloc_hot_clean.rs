@@ -1,0 +1,5 @@
+pub(crate) fn fold_cells(dst: &mut [u64], src: &[u64]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= *s;
+    }
+}

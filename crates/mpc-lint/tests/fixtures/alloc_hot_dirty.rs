@@ -1,0 +1,8 @@
+pub(crate) fn fold_cells(dst: &mut [u64]) -> u64 {
+    let tmp = dst.to_vec();
+    tmp.len() as u64 + scratch(dst.len())
+}
+fn scratch(n: usize) -> u64 {
+    let buf = vec![0u64; n];
+    buf.len() as u64
+}

@@ -1,0 +1,15 @@
+/// AVX2 fold; reference: `portable::fold_cells`.
+///
+/// # Safety
+/// SAFETY: requires AVX2 (callers dispatch after feature detection).
+pub(crate) unsafe fn fold_cells(dst: &mut [u64], src: &[u64]) {
+    portable::fold_cells(dst, src);
+}
+
+/// AVX2 select; reference: `portable::top_bit`.
+///
+/// # Safety
+/// SAFETY: requires AVX2 (callers dispatch after feature detection).
+pub(crate) unsafe fn top_bit(words: &[u64]) -> u64 {
+    portable::top_bit(words)
+}

@@ -1,0 +1,15 @@
+/// Scalar reference fold: XOR-accumulates `src` into `dst`.
+pub(crate) fn fold_cells(dst: &mut [u64], src: &[u64]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= *s;
+    }
+}
+
+/// Scalar reference select: first set bit per word.
+pub(crate) fn top_bit(words: &[u64]) -> u64 {
+    words.iter().map(|w| w.leading_zeros() as u64).sum()
+}
+
+fn tier_local_helper(x: u64) -> u64 {
+    x
+}

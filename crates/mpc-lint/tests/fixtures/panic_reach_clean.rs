@@ -1,0 +1,9 @@
+pub fn apply_batch(xs: &[u32]) -> Result<u32, ()> {
+    Ok(stage(xs))
+}
+fn stage(xs: &[u32]) -> u32 {
+    pick(xs)
+}
+fn pick(xs: &[u32]) -> u32 {
+    xs.iter().copied().sum()
+}

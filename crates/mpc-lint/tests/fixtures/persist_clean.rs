@@ -1,0 +1,20 @@
+impl Persist for Telemetry {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.put_u32(self.epoch);
+        self.rounds.save(w);
+        self.words.save(w);
+        w.put_usize(self.log.len());
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let epoch = r.take_u32()?;
+        let rounds = Persist::load(r)?;
+        let words = Persist::load(r)?;
+        let log_len = r.take_usize()?;
+        Ok(Telemetry {
+            epoch,
+            rounds,
+            words,
+            log: Vec::with_capacity(log_len),
+        })
+    }
+}

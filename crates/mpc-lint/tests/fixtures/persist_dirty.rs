@@ -1,0 +1,26 @@
+impl Persist for Wire {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.put_u32(self.epoch);
+        w.put_u64(self.total);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Wire {
+            epoch: r.take_u64()?,
+            total: r.take_u64()?,
+        })
+    }
+}
+
+impl Persist for Ledger {
+    fn save(&self, w: &mut SnapshotWriter) {
+        self.rounds.save(w);
+        self.words.save(w);
+        self.queries.save(w);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Ledger {
+            rounds: Persist::load(r)?,
+            queries: Persist::load(r)?,
+        })
+    }
+}

@@ -1,0 +1,22 @@
+impl Maintain for Estimator {
+    fn supports(&self, q: &Query) -> bool {
+        matches!(q, Query::Count | Query::Sum)
+    }
+    fn answer(&mut self, q: &Query, ctx: &mut MpcContext) -> Result<QueryResponse, MpcError> {
+        match q {
+            Query::Count => {
+                ctx.broadcast(1);
+                Ok(QueryResponse::Count(self.count))
+            }
+            Query::Sum => Ok(QueryResponse::Sum(self.charged_sum(ctx))),
+            _ => Err(MpcError::Unsupported),
+        }
+    }
+}
+
+impl Estimator {
+    fn charged_sum(&self, ctx: &mut MpcContext) -> u64 {
+        ctx.gather(1);
+        self.sum
+    }
+}

@@ -1,0 +1,15 @@
+impl Maintain for Estimator {
+    fn supports(&self, q: &Query) -> bool {
+        matches!(q, Query::Count | Query::Sum)
+    }
+    fn answer(&mut self, q: &Query, ctx: &mut MpcContext) -> Result<QueryResponse, MpcError> {
+        match q {
+            Query::Count => Ok(QueryResponse::Count(self.count)),
+            Query::Sum => {
+                ctx.broadcast(1);
+                Ok(QueryResponse::Sum(self.sum))
+            }
+            _ => Err(MpcError::Unsupported),
+        }
+    }
+}

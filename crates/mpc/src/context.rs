@@ -227,6 +227,7 @@ impl MpcContext {
         let label = self
             .phase_label
             .take()
+            // lint: allow(panic-reachability): documented "# Panics" contract — unbalanced phase calls are a caller bug
             .expect("end_phase without begin_phase");
         PhaseReport {
             label,
@@ -261,8 +262,10 @@ impl MpcContext {
         let (saved, max) = *self
             .parallel_stack
             .last()
+            // lint: allow(panic-reachability): documented "# Panics" contract — an unbalanced scope is a programmer error
             .expect("parallel_branch outside a parallel scope");
         let used = self.stats.rounds - saved;
+        // lint: allow(panic-reachability): guarded by the expect two lines up on the same stack
         let top = self.parallel_stack.last_mut().expect("checked above");
         top.1 = max.max(used);
         self.stats.rounds = saved;
@@ -278,6 +281,7 @@ impl MpcContext {
         let (saved, max) = self
             .parallel_stack
             .pop()
+            // lint: allow(panic-reachability): documented "# Panics" contract — an unbalanced scope is a programmer error
             .expect("parallel_end without parallel_begin");
         // Any trailing un-branched work counts as one more branch.
         let trailing = self.stats.rounds - saved;
@@ -405,6 +409,7 @@ impl MpcContext {
     /// accounting bug in the calling algorithm).
     pub fn free(&mut self, m: usize, words: u64) {
         self.record(MpcEvent::Free(m, words));
+        // lint: allow(panic-reachability): documented "# Panics" contract — over-freeing is an accounting bug, not a data error
         assert!(
             self.loads[m] >= words,
             "machine {m} frees {words} words but holds {}",

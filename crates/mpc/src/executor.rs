@@ -105,8 +105,10 @@ impl WorkerPool {
     pub fn execute(&self, job: Job) {
         self.sender
             .as_ref()
+            // lint: allow(panic-reachability): pool lifecycle invariant — the sender is dropped only in Drop
             .expect("pool sender lives until drop")
             .send(job)
+            // lint: allow(panic-reachability): pool lifecycle invariant — workers outlive every queued job
             .expect("workers live until the pool is dropped");
     }
 
@@ -151,6 +153,7 @@ impl WorkerPool {
         scope.run(f_static);
         scope.wait();
         if scope.panicked.load(Ordering::Acquire) {
+            // lint: allow(panic-reachability): deliberate relay — a lane panic must abort the whole steal scope, not vanish
             panic!("a worker lane panicked inside a parallel scope");
         }
     }
@@ -252,6 +255,7 @@ impl ScopeState {
                 self.panicked.store(true, Ordering::Release);
             }
             if self.done.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+                // lint: allow(panic-reachability): poison-free by construction — lane panics are caught before the lock
                 let _guard = self.lock.lock().expect("scope lock");
                 self.cv.notify_all();
             }
@@ -259,8 +263,10 @@ impl ScopeState {
     }
 
     fn wait(&self) {
+        // lint: allow(panic-reachability): poison-free by construction — lane panics are caught before the lock
         let mut guard = self.lock.lock().expect("scope lock");
         while self.done.load(Ordering::Acquire) < self.n {
+            // lint: allow(panic-reachability): poison-free by construction — lane panics are caught before the lock
             guard = self.cv.wait(guard).expect("scope condvar");
         }
     }

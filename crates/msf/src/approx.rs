@@ -258,6 +258,7 @@ impl ApproxMsfForest {
         self.stack
             .instances
             .last()
+            // lint: allow(panic-reachability): ThresholdStack construction always materializes at least one instance
             .expect("at least one instance")
             .component_of(v)
     }

@@ -44,8 +44,8 @@ pub enum MsfError {
     DuplicateEdge(Edge),
     /// An edge endpoint is outside `[0, n)`.
     VertexOutOfRange(Edge, usize),
-    /// The swap loop failed to converge (internal invariant
-    /// violation).
+    /// The swap machinery violated an internal invariant — the loop
+    /// failed to converge, or the forest bookkeeping lost an edge.
     NoConvergence,
 }
 
@@ -475,7 +475,11 @@ impl ExactMsf {
         let mut cuts: BTreeSet<Edge> = BTreeSet::new();
         let mut swappers: Vec<WeightedEdge> = Vec::new();
         for (we, heaviest) in rest.into_iter().zip(heaviest) {
-            let heaviest = heaviest.expect("intra-component candidates have a nonempty path");
+            // Intra-component candidates always close a cycle, so the
+            // tree path between their endpoints is nonempty; a missing
+            // heaviest edge means the swap machinery lost track of the
+            // forest — surfaced as an error, never an abort.
+            let heaviest = heaviest.ok_or(MsfError::NoConvergence)?;
             if heaviest.weight > we.weight {
                 cuts.insert(heaviest.edge);
                 swappers.push(we);
@@ -487,19 +491,22 @@ impl ExactMsf {
             return Ok(Vec::new());
         }
         let cut_list: Vec<Edge> = cuts.iter().copied().collect();
-        let mut reactivated: Vec<WeightedEdge> = cut_list
-            .iter()
-            .map(|&e| WeightedEdge {
-                edge: e,
-                weight: self.weights.remove(&e).expect("cut edges are forest edges"),
-            })
-            .collect();
+        let mut reactivated: Vec<WeightedEdge> = Vec::with_capacity(cut_list.len());
+        for &e in &cut_list {
+            // Every cut edge was just read out of the forest; losing
+            // its weight entry is the same lost-forest invariant.
+            let weight = self.weights.remove(&e).ok_or(MsfError::NoConvergence)?;
+            reactivated.push(WeightedEdge { edge: e, weight });
+        }
         let pieces = self.etf.batch_split(&cut_list, ctx);
         // Temporary component ids for the pieces (minimum member).
         let mut relabels = 0u64;
         for p in pieces {
             let members = self.etf.tour_members(p);
-            let new_c = *members.first().expect("nonempty");
+            // A memberless piece has nothing to relabel.
+            let Some(&new_c) = members.first() else {
+                continue;
+            };
             for &v in members {
                 self.comp[v as usize] = new_c;
             }

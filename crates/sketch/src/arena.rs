@@ -60,6 +60,7 @@ impl SketchFamily {
     ///
     /// Panics if `max_index == 0`.
     pub fn new(max_index: u64, seed: u64) -> Self {
+        // lint: allow(panic-reachability): documented "# Panics" precondition — an empty index space is a construction bug
         assert!(max_index > 0, "need a nonempty index space");
         let levels = (64 - max_index.leading_zeros()) + 2;
         SketchFamily {
@@ -373,6 +374,7 @@ impl SketchArena {
     ///
     /// Panics if `index` is outside the family index space.
     pub fn update(&mut self, v: u32, index: u64, delta: i64) {
+        // lint: allow(panic-reachability): documented "# Panics" precondition — the bank derives indices from the shared family
         assert!(
             index < self.families[0].max_index,
             "index {index} out of range {}",
@@ -399,11 +401,13 @@ impl SketchArena {
     ///
     /// Panics if `index` is out of range or `a == b`.
     pub fn update_pair(&mut self, a: u32, b: u32, index: u64, delta_a: i64, delta_b: i64) {
+        // lint: allow(panic-reachability): documented "# Panics" precondition — the bank derives indices from the shared family
         assert!(
             index < self.families[0].max_index,
             "index {index} out of range {}",
             self.families[0].max_index
         );
+        // lint: allow(panic-reachability): documented "# Panics" precondition — Edge's invariant keeps endpoints distinct
         assert_ne!(a, b, "pair update requires distinct vertices");
         let weighted = index as i128;
         for copy in 0..self.copies {

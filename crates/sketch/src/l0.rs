@@ -157,6 +157,7 @@ impl L0Sampler {
     ///
     /// Panics if `index >= max_index`.
     pub fn update(&mut self, index: u64, delta: i64) {
+        // lint: allow(panic-reachability): documented "# Panics" precondition — the family fixes the index space at construction
         assert!(
             index < self.family.max_index(),
             "index {index} out of range {}",

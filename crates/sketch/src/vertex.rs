@@ -112,6 +112,7 @@ impl VertexSketch {
     ///
     /// Panics if the sketch's vertex is not an endpoint of `e`.
     pub fn insert_edge(&mut self, e: Edge) {
+        // lint: allow(panic-reachability): documented "# Panics" precondition — incidence is guaranteed by the routing layer
         assert!(e.touches(self.vertex), "{e} not incident to sketch vertex");
         self.inner
             .update(e.index(self.n), Self::sign(self.vertex, e));
@@ -123,6 +124,7 @@ impl VertexSketch {
     ///
     /// Panics if the sketch's vertex is not an endpoint of `e`.
     pub fn delete_edge(&mut self, e: Edge) {
+        // lint: allow(panic-reachability): documented "# Panics" precondition — incidence is guaranteed by the routing layer
         assert!(e.touches(self.vertex), "{e} not incident to sketch vertex");
         self.inner
             .update(e.index(self.n), -Self::sign(self.vertex, e));
